@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: context-switch handling (§VII-B).
+ *
+ * Sweeps the scheduling quantum with the Accessed-bit SPT save/restore
+ * mitigation on and off. Invalidation on every switch is required for
+ * isolation; the mitigation recovers the SPT warm-up cost, and at
+ * realistic (millisecond) quanta hardware Draco's restart penalty is
+ * negligible either way.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    std::vector<const workload::AppModel *> procs = {
+        workload::workloadByName("nginx"),
+        workload::workloadByName("redis"),
+        workload::workloadByName("pipe-ipc"),
+    };
+
+    TextTable table("Context-switch ablation (3 processes round-robin, "
+                    "hardware Draco, syscall-complete)");
+    table.setHeader({"quantum-us", "spt-save-restore", "switches",
+                     "normalized", "spt-restored"});
+
+    for (double quantumUs : {50.0, 200.0, 1000.0, 5000.0}) {
+        for (bool saveRestore : {true, false}) {
+            sim::SchedOptions options;
+            options.quantumNs = quantumUs * 1000.0;
+            options.sptSaveRestore = saveRestore;
+            options.totalCalls = bench::benchCalls();
+            options.seed = kBenchSeed;
+            sim::MultiProcessSimulator sim;
+            sim::SchedResult r = sim.run(procs, options);
+            table.addRow({
+                TextTable::num(quantumUs, 0),
+                saveRestore ? "on" : "off",
+                std::to_string(r.contextSwitches),
+                TextTable::num(r.normalized(), 4),
+                std::to_string(r.hw.sptRestoredEntries),
+            });
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: STB-driven SLB preloading on vs off (§XI-B recommends
+ * preloading: it converts would-be slow flows into fast flow 3 by
+ * fetching VAT entries before the syscall reaches the ROB head).
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    TextTable table("SLB preloading ablation (hardware Draco, "
+                    "syscall-complete; normalized to insecure)");
+    table.setHeader({"workload", "with-preload", "without-preload",
+                     "check-ns/call(with)", "check-ns/call(without)"});
+
+    for (const auto *app : benchWorkloads()) {
+        sim::RunOptions options;
+        options.mechanism = sim::Mechanism::DracoHW;
+        options.steadyCalls = benchCalls();
+        options.seed = kBenchSeed;
+        sim::ExperimentRunner runner;
+        const auto &profile = cache.get(*app).complete;
+
+        sim::RunResult with = runner.run(*app, profile, options);
+        options.hwPreload = false;
+        sim::RunResult without = runner.run(*app, profile, options);
+
+        table.addRow({
+            app->name,
+            TextTable::num(with.normalized(), 4),
+            TextTable::num(without.normalized(), 4),
+            TextTable::num(with.checkNs / with.syscalls, 2),
+            TextTable::num(without.checkNs / without.syscalls, 2),
+        });
+    }
+    table.print();
+    return 0;
+}

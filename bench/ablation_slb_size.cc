@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: SLB sizing sweep.
+ *
+ * Scales every subtable of the Table-II SLB geometry and reports hit
+ * rates, normalized execution time (for the workloads with the largest
+ * argument working sets), and the calibrated hardware cost of each
+ * size point — the trade-off that justifies the paper's 8 KB design.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+namespace {
+
+std::array<core::TableGeometry, core::Slb::kMaxArgc>
+scaledGeometry(double scale)
+{
+    // The SLB indexes by SID, so all argument sets of one syscall
+    // compete within a single set: associativity, not set count, is
+    // the binding resource. The sweep therefore scales ways along with
+    // total capacity (sets stay fixed).
+    core::Slb reference;
+    std::array<core::TableGeometry, core::Slb::kMaxArgc> out;
+    for (unsigned argc = 1; argc <= core::Slb::kMaxArgc; ++argc) {
+        const auto &geom = reference.geometry(argc);
+        unsigned ways = std::max<unsigned>(
+            1, static_cast<unsigned>(geom.ways * scale + 0.5));
+        unsigned sets = geom.sets();
+        out[argc - 1] = core::TableGeometry{sets * ways, ways};
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    ProfileCache cache;
+    const double scales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    const char *apps[] = {"elasticsearch", "redis", "httpd", "mysql",
+                          "pipe-ipc"};
+
+    TextTable table("SLB sizing sweep (hardware Draco, "
+                    "syscall-complete)");
+    table.setHeader({"scale", "workload", "slb-access", "slb-preload",
+                     "normalized", "slb-area-mm2", "slb-leak-mW"});
+
+    for (double scale : scales) {
+        hwmodel::SramCosts cost = hwmodel::scaledSlbCost(scale);
+        for (const char *name : apps) {
+            const auto *app = workload::workloadByName(name);
+            sim::RunOptions options;
+            options.mechanism = sim::Mechanism::DracoHW;
+            options.steadyCalls = benchCalls();
+            options.seed = kBenchSeed;
+            options.slbGeometry = scaledGeometry(scale);
+            sim::ExperimentRunner runner;
+            sim::RunResult r =
+                runner.run(*app, cache.get(*app).complete, options);
+            table.addRow({
+                TextTable::num(scale, 2),
+                name,
+                TextTable::num(r.slbAccessHitRate() * 100.0, 1),
+                TextTable::num(r.slbPreloadHitRate() * 100.0, 1),
+                TextTable::num(r.normalized(), 4),
+                TextTable::num(cost.areaMm2, 5),
+                TextTable::num(cost.leakageMw, 3),
+            });
+        }
+    }
+    table.print();
+    return 0;
+}

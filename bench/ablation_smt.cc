@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: SMT partitioning (§VII-B).
+ *
+ * With N hardware contexts, each context owns 1/N of the SLB/STB/SPT.
+ * This bench runs the same workload on one context of a 1-, 2-, and
+ * 4-context core and reports how the shrunken partition affects hit
+ * rates — the capacity cost of the paper's side-channel-free SMT
+ * design.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    TextTable table("SMT partitioning ablation (hit rates on one "
+                    "context, syscall-complete)");
+    table.setHeader({"workload", "contexts", "slb-ways", "stb-entries",
+                     "stb-hit", "slb-access", "fast-flows"});
+
+    for (const char *name :
+         {"nginx", "elasticsearch", "redis", "pipe-ipc"}) {
+        const auto *app = workload::workloadByName(name);
+        const auto &profile = cache.get(*app).complete;
+
+        for (unsigned contexts : {1u, 2u, 4u}) {
+            core::EngineGeometry geom =
+                core::EngineGeometry::smtPartition(contexts);
+            core::HwProcessContext proc(profile);
+            core::DracoHardwareEngine engine(true, geom);
+            engine.switchTo(&proc);
+
+            workload::TraceGenerator gen(*app, kBenchSeed);
+            size_t calls = benchCalls() / 2;
+            for (size_t i = 0; i < calls; ++i)
+                engine.onSyscall(gen.next().req);
+
+            const auto &slb = engine.slbStats();
+            const auto &stb = engine.stbStats();
+            const auto &hw = engine.stats();
+            double stbHit = stb.lookups
+                ? 100.0 * stb.hits / stb.lookups
+                : 0.0;
+            double slbHit = slb.accesses
+                ? 100.0 * slb.accessHits / slb.accesses
+                : 0.0;
+            uint64_t fast = hw.flows[0] + hw.flows[1] + hw.flows[3] +
+                hw.flows[5];
+            table.addRow({
+                name,
+                std::to_string(contexts),
+                std::to_string(geom.slb[1].ways),
+                std::to_string(geom.stbEntries),
+                TextTable::num(stbHit, 1),
+                TextTable::num(slbHit, 1),
+                TextTable::num(100.0 * fast / hw.syscalls, 1),
+            });
+        }
+    }
+    table.print();
+    return 0;
+}

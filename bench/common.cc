@@ -1,0 +1,139 @@
+#include "common.hh"
+
+#include <cstdlib>
+
+namespace draco::bench {
+
+size_t
+benchCalls()
+{
+    static const size_t calls = [] {
+        const char *env = std::getenv("DRACO_BENCH_CALLS");
+        if (env) {
+            long v = std::atol(env);
+            if (v > 0)
+                return static_cast<size_t>(v);
+            warn("ignoring invalid DRACO_BENCH_CALLS='%s'", env);
+        }
+        return static_cast<size_t>(150000);
+    }();
+    return calls;
+}
+
+const char *
+profileKindName(ProfileKind kind)
+{
+    switch (kind) {
+      case ProfileKind::Insecure: return "insecure";
+      case ProfileKind::DockerDefault: return "docker-default";
+      case ProfileKind::Noargs: return "syscall-noargs";
+      case ProfileKind::Complete: return "syscall-complete";
+      case ProfileKind::Complete2x: return "syscall-complete-2x";
+    }
+    return "?";
+}
+
+const sim::AppProfiles &
+ProfileCache::get(const workload::AppModel &app)
+{
+    auto it = _cache.find(app.name);
+    if (it == _cache.end()) {
+        it = _cache
+                 .emplace(app.name,
+                          sim::makeAppProfiles(app, kBenchSeed, 300000))
+                 .first;
+    }
+    return it->second;
+}
+
+sim::RunResult
+runExperiment(const workload::AppModel &app, ProfileKind kind,
+              sim::Mechanism mechanism, ProfileCache &cache,
+              const os::KernelCosts &costs)
+{
+    sim::RunOptions options;
+    options.mechanism = mechanism;
+    options.costs = &costs;
+    options.steadyCalls = benchCalls();
+    options.seed = kBenchSeed;
+
+    static const seccomp::Profile insecure = seccomp::insecureProfile();
+    static const seccomp::Profile docker =
+        seccomp::dockerDefaultProfile();
+
+    const seccomp::Profile *profile = &insecure;
+    switch (kind) {
+      case ProfileKind::Insecure:
+        options.mechanism = sim::Mechanism::Insecure;
+        break;
+      case ProfileKind::DockerDefault:
+        profile = &docker;
+        break;
+      case ProfileKind::Noargs:
+        profile = &cache.get(app).noargs;
+        break;
+      case ProfileKind::Complete:
+        profile = &cache.get(app).complete;
+        break;
+      case ProfileKind::Complete2x:
+        profile = &cache.get(app).complete;
+        options.filterCopies = 2;
+        break;
+    }
+
+    sim::ExperimentRunner runner;
+    return runner.run(app, *profile, options);
+}
+
+const std::vector<const workload::AppModel *> &
+benchWorkloads()
+{
+    static const std::vector<const workload::AppModel *> apps = [] {
+        std::vector<const workload::AppModel *> out;
+        for (const auto &app : workload::allWorkloads())
+            out.push_back(&app);
+        return out;
+    }();
+    return apps;
+}
+
+void
+printNormalizedFigure(
+    const std::string &title,
+    const std::vector<std::pair<
+        std::string,
+        std::function<double(const workload::AppModel &)>>> &columns)
+{
+    TextTable table(title);
+    std::vector<std::string> header = {"workload"};
+    for (const auto &[label, fn] : columns)
+        header.push_back(label);
+    table.setHeader(header);
+
+    std::vector<RunningStat> macroStats(columns.size());
+    std::vector<RunningStat> microStats(columns.size());
+
+    for (const auto *app : benchWorkloads()) {
+        std::vector<std::string> row = {app->name};
+        for (size_t c = 0; c < columns.size(); ++c) {
+            double v = columns[c].second(*app);
+            (app->isMacro ? macroStats[c] : microStats[c]).add(v);
+            row.push_back(TextTable::num(v, 3));
+        }
+        table.addRow(row);
+    }
+
+    auto addAverage = [&](const char *label,
+                          const std::vector<RunningStat> &stats) {
+        std::vector<std::string> row = {label};
+        for (const auto &s : stats)
+            row.push_back(TextTable::num(s.mean(), 3));
+        table.addRow(row);
+    };
+    addAverage("average-macro", macroStats);
+    addAverage("average-micro", microStats);
+
+    table.print();
+}
+
+} // namespace draco::bench

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every bench binary runs (workload × profile × mechanism) experiments
+ * through ExperimentRunner and prints a TextTable whose rows mirror the
+ * corresponding figure of the paper. Call counts scale with the
+ * DRACO_BENCH_CALLS environment variable (default 150000 steady-state
+ * syscalls per run).
+ */
+
+#ifndef DRACO_BENCH_COMMON_HH
+#define DRACO_BENCH_COMMON_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "draco/draco.hh"
+
+namespace draco::bench {
+
+/** Default steady-state call count per experiment run. */
+size_t benchCalls();
+
+/** Shared trace/profile seed so every binary sees identical traces. */
+inline constexpr uint64_t kBenchSeed = 7;
+
+/** Profile flavours the figures compare. */
+enum class ProfileKind {
+    Insecure,       ///< Checks disabled.
+    DockerDefault,  ///< The generic container profile.
+    Noargs,         ///< App-specific syscall-ID whitelist.
+    Complete,       ///< App-specific IDs + argument tuples.
+    Complete2x,     ///< Complete, attached twice.
+};
+
+/** @return Figure label of @p kind ("insecure", "syscall-complete"...). */
+const char *profileKindName(ProfileKind kind);
+
+/**
+ * Cache of generated app profiles, keyed by workload name (generation
+ * replays a 300k-call profiling trace, so each binary does it once).
+ */
+class ProfileCache
+{
+  public:
+    /** @return The §X-B profiles for @p app. */
+    const sim::AppProfiles &get(const workload::AppModel &app);
+
+  private:
+    std::map<std::string, sim::AppProfiles> _cache;
+};
+
+/**
+ * Run one (workload, profile kind, mechanism) experiment with the bench
+ * defaults.
+ *
+ * @param app Workload.
+ * @param kind Profile flavour (selects profile and filter copies).
+ * @param mechanism Checking mechanism.
+ * @param cache Profile cache shared across calls.
+ * @param costs Kernel cost preset.
+ */
+sim::RunResult runExperiment(const workload::AppModel &app,
+                             ProfileKind kind, sim::Mechanism mechanism,
+                             ProfileCache &cache,
+                             const os::KernelCosts &costs =
+                                 os::newKernelCosts());
+
+/** Row labels for the figure tables: all workloads, figure order. */
+const std::vector<const workload::AppModel *> &benchWorkloads();
+
+/**
+ * Emit a normalized-latency figure: one row per workload plus the
+ * macro/micro averages, one column per configuration.
+ *
+ * @param title Table title.
+ * @param columns Column label and a producer returning the normalized
+ *        execution time for a workload.
+ */
+void printNormalizedFigure(
+    const std::string &title,
+    const std::vector<std::pair<
+        std::string,
+        std::function<double(const workload::AppModel &)>>> &columns);
+
+} // namespace draco::bench
+
+#endif // DRACO_BENCH_COMMON_HH

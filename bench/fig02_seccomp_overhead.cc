@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 2: latency/execution time of the fifteen workloads under the
+ * five Seccomp profile configurations, normalized to insecure.
+ *
+ * Paper shape: docker-default ≈1.05× (macro) / 1.12× (micro);
+ * syscall-noargs ≈1.04× / 1.09×; syscall-complete ≈1.14× / 1.25×;
+ * syscall-complete-2x ≈1.21× / 1.42×.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    auto column = [&](ProfileKind kind) {
+        return [&, kind](const workload::AppModel &app) {
+            sim::Mechanism mech = kind == ProfileKind::Insecure
+                ? sim::Mechanism::Insecure
+                : sim::Mechanism::Seccomp;
+            return runExperiment(app, kind, mech, cache).normalized();
+        };
+    };
+
+    printNormalizedFigure(
+        "Figure 2: Seccomp overhead by profile "
+        "(normalized to insecure; Ubuntu 18.04 / Linux 5.3 stack)",
+        {
+            {"insecure", column(ProfileKind::Insecure)},
+            {"docker-default", column(ProfileKind::DockerDefault)},
+            {"syscall-noargs", column(ProfileKind::Noargs)},
+            {"syscall-complete", column(ProfileKind::Complete)},
+            {"syscall-complete-2x", column(ProfileKind::Complete2x)},
+        });
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11: software Draco vs conventional Seccomp for the three
+ * application-specific profile configurations, normalized to insecure.
+ *
+ * Paper shape: with syscall-complete, macro/micro drop from 1.14×/1.25×
+ * (Seccomp) to 1.10×/1.18× (DracoSW); with complete-2x from 1.21×/1.42×
+ * to 1.10×/1.23× — software Draco's cost grows only modestly with
+ * filter size because validated calls skip the filter entirely.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    auto column = [&](ProfileKind kind, sim::Mechanism mech) {
+        return [&, kind, mech](const workload::AppModel &app) {
+            return runExperiment(app, kind, mech, cache).normalized();
+        };
+    };
+
+    using M = sim::Mechanism;
+    printNormalizedFigure(
+        "Figure 11: software Draco vs Seccomp "
+        "(normalized to insecure; Ubuntu 18.04 / Linux 5.3 stack)",
+        {
+            {"noargs(Seccomp)", column(ProfileKind::Noargs, M::Seccomp)},
+            {"noargs(DracoSW)", column(ProfileKind::Noargs, M::DracoSW)},
+            {"complete(Seccomp)",
+             column(ProfileKind::Complete, M::Seccomp)},
+            {"complete(DracoSW)",
+             column(ProfileKind::Complete, M::DracoSW)},
+            {"complete-2x(Seccomp)",
+             column(ProfileKind::Complete2x, M::Seccomp)},
+            {"complete-2x(DracoSW)",
+             column(ProfileKind::Complete2x, M::DracoSW)},
+        });
+    return 0;
+}

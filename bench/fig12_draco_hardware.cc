@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 12: hardware Draco under the three profile configurations,
+ * normalized to insecure.
+ *
+ * Paper shape: within 1% of insecure for every workload and every
+ * profile, including syscall-complete-2x.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    auto column = [&](ProfileKind kind) {
+        return [&, kind](const workload::AppModel &app) {
+            sim::Mechanism mech = kind == ProfileKind::Insecure
+                ? sim::Mechanism::Insecure
+                : sim::Mechanism::DracoHW;
+            return runExperiment(app, kind, mech, cache).normalized();
+        };
+    };
+
+    printNormalizedFigure(
+        "Figure 12: hardware Draco (normalized to insecure)",
+        {
+            {"insecure", column(ProfileKind::Insecure)},
+            {"noargs(DracoHW)", column(ProfileKind::Noargs)},
+            {"complete(DracoHW)", column(ProfileKind::Complete)},
+            {"complete-2x(DracoHW)", column(ProfileKind::Complete2x)},
+        });
+    return 0;
+}

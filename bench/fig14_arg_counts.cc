@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 14: distribution of the number of arguments of the system
+ * calls Draco checks — the violin plot that justifies the per-argument-
+ * count SLB subtable sizing.
+ *
+ * The `linux` row covers the complete native syscall interface (the
+ * paper sizes the SLB from this distribution); each workload row covers
+ * the checked syscalls of its syscall-complete profile. Pointer
+ * arguments are excluded, as neither Seccomp nor Draco checks them.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+namespace {
+
+void
+addDistributionRow(TextTable &table, const std::string &name,
+                   const std::vector<unsigned> &argCounts)
+{
+    std::array<unsigned, 7> hist{};
+    QuantileSketch sketch;
+    for (unsigned c : argCounts) {
+        hist[std::min<unsigned>(c, 6)]++;
+        sketch.add(c);
+    }
+    std::vector<std::string> row = {name};
+    for (unsigned c = 0; c <= 6; ++c)
+        row.push_back(std::to_string(hist[c]));
+    row.push_back(TextTable::num(sketch.quantile(0.5), 1));
+    table.addRow(row);
+}
+
+} // namespace
+
+int
+main()
+{
+    ProfileCache cache;
+
+    TextTable table(
+        "Figure 14: checked-argument-count distribution "
+        "(syscall counts per #args; median)");
+    table.setHeader({"source", "0", "1", "2", "3", "4", "5", "6",
+                     "median"});
+
+    // The full Linux interface, as used to size the SLB subtables.
+    std::vector<unsigned> linuxCounts;
+    for (const auto &desc : os::syscallTable())
+        linuxCounts.push_back(desc.checkedArgCount());
+    addDistributionRow(table, "linux", linuxCounts);
+
+    for (const auto *app : benchWorkloads()) {
+        const auto &profile = cache.get(*app).complete;
+        std::vector<unsigned> counts;
+        for (const auto &[sid, spec] :
+             core::deriveCheckSpecs(profile)) {
+            counts.push_back(spec.checksArguments() ? spec.argCount()
+                                                    : 0);
+        }
+        addDistributionRow(table, app->name, counts);
+    }
+    table.print();
+    return 0;
+}

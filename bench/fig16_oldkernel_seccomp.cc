@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 16 (appendix): the Figure-2 experiment repeated on the older
+ * CentOS 7.6 / Linux 3.10 stack — KPTI and Spectre mitigations enabled,
+ * Seccomp filters running through the cBPF interpreter.
+ *
+ * Paper shape: Seccomp overheads rise substantially (several
+ * pathological micro benchmarks in the 2.2×–4.3× range); the newer
+ * kernel of Fig. 2 eliminates those. The appendix omits complete-2x.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+    const os::KernelCosts &old = os::oldKernelCosts();
+
+    auto column = [&](ProfileKind kind) {
+        return [&, kind](const workload::AppModel &app) {
+            sim::Mechanism mech = kind == ProfileKind::Insecure
+                ? sim::Mechanism::Insecure
+                : sim::Mechanism::Seccomp;
+            return runExperiment(app, kind, mech, cache, old)
+                .normalized();
+        };
+    };
+
+    printNormalizedFigure(
+        "Figure 16: Seccomp overhead on CentOS 7.6 / Linux 3.10 "
+        "(interpreter, KPTI+Spectre on; normalized to insecure)",
+        {
+            {"insecure", column(ProfileKind::Insecure)},
+            {"docker-default", column(ProfileKind::DockerDefault)},
+            {"syscall-noargs", column(ProfileKind::Noargs)},
+            {"syscall-complete", column(ProfileKind::Complete)},
+        });
+    return 0;
+}

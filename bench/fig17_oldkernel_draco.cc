@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 17 (appendix): software Draco vs Seccomp on the older
+ * CentOS 7.6 / Linux 3.10 stack.
+ *
+ * Paper shape: software Draco's advantage is even larger than on the
+ * new kernel because interpreted filters are so much more expensive,
+ * while Draco's hash-and-probe path is kernel-version-insensitive.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+    const os::KernelCosts &old = os::oldKernelCosts();
+
+    auto column = [&](ProfileKind kind, sim::Mechanism mech) {
+        return [&, kind, mech](const workload::AppModel &app) {
+            return runExperiment(app, kind, mech, cache, old)
+                .normalized();
+        };
+    };
+
+    using M = sim::Mechanism;
+    printNormalizedFigure(
+        "Figure 17: software Draco vs Seccomp on CentOS 7.6 / "
+        "Linux 3.10 (normalized to insecure)",
+        {
+            {"noargs(Seccomp)", column(ProfileKind::Noargs, M::Seccomp)},
+            {"noargs(DracoSW)", column(ProfileKind::Noargs, M::DracoSW)},
+            {"complete(Seccomp)",
+             column(ProfileKind::Complete, M::Seccomp)},
+            {"complete(DracoSW)",
+             column(ProfileKind::Complete, M::DracoSW)},
+        });
+    return 0;
+}

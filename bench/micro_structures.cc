@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenches of the core data structures: CRC
+ * hashing, cuckoo/VAT probes, SLB/STB lookups, BPF filter execution,
+ * and the end-to-end per-syscall check of each mechanism.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "draco/draco.hh"
+
+using namespace draco;
+
+namespace {
+
+core::ArgKey
+sampleKey(uint64_t fd, uint64_t count)
+{
+    seccomp::ArgVector args{};
+    args[0] = fd;
+    args[2] = count;
+    const auto *desc = os::syscallById(os::sc::read);
+    return core::ArgKey(desc->argumentBitmask(), args);
+}
+
+void
+BM_Crc64(benchmark::State &state)
+{
+    std::vector<uint8_t> buf(state.range(0), 0xa5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crc64Ecma().compute(buf.data(), buf.size()));
+}
+BENCHMARK(BM_Crc64)->Arg(8)->Arg(12)->Arg(48);
+
+void
+BM_Mix64(benchmark::State &state)
+{
+    uint64_t x = 0x12345678;
+    for (auto _ : state) {
+        x = mix64(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Mix64);
+
+void
+BM_VatHash(benchmark::State &state)
+{
+    core::ArgKey key = sampleKey(3, 4096);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::vatHash(CuckooWay::H1, key) ^
+            core::vatHash(CuckooWay::H2, key));
+}
+BENCHMARK(BM_VatHash);
+
+void
+BM_VatLookupHit(benchmark::State &state)
+{
+    core::Vat vat;
+    const auto *desc = os::syscallById(os::sc::read);
+    vat.configure(os::sc::read, desc->argumentBitmask(), 64);
+    for (uint64_t i = 0; i < 64; ++i)
+        vat.insert(os::sc::read, sampleKey(3 + i, 4096));
+    core::ArgKey key = sampleKey(10, 4096);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vat.lookup(os::sc::read, key));
+}
+BENCHMARK(BM_VatLookupHit);
+
+void
+BM_SlbAccessHit(benchmark::State &state)
+{
+    core::Slb slb;
+    core::ArgKey key = sampleKey(3, 4096);
+    slb.fill(2, os::sc::read, core::VatToken{CuckooWay::H1, 42}, key);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            slb.accessLookup(2, os::sc::read, key));
+}
+BENCHMARK(BM_SlbAccessHit);
+
+void
+BM_StbLookupHit(benchmark::State &state)
+{
+    core::Stb stb;
+    stb.update(0x400800, os::sc::read, core::VatToken{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stb.lookup(0x400800));
+}
+BENCHMARK(BM_StbLookupHit);
+
+seccomp::Profile
+benchProfile()
+{
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 7);
+    seccomp::ProfileRecorder rec;
+    for (int i = 0; i < 50000; ++i)
+        rec.record(gen.next().req);
+    return rec.makeComplete("bench");
+}
+
+void
+BM_SeccompFilterRun(benchmark::State &state)
+{
+    seccomp::Profile profile = benchProfile();
+    seccomp::FilterChain chain = seccomp::buildFilterChain(profile);
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 9);
+    std::vector<os::SeccompData> data;
+    for (int i = 0; i < 1024; ++i)
+        data.push_back(gen.next().req.toSeccompData());
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain.run(data[i++ & 1023]));
+    }
+}
+BENCHMARK(BM_SeccompFilterRun);
+
+void
+BM_DracoSwCheck(benchmark::State &state)
+{
+    seccomp::Profile profile = benchProfile();
+    core::DracoSoftwareChecker checker(profile);
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 9);
+    std::vector<os::SyscallRequest> reqs;
+    for (int i = 0; i < 1024; ++i)
+        reqs.push_back(gen.next().req);
+    for (const auto &req : reqs)
+        checker.check(req); // warm the VAT
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(reqs[i++ & 1023]));
+}
+BENCHMARK(BM_DracoSwCheck);
+
+void
+BM_DracoHwOnSyscall(benchmark::State &state)
+{
+    seccomp::Profile profile = benchProfile();
+    core::HwProcessContext proc(profile);
+    core::DracoHardwareEngine engine;
+    engine.switchTo(&proc);
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 9);
+    std::vector<os::SyscallRequest> reqs;
+    for (int i = 0; i < 1024; ++i)
+        reqs.push_back(gen.next().req);
+    for (const auto &req : reqs)
+        engine.onSyscall(req); // warm all structures
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.onSyscall(reqs[i++ & 1023]));
+}
+BENCHMARK(BM_DracoHwOnSyscall);
+
+void
+BM_TraceGeneratorNext(benchmark::State &state)
+{
+    const auto *app = workload::workloadByName("elasticsearch");
+    workload::TraceGenerator gen(*app, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGeneratorNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I occupancy: how often each hardware-Draco execution flow is
+ * taken per workload under syscall-complete profiles.
+ *
+ * Paper context: flows 1/3/5 (and ID-only checks) are fast; 2/4/6 are
+ * slow because they read the VAT at the ROB head. The ≤1% overhead of
+ * Fig. 12 requires the fast flows to dominate after warm-up.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+using namespace draco::bench;
+
+int
+main()
+{
+    ProfileCache cache;
+
+    TextTable table("Table I flow mix (percent of syscalls; hardware "
+                    "Draco, syscall-complete)");
+    table.setHeader({"workload", "id-only", "f1", "f2", "f3", "f4", "f5",
+                     "f6", "denied", "fast-total"});
+
+    for (const auto *app : benchWorkloads()) {
+        sim::RunResult r = runExperiment(
+            *app, ProfileKind::Complete, sim::Mechanism::DracoHW, cache);
+        double total = static_cast<double>(r.hw.syscalls);
+        auto pct = [&](size_t flow) {
+            return TextTable::num(r.hw.flows[flow] / total * 100.0, 2);
+        };
+        double fast = (r.hw.flows[0] + r.hw.flows[1] + r.hw.flows[3] +
+                       r.hw.flows[5]) /
+            total * 100.0;
+        table.addRow({app->name, pct(0), pct(1), pct(2), pct(3), pct(4),
+                      pct(5), pct(6), pct(7),
+                      TextTable::num(fast, 2)});
+    }
+    table.print();
+    return 0;
+}

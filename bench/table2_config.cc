@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table II: the architectural configuration the hardware evaluation
+ * models, printed from the actual simulator constants so the dump can
+ * never drift from the implementation.
+ */
+
+#include "common.hh"
+
+using namespace draco;
+
+int
+main()
+{
+    sim::printMachineConfig();
+
+    // Sanity: the SLB geometry the engine instantiates matches the
+    // printed configuration.
+    core::Slb slb;
+    TextTable table("SLB subtables as instantiated");
+    table.setHeader({"args", "entries", "ways", "sets"});
+    for (unsigned argc = 1; argc <= core::Slb::kMaxArgc; ++argc) {
+        const auto &geom = slb.geometry(argc);
+        table.addRow({std::to_string(argc), std::to_string(geom.entries),
+                      std::to_string(geom.ways),
+                      std::to_string(geom.sets())});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scenario: a Function-as-a-Service node packing several sandboxed
+ * functions onto one core. Context switches are hardware Draco's only
+ * real enemy (the SLB/STB/SPT are invalidated for isolation, §VII-B) —
+ * this example sweeps the scheduling quantum and shows the Accessed-bit
+ * SPT save/restore mitigation at work.
+ *
+ * Run: ./build/examples/faas_scheduler [calls]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "draco/draco.hh"
+
+using namespace draco;
+
+int
+main(int argc, char **argv)
+{
+    size_t calls = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                            : 150000;
+
+    // Three functions sharing a core: two short compute functions and
+    // one chatty IPC worker.
+    std::vector<const workload::AppModel *> functions = {
+        workload::workloadByName("pwgen"),
+        workload::workloadByName("grep"),
+        workload::workloadByName("pipe-ipc"),
+    };
+    std::printf("FaaS node: %zu functions round-robin on one core, "
+                "%zu total syscalls\n\n",
+                functions.size(), calls);
+
+    TextTable table("quantum sweep (hardware Draco, per-function "
+                    "syscall-complete profiles)");
+    table.setHeader({"quantum", "save-restore", "switches",
+                     "normalized", "stb-hit%", "slb-access%"});
+
+    for (double quantumUs : {25.0, 100.0, 1000.0}) {
+        for (bool mitigation : {false, true}) {
+            sim::SchedOptions options;
+            options.quantumNs = quantumUs * 1000.0;
+            options.sptSaveRestore = mitigation;
+            options.totalCalls = calls;
+            options.seed = 7;
+            sim::MultiProcessSimulator sim;
+            sim::SchedResult r = sim.run(functions, options);
+
+            double stb = r.stb.lookups
+                ? 100.0 * r.stb.hits / r.stb.lookups
+                : 0.0;
+            double slb = r.slb.accesses
+                ? 100.0 * r.slb.accessHits / r.slb.accesses
+                : 0.0;
+            char quantum[32];
+            std::snprintf(quantum, sizeof(quantum), "%.0f us",
+                          quantumUs);
+            table.addRow({quantum, mitigation ? "on" : "off",
+                          std::to_string(r.contextSwitches),
+                          TextTable::num(r.normalized(), 4),
+                          TextTable::num(stb, 1),
+                          TextTable::num(slb, 1)});
+        }
+    }
+    table.print();
+
+    std::printf("even at aggressive 25 us quanta the restart cost stays "
+                "small, and millisecond quanta make it disappear — the "
+                "paper's \"lightweight virtualization without the "
+                "checking tax\" story.\n");
+    return 0;
+}

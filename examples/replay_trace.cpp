@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scenario: offline trace replay. Records a workload trace to disk,
+ * saves its generated profile, then — as a separate "deployment" step —
+ * loads both back and replays the trace through every checking
+ * mechanism. This is the workflow for bringing *real* traces (converted
+ * from strace output) to the library.
+ *
+ * Run: ./build/examples/replay_trace [workload] [calls]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "draco/draco.hh"
+
+using namespace draco;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "redis";
+    size_t calls = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                            : 50000;
+
+    const auto *app = workload::workloadByName(name);
+    if (!app)
+        fatal("unknown workload '%s'", name);
+
+    // Step 1 (recording host): capture a trace and derive its profile.
+    std::string tracePath = "/tmp/draco_replay_trace.txt";
+    std::string profilePath = "/tmp/draco_replay_profile.txt";
+    {
+        workload::TraceGenerator gen(*app, 7);
+        workload::Trace trace = gen.generate(calls);
+        workload::writeTraceFile(trace, tracePath);
+
+        seccomp::ProfileRecorder recorder;
+        for (const auto &event : trace)
+            recorder.record(event.req);
+        seccomp::writeProfileFile(
+            recorder.makeComplete(std::string(name) + "-complete"),
+            profilePath);
+        std::printf("recorded %zu events -> %s\n", trace.size(),
+                    tracePath.c_str());
+    }
+
+    // Step 2 (deployment host): load both and replay.
+    workload::Trace trace = workload::readTraceFile(tracePath);
+    seccomp::Profile profile = seccomp::readProfileFile(profilePath);
+    std::printf("loaded profile '%s': %u syscalls, %u values\n\n",
+                profile.name().c_str(), profile.stats().syscallsAllowed,
+                profile.stats().valuesAllowed);
+
+    seccomp::FilterChain chain = seccomp::buildFilterChain(profile);
+    core::DracoSoftwareChecker sw(profile);
+    core::HwProcessContext hwProc(profile);
+    core::DracoHardwareEngine hw;
+    hw.switchTo(&hwProc);
+
+    uint64_t filterInsns = 0, swFilterRuns = 0, hwFast = 0, denied = 0;
+    for (const auto &event : trace) {
+        auto r = chain.run(event.req.toSeccompData());
+        filterInsns += r.insnsExecuted;
+        denied += !os::rawActionAllows(r.action);
+
+        auto swOut = sw.check(event.req);
+        swFilterRuns += swOut.filterInsns > 0;
+
+        hwFast += hw.onSyscall(event.req).fast();
+    }
+
+    std::printf("replayed %zu calls:\n", trace.size());
+    std::printf("  seccomp:   %.1f BPF insns/call, %llu denied\n",
+                static_cast<double>(filterInsns) / trace.size(),
+                static_cast<unsigned long long>(denied));
+    std::printf("  draco-sw:  filter executed on %.2f%% of calls\n",
+                100.0 * swFilterRuns / trace.size());
+    std::printf("  draco-hw:  %.2f%% fast flows\n",
+                100.0 * hwFast / trace.size());
+
+    std::remove(tracePath.c_str());
+    std::remove(profilePath.c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "core/checkspec.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace draco::core {
+
+unsigned
+CheckSpec::argCount() const
+{
+    unsigned count = 0;
+    for (unsigned arg = 0; arg < os::kMaxSyscallArgs; ++arg)
+        if ((bitmask >> (arg * 8)) & 0xff)
+            ++count;
+    return count;
+}
+
+std::map<uint16_t, CheckSpec>
+deriveCheckSpecs(const seccomp::Profile &profile)
+{
+    std::map<uint16_t, CheckSpec> specs;
+    for (const auto &[sid, rule] : profile.rules()) {
+        const auto *desc = os::syscallById(sid);
+        if (!desc)
+            continue;
+
+        CheckSpec spec;
+        spec.sid = sid;
+
+        switch (rule.kind) {
+          case seccomp::RuleKind::AllowAll:
+            spec.bitmask = 0;
+            spec.estimatedSets = 0;
+            break;
+
+          case seccomp::RuleKind::AllowTuples:
+            if (desc->checkedArgCount() == 0 || rule.tuples.empty()) {
+                spec.bitmask = 0;
+                spec.estimatedSets = 0;
+            } else {
+                spec.bitmask = desc->argumentBitmask();
+                spec.estimatedSets = rule.tuples.size();
+            }
+            break;
+
+          case seccomp::RuleKind::PerArgValues: {
+            if (rule.perArg.empty()) {
+                spec.bitmask = 0;
+                spec.estimatedSets = 0;
+                break;
+            }
+            uint64_t mask = 0;
+            size_t product = 1;
+            for (const auto &[arg, values] : rule.perArg) {
+                // Full 64-bit comparison of each constrained argument.
+                mask |= 0xffULL << (arg * 8);
+                product *= std::max<size_t>(1, values.size());
+            }
+            spec.bitmask = mask;
+            spec.estimatedSets = product;
+            break;
+          }
+        }
+        specs.emplace(sid, spec);
+    }
+    return specs;
+}
+
+ArgKey::ArgKey(uint64_t bitmask, const seccomp::ArgVector &args)
+{
+    for (unsigned arg = 0; arg < os::kMaxSyscallArgs; ++arg) {
+        uint8_t byteMask = (bitmask >> (arg * 8)) & 0xff;
+        if (!byteMask)
+            continue;
+        uint64_t value = args[arg];
+        for (unsigned b = 0; b < 8; ++b) {
+            if (byteMask & (1u << b)) {
+                if (_len >= kMaxBytes)
+                    panic("ArgKey overflow");
+                _bytes[_len++] =
+                    static_cast<uint8_t>((value >> (b * 8)) & 0xff);
+            }
+        }
+    }
+}
+
+bool
+ArgKey::operator==(const ArgKey &other) const
+{
+    return _len == other._len &&
+        std::memcmp(_bytes, other._bytes, _len) == 0;
+}
+
+} // namespace draco::core

@@ -1,0 +1,280 @@
+#include "core/hw_structures.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::core {
+
+HardwareSpt::HardwareSpt(unsigned entries)
+{
+    if (entries == 0)
+        fatal("HardwareSpt: need at least one entry");
+    _entries.assign(entries, HwSptEntry{});
+}
+
+std::optional<HwSptEntry>
+HardwareSpt::lookup(uint16_t sid)
+{
+    ++_lookups;
+    HwSptEntry &entry = _entries[sid % _entries.size()];
+    if (!entry.valid || entry.sid != sid)
+        return std::nullopt;
+    ++_hits;
+    entry.accessed = true;
+    return entry;
+}
+
+void
+HardwareSpt::fill(uint16_t sid, uint64_t bitmask)
+{
+    HwSptEntry &entry = _entries[sid % _entries.size()];
+    entry.valid = true;
+    entry.sid = sid;
+    entry.bitmask = bitmask;
+    entry.accessed = true;
+}
+
+void
+HardwareSpt::invalidateAll()
+{
+    std::fill(_entries.begin(), _entries.end(), HwSptEntry{});
+}
+
+void
+HardwareSpt::clearAccessed()
+{
+    for (auto &entry : _entries)
+        entry.accessed = false;
+}
+
+std::vector<HwSptEntry>
+HardwareSpt::accessedEntries() const
+{
+    std::vector<HwSptEntry> out;
+    for (const auto &entry : _entries)
+        if (entry.valid && entry.accessed)
+            out.push_back(entry);
+    return out;
+}
+
+namespace {
+
+/** Table II SLB subtable geometries, indexed by argc-1. */
+constexpr std::array<TableGeometry, Slb::kMaxArgc> kDefaultSlbGeometry = {{
+    {32, 4}, // 1 argument
+    {64, 4}, // 2 arguments
+    {64, 4}, // 3 arguments
+    {32, 4}, // 4 arguments
+    {32, 4}, // 5 arguments
+    {16, 4}, // 6 arguments
+}};
+
+} // namespace
+
+Slb::Slb()
+    : Slb(kDefaultSlbGeometry)
+{
+}
+
+Slb::Slb(const std::array<TableGeometry, kMaxArgc> &geometries)
+{
+    for (unsigned i = 0; i < kMaxArgc; ++i) {
+        const TableGeometry &geom = geometries[i];
+        if (geom.entries == 0 || geom.ways == 0 ||
+            geom.entries % geom.ways != 0) {
+            fatal("Slb: bad geometry for %u-arg subtable", i + 1);
+        }
+        _subtables[i].geom = geom;
+        _subtables[i].entries.assign(geom.entries, SlbEntry{});
+    }
+}
+
+Slb::Subtable &
+Slb::subtableFor(unsigned argc)
+{
+    if (argc == 0 || argc > kMaxArgc)
+        panic("Slb: argument count %u out of range", argc);
+    return _subtables[argc - 1];
+}
+
+SlbEntry *
+Slb::findEntry(Subtable &sub, uint16_t sid, const VatToken *token,
+               const ArgKey *key)
+{
+    unsigned sets = sub.geom.sets();
+    unsigned set = sid % sets;
+    for (unsigned w = 0; w < sub.geom.ways; ++w) {
+        SlbEntry &entry = sub.entries[set * sub.geom.ways + w];
+        if (!entry.valid || entry.sid != sid)
+            continue;
+        if (token && !(entry.token == *token))
+            continue;
+        if (key && !(entry.key == *key))
+            continue;
+        return &entry;
+    }
+    return nullptr;
+}
+
+std::optional<VatToken>
+Slb::accessLookup(unsigned argc, uint16_t sid, const ArgKey &key)
+{
+    ++_stats.accesses;
+    Subtable &sub = subtableFor(argc);
+    SlbEntry *entry = findEntry(sub, sid, nullptr, &key);
+    if (!entry)
+        return std::nullopt;
+    ++_stats.accessHits;
+    entry->lruStamp = ++_clock;
+    return entry->token;
+}
+
+bool
+Slb::preloadProbe(unsigned argc, uint16_t sid, const VatToken &token)
+{
+    ++_stats.preloadProbes;
+    Subtable &sub = subtableFor(argc);
+    // LRU intentionally untouched: speculative probes must leave no
+    // side effects until the non-speculative access (§IX).
+    SlbEntry *entry = findEntry(sub, sid, &token, nullptr);
+    if (!entry)
+        return false;
+    ++_stats.preloadHits;
+    return true;
+}
+
+void
+Slb::fill(unsigned argc, uint16_t sid, const VatToken &token,
+          const ArgKey &key)
+{
+    Subtable &sub = subtableFor(argc);
+    // Refresh in place when the (sid, args) pair is already present.
+    if (SlbEntry *existing = findEntry(sub, sid, nullptr, &key)) {
+        existing->token = token;
+        existing->lruStamp = ++_clock;
+        return;
+    }
+    unsigned sets = sub.geom.sets();
+    unsigned set = sid % sets;
+    SlbEntry *victim = nullptr;
+    for (unsigned w = 0; w < sub.geom.ways; ++w) {
+        SlbEntry &entry = sub.entries[set * sub.geom.ways + w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->sid = sid;
+    victim->token = token;
+    victim->key = key;
+    victim->lruStamp = ++_clock;
+}
+
+void
+Slb::invalidateAll()
+{
+    for (auto &sub : _subtables)
+        for (auto &entry : sub.entries)
+            entry = SlbEntry{};
+}
+
+const TableGeometry &
+Slb::geometry(unsigned argc) const
+{
+    if (argc == 0 || argc > kMaxArgc)
+        panic("Slb: argument count %u out of range", argc);
+    return _subtables[argc - 1].geom;
+}
+
+Stb::Stb(unsigned entries, unsigned ways)
+    : _ways(ways), _sets(ways ? entries / ways : 0)
+{
+    if (ways == 0 || entries == 0 || entries % ways != 0)
+        fatal("Stb: bad geometry %u entries / %u ways", entries, ways);
+    _entries.assign(entries, Entry{});
+}
+
+std::optional<Stb::Prediction>
+Stb::lookup(uint64_t pc)
+{
+    ++_stats.lookups;
+    unsigned set = static_cast<unsigned>((pc >> 4) % _sets);
+    for (unsigned w = 0; w < _ways; ++w) {
+        Entry &entry = _entries[set * _ways + w];
+        if (entry.valid && entry.pc == pc) {
+            ++_stats.hits;
+            entry.lruStamp = ++_clock;
+            return Prediction{entry.sid, entry.token};
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Stb::update(uint64_t pc, uint16_t sid, const VatToken &token)
+{
+    unsigned set = static_cast<unsigned>((pc >> 4) % _sets);
+    for (unsigned w = 0; w < _ways; ++w) {
+        Entry &entry = _entries[set * _ways + w];
+        if (entry.valid && entry.pc == pc) {
+            entry.sid = sid;
+            entry.token = token;
+            entry.lruStamp = ++_clock;
+            return;
+        }
+    }
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < _ways; ++w) {
+        Entry &entry = _entries[set * _ways + w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->sid = sid;
+    victim->token = token;
+    victim->lruStamp = ++_clock;
+}
+
+void
+Stb::invalidateAll()
+{
+    std::fill(_entries.begin(), _entries.end(), Entry{});
+}
+
+void
+TemporaryBuffer::stage(const Staged &entry)
+{
+    if (_entries.size() >= kEntries)
+        _entries.erase(_entries.begin());
+    _entries.push_back(entry);
+}
+
+std::optional<TemporaryBuffer::Staged>
+TemporaryBuffer::take(uint16_t sid)
+{
+    for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+        if (it->sid == sid) {
+            Staged staged = *it;
+            _entries.erase(it);
+            return staged;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+TemporaryBuffer::clear()
+{
+    _entries.clear();
+}
+
+} // namespace draco::core

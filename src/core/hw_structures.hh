@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Draco's per-core hardware tables (§VI, Table II).
+ *
+ * - HardwareSpt: 384-entry direct-mapped System Call Permissions Table
+ *   with per-entry Accessed bits (context-switch save/restore, §VII-B).
+ * - Slb: the System Call Lookaside Buffer — one set-associative subtable
+ *   per argument count, caching validated {SID, Hash, ArgKey} triples.
+ *   Preload probes deliberately do not touch LRU state (§IX).
+ * - Stb: the System Call Target Buffer — PC-indexed predictor of the
+ *   {SID, Hash} an upcoming syscall will need, enabling SLB preloading.
+ * - TemporaryBuffer: holds speculatively preloaded VAT entries until the
+ *   non-speculative access commits them into the SLB; squashes clear it,
+ *   leaving no architectural side effects (§IX).
+ */
+
+#ifndef DRACO_CORE_HW_STRUCTURES_HH
+#define DRACO_CORE_HW_STRUCTURES_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/vat.hh"
+
+namespace draco::core {
+
+/** Geometry of one set-associative hardware table. */
+struct TableGeometry {
+    unsigned entries = 0;
+    unsigned ways = 1;
+
+    unsigned sets() const { return entries / ways; }
+};
+
+/** Hardware SPT entry (§V-A, §V-B). */
+struct HwSptEntry {
+    bool valid = false;
+    uint16_t sid = 0;
+    uint64_t bitmask = 0;  ///< Argument Bitmask; 0 = ID-only allow.
+    bool accessed = false; ///< For selective context-switch save.
+};
+
+/**
+ * Direct-mapped hardware SPT (Table II: 384 entries).
+ */
+class HardwareSpt
+{
+  public:
+    /** Table II geometry: 384 entries, direct mapped. */
+    static constexpr unsigned kEntries = 384;
+
+    /**
+     * @param entries Entry count; SMT partitions use kEntries / contexts.
+     */
+    explicit HardwareSpt(unsigned entries = kEntries);
+
+    /** @return The entry for @p sid, or nullopt on tag mismatch/invalid. */
+    std::optional<HwSptEntry> lookup(uint16_t sid);
+
+    /** Install the entry for @p sid (fill from the software SPT). */
+    void fill(uint16_t sid, uint64_t bitmask);
+
+    /** Drop every entry (context switch to a different process). */
+    void invalidateAll();
+
+    /** Clear all Accessed bits (the periodic 500 µs sweep). */
+    void clearAccessed();
+
+    /** @return Entries whose Accessed bit is set (save candidates). */
+    std::vector<HwSptEntry> accessedEntries() const;
+
+    /** @return Lookup count. */
+    uint64_t lookups() const { return _lookups; }
+
+    /** @return Hit count. */
+    uint64_t hits() const { return _hits; }
+
+    /** @return Configured entry count. */
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(_entries.size());
+    }
+
+  private:
+    std::vector<HwSptEntry> _entries;
+    uint64_t _lookups = 0;
+    uint64_t _hits = 0;
+};
+
+/** One SLB entry (Fig. 6). */
+struct SlbEntry {
+    bool valid = false;
+    uint16_t sid = 0;
+    VatToken token{}; ///< The hash that fetched this entry from the VAT.
+    ArgKey key{};     ///< The validated argument set.
+    uint64_t lruStamp = 0;
+};
+
+/** SLB statistics (drives Fig. 13). */
+struct SlbStats {
+    uint64_t accesses = 0;
+    uint64_t accessHits = 0;
+    uint64_t preloadProbes = 0;
+    uint64_t preloadHits = 0;
+};
+
+/**
+ * The System Call Lookaside Buffer.
+ */
+class Slb
+{
+  public:
+    /** Subtables are selected by checked-argument count 1..6. */
+    static constexpr unsigned kMaxArgc = os::kMaxSyscallArgs;
+
+    /** Construct with the paper's Table II subtable geometries. */
+    Slb();
+
+    /**
+     * Construct with custom per-argc geometries (sizing ablation).
+     *
+     * @param geometries Index 0 = 1-arg subtable, ... index 5 = 6-arg.
+     */
+    explicit Slb(const std::array<TableGeometry, kMaxArgc> &geometries);
+
+    /**
+     * Non-speculative access at the ROB head: match SID and argument
+     * set. Updates LRU on hit.
+     *
+     * @return The matching entry's VAT token on hit.
+     */
+    std::optional<VatToken> accessLookup(unsigned argc, uint16_t sid,
+                                         const ArgKey &key);
+
+    /**
+     * Speculative preload probe: match SID and hash token only (the
+     * argument set is not yet known, Fig. 6). Never updates LRU.
+     *
+     * @return true when a plausible entry is already cached.
+     */
+    bool preloadProbe(unsigned argc, uint16_t sid, const VatToken &token);
+
+    /** Install (or refresh) an entry; evicts LRU within the set. */
+    void fill(unsigned argc, uint16_t sid, const VatToken &token,
+              const ArgKey &key);
+
+    /** Drop everything (context switch to a different process). */
+    void invalidateAll();
+
+    /** @return Counter block. */
+    const SlbStats &stats() const { return _stats; }
+
+    /** @return Geometry of the subtable serving @p argc. */
+    const TableGeometry &geometry(unsigned argc) const;
+
+  private:
+    struct Subtable {
+        TableGeometry geom;
+        std::vector<SlbEntry> entries; ///< sets × ways, row-major.
+    };
+
+    Subtable &subtableFor(unsigned argc);
+    SlbEntry *findEntry(Subtable &sub, uint16_t sid,
+                        const VatToken *token, const ArgKey *key);
+
+    std::array<Subtable, kMaxArgc> _subtables;
+    SlbStats _stats;
+    uint64_t _clock = 0;
+};
+
+/** STB statistics. */
+struct StbStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+};
+
+/**
+ * The System Call Target Buffer (Fig. 8): PC → {SID, Hash}.
+ */
+class Stb
+{
+  public:
+    /** Table II geometry: 256 entries, 2-way. */
+    static constexpr unsigned kEntries = 256;
+    static constexpr unsigned kWays = 2;
+
+    /**
+     * @param entries Total entries (must be a multiple of @p ways).
+     * @param ways Associativity.
+     */
+    explicit Stb(unsigned entries = kEntries, unsigned ways = kWays);
+
+    /** Prediction returned on a hit. */
+    struct Prediction {
+        uint16_t sid = 0;
+        VatToken token{};
+    };
+
+    /** Look up @p pc; hits update LRU. */
+    std::optional<Prediction> lookup(uint64_t pc);
+
+    /** Install or update the mapping for @p pc. */
+    void update(uint64_t pc, uint16_t sid, const VatToken &token);
+
+    /** Drop everything. */
+    void invalidateAll();
+
+    /** @return Counter block. */
+    const StbStats &stats() const { return _stats; }
+
+    /** @return Configured entry count. */
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(_entries.size());
+    }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint16_t sid = 0;
+        VatToken token{};
+        uint64_t lruStamp = 0;
+    };
+
+    unsigned _ways;
+    unsigned _sets;
+    std::vector<Entry> _entries;
+    StbStats _stats;
+    uint64_t _clock = 0;
+};
+
+/**
+ * Squash-safe staging buffer for speculative preloads (§IX).
+ */
+class TemporaryBuffer
+{
+  public:
+    /** Table II geometry: 8 entries. */
+    static constexpr unsigned kEntries = 8;
+
+    /** Staged entry. */
+    struct Staged {
+        uint16_t sid = 0;
+        unsigned argc = 0;
+        VatToken token{};
+        ArgKey key{};
+    };
+
+    /** Stage a preloaded VAT entry; oldest is dropped when full. */
+    void stage(const Staged &entry);
+
+    /**
+     * Commit and remove the staged entry for @p sid, if any — called by
+     * the non-speculative access at the ROB head.
+     */
+    std::optional<Staged> take(uint16_t sid);
+
+    /** Squash: discard all staged entries, leaving no side effects. */
+    void clear();
+
+    /** @return Number of staged entries. */
+    size_t size() const { return _entries.size(); }
+
+  private:
+    std::vector<Staged> _entries;
+};
+
+} // namespace draco::core
+
+#endif // DRACO_CORE_HW_STRUCTURES_HH

@@ -1,0 +1,39 @@
+#include "core/smt.hh"
+
+#include "support/logging.hh"
+
+namespace draco::core {
+
+SmtDracoEngine::SmtDracoEngine(unsigned contexts, bool preload_enabled)
+    : _geometry(EngineGeometry::smtPartition(contexts))
+{
+    if (contexts == 0)
+        fatal("SmtDracoEngine: need at least one context");
+    for (unsigned ctx = 0; ctx < contexts; ++ctx) {
+        _partitions.push_back(std::make_unique<DracoHardwareEngine>(
+            preload_enabled, _geometry));
+    }
+}
+
+DracoHardwareEngine &
+SmtDracoEngine::context(unsigned ctx)
+{
+    if (ctx >= _partitions.size())
+        panic("SmtDracoEngine: context %u out of range", ctx);
+    return *_partitions[ctx];
+}
+
+void
+SmtDracoEngine::switchTo(unsigned ctx, HwProcessContext *proc,
+                         bool spt_save_restore)
+{
+    context(ctx).switchTo(proc, spt_save_restore);
+}
+
+HwSyscallResult
+SmtDracoEngine::onSyscall(unsigned ctx, const os::SyscallRequest &req)
+{
+    return context(ctx).onSyscall(req);
+}
+
+} // namespace draco::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SMT support for hardware Draco (§VII-B, §IX).
+ *
+ * The paper supports simultaneous multithreading by *partitioning* the
+ * three hardware structures and giving one partition to each hardware
+ * context: each context only ever accesses its own partition, which
+ * both shares the silicon and closes the cross-context side channel a
+ * shared SLB/STB/SPT would open. SmtDracoEngine models one physical
+ * core's worth of partitions; each partition behaves exactly like a
+ * (smaller) DracoHardwareEngine.
+ */
+
+#ifndef DRACO_CORE_SMT_HH
+#define DRACO_CORE_SMT_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/hw_engine.hh"
+
+namespace draco::core {
+
+/**
+ * One physical core running @p contexts SMT hardware contexts, each
+ * with a private partition of the Draco structures.
+ */
+class SmtDracoEngine
+{
+  public:
+    /**
+     * @param contexts Number of hardware contexts (≥1).
+     * @param preload_enabled Propagated to every partition.
+     */
+    explicit SmtDracoEngine(unsigned contexts,
+                            bool preload_enabled = true);
+
+    /** @return Number of hardware contexts. */
+    unsigned contexts() const
+    {
+        return static_cast<unsigned>(_partitions.size());
+    }
+
+    /** @return Context @p ctx's private engine partition. */
+    DracoHardwareEngine &context(unsigned ctx);
+
+    /** Schedule @p proc onto context @p ctx (isolating switch rules). */
+    void switchTo(unsigned ctx, HwProcessContext *proc,
+                  bool spt_save_restore = true);
+
+    /** Full check of one syscall on context @p ctx. */
+    HwSyscallResult onSyscall(unsigned ctx,
+                              const os::SyscallRequest &req);
+
+    /** @return The geometry every partition was built with. */
+    const EngineGeometry &partitionGeometry() const { return _geometry; }
+
+  private:
+    EngineGeometry _geometry;
+    std::vector<std::unique_ptr<DracoHardwareEngine>> _partitions;
+};
+
+} // namespace draco::core
+
+#endif // DRACO_CORE_SMT_HH

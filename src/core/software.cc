@@ -1,0 +1,93 @@
+#include "core/software.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::core {
+
+DracoSoftwareChecker::DracoSoftwareChecker(const seccomp::Profile &profile,
+                                           unsigned filter_copies,
+                                           seccomp::DispatchShape shape)
+    : _profile(profile), _filterCopies(filter_copies),
+      _filter(seccomp::buildFilterChain(profile, shape)),
+      _specs(deriveCheckSpecs(profile))
+{
+    if (filter_copies == 0)
+        fatal("DracoSoftwareChecker: need at least one filter copy");
+    // The OS sizes one VAT table per argument-checking syscall from the
+    // profile's estimated set counts (§VII-A).
+    for (const auto &[sid, spec] : _specs)
+        if (spec.checksArguments())
+            _vat.configure(sid, spec.bitmask, spec.estimatedSets);
+}
+
+SwCheckOutcome
+DracoSoftwareChecker::check(const os::SyscallRequest &req)
+{
+    ++_stats.checks;
+    SwCheckOutcome out;
+
+    auto runFilter = [&] {
+        os::SeccompData data = req.toSeccompData();
+        seccomp::BpfResult result{};
+        for (unsigned copy = 0; copy < _filterCopies; ++copy) {
+            seccomp::BpfResult r = _filter.run(data);
+            result.action = r.action; // identical copies agree
+            result.insnsExecuted += r.insnsExecuted;
+        }
+        ++_stats.filterRuns;
+        _stats.filterInsns += result.insnsExecuted;
+        out.filterInsns = result.insnsExecuted;
+        return os::actionAllows(
+            static_cast<os::SeccompAction>(result.action));
+    };
+
+    auto it = _specs.find(req.sid);
+    if (it == _specs.end()) {
+        // SPT Valid bit clear: nothing cached can help; the filter
+        // decides (and, for whitelist profiles, denies).
+        bool allowed = runFilter();
+        out.allowed = allowed;
+        out.path = allowed ? SwPath::FilterAllowed : SwPath::FilterDenied;
+        if (!allowed)
+            ++_stats.denials;
+        return out;
+    }
+
+    const CheckSpec &spec = it->second;
+    if (!spec.checksArguments()) {
+        ++_stats.sptAllowAll;
+        out.allowed = true;
+        out.path = SwPath::SptAllowAll;
+        return out;
+    }
+
+    seccomp::ArgVector args;
+    std::copy(req.args.begin(), req.args.end(), args.begin());
+    ArgKey key(spec.bitmask, args);
+    out.hashedBytes = key.size();
+    out.vatProbes = 2;
+
+    if (_vat.lookup(req.sid, key)) {
+        ++_stats.vatHits;
+        out.allowed = true;
+        out.path = SwPath::VatHit;
+        return out;
+    }
+
+    bool allowed = runFilter();
+    out.allowed = allowed;
+    if (allowed) {
+        out.vatInserted = true;
+        out.vatEvicted = _vat.insert(req.sid, key);
+        ++_stats.vatInsertions;
+        out.path = SwPath::FilterAllowed;
+    } else {
+        ++_stats.denials;
+        out.path = SwPath::FilterDenied;
+    }
+    return out;
+}
+
+} // namespace draco::core

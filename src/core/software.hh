@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The software implementation of Draco (§V-C).
+ *
+ * Draco-in-software hooks the kernel's syscall entry point: it indexes
+ * the (software) SPT with the syscall ID, and either allows immediately
+ * (Valid bit set, no argument checks), probes the VAT for the hashed
+ * argument key, or falls back to executing the Seccomp filter and — on
+ * success — caches the validated set in the VAT. Profiles are
+ * stateless, so a past validation never needs repeating (§V).
+ *
+ * The checker reports *what happened* (paths, probes, hashed bytes,
+ * executed filter instructions); the sim module prices those events
+ * using KernelCosts.
+ */
+
+#ifndef DRACO_CORE_SOFTWARE_HH
+#define DRACO_CORE_SOFTWARE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "core/checkspec.hh"
+#include "core/vat.hh"
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profile.hh"
+
+namespace draco::core {
+
+/** Which path a software-Draco check took. */
+enum class SwPath {
+    SptAllowAll,   ///< SPT Valid bit, no argument checking configured.
+    VatHit,        ///< Argument set found already validated.
+    FilterAllowed, ///< Filter ran and allowed; VAT updated.
+    FilterDenied,  ///< Filter ran and denied.
+};
+
+/** Events of one software-Draco check, for semantic + timing use. */
+struct SwCheckOutcome {
+    bool allowed = false;
+    SwPath path = SwPath::FilterDenied;
+    unsigned hashedBytes = 0;  ///< Key bytes each hash function consumed.
+    unsigned vatProbes = 0;    ///< Cuckoo-way probes performed (0 or 2).
+    uint64_t filterInsns = 0;  ///< BPF instructions executed (all copies).
+    bool vatInserted = false;  ///< A new set was cached.
+    bool vatEvicted = false;   ///< Insertion displaced a victim.
+};
+
+/** Running totals over a checker's lifetime. */
+struct SwCheckStats {
+    uint64_t checks = 0;
+    uint64_t sptAllowAll = 0;
+    uint64_t vatHits = 0;
+    uint64_t filterRuns = 0;
+    uint64_t denials = 0;
+    uint64_t filterInsns = 0;
+    uint64_t vatInsertions = 0;
+};
+
+/**
+ * Kernel-resident software Draco for one process.
+ */
+class DracoSoftwareChecker
+{
+  public:
+    /**
+     * @param profile Policy to enforce (copied).
+     * @param filter_copies Attached filter count: 1 normally, 2 models
+     *        the syscall-complete-2x configuration (§IV-A).
+     * @param shape Dispatch shape of the compiled fallback filter.
+     */
+    explicit DracoSoftwareChecker(
+        const seccomp::Profile &profile, unsigned filter_copies = 1,
+        seccomp::DispatchShape shape = seccomp::DispatchShape::Linear);
+
+    /** Check one system call at kernel entry. */
+    SwCheckOutcome check(const os::SyscallRequest &req);
+
+    /** @return The process's VAT. */
+    const Vat &vat() const { return _vat; }
+
+    /** @return The enforced profile. */
+    const seccomp::Profile &profile() const { return _profile; }
+
+    /** @return The compiled fallback filter chain. */
+    const seccomp::FilterChain &filter() const { return _filter; }
+
+    /** @return Lifetime counters. */
+    const SwCheckStats &stats() const { return _stats; }
+
+  private:
+    seccomp::Profile _profile;
+    unsigned _filterCopies;
+    seccomp::FilterChain _filter;
+    std::map<uint16_t, CheckSpec> _specs;
+    Vat _vat;
+    SwCheckStats _stats;
+};
+
+} // namespace draco::core
+
+#endif // DRACO_CORE_SOFTWARE_HH

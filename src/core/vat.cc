@@ -1,0 +1,160 @@
+#include "core/vat.hh"
+
+#include <atomic>
+#include <bit>
+
+#include "hash/crc64.hh"
+#include "support/logging.hh"
+
+namespace draco::core {
+
+namespace {
+
+/**
+ * Global bump allocator for table base addresses so that distinct VAT
+ * instances (distinct processes) never alias in the cache model.
+ */
+std::atomic<uint64_t> g_nextVatBase{0x600000000000ULL};
+
+uint64_t
+allocateVatRegion(uint64_t bytes)
+{
+    uint64_t pages = (bytes + 4095) / 4096 * 4096;
+    return g_nextVatBase.fetch_add(pages, std::memory_order_relaxed);
+}
+
+} // namespace
+
+uint64_t
+vatHash(CuckooWay way, const ArgKey &key)
+{
+    // CRC per the paper (§VII-A), diffused through mix64 so structured
+    // argument values index uniformly — see mix64's doc comment.
+    const Crc64 &engine =
+        way == CuckooWay::H1 ? crc64Ecma() : crc64NotEcma();
+    return mix64(engine.compute(key.data(), key.size()));
+}
+
+void
+Vat::configure(uint16_t sid, uint64_t bitmask, size_t estimated_sets)
+{
+    if (bitmask == 0)
+        fatal("Vat::configure: sid %u has no checked bytes", sid);
+
+    size_t buckets = std::bit_ceil(std::max<size_t>(2, estimated_sets));
+
+    Table table;
+    table.bitmask = bitmask;
+    unsigned keyBytes = static_cast<unsigned>(std::popcount(bitmask));
+    // One entry: stored key rounded to 8 bytes, plus valid/metadata word.
+    table.entryBytes = ((keyBytes + 7) / 8) * 8 + 8;
+    table.baseAddr = allocateVatRegion(2 * buckets * table.entryBytes);
+
+    table.cuckoo = std::make_unique<CuckooTable<ArgKey>>(
+        buckets,
+        [](const ArgKey &k) { return vatHash(CuckooWay::H1, k); },
+        [](const ArgKey &k) { return vatHash(CuckooWay::H2, k); });
+
+    _tables[sid] = std::move(table);
+}
+
+const Vat::Table *
+Vat::tableFor(uint16_t sid) const
+{
+    auto it = _tables.find(sid);
+    return it == _tables.end() ? nullptr : &it->second;
+}
+
+bool
+Vat::configured(uint16_t sid) const
+{
+    return tableFor(sid) != nullptr;
+}
+
+uint64_t
+Vat::bitmask(uint16_t sid) const
+{
+    const Table *table = tableFor(sid);
+    return table ? table->bitmask : 0;
+}
+
+std::optional<VatHit>
+Vat::lookup(uint16_t sid, const ArgKey &key) const
+{
+    const Table *table = tableFor(sid);
+    if (!table)
+        return std::nullopt;
+    auto found = table->cuckoo->lookup(key);
+    if (!found)
+        return std::nullopt;
+    VatHit hit;
+    hit.token = VatToken{found->way, found->hash};
+    hit.address = entryAddress(sid, hit.token);
+    return hit;
+}
+
+bool
+Vat::insert(uint16_t sid, const ArgKey &key)
+{
+    auto it = _tables.find(sid);
+    if (it == _tables.end())
+        panic("Vat::insert: sid %u not configured", sid);
+    ArgKey victim;
+    auto result = it->second.cuckoo->insert(key, &victim);
+    if (result == CuckooInsert::EvictedVictim) {
+        ++_evictions;
+        return true;
+    }
+    return false;
+}
+
+bool
+Vat::erase(uint16_t sid, const ArgKey &key)
+{
+    auto it = _tables.find(sid);
+    if (it == _tables.end())
+        return false;
+    return it->second.cuckoo->erase(key);
+}
+
+std::optional<ArgKey>
+Vat::slotContents(uint16_t sid, const VatToken &token) const
+{
+    const Table *table = tableFor(sid);
+    if (!table)
+        return std::nullopt;
+    const ArgKey *stored = table->cuckoo->at(token.way, token.hash);
+    if (!stored)
+        return std::nullopt;
+    return *stored;
+}
+
+uint64_t
+Vat::entryAddress(uint16_t sid, const VatToken &token) const
+{
+    const Table *table = tableFor(sid);
+    if (!table)
+        panic("Vat::entryAddress: sid %u not configured", sid);
+    uint64_t buckets = table->cuckoo->buckets();
+    uint64_t slot =
+        static_cast<uint64_t>(token.way) * buckets + token.hash % buckets;
+    return table->baseAddr + slot * table->entryBytes;
+}
+
+size_t
+Vat::footprintBytes() const
+{
+    size_t total = 0;
+    for (const auto &[sid, table] : _tables)
+        total += table.cuckoo->capacity() * table.entryBytes;
+    return total;
+}
+
+size_t
+Vat::setCount(uint16_t sid) const
+{
+    const Table *table = tableFor(sid);
+    return table ? table->cuckoo->size() : 0;
+}
+
+} // namespace draco::core

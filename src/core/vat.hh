@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The Validated Argument Table (VAT), §V-B and §VII-A.
+ *
+ * The VAT is a per-process software structure: one two-way cuckoo hash
+ * table per allowed system call, holding the argument sets that have
+ * been validated by the Seccomp filter. Lookups hash the Argument-
+ * Bitmask-selected bytes with CRC-64 ECMA (way 0) and CRC-64 ¬ECMA
+ * (way 1) and probe both ways; both implementations of Draco consult
+ * it, and the hardware implementation additionally addresses it by
+ * *location* (base + hash) when preloading the SLB. Tables are sized at
+ * twice the estimated argument-set count, and a bounded displacement
+ * chain on insert evicts one entry when full.
+ */
+
+#ifndef DRACO_CORE_VAT_HH
+#define DRACO_CORE_VAT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/checkspec.hh"
+#include "hash/cuckoo.hh"
+
+namespace draco::core {
+
+/** Locates a validated entry inside one VAT table. */
+struct VatToken {
+    CuckooWay way = CuckooWay::H1; ///< Which hash function found it.
+    uint64_t hash = 0;             ///< That function's raw hash value.
+
+    bool operator==(const VatToken &other) const
+    {
+        return way == other.way && hash == other.hash;
+    }
+};
+
+/** Result of a VAT lookup. */
+struct VatHit {
+    VatToken token;       ///< Location of the matching entry.
+    uint64_t address = 0; ///< Memory address of the entry (for timing).
+};
+
+/**
+ * Per-process Validated Argument Table.
+ */
+class Vat
+{
+  public:
+    Vat() = default;
+
+    /**
+     * Create (or reset) the table for @p sid.
+     *
+     * @param sid System call ID.
+     * @param bitmask Argument Bitmask; must be nonzero (ID-only syscalls
+     *        have no VAT table).
+     * @param estimated_sets Estimated distinct argument sets; the table
+     *        is over-provisioned to twice this (rounded up to a power
+     *        of two per way).
+     */
+    void configure(uint16_t sid, uint64_t bitmask, size_t estimated_sets);
+
+    /** @return true when @p sid has a configured table. */
+    bool configured(uint16_t sid) const;
+
+    /** @return The Argument Bitmask for @p sid (0 if unconfigured). */
+    uint64_t bitmask(uint16_t sid) const;
+
+    /**
+     * Probe both ways for the argument key.
+     *
+     * @return Hit info, or nullopt when the set has not been validated.
+     */
+    std::optional<VatHit> lookup(uint16_t sid, const ArgKey &key) const;
+
+    /**
+     * Record a freshly validated argument set.
+     *
+     * @return true if an existing victim was evicted to make room.
+     */
+    bool insert(uint16_t sid, const ArgKey &key);
+
+    /** Remove one validated set (used by tests and eviction studies). */
+    bool erase(uint16_t sid, const ArgKey &key);
+
+    /**
+     * Read the entry a token points at, whatever it currently holds —
+     * the hardware preload path (§VI-B step 4) fetches by location, not
+     * by key.
+     *
+     * @return The stored key, or nullopt when the slot is empty.
+     */
+    std::optional<ArgKey> slotContents(uint16_t sid,
+                                       const VatToken &token) const;
+
+    /** @return Memory address of the slot @p token points at. */
+    uint64_t entryAddress(uint16_t sid, const VatToken &token) const;
+
+    /** @return Total bytes of all tables (the §XI-C footprint metric). */
+    size_t footprintBytes() const;
+
+    /** @return Number of configured per-syscall tables. */
+    size_t tableCount() const { return _tables.size(); }
+
+    /** @return Validated sets currently stored for @p sid. */
+    size_t setCount(uint16_t sid) const;
+
+    /** @return Cumulative insert-pressure evictions across tables. */
+    uint64_t evictions() const { return _evictions; }
+
+  private:
+    struct Table {
+        uint64_t bitmask = 0;
+        uint64_t baseAddr = 0;
+        size_t entryBytes = 0;
+        std::unique_ptr<CuckooTable<ArgKey>> cuckoo;
+    };
+
+    const Table *tableFor(uint16_t sid) const;
+
+    std::map<uint16_t, Table> _tables;
+    uint64_t _evictions = 0;
+};
+
+/** @return CRC-64 over the key bytes for @p way. */
+uint64_t vatHash(CuckooWay way, const ArgKey &key);
+
+} // namespace draco::core
+
+#endif // DRACO_CORE_VAT_HH

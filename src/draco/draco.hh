@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Umbrella header: the public API of the Draco reproduction library.
+ *
+ * Include this to get the full stack: syscall descriptors and the
+ * seccomp ABI (os), BPF filters and profiles (seccomp), workload models
+ * and trace synthesis (workload), both Draco implementations (core),
+ * the timing simulator (sim), and the hardware cost model (hwmodel).
+ */
+
+#ifndef DRACO_DRACO_HH
+#define DRACO_DRACO_HH
+
+#include "core/checkspec.hh"
+#include "core/hw_engine.hh"
+#include "core/hw_structures.hh"
+#include "core/smt.hh"
+#include "core/software.hh"
+#include "core/vat.hh"
+#include "hash/crc64.hh"
+#include "hash/cuckoo.hh"
+#include "hwmodel/draco_costs.hh"
+#include "hwmodel/sram.hh"
+#include "os/kernelcosts.hh"
+#include "os/regmap.hh"
+#include "os/seccomp_abi.hh"
+#include "os/syscalls.hh"
+#include "seccomp/bpf.hh"
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profile.hh"
+#include "seccomp/profile_gen.hh"
+#include "seccomp/profile_io.hh"
+#include "seccomp/profiles_builtin.hh"
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/multicore.hh"
+#include "sim/scheduler.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "workload/appmodel.hh"
+#include "workload/generator.hh"
+#include "workload/trace.hh"
+#include "workload/tracefile.hh"
+
+#endif // DRACO_DRACO_HH

@@ -1,0 +1,62 @@
+#include "hash/crc64.hh"
+
+namespace draco {
+
+Crc64::Crc64(uint64_t poly)
+    : _poly(poly)
+{
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint64_t crc = static_cast<uint64_t>(i) << 56;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000000000000000ULL)
+                crc = (crc << 1) ^ poly;
+            else
+                crc <<= 1;
+        }
+        _table[i] = crc;
+    }
+}
+
+uint64_t
+Crc64::compute(const void *data, size_t len, uint64_t init) const
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t crc = init;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc << 8) ^ _table[((crc >> 56) ^ p[i]) & 0xff];
+    return crc;
+}
+
+uint64_t
+Crc64::computeBitwise(uint64_t poly, const void *data, size_t len,
+                      uint64_t init)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t crc = init;
+    for (size_t i = 0; i < len; ++i) {
+        crc ^= static_cast<uint64_t>(p[i]) << 56;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000000000000000ULL)
+                crc = (crc << 1) ^ poly;
+            else
+                crc <<= 1;
+        }
+    }
+    return crc;
+}
+
+const Crc64 &
+crc64Ecma()
+{
+    static const Crc64 engine(kCrc64EcmaPoly);
+    return engine;
+}
+
+const Crc64 &
+crc64NotEcma()
+{
+    static const Crc64 engine(kCrc64NotEcmaPoly);
+    return engine;
+}
+
+} // namespace draco

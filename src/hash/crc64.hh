@@ -1,0 +1,89 @@
+/**
+ * @file
+ * CRC-64 hash functions used by the VAT (Validated Argument Table).
+ *
+ * The paper (§VII-A) computes the two cuckoo hash indices with the
+ * ECMA-182 CRC-64 polynomial and its bitwise complement ("¬ECMA"). In
+ * hardware, each is a linear-feedback shift register (LFSR); in software
+ * we use byte-at-a-time table lookup, which produces identical values.
+ */
+
+#ifndef DRACO_HASH_CRC64_HH
+#define DRACO_HASH_CRC64_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace draco {
+
+/** ECMA-182 CRC-64 generator polynomial (normal representation). */
+inline constexpr uint64_t kCrc64EcmaPoly = 0x42F0E1EBA9EA3693ULL;
+
+/** Bitwise complement of the ECMA polynomial — the paper's ¬ECMA. */
+inline constexpr uint64_t kCrc64NotEcmaPoly = ~kCrc64EcmaPoly;
+
+/**
+ * Table-driven CRC-64 engine over an arbitrary generator polynomial.
+ */
+class Crc64
+{
+  public:
+    /** Build the 256-entry lookup table for @p poly. */
+    explicit Crc64(uint64_t poly);
+
+    /**
+     * Hash a byte buffer.
+     *
+     * @param data Input bytes.
+     * @param len Number of bytes.
+     * @param init Initial CRC register value.
+     * @return The CRC-64 of the buffer.
+     */
+    uint64_t compute(const void *data, size_t len, uint64_t init = 0) const;
+
+    /**
+     * Bit-at-a-time reference implementation (the LFSR the hardware
+     * builds). Used in tests to validate the table-driven path.
+     */
+    static uint64_t computeBitwise(uint64_t poly, const void *data,
+                                   size_t len, uint64_t init = 0);
+
+    /** @return The generator polynomial. */
+    uint64_t poly() const { return _poly; }
+
+  private:
+    uint64_t _poly;
+    uint64_t _table[256];
+};
+
+/** @return Singleton engine for the ECMA polynomial. */
+const Crc64 &crc64Ecma();
+
+/** @return Singleton engine for the ¬ECMA polynomial. */
+const Crc64 &crc64NotEcma();
+
+/**
+ * Non-linear index diffusion (the 64-bit Murmur3 finalizer).
+ *
+ * CRCs are GF(2)-linear: structured key sets (consecutive fds, strided
+ * sizes — exactly what syscall arguments look like) produce clustered
+ * table indices, and the ECMA/¬ECMA pair is additionally *jointly*
+ * linearly dependent in its low bits. Passing each CRC through this
+ * bijective finalizer before indexing restores the uniformity cuckoo
+ * hashing needs; in hardware it is a handful of XOR/multiply stages
+ * appended to the LFSR.
+ */
+constexpr uint64_t
+mix64(uint64_t h)
+{
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace draco
+
+#endif // DRACO_HASH_CRC64_HH

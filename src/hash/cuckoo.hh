@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Generic 2-ary cuckoo hash set.
+ *
+ * The VAT (§V-B, §VII-A) stores each system call's validated argument sets
+ * in a two-way cuckoo hash table so that a lookup costs exactly two probes
+ * that can proceed in parallel, and collisions resolve gracefully via
+ * displacement. On insert, if the displacement chain exceeds a threshold,
+ * one entry is evicted to make room (the paper's "OS makes room by
+ * evicting one entry").
+ */
+
+#ifndef DRACO_HASH_CUCKOO_HH
+#define DRACO_HASH_CUCKOO_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace draco {
+
+/** Identifies which of the two hash functions located an entry. */
+enum class CuckooWay : uint8_t {
+    H1 = 0,
+    H2 = 1,
+};
+
+/** Outcome of a cuckoo insertion. */
+enum class CuckooInsert {
+    Inserted,       ///< Key stored in an empty slot.
+    AlreadyPresent, ///< Key was already in the table.
+    EvictedVictim,  ///< Key stored, but another key was evicted for room.
+};
+
+/** Statistics describing a table's dynamic behaviour. */
+struct CuckooStats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t insertions = 0;
+    uint64_t displacements = 0;
+    uint64_t evictions = 0;
+};
+
+/**
+ * Fixed-capacity two-way cuckoo hash set.
+ *
+ * @tparam Key Stored key type (must be equality comparable).
+ *
+ * Each way holds `buckets` slots; a key lives either at `h1(key) %
+ * buckets` in way 0 or `h2(key) % buckets` in way 1. The two hash values
+ * are supplied by caller-provided functions so the owner (the VAT) can use
+ * CRC-64 ECMA / ¬ECMA over the masked argument bytes.
+ */
+template <typename Key>
+class CuckooTable
+{
+  public:
+    using HashFn = std::function<uint64_t(const Key &)>;
+
+    /** Result of a successful lookup. */
+    struct Found {
+        CuckooWay way;   ///< Which hash function located the key.
+        uint64_t hash;   ///< The raw hash value from that function.
+        uint64_t index;  ///< Slot index within the way.
+    };
+
+    /**
+     * @param buckets Number of slots per way (total capacity 2×buckets).
+     * @param h1 First hash function.
+     * @param h2 Second hash function.
+     * @param max_displacements Displacement-chain bound before eviction.
+     */
+    CuckooTable(size_t buckets, HashFn h1, HashFn h2,
+                unsigned max_displacements = 16)
+        : _h1(std::move(h1)), _h2(std::move(h2)),
+          _maxDisplacements(max_displacements)
+    {
+        if (buckets == 0)
+            fatal("CuckooTable: bucket count must be > 0");
+        _ways[0].assign(buckets, Slot{});
+        _ways[1].assign(buckets, Slot{});
+    }
+
+    /**
+     * Probe both ways for @p key.
+     *
+     * @return Location info on hit, std::nullopt on miss.
+     */
+    std::optional<Found>
+    lookup(const Key &key) const
+    {
+        ++_stats.lookups;
+        uint64_t hv1 = _h1(key);
+        uint64_t idx1 = hv1 % buckets();
+        const Slot &s1 = _ways[0][idx1];
+        if (s1.occupied && s1.key == key) {
+            ++_stats.hits;
+            return Found{CuckooWay::H1, hv1, idx1};
+        }
+        uint64_t hv2 = _h2(key);
+        uint64_t idx2 = hv2 % buckets();
+        const Slot &s2 = _ways[1][idx2];
+        if (s2.occupied && s2.key == key) {
+            ++_stats.hits;
+            return Found{CuckooWay::H2, hv2, idx2};
+        }
+        return std::nullopt;
+    }
+
+    /** @return true if @p key is present. */
+    bool contains(const Key &key) const { return lookup(key).has_value(); }
+
+    /**
+     * Insert @p key, displacing residents along the cuckoo chain as
+     * needed. If the chain exceeds the displacement bound, the key at the
+     * end of the chain is evicted.
+     *
+     * @param key Key to insert.
+     * @param evicted Receives the evicted key when the result is
+     *                EvictedVictim (may be nullptr if uninteresting).
+     */
+    CuckooInsert
+    insert(const Key &key, Key *evicted = nullptr)
+    {
+        if (contains(key))
+            return CuckooInsert::AlreadyPresent;
+
+        ++_stats.insertions;
+
+        // Prefer a free slot in either way before displacing anyone.
+        for (unsigned w = 0; w < 2; ++w) {
+            uint64_t hv = w == 0 ? _h1(key) : _h2(key);
+            Slot &slot = _ways[w][hv % buckets()];
+            if (!slot.occupied) {
+                slot.occupied = true;
+                slot.key = key;
+                ++_size;
+                return CuckooInsert::Inserted;
+            }
+        }
+
+        Key pending = key;
+        unsigned way = 0;
+        for (unsigned step = 0; step <= _maxDisplacements; ++step) {
+            uint64_t hv = way == 0 ? _h1(pending) : _h2(pending);
+            Slot &slot = _ways[way][hv % buckets()];
+            if (!slot.occupied) {
+                slot.occupied = true;
+                slot.key = pending;
+                ++_size;
+                return CuckooInsert::Inserted;
+            }
+            std::swap(slot.key, pending);
+            ++_stats.displacements;
+            way ^= 1;
+        }
+        // Chain bound exceeded: the pending key is the victim.
+        ++_stats.evictions;
+        if (evicted)
+            *evicted = pending;
+        return CuckooInsert::EvictedVictim;
+    }
+
+    /**
+     * Remove @p key.
+     *
+     * @return true if the key was present and removed.
+     */
+    bool
+    erase(const Key &key)
+    {
+        auto found = lookup(key);
+        if (!found)
+            return false;
+        Slot &slot = _ways[static_cast<size_t>(found->way)][found->index];
+        slot.occupied = false;
+        slot.key = Key{};
+        --_size;
+        return true;
+    }
+
+    /** Remove every key. */
+    void
+    clear()
+    {
+        for (auto &way : _ways)
+            for (auto &slot : way)
+                slot = Slot{};
+        _size = 0;
+    }
+
+    /**
+     * Read one slot by location — the hardware preload path addresses
+     * the table by (way, index) rather than by key.
+     *
+     * @return The occupant key, or nullptr when the slot is empty.
+     */
+    const Key *
+    at(CuckooWay way, uint64_t index) const
+    {
+        const Slot &slot = _ways[static_cast<size_t>(way)][index % buckets()];
+        return slot.occupied ? &slot.key : nullptr;
+    }
+
+    /** Invoke @p fn on every stored key. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &way : _ways)
+            for (const auto &slot : way)
+                if (slot.occupied)
+                    fn(slot.key);
+    }
+
+    /** @return Number of stored keys. */
+    size_t size() const { return _size; }
+
+    /** @return Slots per way. */
+    size_t buckets() const { return _ways[0].size(); }
+
+    /** @return Total slot capacity (2 × buckets). */
+    size_t capacity() const { return 2 * buckets(); }
+
+    /** @return Dynamic behaviour counters. */
+    const CuckooStats &stats() const { return _stats; }
+
+  private:
+    struct Slot {
+        bool occupied = false;
+        Key key{};
+    };
+
+    HashFn _h1;
+    HashFn _h2;
+    unsigned _maxDisplacements;
+    std::vector<Slot> _ways[2];
+    size_t _size = 0;
+    mutable CuckooStats _stats;
+};
+
+} // namespace draco
+
+#endif // DRACO_HASH_CUCKOO_HH

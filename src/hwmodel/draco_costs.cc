@@ -1,0 +1,157 @@
+#include "hwmodel/draco_costs.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace draco::hwmodel {
+
+namespace {
+
+// Table III of the paper, 22 nm.
+constexpr SramCosts kPaperSpt = {0.0036, 105.41, 1.32, 1.39};
+constexpr SramCosts kPaperStb = {0.0063, 131.61, 1.78, 2.63};
+constexpr SramCosts kPaperSlb = {0.01549, 112.75, 2.69, 3.96};
+constexpr SramCosts kPaperCrc = {0.0019, 964.0, 0.98, 0.106};
+
+SramCosts
+scaleCosts(const SramCosts &base, const SramCosts &paper)
+{
+    auto ratio = [](double p, double b) { return b > 0.0 ? p / b : 1.0; };
+    return SramCosts{
+        base.areaMm2 * ratio(paper.areaMm2, base.areaMm2),
+        base.accessPs * ratio(paper.accessPs, base.accessPs),
+        base.readEnergyPj * ratio(paper.readEnergyPj, base.readEnergyPj),
+        base.leakageMw * ratio(paper.leakageMw, base.leakageMw),
+    };
+}
+
+/** Calibration factors for the SLB (paper / base), computed once. */
+struct Calibration {
+    double area, access, energy, leak;
+};
+
+Calibration
+slbCalibration()
+{
+    SramCosts base = estimateSlbAggregate(slbGeometries());
+    return Calibration{
+        kPaperSlb.areaMm2 / base.areaMm2,
+        kPaperSlb.accessPs / base.accessPs,
+        kPaperSlb.readEnergyPj / base.readEnergyPj,
+        kPaperSlb.leakageMw / base.leakageMw,
+    };
+}
+
+} // namespace
+
+SramGeometry
+sptGeometry()
+{
+    // Valid bit + 48-bit VAT base (virtual address) + 48-bit Argument
+    // Bitmask; direct mapped so no tag.
+    return SramGeometry{384, 1, 0, 97};
+}
+
+SramGeometry
+stbGeometry()
+{
+    // 48-bit PC tag; valid + 9-bit SID + 16-bit hash payload.
+    return SramGeometry{256, 2, 48, 26};
+}
+
+std::vector<SramGeometry>
+slbGeometries()
+{
+    // Tag: 9-bit SID + 16-bit hash; data: valid + argc × 64-bit args.
+    std::vector<SramGeometry> tables;
+    const unsigned entries[6] = {32, 64, 64, 32, 32, 16};
+    for (unsigned argc = 1; argc <= 6; ++argc) {
+        tables.push_back(SramGeometry{entries[argc - 1], 4, 25,
+                                      1 + 64 * argc});
+    }
+    // Temporary buffer: 8 entries of the widest format.
+    tables.push_back(SramGeometry{8, 4, 25, 1 + 64 * 6});
+    return tables;
+}
+
+SramCosts
+estimateSlbAggregate(const std::vector<SramGeometry> &subtables)
+{
+    if (subtables.empty())
+        fatal("estimateSlbAggregate: no subtables");
+    SramCosts total;
+    SramCosts largest;
+    uint64_t largestBits = 0;
+    for (const auto &geom : subtables) {
+        SramCosts c = estimateSram(geom);
+        total.areaMm2 += c.areaMm2;
+        total.leakageMw += c.leakageMw;
+        if (geom.totalBits() > largestBits) {
+            largestBits = geom.totalBits();
+            largest = c;
+        }
+    }
+    total.accessPs = largest.accessPs;
+    total.readEnergyPj = largest.readEnergyPj;
+    return total;
+}
+
+std::vector<StructureReport>
+dracoTable3()
+{
+    std::vector<StructureReport> rows;
+
+    SramCosts sptBase = estimateSram(sptGeometry());
+    rows.push_back({"SPT", sptBase, kPaperSpt,
+                    scaleCosts(sptBase, kPaperSpt)});
+
+    SramCosts stbBase = estimateSram(stbGeometry());
+    rows.push_back({"STB", stbBase, kPaperStb,
+                    scaleCosts(stbBase, kPaperStb)});
+
+    SramCosts slbBase = estimateSlbAggregate(slbGeometries());
+    rows.push_back({"SLB", slbBase, kPaperSlb,
+                    scaleCosts(slbBase, kPaperSlb)});
+
+    // 64-bit CRC consuming up to 6 bytes per cycle (the widest checked
+    // argument fraction per cycle in the paper's 3-cycle budget).
+    SramCosts crcBase = estimateCrcDatapath(64, 6);
+    rows.push_back({"CRC Hash", crcBase, kPaperCrc,
+                    scaleCosts(crcBase, kPaperCrc)});
+
+    return rows;
+}
+
+SramCosts
+scaledSlbCost(double scale)
+{
+    if (scale < 0.25)
+        fatal("scaledSlbCost: scale %.2f too small", scale);
+    std::vector<SramGeometry> tables = slbGeometries();
+    for (auto &geom : tables) {
+        uint64_t entries = static_cast<uint64_t>(
+            std::llround(geom.entries * scale));
+        // Keep associativity feasible.
+        entries = std::max<uint64_t>(entries, geom.ways);
+        entries = (entries / geom.ways) * geom.ways;
+        geom.entries = entries;
+    }
+    SramCosts base = estimateSlbAggregate(tables);
+    Calibration cal = slbCalibration();
+    return SramCosts{
+        base.areaMm2 * cal.area,
+        base.accessPs * cal.access,
+        base.readEnergyPj * cal.energy,
+        base.leakageMw * cal.leak,
+    };
+}
+
+unsigned
+cyclesFor(double ps, double ghz)
+{
+    double cyclePs = 1000.0 / ghz;
+    return static_cast<unsigned>(std::ceil(ps / cyclePs));
+}
+
+} // namespace draco::hwmodel

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cost accounting for Draco's hardware structures (Table III).
+ *
+ * Combines the analytic SRAM/CRC models with the paper's published
+ * CACTI/Synopsys anchors: each structure carries the uncalibrated model
+ * estimate, the paper's numbers, and the calibrated result (model ×
+ * per-structure factor, which by construction matches the anchor).
+ * The SLB sizing sweep scales geometry through the calibrated model.
+ */
+
+#ifndef DRACO_HWMODEL_DRACO_COSTS_HH
+#define DRACO_HWMODEL_DRACO_COSTS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hwmodel/sram.hh"
+
+namespace draco::hwmodel {
+
+/** One row of Table III, with model transparency. */
+struct StructureReport {
+    std::string name;
+    SramCosts base;       ///< Uncalibrated analytic estimate.
+    SramCosts paper;      ///< Table III (CACTI 7 / Synopsys DC, 22 nm).
+    SramCosts calibrated; ///< base × calibration == paper.
+};
+
+/** @return SPT geometry: 384 × 1-way, 97-bit entries. */
+SramGeometry sptGeometry();
+
+/** @return STB geometry: 256 × 2-way, 48-bit tag + 26-bit data. */
+SramGeometry stbGeometry();
+
+/**
+ * @return The six SLB subtable geometries (1..6 args) plus the
+ *         8-entry temporary buffer, in that order.
+ */
+std::vector<SramGeometry> slbGeometries();
+
+/**
+ * Aggregate SLB cost: area and leakage summed over subtables; access
+ * time and read energy of the largest (3-argument) subtable, matching
+ * the paper's reporting convention.
+ */
+SramCosts estimateSlbAggregate(const std::vector<SramGeometry> &subtables);
+
+/** @return All four Table III rows (SPT, STB, SLB, CRC hash). */
+std::vector<StructureReport> dracoTable3();
+
+/**
+ * Calibrated SLB cost with every subtable's entry count scaled by
+ * @p scale (≥ 0.25; associativity and widths fixed) — the sizing sweep.
+ */
+SramCosts scaledSlbCost(double scale);
+
+/**
+ * Number of cycles the engine should charge for a structure access or
+ * hash given an access time in ps and a clock in GHz (ceiling).
+ */
+unsigned cyclesFor(double ps, double ghz);
+
+} // namespace draco::hwmodel
+
+#endif // DRACO_HWMODEL_DRACO_COSTS_HH

@@ -1,0 +1,73 @@
+#include "hwmodel/sram.hh"
+
+#include <cmath>
+
+namespace draco::hwmodel {
+
+namespace {
+
+// Representative 22 nm constants.
+constexpr double kCellAreaMm2PerBit = 1.08e-7; ///< 6T SRAM cell.
+constexpr double kPeriphBase = 1.35;           ///< Decoder/drivers.
+constexpr double kPeriphPerWay = 0.18;         ///< Mux + comparators.
+constexpr double kTagCamFactor = 1.9;          ///< Tag match logic.
+
+constexpr double kDecodePsPerLevel = 9.0;
+constexpr double kWordlineBasePs = 55.0;
+constexpr double kComparePsPerWay = 7.0;
+constexpr double kBitlinePsPerKbit = 1.2;
+
+constexpr double kEnergyPjPerReadBit = 0.012;
+constexpr double kEnergyDecodePj = 0.35;
+
+constexpr double kLeakMwPerKbit = 0.035;
+
+constexpr double kNand2AreaMm2 = 3.2e-7;
+constexpr double kXorDepthPs = 38.0;
+
+} // namespace
+
+SramCosts
+estimateSram(const SramGeometry &geometry)
+{
+    SramCosts costs;
+    double bits = static_cast<double>(geometry.totalBits());
+    double tagFrac = geometry.tagBits + geometry.dataBits
+        ? static_cast<double>(geometry.tagBits) /
+            (geometry.tagBits + geometry.dataBits)
+        : 0.0;
+
+    double periph = kPeriphBase + kPeriphPerWay * (geometry.ways - 1) +
+        kTagCamFactor * tagFrac;
+    costs.areaMm2 = bits * kCellAreaMm2PerBit * periph;
+
+    double sets = static_cast<double>(
+        geometry.sets() ? geometry.sets() : 1);
+    double readBits = static_cast<double>(
+        geometry.ways * (geometry.tagBits + geometry.dataBits));
+    costs.accessPs = kWordlineBasePs +
+        kDecodePsPerLevel * std::log2(sets + 1) +
+        kComparePsPerWay * geometry.ways +
+        kBitlinePsPerKbit * bits / 1024.0;
+
+    costs.readEnergyPj = kEnergyDecodePj + kEnergyPjPerReadBit * readBits;
+    costs.leakageMw = kLeakMwPerKbit * bits / 1024.0;
+    return costs;
+}
+
+SramCosts
+estimateCrcDatapath(unsigned crcBits, unsigned parallelBytes)
+{
+    SramCosts costs;
+    // Byte-parallel CRC unrolls the LFSR: each input byte adds a layer
+    // of XOR trees over roughly half the taps of the polynomial.
+    double gates = crcBits * (6.0 + 5.5 * parallelBytes);
+    costs.areaMm2 = gates * kNand2AreaMm2;
+    costs.accessPs = kXorDepthPs * (2.0 + std::log2(parallelBytes + 1)) *
+        3.2;
+    costs.readEnergyPj = gates * 2.1e-4;
+    costs.leakageMw = gates * 1.85e-5;
+    return costs;
+}
+
+} // namespace draco::hwmodel

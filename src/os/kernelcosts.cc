@@ -1,0 +1,41 @@
+#include "os/kernelcosts.hh"
+
+namespace draco::os {
+
+const KernelCosts &
+newKernelCosts()
+{
+    static const KernelCosts costs = {
+        .name = "ubuntu18.04-linux5.3-jit-nomitigations",
+        .syscallBaseNs = 120.0,
+        .seccompEntryNs = 14.0,
+        .bpfInsnNs = 0.40,
+        .dracoSptLookupNs = 3.5,
+        .dracoHashFixedNs = 4.0,
+        .dracoHashPerByteNs = 0.24,
+        .dracoVatProbeNs = 3.5,
+        .dracoVatInsertNs = 150.0,
+        .ctxSwitchNs = 1200.0,
+    };
+    return costs;
+}
+
+const KernelCosts &
+oldKernelCosts()
+{
+    static const KernelCosts costs = {
+        .name = "centos7.6-linux3.10-interp-kpti-spectre",
+        .syscallBaseNs = 350.0,
+        .seccompEntryNs = 40.0,
+        .bpfInsnNs = 4.5,
+        .dracoSptLookupNs = 5.0,
+        .dracoHashFixedNs = 5.5,
+        .dracoHashPerByteNs = 0.40,
+        .dracoVatProbeNs = 5.0,
+        .dracoVatInsertNs = 180.0,
+        .ctxSwitchNs = 2500.0,
+    };
+    return costs;
+}
+
+} // namespace draco::os

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Timing parameters of the kernel system-call path.
+ *
+ * The paper evaluates two software stacks: Ubuntu 18.04 / Linux 5.3 with
+ * the BPF JIT effective and CPU vulnerability mitigations disabled
+ * (§IV-A, Figures 2 and 11), and CentOS 7.6 / Linux 3.10 with KPTI and
+ * Spectre mitigations enabled and Seccomp not using the JIT (Appendix,
+ * Figures 16 and 17). A KernelCosts preset captures each stack's costs;
+ * the simulation harness prices the checking mechanisms from these
+ * numbers. Values are calibrated so the *normalized* overheads track the
+ * paper's reported shapes — absolute nanoseconds are commodity-server
+ * scale, not a claim about the authors' exact Xeon.
+ */
+
+#ifndef DRACO_OS_KERNELCOSTS_HH
+#define DRACO_OS_KERNELCOSTS_HH
+
+namespace draco::os {
+
+/** Nanosecond cost parameters for one kernel generation. */
+struct KernelCosts {
+    const char *name;          ///< Human-readable stack name.
+
+    /** Kernel entry + exit + minimal handler work (the insecure path). */
+    double syscallBaseNs;
+
+    /** Fixed cost to invoke the Seccomp machinery on each syscall. */
+    double seccompEntryNs;
+
+    /** Cost per executed BPF filter instruction. */
+    double bpfInsnNs;
+
+    /** Software Draco: SPT indexed check (ID-only fast path). */
+    double dracoSptLookupNs;
+
+    /** Software Draco: fixed cost of one CRC-64 hash invocation. */
+    double dracoHashFixedNs;
+
+    /** Software Draco: incremental CRC cost per hashed argument byte. */
+    double dracoHashPerByteNs;
+
+    /** Software Draco: one cuckoo-way probe (load + compare). */
+    double dracoVatProbeNs;
+
+    /** Software Draco: VAT insertion after a successful filter run. */
+    double dracoVatInsertNs;
+
+    /** Direct cost of a context switch (scheduler experiments). */
+    double ctxSwitchNs;
+};
+
+/**
+ * @return Costs for the paper's primary stack: Ubuntu 18.04, Linux 5.3,
+ *         BPF JIT effective, spec_store_bypass/spectre_v2/mds/pti/l1tf
+ *         mitigations disabled.
+ */
+const KernelCosts &newKernelCosts();
+
+/**
+ * @return Costs for the appendix stack: CentOS 7.6.1810, Linux 3.10,
+ *         KPTI and Spectre mitigations enabled, Seccomp filters running
+ *         through the cBPF interpreter (the JIT is enabled but Seccomp
+ *         does not use it on that kernel).
+ */
+const KernelCosts &oldKernelCosts();
+
+} // namespace draco::os
+
+#endif // DRACO_OS_KERNELCOSTS_HH

@@ -1,0 +1,76 @@
+#include "os/regmap.hh"
+
+#include "support/logging.hh"
+
+namespace draco::os {
+
+const char *
+regName(Reg reg)
+{
+    static const char *names[kGprCount] = {
+        "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+        "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+    };
+    return names[static_cast<size_t>(reg)];
+}
+
+ArgRegisterMap::ArgRegisterMap(std::string name, Reg id_reg,
+                               std::array<Reg, kMaxSyscallArgs> arg_regs)
+    : _name(std::move(name)), _idReg(id_reg), _argRegs(arg_regs)
+{
+    for (Reg arg : _argRegs)
+        if (arg == _idReg)
+            fatal("ArgRegisterMap '%s': ID register %s reused for an "
+                  "argument",
+                  _name.c_str(), regName(_idReg));
+}
+
+const ArgRegisterMap &
+ArgRegisterMap::linuxSyscall()
+{
+    static const ArgRegisterMap map(
+        "linux-x86_64-syscall", Reg::Rax,
+        {Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9});
+    return map;
+}
+
+const ArgRegisterMap &
+ArgRegisterMap::xenHypercall()
+{
+    static const ArgRegisterMap map(
+        "xen-x86_64-hypercall", Reg::Rax,
+        {Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9});
+    return map;
+}
+
+Reg
+ArgRegisterMap::argReg(unsigned i) const
+{
+    if (i >= kMaxSyscallArgs)
+        fatal("ArgRegisterMap: argument index %u out of range", i);
+    return _argRegs[i];
+}
+
+SyscallRequest
+ArgRegisterMap::extract(const RegisterFile &regs) const
+{
+    SyscallRequest req;
+    req.pc = regs.pc;
+    req.sid = static_cast<uint16_t>(regs[_idReg]);
+    for (unsigned i = 0; i < kMaxSyscallArgs; ++i)
+        req.args[i] = regs[_argRegs[i]];
+    return req;
+}
+
+RegisterFile
+ArgRegisterMap::materialize(const SyscallRequest &req) const
+{
+    RegisterFile regs;
+    regs.pc = req.pc;
+    regs[_idReg] = req.sid;
+    for (unsigned i = 0; i < kMaxSyscallArgs; ++i)
+        regs[_argRegs[i]] = req.args[i];
+    return regs;
+}
+
+} // namespace draco::os

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * OS-programmable argument-register mapping (§VIII).
+ *
+ * Draco's hardware must know which general-purpose register carries the
+ * transition ID and which carry its arguments. Hard-wiring the Linux
+ * x86-64 syscall convention (rax; rdi, rsi, rdx, r10, r8, r9) would tie
+ * the design to one kernel, so the paper proposes an OS-programmable
+ * table mapping argument numbers to registers. That also generalizes
+ * Draco to other privilege transitions: hypercalls, gVisor-style
+ * user-level guardians, and sandboxed library calls all pass an ID plus
+ * arguments in registers of *some* convention.
+ */
+
+#ifndef DRACO_OS_REGMAP_HH
+#define DRACO_OS_REGMAP_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "os/seccomp_abi.hh"
+
+namespace draco::os {
+
+/** x86-64 general-purpose register identifiers. */
+enum class Reg : uint8_t {
+    Rax = 0,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+};
+
+/** Number of modeled general-purpose registers. */
+inline constexpr unsigned kGprCount = 16;
+
+/** @return The conventional name of @p reg ("rax", "r10", ...). */
+const char *regName(Reg reg);
+
+/** Architectural register file snapshot at a privilege transition. */
+struct RegisterFile {
+    std::array<uint64_t, kGprCount> gpr{};
+    uint64_t pc = 0;
+
+    uint64_t &operator[](Reg reg)
+    {
+        return gpr[static_cast<size_t>(reg)];
+    }
+
+    uint64_t operator[](Reg reg) const
+    {
+        return gpr[static_cast<size_t>(reg)];
+    }
+};
+
+/**
+ * The programmable mapping: which register holds the transition ID and
+ * which hold arguments 0..5.
+ */
+class ArgRegisterMap
+{
+  public:
+    /**
+     * @param name Diagnostic name of the convention.
+     * @param id_reg Register carrying the transition ID.
+     * @param arg_regs Registers carrying arguments 0..5, in order.
+     */
+    ArgRegisterMap(std::string name, Reg id_reg,
+                   std::array<Reg, kMaxSyscallArgs> arg_regs);
+
+    /** The Linux x86-64 syscall convention (§II-A). */
+    static const ArgRegisterMap &linuxSyscall();
+
+    /** The Xen-style x86-64 hypercall convention. */
+    static const ArgRegisterMap &xenHypercall();
+
+    /** @return Convention name. */
+    const std::string &name() const { return _name; }
+
+    /** @return Register carrying the transition ID. */
+    Reg idReg() const { return _idReg; }
+
+    /** @return Register carrying argument @p i. */
+    Reg argReg(unsigned i) const;
+
+    /**
+     * Decode a transition from a register-file snapshot into the
+     * request format the checking stack consumes.
+     */
+    SyscallRequest extract(const RegisterFile &regs) const;
+
+    /**
+     * Encode a request back into a register file (the inverse, used by
+     * trace tooling and tests).
+     */
+    RegisterFile materialize(const SyscallRequest &req) const;
+
+  private:
+    std::string _name;
+    Reg _idReg;
+    std::array<Reg, kMaxSyscallArgs> _argRegs;
+};
+
+} // namespace draco::os
+
+#endif // DRACO_OS_REGMAP_HH

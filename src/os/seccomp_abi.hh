@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Linux seccomp ABI data structures.
+ *
+ * A seccomp BPF filter executes over a read-only `seccomp_data` block
+ * describing the pending system call; the layout here matches
+ * `include/uapi/linux/seccomp.h` so filters built by our FilterBuilder
+ * address fields at the same offsets a real kernel filter would.
+ */
+
+#ifndef DRACO_OS_SECCOMP_ABI_HH
+#define DRACO_OS_SECCOMP_ABI_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "os/syscalls.hh"
+
+namespace draco::os {
+
+/** Audit architecture token for native x86-64 (AUDIT_ARCH_X86_64). */
+inline constexpr uint32_t kAuditArchX86_64 = 0xC000003EU;
+
+/**
+ * The data block a seccomp filter inspects, per the Linux UAPI.
+ */
+struct SeccompData {
+    uint32_t nr;                   ///< System call number.
+    uint32_t arch;                 ///< AUDIT_ARCH_* token.
+    uint64_t instruction_pointer;  ///< User PC of the syscall instruction.
+    uint64_t args[kMaxSyscallArgs]; ///< Raw 64-bit argument registers.
+};
+
+static_assert(sizeof(SeccompData) == 64, "seccomp_data must be 64 bytes");
+
+/** Byte offsets of seccomp_data fields, used when assembling filters. */
+namespace sd_off {
+inline constexpr uint32_t nr = 0;
+inline constexpr uint32_t arch = 4;
+inline constexpr uint32_t ip_lo = 8;
+inline constexpr uint32_t ip_hi = 12;
+
+/** @return Offset of the low 32 bits of argument @p i. */
+constexpr uint32_t argLo(unsigned i) { return 16 + 8 * i; }
+
+/** @return Offset of the high 32 bits of argument @p i. */
+constexpr uint32_t argHi(unsigned i) { return 16 + 8 * i + 4; }
+} // namespace sd_off
+
+/** Seccomp filter return actions (SECCOMP_RET_*), highest priority first. */
+enum class SeccompAction : uint32_t {
+    KillProcess = 0x80000000U,
+    KillThread = 0x00000000U,
+    Trap = 0x00030000U,
+    Errno = 0x00050000U,
+    Trace = 0x7ff00000U,
+    Log = 0x7ffc0000U,
+    Allow = 0x7fff0000U,
+};
+
+/** Mask selecting the action part of a filter return value. */
+inline constexpr uint32_t kSeccompRetActionMask = 0xffff0000U;
+
+/** Mask selecting the SECCOMP_RET_DATA payload (e.g. an errno). */
+inline constexpr uint32_t kSeccompRetDataMask = 0x0000ffffU;
+
+/** @return The action component of a raw filter return value. */
+inline SeccompAction
+actionOf(uint32_t raw)
+{
+    // KILL_PROCESS uses bit 31 alone; everything else lives in the
+    // upper half-word.
+    if (raw == static_cast<uint32_t>(SeccompAction::KillProcess))
+        return SeccompAction::KillProcess;
+    return static_cast<SeccompAction>(raw & kSeccompRetActionMask);
+}
+
+/** @return The SECCOMP_RET_DATA payload of a raw filter return value. */
+inline uint16_t
+retDataOf(uint32_t raw)
+{
+    return static_cast<uint16_t>(raw & kSeccompRetDataMask);
+}
+
+/** @return true when @p action permits the system call to execute. */
+inline bool
+actionAllows(SeccompAction action)
+{
+    return action == SeccompAction::Allow || action == SeccompAction::Log;
+}
+
+/** @return true when the raw return value @p raw permits execution. */
+inline bool
+rawActionAllows(uint32_t raw)
+{
+    return actionAllows(actionOf(raw));
+}
+
+/**
+ * A materialized system call request: what user space hands the kernel.
+ */
+struct SyscallRequest {
+    uint64_t pc = 0;      ///< PC of the syscall instruction (STB key).
+    uint16_t sid = 0;     ///< System call ID (rax).
+    std::array<uint64_t, kMaxSyscallArgs> args{}; ///< rdi..r9.
+
+    /** @return The seccomp_data view of this request. */
+    SeccompData
+    toSeccompData() const
+    {
+        SeccompData d{};
+        d.nr = sid;
+        d.arch = kAuditArchX86_64;
+        d.instruction_pointer = pc;
+        std::memcpy(d.args, args.data(), sizeof(d.args));
+        return d;
+    }
+};
+
+} // namespace draco::os
+
+#endif // DRACO_OS_SECCOMP_ABI_HH

@@ -1,0 +1,477 @@
+#include "os/syscalls.hh"
+
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace draco::os {
+
+unsigned
+SyscallDesc::argBytes(unsigned i) const
+{
+    if (i >= nargs)
+        return 0;
+    if (pointerMask & (1u << i))
+        return 8;
+    return (wideMask & (1u << i)) ? 8 : 4;
+}
+
+bool
+SyscallDesc::argIsPointer(unsigned i) const
+{
+    return i < nargs && (pointerMask & (1u << i));
+}
+
+unsigned
+SyscallDesc::checkedArgCount() const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < nargs; ++i)
+        if (!argIsPointer(i))
+            ++n;
+    return n;
+}
+
+uint64_t
+SyscallDesc::argumentBitmask() const
+{
+    // Checked arguments are compared as full 64-bit register values,
+    // matching what a seccomp filter sees in seccomp_data: all eight
+    // bytes of every non-pointer argument participate. (argBytes()
+    // remains available as ABI metadata for value synthesis and cost
+    // estimation.)
+    uint64_t mask = 0;
+    for (unsigned i = 0; i < nargs; ++i) {
+        if (argIsPointer(i))
+            continue;
+        mask |= 0xffULL << (i * 8);
+    }
+    return mask;
+}
+
+namespace {
+
+// SC(id, name, nargs, pointerMask, wideMask)
+//
+// pointerMask bit i: argument i is a user pointer (excluded from checks,
+// per §II-B TOCTOU). wideMask bit i: scalar argument i is 8 bytes wide
+// (off_t, size_t, unsigned long); other scalars are 4 bytes. The table
+// follows the native x86-64 syscall numbering of the Linux 5.3 era.
+#define SYSCALL_LIST(SC) \
+    SC(0, read, 3, 0b010, 0b100) \
+    SC(1, write, 3, 0b010, 0b100) \
+    SC(2, open, 3, 0b001, 0b000) \
+    SC(3, close, 1, 0b0, 0b0) \
+    SC(4, stat, 2, 0b11, 0b00) \
+    SC(5, fstat, 2, 0b10, 0b00) \
+    SC(6, lstat, 2, 0b11, 0b00) \
+    SC(7, poll, 3, 0b001, 0b010) \
+    SC(8, lseek, 3, 0b000, 0b010) \
+    SC(9, mmap, 6, 0b000001, 0b100010) \
+    SC(10, mprotect, 3, 0b001, 0b010) \
+    SC(11, munmap, 2, 0b01, 0b10) \
+    SC(12, brk, 1, 0b1, 0b0) \
+    SC(13, rt_sigaction, 4, 0b0110, 0b1000) \
+    SC(14, rt_sigprocmask, 4, 0b0110, 0b1000) \
+    SC(15, rt_sigreturn, 0, 0b0, 0b0) \
+    SC(16, ioctl, 3, 0b100, 0b000) \
+    SC(17, pread64, 4, 0b0010, 0b1100) \
+    SC(18, pwrite64, 4, 0b0010, 0b1100) \
+    SC(19, readv, 3, 0b010, 0b000) \
+    SC(20, writev, 3, 0b010, 0b000) \
+    SC(21, access, 2, 0b01, 0b00) \
+    SC(22, pipe, 1, 0b1, 0b0) \
+    SC(23, select, 5, 0b11110, 0b00000) \
+    SC(24, sched_yield, 0, 0b0, 0b0) \
+    SC(25, mremap, 5, 0b10001, 0b00110) \
+    SC(26, msync, 3, 0b001, 0b010) \
+    SC(27, mincore, 3, 0b101, 0b010) \
+    SC(28, madvise, 3, 0b001, 0b010) \
+    SC(29, shmget, 3, 0b000, 0b010) \
+    SC(30, shmat, 3, 0b010, 0b000) \
+    SC(31, shmctl, 3, 0b100, 0b000) \
+    SC(32, dup, 1, 0b0, 0b0) \
+    SC(33, dup2, 2, 0b00, 0b00) \
+    SC(34, pause, 0, 0b0, 0b0) \
+    SC(35, nanosleep, 2, 0b11, 0b00) \
+    SC(36, getitimer, 2, 0b10, 0b00) \
+    SC(37, alarm, 1, 0b0, 0b0) \
+    SC(38, setitimer, 3, 0b110, 0b000) \
+    SC(39, getpid, 0, 0b0, 0b0) \
+    SC(40, sendfile, 4, 0b0100, 0b1000) \
+    SC(41, socket, 3, 0b000, 0b000) \
+    SC(42, connect, 3, 0b010, 0b000) \
+    SC(43, accept, 3, 0b110, 0b000) \
+    SC(44, sendto, 6, 0b010010, 0b000100) \
+    SC(45, recvfrom, 6, 0b110010, 0b000100) \
+    SC(46, sendmsg, 3, 0b010, 0b000) \
+    SC(47, recvmsg, 3, 0b010, 0b000) \
+    SC(48, shutdown, 2, 0b00, 0b00) \
+    SC(49, bind, 3, 0b010, 0b000) \
+    SC(50, listen, 2, 0b00, 0b00) \
+    SC(51, getsockname, 3, 0b110, 0b000) \
+    SC(52, getpeername, 3, 0b110, 0b000) \
+    SC(53, socketpair, 4, 0b1000, 0b0000) \
+    SC(54, setsockopt, 5, 0b01000, 0b00000) \
+    SC(55, getsockopt, 5, 0b11000, 0b00000) \
+    SC(56, clone, 5, 0b01110, 0b10001) \
+    SC(57, fork, 0, 0b0, 0b0) \
+    SC(58, vfork, 0, 0b0, 0b0) \
+    SC(59, execve, 3, 0b111, 0b000) \
+    SC(60, exit, 1, 0b0, 0b0) \
+    SC(61, wait4, 4, 0b1010, 0b0000) \
+    SC(62, kill, 2, 0b00, 0b00) \
+    SC(63, uname, 1, 0b1, 0b0) \
+    SC(64, semget, 3, 0b000, 0b000) \
+    SC(65, semop, 3, 0b010, 0b100) \
+    SC(66, semctl, 4, 0b0000, 0b0000) \
+    SC(67, shmdt, 1, 0b1, 0b0) \
+    SC(68, msgget, 2, 0b00, 0b00) \
+    SC(69, msgsnd, 4, 0b0010, 0b0100) \
+    SC(70, msgrcv, 5, 0b00010, 0b01100) \
+    SC(71, msgctl, 3, 0b100, 0b000) \
+    SC(72, fcntl, 3, 0b000, 0b000) \
+    SC(73, flock, 2, 0b00, 0b00) \
+    SC(74, fsync, 1, 0b0, 0b0) \
+    SC(75, fdatasync, 1, 0b0, 0b0) \
+    SC(76, truncate, 2, 0b01, 0b10) \
+    SC(77, ftruncate, 2, 0b00, 0b10) \
+    SC(78, getdents, 3, 0b010, 0b000) \
+    SC(79, getcwd, 2, 0b01, 0b10) \
+    SC(80, chdir, 1, 0b1, 0b0) \
+    SC(81, fchdir, 1, 0b0, 0b0) \
+    SC(82, rename, 2, 0b11, 0b00) \
+    SC(83, mkdir, 2, 0b01, 0b00) \
+    SC(84, rmdir, 1, 0b1, 0b0) \
+    SC(85, creat, 2, 0b01, 0b00) \
+    SC(86, link, 2, 0b11, 0b00) \
+    SC(87, unlink, 1, 0b1, 0b0) \
+    SC(88, symlink, 2, 0b11, 0b00) \
+    SC(89, readlink, 3, 0b011, 0b100) \
+    SC(90, chmod, 2, 0b01, 0b00) \
+    SC(91, fchmod, 2, 0b00, 0b00) \
+    SC(92, chown, 3, 0b001, 0b000) \
+    SC(93, fchown, 3, 0b000, 0b000) \
+    SC(94, lchown, 3, 0b001, 0b000) \
+    SC(95, umask, 1, 0b0, 0b0) \
+    SC(96, gettimeofday, 2, 0b11, 0b00) \
+    SC(97, getrlimit, 2, 0b10, 0b00) \
+    SC(98, getrusage, 2, 0b10, 0b00) \
+    SC(99, sysinfo, 1, 0b1, 0b0) \
+    SC(100, times, 1, 0b1, 0b0) \
+    SC(101, ptrace, 4, 0b1100, 0b0000) \
+    SC(102, getuid, 0, 0b0, 0b0) \
+    SC(103, syslog, 3, 0b010, 0b000) \
+    SC(104, getgid, 0, 0b0, 0b0) \
+    SC(105, setuid, 1, 0b0, 0b0) \
+    SC(106, setgid, 1, 0b0, 0b0) \
+    SC(107, geteuid, 0, 0b0, 0b0) \
+    SC(108, getegid, 0, 0b0, 0b0) \
+    SC(109, setpgid, 2, 0b00, 0b00) \
+    SC(110, getppid, 0, 0b0, 0b0) \
+    SC(111, getpgrp, 0, 0b0, 0b0) \
+    SC(112, setsid, 0, 0b0, 0b0) \
+    SC(113, setreuid, 2, 0b00, 0b00) \
+    SC(114, setregid, 2, 0b00, 0b00) \
+    SC(115, getgroups, 2, 0b10, 0b00) \
+    SC(116, setgroups, 2, 0b10, 0b00) \
+    SC(117, setresuid, 3, 0b000, 0b000) \
+    SC(118, getresuid, 3, 0b111, 0b000) \
+    SC(119, setresgid, 3, 0b000, 0b000) \
+    SC(120, getresgid, 3, 0b111, 0b000) \
+    SC(121, getpgid, 1, 0b0, 0b0) \
+    SC(122, setfsuid, 1, 0b0, 0b0) \
+    SC(123, setfsgid, 1, 0b0, 0b0) \
+    SC(124, getsid, 1, 0b0, 0b0) \
+    SC(125, capget, 2, 0b11, 0b00) \
+    SC(126, capset, 2, 0b11, 0b00) \
+    SC(127, rt_sigpending, 2, 0b01, 0b10) \
+    SC(128, rt_sigtimedwait, 4, 0b0111, 0b1000) \
+    SC(129, rt_sigqueueinfo, 3, 0b100, 0b000) \
+    SC(130, rt_sigsuspend, 2, 0b01, 0b10) \
+    SC(131, sigaltstack, 2, 0b11, 0b00) \
+    SC(132, utime, 2, 0b11, 0b00) \
+    SC(133, mknod, 3, 0b001, 0b000) \
+    SC(134, uselib, 1, 0b1, 0b0) \
+    SC(135, personality, 1, 0b0, 0b0) \
+    SC(136, ustat, 2, 0b10, 0b00) \
+    SC(137, statfs, 2, 0b11, 0b00) \
+    SC(138, fstatfs, 2, 0b10, 0b00) \
+    SC(139, sysfs, 3, 0b000, 0b000) \
+    SC(140, getpriority, 2, 0b00, 0b00) \
+    SC(141, setpriority, 3, 0b000, 0b000) \
+    SC(142, sched_setparam, 2, 0b10, 0b00) \
+    SC(143, sched_getparam, 2, 0b10, 0b00) \
+    SC(144, sched_setscheduler, 3, 0b100, 0b000) \
+    SC(145, sched_getscheduler, 1, 0b0, 0b0) \
+    SC(146, sched_get_priority_max, 1, 0b0, 0b0) \
+    SC(147, sched_get_priority_min, 1, 0b0, 0b0) \
+    SC(148, sched_rr_get_interval, 2, 0b10, 0b00) \
+    SC(149, mlock, 2, 0b01, 0b10) \
+    SC(150, munlock, 2, 0b01, 0b10) \
+    SC(151, mlockall, 1, 0b0, 0b0) \
+    SC(152, munlockall, 0, 0b0, 0b0) \
+    SC(153, vhangup, 0, 0b0, 0b0) \
+    SC(154, modify_ldt, 3, 0b010, 0b100) \
+    SC(155, pivot_root, 2, 0b11, 0b00) \
+    SC(156, _sysctl, 1, 0b1, 0b0) \
+    SC(157, prctl, 5, 0b00000, 0b11110) \
+    SC(158, arch_prctl, 2, 0b00, 0b10) \
+    SC(159, adjtimex, 1, 0b1, 0b0) \
+    SC(160, setrlimit, 2, 0b10, 0b00) \
+    SC(161, chroot, 1, 0b1, 0b0) \
+    SC(162, sync, 0, 0b0, 0b0) \
+    SC(163, acct, 1, 0b1, 0b0) \
+    SC(164, settimeofday, 2, 0b11, 0b00) \
+    SC(165, mount, 5, 0b10111, 0b01000) \
+    SC(166, umount2, 2, 0b01, 0b00) \
+    SC(167, swapon, 2, 0b01, 0b00) \
+    SC(168, swapoff, 1, 0b1, 0b0) \
+    SC(169, reboot, 4, 0b1000, 0b0000) \
+    SC(170, sethostname, 2, 0b01, 0b00) \
+    SC(171, setdomainname, 2, 0b01, 0b00) \
+    SC(172, iopl, 1, 0b0, 0b0) \
+    SC(173, ioperm, 3, 0b000, 0b011) \
+    SC(174, create_module, 2, 0b01, 0b10) \
+    SC(175, init_module, 3, 0b101, 0b010) \
+    SC(176, delete_module, 2, 0b01, 0b00) \
+    SC(177, get_kernel_syms, 1, 0b1, 0b0) \
+    SC(178, query_module, 5, 0b10101, 0b01000) \
+    SC(179, quotactl, 4, 0b1010, 0b0000) \
+    SC(180, nfsservctl, 3, 0b110, 0b000) \
+    SC(181, getpmsg, 5, 0b00000, 0b00000) \
+    SC(182, putpmsg, 5, 0b00000, 0b00000) \
+    SC(183, afs_syscall, 5, 0b00000, 0b00000) \
+    SC(184, tuxcall, 3, 0b000, 0b000) \
+    SC(185, security, 3, 0b000, 0b000) \
+    SC(186, gettid, 0, 0b0, 0b0) \
+    SC(187, readahead, 3, 0b000, 0b110) \
+    SC(188, setxattr, 5, 0b00111, 0b01000) \
+    SC(189, lsetxattr, 5, 0b00111, 0b01000) \
+    SC(190, fsetxattr, 5, 0b00110, 0b01000) \
+    SC(191, getxattr, 4, 0b0111, 0b1000) \
+    SC(192, lgetxattr, 4, 0b0111, 0b1000) \
+    SC(193, fgetxattr, 4, 0b0110, 0b1000) \
+    SC(194, listxattr, 3, 0b011, 0b100) \
+    SC(195, llistxattr, 3, 0b011, 0b100) \
+    SC(196, flistxattr, 3, 0b010, 0b100) \
+    SC(197, removexattr, 2, 0b11, 0b00) \
+    SC(198, lremovexattr, 2, 0b11, 0b00) \
+    SC(199, fremovexattr, 2, 0b10, 0b00) \
+    SC(200, tkill, 2, 0b00, 0b00) \
+    SC(201, time, 1, 0b1, 0b0) \
+    SC(202, futex, 6, 0b011001, 0b000000) \
+    SC(203, sched_setaffinity, 3, 0b100, 0b000) \
+    SC(204, sched_getaffinity, 3, 0b100, 0b000) \
+    SC(205, set_thread_area, 1, 0b1, 0b0) \
+    SC(206, io_setup, 2, 0b10, 0b00) \
+    SC(207, io_destroy, 1, 0b0, 0b1) \
+    SC(208, io_getevents, 5, 0b11000, 0b00001) \
+    SC(209, io_submit, 3, 0b100, 0b011) \
+    SC(210, io_cancel, 3, 0b110, 0b001) \
+    SC(211, get_thread_area, 1, 0b1, 0b0) \
+    SC(212, lookup_dcookie, 3, 0b010, 0b101) \
+    SC(213, epoll_create, 1, 0b0, 0b0) \
+    SC(214, epoll_ctl_old, 4, 0b0000, 0b0000) \
+    SC(215, epoll_wait_old, 3, 0b000, 0b000) \
+    SC(216, remap_file_pages, 5, 0b00001, 0b01010) \
+    SC(217, getdents64, 3, 0b010, 0b000) \
+    SC(218, set_tid_address, 1, 0b1, 0b0) \
+    SC(219, restart_syscall, 0, 0b0, 0b0) \
+    SC(220, semtimedop, 4, 0b1010, 0b0100) \
+    SC(221, fadvise64, 4, 0b0000, 0b0110) \
+    SC(222, timer_create, 3, 0b110, 0b000) \
+    SC(223, timer_settime, 4, 0b1100, 0b0000) \
+    SC(224, timer_gettime, 2, 0b10, 0b00) \
+    SC(225, timer_getoverrun, 1, 0b0, 0b0) \
+    SC(226, timer_delete, 1, 0b0, 0b0) \
+    SC(227, clock_settime, 2, 0b10, 0b00) \
+    SC(228, clock_gettime, 2, 0b10, 0b00) \
+    SC(229, clock_getres, 2, 0b10, 0b00) \
+    SC(230, clock_nanosleep, 4, 0b1100, 0b0000) \
+    SC(231, exit_group, 1, 0b0, 0b0) \
+    SC(232, epoll_wait, 4, 0b0010, 0b0000) \
+    SC(233, epoll_ctl, 4, 0b1000, 0b0000) \
+    SC(234, tgkill, 3, 0b000, 0b000) \
+    SC(235, utimes, 2, 0b11, 0b00) \
+    SC(236, vserver, 5, 0b00000, 0b00000) \
+    SC(237, mbind, 6, 0b001001, 0b010010) \
+    SC(238, set_mempolicy, 3, 0b010, 0b100) \
+    SC(239, get_mempolicy, 5, 0b01011, 0b00100) \
+    SC(240, mq_open, 4, 0b1001, 0b0000) \
+    SC(241, mq_unlink, 1, 0b1, 0b0) \
+    SC(242, mq_timedsend, 5, 0b10010, 0b00100) \
+    SC(243, mq_timedreceive, 5, 0b11010, 0b00100) \
+    SC(244, mq_notify, 2, 0b10, 0b00) \
+    SC(245, mq_getsetattr, 3, 0b110, 0b000) \
+    SC(246, kexec_load, 4, 0b0100, 0b1011) \
+    SC(247, waitid, 5, 0b10100, 0b00000) \
+    SC(248, add_key, 5, 0b00111, 0b01000) \
+    SC(249, request_key, 4, 0b0111, 0b0000) \
+    SC(250, keyctl, 5, 0b00000, 0b11110) \
+    SC(251, ioprio_set, 3, 0b000, 0b000) \
+    SC(252, ioprio_get, 2, 0b00, 0b00) \
+    SC(253, inotify_init, 0, 0b0, 0b0) \
+    SC(254, inotify_add_watch, 3, 0b010, 0b000) \
+    SC(255, inotify_rm_watch, 2, 0b00, 0b00) \
+    SC(256, migrate_pages, 4, 0b1100, 0b0010) \
+    SC(257, openat, 4, 0b0010, 0b0000) \
+    SC(258, mkdirat, 3, 0b010, 0b000) \
+    SC(259, mknodat, 4, 0b0010, 0b0000) \
+    SC(260, fchownat, 5, 0b00010, 0b00000) \
+    SC(261, futimesat, 3, 0b110, 0b000) \
+    SC(262, newfstatat, 4, 0b0110, 0b0000) \
+    SC(263, unlinkat, 3, 0b010, 0b000) \
+    SC(264, renameat, 4, 0b1010, 0b0000) \
+    SC(265, linkat, 5, 0b01010, 0b00000) \
+    SC(266, symlinkat, 3, 0b101, 0b000) \
+    SC(267, readlinkat, 4, 0b0110, 0b1000) \
+    SC(268, fchmodat, 3, 0b010, 0b000) \
+    SC(269, faccessat, 3, 0b010, 0b000) \
+    SC(270, pselect6, 6, 0b111110, 0b000000) \
+    SC(271, ppoll, 5, 0b01101, 0b10010) \
+    SC(272, unshare, 1, 0b0, 0b0) \
+    SC(273, set_robust_list, 2, 0b01, 0b10) \
+    SC(274, get_robust_list, 3, 0b110, 0b000) \
+    SC(275, splice, 6, 0b001010, 0b010000) \
+    SC(276, tee, 4, 0b0000, 0b0100) \
+    SC(277, sync_file_range, 4, 0b0000, 0b0110) \
+    SC(278, vmsplice, 4, 0b0010, 0b0100) \
+    SC(279, move_pages, 6, 0b011100, 0b000010) \
+    SC(280, utimensat, 4, 0b0110, 0b0000) \
+    SC(281, epoll_pwait, 6, 0b010010, 0b100000) \
+    SC(282, signalfd, 3, 0b010, 0b100) \
+    SC(283, timerfd_create, 2, 0b00, 0b00) \
+    SC(284, eventfd, 1, 0b0, 0b0) \
+    SC(285, fallocate, 4, 0b0000, 0b1100) \
+    SC(286, timerfd_settime, 4, 0b1100, 0b0000) \
+    SC(287, timerfd_gettime, 2, 0b10, 0b00) \
+    SC(288, accept4, 4, 0b0110, 0b0000) \
+    SC(289, signalfd4, 4, 0b0010, 0b0100) \
+    SC(290, eventfd2, 2, 0b00, 0b00) \
+    SC(291, epoll_create1, 1, 0b0, 0b0) \
+    SC(292, dup3, 3, 0b000, 0b000) \
+    SC(293, pipe2, 2, 0b01, 0b00) \
+    SC(294, inotify_init1, 1, 0b0, 0b0) \
+    SC(295, preadv, 5, 0b00010, 0b11000) \
+    SC(296, pwritev, 5, 0b00010, 0b11000) \
+    SC(297, rt_tgsigqueueinfo, 4, 0b1000, 0b0000) \
+    SC(298, perf_event_open, 5, 0b00001, 0b10000) \
+    SC(299, recvmmsg, 5, 0b10010, 0b00000) \
+    SC(300, fanotify_init, 2, 0b00, 0b00) \
+    SC(301, fanotify_mark, 5, 0b10000, 0b00100) \
+    SC(302, prlimit64, 4, 0b1100, 0b0000) \
+    SC(303, name_to_handle_at, 5, 0b01110, 0b00000) \
+    SC(304, open_by_handle_at, 3, 0b010, 0b000) \
+    SC(305, clock_adjtime, 2, 0b10, 0b00) \
+    SC(306, syncfs, 1, 0b0, 0b0) \
+    SC(307, sendmmsg, 4, 0b0010, 0b0000) \
+    SC(308, setns, 2, 0b00, 0b00) \
+    SC(309, getcpu, 3, 0b111, 0b000) \
+    SC(310, process_vm_readv, 6, 0b001010, 0b010100) \
+    SC(311, process_vm_writev, 6, 0b001010, 0b010100) \
+    SC(312, kcmp, 5, 0b00000, 0b11000) \
+    SC(313, finit_module, 3, 0b010, 0b000) \
+    SC(314, sched_setattr, 3, 0b010, 0b000) \
+    SC(315, sched_getattr, 4, 0b0010, 0b0000) \
+    SC(316, renameat2, 5, 0b01010, 0b00000) \
+    SC(317, seccomp, 3, 0b100, 0b000) \
+    SC(318, getrandom, 3, 0b001, 0b010) \
+    SC(319, memfd_create, 2, 0b01, 0b00) \
+    SC(320, kexec_file_load, 5, 0b01000, 0b10100) \
+    SC(321, bpf, 3, 0b010, 0b000) \
+    SC(322, execveat, 5, 0b01110, 0b00000) \
+    SC(323, userfaultfd, 1, 0b0, 0b0) \
+    SC(324, membarrier, 2, 0b00, 0b00) \
+    SC(325, mlock2, 3, 0b001, 0b010) \
+    SC(326, copy_file_range, 6, 0b001010, 0b010000) \
+    SC(327, preadv2, 6, 0b000010, 0b011000) \
+    SC(328, pwritev2, 6, 0b000010, 0b011000) \
+    SC(329, pkey_mprotect, 4, 0b0001, 0b0010) \
+    SC(330, pkey_alloc, 2, 0b00, 0b11) \
+    SC(331, pkey_free, 1, 0b0, 0b0) \
+    SC(332, statx, 5, 0b10010, 0b00000) \
+    SC(333, io_pgetevents, 6, 0b111000, 0b000001) \
+    SC(334, rseq, 4, 0b0001, 0b0010) \
+    SC(424, pidfd_send_signal, 4, 0b0100, 0b0000) \
+    SC(425, io_uring_setup, 2, 0b10, 0b00) \
+    SC(426, io_uring_enter, 6, 0b010000, 0b100000) \
+    SC(427, io_uring_register, 4, 0b0100, 0b0000) \
+    SC(428, open_tree, 3, 0b010, 0b000) \
+    SC(429, move_mount, 5, 0b01010, 0b00000) \
+    SC(430, fsopen, 2, 0b01, 0b00) \
+    SC(431, fsconfig, 5, 0b01100, 0b00000) \
+    SC(432, fsmount, 3, 0b000, 0b000) \
+    SC(433, fspick, 3, 0b010, 0b000) \
+    SC(434, pidfd_open, 2, 0b00, 0b00) \
+    SC(435, clone3, 2, 0b01, 0b10)
+
+std::vector<SyscallDesc>
+buildTable()
+{
+    std::vector<SyscallDesc> table;
+#define SC(id, nm, na, pm, wm) \
+    table.push_back(SyscallDesc{id, #nm, na, pm, wm});
+    SYSCALL_LIST(SC)
+#undef SC
+    return table;
+}
+
+const std::unordered_map<uint16_t, size_t> &
+idIndex()
+{
+    static const std::unordered_map<uint16_t, size_t> index = [] {
+        std::unordered_map<uint16_t, size_t> m;
+        const auto &table = syscallTable();
+        for (size_t i = 0; i < table.size(); ++i)
+            m.emplace(table[i].id, i);
+        return m;
+    }();
+    return index;
+}
+
+const std::unordered_map<std::string, size_t> &
+nameIndex()
+{
+    static const std::unordered_map<std::string, size_t> index = [] {
+        std::unordered_map<std::string, size_t> m;
+        const auto &table = syscallTable();
+        for (size_t i = 0; i < table.size(); ++i)
+            m.emplace(table[i].name, i);
+        return m;
+    }();
+    return index;
+}
+
+} // namespace
+
+const std::vector<SyscallDesc> &
+syscallTable()
+{
+    static const std::vector<SyscallDesc> table = buildTable();
+    return table;
+}
+
+const SyscallDesc *
+syscallById(uint16_t id)
+{
+    const auto &index = idIndex();
+    auto it = index.find(id);
+    return it == index.end() ? nullptr : &syscallTable()[it->second];
+}
+
+const SyscallDesc *
+syscallByName(const std::string &name)
+{
+    const auto &index = nameIndex();
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &syscallTable()[it->second];
+}
+
+uint16_t
+syscallIdBound()
+{
+    return static_cast<uint16_t>(syscallTable().back().id + 1);
+}
+
+} // namespace draco::os

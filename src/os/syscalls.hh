@@ -1,0 +1,139 @@
+/**
+ * @file
+ * x86-64 Linux system call descriptor table.
+ *
+ * Draco's SPT entry for a syscall needs (i) its ID, (ii) which argument
+ * bytes participate in checking — the 48-bit Argument Bitmask of §V-B —
+ * and (iii) how many checkable (non-pointer) arguments it takes, which
+ * selects the SLB subtable (§VI-A). This module is the source of truth
+ * for all of that: one descriptor per native x86-64 syscall of the
+ * Linux 5.3 era (ids 0–334 and 424–435), with per-argument byte widths
+ * and pointer flags. Seccomp (and hence Draco) never checks pointer
+ * arguments because of TOCTOU (§II-B), so pointer args are excluded from
+ * bitmasks and argument counts.
+ */
+
+#ifndef DRACO_OS_SYSCALLS_HH
+#define DRACO_OS_SYSCALLS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace draco::os {
+
+/** Maximum number of syscall arguments in the Linux ABI. */
+inline constexpr unsigned kMaxSyscallArgs = 6;
+
+/** Bytes of argument payload covered by the Argument Bitmask (6 × 8). */
+inline constexpr unsigned kArgBitmaskBits = 48;
+
+/** One system call's static description. */
+struct SyscallDesc {
+    uint16_t id;          ///< Native x86-64 syscall number.
+    const char *name;     ///< Kernel entry-point name.
+    uint8_t nargs;        ///< Total arguments, 0..6.
+    uint8_t pointerMask;  ///< Bit i set => argument i is a pointer.
+    uint8_t wideMask;     ///< Bit i set => scalar argument i is 8 bytes.
+
+    /** @return Width in bytes of argument @p i (0 if beyond nargs). */
+    unsigned argBytes(unsigned i) const;
+
+    /** @return true if argument @p i is a pointer (never checked). */
+    bool argIsPointer(unsigned i) const;
+
+    /** @return Number of checkable (non-pointer) arguments. */
+    unsigned checkedArgCount() const;
+
+    /**
+     * @return The 48-bit Argument Bitmask: bit (arg*8 + byte) is set when
+     *         that byte of a non-pointer argument participates in checks.
+     */
+    uint64_t argumentBitmask() const;
+};
+
+/** @return All descriptors, ordered by ascending id. */
+const std::vector<SyscallDesc> &syscallTable();
+
+/** @return Descriptor for @p id, or nullptr if the id is not defined. */
+const SyscallDesc *syscallById(uint16_t id);
+
+/** @return Descriptor whose name equals @p name, or nullptr. */
+const SyscallDesc *syscallByName(const std::string &name);
+
+/** @return One past the largest defined syscall id (table bound). */
+uint16_t syscallIdBound();
+
+/**
+ * Total syscalls in the kernel the paper measured (Fig. 15a's `linux`
+ * bar). Our descriptor table enumerates the native x86-64 entries; the
+ * paper's count additionally includes non-native ABIs.
+ */
+inline constexpr unsigned kPaperLinuxSyscallCount = 403;
+
+/** Convenience ids for the syscalls the workloads and tests name a lot. */
+namespace sc {
+inline constexpr uint16_t read = 0;
+inline constexpr uint16_t write = 1;
+inline constexpr uint16_t open = 2;
+inline constexpr uint16_t close = 3;
+inline constexpr uint16_t stat = 4;
+inline constexpr uint16_t fstat = 5;
+inline constexpr uint16_t poll = 7;
+inline constexpr uint16_t lseek = 8;
+inline constexpr uint16_t mmap = 9;
+inline constexpr uint16_t mprotect = 10;
+inline constexpr uint16_t munmap = 11;
+inline constexpr uint16_t brk = 12;
+inline constexpr uint16_t ioctl = 16;
+inline constexpr uint16_t writev = 20;
+inline constexpr uint16_t access = 21;
+inline constexpr uint16_t pipe = 22;
+inline constexpr uint16_t select = 23;
+inline constexpr uint16_t sched_yield = 24;
+inline constexpr uint16_t madvise = 28;
+inline constexpr uint16_t dup = 32;
+inline constexpr uint16_t nanosleep = 35;
+inline constexpr uint16_t getpid = 39;
+inline constexpr uint16_t sendfile = 40;
+inline constexpr uint16_t socket = 41;
+inline constexpr uint16_t connect = 42;
+inline constexpr uint16_t accept = 43;
+inline constexpr uint16_t sendto = 44;
+inline constexpr uint16_t recvfrom = 45;
+inline constexpr uint16_t sendmsg = 46;
+inline constexpr uint16_t recvmsg = 47;
+inline constexpr uint16_t bind = 49;
+inline constexpr uint16_t listen = 50;
+inline constexpr uint16_t clone = 56;
+inline constexpr uint16_t fork = 57;
+inline constexpr uint16_t execve = 59;
+inline constexpr uint16_t exit = 60;
+inline constexpr uint16_t wait4 = 61;
+inline constexpr uint16_t kill = 62;
+inline constexpr uint16_t fcntl = 72;
+inline constexpr uint16_t fsync = 74;
+inline constexpr uint16_t getdents = 78;
+inline constexpr uint16_t getcwd = 79;
+inline constexpr uint16_t unlink = 87;
+inline constexpr uint16_t times = 100;
+inline constexpr uint16_t getppid = 110;
+inline constexpr uint16_t personality = 135;
+inline constexpr uint16_t futex = 202;
+inline constexpr uint16_t epoll_wait = 232;
+inline constexpr uint16_t epoll_ctl = 233;
+inline constexpr uint16_t mq_timedsend = 242;
+inline constexpr uint16_t mq_timedreceive = 243;
+inline constexpr uint16_t openat = 257;
+inline constexpr uint16_t accept4 = 288;
+inline constexpr uint16_t epoll_create1 = 291;
+inline constexpr uint16_t getrandom = 318;
+inline constexpr uint16_t seccomp = 317;
+inline constexpr uint16_t exit_group = 231;
+inline constexpr uint16_t epoll_pwait = 281;
+} // namespace sc
+
+} // namespace draco::os
+
+#endif // DRACO_OS_SYSCALLS_HH

@@ -1,0 +1,283 @@
+#include "seccomp/bpf.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+BpfInsn
+stmt(uint16_t code, uint32_t k)
+{
+    return BpfInsn{code, 0, 0, k};
+}
+
+BpfInsn
+jump(uint16_t code, uint32_t k, uint8_t jt, uint8_t jf)
+{
+    return BpfInsn{code, jt, jf, k};
+}
+
+BpfProgram::BpfProgram(std::vector<BpfInsn> insns)
+    : _insns(std::move(insns))
+{
+}
+
+namespace {
+
+constexpr uint16_t kClassMask = 0x07;
+
+bool
+isValidSeccompLoad(const BpfInsn &insn, std::string *error)
+{
+    uint16_t mode = insn.code & 0xe0;
+    uint16_t size = insn.code & 0x18;
+    if (mode == op::ABS) {
+        if (size != op::W) {
+            if (error)
+                *error = "ABS load must be word-sized";
+            return false;
+        }
+        if (insn.k % 4 != 0 || insn.k + 4 > sizeof(os::SeccompData)) {
+            if (error)
+                *error = "ABS load offset out of seccomp_data bounds";
+            return false;
+        }
+        return true;
+    }
+    if (mode == op::IMM || mode == op::LEN)
+        return true;
+    if (mode == op::MEM) {
+        if (insn.k >= kBpfMemWords) {
+            if (error)
+                *error = "MEM load index out of range";
+            return false;
+        }
+        return true;
+    }
+    if (error)
+        *error = "load mode not permitted by seccomp";
+    return false;
+}
+
+} // namespace
+
+bool
+BpfProgram::validate(std::string *error) const
+{
+    auto fail = [&](const std::string &msg, size_t pc) {
+        if (error)
+            *error = "insn " + std::to_string(pc) + ": " + msg;
+        return false;
+    };
+
+    if (_insns.empty()) {
+        if (error)
+            *error = "empty program";
+        return false;
+    }
+    if (_insns.size() > kBpfMaxInsns) {
+        if (error)
+            *error = "program exceeds BPF_MAXINSNS";
+        return false;
+    }
+
+    for (size_t pc = 0; pc < _insns.size(); ++pc) {
+        const BpfInsn &insn = _insns[pc];
+        std::string sub;
+        switch (insn.code & kClassMask) {
+          case op::LD:
+          case op::LDX:
+            if (!isValidSeccompLoad(insn, &sub))
+                return fail(sub, pc);
+            break;
+          case op::ST:
+          case op::STX:
+            if (insn.k >= kBpfMemWords)
+                return fail("store index out of range", pc);
+            break;
+          case op::ALU: {
+            uint16_t aluOp = insn.code & 0xf0;
+            if (aluOp > op::XOR)
+                return fail("unknown ALU op", pc);
+            bool srcIsK = (insn.code & op::X) == 0;
+            if ((aluOp == op::DIV || aluOp == op::MOD) && srcIsK &&
+                insn.k == 0) {
+                return fail("constant division by zero", pc);
+            }
+            break;
+          }
+          case op::JMP: {
+            uint16_t jop = insn.code & 0xf0;
+            if (jop != op::JA && jop != op::JEQ && jop != op::JGT &&
+                jop != op::JGE && jop != op::JSET) {
+                return fail("unknown jump op", pc);
+            }
+            // Seccomp only allows forward jumps that stay in bounds.
+            size_t maxOff = jop == op::JA
+                ? insn.k
+                : std::max<uint32_t>(insn.jt, insn.jf);
+            if (pc + 1 + maxOff >= _insns.size())
+                return fail("jump target out of bounds", pc);
+            break;
+          }
+          case op::RET:
+            break;
+          case op::MISC: {
+            uint16_t mop = insn.code & 0xf8;
+            if (mop != op::TAX && mop != op::TXA)
+                return fail("unknown MISC op", pc);
+            break;
+          }
+          default:
+            return fail("unknown instruction class", pc);
+        }
+    }
+
+    // The last reachable instruction must be a RET; since all jumps are
+    // forward and bounded, requiring the final instruction to be RET
+    // guarantees termination with a result.
+    if ((_insns.back().code & kClassMask) != op::RET)
+        return fail("program must end with RET", _insns.size() - 1);
+
+    return true;
+}
+
+BpfResult
+BpfProgram::run(const os::SeccompData &data) const
+{
+    if (_insns.empty())
+        panic("BpfProgram::run on empty program");
+
+    uint32_t acc = 0;
+    uint32_t idx = 0;
+    uint32_t mem[kBpfMemWords] = {};
+    const auto *bytes = reinterpret_cast<const uint8_t *>(&data);
+
+    BpfResult result;
+    size_t pc = 0;
+    while (pc < _insns.size()) {
+        const BpfInsn &insn = _insns[pc];
+        ++result.insnsExecuted;
+        uint16_t cls = insn.code & kClassMask;
+        switch (cls) {
+          case op::LD: {
+            uint16_t mode = insn.code & 0xe0;
+            if (mode == op::ABS) {
+                uint32_t w;
+                std::memcpy(&w, bytes + insn.k, 4);
+                acc = w;
+            } else if (mode == op::IMM) {
+                acc = insn.k;
+            } else if (mode == op::LEN) {
+                acc = sizeof(os::SeccompData);
+            } else { // MEM
+                acc = mem[insn.k];
+            }
+            break;
+          }
+          case op::LDX: {
+            uint16_t mode = insn.code & 0xe0;
+            if (mode == op::IMM)
+                idx = insn.k;
+            else if (mode == op::LEN)
+                idx = sizeof(os::SeccompData);
+            else // MEM
+                idx = mem[insn.k];
+            break;
+          }
+          case op::ST:
+            mem[insn.k] = acc;
+            break;
+          case op::STX:
+            mem[insn.k] = idx;
+            break;
+          case op::ALU: {
+            uint32_t src = (insn.code & op::X) ? idx : insn.k;
+            switch (insn.code & 0xf0) {
+              case op::ADD: acc += src; break;
+              case op::SUB: acc -= src; break;
+              case op::MUL: acc *= src; break;
+              case op::DIV:
+                acc = src == 0 ? 0 : acc / src;
+                break;
+              case op::MOD:
+                acc = src == 0 ? 0 : acc % src;
+                break;
+              case op::OR: acc |= src; break;
+              case op::AND: acc &= src; break;
+              case op::XOR: acc ^= src; break;
+              case op::LSH: acc = src < 32 ? acc << src : 0; break;
+              case op::RSH: acc = src < 32 ? acc >> src : 0; break;
+              case op::NEG: acc = static_cast<uint32_t>(-static_cast<int32_t>(acc)); break;
+              default:
+                panic("BpfProgram::run: unvalidated ALU op");
+            }
+            break;
+          }
+          case op::JMP: {
+            uint16_t jop = insn.code & 0xf0;
+            if (jop == op::JA) {
+                pc += insn.k;
+                break;
+            }
+            uint32_t src = (insn.code & op::X) ? idx : insn.k;
+            bool taken = false;
+            switch (jop) {
+              case op::JEQ: taken = acc == src; break;
+              case op::JGT: taken = acc > src; break;
+              case op::JGE: taken = acc >= src; break;
+              case op::JSET: taken = (acc & src) != 0; break;
+              default:
+                panic("BpfProgram::run: unvalidated jump op");
+            }
+            pc += taken ? insn.jt : insn.jf;
+            break;
+          }
+          case op::RET: {
+            uint16_t rsrc = insn.code & 0x18;
+            result.action = rsrc == op::A ? acc : insn.k;
+            return result;
+          }
+          case op::MISC:
+            if ((insn.code & 0xf8) == op::TAX)
+                idx = acc;
+            else
+                acc = idx;
+            break;
+          default:
+            panic("BpfProgram::run: unvalidated instruction class");
+        }
+        ++pc;
+    }
+    panic("BpfProgram::run: fell off the end of a validated program");
+}
+
+std::string
+BpfProgram::disassemble() const
+{
+    std::string out;
+    char buf[128];
+    for (size_t pc = 0; pc < _insns.size(); ++pc) {
+        const BpfInsn &insn = _insns[pc];
+        const char *mnemonic = "?";
+        switch (insn.code & kClassMask) {
+          case op::LD: mnemonic = "ld"; break;
+          case op::LDX: mnemonic = "ldx"; break;
+          case op::ST: mnemonic = "st"; break;
+          case op::STX: mnemonic = "stx"; break;
+          case op::ALU: mnemonic = "alu"; break;
+          case op::JMP: mnemonic = "jmp"; break;
+          case op::RET: mnemonic = "ret"; break;
+          case op::MISC: mnemonic = "misc"; break;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "%4zu: %-4s code=0x%04x jt=%u jf=%u k=0x%08x\n", pc,
+                      mnemonic, insn.code, insn.jt, insn.jf, insn.k);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace draco::seccomp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Classic BPF (cBPF) instruction set, validator, and interpreter.
+ *
+ * Linux Seccomp filters are classic-BPF programs executed against the
+ * 64-byte seccomp_data block (§II-B). This module implements the cBPF
+ * machine — accumulator A, index register X, 16 scratch words — with the
+ * same instruction restrictions the kernel's seccomp verifier imposes
+ * (forward jumps only, aligned in-bounds loads, mandatory RET
+ * termination). The interpreter counts executed instructions so the
+ * timing model can price a filter run for both the JIT'd and the
+ * interpreted kernel generations.
+ */
+
+#ifndef DRACO_SECCOMP_BPF_HH
+#define DRACO_SECCOMP_BPF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/seccomp_abi.hh"
+
+namespace draco::seccomp {
+
+/** One classic-BPF instruction, laid out like struct sock_filter. */
+struct BpfInsn {
+    uint16_t code = 0; ///< Opcode: class | size/op | mode/src.
+    uint8_t jt = 0;    ///< Relative jump offset when true.
+    uint8_t jf = 0;    ///< Relative jump offset when false.
+    uint32_t k = 0;    ///< Immediate / offset operand.
+};
+
+/** Opcode fields (values from linux/filter.h). */
+namespace op {
+// Instruction classes.
+inline constexpr uint16_t LD = 0x00;
+inline constexpr uint16_t LDX = 0x01;
+inline constexpr uint16_t ST = 0x02;
+inline constexpr uint16_t STX = 0x03;
+inline constexpr uint16_t ALU = 0x04;
+inline constexpr uint16_t JMP = 0x05;
+inline constexpr uint16_t RET = 0x06;
+inline constexpr uint16_t MISC = 0x07;
+
+// Load sizes.
+inline constexpr uint16_t W = 0x00;
+inline constexpr uint16_t H = 0x08;
+inline constexpr uint16_t B = 0x10;
+
+// Load modes.
+inline constexpr uint16_t IMM = 0x00;
+inline constexpr uint16_t ABS = 0x20;
+inline constexpr uint16_t IND = 0x40;
+inline constexpr uint16_t MEM = 0x60;
+inline constexpr uint16_t LEN = 0x80;
+
+// ALU operations.
+inline constexpr uint16_t ADD = 0x00;
+inline constexpr uint16_t SUB = 0x10;
+inline constexpr uint16_t MUL = 0x20;
+inline constexpr uint16_t DIV = 0x30;
+inline constexpr uint16_t OR = 0x40;
+inline constexpr uint16_t AND = 0x50;
+inline constexpr uint16_t LSH = 0x60;
+inline constexpr uint16_t RSH = 0x70;
+inline constexpr uint16_t NEG = 0x80;
+inline constexpr uint16_t MOD = 0x90;
+inline constexpr uint16_t XOR = 0xa0;
+
+// Jump kinds.
+inline constexpr uint16_t JA = 0x00;
+inline constexpr uint16_t JEQ = 0x10;
+inline constexpr uint16_t JGT = 0x20;
+inline constexpr uint16_t JGE = 0x30;
+inline constexpr uint16_t JSET = 0x40;
+
+// Operand source.
+inline constexpr uint16_t K = 0x00;
+inline constexpr uint16_t X = 0x08;
+
+// Return value source.
+inline constexpr uint16_t A = 0x10;
+
+// MISC ops.
+inline constexpr uint16_t TAX = 0x00;
+inline constexpr uint16_t TXA = 0x80;
+} // namespace op
+
+/** Number of scratch memory words in the cBPF machine. */
+inline constexpr unsigned kBpfMemWords = 16;
+
+/** Maximum program length enforced by the kernel (BPF_MAXINSNS). */
+inline constexpr size_t kBpfMaxInsns = 4096;
+
+/** Assembly helpers for building instructions. */
+BpfInsn stmt(uint16_t code, uint32_t k);
+BpfInsn jump(uint16_t code, uint32_t k, uint8_t jt, uint8_t jf);
+
+/** Result of executing a filter. */
+struct BpfResult {
+    uint32_t action = 0;       ///< Raw SECCOMP_RET_* value.
+    uint64_t insnsExecuted = 0; ///< Dynamic instruction count.
+};
+
+/**
+ * A validated classic-BPF program.
+ */
+class BpfProgram
+{
+  public:
+    /** Construct an empty (invalid) program. */
+    BpfProgram() = default;
+
+    /**
+     * Construct from raw instructions.
+     *
+     * Call validate() before running; run() panics on invalid programs.
+     */
+    explicit BpfProgram(std::vector<BpfInsn> insns);
+
+    /**
+     * Check the program against the seccomp verifier rules: bounded
+     * length, known opcodes, in-range forward jumps, in-bounds aligned
+     * ABS loads, every path ending in RET.
+     *
+     * @param error Receives a description of the first violation.
+     * @return true when the program is acceptable.
+     */
+    bool validate(std::string *error = nullptr) const;
+
+    /**
+     * Execute the filter over @p data.
+     *
+     * @param data The seccomp_data block for the pending system call.
+     * @return Final action and dynamic instruction count.
+     */
+    BpfResult run(const os::SeccompData &data) const;
+
+    /** @return Static instruction count. */
+    size_t size() const { return _insns.size(); }
+
+    /** @return true if the program has at least one instruction. */
+    bool empty() const { return _insns.empty(); }
+
+    /** @return The instruction vector. */
+    const std::vector<BpfInsn> &insns() const { return _insns; }
+
+    /** @return A human-readable disassembly (one insn per line). */
+    std::string disassemble() const;
+
+  private:
+    std::vector<BpfInsn> _insns;
+};
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_BPF_HH

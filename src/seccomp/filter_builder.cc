@@ -1,0 +1,446 @@
+#include "seccomp/filter_builder.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+BpfAssembler::Label
+BpfAssembler::newLabel()
+{
+    _labelPos.push_back(-1);
+    return _labelPos.size() - 1;
+}
+
+void
+BpfAssembler::bind(Label label)
+{
+    if (_labelPos.at(label) != -1)
+        panic("BpfAssembler: label bound twice");
+    _labelPos[label] = static_cast<ssize_t>(_insns.size());
+}
+
+void
+BpfAssembler::emit(const BpfInsn &insn)
+{
+    _insns.push_back(insn);
+}
+
+void
+BpfAssembler::loadAbs(uint32_t offset)
+{
+    emit(stmt(op::LD | op::W | op::ABS, offset));
+}
+
+void
+BpfAssembler::ret(uint32_t action)
+{
+    emit(stmt(op::RET | op::K, action));
+}
+
+void
+BpfAssembler::ja(Label target)
+{
+    _fixups.push_back({_insns.size(), target, FixupKind::FarK});
+    emit(stmt(op::JMP | op::JA, 0));
+}
+
+void
+BpfAssembler::condFar(uint16_t condCode, uint32_t k, Label onTrue)
+{
+    // True falls into the JA trampoline; false hops over it.
+    emit(jump(op::JMP | condCode | op::K, k, 0, 1));
+    ja(onTrue);
+}
+
+void
+BpfAssembler::condFalseShort(uint16_t condCode, uint32_t k, Label onFalse)
+{
+    _fixups.push_back({_insns.size(), onFalse, FixupKind::ShortFalse});
+    emit(jump(op::JMP | condCode | op::K, k, 0, 0));
+}
+
+void
+BpfAssembler::condTrueShort(uint16_t condCode, uint32_t k, Label onTrue)
+{
+    _fixups.push_back({_insns.size(), onTrue, FixupKind::ShortTrue});
+    emit(jump(op::JMP | condCode | op::K, k, 0, 0));
+}
+
+BpfProgram
+BpfAssembler::finish()
+{
+    for (const Fixup &fix : _fixups) {
+        ssize_t pos = _labelPos.at(fix.label);
+        if (pos < 0)
+            panic("BpfAssembler: unbound label %zu", fix.label);
+        ssize_t offset = pos - static_cast<ssize_t>(fix.insn) - 1;
+        if (offset < 0)
+            panic("BpfAssembler: backward jump (seccomp forbids)");
+        switch (fix.kind) {
+          case FixupKind::FarK:
+            _insns[fix.insn].k = static_cast<uint32_t>(offset);
+            break;
+          case FixupKind::ShortFalse:
+            if (offset > 255)
+                panic("BpfAssembler: short false target out of range");
+            _insns[fix.insn].jf = static_cast<uint8_t>(offset);
+            break;
+          case FixupKind::ShortTrue:
+            if (offset > 255)
+                panic("BpfAssembler: short true target out of range");
+            _insns[fix.insn].jt = static_cast<uint8_t>(offset);
+            break;
+        }
+    }
+    BpfProgram program(std::move(_insns));
+    _insns.clear();
+    _fixups.clear();
+    _labelPos.clear();
+    std::string error;
+    if (!program.validate(&error))
+        panic("BpfAssembler produced invalid program: %s", error.c_str());
+    return program;
+}
+
+namespace {
+
+uint32_t lo32(uint64_t v) { return static_cast<uint32_t>(v); }
+uint32_t hi32(uint64_t v) { return static_cast<uint32_t>(v >> 32); }
+
+/**
+ * Emit the argument-checking body for one syscall rule. Entered with the
+ * syscall ID already matched; must terminate with RET on every path.
+ */
+void
+emitRuleBody(BpfAssembler &as, const os::SyscallDesc &desc,
+             const SyscallRule &rule, uint32_t denyValue)
+{
+    const uint32_t allowValue =
+        static_cast<uint32_t>(os::SeccompAction::Allow);
+
+    switch (rule.kind) {
+      case RuleKind::AllowAll:
+        as.ret(allowValue);
+        return;
+
+      case RuleKind::AllowTuples: {
+        if (rule.tuples.empty()) {
+            as.ret(denyValue);
+            return;
+        }
+        for (const auto &tuple : rule.tuples) {
+            BpfAssembler::Label nextTuple = as.newLabel();
+            for (unsigned i = 0; i < desc.nargs; ++i) {
+                if (desc.argIsPointer(i))
+                    continue;
+                // Both 32-bit halves are compared, exactly as real
+                // libseccomp rules do for 64-bit seccomp_data args.
+                as.loadAbs(os::sd_off::argLo(i));
+                as.condFalseShort(op::JEQ, lo32(tuple[i]), nextTuple);
+                as.loadAbs(os::sd_off::argHi(i));
+                as.condFalseShort(op::JEQ, hi32(tuple[i]), nextTuple);
+            }
+            as.ret(allowValue);
+            as.bind(nextTuple);
+        }
+        as.ret(denyValue);
+        return;
+      }
+
+      case RuleKind::PerArgValues: {
+        for (const auto &[arg, values] : rule.perArg) {
+            BpfAssembler::Label argOk = as.newLabel();
+            for (uint64_t v : values) {
+                BpfAssembler::Label nextValue = as.newLabel();
+                as.loadAbs(os::sd_off::argLo(arg));
+                as.condFalseShort(op::JEQ, lo32(v), nextValue);
+                as.loadAbs(os::sd_off::argHi(arg));
+                as.condFalseShort(op::JEQ, hi32(v), nextValue);
+                as.ja(argOk);
+                as.bind(nextValue);
+            }
+            as.ret(denyValue);
+            as.bind(argOk);
+        }
+        as.ret(allowValue);
+        return;
+      }
+    }
+    panic("emitRuleBody: unhandled rule kind");
+}
+
+/** Recursively emit a balanced binary search tree over syscall IDs. */
+void
+emitTreeDispatch(BpfAssembler &as, const std::vector<uint16_t> &sids,
+                 const std::vector<BpfAssembler::Label> &bodies,
+                 size_t lo, size_t hi, BpfAssembler::Label deny)
+{
+    constexpr size_t kLeafWidth = 4;
+    if (hi - lo <= kLeafWidth) {
+        for (size_t i = lo; i < hi; ++i)
+            as.condFar(op::JEQ, sids[i], bodies[i]);
+        as.ja(deny);
+        return;
+    }
+    size_t mid = lo + (hi - lo) / 2;
+    BpfAssembler::Label right = as.newLabel();
+    as.condFar(op::JGE, sids[mid], right);
+    emitTreeDispatch(as, sids, bodies, lo, mid, deny);
+    as.bind(right);
+    emitTreeDispatch(as, sids, bodies, mid, hi, deny);
+}
+
+} // namespace
+
+BpfProgram
+buildFilter(const Profile &profile, DispatchShape shape)
+{
+    BpfAssembler as;
+    const uint32_t denyValue = profile.denyValue();
+    const auto killValue =
+        static_cast<uint32_t>(os::SeccompAction::KillProcess);
+
+    // Architecture guard: non-native callers are killed outright.
+    as.loadAbs(os::sd_off::arch);
+    as.emit(jump(op::JMP | op::JEQ | op::K, os::kAuditArchX86_64, 1, 0));
+    as.ret(killValue);
+
+    as.loadAbs(os::sd_off::nr);
+
+    std::vector<uint16_t> sids;
+    std::vector<const SyscallRule *> rules;
+    for (const auto &[sid, rule] : profile.rules()) {
+        if (!os::syscallById(sid))
+            continue;
+        sids.push_back(sid);
+        rules.push_back(&rule);
+    }
+
+    BpfAssembler::Label deny = as.newLabel();
+    std::vector<BpfAssembler::Label> bodies(sids.size());
+    std::vector<bool> hasBody(sids.size(), false);
+    const uint32_t allowValue =
+        static_cast<uint32_t>(os::SeccompAction::Allow);
+
+    if (shape == DispatchShape::LinearChain) {
+        // Pure Figure-1 shape: one equality test per allowed ID, no
+        // range coalescing — the baseline the §XII binary-tree
+        // optimization is measured against.
+        for (size_t i = 0; i < sids.size(); ++i) {
+            bodies[i] = as.newLabel();
+            hasBody[i] = true;
+            as.condFar(op::JEQ, sids[i], bodies[i]);
+        }
+        as.ja(deny);
+    } else if (shape == DispatchShape::Linear) {
+        // Figure-1 style sequential dispatch — with libseccomp's range
+        // coalescing: runs of *consecutive* unconditionally-allowed IDs
+        // compile to one (jge lo, jgt hi) pair, which is why broad
+        // whitelists like docker-default stay cheap despite allowing
+        // hundreds of syscalls. Argument-checked and isolated IDs keep
+        // their individual equality tests.
+        size_t i = 0;
+        while (i < sids.size()) {
+            bool plain = rules[i]->kind == RuleKind::AllowAll;
+            if (plain) {
+                size_t j = i;
+                while (j + 1 < sids.size() &&
+                       rules[j + 1]->kind == RuleKind::AllowAll &&
+                       sids[j + 1] == sids[j] + 1) {
+                    ++j;
+                }
+                if (j > i) {
+                    BpfAssembler::Label next = as.newLabel();
+                    // A in [lo, hi] -> allow; otherwise next group.
+                    as.condFalseShort(op::JGE, sids[i], next);
+                    as.condTrueShort(op::JGT, sids[j], next);
+                    as.ret(allowValue);
+                    as.bind(next);
+                    i = j + 1;
+                    continue;
+                }
+            }
+            bodies[i] = as.newLabel();
+            hasBody[i] = true;
+            as.condFar(op::JEQ, sids[i], bodies[i]);
+            ++i;
+        }
+        as.ja(deny);
+    } else {
+        for (auto &label : bodies)
+            label = as.newLabel();
+        hasBody.assign(sids.size(), true);
+        emitTreeDispatch(as, sids, bodies, 0, sids.size(), deny);
+    }
+
+    for (size_t i = 0; i < sids.size(); ++i) {
+        if (!hasBody[i])
+            continue;
+        as.bind(bodies[i]);
+        emitRuleBody(as, *os::syscallById(sids[i]), *rules[i], denyValue);
+    }
+
+    as.bind(deny);
+    as.ret(denyValue);
+
+    return as.finish();
+}
+
+FilterChain::FilterChain(std::vector<BpfProgram> programs)
+    : _programs(std::move(programs))
+{
+}
+
+uint32_t
+mostRestrictiveAction(uint32_t a, uint32_t b)
+{
+    // Kernel precedence, strongest first.
+    static const uint32_t precedence[] = {
+        static_cast<uint32_t>(os::SeccompAction::KillProcess),
+        static_cast<uint32_t>(os::SeccompAction::KillThread),
+        static_cast<uint32_t>(os::SeccompAction::Trap),
+        static_cast<uint32_t>(os::SeccompAction::Errno),
+        static_cast<uint32_t>(os::SeccompAction::Trace),
+        static_cast<uint32_t>(os::SeccompAction::Log),
+        static_cast<uint32_t>(os::SeccompAction::Allow),
+    };
+    uint32_t actionA =
+        static_cast<uint32_t>(os::actionOf(a));
+    uint32_t actionB =
+        static_cast<uint32_t>(os::actionOf(b));
+    for (uint32_t action : precedence) {
+        if (actionA == action)
+            return a; // preserve a's RET_DATA payload
+        if (actionB == action)
+            return b;
+    }
+    return a;
+}
+
+BpfResult
+FilterChain::run(const os::SeccompData &data) const
+{
+    if (_programs.empty())
+        panic("FilterChain::run on empty chain");
+    BpfResult combined;
+    bool first = true;
+    for (const auto &program : _programs) {
+        BpfResult r = program.run(data);
+        combined.insnsExecuted += r.insnsExecuted;
+        combined.action = first
+            ? r.action
+            : mostRestrictiveAction(combined.action, r.action);
+        first = false;
+    }
+    return combined;
+}
+
+size_t
+FilterChain::totalInsns() const
+{
+    size_t total = 0;
+    for (const auto &program : _programs)
+        total += program.size();
+    return total;
+}
+
+namespace {
+
+/** Upper-bound estimate of a rule body's instruction count. */
+size_t
+estimateBodyInsns(const os::SyscallDesc &desc, const SyscallRule &rule)
+{
+    switch (rule.kind) {
+      case RuleKind::AllowAll:
+        return 1;
+      case RuleKind::AllowTuples: {
+        size_t perTuple = 1 + 4 * desc.checkedArgCount();
+        return rule.tuples.size() * perTuple + 2;
+      }
+      case RuleKind::PerArgValues: {
+        size_t total = 2;
+        for (const auto &[arg, values] : rule.perArg)
+            total += values.size() * 5 + 2;
+        return total;
+      }
+    }
+    return 1;
+}
+
+} // namespace
+
+FilterChain
+buildFilterChain(const Profile &profile, DispatchShape shape,
+                 size_t max_insns_per_filter)
+{
+    // Cost shared by every program in the chain: the ID dispatch plus
+    // prologue and epilogue.
+    size_t dispatchInsns = 8 + 3 * profile.rules().size();
+    size_t budget = max_insns_per_filter > dispatchInsns + 64
+        ? max_insns_per_filter - dispatchInsns
+        : 64;
+
+    // Partition the argument-checking rules greedily by body size.
+    std::vector<std::vector<uint16_t>> chunks;
+    std::vector<uint16_t> current;
+    size_t used = 0;
+    for (const auto &[sid, rule] : profile.rules()) {
+        if (rule.kind == RuleKind::AllowAll)
+            continue;
+        const auto *desc = os::syscallById(sid);
+        if (!desc)
+            continue;
+        size_t cost = estimateBodyInsns(*desc, rule);
+        if (cost > budget) {
+            // Chains combine with most-restrictive-wins semantics, so a
+            // single syscall's tuple whitelist cannot be split across
+            // programs — the same hard limit real Seccomp deployments
+            // face at BPF_MAXINSNS.
+            fatal("buildFilterChain: rule for syscall %u needs ~%zu "
+                  "instructions, beyond what one filter can hold",
+                  sid, cost);
+        }
+        if (!current.empty() && used + cost > budget) {
+            chunks.push_back(std::move(current));
+            current.clear();
+            used = 0;
+        }
+        current.push_back(sid);
+        used += cost;
+    }
+    if (!current.empty())
+        chunks.push_back(std::move(current));
+
+    if (chunks.size() <= 1)
+        return FilterChain({buildFilter(profile, shape)});
+
+    // One program per chunk: it enforces its own argument rules and
+    // defers the siblings' (treating those syscalls as ID-allowed).
+    std::vector<BpfProgram> programs;
+    for (const auto &chunk : chunks) {
+        std::set<uint16_t> own(chunk.begin(), chunk.end());
+        Profile view(profile.name() + "-chunk");
+        view.setDenyAction(profile.denyAction());
+        view.setDenyData(profile.denyData());
+        for (const auto &[sid, rule] : profile.rules()) {
+            if (rule.kind == RuleKind::AllowAll || !own.count(sid)) {
+                view.allow(sid, rule.runtimeRequired);
+                continue;
+            }
+            if (rule.kind == RuleKind::AllowTuples) {
+                for (const auto &tuple : rule.tuples)
+                    view.allowTuple(sid, tuple, rule.runtimeRequired);
+            } else {
+                for (const auto &[arg, values] : rule.perArg)
+                    view.allowArgValues(sid, arg, values,
+                                        rule.runtimeRequired);
+            }
+        }
+        programs.push_back(buildFilter(view, shape));
+    }
+    return FilterChain(std::move(programs));
+}
+
+} // namespace draco::seccomp

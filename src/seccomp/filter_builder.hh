@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Compilation of Profiles into classic-BPF Seccomp filters.
+ *
+ * Two emitters are provided. The *linear* emitter produces the long
+ * if-chain structure of Figure 1 — the shape real generated profiles
+ * have, whose execution cost grows with the position of the matching
+ * rule. The *binary-tree* emitter reproduces the libseccomp cBPF
+ * binary-tree optimization discussed in §XII (Hromatka), which replaces
+ * the linear syscall-ID scan with a balanced search tree but leaves the
+ * argument-checking chains intact.
+ */
+
+#ifndef DRACO_SECCOMP_FILTER_BUILDER_HH
+#define DRACO_SECCOMP_FILTER_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "seccomp/bpf.hh"
+#include "seccomp/profile.hh"
+
+namespace draco::seccomp {
+
+/**
+ * Small two-pass assembler: emit instructions against symbolic labels,
+ * then resolve. Conditional branches take a far *true* target (lowered
+ * to `jxx +0,+1; ja target`) with fall-through false paths, or short
+ * local offsets; unconditional far jumps use JA's 32-bit offset.
+ */
+class BpfAssembler
+{
+  public:
+    /** Opaque label handle. */
+    using Label = size_t;
+
+    /** Create a fresh unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+
+    /** Append a non-branch instruction. */
+    void emit(const BpfInsn &insn);
+
+    /** Append `ld [k]` of a seccomp_data word. */
+    void loadAbs(uint32_t offset);
+
+    /** Append `ret k`. */
+    void ret(uint32_t action);
+
+    /** Append an unconditional far jump to @p target. */
+    void ja(Label target);
+
+    /**
+     * Append a conditional branch: when (A @p condCode k) holds, control
+     * transfers to @p onTrue; otherwise execution falls through.
+     */
+    void condFar(uint16_t condCode, uint32_t k, Label onTrue);
+
+    /**
+     * Append a conditional branch with a *short* false target: when the
+     * condition fails, control transfers to @p onFalse (which must bind
+     * within 255 instructions); when it holds, execution falls through.
+     */
+    void condFalseShort(uint16_t condCode, uint32_t k, Label onFalse);
+
+    /**
+     * Append a conditional branch with a *short* true target: when the
+     * condition holds, control transfers to @p onTrue (within 255
+     * instructions); otherwise execution falls through.
+     */
+    void condTrueShort(uint16_t condCode, uint32_t k, Label onTrue);
+
+    /** Resolve all labels and return the finished program. */
+    BpfProgram finish();
+
+    /** @return Current instruction count. */
+    size_t size() const { return _insns.size(); }
+
+  private:
+    /** Which field of the pending instruction a fixup patches. */
+    enum class FixupKind {
+        FarK,       ///< 32-bit JA displacement in k.
+        ShortFalse, ///< 8-bit jf offset.
+        ShortTrue,  ///< 8-bit jt offset.
+    };
+
+    struct Fixup {
+        size_t insn;     ///< Index of the instruction to patch.
+        Label label;     ///< Target label.
+        FixupKind kind;  ///< Field to patch.
+    };
+
+    std::vector<BpfInsn> _insns;
+    std::vector<ssize_t> _labelPos; // -1 while unbound
+    std::vector<Fixup> _fixups;
+};
+
+/** Which syscall-ID dispatch structure to emit. */
+enum class DispatchShape {
+    Linear,      ///< Sequential tests with libseccomp range coalescing.
+    LinearChain, ///< Pure Figure-1 if-chain, one test per syscall ID.
+    BinaryTree,  ///< libseccomp binary-tree optimization (§XII).
+};
+
+/**
+ * Compile @p profile into a validated Seccomp BPF program.
+ *
+ * The program begins with the architecture guard, dispatches on the
+ * syscall ID per @p shape, runs per-rule argument checks, and returns
+ * ALLOW or the profile's deny action. Panics if the profile is too
+ * large for a single program — use buildFilterChain() for that case.
+ *
+ * @param profile Policy to compile.
+ * @param shape Dispatch structure.
+ * @return A program that passes BpfProgram::validate().
+ */
+BpfProgram buildFilter(const Profile &profile,
+                       DispatchShape shape = DispatchShape::Linear);
+
+/**
+ * A sequence of attached Seccomp filters.
+ *
+ * The kernel runs every attached filter on each syscall and applies
+ * the most restrictive result; profiles whose argument whitelists do
+ * not fit BPF_MAXINSNS are compiled into a chain, exactly how large
+ * policies are deployed in practice.
+ */
+class FilterChain
+{
+  public:
+    FilterChain() = default;
+
+    /** Wrap pre-built programs. */
+    explicit FilterChain(std::vector<BpfProgram> programs);
+
+    /**
+     * Execute every filter over @p data.
+     *
+     * @return Most restrictive action; insnsExecuted sums the chain.
+     */
+    BpfResult run(const os::SeccompData &data) const;
+
+    /** @return Number of attached programs. */
+    size_t filterCount() const { return _programs.size(); }
+
+    /** @return Static instructions summed over the chain. */
+    size_t totalInsns() const;
+
+    /** @return The programs. */
+    const std::vector<BpfProgram> &programs() const { return _programs; }
+
+  private:
+    std::vector<BpfProgram> _programs;
+};
+
+/**
+ * @return The more restrictive of two seccomp return values, per the
+ *         kernel's action precedence (KILL_PROCESS strongest, ALLOW
+ *         weakest).
+ */
+uint32_t mostRestrictiveAction(uint32_t a, uint32_t b);
+
+/**
+ * Compile @p profile into one or more filters, each within
+ * @p max_insns_per_filter. Argument-checking rules are partitioned
+ * greedily across programs; every program whitelists the full syscall
+ * ID set and defers argument rules owned by its siblings, so the
+ * chain's conjunction equals the profile's semantics.
+ */
+FilterChain buildFilterChain(const Profile &profile,
+                             DispatchShape shape = DispatchShape::Linear,
+                             size_t max_insns_per_filter = kBpfMaxInsns);
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_FILTER_BUILDER_HH

@@ -1,0 +1,185 @@
+#include "seccomp/profile.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+unsigned
+SyscallRule::argsChecked(const os::SyscallDesc &desc) const
+{
+    switch (kind) {
+      case RuleKind::AllowAll:
+        return 0;
+      case RuleKind::AllowTuples:
+        return desc.checkedArgCount();
+      case RuleKind::PerArgValues:
+        return static_cast<unsigned>(perArg.size());
+    }
+    return 0;
+}
+
+unsigned
+SyscallRule::valuesAllowed(const os::SyscallDesc &desc) const
+{
+    switch (kind) {
+      case RuleKind::AllowAll:
+        return 0;
+      case RuleKind::AllowTuples: {
+        unsigned total = 0;
+        for (unsigned i = 0; i < desc.nargs; ++i) {
+            if (desc.argIsPointer(i))
+                continue;
+            std::set<uint64_t> distinct;
+            for (const auto &t : tuples)
+                distinct.insert(t[i]);
+            total += static_cast<unsigned>(distinct.size());
+        }
+        return total;
+      }
+      case RuleKind::PerArgValues: {
+        unsigned total = 0;
+        for (const auto &[arg, values] : perArg) {
+            std::set<uint64_t> distinct(values.begin(), values.end());
+            total += static_cast<unsigned>(distinct.size());
+        }
+        return total;
+      }
+    }
+    return 0;
+}
+
+bool
+SyscallRule::matches(const os::SyscallDesc &desc, const ArgVector &args) const
+{
+    switch (kind) {
+      case RuleKind::AllowAll:
+        return true;
+      case RuleKind::AllowTuples:
+        for (const auto &t : tuples) {
+            bool ok = true;
+            for (unsigned i = 0; i < desc.nargs && ok; ++i) {
+                if (desc.argIsPointer(i))
+                    continue;
+                // Full 64-bit comparison, like the seccomp_data view.
+                ok = args[i] == t[i];
+            }
+            if (ok)
+                return true;
+        }
+        return false;
+      case RuleKind::PerArgValues:
+        for (const auto &[arg, values] : perArg) {
+            if (arg >= desc.nargs)
+                return false;
+            uint64_t v = args[arg];
+            if (std::find(values.begin(), values.end(), v) == values.end())
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+Profile::Profile(std::string name)
+    : _name(std::move(name))
+{
+}
+
+void
+Profile::allow(uint16_t sid, bool runtime_required)
+{
+    SyscallRule &rule = _rules[sid];
+    rule.kind = RuleKind::AllowAll;
+    rule.tuples.clear();
+    rule.perArg.clear();
+    rule.runtimeRequired = rule.runtimeRequired || runtime_required;
+}
+
+void
+Profile::allowTuple(uint16_t sid, const ArgVector &args,
+                    bool runtime_required)
+{
+    SyscallRule &rule = _rules[sid];
+    if (rule.kind != RuleKind::AllowTuples && !rule.tuples.empty())
+        panic("Profile::allowTuple: rule kind conflict for sid %u", sid);
+    rule.kind = RuleKind::AllowTuples;
+    rule.runtimeRequired = rule.runtimeRequired || runtime_required;
+    const auto *desc = os::syscallById(sid);
+    if (!desc)
+        fatal("Profile::allowTuple: unknown syscall id %u", sid);
+    // Deduplicate on checked positions.
+    for (const auto &t : rule.tuples) {
+        bool same = true;
+        for (unsigned i = 0; i < desc->nargs && same; ++i) {
+            if (desc->argIsPointer(i))
+                continue;
+            same = t[i] == args[i];
+        }
+        if (same)
+            return;
+    }
+    rule.tuples.push_back(args);
+}
+
+void
+Profile::allowArgValues(uint16_t sid, unsigned arg,
+                        std::vector<uint64_t> values, bool runtime_required)
+{
+    if (arg >= os::kMaxSyscallArgs)
+        fatal("Profile::allowArgValues: bad argument index %u", arg);
+    SyscallRule &rule = _rules[sid];
+    rule.kind = RuleKind::PerArgValues;
+    rule.runtimeRequired = rule.runtimeRequired || runtime_required;
+    auto &dst = rule.perArg[arg];
+    for (uint64_t v : values)
+        if (std::find(dst.begin(), dst.end(), v) == dst.end())
+            dst.push_back(v);
+}
+
+const SyscallRule *
+Profile::rule(uint16_t sid) const
+{
+    auto it = _rules.find(sid);
+    return it == _rules.end() ? nullptr : &it->second;
+}
+
+os::SeccompAction
+Profile::evaluate(const os::SyscallRequest &req) const
+{
+    const SyscallRule *r = rule(req.sid);
+    if (!r)
+        return _denyAction;
+    const auto *desc = os::syscallById(req.sid);
+    if (!desc)
+        return _denyAction;
+    ArgVector args;
+    std::copy(req.args.begin(), req.args.end(), args.begin());
+    return r->matches(*desc, args) ? os::SeccompAction::Allow : _denyAction;
+}
+
+bool
+Profile::allows(const os::SyscallRequest &req) const
+{
+    return os::actionAllows(evaluate(req));
+}
+
+ProfileStats
+Profile::stats() const
+{
+    ProfileStats s;
+    for (const auto &[sid, rule] : _rules) {
+        const auto *desc = os::syscallById(sid);
+        if (!desc)
+            continue;
+        ++s.syscallsAllowed;
+        if (rule.runtimeRequired)
+            ++s.runtimeRequired;
+        s.argsChecked += rule.argsChecked(*desc);
+        s.valuesAllowed += rule.valuesAllowed(*desc);
+    }
+    return s;
+}
+
+} // namespace draco::seccomp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Seccomp profile model: which system calls a process may make, and with
+ * which argument values.
+ *
+ * A Profile is the semantic object from which BPF filters are compiled
+ * (FilterBuilder) and against which Draco-vs-Seccomp equivalence is
+ * property-tested. Real-world profiles whitelist exact syscall IDs and
+ * exact argument values (§II-B), which is exactly what this model
+ * expresses: per-syscall rules that are either unconditional, a set of
+ * allowed argument tuples, or per-argument allowed value sets.
+ */
+
+#ifndef DRACO_SECCOMP_PROFILE_HH
+#define DRACO_SECCOMP_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/seccomp_abi.hh"
+#include "os/syscalls.hh"
+
+namespace draco::seccomp {
+
+/** A full argument vector; only checked (non-pointer) slots are compared. */
+using ArgVector = std::array<uint64_t, os::kMaxSyscallArgs>;
+
+/** How a syscall's arguments are constrained. */
+enum class RuleKind {
+    AllowAll,      ///< Any argument values are acceptable.
+    AllowTuples,   ///< Only whitelisted argument tuples are acceptable.
+    PerArgValues,  ///< Each constrained argument has a value whitelist.
+};
+
+/** Per-syscall rule within a profile. */
+struct SyscallRule {
+    RuleKind kind = RuleKind::AllowAll;
+
+    /** AllowTuples: whitelisted tuples (checked positions compared). */
+    std::vector<ArgVector> tuples;
+
+    /** PerArgValues: argument index -> allowed exact values. */
+    std::map<unsigned, std::vector<uint64_t>> perArg;
+
+    /**
+     * Set when the container runtime (not the application) needs this
+     * syscall; drives the dark fraction of Fig. 15a.
+     */
+    bool runtimeRequired = false;
+
+    /** @return Number of argument positions this rule constrains. */
+    unsigned argsChecked(const os::SyscallDesc &desc) const;
+
+    /** @return Distinct allowed values summed over constrained args. */
+    unsigned valuesAllowed(const os::SyscallDesc &desc) const;
+
+    /** @return true when @p args satisfies the rule for @p desc. */
+    bool matches(const os::SyscallDesc &desc, const ArgVector &args) const;
+};
+
+/** Aggregate security statistics of a profile (Fig. 15). */
+struct ProfileStats {
+    unsigned syscallsAllowed = 0;
+    unsigned runtimeRequired = 0;
+    unsigned argsChecked = 0;
+    unsigned valuesAllowed = 0;
+};
+
+/**
+ * A complete per-process checking policy.
+ */
+class Profile
+{
+  public:
+    /** @param name Diagnostic name ("docker-default", "nginx-complete"). */
+    explicit Profile(std::string name);
+
+    /** @return Profile name. */
+    const std::string &name() const { return _name; }
+
+    /** Set the action for disallowed syscalls (default KillProcess). */
+    void setDenyAction(os::SeccompAction action) { _denyAction = action; }
+
+    /** @return Action returned for disallowed syscalls. */
+    os::SeccompAction denyAction() const { return _denyAction; }
+
+    /**
+     * Set the SECCOMP_RET_DATA payload attached to the deny action —
+     * for Errno denials this is the errno the kernel returns (docker
+     * uses EPERM).
+     */
+    void setDenyData(uint16_t data) { _denyData = data; }
+
+    /** @return The SECCOMP_RET_DATA payload. */
+    uint16_t denyData() const { return _denyData; }
+
+    /** @return The raw 32-bit filter return value for denials. */
+    uint32_t
+    denyValue() const
+    {
+        return static_cast<uint32_t>(_denyAction) | _denyData;
+    }
+
+    /** Allow @p sid with any arguments. */
+    void allow(uint16_t sid, bool runtime_required = false);
+
+    /** Allow @p sid only for the exact argument tuple @p args. */
+    void allowTuple(uint16_t sid, const ArgVector &args,
+                    bool runtime_required = false);
+
+    /** Allow @p sid only when argument @p arg equals one of @p values. */
+    void allowArgValues(uint16_t sid, unsigned arg,
+                        std::vector<uint64_t> values,
+                        bool runtime_required = false);
+
+    /** @return The rule for @p sid, or nullptr when sid is disallowed. */
+    const SyscallRule *rule(uint16_t sid) const;
+
+    /** @return All rules keyed by sid. */
+    const std::map<uint16_t, SyscallRule> &rules() const { return _rules; }
+
+    /**
+     * Ground-truth policy decision for a system call request.
+     *
+     * FilterBuilder-compiled BPF programs and both Draco implementations
+     * must agree with this function on every input — the central
+     * equivalence invariant of the test suite.
+     */
+    os::SeccompAction evaluate(const os::SyscallRequest &req) const;
+
+    /** @return true when evaluate() would allow @p req. */
+    bool allows(const os::SyscallRequest &req) const;
+
+    /** @return Fig. 15 aggregate statistics. */
+    ProfileStats stats() const;
+
+  private:
+    std::string _name;
+    os::SeccompAction _denyAction = os::SeccompAction::KillProcess;
+    uint16_t _denyData = 0;
+    std::map<uint16_t, SyscallRule> _rules;
+};
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_PROFILE_HH

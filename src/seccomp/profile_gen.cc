@@ -1,0 +1,124 @@
+#include "seccomp/profile_gen.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+ProfileRecorder::TupleKey
+ProfileRecorder::canonicalize(const os::SyscallDesc &desc,
+                              const os::SyscallRequest &req) const
+{
+    TupleKey key;
+    key.reserve(desc.checkedArgCount());
+    for (unsigned i = 0; i < desc.nargs; ++i) {
+        if (desc.argIsPointer(i))
+            continue;
+        key.push_back(req.args[i]);
+    }
+    return key;
+}
+
+void
+ProfileRecorder::record(const os::SyscallRequest &req)
+{
+    const auto *desc = os::syscallById(req.sid);
+    if (!desc) {
+        warn("ProfileRecorder: ignoring unknown syscall id %u", req.sid);
+        return;
+    }
+    TupleKey key = canonicalize(*desc, req);
+    auto [it, inserted] = _observed[req.sid].insert(std::move(key));
+    if (inserted) {
+        ArgVector raw;
+        std::copy(req.args.begin(), req.args.end(), raw.begin());
+        _tuples[req.sid].push_back(raw);
+        _sample.emplace(req.sid, raw);
+    }
+}
+
+size_t
+ProfileRecorder::distinctTuples(uint16_t sid) const
+{
+    auto it = _observed.find(sid);
+    return it == _observed.end() ? 0 : it->second.size();
+}
+
+Profile
+ProfileRecorder::makeNoArgs(const std::string &name) const
+{
+    Profile p(name);
+    const auto &runtime = containerRuntimeSyscalls();
+    for (const auto &[sid, tuples] : _observed)
+        p.allow(sid, runtime.count(sid) != 0);
+    for (uint16_t sid : runtime)
+        if (!p.rule(sid))
+            p.allow(sid, true);
+    return p;
+}
+
+Profile
+ProfileRecorder::makeComplete(const std::string &name) const
+{
+    Profile p(name);
+    const auto &runtime = containerRuntimeSyscalls();
+    for (const auto &[sid, raws] : _tuples) {
+        bool rt = runtime.count(sid) != 0;
+        const auto *desc = os::syscallById(sid);
+        if (desc->checkedArgCount() == 0) {
+            // Nothing to compare: the whitelist reduces to the ID.
+            p.allow(sid, rt);
+            continue;
+        }
+        // Emit tuples in canonical (sorted) order, like a profile
+        // toolkit writing a JSON whitelist would. Rule position in the
+        // compiled filter is therefore unrelated to dynamic popularity
+        // — which is precisely why argument checking is expensive for
+        // Seccomp and why caching validated sets pays off.
+        std::vector<ArgVector> sorted = raws;
+        std::sort(sorted.begin(), sorted.end(),
+                  [desc](const ArgVector &a, const ArgVector &b) {
+                      for (unsigned i = 0; i < desc->nargs; ++i) {
+                          if (desc->argIsPointer(i))
+                              continue;
+                          if (a[i] != b[i])
+                              return a[i] < b[i];
+                      }
+                      return false;
+                  });
+        for (const auto &raw : sorted)
+            p.allowTuple(sid, raw, rt);
+    }
+    for (uint16_t sid : runtime)
+        if (!p.rule(sid))
+            p.allow(sid, true);
+    return p;
+}
+
+const std::set<uint16_t> &
+containerRuntimeSyscalls()
+{
+    static const std::set<uint16_t> runtime = [] {
+        // What runc/containerd exercise before and during the workload:
+        // loader, allocator, threading, and signal plumbing.
+        static const char *names[] = {
+            "execve", "brk", "arch_prctl", "access", "openat", "close",
+            "fstat", "mmap", "mprotect", "munmap", "read", "pread64",
+            "set_tid_address", "set_robust_list", "rt_sigaction",
+            "rt_sigprocmask", "prctl", "getrandom", "clone", "futex",
+            "exit_group", "getpid", "gettid", "sched_getaffinity",
+        };
+        std::set<uint16_t> ids;
+        for (const char *name : names) {
+            const auto *desc = os::syscallByName(name);
+            if (!desc)
+                panic("containerRuntimeSyscalls: unknown '%s'", name);
+            ids.insert(desc->id);
+        }
+        return ids;
+    }();
+    return runtime;
+}
+
+} // namespace draco::seccomp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Application-specific profile generation (the paper's §X-B toolkit).
+ *
+ * The authors attach strace to a running application, record every
+ * system call with its argument values, and emit Seccomp profiles that
+ * whitelist exactly what was observed. ProfileRecorder plays the strace
+ * role over our synthetic traces: feed it every SyscallRequest a workload
+ * issues, then materialize
+ *   - a `syscall-noargs` profile (IDs only),
+ *   - a `syscall-complete` profile (IDs + exact argument tuples).
+ * The `syscall-complete-2x` configuration attaches the complete filter
+ * twice (two filter runs per call), exactly how the paper models a
+ * near-future doubling of checks.
+ */
+
+#ifndef DRACO_SECCOMP_PROFILE_GEN_HH
+#define DRACO_SECCOMP_PROFILE_GEN_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "seccomp/profile.hh"
+
+namespace draco::seccomp {
+
+/**
+ * Records observed (syscall, argument tuple) pairs and emits profiles.
+ */
+class ProfileRecorder
+{
+  public:
+    /** Record one observed system call. */
+    void record(const os::SyscallRequest &req);
+
+    /** @return Number of distinct syscall IDs observed. */
+    size_t distinctSyscalls() const { return _observed.size(); }
+
+    /** @return Number of distinct argument tuples observed for @p sid. */
+    size_t distinctTuples(uint16_t sid) const;
+
+    /**
+     * Emit an IDs-only whitelist.
+     *
+     * @param name Profile name.
+     */
+    Profile makeNoArgs(const std::string &name) const;
+
+    /**
+     * Emit an IDs+argument-tuples whitelist (the most secure filter).
+     *
+     * @param name Profile name.
+     */
+    Profile makeComplete(const std::string &name) const;
+
+  private:
+    /** Canonical tuple: checked-arg values only, masked to arg width. */
+    using TupleKey = std::vector<uint64_t>;
+
+    TupleKey canonicalize(const os::SyscallDesc &desc,
+                          const os::SyscallRequest &req) const;
+
+    std::map<uint16_t, std::set<TupleKey>> _observed;
+    std::map<uint16_t, ArgVector> _sample; ///< A representative raw tuple.
+    std::map<uint16_t, std::vector<ArgVector>> _tuples;
+};
+
+/**
+ * Syscall IDs every container runtime needs regardless of application
+ * (process start-up, loader, allocator plumbing). These are flagged
+ * runtimeRequired in generated profiles, producing the ≈20% dark
+ * fraction of Fig. 15a.
+ */
+const std::set<uint16_t> &containerRuntimeSyscalls();
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_PROFILE_GEN_HH

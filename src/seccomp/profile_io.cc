@@ -1,0 +1,220 @@
+#include "seccomp/profile_io.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+namespace {
+
+const std::map<std::string, os::SeccompAction> &
+actionNames()
+{
+    static const std::map<std::string, os::SeccompAction> names = {
+        {"kill-process", os::SeccompAction::KillProcess},
+        {"kill-thread", os::SeccompAction::KillThread},
+        {"trap", os::SeccompAction::Trap},
+        {"errno", os::SeccompAction::Errno},
+        {"trace", os::SeccompAction::Trace},
+        {"log", os::SeccompAction::Log},
+    };
+    return names;
+}
+
+const char *
+actionName(os::SeccompAction action)
+{
+    for (const auto &[name, value] : actionNames())
+        if (value == action)
+            return name.c_str();
+    return "kill-process";
+}
+
+} // namespace
+
+void
+writeProfile(const Profile &profile, std::ostream &out)
+{
+    out << kProfileMagic << '\n';
+    out << "name " << profile.name() << '\n';
+    out << "deny " << actionName(profile.denyAction());
+    if (profile.denyData())
+        out << ' ' << profile.denyData();
+    out << '\n';
+
+    char buf[384];
+    for (const auto &[sid, rule] : profile.rules()) {
+        const auto *desc = os::syscallById(sid);
+        if (!desc)
+            continue;
+        const char *rt = rule.runtimeRequired ? " runtime" : "";
+        switch (rule.kind) {
+          case RuleKind::AllowAll:
+            out << "allow " << desc->name << rt << '\n';
+            break;
+          case RuleKind::AllowTuples:
+            for (const auto &tuple : rule.tuples) {
+                std::snprintf(buf, sizeof(buf),
+                              "tuple %s%s %llx %llx %llx %llx %llx %llx\n",
+                              desc->name, rt,
+                              static_cast<unsigned long long>(tuple[0]),
+                              static_cast<unsigned long long>(tuple[1]),
+                              static_cast<unsigned long long>(tuple[2]),
+                              static_cast<unsigned long long>(tuple[3]),
+                              static_cast<unsigned long long>(tuple[4]),
+                              static_cast<unsigned long long>(tuple[5]));
+                out << buf;
+            }
+            break;
+          case RuleKind::PerArgValues:
+            for (const auto &[arg, values] : rule.perArg) {
+                out << "argvalues " << desc->name << rt << ' ' << arg
+                    << std::hex;
+                for (uint64_t v : values)
+                    out << ' ' << v;
+                out << std::dec << '\n';
+            }
+            break;
+        }
+    }
+}
+
+void
+writeProfileFile(const Profile &profile, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeProfileFile: cannot open '%s'", path.c_str());
+    writeProfile(profile, out);
+    if (!out)
+        fatal("writeProfileFile: write to '%s' failed", path.c_str());
+}
+
+std::optional<Profile>
+readProfile(std::istream &in, std::string *error)
+{
+    size_t lineNo = 0;
+    auto fail = [&](const std::string &msg) -> std::optional<Profile> {
+        std::string full =
+            msg + " (line " + std::to_string(lineNo) + ")";
+        if (error)
+            *error = full;
+        else
+            fatal("readProfile: %s", full.c_str());
+        return std::nullopt;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != kProfileMagic) {
+        ++lineNo;
+        return fail("missing '# draco-profile v1' header");
+    }
+    ++lineNo;
+
+    Profile profile("unnamed");
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string keyword;
+        fields >> keyword;
+
+        if (keyword == "name") {
+            std::string name;
+            fields >> name;
+            if (name.empty())
+                return fail("empty profile name");
+            Profile renamed(name);
+            renamed.setDenyAction(profile.denyAction());
+            for (const auto &[sid, rule] : profile.rules()) {
+                // Only the header may appear before rules.
+                (void)sid;
+                (void)rule;
+                return fail("'name' must precede all rules");
+            }
+            profile = std::move(renamed);
+            continue;
+        }
+        if (keyword == "deny") {
+            std::string action;
+            fields >> action;
+            auto it = actionNames().find(action);
+            if (it == actionNames().end())
+                return fail("unknown deny action '" + action + "'");
+            profile.setDenyAction(it->second);
+            unsigned data = 0;
+            if (fields >> data)
+                profile.setDenyData(static_cast<uint16_t>(data));
+            continue;
+        }
+
+        if (keyword != "allow" && keyword != "tuple" &&
+            keyword != "argvalues") {
+            return fail("unknown keyword '" + keyword + "'");
+        }
+
+        std::string syscallName;
+        fields >> syscallName;
+        const auto *desc = os::syscallByName(syscallName);
+        if (!desc)
+            return fail("unknown syscall '" + syscallName + "'");
+
+        bool runtime = false;
+        if (fields.peek() != EOF) {
+            std::streampos mark = fields.tellg();
+            std::string token;
+            fields >> token;
+            if (token == "runtime")
+                runtime = true;
+            else
+                fields.seekg(mark);
+        }
+
+        if (keyword == "allow") {
+            profile.allow(desc->id, runtime);
+        } else if (keyword == "tuple") {
+            ArgVector args{};
+            fields >> std::hex;
+            for (auto &arg : args) {
+                unsigned long long v = 0;
+                fields >> v;
+                arg = v;
+            }
+            if (!fields)
+                return fail("malformed tuple");
+            profile.allowTuple(desc->id, args, runtime);
+        } else { // argvalues
+            unsigned arg = 0;
+            fields >> std::dec >> arg >> std::hex;
+            if (!fields || arg >= os::kMaxSyscallArgs)
+                return fail("malformed argvalues");
+            std::vector<uint64_t> values;
+            unsigned long long v = 0;
+            while (fields >> v)
+                values.push_back(v);
+            if (values.empty())
+                return fail("argvalues needs at least one value");
+            profile.allowArgValues(desc->id, arg, values, runtime);
+        }
+    }
+    if (error)
+        error->clear();
+    return profile;
+}
+
+Profile
+readProfileFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readProfileFile: cannot open '%s'", path.c_str());
+    auto profile = readProfile(in, nullptr);
+    // readProfile without an error sink is fatal on failure.
+    return *profile;
+}
+
+} // namespace draco::seccomp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Profile serialization: a line-oriented text format for Seccomp
+ * profiles, playing the role of the JSON profiles container runtimes
+ * ship (docker's default.json et al.). Profiles can be generated once
+ * (the §X-B toolkit), saved, reviewed in code review, and loaded at
+ * container start.
+ *
+ * Format ('#' comments and blank lines ignored):
+ *
+ *     # draco-profile v1
+ *     name <profile-name>
+ *     deny kill-process|kill-thread|trap|errno|trace|log
+ *     allow <syscall> [runtime]
+ *     tuple <syscall> [runtime] <a0> <a1> <a2> <a3> <a4> <a5>
+ *     argvalues <syscall> [runtime] <arg-index> <v1> [<v2> ...]
+ *
+ * Argument values are hex without prefixes. Syscalls are named, not
+ * numbered, so profiles survive table renumbering.
+ */
+
+#ifndef DRACO_SECCOMP_PROFILE_IO_HH
+#define DRACO_SECCOMP_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "seccomp/profile.hh"
+
+namespace draco::seccomp {
+
+/** Magic first line of the format. */
+inline constexpr const char *kProfileMagic = "# draco-profile v1";
+
+/** Serialize @p profile to @p out. */
+void writeProfile(const Profile &profile, std::ostream &out);
+
+/** Serialize @p profile to @p path; fatal() on I/O failure. */
+void writeProfileFile(const Profile &profile, const std::string &path);
+
+/**
+ * Parse a profile from @p in.
+ *
+ * @param in Input stream at the start of the file.
+ * @param error Receives a message on failure (may be null, in which
+ *        case parse errors are fatal()).
+ * @return The profile, or nullopt on failure with @p error set.
+ */
+std::optional<Profile> readProfile(std::istream &in,
+                                   std::string *error = nullptr);
+
+/** Parse a profile from @p path; fatal() on I/O or parse failure. */
+Profile readProfileFile(const std::string &path);
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_PROFILE_IO_HH

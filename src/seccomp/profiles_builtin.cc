@@ -1,0 +1,177 @@
+#include "seccomp/profiles_builtin.hh"
+
+#include "support/logging.hh"
+
+namespace draco::seccomp {
+
+namespace {
+
+uint16_t
+idOf(const char *name)
+{
+    const auto *desc = os::syscallByName(name);
+    if (!desc)
+        panic("builtin profile references unknown syscall '%s'", name);
+    return desc->id;
+}
+
+} // namespace
+
+Profile
+insecureProfile()
+{
+    Profile p("insecure");
+    p.setDenyAction(os::SeccompAction::Allow);
+    return p;
+}
+
+const std::vector<std::string> &
+dockerDeniedNames()
+{
+    // The Moby default profile's deny set (syscalls absent from its
+    // allowlist), restricted to entries that exist in the native x86-64
+    // table. io_uring and the mount API calls postdate the 2019-era
+    // profile and are treated as denied as well.
+    static const std::vector<std::string> denied = {
+        "acct", "add_key", "afs_syscall", "bpf", "clock_adjtime",
+        "clock_settime", "create_module", "delete_module", "epoll_ctl_old",
+        "epoll_wait_old", "fanotify_init", "fanotify_mark", "finit_module",
+        "fsconfig", "fsmount", "fsopen", "fspick", "get_kernel_syms",
+        "get_mempolicy", "getpmsg", "init_module", "io_uring_enter",
+        "io_uring_register", "io_uring_setup", "ioperm", "iopl", "kcmp",
+        "kexec_file_load", "kexec_load", "keyctl", "lookup_dcookie",
+        "mbind", "mount", "move_mount", "move_pages", "name_to_handle_at",
+        "nfsservctl", "open_by_handle_at", "open_tree", "perf_event_open",
+        "pidfd_open", "pidfd_send_signal", "pivot_root",
+        "process_vm_readv", "process_vm_writev", "ptrace", "putpmsg",
+        "query_module", "quotactl", "reboot", "request_key", "security",
+        "set_mempolicy", "setns", "settimeofday", "swapoff", "swapon",
+        "_sysctl", "tuxcall", "umount2", "unshare", "uselib",
+        "userfaultfd", "ustat", "vhangup", "vserver",
+    };
+    return denied;
+}
+
+Profile
+dockerDefaultProfile()
+{
+    Profile p("docker-default");
+    p.setDenyAction(os::SeccompAction::Errno);
+    p.setDenyData(1); // EPERM, as the Moby profile returns
+
+    std::set<uint16_t> denied;
+    for (const auto &name : dockerDeniedNames())
+        denied.insert(idOf(name.c_str()));
+
+    for (const auto &desc : os::syscallTable()) {
+        if (denied.count(desc.id))
+            continue;
+        if (desc.id == os::sc::personality || desc.id == os::sc::clone)
+            continue;
+        p.allow(desc.id);
+    }
+
+    // The only argument checks in docker-default (§II-C): personality
+    // may select five specific execution domains, and clone may use two
+    // flag combinations (process creation and pthread creation) — seven
+    // unique argument values in total.
+    p.allowArgValues(os::sc::personality, 0,
+                     {0x0, 0x0008, 0x20000, 0x20008, 0xffffffff});
+    p.allowArgValues(os::sc::clone, 0,
+                     {0x01200011ULL, 0x003D0F00ULL});
+    return p;
+}
+
+Profile
+gvisorProfile()
+{
+    Profile p("gvisor-host");
+    p.setDenyAction(os::SeccompAction::KillProcess);
+
+    // The 74 syscalls the Sentry's host filter needs. Entries with an
+    // allowArgValues() call below are added there instead.
+    static const char *plain[] = {
+        "accept", "bind", "brk", "close", "connect", "dup", "dup2",
+        "epoll_create", "epoll_create1", "epoll_wait", "execve", "exit",
+        "exit_group", "fstat", "fsync", "getcpu", "getcwd", "getpeername",
+        "getpid", "getppid", "getsockname", "gettid", "gettimeofday",
+        "listen", "munmap", "nanosleep",
+        "pipe", "poll", "ppoll", "pread64", "preadv", "pwrite64",
+        "pwritev", "read", "readv", "restart_syscall", "rt_sigaction",
+        "rt_sigreturn", "sched_getaffinity", "sched_yield", "sigaltstack",
+        "uname", "wait4", "write", "writev", "epoll_pwait",
+    };
+    for (const char *name : plain)
+        p.allow(idOf(name));
+
+    // Argument-restricted entries; the value-set sizes sum to the
+    // paper's 130 argument checks for the gVisor profile.
+    p.allowArgValues(idOf("fcntl"), 1, {0, 1, 2, 3, 4, 1030});
+    p.allowArgValues(idOf("ioctl"), 1,
+                     {0x5401, 0x5402, 0x5403, 0x5413, 0x541B, 0x5421,
+                      0x8910, 0x8927, 0x8933, 0x89a2});
+    p.allowArgValues(idOf("socket"), 0, {1, 2, 10});
+    p.allowArgValues(idOf("socket"), 1, {1, 2, 0x80001, 0x80002});
+    p.allowArgValues(idOf("socket"), 2, {0, 6});
+    p.allowArgValues(idOf("futex"), 1,
+                     {0, 1, 3, 4, 9, 128, 129, 131, 132, 137});
+    p.allowArgValues(idOf("mmap"), 2, {0, 1, 3, 5});
+    p.allowArgValues(idOf("mmap"), 3,
+                     {0x02, 0x22, 0x32, 0x01, 0x11, 0x4022, 0x20022,
+                      0x2022});
+    p.allowArgValues(idOf("madvise"), 2, {0, 3, 4, 8, 9, 10, 12, 14});
+    p.allowArgValues(idOf("clone"), 0,
+                     {0x003D0F00, 0x01200011, 0x00000011, 0x00010900});
+    p.allowArgValues(idOf("epoll_ctl"), 1, {1, 2, 3});
+    p.allowArgValues(idOf("rt_sigprocmask"), 0, {0, 1, 2});
+    p.allowArgValues(idOf("lseek"), 2, {0, 1, 2});
+    p.allowArgValues(idOf("shutdown"), 1, {0, 1, 2});
+    p.allowArgValues(idOf("setsockopt"), 1, {1, 6, 41});
+    p.allowArgValues(idOf("setsockopt"), 2, {2, 3, 9, 13, 20, 23, 26, 27});
+    p.allowArgValues(idOf("getsockopt"), 1, {1, 6});
+    p.allowArgValues(idOf("getsockopt"), 2, {3, 4, 17, 28});
+    p.allowArgValues(idOf("sendmmsg"), 3, {0x40, 0x4040});
+    p.allowArgValues(idOf("recvmmsg"), 3, {0x40, 0x10040, 0x100});
+    p.allowArgValues(idOf("sendmsg"), 2, {0, 0x40, 0x4000});
+    p.allowArgValues(idOf("recvmsg"), 2, {0, 0x40, 0x100});
+    p.allowArgValues(idOf("tgkill"), 2, {10, 12});
+    p.allowArgValues(idOf("membarrier"), 0, {0, 1, 16});
+    p.allowArgValues(idOf("fallocate"), 1, {0, 1, 3});
+    p.allowArgValues(idOf("eventfd2"), 1, {0, 0x80000, 0x80800});
+    p.allowArgValues(idOf("socketpair"), 0, {1});
+    p.allowArgValues(idOf("socketpair"), 1, {1, 0x80001});
+    p.allowArgValues(idOf("fchmod"), 1, {0600, 0644, 0700, 0755});
+    p.allowArgValues(idOf("utimensat"), 3, {0, 0x100});
+    p.allowArgValues(idOf("dup3"), 2, {0, 0x80000});
+    p.allowArgValues(idOf("pipe2"), 1, {0, 0x800, 0x80000});
+    p.allowArgValues(idOf("getrandom"), 2, {0, 1, 2});
+    p.allowArgValues(idOf("clock_gettime"), 0, {0, 1, 4});
+    return p;
+}
+
+Profile
+firecrackerProfile()
+{
+    Profile p("firecracker");
+    p.setDenyAction(os::SeccompAction::KillProcess);
+
+    static const char *plain[] = {
+        "accept4", "brk", "close", "connect", "dup", "epoll_create1",
+        "epoll_ctl", "epoll_pwait", "epoll_wait", "exit", "exit_group",
+        "futex", "getpid", "gettid", "lseek", "madvise", "mmap", "munmap",
+        "read", "readv", "recvfrom", "rt_sigaction", "rt_sigprocmask",
+        "rt_sigreturn", "sched_yield", "stat", "timerfd_create",
+        "timerfd_settime", "tkill", "write", "writev", "open", "pipe2",
+    };
+    for (const char *name : plain)
+        p.allow(idOf(name));
+
+    // Eight argument checks total.
+    p.allowArgValues(idOf("ioctl"), 1, {0xAE01, 0xAE03, 0xAE41, 0xAEA0});
+    p.allowArgValues(idOf("fcntl"), 1, {1, 2});
+    p.allowArgValues(idOf("socket"), 0, {1});
+    p.allowArgValues(idOf("eventfd2"), 1, {0});
+    return p;
+}
+
+} // namespace draco::seccomp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Built-in real-world Seccomp profiles (§II-C).
+ *
+ * docker-default models the Moby project's default container profile: it
+ * allows the large majority of syscalls, denies a fixed list of ~45
+ * dangerous ones (module loading, kexec, ptrace, mount, ...), and checks
+ * argument values only on `personality` and `clone` — 7 unique values in
+ * total, matching the paper's characterization. The gVisor and
+ * Firecracker profiles model those systems' much smaller whitelists (74
+ * syscalls / 130 argument checks and 37 syscalls / 8 argument checks
+ * respectively); their exact syscall choices are representative rather
+ * than bit-exact copies of the upstream sources.
+ */
+
+#ifndef DRACO_SECCOMP_PROFILES_BUILTIN_HH
+#define DRACO_SECCOMP_PROFILES_BUILTIN_HH
+
+#include "seccomp/profile.hh"
+
+namespace draco::seccomp {
+
+/** @return An empty profile whose deny action is Allow (Seccomp off). */
+Profile insecureProfile();
+
+/** @return The Docker/Moby default container profile. */
+Profile dockerDefaultProfile();
+
+/** @return A gVisor-host-filter-sized profile (74 sids, 130 checks). */
+Profile gvisorProfile();
+
+/** @return A Firecracker-sized microVM profile (37 sids, 8 checks). */
+Profile firecrackerProfile();
+
+/** @return The syscall names docker-default denies (for tests/docs). */
+const std::vector<std::string> &dockerDeniedNames();
+
+} // namespace draco::seccomp
+
+#endif // DRACO_SECCOMP_PROFILES_BUILTIN_HH

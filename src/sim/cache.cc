@@ -1,0 +1,118 @@
+#include "sim/cache.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace draco::sim {
+
+namespace {
+
+// Table II at 2 GHz: access times are cumulative from the core.
+constexpr std::array<CacheLevelConfig, 3> kLevels = {{
+    {"L1D", 32 * 1024, 8, 1.0},         // 2 cycles
+    {"L2", 256 * 1024, 8, 5.0},         // +8 cycles
+    {"L3", 8 * 1024 * 1024, 16, 21.0},  // +32 cycles
+}};
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(uint64_t seed)
+    : _rng(seed)
+{
+}
+
+const std::array<CacheLevelConfig, 3> &
+CacheHierarchy::levelConfigs()
+{
+    return kLevels;
+}
+
+double
+CacheHierarchy::latencyNs(MemLevel level) const
+{
+    switch (level) {
+      case MemLevel::L1:
+        return kLevels[0].hitLatencyNs;
+      case MemLevel::L2:
+        return kLevels[1].hitLatencyNs;
+      case MemLevel::L3:
+        return kLevels[2].hitLatencyNs;
+      case MemLevel::Dram:
+        return kLevels[2].hitLatencyNs + kDramNs;
+    }
+    panic("CacheHierarchy::latencyNs: bad level");
+}
+
+std::pair<MemLevel, double>
+CacheHierarchy::access(uint64_t addr)
+{
+    ++_stats.accesses;
+    uint64_t line = addr / kLineBytes;
+
+    MemLevel level = MemLevel::Dram;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (_resident[i].count(line)) {
+            level = static_cast<MemLevel>(i);
+            break;
+        }
+    }
+    ++_stats.hits[static_cast<size_t>(level)];
+
+    // Install/refresh the line in every level (inclusive hierarchy).
+    for (auto &set : _resident)
+        set.insert(line);
+
+    return {level, latencyNs(level)};
+}
+
+void
+CacheHierarchy::appPressure(uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    for (unsigned i = 0; i < 3; ++i) {
+        double survive = std::exp(
+            -static_cast<double>(bytes) /
+            static_cast<double>(kLevels[i].capacityBytes));
+        if (survive >= 1.0)
+            continue;
+        for (auto it = _resident[i].begin(); it != _resident[i].end();) {
+            if (!_rng.chance(survive))
+                it = _resident[i].erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+void
+CacheHierarchy::externalL3Pressure(uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    double survive = std::exp(-static_cast<double>(bytes) /
+                              static_cast<double>(kLevels[2].capacityBytes));
+    if (survive >= 1.0)
+        return;
+    for (auto it = _resident[2].begin(); it != _resident[2].end();) {
+        if (!_rng.chance(survive)) {
+            // Inclusive hierarchy: an L3 eviction back-invalidates the
+            // private levels too.
+            _resident[0].erase(*it);
+            _resident[1].erase(*it);
+            it = _resident[2].erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+CacheHierarchy::flush()
+{
+    for (auto &set : _resident)
+        set.clear();
+}
+
+} // namespace draco::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Memory-hierarchy timing model (Table II).
+ *
+ * Hardware Draco's slow flows read the in-memory VAT; their latency
+ * depends on where those lines live in the L1/L2/L3/DRAM hierarchy. The
+ * model tracks the residency of the (small) set of Draco-related lines
+ * exactly, and applies the *application's* much larger traffic as
+ * statistical eviction pressure: a gap that streams S bytes through a
+ * level of capacity C evicts each resident tracked line independently
+ * with probability 1 - exp(-S/C). This reproduces the paper's
+ * observation that slow-flow cost varies with whether VAT lines survive
+ * in cache, without simulating billions of application accesses.
+ */
+
+#ifndef DRACO_SIM_CACHE_HH
+#define DRACO_SIM_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "support/random.hh"
+
+namespace draco::sim {
+
+/** Configuration of one cache level. */
+struct CacheLevelConfig {
+    const char *name;
+    uint64_t capacityBytes;
+    unsigned ways;
+    double hitLatencyNs; ///< Cumulative latency when the hit is here.
+};
+
+/** Where an access was satisfied. */
+enum class MemLevel : uint8_t {
+    L1 = 0,
+    L2 = 1,
+    L3 = 2,
+    Dram = 3,
+};
+
+/** Per-level hit counters. */
+struct CacheStats {
+    std::array<uint64_t, 4> hits{};
+    uint64_t accesses = 0;
+};
+
+/**
+ * Three-level hierarchy plus DRAM with statistical app pressure.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Cache line size in bytes. */
+    static constexpr uint64_t kLineBytes = 64;
+
+    /**
+     * Construct with the paper's Table II configuration: L1 32 KB /
+     * 2 cycles, L2 256 KB / 8 cycles, L3 8 MB / 32 cycles at 2 GHz, and
+     * ~60 ns DRAM beyond L3.
+     *
+     * @param seed Seed for the eviction-pressure draws.
+     */
+    explicit CacheHierarchy(uint64_t seed = 1);
+
+    /**
+     * Perform one tracked read.
+     *
+     * @param addr Byte address.
+     * @return (level that hit, latency in ns).
+     */
+    std::pair<MemLevel, double> access(uint64_t addr);
+
+    /**
+     * Apply application traffic between syscalls: each resident tracked
+     * line survives level i with probability exp(-bytes/capacity_i).
+     */
+    void appPressure(uint64_t bytes);
+
+    /**
+     * Apply traffic from *other cores* sharing the L3 (the chip of
+     * Table II shares its banked L3 across ten cores). Evicts tracked
+     * lines from L3 only; inclusive back-invalidation then drops them
+     * from the private L1/L2 as well.
+     */
+    void externalL3Pressure(uint64_t bytes);
+
+    /** Drop every tracked line (e.g. after a context switch flood). */
+    void flush();
+
+    /** @return Latency of a hit at @p level. */
+    double latencyNs(MemLevel level) const;
+
+    /** @return Counters. */
+    const CacheStats &stats() const { return _stats; }
+
+    /** @return The level configurations (for Table II reporting). */
+    static const std::array<CacheLevelConfig, 3> &levelConfigs();
+
+    /** DRAM access latency beyond the L3 lookup. */
+    static constexpr double kDramNs = 60.0;
+
+  private:
+    // Ordered so pressure-eviction RNG draws visit lines in a stable,
+    // allocation-order-consistent sequence (determinism across runs).
+    std::set<uint64_t> _resident[3]; ///< Line tags per level.
+    Rng _rng;
+    CacheStats _stats;
+};
+
+} // namespace draco::sim
+
+#endif // DRACO_SIM_CACHE_HH

@@ -1,0 +1,279 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+
+#include "seccomp/profile_gen.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace draco::sim {
+
+const char *
+mechanismName(Mechanism mechanism)
+{
+    switch (mechanism) {
+      case Mechanism::Insecure: return "insecure";
+      case Mechanism::Seccomp: return "seccomp";
+      case Mechanism::DracoSW: return "draco-sw";
+      case Mechanism::DracoHW: return "draco-hw";
+    }
+    return "?";
+}
+
+double
+RunResult::stbHitRate() const
+{
+    return stb.lookups ? static_cast<double>(stb.hits) / stb.lookups : 0.0;
+}
+
+double
+RunResult::slbAccessHitRate() const
+{
+    return slb.accesses
+        ? static_cast<double>(slb.accessHits) / slb.accesses
+        : 0.0;
+}
+
+double
+RunResult::slbPreloadHitRate() const
+{
+    return slb.preloadProbes
+        ? static_cast<double>(slb.preloadHits) / slb.preloadProbes
+        : 0.0;
+}
+
+namespace {
+
+/** Core clock assumed by the ROB hiding model (Table II: 2 GHz). */
+constexpr double kCycleNs = 0.5;
+
+/** ROB capacity (Table II). */
+constexpr unsigned kRobEntries = 128;
+
+/** Average dispatch IPC assumed when estimating dispatch→head time. */
+constexpr double kAvgIpc = 2.0;
+
+/** Interval of the SPT Accessed-bit sweep (§VII-B). */
+constexpr double kAccessedSweepNs = 500000.0;
+
+/**
+ * Time between a syscall's dispatch into the ROB and its arrival at the
+ * head: the instructions ahead of it must retire first. Sampled
+ * uniformly over ROB occupancy.
+ */
+double
+dispatchToHeadNs(Rng &rng)
+{
+    uint64_t ahead = rng.nextRange(16, kRobEntries - 1);
+    return static_cast<double>(ahead) / kAvgIpc * kCycleNs;
+}
+
+} // namespace
+
+RunResult
+ExperimentRunner::run(const workload::AppModel &app,
+                      const seccomp::Profile &profile,
+                      const RunOptions &options)
+{
+    RunResult result;
+    result.workload = app.name;
+    result.mechanism = mechanismName(options.mechanism);
+
+    const os::KernelCosts &costs = *options.costs;
+
+    workload::TraceGenerator gen(app, options.seed);
+
+    // Mechanism state.
+    std::unique_ptr<seccomp::FilterChain> filter;
+    std::unique_ptr<core::DracoSoftwareChecker> sw;
+    std::unique_ptr<core::HwProcessContext> hwProc;
+    std::unique_ptr<core::DracoHardwareEngine> hwEngine;
+    std::unique_ptr<CacheHierarchy> cache;
+    Rng robRng(options.seed ^ 0x9d2c5680cafef00dULL);
+
+    switch (options.mechanism) {
+      case Mechanism::Insecure:
+        break;
+      case Mechanism::Seccomp:
+        filter = std::make_unique<seccomp::FilterChain>(
+            seccomp::buildFilterChain(profile, options.shape));
+        break;
+      case Mechanism::DracoSW:
+        sw = std::make_unique<core::DracoSoftwareChecker>(
+            profile, options.filterCopies, options.shape);
+        break;
+      case Mechanism::DracoHW:
+        hwProc = std::make_unique<core::HwProcessContext>(
+            profile, options.filterCopies);
+        hwEngine = options.slbGeometry
+            ? std::make_unique<core::DracoHardwareEngine>(
+                  options.hwPreload, *options.slbGeometry)
+            : std::make_unique<core::DracoHardwareEngine>(
+                  options.hwPreload);
+        hwEngine->switchTo(hwProc.get());
+        cache = std::make_unique<CacheHierarchy>(options.seed + 17);
+        break;
+    }
+
+    double nextSweepNs = kAccessedSweepNs;
+    double simNs = 0.0;
+    bool counting = false;
+
+    auto processEvent = [&](const workload::TraceEvent &event) {
+        if (counting)
+            ++result.syscalls;
+        double baseNs = event.userWorkNs + costs.syscallBaseNs;
+        if (counting) {
+            result.insecureNs += baseNs;
+            result.totalNs += baseNs;
+        }
+        simNs += baseNs;
+
+        double checkNs = 0.0;
+        switch (options.mechanism) {
+          case Mechanism::Insecure:
+            break;
+
+          case Mechanism::Seccomp: {
+            os::SeccompData data = event.req.toSeccompData();
+            for (unsigned copy = 0; copy < options.filterCopies; ++copy) {
+                seccomp::BpfResult r = filter->run(data);
+                checkNs +=
+                    costs.seccompEntryNs + r.insnsExecuted * costs.bpfInsnNs;
+                result.filterInsnsTotal += r.insnsExecuted;
+            }
+            break;
+          }
+
+          case Mechanism::DracoSW: {
+            core::SwCheckOutcome out = sw->check(event.req);
+            checkNs += costs.dracoSptLookupNs;
+            if (out.hashedBytes > 0) {
+                checkNs += 2 *
+                    (costs.dracoHashFixedNs +
+                     costs.dracoHashPerByteNs * out.hashedBytes);
+                checkNs += out.vatProbes * costs.dracoVatProbeNs;
+            }
+            if (out.filterInsns > 0) {
+                // Entry overhead applies once per attached filter copy.
+                checkNs += options.filterCopies * costs.seccompEntryNs +
+                    out.filterInsns * costs.bpfInsnNs;
+                if (counting)
+                    result.filterInsnsTotal += out.filterInsns;
+            }
+            if (out.vatInserted)
+                checkNs += costs.dracoVatInsertNs;
+            break;
+          }
+
+          case Mechanism::DracoHW: {
+            cache->appPressure(event.bytesTouched);
+            hwEngine->onDispatch(event.req.pc);
+            core::HwSyscallResult out = hwEngine->onRobHead(event.req);
+
+            // Preload fetches overlap with dispatch→head time.
+            if (!out.preloadMemAddrs.empty()) {
+                double window = dispatchToHeadNs(robRng);
+                double fetchNs = 0.0;
+                for (uint64_t addr : out.preloadMemAddrs)
+                    fetchNs =
+                        std::max(fetchNs, cache->access(addr).second);
+                checkNs += std::max(0.0, fetchNs - window);
+            }
+
+            // Head-of-ROB reads stall retirement; the two cuckoo-way
+            // probes are issued in parallel (§V-B).
+            double headNs = 0.0;
+            for (uint64_t addr : out.headMemAddrs)
+                headNs = std::max(headNs, cache->access(addr).second);
+            checkNs += headNs;
+
+            if (out.filterRun) {
+                checkNs += options.filterCopies * costs.seccompEntryNs +
+                    out.filterInsns * costs.bpfInsnNs;
+                if (counting)
+                    result.filterInsnsTotal += out.filterInsns;
+                if (out.vatInserted)
+                    checkNs += costs.dracoVatInsertNs;
+            }
+            break;
+          }
+        }
+
+        if (counting) {
+            result.totalNs += checkNs;
+            result.checkNs += checkNs;
+        }
+        simNs += checkNs;
+
+        if (hwEngine && simNs >= nextSweepNs) {
+            hwEngine->periodicAccessedClear();
+            nextSweepNs = simNs + kAccessedSweepNs;
+        }
+    };
+
+    // Cold start: prologue plus warm-up calls, excluded from the
+    // measurement window like the paper's warm-up phase.
+    for (const auto &event : gen.prologue())
+        processEvent(event);
+    for (size_t i = 0; i < options.warmupCalls; ++i)
+        processEvent(gen.next());
+    counting = true;
+    for (size_t i = 0; i < options.steadyCalls; ++i)
+        processEvent(gen.next());
+
+    if (sw) {
+        result.sw = sw->stats();
+        result.vatFootprintBytes = sw->vat().footprintBytes();
+    }
+    if (hwEngine) {
+        result.hw = hwEngine->stats();
+        result.slb = hwEngine->slbStats();
+        result.stb = hwEngine->stbStats();
+        result.vatFootprintBytes = hwProc->vat().footprintBytes();
+    }
+    return result;
+}
+
+AppProfiles
+makeAppProfiles(const workload::AppModel &app, uint64_t seed,
+                size_t profiling_calls)
+{
+    workload::TraceGenerator gen(app, seed);
+    seccomp::ProfileRecorder recorder;
+    for (const auto &event : gen.prologue())
+        recorder.record(event.req);
+    for (size_t i = 0; i < profiling_calls; ++i)
+        recorder.record(gen.next().req);
+    return AppProfiles{
+        recorder.makeNoArgs(app.name + "-noargs"),
+        recorder.makeComplete(app.name + "-complete"),
+    };
+}
+
+void
+printMachineConfig()
+{
+    TextTable table("Table II: architectural configuration");
+    table.setHeader({"component", "configuration"});
+    table.addRow({"Multicore chip",
+                  "10 OOO cores, 128-entry ROB, 2 GHz"});
+    for (const auto &level : CacheHierarchy::levelConfigs()) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu KB, %u way, cumulative %.0f ns hit",
+                      static_cast<unsigned long long>(
+                          level.capacityBytes / 1024),
+                      level.ways, level.hitLatencyNs);
+        table.addRow({level.name, buf});
+    }
+    table.addRow({"DRAM", "~60 ns beyond L3"});
+    table.addRow({"STB", "256 entries, 2 way"});
+    table.addRow({"SLB (1..6 args)",
+                  "32/64/64/32/32/16 entries, 4 way"});
+    table.addRow({"Temporary Buffer", "8 entries"});
+    table.addRow({"SPT", "384 entries, direct mapped"});
+    table.print();
+}
+
+} // namespace draco::sim

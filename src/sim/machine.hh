@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The experiment machine: prices a workload trace under one checking
+ * mechanism and reports normalized execution time plus every statistic
+ * the paper's figures need.
+ *
+ * The four mechanisms mirror the paper's evaluation:
+ *  - Insecure: no checks (the normalization baseline).
+ *  - Seccomp: the compiled BPF filter runs on every syscall; its cost is
+ *    entry overhead plus executed instructions × per-instruction cost
+ *    (JIT'd or interpreted, per KernelCosts).
+ *  - DracoSW (§V-C): software SPT/VAT checking with filter fallback.
+ *  - DracoHW (§VI): the per-core engine; fast flows are free, slow flows
+ *    pay VAT memory latency through the cache hierarchy, partially
+ *    hidden by the ROB for preloads.
+ */
+
+#ifndef DRACO_SIM_MACHINE_HH
+#define DRACO_SIM_MACHINE_HH
+
+#include <optional>
+#include <string>
+
+#include "core/hw_engine.hh"
+#include "core/software.hh"
+#include "os/kernelcosts.hh"
+#include "seccomp/profile.hh"
+#include "sim/cache.hh"
+#include "workload/appmodel.hh"
+#include "workload/generator.hh"
+
+namespace draco::sim {
+
+/** The checking mechanism under test. */
+enum class Mechanism {
+    Insecure,
+    Seccomp,
+    DracoSW,
+    DracoHW,
+};
+
+/** @return Display name of @p mechanism. */
+const char *mechanismName(Mechanism mechanism);
+
+/** Knobs of one experiment run. */
+struct RunOptions {
+    Mechanism mechanism = Mechanism::Insecure;
+
+    /** Attached filter copies; 2 models syscall-complete-2x. */
+    unsigned filterCopies = 1;
+
+    /** Dispatch shape of compiled filters (linear vs binary tree). */
+    seccomp::DispatchShape shape = seccomp::DispatchShape::Linear;
+
+    /** Kernel-generation cost parameters. */
+    const os::KernelCosts *costs = &os::newKernelCosts();
+
+    /** Hardware Draco: enable STB-driven SLB preloading. */
+    bool hwPreload = true;
+
+    /** Hardware Draco: override the SLB geometry (sizing ablation). */
+    std::optional<std::array<core::TableGeometry, core::Slb::kMaxArgc>>
+        slbGeometry;
+
+    /** Steady-state syscalls to simulate after the prologue. */
+    size_t steadyCalls = 200000;
+
+    /**
+     * Warm-up syscalls executed (populating VAT/SLB/STB and caches)
+     * before measurement starts — the paper warms 250M instructions
+     * before its 2B-instruction measurement window (§X-C). Warm-up
+     * time is excluded from totalNs and insecureNs alike.
+     */
+    size_t warmupCalls = 20000;
+
+    /** Trace seed; equal seeds make runs trace-identical. */
+    uint64_t seed = 42;
+};
+
+/** Everything measured during one run. */
+struct RunResult {
+    std::string workload;
+    std::string mechanism;
+
+    double totalNs = 0.0;    ///< Simulated execution time.
+    double insecureNs = 0.0; ///< Same trace with no checks.
+    double checkNs = 0.0;    ///< Time attributed to checking.
+    uint64_t syscalls = 0;
+
+    /** @return totalNs / insecureNs, the paper's reporting metric. */
+    double normalized() const
+    {
+        return insecureNs > 0.0 ? totalNs / insecureNs : 1.0;
+    }
+
+    // Mechanism-specific statistics (zero-initialized when unused).
+    core::SwCheckStats sw{};
+    core::HwEngineStats hw{};
+    core::SlbStats slb{};
+    core::StbStats stb{};
+    size_t vatFootprintBytes = 0;
+    uint64_t filterInsnsTotal = 0;
+
+    /** @return STB hit rate in [0,1] (hardware runs). */
+    double stbHitRate() const;
+
+    /** @return SLB access hit rate in [0,1] (hardware runs). */
+    double slbAccessHitRate() const;
+
+    /** @return SLB preload hit rate in [0,1] (hardware runs). */
+    double slbPreloadHitRate() const;
+};
+
+/**
+ * Runs one (workload, profile, mechanism) experiment.
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * Simulate @p app under @p profile with @p options.
+     *
+     * The trace depends only on (app, seed), so different mechanisms
+     * see byte-identical syscall streams.
+     */
+    RunResult run(const workload::AppModel &app,
+                  const seccomp::Profile &profile,
+                  const RunOptions &options);
+};
+
+/** The two profiles §X-B generates for an application. */
+struct AppProfiles {
+    seccomp::Profile noargs;
+    seccomp::Profile complete;
+};
+
+/**
+ * Record a profiling trace of @p app (the strace step) and emit its
+ * syscall-noargs and syscall-complete profiles.
+ *
+ * @param app Workload to profile.
+ * @param seed Trace seed — use the same seed as the measurement run so
+ *        the profile covers exactly the calls the run will make.
+ * @param profiling_calls Trace length of the profiling run.
+ */
+AppProfiles makeAppProfiles(const workload::AppModel &app, uint64_t seed,
+                            size_t profiling_calls = 300000);
+
+/** Print the Table II architectural configuration. */
+void printMachineConfig();
+
+} // namespace draco::sim
+
+#endif // DRACO_SIM_MACHINE_HH

@@ -1,0 +1,170 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::sim {
+
+std::vector<CoreResult>
+MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
+                        const MulticoreOptions &options)
+{
+    if (cores.empty())
+        fatal("MulticoreSimulator: need at least one core");
+
+    struct Core {
+        CoreAssignment assign;
+        std::unique_ptr<workload::TraceGenerator> gen;
+        std::unique_ptr<core::HwProcessContext> hwProc;
+        std::unique_ptr<core::DracoHardwareEngine> engine;
+        std::unique_ptr<core::DracoSoftwareChecker> sw;
+        std::unique_ptr<seccomp::FilterChain> filter;
+        std::unique_ptr<CacheHierarchy> cache;
+        seccomp::Profile profile{"unset"};
+        CoreResult result;
+        Rng robRng{0};
+    };
+
+    const os::KernelCosts &costs = *options.costs;
+
+    std::vector<Core> state(cores.size());
+    for (size_t i = 0; i < cores.size(); ++i) {
+        Core &core = state[i];
+        core.assign = cores[i];
+        if (!core.assign.app)
+            fatal("MulticoreSimulator: core %zu has no workload", i);
+        uint64_t seed = options.seed + i * 131;
+        AppProfiles profiles =
+            makeAppProfiles(*core.assign.app, seed, 200000);
+        core.profile = profiles.complete;
+        core.gen = std::make_unique<workload::TraceGenerator>(
+            *core.assign.app, seed);
+        core.robRng = Rng(seed ^ 0xfeedULL);
+        core.result.workload = core.assign.app->name;
+        core.result.mechanism = mechanismName(core.assign.mechanism);
+
+        switch (core.assign.mechanism) {
+          case Mechanism::Insecure:
+            break;
+          case Mechanism::Seccomp:
+            core.filter = std::make_unique<seccomp::FilterChain>(
+                seccomp::buildFilterChain(core.profile));
+            break;
+          case Mechanism::DracoSW:
+            core.sw = std::make_unique<core::DracoSoftwareChecker>(
+                core.profile, core.assign.filterCopies);
+            break;
+          case Mechanism::DracoHW:
+            core.hwProc = std::make_unique<core::HwProcessContext>(
+                core.profile, core.assign.filterCopies);
+            core.engine = std::make_unique<core::DracoHardwareEngine>();
+            core.engine->switchTo(core.hwProc.get());
+            core.cache = std::make_unique<CacheHierarchy>(seed + 17);
+            break;
+        }
+    }
+
+    // Lockstep: every step, each core consumes one event. Each core's
+    // gap traffic hits its own whole hierarchy and everyone else's L3.
+    size_t total = options.warmupCallsPerCore + options.callsPerCore;
+    for (size_t step = 0; step < total; ++step) {
+        bool counting = step >= options.warmupCallsPerCore;
+
+        // Gather this step's events first so L3 coupling is symmetric.
+        std::vector<workload::TraceEvent> events;
+        events.reserve(state.size());
+        for (Core &core : state)
+            events.push_back(core.gen->next());
+
+        for (size_t i = 0; i < state.size(); ++i) {
+            Core &core = state[i];
+            const auto &event = events[i];
+
+            double baseNs = event.userWorkNs + costs.syscallBaseNs;
+            if (counting) {
+                core.result.insecureNs += baseNs;
+                core.result.totalNs += baseNs;
+            }
+
+            double checkNs = 0.0;
+            switch (core.assign.mechanism) {
+              case Mechanism::Insecure:
+                break;
+              case Mechanism::Seccomp: {
+                auto r = core.filter->run(event.req.toSeccompData());
+                checkNs += core.assign.filterCopies *
+                    (costs.seccompEntryNs +
+                     r.insnsExecuted * costs.bpfInsnNs);
+                break;
+              }
+              case Mechanism::DracoSW: {
+                auto out = core.sw->check(event.req);
+                checkNs += costs.dracoSptLookupNs;
+                if (out.hashedBytes > 0) {
+                    checkNs += 2 *
+                        (costs.dracoHashFixedNs +
+                         costs.dracoHashPerByteNs * out.hashedBytes);
+                    checkNs += out.vatProbes * costs.dracoVatProbeNs;
+                }
+                if (out.filterInsns > 0) {
+                    checkNs += core.assign.filterCopies *
+                            costs.seccompEntryNs +
+                        out.filterInsns * costs.bpfInsnNs;
+                }
+                if (out.vatInserted)
+                    checkNs += costs.dracoVatInsertNs;
+                break;
+              }
+              case Mechanism::DracoHW: {
+                core.cache->appPressure(event.bytesTouched);
+                // Shared L3: neighbours' gap traffic evicts our lines.
+                for (size_t j = 0; j < state.size(); ++j)
+                    if (j != i)
+                        core.cache->externalL3Pressure(
+                            events[j].bytesTouched);
+
+                core.engine->onDispatch(event.req.pc);
+                auto out = core.engine->onRobHead(event.req);
+                if (!out.preloadMemAddrs.empty()) {
+                    double window = static_cast<double>(
+                                        core.robRng.nextRange(16, 127)) /
+                        2.0 * 0.5;
+                    double fetchNs = 0.0;
+                    for (uint64_t addr : out.preloadMemAddrs)
+                        fetchNs = std::max(
+                            fetchNs, core.cache->access(addr).second);
+                    checkNs += std::max(0.0, fetchNs - window);
+                }
+                double headNs = 0.0;
+                for (uint64_t addr : out.headMemAddrs)
+                    headNs = std::max(headNs,
+                                      core.cache->access(addr).second);
+                checkNs += headNs;
+                if (out.filterRun) {
+                    checkNs += core.assign.filterCopies *
+                            costs.seccompEntryNs +
+                        out.filterInsns * costs.bpfInsnNs;
+                    if (out.vatInserted)
+                        checkNs += costs.dracoVatInsertNs;
+                }
+                break;
+              }
+            }
+            if (counting)
+                core.result.totalNs += checkNs;
+        }
+    }
+
+    std::vector<CoreResult> results;
+    for (Core &core : state) {
+        if (core.engine) {
+            core.result.hw = core.engine->stats();
+            core.result.slb = core.engine->slbStats();
+        }
+        results.push_back(core.result);
+    }
+    return results;
+}
+
+} // namespace draco::sim

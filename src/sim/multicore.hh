@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multicore consolidation simulation.
+ *
+ * The evaluated platform is a ten-core chip with private L1/L2 and a
+ * shared banked L3 (Table II). Hardware Draco's slow flows read the
+ * per-process VAT through that hierarchy, so co-running workloads that
+ * thrash the L3 push a neighbour's VAT lines to DRAM and make its slow
+ * flows slower. MulticoreSimulator runs one hardware-Draco workload per
+ * core in lockstep and applies each core's traffic as shared-L3
+ * pressure on everyone else — the consolidation experiment a cloud
+ * operator would run before trusting the ≤1% overhead claim at density.
+ */
+
+#ifndef DRACO_SIM_MULTICORE_HH
+#define DRACO_SIM_MULTICORE_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace draco::sim {
+
+/** One core's assignment. */
+struct CoreAssignment {
+    const workload::AppModel *app = nullptr;
+    Mechanism mechanism = Mechanism::DracoHW;
+    unsigned filterCopies = 1;
+};
+
+/** Multicore experiment knobs. */
+struct MulticoreOptions {
+    size_t callsPerCore = 100000;
+    size_t warmupCallsPerCore = 10000;
+    uint64_t seed = 42;
+    const os::KernelCosts *costs = &os::newKernelCosts();
+};
+
+/** Per-core outcome. */
+struct CoreResult {
+    std::string workload;
+    std::string mechanism;
+    double totalNs = 0.0;
+    double insecureNs = 0.0;
+    core::HwEngineStats hw{};
+    core::SlbStats slb{};
+
+    /** @return totalNs / insecureNs for this core. */
+    double normalized() const
+    {
+        return insecureNs > 0.0 ? totalNs / insecureNs : 1.0;
+    }
+};
+
+/**
+ * Lockstep multicore simulator with shared-L3 coupling.
+ */
+class MulticoreSimulator
+{
+  public:
+    /**
+     * Run one workload per core; every core uses its own
+     * syscall-complete profile.
+     *
+     * @param cores Per-core assignments (size = core count).
+     * @param options Experiment knobs.
+     * @return One result per core, in input order.
+     */
+    std::vector<CoreResult> run(const std::vector<CoreAssignment> &cores,
+                                const MulticoreOptions &options);
+};
+
+} // namespace draco::sim
+
+#endif // DRACO_SIM_MULTICORE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-process scheduling on one Draco-equipped core (§VII-B).
+ *
+ * Context switches are where hardware Draco pays a restart cost: the
+ * SLB, STB, and SPT are invalidated whenever a different process is
+ * scheduled. The paper adds two mitigations — Accessed-bit-guided SPT
+ * save/restore, and keeping state when the same process is rescheduled.
+ * This simulator runs N processes round-robin with a configurable
+ * quantum and measures the resulting overhead, with each mitigation
+ * individually controllable for the ablation bench.
+ */
+
+#ifndef DRACO_SIM_SCHEDULER_HH
+#define DRACO_SIM_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace draco::sim {
+
+/** Scheduling experiment knobs. */
+struct SchedOptions {
+    double quantumNs = 1.0e6;     ///< Scheduling quantum (default 1 ms).
+    bool sptSaveRestore = true;   ///< §VII-B Accessed-bit mitigation.
+    size_t totalCalls = 400000;   ///< Total syscalls across processes.
+    uint64_t seed = 42;
+    unsigned filterCopies = 1;
+    const os::KernelCosts *costs = &os::newKernelCosts();
+};
+
+/** Scheduling experiment outcome. */
+struct SchedResult {
+    double totalNs = 0.0;
+    double insecureNs = 0.0;
+    uint64_t contextSwitches = 0;
+    uint64_t syscalls = 0;
+    core::HwEngineStats hw{};
+    core::SlbStats slb{};
+    core::StbStats stb{};
+
+    /** @return totalNs / insecureNs. */
+    double normalized() const
+    {
+        return insecureNs > 0.0 ? totalNs / insecureNs : 1.0;
+    }
+};
+
+/**
+ * Round-robin multi-process simulation of hardware Draco.
+ */
+class MultiProcessSimulator
+{
+  public:
+    /**
+     * Run @p apps round-robin under their own syscall-complete profiles.
+     *
+     * @param apps Workloads to interleave (each becomes one process).
+     * @param options Experiment knobs.
+     */
+    SchedResult run(const std::vector<const workload::AppModel *> &apps,
+                    const SchedOptions &options);
+};
+
+} // namespace draco::sim
+
+#endif // DRACO_SIM_SCHEDULER_HH

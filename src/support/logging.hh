@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status and error reporting utilities.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, invalid arguments) and exits cleanly with an error code;
+ * panic() is for internal invariant violations and aborts. inform() and
+ * warn() report status without stopping the program.
+ */
+
+#ifndef DRACO_SUPPORT_LOGGING_HH
+#define DRACO_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace draco {
+
+/** Severity levels for log messages. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global minimum level below which messages are suppressed.
+ *
+ * @param level New minimum level.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return The current minimum log level. */
+LogLevel logLevel();
+
+/** Emit an informational message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning message (printf-style). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug message (printf-style), suppressed unless Debug level. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ *
+ * Use for bad configuration or invalid arguments — situations that are the
+ * caller's fault rather than a library bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ *
+ * Use for conditions that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace draco
+
+#endif // DRACO_SUPPORT_LOGGING_HH

@@ -1,0 +1,167 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace draco {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &w : _state)
+        w = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Lemire's multiply-shift rejection method for unbiased bounded draws.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+{
+    const size_t n = weights.size();
+    if (n == 0)
+        fatal("AliasSampler: empty weight vector");
+
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0 || !std::isfinite(w))
+            fatal("AliasSampler: weights must be finite and non-negative");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("AliasSampler: at least one weight must be positive");
+
+    _prob.assign(n, 0.0);
+    _alias.assign(n, 0);
+
+    // Standard Vose alias construction.
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * n / total;
+        (scaled[i] < 1.0 ? small : large).push_back(
+            static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        uint32_t s = small.back();
+        small.pop_back();
+        uint32_t l = large.back();
+        large.pop_back();
+        _prob[s] = scaled[s];
+        _alias[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (uint32_t i : large)
+        _prob[i] = 1.0;
+    for (uint32_t i : small)
+        _prob[i] = 1.0;
+}
+
+size_t
+AliasSampler::sample(Rng &rng) const
+{
+    size_t i = rng.nextBelow(_prob.size());
+    return rng.nextDouble() < _prob[i] ? i : _alias[i];
+}
+
+std::vector<double>
+ZipfSampler::makeWeights(size_t n, double s)
+{
+    if (n == 0)
+        fatal("ZipfSampler: n must be > 0");
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i)
+        w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    return w;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s)
+    : _alias(makeWeights(n, s))
+{
+}
+
+} // namespace draco

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and sampling helpers.
+ *
+ * All stochastic behaviour in the library (workload synthesis, cache
+ * warm-up noise, cuckoo eviction choices) flows through Rng so that every
+ * experiment is reproducible from a single seed.
+ */
+
+#ifndef DRACO_SUPPORT_RANDOM_HH
+#define DRACO_SUPPORT_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace draco {
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Small, fast, and high quality; state is seeded via splitmix64 so any
+ * 64-bit seed (including 0) produces a well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return The next raw 64-bit random value. */
+    uint64_t next();
+
+    /** @return A uniform value in [0, bound). bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** @return A uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return A uniform value in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Fork an independent child generator.
+     *
+     * The child stream is decorrelated from the parent's future output,
+     * letting subsystems draw randomness without perturbing each other.
+     */
+    Rng fork();
+
+  private:
+    uint64_t _state[4];
+};
+
+/**
+ * Sample from a fixed discrete distribution in O(1) via the alias method.
+ */
+class AliasSampler
+{
+  public:
+    /**
+     * Build the alias tables.
+     *
+     * @param weights Non-negative weights; need not be normalized. At
+     *                least one weight must be positive.
+     */
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw an index distributed according to the weights. */
+    size_t sample(Rng &rng) const;
+
+    /** @return Number of categories. */
+    size_t size() const { return _prob.size(); }
+
+  private:
+    std::vector<double> _prob;
+    std::vector<uint32_t> _alias;
+};
+
+/**
+ * Zipf(s) sampler over ranks 1..n (returned 0-based), using the alias
+ * method so sampling is O(1) regardless of n.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items (> 0).
+     * @param s Skew exponent; 0 degenerates to uniform.
+     */
+    ZipfSampler(size_t n, double s);
+
+    /** Draw a 0-based rank (0 is the most popular). */
+    size_t sample(Rng &rng) const { return _alias.sample(rng); }
+
+    /** @return Number of items. */
+    size_t size() const { return _alias.size(); }
+
+  private:
+    static std::vector<double> makeWeights(size_t n, double s);
+
+    AliasSampler _alias;
+};
+
+} // namespace draco
+
+#endif // DRACO_SUPPORT_RANDOM_HH

@@ -1,0 +1,160 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace draco {
+
+void
+RunningStat::add(double x)
+{
+    if (_n == 0) {
+        _min = _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_n;
+    _sum += x;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+    if (x > 0.0)
+        _logSum += std::log(x);
+    else
+        _allPositive = false;
+}
+
+double
+RunningStat::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::geomean() const
+{
+    if (_n == 0 || !_allPositive)
+        return 0.0;
+    return std::exp(_logSum / static_cast<double>(_n));
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : _lo(lo), _hi(hi), _counts(buckets, 0)
+{
+    if (!(hi > lo))
+        fatal("Histogram: hi must be > lo");
+    if (buckets == 0)
+        fatal("Histogram: need at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_total;
+    if (x < _lo) {
+        ++_under;
+        return;
+    }
+    if (x >= _hi) {
+        ++_over;
+        return;
+    }
+    double frac = (x - _lo) / (_hi - _lo);
+    auto idx = static_cast<size_t>(frac * static_cast<double>(_counts.size()));
+    if (idx >= _counts.size())
+        idx = _counts.size() - 1;
+    ++_counts[idx];
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return _lo + (_hi - _lo) * static_cast<double>(i) /
+        static_cast<double>(_counts.size());
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (_xs.empty())
+        return 0.0;
+    if (!_sorted) {
+        std::sort(_xs.begin(), _xs.end());
+        _sorted = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    double pos = q * static_cast<double>(_xs.size() - 1);
+    size_t i = static_cast<size_t>(pos);
+    double frac = pos - static_cast<double>(i);
+    if (i + 1 >= _xs.size())
+        return _xs.back();
+    return _xs[i] * (1.0 - frac) + _xs[i + 1] * frac;
+}
+
+void
+ReuseDistanceTracker::access(uint64_t key)
+{
+    ++_clock;
+    PerKey &pk = _keys[key];
+    if (pk.seen) {
+        // Distance counts the other accesses strictly between the two.
+        pk.distanceSum += static_cast<double>(_clock - pk.lastTime - 1);
+        ++pk.reuses;
+    }
+    pk.seen = true;
+    pk.lastTime = _clock;
+}
+
+double
+ReuseDistanceTracker::meanDistance(uint64_t key) const
+{
+    auto it = _keys.find(key);
+    if (it == _keys.end() || it->second.reuses == 0)
+        return 0.0;
+    return it->second.distanceSum / static_cast<double>(it->second.reuses);
+}
+
+double
+ReuseDistanceTracker::overallMeanDistance() const
+{
+    double sum = 0.0;
+    uint64_t reuses = 0;
+    for (const auto &[key, pk] : _keys) {
+        sum += pk.distanceSum;
+        reuses += pk.reuses;
+    }
+    return reuses ? sum / static_cast<double>(reuses) : 0.0;
+}
+
+uint64_t
+FrequencyCounter::count(uint64_t key) const
+{
+    auto it = _counts.find(key);
+    return it == _counts.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+FrequencyCounter::sortedByCount() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> out(_counts.begin(),
+                                                   _counts.end());
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    return out;
+}
+
+} // namespace draco

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Statistics primitives used by the workload characterization and the
+ * benchmark harnesses: running summaries, histograms, reuse-distance
+ * tracking, and quantile extraction.
+ */
+
+#ifndef DRACO_SUPPORT_STATS_HH
+#define DRACO_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace draco {
+
+/**
+ * Streaming summary of a scalar series: count, mean, min, max, variance
+ * (Welford), and geometric mean support for strictly-positive series.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** @return Number of samples added. */
+    uint64_t count() const { return _n; }
+
+    /** @return Arithmetic mean (0 when empty). */
+    double mean() const { return _n ? _mean : 0.0; }
+
+    /** @return Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** @return Standard deviation. */
+    double stddev() const;
+
+    /** @return Minimum sample (0 when empty). */
+    double min() const { return _n ? _min : 0.0; }
+
+    /** @return Maximum sample (0 when empty). */
+    double max() const { return _n ? _max : 0.0; }
+
+    /** @return Sum of all samples. */
+    double sum() const { return _sum; }
+
+    /**
+     * @return Geometric mean; only meaningful if every sample was > 0.
+     */
+    double geomean() const;
+
+  private:
+    uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _sum = 0.0;
+    double _logSum = 0.0;
+    bool _allPositive = true;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi) with out-of-range counters.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the tracked range.
+     * @param hi Exclusive upper bound; must be > lo.
+     * @param buckets Number of equal-width buckets (> 0).
+     */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** @return Count in bucket i. */
+    uint64_t bucketCount(size_t i) const { return _counts.at(i); }
+
+    /** @return Inclusive lower edge of bucket i. */
+    double bucketLo(size_t i) const;
+
+    /** @return Number of buckets. */
+    size_t buckets() const { return _counts.size(); }
+
+    /** @return Samples below the range. */
+    uint64_t underflow() const { return _under; }
+
+    /** @return Samples at or above the range. */
+    uint64_t overflow() const { return _over; }
+
+    /** @return Total samples recorded, including out-of-range. */
+    uint64_t total() const { return _total; }
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<uint64_t> _counts;
+    uint64_t _under = 0;
+    uint64_t _over = 0;
+    uint64_t _total = 0;
+};
+
+/**
+ * Exact quantiles over a retained sample vector.
+ *
+ * Retains all samples; intended for the bench harnesses where series are
+ * at most a few million entries.
+ */
+class QuantileSketch
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double x)
+    {
+        _xs.push_back(x);
+        _sorted = false;
+    }
+
+    /**
+     * @param q Quantile in [0,1].
+     * @return The q-quantile by linear interpolation; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** @return Number of samples. */
+    size_t count() const { return _xs.size(); }
+
+  private:
+    mutable std::vector<double> _xs;
+    mutable bool _sorted = false;
+};
+
+/**
+ * Average reuse distance per key.
+ *
+ * The reuse distance of an access is the number of *other* accesses since
+ * the previous access with the same key — the metric annotated atop the
+ * bars of Figure 3 of the paper.
+ */
+class ReuseDistanceTracker
+{
+  public:
+    /** Record an access to @p key at the next logical timestamp. */
+    void access(uint64_t key);
+
+    /** @return Mean reuse distance of @p key (0 if never reused). */
+    double meanDistance(uint64_t key) const;
+
+    /** @return Mean reuse distance across all reuses of all keys. */
+    double overallMeanDistance() const;
+
+    /** @return Total accesses recorded. */
+    uint64_t accesses() const { return _clock; }
+
+  private:
+    struct PerKey {
+        uint64_t lastTime = 0;
+        uint64_t reuses = 0;
+        double distanceSum = 0.0;
+        bool seen = false;
+    };
+
+    std::unordered_map<uint64_t, PerKey> _keys;
+    uint64_t _clock = 0;
+};
+
+/**
+ * Frequency counter keyed by an integer id, with sorted extraction.
+ */
+class FrequencyCounter
+{
+  public:
+    /** Count one occurrence of @p key. */
+    void add(uint64_t key) { ++_counts[key]; ++_total; }
+
+    /** @return Occurrences of @p key. */
+    uint64_t count(uint64_t key) const;
+
+    /** @return Total occurrences across keys. */
+    uint64_t total() const { return _total; }
+
+    /** @return Number of distinct keys. */
+    size_t distinct() const { return _counts.size(); }
+
+    /** @return (key, count) pairs sorted by descending count. */
+    std::vector<std::pair<uint64_t, uint64_t>> sortedByCount() const;
+
+  private:
+    std::map<uint64_t, uint64_t> _counts;
+    uint64_t _total = 0;
+};
+
+} // namespace draco
+
+#endif // DRACO_SUPPORT_STATS_HH

@@ -1,0 +1,91 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "support/logging.hh"
+
+namespace draco {
+
+TextTable::TextTable(std::string title)
+    : _title(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() != _header.size())
+        fatal("TextTable '%s': row width %zu != header width %zu",
+              _title.c_str(), row.size(), _header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    size_t cols = _header.size();
+    for (const auto &r : _rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!_header.empty())
+        widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    std::fprintf(out, "== %s ==\n", _title.c_str());
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            std::fprintf(out, "%-*s%s", static_cast<int>(width[i]),
+                         row[i].c_str(), i + 1 == row.size() ? "" : "  ");
+        std::fputc('\n', out);
+    };
+    if (!_header.empty()) {
+        printRow(_header);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        for (size_t i = 0; i + 2 < total; ++i)
+            std::fputc('-', out);
+        std::fputc('\n', out);
+    }
+    for (const auto &r : _rows)
+        printRow(r);
+    std::fputc('\n', out);
+}
+
+void
+TextTable::printCsv(std::FILE *out) const
+{
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            std::fprintf(out, "%s%s", row[i].c_str(),
+                         i + 1 == row.size() ? "" : ",");
+        std::fputc('\n', out);
+    };
+    if (!_header.empty())
+        printRow(_header);
+    for (const auto &r : _rows)
+        printRow(r);
+}
+
+} // namespace draco

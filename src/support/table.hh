@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering for the benchmark harnesses.
+ *
+ * Every figure/table reproduction prints its series through TextTable so
+ * output formats stay uniform across the bench binaries.
+ */
+
+#ifndef DRACO_SUPPORT_TABLE_HH
+#define DRACO_SUPPORT_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace draco {
+
+/**
+ * A simple column-aligned text table with an optional CSV dump.
+ */
+class TextTable
+{
+  public:
+    /** @param title Heading printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width if one was set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p decimals decimal places. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Render to @p out (defaults to stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Render as CSV to @p out. */
+    void printCsv(std::FILE *out) const;
+
+    /** @return Number of data rows. */
+    size_t rows() const { return _rows.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace draco
+
+#endif // DRACO_SUPPORT_TABLE_HH

@@ -1,0 +1,326 @@
+#include "workload/appmodel.hh"
+
+#include <functional>
+#include <set>
+
+#include "os/syscalls.hh"
+#include "support/logging.hh"
+
+namespace draco::workload {
+
+namespace {
+
+uint16_t
+idOf(const char *name)
+{
+    const auto *desc = os::syscallByName(name);
+    if (!desc)
+        panic("appmodel references unknown syscall '%s'", name);
+    return desc->id;
+}
+
+/** Shorthand for one mix entry. */
+SyscallUsage
+u(const char *name, double weight, unsigned arg_sets = 2,
+  double arg_zipf = 1.0, unsigned pc_sites = 1)
+{
+    return SyscallUsage{idOf(name), weight, arg_sets, arg_zipf, pc_sites};
+}
+
+/**
+ * Rarely-used syscalls real applications nevertheless touch (startup,
+ * logging, maintenance paths). Every name is allowed by docker-default,
+ * so workloads remain runnable under every profile the paper evaluates.
+ */
+const char *kTailPool[] = {
+    "alarm", "chdir", "chmod", "dup2", "eventfd2", "fadvise64",
+    "fallocate", "fchmod", "flock", "ftruncate", "getcwd", "getdents64",
+    "getegid", "geteuid", "getgid", "getgroups", "getpeername",
+    "getpgrp", "getpriority", "getresgid", "getresuid", "getrlimit",
+    "getrusage", "getsockname", "gettimeofday", "getuid",
+    "inotify_add_watch", "inotify_init1", "kill", "link", "listen",
+    "lstat", "mkdir", "mlock", "msync", "nanosleep", "newfstatat",
+    "pause", "pipe", "pipe2", "prlimit64", "pselect6", "readlink",
+    "readv", "rename", "rmdir", "rt_sigpending", "rt_sigsuspend",
+    "sched_getparam", "sched_getscheduler", "sched_setaffinity",
+    "select", "semget", "semop", "sendmmsg", "setitimer", "setpgid",
+    "setpriority", "setrlimit", "setsid", "shutdown", "sigaltstack",
+    "socketpair", "splice", "statfs", "symlink", "sync", "sysinfo",
+    "tgkill", "timer_create", "timerfd_create", "timerfd_settime",
+    "truncate", "umask", "uname", "unlink", "unlinkat", "utimensat",
+    "wait4", "epoll_create1", "dup3", "clock_gettime", "memfd_create",
+    "getrandom", "mremap", "mincore",
+};
+
+/**
+ * Append @p count rare-tail syscalls to @p app, sharing @p total_weight
+ * between them. The selection is deterministic per app name so traces
+ * and profiles are stable across runs.
+ */
+void
+appendTail(AppModel &app, unsigned count, double total_weight)
+{
+    std::set<uint16_t> used;
+    for (const auto &usage : app.usage)
+        used.insert(usage.sid);
+
+    size_t poolSize = std::size(kTailPool);
+    size_t offset = std::hash<std::string>{}(app.name) % poolSize;
+    double each = total_weight / count;
+    unsigned added = 0;
+    for (size_t step = 0; step < poolSize && added < count; ++step) {
+        const char *name = kTailPool[(offset + step * 7) % poolSize];
+        uint16_t sid = idOf(name);
+        if (!used.insert(sid).second)
+            continue;
+        app.usage.push_back(SyscallUsage{sid, each, 1, 0.0, 1});
+        ++added;
+    }
+}
+
+std::vector<AppModel>
+buildMacro()
+{
+    std::vector<AppModel> apps;
+
+    // Apache HTTPD driven by ab with 30 concurrent requests. Dense
+    // network/file syscall traffic; moderate per-request compute.
+    apps.push_back(AppModel{
+        "httpd", true, 260.0, 0.6, 4096,
+        {
+            u("read", 16, 100, 1.9, 4), u("close", 10, 40, 1.9, 3),
+            u("writev", 10, 64, 1.9, 2), u("accept4", 8, 2, 0.5, 1),
+            u("poll", 6, 8, 1.7, 2), u("fcntl", 6, 8, 1.7, 2),
+            u("sendfile", 6, 48, 1.9, 1), u("times", 5, 1, 0.0, 1),
+            u("write", 4, 48, 1.9, 3), u("stat", 4, 1, 0.0, 2),
+            u("open", 4, 1, 0.0, 2), u("fstat", 3, 16, 1.7, 2),
+            u("shutdown", 3, 2, 0.5, 1), u("setsockopt", 3, 3, 0.5, 1),
+            u("openat", 2, 1, 0.0, 1), u("futex", 2, 6, 0.8, 2),
+            u("mmap", 1, 4, 0.6, 1), u("munmap", 1, 3, 0.6, 1),
+            u("getsockopt", 1, 2, 0.5, 1),
+        }});
+
+    // NGINX driven by ab; event-driven epoll loop.
+    apps.push_back(AppModel{
+        "nginx", true, 300.0, 0.6, 4096,
+        {
+            u("epoll_wait", 12, 3, 0.6, 1), u("writev", 12, 48, 2.2, 2),
+            u("recvfrom", 10, 40, 2.2, 2), u("epoll_ctl", 9, 12, 2.2, 2),
+            u("close", 9, 28, 2.2, 2), u("accept4", 6, 2, 0.5, 1),
+            u("read", 6, 40, 2.2, 3), u("write", 6, 32, 2.2, 2),
+            u("sendfile", 5, 32, 2.2, 1), u("setsockopt", 4, 3, 0.5, 1),
+            u("open", 4, 1, 0.0, 1), u("fstat", 4, 12, 2.2, 1),
+            u("stat", 3, 1, 0.0, 1), u("sendto", 3, 5, 0.8, 1),
+            u("futex", 1, 4, 0.8, 1), u("getpid", 1, 1, 0.0, 1),
+        }});
+
+    // Elasticsearch under YCSB. JVM: futex-dominated, very many
+    // distinct argument tuples and call sites (low STB/SLB locality —
+    // the paper's Fig. 13 outlier together with redis).
+    apps.push_back(AppModel{
+        "elasticsearch", true, 900.0, 0.8, 32768,
+        {
+            u("futex", 30, 72, 1.4, 90), u("read", 14, 60, 1.4, 70),
+            u("epoll_wait", 10, 8, 1.4, 30), u("write", 8, 48, 1.4, 60),
+            u("recvfrom", 6, 32, 1.4, 30), u("epoll_ctl", 5, 12, 1.4, 25),
+            u("sendto", 4, 32, 1.4, 25), u("mmap", 4, 24, 1.4, 20),
+            u("stat", 3, 1, 0.0, 10), u("openat", 3, 1, 0.0, 10),
+            u("close", 3, 32, 1.4, 20), u("fstat", 2, 16, 1.4, 10),
+            u("lseek", 2, 24, 1.4, 10), u("mprotect", 2, 12, 1.4, 8),
+            u("madvise", 2, 10, 1.4, 6), u("gettid", 1, 1, 0.0, 4),
+            u("sched_yield", 1, 1, 0.0, 4),
+        }});
+
+    // MySQL under SysBench OLTP with 10 clients.
+    apps.push_back(AppModel{
+        "mysql", true, 520.0, 0.7, 16384,
+        {
+            u("futex", 18, 64, 2.0, 25), u("read", 14, 64, 2.0, 10),
+            u("write", 10, 56, 2.0, 8), u("poll", 8, 8, 2.0, 3),
+            u("pread64", 8, 72, 2.0, 4), u("pwrite64", 6, 64, 2.0, 4),
+            u("fsync", 6, 6, 2.0, 2), u("times", 6, 1, 0.0, 1),
+            u("recvfrom", 5, 32, 2.0, 2), u("sendto", 5, 32, 2.0, 2),
+            u("close", 3, 16, 2.0, 2), u("openat", 3, 1, 0.0, 2),
+            u("lseek", 3, 28, 2.0, 2), u("madvise", 2, 6, 2.0, 1),
+        }});
+
+    // Cassandra under YCSB with 30 clients (JVM).
+    apps.push_back(AppModel{
+        "cassandra", true, 800.0, 0.8, 32768,
+        {
+            u("futex", 28, 56, 2.2, 40), u("read", 12, 56, 2.2, 25),
+            u("write", 8, 32, 2.2, 20), u("epoll_wait", 8, 6, 2.2, 10),
+            u("recvfrom", 6, 24, 2.2, 10), u("sendto", 5, 24, 2.2, 10),
+            u("mmap", 3, 24, 2.2, 8), u("close", 3, 16, 2.2, 6),
+            u("stat", 2, 1, 0.0, 4), u("fstat", 2, 10, 0.6, 4),
+            u("openat", 2, 1, 0.0, 4), u("times", 2, 1, 0.0, 2),
+            u("lseek", 2, 10, 0.6, 4), u("madvise", 2, 6, 0.6, 2),
+            u("dup", 1, 4, 0.5, 2),
+        }});
+
+    // Redis under redis-benchmark with 30 concurrent requests. Tight
+    // event loop; many connections give read/write wide fd fan-out.
+    apps.push_back(AppModel{
+        "redis", true, 230.0, 0.5, 8192,
+        {
+            u("read", 18, 150, 1.9, 40), u("write", 16, 150, 1.9, 40),
+            u("epoll_wait", 14, 4, 0.5, 10), u("epoll_ctl", 6, 64, 1.7, 30),
+            u("close", 5, 30, 1.7, 10), u("open", 4, 1, 0.0, 6),
+            u("accept4", 3, 2, 0.5, 4), u("fstat", 3, 12, 1.7, 6),
+            u("getpid", 2, 1, 0.0, 2), u("times", 2, 1, 0.0, 2),
+        }});
+
+    // OpenFaaS-style grep function: search a pattern over the Linux
+    // source tree. File-scan dominated, compute-light per call but much
+    // more user work than servers per syscall.
+    apps.push_back(AppModel{
+        "grep", true, 1900.0, 0.5, 65536,
+        {
+            u("read", 30, 24, 2.0, 2), u("openat", 15, 1, 0.0, 1),
+            u("close", 14, 4, 0.6, 1), u("fstat", 12, 4, 0.6, 1),
+            u("getdents", 6, 3, 0.6, 1), u("write", 6, 3, 0.6, 1),
+            u("mmap", 4, 4, 0.6, 1), u("munmap", 4, 3, 0.6, 1),
+            u("lseek", 3, 4, 0.6, 1),
+        }});
+
+    // OpenFaaS-style pwgen function: generate 10K secure passwords.
+    apps.push_back(AppModel{
+        "pwgen", true, 2600.0, 0.5, 16384,
+        {
+            u("read", 25, 8, 2.0, 1), u("write", 20, 3, 0.7, 1),
+            u("openat", 8, 1, 0.0, 1), u("close", 8, 2, 0.5, 1),
+            u("fstat", 5, 2, 0.5, 1), u("getrandom", 4, 2, 0.5, 1),
+            u("mmap", 2, 3, 0.6, 1),
+        }});
+
+    // Fig. 15a: application profiles span 50-100 syscalls; servers touch
+    // a long tail of rare calls beyond their hot loop.
+    for (auto &app : apps)
+        appendTail(app, 45, 2.5);
+
+    return apps;
+}
+
+std::vector<AppModel>
+buildMicro()
+{
+    std::vector<AppModel> apps;
+
+    // SysBench fileio: random read/write over 128 files.
+    apps.push_back(AppModel{
+        "sysbench-fio", false, 150.0, 0.5, 16384,
+        {
+            u("pread64", 25, 44, 2.5, 2), u("pwrite64", 20, 44, 2.5, 2),
+            u("fsync", 12, 6, 2.2, 1), u("lseek", 10, 16, 2.2, 2),
+            u("read", 8, 12, 2.2, 1), u("write", 8, 12, 2.2, 1),
+            u("open", 3, 1, 0.0, 1), u("close", 3, 6, 0.5, 1),
+            u("fstat", 3, 6, 0.5, 1), u("times", 2, 1, 0.0, 1),
+        }});
+
+    // HPCC GUPS: compute/memory bound, almost no syscalls.
+    apps.push_back(AppModel{
+        "hpcc", false, 60000.0, 0.4, 1048576,
+        {
+            u("mmap", 2, 4, 0.6, 1), u("brk", 2, 3, 0.6, 1),
+            u("write", 1, 2, 0.5, 1), u("read", 1, 2, 0.5, 1),
+        }});
+
+    // UnixBench syscall in mix mode: the classic dup/close/getpid/
+    // getuid/umask loop — nearly zero user work per call.
+    apps.push_back(AppModel{
+        "unixbench-syscall", false, 25.0, 0.2, 256,
+        {
+            u("dup", 20, 24, 2.5, 1), u("close", 20, 24, 2.5, 1),
+            u("getpid", 20, 1, 0.0, 1), u("getuid", 20, 1, 0.0, 1),
+            u("umask", 20, 4, 2.5, 1),
+        }});
+
+    // IPC Bench, 1000-byte packets over each transport.
+    apps.push_back(AppModel{
+        "fifo-ipc", false, 40.0, 0.3, 2048,
+        {
+            u("read", 46, 32, 2.5, 1), u("write", 46, 32, 2.5, 1),
+            u("poll", 6, 4, 2.5, 1), u("getpid", 2, 1, 0.0, 1),
+        }});
+    apps.push_back(AppModel{
+        "pipe-ipc", false, 35.0, 0.3, 2048,
+        {
+            u("read", 48, 32, 2.5, 1), u("write", 48, 32, 2.5, 1),
+            u("getpid", 4, 1, 0.0, 1),
+        }});
+    apps.push_back(AppModel{
+        "domain-ipc", false, 50.0, 0.3, 2048,
+        {
+            u("sendto", 46, 20, 2.5, 1), u("recvfrom", 46, 20, 2.5, 1),
+            u("getpid", 4, 1, 0.0, 1), u("poll", 4, 4, 2.5, 1),
+        }});
+    apps.push_back(AppModel{
+        "mq-ipc", false, 55.0, 0.3, 2048,
+        {
+            u("mq_timedsend", 46, 20, 2.5, 1),
+            u("mq_timedreceive", 46, 20, 2.5, 1),
+            u("getpid", 4, 1, 0.0, 1), u("times", 4, 1, 0.0, 1),
+        }});
+
+    for (auto &app : apps)
+        appendTail(app, 18, 1.0);
+
+    return apps;
+}
+
+} // namespace
+
+double
+AppModel::totalWeight() const
+{
+    double total = 0.0;
+    for (const auto &entry : usage)
+        total += entry.weight;
+    return total;
+}
+
+unsigned
+AppModel::totalArgSets() const
+{
+    unsigned total = 0;
+    for (const auto &entry : usage)
+        total += entry.argSets;
+    return total;
+}
+
+const std::vector<AppModel> &
+macroWorkloads()
+{
+    static const std::vector<AppModel> apps = buildMacro();
+    return apps;
+}
+
+const std::vector<AppModel> &
+microWorkloads()
+{
+    static const std::vector<AppModel> apps = buildMicro();
+    return apps;
+}
+
+const std::vector<AppModel> &
+allWorkloads()
+{
+    static const std::vector<AppModel> apps = [] {
+        std::vector<AppModel> all = macroWorkloads();
+        const auto &micro = microWorkloads();
+        all.insert(all.end(), micro.begin(), micro.end());
+        return all;
+    }();
+    return apps;
+}
+
+const AppModel *
+workloadByName(const std::string &name)
+{
+    for (const auto &app : allWorkloads())
+        if (app.name == name)
+            return &app;
+    return nullptr;
+}
+
+} // namespace draco::workload

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistical models of the paper's fifteen workloads (§X-A).
+ *
+ * The authors run real applications in Docker containers; we cannot, so
+ * each workload is modeled by the properties that determine checking
+ * overhead and Draco behaviour:
+ *   - its system-call *mix* (which IDs, with what relative frequency —
+ *     calibrated against Fig. 3's top-20 distribution),
+ *   - how many distinct argument tuples each syscall uses and how
+ *     skewed their popularity is (argument locality, Fig. 3's per-bar
+ *     breakdown),
+ *   - how many static call sites issue each syscall (drives STB
+ *     behaviour, Fig. 13),
+ *   - the mean user-space compute between syscalls (syscall density —
+ *     the lever between macro ≈1.14× and micro ≈1.25× overheads), and
+ *   - the data footprint touched between syscalls (cache pressure on
+ *     the VAT, which prices hardware Draco's slow flows).
+ */
+
+#ifndef DRACO_WORKLOAD_APPMODEL_HH
+#define DRACO_WORKLOAD_APPMODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace draco::workload {
+
+/** How one system call is used by an application. */
+struct SyscallUsage {
+    uint16_t sid;        ///< System call ID.
+    double weight;       ///< Relative dynamic frequency.
+    unsigned argSets;    ///< Distinct checked-argument tuples (≥1).
+    double argZipf;      ///< Zipf skew of tuple popularity (0=uniform).
+    unsigned pcSites;    ///< Distinct static call sites (≥1).
+};
+
+/** A workload's statistical description. */
+struct AppModel {
+    std::string name;          ///< Workload name as used in the figures.
+    bool isMacro;              ///< Macro (latency) vs micro benchmark.
+    double userWorkMeanNs;     ///< Mean compute gap between syscalls.
+    double userWorkSigma;      ///< Lognormal sigma of the gap.
+    uint64_t bytesPerGap;      ///< App data touched per gap (cache churn).
+    std::vector<SyscallUsage> usage; ///< The syscall mix.
+
+    /** @return Sum of usage weights. */
+    double totalWeight() const;
+
+    /** @return Total distinct (sid, tuple) combinations. */
+    unsigned totalArgSets() const;
+};
+
+/** @return The eight macro benchmarks, in figure order. */
+const std::vector<AppModel> &macroWorkloads();
+
+/** @return The seven micro benchmarks, in figure order. */
+const std::vector<AppModel> &microWorkloads();
+
+/** @return All fifteen workloads: macro then micro. */
+const std::vector<AppModel> &allWorkloads();
+
+/** @return The model named @p name, or nullptr. */
+const AppModel *workloadByName(const std::string &name);
+
+} // namespace draco::workload
+
+#endif // DRACO_WORKLOAD_APPMODEL_HH

@@ -1,0 +1,216 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+
+#include "os/syscalls.hh"
+#include "support/logging.hh"
+
+namespace draco::workload {
+
+namespace {
+
+/** Deterministic 64-bit mixer for structured value synthesis. */
+uint64_t
+mix(uint64_t a, uint64_t b, uint64_t c)
+{
+    uint64_t x = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+        c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
+    x ^= x >> 29;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 32;
+    return x;
+}
+
+/** Plausible 4-byte scalar values: flags, modes, whences, signals. */
+constexpr uint64_t kFlagPool[] = {
+    0x0, 0x1, 0x2, 0x3, 0x4, 0x8, 0x10, 0x22, 0x241, 0x441, 0x800,
+    0x1000, 0x4000, 0x8000, 0x80000, 0x80800,
+};
+
+/** Plausible 8-byte scalar values: lengths, offsets, counts. */
+constexpr uint64_t kSizePool[] = {
+    0, 1, 8, 16, 64, 100, 512, 1000, 1024, 2048, 4096, 8192, 16384,
+    65536, 131072, 1048576,
+};
+
+/** Base of the synthetic code region PCs are drawn from. */
+constexpr uint64_t kTextBase = 0x400000;
+
+std::vector<double>
+usageWeights(const AppModel &model)
+{
+    std::vector<double> weights;
+    weights.reserve(model.usage.size());
+    for (const auto &usage : model.usage)
+        weights.push_back(usage.weight);
+    return weights;
+}
+
+} // namespace
+
+os::SyscallRequest
+TraceGenerator::makeRequest(const SyscallUsage &usage, unsigned setIdx,
+                            uint64_t pc)
+{
+    const auto *desc = os::syscallById(usage.sid);
+    if (!desc)
+        panic("TraceGenerator: unknown syscall id %u", usage.sid);
+
+    os::SyscallRequest req;
+    req.pc = pc;
+    req.sid = usage.sid;
+
+    bool firstChecked = true;
+    for (unsigned i = 0; i < desc->nargs; ++i) {
+        if (desc->argIsPointer(i)) {
+            // Placeholder; the caller re-randomizes pointers per call.
+            req.args[i] = 0x7f0000000000ULL + i * 0x1000;
+            continue;
+        }
+        uint64_t value;
+        if (firstChecked) {
+            // The first checked argument guarantees tuple distinctness
+            // via a bijective mapping of setIdx; the multiplicative
+            // permutation (with a per-syscall offset) keeps popular
+            // tuples *unordered* with respect to their values, so a
+            // value-sorted profile places them at uniformly random rule
+            // positions — real fd/flag values carry no popularity order
+            // either.
+            value = 3 +
+                ((setIdx * 40503u + (mix(usage.sid, 0xbeef, 0) & 0xffffu)) &
+                 0xffffu);
+            firstChecked = false;
+        } else if (desc->argBytes(i) > 4) {
+            uint64_t h = mix(usage.sid, i, setIdx / 4);
+            value = kSizePool[h % std::size(kSizePool)];
+        } else {
+            uint64_t h = mix(usage.sid, i, setIdx / 8);
+            value = kFlagPool[h % std::size(kFlagPool)];
+        }
+        unsigned bytes = desc->argBytes(i);
+        uint64_t maskv = bytes >= 8 ? ~0ULL : ((1ULL << (bytes * 8)) - 1);
+        req.args[i] = value & maskv;
+    }
+    return req;
+}
+
+TraceGenerator::TraceGenerator(const AppModel &model, uint64_t seed)
+    : _model(model), _rng(seed), _mixSampler(usageWeights(model))
+{
+    Rng layout = _rng.fork();
+    _states.reserve(model.usage.size());
+    for (const auto &usage : model.usage) {
+        UsageState state{
+            &usage, {},
+            ZipfSampler(std::max(1u, usage.argSets),
+                        usage.argZipf)};
+        unsigned sites = std::max(1u, usage.pcSites);
+        state.pcs.reserve(sites);
+        for (unsigned s = 0; s < sites; ++s) {
+            // Distinct, stable call-site addresses within a synthetic
+            // text segment; 16-byte spaced like real call sites.
+            state.pcs.push_back(kTextBase +
+                                (mix(usage.sid, s, 0xabcdef) % 0x200000) *
+                                    16);
+        }
+        _states.push_back(std::move(state));
+        (void)layout;
+    }
+}
+
+Trace
+TraceGenerator::prologue()
+{
+    // The loader + container runtime start-up sequence: every container
+    // executes this regardless of the application. Tuples are fixed, so
+    // every run records the same runtime-required profile entries.
+    struct Step {
+        const char *name;
+        unsigned repeats;
+        unsigned sets;
+    };
+    static const Step steps[] = {
+        {"execve", 1, 1},    {"brk", 3, 3},
+        {"arch_prctl", 1, 1}, {"access", 2, 2},
+        {"openat", 8, 4},    {"fstat", 8, 4},
+        {"mmap", 12, 6},     {"mprotect", 5, 3},
+        {"read", 6, 3},      {"pread64", 4, 2},
+        {"close", 8, 4},     {"munmap", 2, 2},
+        {"set_tid_address", 1, 1}, {"set_robust_list", 1, 1},
+        {"rt_sigaction", 6, 3}, {"rt_sigprocmask", 2, 2},
+        {"prctl", 2, 2},     {"getrandom", 1, 1},
+        {"clone", 2, 2},     {"futex", 3, 2},
+        {"sched_getaffinity", 1, 1}, {"getpid", 1, 1},
+        {"gettid", 1, 1},
+    };
+
+    Trace trace;
+    uint64_t pcCursor = kTextBase + 0x10000000;
+    for (const auto &step : steps) {
+        const auto *desc = os::syscallByName(step.name);
+        if (!desc)
+            panic("prologue: unknown syscall '%s'", step.name);
+        SyscallUsage usage{desc->id, 1.0, step.sets, 0.0, 1};
+        for (unsigned r = 0; r < step.repeats; ++r) {
+            TraceEvent event;
+            event.userWorkNs = 500.0;
+            event.bytesTouched = 4096;
+            event.req =
+                makeRequest(usage, r % step.sets, pcCursor);
+            // Startup pointers vary like real loader addresses do.
+            for (unsigned i = 0; i < desc->nargs; ++i)
+                if (desc->argIsPointer(i))
+                    event.req.args[i] =
+                        0x7f0000000000ULL + _rng.nextBelow(1ULL << 30);
+            trace.push_back(event);
+        }
+        pcCursor += 64;
+    }
+    return trace;
+}
+
+TraceEvent
+TraceGenerator::next()
+{
+    size_t which = _mixSampler.sample(_rng);
+    UsageState &state = _states[which];
+    unsigned setIdx = static_cast<unsigned>(state.argSampler.sample(_rng));
+    uint64_t pc = state.pcs[setIdx % state.pcs.size()];
+
+    TraceEvent event;
+    event.req = makeRequest(*state.usage, setIdx, pc);
+
+    // Pointer arguments change on every invocation.
+    const auto *desc = os::syscallById(state.usage->sid);
+    for (unsigned i = 0; i < desc->nargs; ++i)
+        if (desc->argIsPointer(i))
+            event.req.args[i] =
+                0x7f0000000000ULL + _rng.nextBelow(1ULL << 34);
+
+    // Lognormal user-work gap with the model's mean.
+    double sigma = _model.userWorkSigma;
+    double mu = std::log(_model.userWorkMeanNs) - sigma * sigma / 2.0;
+    // Box-Muller from two uniforms.
+    double u1 = _rng.nextDouble();
+    double u2 = _rng.nextDouble();
+    if (u1 < 1e-12)
+        u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+    event.userWorkNs = std::exp(mu + sigma * z);
+
+    event.bytesTouched = _model.bytesPerGap;
+    return event;
+}
+
+Trace
+TraceGenerator::generate(size_t steadyCalls)
+{
+    Trace trace = prologue();
+    trace.reserve(trace.size() + steadyCalls);
+    for (size_t i = 0; i < steadyCalls; ++i)
+        trace.push_back(next());
+    return trace;
+}
+
+} // namespace draco::workload

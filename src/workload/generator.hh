@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic trace generation from an AppModel.
+ *
+ * A TraceGenerator deterministically (per seed) expands a workload model
+ * into the stream of system calls the checking mechanisms are measured
+ * on. Pointer-typed arguments are re-randomized on every call — they are
+ * never checked (TOCTOU, §II-B), and varying them exercises the
+ * invariant that only Argument-Bitmask-selected bytes influence any
+ * decision. The startup prologue issues the loader/runtime syscalls a
+ * container performs before the application proper, which is what makes
+ * roughly 20% of generated profiles "runtime required" (Fig. 15a).
+ */
+
+#ifndef DRACO_WORKLOAD_GENERATOR_HH
+#define DRACO_WORKLOAD_GENERATOR_HH
+
+#include <vector>
+
+#include "support/random.hh"
+#include "workload/appmodel.hh"
+#include "workload/trace.hh"
+
+namespace draco::workload {
+
+/**
+ * Deterministic per-seed trace synthesizer for one workload.
+ */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param model Workload description.
+     * @param seed RNG seed; equal seeds give byte-identical traces.
+     */
+    TraceGenerator(const AppModel &model, uint64_t seed);
+
+    /** @return The container/loader startup syscalls, in order. */
+    Trace prologue();
+
+    /** @return The next steady-state trace event. */
+    TraceEvent next();
+
+    /**
+     * Convenience: prologue followed by @p steadyCalls steady events.
+     */
+    Trace generate(size_t steadyCalls);
+
+    /** @return The model driving this generator. */
+    const AppModel &model() const { return _model; }
+
+    /**
+     * Synthesize the concrete argument tuple @p setIdx of @p usage.
+     * Exposed for tests; tuples are distinct per setIdx on checked args.
+     */
+    static os::SyscallRequest makeRequest(const SyscallUsage &usage,
+                                          unsigned setIdx, uint64_t pc);
+
+  private:
+    struct UsageState {
+        const SyscallUsage *usage;
+        std::vector<uint64_t> pcs;     ///< Call sites.
+        ZipfSampler argSampler;        ///< Tuple popularity.
+    };
+
+    const AppModel &_model;
+    Rng _rng;
+    AliasSampler _mixSampler;
+    std::vector<UsageState> _states;
+};
+
+} // namespace draco::workload
+
+#endif // DRACO_WORKLOAD_GENERATOR_HH

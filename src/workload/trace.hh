@@ -1,0 +1,33 @@
+/**
+ * @file
+ * System-call trace representation.
+ *
+ * A workload is consumed as a stream of TraceEvents: the user-space
+ * compute time since the previous syscall, followed by one system call
+ * request. The checking mechanisms only ever see the request; the
+ * timing model prices the gap plus the kernel path.
+ */
+
+#ifndef DRACO_WORKLOAD_TRACE_HH
+#define DRACO_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/seccomp_abi.hh"
+
+namespace draco::workload {
+
+/** One trace step: compute gap, then a system call. */
+struct TraceEvent {
+    double userWorkNs = 0.0;   ///< User compute before the syscall.
+    uint64_t bytesTouched = 0; ///< App data footprint touched in the gap.
+    os::SyscallRequest req;    ///< The system call itself.
+};
+
+/** A fully materialized trace. */
+using Trace = std::vector<TraceEvent>;
+
+} // namespace draco::workload
+
+#endif // DRACO_WORKLOAD_TRACE_HH

@@ -1,0 +1,103 @@
+#include "workload/tracefile.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "os/syscalls.hh"
+#include "support/logging.hh"
+
+namespace draco::workload {
+
+void
+writeTrace(const Trace &trace, std::ostream &out)
+{
+    out << kTraceMagic << '\n';
+    out << "# pc sid arg0..arg5 user-work-ns bytes-touched\n";
+    char line[256];
+    for (const auto &event : trace) {
+        const auto &req = event.req;
+        std::snprintf(
+            line, sizeof(line),
+            "0x%llx %u %llx %llx %llx %llx %llx %llx %.3f %llu\n",
+            static_cast<unsigned long long>(req.pc), req.sid,
+            static_cast<unsigned long long>(req.args[0]),
+            static_cast<unsigned long long>(req.args[1]),
+            static_cast<unsigned long long>(req.args[2]),
+            static_cast<unsigned long long>(req.args[3]),
+            static_cast<unsigned long long>(req.args[4]),
+            static_cast<unsigned long long>(req.args[5]),
+            event.userWorkNs,
+            static_cast<unsigned long long>(event.bytesTouched));
+        out << line;
+    }
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeTraceFile: cannot open '%s'", path.c_str());
+    writeTrace(trace, out);
+    if (!out)
+        fatal("writeTraceFile: write to '%s' failed", path.c_str());
+}
+
+Trace
+readTrace(std::istream &in, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        else
+            fatal("readTrace: %s", msg.c_str());
+        return Trace{};
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != kTraceMagic)
+        return fail("missing '# draco-trace v1' header");
+
+    Trace trace;
+    size_t lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        TraceEvent event;
+        unsigned sid = 0;
+        unsigned long long pc = 0, bytes = 0;
+        std::array<unsigned long long, os::kMaxSyscallArgs> args{};
+        fields >> std::hex >> pc >> std::dec >> sid >> std::hex;
+        for (auto &arg : args)
+            fields >> arg;
+        fields >> std::dec >> event.userWorkNs >> bytes;
+        if (!fields)
+            return fail("malformed event at line " +
+                        std::to_string(lineNo));
+        if (sid > 0xffff)
+            return fail("sid out of range at line " +
+                        std::to_string(lineNo));
+        event.req.pc = pc;
+        event.req.sid = static_cast<uint16_t>(sid);
+        for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i)
+            event.req.args[i] = args[i];
+        event.bytesTouched = bytes;
+        trace.push_back(event);
+    }
+    if (error)
+        error->clear();
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readTraceFile: cannot open '%s'", path.c_str());
+    return readTrace(in, nullptr);
+}
+
+} // namespace draco::workload

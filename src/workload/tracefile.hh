@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace serialization: a line-oriented text format for system-call
+ * traces, so recorded streams (from the synthetic generators, or
+ * converted from real strace output) can be saved, inspected, diffed,
+ * and replayed through the checking stack.
+ *
+ * Format (one event per line, '#' comments, blank lines ignored):
+ *
+ *     # draco-trace v1
+ *     <pc-hex> <sid> <arg0>..<arg5> <user-work-ns> <bytes-touched>
+ *
+ * All argument values are hex without prefixes except pc (0x-prefixed
+ * for readability).
+ */
+
+#ifndef DRACO_WORKLOAD_TRACEFILE_HH
+#define DRACO_WORKLOAD_TRACEFILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace draco::workload {
+
+/** Magic first line of the format. */
+inline constexpr const char *kTraceMagic = "# draco-trace v1";
+
+/** Serialize @p trace to @p out. */
+void writeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize @p trace to @p path; fatal() on I/O failure. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace from @p in.
+ *
+ * @param in Input stream positioned at the start of the file.
+ * @param error Receives a message on parse failure (may be null).
+ * @return The parsed trace, or an empty trace when parsing failed and
+ *         @p error was set.
+ */
+Trace readTrace(std::istream &in, std::string *error = nullptr);
+
+/** Parse a trace from @p path; fatal() on I/O or parse failure. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace draco::workload
+
+#endif // DRACO_WORKLOAD_TRACEFILE_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the hardware SPT, SLB, STB, and Temporary Buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_structures.hh"
+
+namespace draco::core {
+namespace {
+
+ArgKey
+keyOf(uint64_t v)
+{
+    seccomp::ArgVector args{};
+    args[0] = v;
+    return ArgKey(0xf, args);
+}
+
+TEST(HwSpt, MissThenFillThenHit)
+{
+    HardwareSpt spt;
+    EXPECT_FALSE(spt.lookup(17).has_value());
+    spt.fill(17, 0xfff);
+    auto entry = spt.lookup(17);
+    ASSERT_TRUE(entry);
+    EXPECT_EQ(entry->bitmask, 0xfffu);
+    EXPECT_EQ(entry->sid, 17);
+}
+
+TEST(HwSpt, DirectMappedConflict)
+{
+    HardwareSpt spt;
+    // 40 and 424 map to the same slot (424 - 384 == 40).
+    spt.fill(40, 1);
+    ASSERT_TRUE(spt.lookup(40));
+    spt.fill(424, 2);
+    EXPECT_FALSE(spt.lookup(40).has_value());
+    ASSERT_TRUE(spt.lookup(424));
+}
+
+TEST(HwSpt, InvalidateAllClears)
+{
+    HardwareSpt spt;
+    spt.fill(1, 1);
+    spt.fill(2, 2);
+    spt.invalidateAll();
+    EXPECT_FALSE(spt.lookup(1));
+    EXPECT_FALSE(spt.lookup(2));
+}
+
+TEST(HwSpt, AccessedBitsTrackTouches)
+{
+    HardwareSpt spt;
+    spt.fill(1, 1);
+    spt.fill(2, 2);
+    spt.clearAccessed();
+    EXPECT_TRUE(spt.accessedEntries().empty());
+    spt.lookup(1);
+    auto accessed = spt.accessedEntries();
+    ASSERT_EQ(accessed.size(), 1u);
+    EXPECT_EQ(accessed[0].sid, 1);
+}
+
+TEST(HwSpt, HitCounters)
+{
+    HardwareSpt spt;
+    spt.lookup(9);
+    spt.fill(9, 0);
+    spt.lookup(9);
+    EXPECT_EQ(spt.lookups(), 2u);
+    EXPECT_EQ(spt.hits(), 1u);
+}
+
+TEST(Slb, DefaultGeometryMatchesTableII)
+{
+    Slb slb;
+    EXPECT_EQ(slb.geometry(1).entries, 32u);
+    EXPECT_EQ(slb.geometry(2).entries, 64u);
+    EXPECT_EQ(slb.geometry(3).entries, 64u);
+    EXPECT_EQ(slb.geometry(4).entries, 32u);
+    EXPECT_EQ(slb.geometry(5).entries, 32u);
+    EXPECT_EQ(slb.geometry(6).entries, 16u);
+    for (unsigned argc = 1; argc <= 6; ++argc)
+        EXPECT_EQ(slb.geometry(argc).ways, 4u);
+}
+
+TEST(Slb, FillThenAccessHit)
+{
+    Slb slb;
+    VatToken token{CuckooWay::H1, 0xabc};
+    slb.fill(2, 0, token, keyOf(5));
+    auto got = slb.accessLookup(2, 0, keyOf(5));
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->hash, 0xabcu);
+    EXPECT_EQ(slb.stats().accessHits, 1u);
+}
+
+TEST(Slb, AccessMissOnDifferentKeyOrSid)
+{
+    Slb slb;
+    slb.fill(2, 0, VatToken{CuckooWay::H1, 1}, keyOf(5));
+    EXPECT_FALSE(slb.accessLookup(2, 0, keyOf(6)));
+    EXPECT_FALSE(slb.accessLookup(2, 1, keyOf(5)));
+}
+
+TEST(Slb, SubtablesIsolatedByArgc)
+{
+    Slb slb;
+    slb.fill(2, 0, VatToken{CuckooWay::H1, 1}, keyOf(5));
+    EXPECT_FALSE(slb.accessLookup(3, 0, keyOf(5)));
+}
+
+TEST(Slb, PreloadProbeMatchesOnHash)
+{
+    Slb slb;
+    VatToken token{CuckooWay::H2, 77};
+    slb.fill(1, 3, token, keyOf(9));
+    EXPECT_TRUE(slb.preloadProbe(1, 3, token));
+    EXPECT_FALSE(slb.preloadProbe(1, 3, VatToken{CuckooWay::H2, 78}));
+    EXPECT_FALSE(slb.preloadProbe(1, 3, VatToken{CuckooWay::H1, 77}));
+    EXPECT_EQ(slb.stats().preloadProbes, 3u);
+    EXPECT_EQ(slb.stats().preloadHits, 1u);
+}
+
+TEST(Slb, LruEvictionWithinSet)
+{
+    Slb slb;
+    // 1-arg subtable: 32 entries, 4 ways -> 8 sets. Same sid -> same
+    // set; five distinct keys for one sid must evict the oldest.
+    for (uint64_t i = 0; i < 4; ++i)
+        slb.fill(1, 0, VatToken{CuckooWay::H1, i}, keyOf(i));
+    // Touch key 0 so key 1 becomes LRU.
+    EXPECT_TRUE(slb.accessLookup(1, 0, keyOf(0)));
+    slb.fill(1, 0, VatToken{CuckooWay::H1, 99}, keyOf(99));
+    EXPECT_TRUE(slb.accessLookup(1, 0, keyOf(0)));
+    EXPECT_FALSE(slb.accessLookup(1, 0, keyOf(1))); // evicted
+    EXPECT_TRUE(slb.accessLookup(1, 0, keyOf(99)));
+}
+
+TEST(Slb, PreloadProbeDoesNotRefreshLru)
+{
+    // §IX: speculative probes must not perturb replacement state.
+    Slb slb;
+    for (uint64_t i = 0; i < 4; ++i)
+        slb.fill(1, 0, VatToken{CuckooWay::H1, i}, keyOf(i));
+    // Probe entry 0 speculatively (would refresh LRU if buggy).
+    EXPECT_TRUE(slb.preloadProbe(1, 0, VatToken{CuckooWay::H1, 0}));
+    // Fill a fifth entry: victim must be entry 0 (oldest by *access*).
+    slb.fill(1, 0, VatToken{CuckooWay::H1, 99}, keyOf(99));
+    EXPECT_FALSE(slb.accessLookup(1, 0, keyOf(0)));
+}
+
+TEST(Slb, RefillSameKeyUpdatesToken)
+{
+    Slb slb;
+    slb.fill(1, 0, VatToken{CuckooWay::H1, 1}, keyOf(5));
+    slb.fill(1, 0, VatToken{CuckooWay::H2, 2}, keyOf(5));
+    auto got = slb.accessLookup(1, 0, keyOf(5));
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->way, CuckooWay::H2);
+    EXPECT_EQ(got->hash, 2u);
+}
+
+TEST(Slb, InvalidateAllClears)
+{
+    Slb slb;
+    slb.fill(1, 0, VatToken{CuckooWay::H1, 1}, keyOf(5));
+    slb.invalidateAll();
+    EXPECT_FALSE(slb.accessLookup(1, 0, keyOf(5)));
+}
+
+TEST(Slb, CustomGeometry)
+{
+    std::array<TableGeometry, 6> geom{{{8, 2}, {8, 2}, {8, 2},
+                                       {8, 2}, {8, 2}, {8, 2}}};
+    Slb slb(geom);
+    EXPECT_EQ(slb.geometry(3).entries, 8u);
+    EXPECT_EQ(slb.geometry(3).ways, 2u);
+}
+
+TEST(Stb, MissThenUpdateThenHit)
+{
+    Stb stb;
+    EXPECT_FALSE(stb.lookup(0x400100));
+    stb.update(0x400100, 17, VatToken{CuckooWay::H1, 5});
+    auto pred = stb.lookup(0x400100);
+    ASSERT_TRUE(pred);
+    EXPECT_EQ(pred->sid, 17);
+    EXPECT_EQ(pred->token.hash, 5u);
+    EXPECT_EQ(stb.stats().lookups, 2u);
+    EXPECT_EQ(stb.stats().hits, 1u);
+}
+
+TEST(Stb, UpdateExistingEntryChangesHash)
+{
+    Stb stb;
+    stb.update(0x400100, 17, VatToken{CuckooWay::H1, 5});
+    stb.update(0x400100, 17, VatToken{CuckooWay::H2, 9});
+    auto pred = stb.lookup(0x400100);
+    ASSERT_TRUE(pred);
+    EXPECT_EQ(pred->token.way, CuckooWay::H2);
+    EXPECT_EQ(pred->token.hash, 9u);
+}
+
+TEST(Stb, TwoWaySetEviction)
+{
+    Stb stb;
+    // Three PCs in the same set (128 sets, pc>>4 selects).
+    uint64_t base = 0x400000;
+    uint64_t stride = 128 * 16; // same set index
+    stb.update(base, 1, {});
+    stb.update(base + stride, 2, {});
+    stb.lookup(base); // make base MRU
+    stb.update(base + 2 * stride, 3, {});
+    EXPECT_TRUE(stb.lookup(base));
+    EXPECT_FALSE(stb.lookup(base + stride)); // LRU victim
+    EXPECT_TRUE(stb.lookup(base + 2 * stride));
+}
+
+TEST(Stb, InvalidateAllClears)
+{
+    Stb stb;
+    stb.update(0x400100, 1, {});
+    stb.invalidateAll();
+    EXPECT_FALSE(stb.lookup(0x400100));
+}
+
+TEST(TempBuffer, StageAndTake)
+{
+    TemporaryBuffer temp;
+    temp.stage({5, 2, VatToken{CuckooWay::H1, 7}, keyOf(1)});
+    EXPECT_EQ(temp.size(), 1u);
+    auto staged = temp.take(5);
+    ASSERT_TRUE(staged);
+    EXPECT_EQ(staged->argc, 2u);
+    EXPECT_EQ(temp.size(), 0u);
+    EXPECT_FALSE(temp.take(5));
+}
+
+TEST(TempBuffer, TakeMatchesSid)
+{
+    TemporaryBuffer temp;
+    temp.stage({5, 2, {}, keyOf(1)});
+    temp.stage({6, 2, {}, keyOf(2)});
+    EXPECT_FALSE(temp.take(7));
+    auto staged = temp.take(6);
+    ASSERT_TRUE(staged);
+    EXPECT_EQ(staged->sid, 6);
+    EXPECT_EQ(temp.size(), 1u);
+}
+
+TEST(TempBuffer, BoundedAtEightEntries)
+{
+    TemporaryBuffer temp;
+    for (uint16_t i = 0; i < 12; ++i)
+        temp.stage({i, 1, {}, keyOf(i)});
+    EXPECT_EQ(temp.size(), 8u);
+    // Oldest four were dropped.
+    EXPECT_FALSE(temp.take(0));
+    EXPECT_FALSE(temp.take(3));
+    EXPECT_TRUE(temp.take(4));
+}
+
+TEST(TempBuffer, ClearDiscardsEverything)
+{
+    TemporaryBuffer temp;
+    temp.stage({1, 1, {}, keyOf(1)});
+    temp.stage({2, 1, {}, keyOf(2)});
+    temp.clear();
+    EXPECT_EQ(temp.size(), 0u);
+    EXPECT_FALSE(temp.take(1));
+}
+
+} // namespace
+} // namespace draco::core

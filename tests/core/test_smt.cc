@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for SMT partitioning of the Draco hardware (§VII-B, §IX).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt.hh"
+#include "seccomp/profiles_builtin.hh"
+
+namespace draco::core {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, std::array<uint64_t, 6> args = {},
+        uint64_t pc = 0x400800)
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.args = args;
+    req.pc = pc;
+    return req;
+}
+
+seccomp::Profile
+readProfile()
+{
+    seccomp::Profile p("p");
+    p.allowTuple(os::sc::read, {3, 0, 64, 0, 0, 0});
+    p.allow(os::sc::getpid);
+    return p;
+}
+
+TEST(Smt, PartitionGeometryScalesDown)
+{
+    EngineGeometry two = EngineGeometry::smtPartition(2);
+    EXPECT_EQ(two.sptEntries, HardwareSpt::kEntries / 2);
+    EXPECT_EQ(two.stbEntries, Stb::kEntries / 2);
+    EXPECT_EQ(two.stbWays, 1u);
+    for (unsigned i = 0; i < Slb::kMaxArgc; ++i) {
+        EXPECT_EQ(two.slb[i].ways, 2u);
+        EXPECT_EQ(two.slb[i].sets(),
+                  EngineGeometry{}.slb[i].sets());
+    }
+}
+
+TEST(Smt, SinglePartitionIsFullGeometry)
+{
+    EngineGeometry one = EngineGeometry::smtPartition(1);
+    EXPECT_EQ(one.sptEntries, HardwareSpt::kEntries);
+    EXPECT_EQ(one.stbEntries, Stb::kEntries);
+    EXPECT_EQ(one.stbWays, Stb::kWays);
+}
+
+TEST(Smt, FourContextsStillHaveCapacity)
+{
+    EngineGeometry four = EngineGeometry::smtPartition(4);
+    EXPECT_GE(four.sptEntries, 64u);
+    EXPECT_GE(four.stbEntries, 32u);
+    for (const auto &sub : four.slb)
+        EXPECT_GE(sub.ways, 1u);
+}
+
+TEST(Smt, ContextsAreIsolated)
+{
+    // A context must never hit on another context's cached state even
+    // when both run the *same* process (the §IX side-channel rule is
+    // enforced structurally: partitions are disjoint).
+    seccomp::Profile profile = readProfile();
+    HwProcessContext proc(profile);
+    SmtDracoEngine smt(2);
+    smt.switchTo(0, &proc);
+    smt.switchTo(1, &proc);
+
+    auto req = request(os::sc::read, {3, 0, 64});
+    auto first = smt.onSyscall(0, req);
+    EXPECT_EQ(first.flow, HwFlow::F6); // cold on context 0
+
+    // Context 1's partition is still cold: its STB/SLB never saw the
+    // call. The VAT (per-process software state) is warm, so this is
+    // flow 6 without a filter run.
+    auto other = smt.onSyscall(1, req);
+    EXPECT_EQ(other.flow, HwFlow::F6);
+    EXPECT_FALSE(other.filterRun);
+
+    // Each context independently warms to fast flows.
+    EXPECT_TRUE(smt.onSyscall(0, req).fast());
+    EXPECT_TRUE(smt.onSyscall(1, req).fast());
+}
+
+TEST(Smt, PerContextStatsIndependent)
+{
+    seccomp::Profile profile = readProfile();
+    HwProcessContext procA(profile), procB(profile);
+    SmtDracoEngine smt(2);
+    smt.switchTo(0, &procA);
+    smt.switchTo(1, &procB);
+
+    for (int i = 0; i < 10; ++i)
+        smt.onSyscall(0, request(os::sc::read, {3, 0, 64}));
+    smt.onSyscall(1, request(os::sc::getpid));
+
+    EXPECT_EQ(smt.context(0).stats().syscalls, 10u);
+    EXPECT_EQ(smt.context(1).stats().syscalls, 1u);
+}
+
+TEST(Smt, SwitchOnOneContextLeavesOthersIntact)
+{
+    seccomp::Profile pa = readProfile();
+    seccomp::Profile pb = seccomp::dockerDefaultProfile();
+    HwProcessContext ca(pa), cb(pb), cc(pa);
+    SmtDracoEngine smt(2);
+    smt.switchTo(0, &ca);
+    smt.switchTo(1, &cb);
+
+    auto req = request(os::sc::read, {3, 0, 64});
+    smt.onSyscall(0, req);
+    EXPECT_TRUE(smt.onSyscall(0, req).fast());
+
+    // Context 1 switches processes; context 0's state must survive.
+    smt.switchTo(1, &cc);
+    EXPECT_TRUE(smt.onSyscall(0, req).fast());
+}
+
+TEST(Smt, EquivalenceHoldsPerContext)
+{
+    seccomp::Profile profile = seccomp::firecrackerProfile();
+    HwProcessContext proc(profile);
+    SmtDracoEngine smt(4);
+    for (unsigned ctx = 0; ctx < 4; ++ctx)
+        smt.switchTo(ctx, &proc);
+
+    for (uint16_t sid = 0; sid < 340; sid += 3) {
+        if (!os::syscallById(sid))
+            continue;
+        auto req = request(sid, {1, 2, 3});
+        bool truth = profile.allows(req);
+        for (unsigned ctx = 0; ctx < 4; ++ctx)
+            EXPECT_EQ(smt.onSyscall(ctx, req).allowed, truth)
+                << "sid " << sid << " ctx " << ctx;
+    }
+}
+
+TEST(SmtDeathTest, ZeroContextsIsFatal)
+{
+    EXPECT_EXIT(SmtDracoEngine smt(0), testing::ExitedWithCode(1), "");
+}
+
+TEST(Smt, OutOfRangeContextPanics)
+{
+    SmtDracoEngine smt(2);
+    EXPECT_DEATH(smt.context(2), "");
+}
+
+} // namespace
+} // namespace draco::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the CRC-64 engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hash/crc64.hh"
+
+namespace draco {
+namespace {
+
+TEST(Crc64, KnownEcmaCheckValue)
+{
+    // CRC-64/ECMA-182 (init 0, no reflection, no xorout) of the
+    // standard check string "123456789" is 0x6C40DF5F0B497347.
+    const char *msg = "123456789";
+    EXPECT_EQ(crc64Ecma().compute(msg, 9), 0x6C40DF5F0B497347ULL);
+}
+
+TEST(Crc64, TableMatchesBitwiseReference)
+{
+    const char *msgs[] = {"", "a", "abc", "draco", "0123456789abcdef",
+                          "The quick brown fox jumps over the lazy dog"};
+    for (const char *msg : msgs) {
+        size_t len = std::strlen(msg);
+        EXPECT_EQ(crc64Ecma().compute(msg, len),
+                  Crc64::computeBitwise(kCrc64EcmaPoly, msg, len))
+            << "msg=" << msg;
+        EXPECT_EQ(crc64NotEcma().compute(msg, len),
+                  Crc64::computeBitwise(kCrc64NotEcmaPoly, msg, len))
+            << "msg=" << msg;
+    }
+}
+
+TEST(Crc64, EmptyInputIsInit)
+{
+    EXPECT_EQ(crc64Ecma().compute(nullptr, 0), 0u);
+    EXPECT_EQ(crc64Ecma().compute(nullptr, 0, 0x1234), 0x1234u);
+}
+
+TEST(Crc64, TheTwoPolynomialsDisagree)
+{
+    // The ECMA and ¬ECMA engines should virtually never agree on
+    // nonzero inputs (the all-zero input hashes to 0 under any CRC).
+    int agreements = 0;
+    for (uint32_t i = 1; i <= 1000; ++i) {
+        agreements +=
+            crc64Ecma().compute(&i, 4) == crc64NotEcma().compute(&i, 4);
+    }
+    EXPECT_EQ(agreements, 0);
+}
+
+TEST(Crc64, SingleBitFlipChangesHash)
+{
+    uint64_t data = 0xDEADBEEFCAFEF00DULL;
+    uint64_t base = crc64Ecma().compute(&data, 8);
+    for (int bit = 0; bit < 64; ++bit) {
+        uint64_t flipped = data ^ (1ULL << bit);
+        EXPECT_NE(crc64Ecma().compute(&flipped, 8), base) << "bit " << bit;
+    }
+}
+
+TEST(Crc64, IncrementalEqualsWhole)
+{
+    const char *msg = "hello, draco world";
+    size_t len = std::strlen(msg);
+    uint64_t whole = crc64Ecma().compute(msg, len);
+    uint64_t part = crc64Ecma().compute(msg, 7);
+    part = crc64Ecma().compute(msg + 7, len - 7, part);
+    EXPECT_EQ(part, whole);
+}
+
+TEST(Crc64, LengthExtensionDiffersFromPadding)
+{
+    // "ab" and "ab\0" must hash differently (no trivial padding).
+    const char a[] = {'a', 'b'};
+    const char b[] = {'a', 'b', 0};
+    EXPECT_NE(crc64Ecma().compute(a, 2), crc64Ecma().compute(b, 3));
+}
+
+TEST(Crc64, PolyAccessor)
+{
+    EXPECT_EQ(crc64Ecma().poly(), kCrc64EcmaPoly);
+    EXPECT_EQ(crc64NotEcma().poly(), kCrc64NotEcmaPoly);
+    EXPECT_EQ(kCrc64NotEcmaPoly, ~kCrc64EcmaPoly);
+}
+
+TEST(Crc64, DistributionOverBuckets)
+{
+    // Hash values modulo a small bucket count should spread evenly.
+    constexpr int kBuckets = 16;
+    int counts[kBuckets] = {};
+    for (uint64_t i = 0; i < 16000; ++i)
+        ++counts[crc64Ecma().compute(&i, 8) % kBuckets];
+    for (int c : counts) {
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1200);
+    }
+}
+
+TEST(Mix64, Deterministic)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(Mix64, ZeroMapsToZero)
+{
+    // The finalizer is a fixed point at zero (xorshift+multiply of 0).
+    EXPECT_EQ(mix64(0), 0u);
+}
+
+TEST(Mix64, BijectiveOnSample)
+{
+    // No collisions among a large structured sample (consecutive ints
+    // are exactly the keys the diffusion must handle).
+    std::set<uint64_t> seen;
+    for (uint64_t i = 1; i <= 20000; ++i)
+        EXPECT_TRUE(seen.insert(mix64(i)).second) << i;
+}
+
+TEST(Mix64, BreaksCrcPairCorrelation)
+{
+    // The regression this exists for: structured keys hashed with the
+    // ECMA/¬ECMA pair must index a small table pairwise-independently
+    // after diffusion.
+    constexpr uint64_t kBuckets = 64;
+    int jointCollisions = 0;
+    const int n = 300;
+    std::vector<std::pair<uint64_t, uint64_t>> idx;
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t key = i; // consecutive fds
+        uint64_t h1 = mix64(crc64Ecma().compute(&key, 8)) % kBuckets;
+        uint64_t h2 = mix64(crc64NotEcma().compute(&key, 8)) % kBuckets;
+        idx.emplace_back(h1, h2);
+    }
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            jointCollisions += idx[a] == idx[b];
+    // Expected joint collisions ~ C(300,2)/64^2 ≈ 11; allow slack.
+    EXPECT_LT(jointCollisions, 40);
+}
+
+} // namespace
+} // namespace draco

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the analytic hardware cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/draco_costs.hh"
+#include "hwmodel/sram.hh"
+
+namespace draco::hwmodel {
+namespace {
+
+TEST(Sram, GeometryHelpers)
+{
+    SramGeometry g{256, 4, 20, 100};
+    EXPECT_EQ(g.totalBits(), 256u * 120u);
+    EXPECT_EQ(g.sets(), 64u);
+}
+
+TEST(Sram, AreaMonotoneInBits)
+{
+    SramGeometry small{64, 4, 20, 64};
+    SramGeometry big{256, 4, 20, 64};
+    EXPECT_LT(estimateSram(small).areaMm2, estimateSram(big).areaMm2);
+}
+
+TEST(Sram, LeakageMonotoneInBits)
+{
+    SramGeometry small{64, 4, 20, 64};
+    SramGeometry big{512, 4, 20, 64};
+    EXPECT_LT(estimateSram(small).leakageMw, estimateSram(big).leakageMw);
+}
+
+TEST(Sram, AccessSlowerWithMoreSets)
+{
+    SramGeometry small{64, 4, 20, 64};
+    SramGeometry big{4096, 4, 20, 64};
+    EXPECT_LT(estimateSram(small).accessPs, estimateSram(big).accessPs);
+}
+
+TEST(Sram, HigherAssocCostsArea)
+{
+    SramGeometry direct{256, 1, 20, 64};
+    SramGeometry assoc{256, 8, 20, 64};
+    EXPECT_LT(estimateSram(direct).areaMm2, estimateSram(assoc).areaMm2);
+}
+
+TEST(Sram, EnergyGrowsWithReadWidth)
+{
+    SramGeometry narrow{256, 2, 20, 32};
+    SramGeometry wide{256, 2, 20, 400};
+    EXPECT_LT(estimateSram(narrow).readEnergyPj,
+              estimateSram(wide).readEnergyPj);
+}
+
+TEST(Crc, WiderDatapathCostsMore)
+{
+    EXPECT_LT(estimateCrcDatapath(64, 1).areaMm2,
+              estimateCrcDatapath(64, 6).areaMm2);
+    EXPECT_LT(estimateCrcDatapath(32, 4).areaMm2,
+              estimateCrcDatapath(64, 4).areaMm2);
+}
+
+TEST(Table3, HasFourRows)
+{
+    auto rows = dracoTable3();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].name, "SPT");
+    EXPECT_EQ(rows[1].name, "STB");
+    EXPECT_EQ(rows[2].name, "SLB");
+    EXPECT_EQ(rows[3].name, "CRC Hash");
+}
+
+TEST(Table3, CalibratedMatchesPaper)
+{
+    for (const auto &row : dracoTable3()) {
+        EXPECT_NEAR(row.calibrated.areaMm2, row.paper.areaMm2,
+                    row.paper.areaMm2 * 1e-9)
+            << row.name;
+        EXPECT_NEAR(row.calibrated.accessPs, row.paper.accessPs,
+                    row.paper.accessPs * 1e-9)
+            << row.name;
+        EXPECT_NEAR(row.calibrated.readEnergyPj, row.paper.readEnergyPj,
+                    row.paper.readEnergyPj * 1e-9)
+            << row.name;
+        EXPECT_NEAR(row.calibrated.leakageMw, row.paper.leakageMw,
+                    row.paper.leakageMw * 1e-9)
+            << row.name;
+    }
+}
+
+TEST(Table3, PaperAnchorsAreTheMicro2020Numbers)
+{
+    auto rows = dracoTable3();
+    EXPECT_DOUBLE_EQ(rows[0].paper.areaMm2, 0.0036);
+    EXPECT_DOUBLE_EQ(rows[1].paper.areaMm2, 0.0063);
+    EXPECT_DOUBLE_EQ(rows[2].paper.areaMm2, 0.01549);
+    EXPECT_DOUBLE_EQ(rows[3].paper.accessPs, 964.0);
+}
+
+TEST(Table3, BaseEstimatesWithinAnOrderOfMagnitude)
+{
+    // The uncalibrated model should be physically plausible — within
+    // roughly 10× of CACTI on every metric.
+    for (const auto &row : dracoTable3()) {
+        double ratio = row.paper.areaMm2 / row.base.areaMm2;
+        EXPECT_GT(ratio, 0.1) << row.name;
+        EXPECT_LT(ratio, 10.0) << row.name;
+    }
+}
+
+TEST(Table3, TablesAccessWithinTwoCyclesAtTwoGhz)
+{
+    // §X-C: all structures are assigned 2-cycle access; the CRC gets 3.
+    for (const auto &row : dracoTable3()) {
+        unsigned cycles = cyclesFor(row.paper.accessPs, 2.0);
+        if (row.name == "CRC Hash")
+            EXPECT_EQ(cycles, 2u); // 964 ps -> ceil at 2 GHz
+        else
+            EXPECT_EQ(cycles, 1u);
+    }
+    // The paper conservatively uses 2 cycles for tables, 3 for CRC at
+    // its higher-frequency design point; check that convention too.
+    EXPECT_EQ(cyclesFor(964.0, 3.1), 3u);
+    EXPECT_EQ(cyclesFor(131.61, 3.1), 1u);
+}
+
+TEST(SlbSweep, AreaScalesWithEntries)
+{
+    SramCosts half = scaledSlbCost(0.5);
+    SramCosts full = scaledSlbCost(1.0);
+    SramCosts quad = scaledSlbCost(4.0);
+    EXPECT_LT(half.areaMm2, full.areaMm2);
+    EXPECT_LT(full.areaMm2, quad.areaMm2);
+    EXPECT_LT(half.leakageMw, full.leakageMw);
+    EXPECT_LT(full.leakageMw, quad.leakageMw);
+}
+
+TEST(SlbSweep, UnitScaleMatchesPaper)
+{
+    SramCosts full = scaledSlbCost(1.0);
+    EXPECT_NEAR(full.areaMm2, 0.01549, 1e-6);
+    EXPECT_NEAR(full.accessPs, 112.75, 1e-3);
+}
+
+TEST(SlbGeometry, MatchesTableII)
+{
+    auto tables = slbGeometries();
+    ASSERT_EQ(tables.size(), 7u); // 6 subtables + temporary buffer
+    EXPECT_EQ(tables[0].entries, 32u);
+    EXPECT_EQ(tables[1].entries, 64u);
+    EXPECT_EQ(tables[2].entries, 64u);
+    EXPECT_EQ(tables[5].entries, 16u);
+    EXPECT_EQ(tables[6].entries, 8u);
+    for (const auto &g : tables)
+        EXPECT_EQ(g.ways, 4u);
+}
+
+} // namespace
+} // namespace draco::hwmodel

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end shape checks: small versions of the paper's headline
+ * results must hold on every build (the bench binaries then produce
+ * the full-size figures).
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/profiles_builtin.hh"
+#include "sim/machine.hh"
+#include "support/stats.hh"
+
+namespace draco {
+namespace {
+
+using sim::Mechanism;
+
+sim::RunResult
+runOne(const char *name, Mechanism mech, unsigned copies,
+       bool useComplete, size_t calls = 25000)
+{
+    const auto *app = workload::workloadByName(name);
+    EXPECT_NE(app, nullptr);
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 7, 60000);
+    sim::RunOptions options;
+    options.mechanism = mech;
+    options.filterCopies = copies;
+    options.steadyCalls = calls;
+    options.seed = 7;
+    sim::ExperimentRunner runner;
+    return runner.run(*app,
+                      useComplete ? profiles.complete : profiles.noargs,
+                      options);
+}
+
+TEST(Experiments, Fig2OrderingHoldsPerWorkload)
+{
+    // noargs <= complete <= complete-2x (each adds checking work).
+    for (const char *name : {"nginx", "pipe-ipc"}) {
+        double noargs =
+            runOne(name, Mechanism::Seccomp, 1, false).normalized();
+        double complete =
+            runOne(name, Mechanism::Seccomp, 1, true).normalized();
+        double complete2x =
+            runOne(name, Mechanism::Seccomp, 2, true).normalized();
+        EXPECT_LT(1.0, noargs) << name;
+        EXPECT_LT(noargs, complete) << name;
+        EXPECT_LT(complete, complete2x) << name;
+    }
+}
+
+TEST(Experiments, MicroOverheadExceedsMacro)
+{
+    double macro =
+        runOne("nginx", Mechanism::Seccomp, 1, true).normalized();
+    double micro =
+        runOne("unixbench-syscall", Mechanism::Seccomp, 1, true)
+            .normalized();
+    EXPECT_GT(micro, macro);
+}
+
+TEST(Experiments, Fig11DracoSwBeatsSeccompOnComplete)
+{
+    for (const char *name : {"mq-ipc", "httpd"}) {
+        double seccomp =
+            runOne(name, Mechanism::Seccomp, 1, true).normalized();
+        double dracoSw =
+            runOne(name, Mechanism::DracoSW, 1, true).normalized();
+        EXPECT_LT(dracoSw, seccomp) << name;
+        EXPECT_GT(dracoSw, 1.0) << name;
+    }
+}
+
+TEST(Experiments, Fig12DracoHwWithinTwoPercent)
+{
+    for (const char *name : {"nginx", "pipe-ipc", "grep"}) {
+        double hw =
+            runOne(name, Mechanism::DracoHW, 1, true).normalized();
+        EXPECT_LT(hw, 1.02) << name;
+    }
+}
+
+TEST(Experiments, Fig12DracoHw2xStillWithinTwoPercent)
+{
+    double hw =
+        runOne("pipe-ipc", Mechanism::DracoHW, 2, true).normalized();
+    EXPECT_LT(hw, 1.02);
+}
+
+TEST(Experiments, Fig13HitRatesHighForRegularWorkloads)
+{
+    auto r = runOne("pipe-ipc", Mechanism::DracoHW, 1, true);
+    EXPECT_GT(r.stbHitRate(), 0.93);
+    EXPECT_GT(r.slbAccessHitRate(), 0.88);
+    EXPECT_GT(r.slbPreloadHitRate(), 0.90);
+}
+
+TEST(Experiments, Fig13IrregularWorkloadsHitLess)
+{
+    auto regular = runOne("pipe-ipc", Mechanism::DracoHW, 1, true);
+    auto irregular =
+        runOne("elasticsearch", Mechanism::DracoHW, 1, true);
+    EXPECT_LT(irregular.slbAccessHitRate(),
+              regular.slbAccessHitRate());
+    EXPECT_LT(irregular.stbHitRate(), regular.stbHitRate());
+}
+
+TEST(Experiments, VatFootprintKilobytes)
+{
+    // §XI-C: geometric mean VAT size ≈ 6.98 KB per process; individual
+    // apps must land in single-digit-to-tens-of-KB territory.
+    RunningStat footprints;
+    for (const char *name : {"nginx", "grep", "pipe-ipc"}) {
+        auto r = runOne(name, Mechanism::DracoSW, 1, true, 5000);
+        EXPECT_GT(r.vatFootprintBytes, 512u) << name;
+        EXPECT_LT(r.vatFootprintBytes, 200u * 1024) << name;
+        footprints.add(static_cast<double>(r.vatFootprintBytes));
+    }
+    EXPECT_GT(footprints.geomean(), 1024.0);
+}
+
+TEST(Experiments, DockerDefaultCheaperThanComplete)
+{
+    const auto *app = workload::workloadByName("nginx");
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 7, 60000);
+    sim::RunOptions options;
+    options.mechanism = Mechanism::Seccomp;
+    options.steadyCalls = 25000;
+    options.seed = 7;
+    sim::ExperimentRunner runner;
+    double docker =
+        runner.run(*app, seccomp::dockerDefaultProfile(), options)
+            .normalized();
+    double complete =
+        runner.run(*app, profiles.complete, options).normalized();
+    EXPECT_LT(docker, complete);
+}
+
+TEST(Experiments, BinaryTreeReducesSeccompCost)
+{
+    const auto *app = workload::workloadByName("unixbench-syscall");
+    sim::RunOptions linear;
+    linear.mechanism = Mechanism::Seccomp;
+    linear.shape = seccomp::DispatchShape::LinearChain;
+    linear.steadyCalls = 25000;
+    linear.seed = 7;
+    sim::RunOptions tree = linear;
+    tree.shape = seccomp::DispatchShape::BinaryTree;
+    sim::ExperimentRunner runner;
+    seccomp::Profile docker = seccomp::dockerDefaultProfile();
+    double linearOv =
+        runner.run(*app, docker, linear).normalized() - 1.0;
+    double treeOv = runner.run(*app, docker, tree).normalized() - 1.0;
+    EXPECT_LT(treeOv, linearOv);
+    EXPECT_GT(treeOv, 0.0); // §XII: it does not eliminate the overhead
+}
+
+TEST(Experiments, PreloadingImprovesOrMatchesHw)
+{
+    const auto *app = workload::workloadByName("elasticsearch");
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 7, 60000);
+    sim::RunOptions with;
+    with.mechanism = Mechanism::DracoHW;
+    with.steadyCalls = 25000;
+    with.seed = 7;
+    sim::RunOptions without = with;
+    without.hwPreload = false;
+    sim::ExperimentRunner runner;
+    auto a = runner.run(*app, profiles.complete, with);
+    auto b = runner.run(*app, profiles.complete, without);
+    EXPECT_LE(a.totalNs, b.totalNs * 1.001);
+}
+
+} // namespace
+} // namespace draco

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the OS-programmable argument-register mapping (§VIII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/regmap.hh"
+
+namespace draco::os {
+namespace {
+
+TEST(RegMap, LinuxConvention)
+{
+    const auto &map = ArgRegisterMap::linuxSyscall();
+    EXPECT_EQ(map.idReg(), Reg::Rax);
+    EXPECT_EQ(map.argReg(0), Reg::Rdi);
+    EXPECT_EQ(map.argReg(1), Reg::Rsi);
+    EXPECT_EQ(map.argReg(2), Reg::Rdx);
+    EXPECT_EQ(map.argReg(3), Reg::R10);
+    EXPECT_EQ(map.argReg(4), Reg::R8);
+    EXPECT_EQ(map.argReg(5), Reg::R9);
+}
+
+TEST(RegMap, RegisterNames)
+{
+    EXPECT_STREQ(regName(Reg::Rax), "rax");
+    EXPECT_STREQ(regName(Reg::R10), "r10");
+    EXPECT_STREQ(regName(Reg::Rsp), "rsp");
+}
+
+TEST(RegMap, ExtractDecodesTheFigureOneExample)
+{
+    // Figure 1: movl 0xffffffff,%rdi; movl $135,%rax; syscall.
+    RegisterFile regs;
+    regs.pc = 0x400321;
+    regs[Reg::Rax] = 135;        // personality
+    regs[Reg::Rdi] = 0xffffffff; // persona
+    SyscallRequest req = ArgRegisterMap::linuxSyscall().extract(regs);
+    EXPECT_EQ(req.sid, 135);
+    EXPECT_EQ(req.args[0], 0xffffffffULL);
+    EXPECT_EQ(req.pc, 0x400321ULL);
+}
+
+TEST(RegMap, MaterializeRoundTrips)
+{
+    SyscallRequest req;
+    req.pc = 0x401000;
+    req.sid = 42;
+    req.args = {1, 2, 3, 4, 5, 6};
+    const auto &map = ArgRegisterMap::linuxSyscall();
+    SyscallRequest back = map.extract(map.materialize(req));
+    EXPECT_EQ(back.sid, req.sid);
+    EXPECT_EQ(back.pc, req.pc);
+    EXPECT_EQ(back.args, req.args);
+}
+
+TEST(RegMap, CustomConventionWorks)
+{
+    // A hypothetical guardian-call convention using different registers
+    // — the §VIII point: nothing in the checking stack cares.
+    ArgRegisterMap map("guardian", Reg::Rbx,
+                       {Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi,
+                        Reg::R12, Reg::R13});
+    RegisterFile regs;
+    regs[Reg::Rbx] = 7;
+    regs[Reg::Rcx] = 0xaa;
+    regs[Reg::R13] = 0xbb;
+    SyscallRequest req = map.extract(regs);
+    EXPECT_EQ(req.sid, 7);
+    EXPECT_EQ(req.args[0], 0xaaULL);
+    EXPECT_EQ(req.args[5], 0xbbULL);
+}
+
+TEST(RegMap, XenHypercallConventionAvailable)
+{
+    const auto &map = ArgRegisterMap::xenHypercall();
+    EXPECT_EQ(map.idReg(), Reg::Rax);
+    EXPECT_EQ(map.name(), "xen-x86_64-hypercall");
+}
+
+TEST(RegMapDeathTest, IdRegisterReuseIsFatal)
+{
+    EXPECT_EXIT(ArgRegisterMap("bad", Reg::Rax,
+                               {Reg::Rax, Reg::Rsi, Reg::Rdx, Reg::R10,
+                                Reg::R8, Reg::R9}),
+                testing::ExitedWithCode(1), "reused");
+}
+
+} // namespace
+} // namespace draco::os

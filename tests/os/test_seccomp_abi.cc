@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the seccomp ABI structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "os/seccomp_abi.hh"
+
+namespace draco::os {
+namespace {
+
+TEST(SeccompAbi, LayoutMatchesLinuxUapi)
+{
+    EXPECT_EQ(sizeof(SeccompData), 64u);
+    EXPECT_EQ(offsetof(SeccompData, nr), sd_off::nr);
+    EXPECT_EQ(offsetof(SeccompData, arch), sd_off::arch);
+    EXPECT_EQ(offsetof(SeccompData, instruction_pointer),
+              static_cast<size_t>(sd_off::ip_lo));
+    EXPECT_EQ(offsetof(SeccompData, args), sd_off::argLo(0));
+}
+
+TEST(SeccompAbi, ArgOffsets)
+{
+    for (unsigned i = 0; i < kMaxSyscallArgs; ++i) {
+        EXPECT_EQ(sd_off::argLo(i), 16 + 8 * i);
+        EXPECT_EQ(sd_off::argHi(i), 16 + 8 * i + 4);
+    }
+}
+
+TEST(SeccompAbi, RequestToSeccompData)
+{
+    SyscallRequest req;
+    req.pc = 0xdeadbeef;
+    req.sid = 42;
+    req.args = {1, 2, 3, 4, 5, 0x1122334455667788ULL};
+    SeccompData d = req.toSeccompData();
+    EXPECT_EQ(d.nr, 42u);
+    EXPECT_EQ(d.arch, kAuditArchX86_64);
+    EXPECT_EQ(d.instruction_pointer, 0xdeadbeefULL);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(d.args[i], i + 1);
+    EXPECT_EQ(d.args[5], 0x1122334455667788ULL);
+}
+
+TEST(SeccompAbi, ActionAllows)
+{
+    EXPECT_TRUE(actionAllows(SeccompAction::Allow));
+    EXPECT_TRUE(actionAllows(SeccompAction::Log));
+    EXPECT_FALSE(actionAllows(SeccompAction::KillProcess));
+    EXPECT_FALSE(actionAllows(SeccompAction::KillThread));
+    EXPECT_FALSE(actionAllows(SeccompAction::Errno));
+    EXPECT_FALSE(actionAllows(SeccompAction::Trap));
+    EXPECT_FALSE(actionAllows(SeccompAction::Trace));
+}
+
+TEST(SeccompAbi, ActionValuesMatchLinux)
+{
+    EXPECT_EQ(static_cast<uint32_t>(SeccompAction::Allow), 0x7fff0000U);
+    EXPECT_EQ(static_cast<uint32_t>(SeccompAction::KillProcess),
+              0x80000000U);
+    EXPECT_EQ(static_cast<uint32_t>(SeccompAction::Errno), 0x00050000U);
+    EXPECT_EQ(static_cast<uint32_t>(SeccompAction::Trap), 0x00030000U);
+    EXPECT_EQ(static_cast<uint32_t>(SeccompAction::Log), 0x7ffc0000U);
+}
+
+TEST(SeccompAbi, RetDataDecomposition)
+{
+    uint32_t errnoEperm =
+        static_cast<uint32_t>(SeccompAction::Errno) | 1;
+    EXPECT_EQ(actionOf(errnoEperm), SeccompAction::Errno);
+    EXPECT_EQ(retDataOf(errnoEperm), 1);
+    EXPECT_FALSE(rawActionAllows(errnoEperm));
+    EXPECT_TRUE(rawActionAllows(
+        static_cast<uint32_t>(SeccompAction::Allow)));
+    EXPECT_EQ(actionOf(static_cast<uint32_t>(
+                  SeccompAction::KillProcess)),
+              SeccompAction::KillProcess);
+    // KillThread is numerically zero; data bits must not disturb it.
+    EXPECT_EQ(actionOf(0x00000007), SeccompAction::KillThread);
+    EXPECT_EQ(retDataOf(0x00000007), 7);
+}
+
+TEST(SeccompAbi, ArchConstant)
+{
+    EXPECT_EQ(kAuditArchX86_64, 0xC000003EU);
+}
+
+} // namespace
+} // namespace draco::os

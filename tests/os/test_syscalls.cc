@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the syscall descriptor table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "os/syscalls.hh"
+
+namespace draco::os {
+namespace {
+
+TEST(SyscallTable, SortedUniqueIds)
+{
+    const auto &table = syscallTable();
+    ASSERT_FALSE(table.empty());
+    for (size_t i = 1; i < table.size(); ++i)
+        EXPECT_LT(table[i - 1].id, table[i].id);
+}
+
+TEST(SyscallTable, CoversNativeRange)
+{
+    // Contiguous native ids 0..334 plus the 424..435 block.
+    for (uint16_t id = 0; id <= 334; ++id)
+        EXPECT_NE(syscallById(id), nullptr) << "missing id " << id;
+    for (uint16_t id = 424; id <= 435; ++id)
+        EXPECT_NE(syscallById(id), nullptr) << "missing id " << id;
+    EXPECT_EQ(syscallTable().size(), 347u);
+}
+
+TEST(SyscallTable, LookupByIdAndName)
+{
+    const SyscallDesc *read = syscallById(0);
+    ASSERT_NE(read, nullptr);
+    EXPECT_STREQ(read->name, "read");
+    EXPECT_EQ(syscallByName("read"), read);
+    EXPECT_EQ(syscallByName("no_such_call"), nullptr);
+    EXPECT_EQ(syscallById(400), nullptr);
+}
+
+TEST(SyscallTable, IdBound)
+{
+    EXPECT_EQ(syscallIdBound(), 436);
+}
+
+TEST(SyscallTable, KnownSignatures)
+{
+    const SyscallDesc *read = syscallByName("read");
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->nargs, 3);
+    EXPECT_FALSE(read->argIsPointer(0)); // fd
+    EXPECT_TRUE(read->argIsPointer(1));  // buf
+    EXPECT_FALSE(read->argIsPointer(2)); // count
+    EXPECT_EQ(read->checkedArgCount(), 2u);
+
+    const SyscallDesc *getpid = syscallByName("getpid");
+    ASSERT_NE(getpid, nullptr);
+    EXPECT_EQ(getpid->nargs, 0);
+    EXPECT_EQ(getpid->checkedArgCount(), 0u);
+
+    const SyscallDesc *futex = syscallByName("futex");
+    ASSERT_NE(futex, nullptr);
+    EXPECT_EQ(futex->nargs, 6);
+    EXPECT_TRUE(futex->argIsPointer(0));  // uaddr
+    EXPECT_FALSE(futex->argIsPointer(1)); // op
+    EXPECT_TRUE(futex->argIsPointer(3));  // timeout
+    EXPECT_TRUE(futex->argIsPointer(4));  // uaddr2
+
+    const SyscallDesc *mmap = syscallByName("mmap");
+    ASSERT_NE(mmap, nullptr);
+    EXPECT_EQ(mmap->nargs, 6);
+    EXPECT_EQ(mmap->argBytes(1), 8u); // length is wide
+    EXPECT_EQ(mmap->argBytes(2), 4u); // prot is an int
+}
+
+TEST(SyscallTable, ArgBytesBeyondNargsIsZero)
+{
+    const SyscallDesc *close = syscallByName("close");
+    ASSERT_NE(close, nullptr);
+    EXPECT_EQ(close->argBytes(0), 4u);
+    EXPECT_EQ(close->argBytes(1), 0u);
+    EXPECT_EQ(close->argBytes(5), 0u);
+}
+
+TEST(SyscallTable, PointerArgsAreEightBytes)
+{
+    for (const auto &desc : syscallTable()) {
+        for (unsigned i = 0; i < desc.nargs; ++i) {
+            if (desc.argIsPointer(i)) {
+                EXPECT_EQ(desc.argBytes(i), 8u) << desc.name;
+            }
+        }
+    }
+}
+
+TEST(SyscallTable, BitmaskExcludesPointerBytes)
+{
+    // Checked args contribute all eight register bytes (full 64-bit
+    // comparison, like seccomp_data); pointer args contribute none.
+    for (const auto &desc : syscallTable()) {
+        uint64_t mask = desc.argumentBitmask();
+        for (unsigned i = 0; i < kMaxSyscallArgs; ++i) {
+            uint8_t argMask = (mask >> (i * 8)) & 0xff;
+            if (i >= desc.nargs || desc.argIsPointer(i)) {
+                EXPECT_EQ(argMask, 0) << desc.name << " arg " << i;
+            } else {
+                EXPECT_EQ(argMask, 0xff) << desc.name << " arg " << i;
+            }
+        }
+    }
+}
+
+TEST(SyscallTable, BitmaskPopcountMatchesCheckedBytes)
+{
+    for (const auto &desc : syscallTable()) {
+        EXPECT_EQ(static_cast<unsigned>(
+                      std::popcount(desc.argumentBitmask())),
+                  desc.checkedArgCount() * 8)
+            << desc.name;
+    }
+}
+
+TEST(SyscallTable, MasksFitWithinNargs)
+{
+    for (const auto &desc : syscallTable()) {
+        EXPECT_LE(desc.nargs, 6) << desc.name;
+        uint8_t beyond = 0xff << desc.nargs;
+        EXPECT_EQ(desc.pointerMask & beyond, 0) << desc.name;
+        EXPECT_EQ(desc.wideMask & beyond, 0) << desc.name;
+        // An argument cannot be both a pointer and a wide scalar.
+        EXPECT_EQ(desc.pointerMask & desc.wideMask, 0) << desc.name;
+    }
+}
+
+TEST(SyscallTable, ScConstantsResolve)
+{
+    EXPECT_STREQ(syscallById(sc::openat)->name, "openat");
+    EXPECT_STREQ(syscallById(sc::futex)->name, "futex");
+    EXPECT_STREQ(syscallById(sc::personality)->name, "personality");
+    EXPECT_STREQ(syscallById(sc::clone)->name, "clone");
+    EXPECT_STREQ(syscallById(sc::epoll_wait)->name, "epoll_wait");
+    EXPECT_STREQ(syscallById(sc::accept4)->name, "accept4");
+    EXPECT_STREQ(syscallById(sc::mq_timedreceive)->name,
+                 "mq_timedreceive");
+}
+
+TEST(SyscallTable, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &desc : syscallTable())
+        EXPECT_TRUE(names.insert(desc.name).second) << desc.name;
+}
+
+} // namespace
+} // namespace draco::os

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit tests for the classic-BPF machine: interpreter semantics and the
+ * seccomp-style validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/bpf.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SeccompData
+data(uint32_t nr = 0)
+{
+    os::SeccompData d{};
+    d.nr = nr;
+    d.arch = os::kAuditArchX86_64;
+    return d;
+}
+
+BpfResult
+runProgram(std::vector<BpfInsn> insns, const os::SeccompData &d)
+{
+    BpfProgram p(std::move(insns));
+    std::string err;
+    EXPECT_TRUE(p.validate(&err)) << err;
+    return p.run(d);
+}
+
+TEST(Bpf, RetConstant)
+{
+    auto r = runProgram({stmt(op::RET | op::K, 0x7fff0000)}, data());
+    EXPECT_EQ(r.action, 0x7fff0000u);
+    EXPECT_EQ(r.insnsExecuted, 1u);
+}
+
+TEST(Bpf, RetAccumulator)
+{
+    auto r = runProgram({stmt(op::LD | op::IMM, 1234),
+                         stmt(op::RET | op::A, 0)},
+                        data());
+    EXPECT_EQ(r.action, 1234u);
+    EXPECT_EQ(r.insnsExecuted, 2u);
+}
+
+TEST(Bpf, LoadAbsReadsSeccompData)
+{
+    os::SeccompData d = data(77);
+    d.args[2] = 0x1122334455667788ULL;
+    // Low word of arg2.
+    auto r = runProgram({stmt(op::LD | op::W | op::ABS, os::sd_off::argLo(2)),
+                         stmt(op::RET | op::A, 0)},
+                        d);
+    EXPECT_EQ(r.action, 0x55667788u);
+    // High word of arg2.
+    r = runProgram({stmt(op::LD | op::W | op::ABS, os::sd_off::argHi(2)),
+                    stmt(op::RET | op::A, 0)},
+                   d);
+    EXPECT_EQ(r.action, 0x11223344u);
+}
+
+TEST(Bpf, LoadNr)
+{
+    auto r = runProgram({stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+                         stmt(op::RET | op::A, 0)},
+                        data(321));
+    EXPECT_EQ(r.action, 321u);
+}
+
+TEST(Bpf, JeqTakenAndNotTaken)
+{
+    // if (nr == 5) ret 1 else ret 2
+    std::vector<BpfInsn> prog = {
+        stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+        jump(op::JMP | op::JEQ | op::K, 5, 0, 1),
+        stmt(op::RET | op::K, 1),
+        stmt(op::RET | op::K, 2),
+    };
+    EXPECT_EQ(runProgram(prog, data(5)).action, 1u);
+    EXPECT_EQ(runProgram(prog, data(6)).action, 2u);
+}
+
+TEST(Bpf, JgtJgeJset)
+{
+    auto mkProg = [](uint16_t cond, uint32_t k) {
+        return std::vector<BpfInsn>{
+            stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+            jump(op::JMP | cond | op::K, k, 0, 1),
+            stmt(op::RET | op::K, 1),
+            stmt(op::RET | op::K, 0),
+        };
+    };
+    EXPECT_EQ(runProgram(mkProg(op::JGT, 10), data(11)).action, 1u);
+    EXPECT_EQ(runProgram(mkProg(op::JGT, 10), data(10)).action, 0u);
+    EXPECT_EQ(runProgram(mkProg(op::JGE, 10), data(10)).action, 1u);
+    EXPECT_EQ(runProgram(mkProg(op::JGE, 10), data(9)).action, 0u);
+    EXPECT_EQ(runProgram(mkProg(op::JSET, 0x4), data(6)).action, 1u);
+    EXPECT_EQ(runProgram(mkProg(op::JSET, 0x4), data(3)).action, 0u);
+}
+
+TEST(Bpf, JaSkips)
+{
+    auto r = runProgram({stmt(op::JMP | op::JA, 1),
+                         stmt(op::RET | op::K, 111),
+                         stmt(op::RET | op::K, 222)},
+                        data());
+    EXPECT_EQ(r.action, 222u);
+    EXPECT_EQ(r.insnsExecuted, 2u);
+}
+
+TEST(Bpf, AluOps)
+{
+    auto alu = [&](uint16_t aluOp, uint32_t a, uint32_t k) {
+        return runProgram({stmt(op::LD | op::IMM, a),
+                           stmt(op::ALU | aluOp | op::K, k),
+                           stmt(op::RET | op::A, 0)},
+                          data())
+            .action;
+    };
+    EXPECT_EQ(alu(op::ADD, 7, 3), 10u);
+    EXPECT_EQ(alu(op::SUB, 7, 3), 4u);
+    EXPECT_EQ(alu(op::MUL, 7, 3), 21u);
+    EXPECT_EQ(alu(op::DIV, 7, 3), 2u);
+    EXPECT_EQ(alu(op::MOD, 7, 3), 1u);
+    EXPECT_EQ(alu(op::OR, 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(alu(op::AND, 0xf0, 0x3c), 0x30u);
+    EXPECT_EQ(alu(op::XOR, 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(alu(op::LSH, 1, 4), 16u);
+    EXPECT_EQ(alu(op::RSH, 16, 4), 1u);
+}
+
+TEST(Bpf, AluNeg)
+{
+    auto r = runProgram({stmt(op::LD | op::IMM, 5),
+                         stmt(op::ALU | op::NEG, 0),
+                         stmt(op::RET | op::A, 0)},
+                        data());
+    EXPECT_EQ(r.action, static_cast<uint32_t>(-5));
+}
+
+TEST(Bpf, ScratchMemoryStLd)
+{
+    auto r = runProgram({stmt(op::LD | op::IMM, 77),
+                         stmt(op::ST, 3),
+                         stmt(op::LD | op::IMM, 0),
+                         stmt(op::LD | op::MEM, 3),
+                         stmt(op::RET | op::A, 0)},
+                        data());
+    EXPECT_EQ(r.action, 77u);
+}
+
+TEST(Bpf, IndexRegisterTaxTxaStx)
+{
+    auto r = runProgram({stmt(op::LD | op::IMM, 9),
+                         stmt(op::MISC | op::TAX, 0),
+                         stmt(op::LD | op::IMM, 0),
+                         stmt(op::ALU | op::ADD | op::X, 0),
+                         stmt(op::RET | op::A, 0)},
+                        data());
+    EXPECT_EQ(r.action, 9u);
+
+    r = runProgram({stmt(op::LDX | op::IMM, 4),
+                    stmt(op::STX, 0),
+                    stmt(op::LD | op::MEM, 0),
+                    stmt(op::RET | op::A, 0)},
+                   data());
+    EXPECT_EQ(r.action, 4u);
+
+    r = runProgram({stmt(op::LDX | op::IMM, 6),
+                    stmt(op::MISC | op::TXA, 0),
+                    stmt(op::RET | op::A, 0)},
+                   data());
+    EXPECT_EQ(r.action, 6u);
+}
+
+TEST(Bpf, DivByZeroRegisterYieldsZero)
+{
+    // Division by X where X == 0 returns 0 (matches kernel cBPF).
+    auto r = runProgram({stmt(op::LD | op::IMM, 42),
+                         stmt(op::LDX | op::IMM, 0),
+                         stmt(op::ALU | op::DIV | op::X, 0),
+                         stmt(op::RET | op::A, 0)},
+                        data());
+    EXPECT_EQ(r.action, 0u);
+}
+
+TEST(BpfValidate, EmptyProgramRejected)
+{
+    BpfProgram p;
+    std::string err;
+    EXPECT_FALSE(p.validate(&err));
+}
+
+TEST(BpfValidate, MissingRetRejected)
+{
+    BpfProgram p({stmt(op::LD | op::IMM, 1)});
+    std::string err;
+    EXPECT_FALSE(p.validate(&err));
+    EXPECT_NE(err.find("RET"), std::string::npos);
+}
+
+TEST(BpfValidate, OutOfBoundsLoadRejected)
+{
+    BpfProgram p({stmt(op::LD | op::W | op::ABS, 64),
+                  stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p.validate());
+    BpfProgram p2({stmt(op::LD | op::W | op::ABS, 61),
+                   stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p2.validate()); // unaligned and straddling the end
+}
+
+TEST(BpfValidate, JumpPastEndRejected)
+{
+    BpfProgram p({jump(op::JMP | op::JEQ | op::K, 1, 5, 0),
+                  stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p.validate());
+}
+
+TEST(BpfValidate, ScratchIndexRejected)
+{
+    BpfProgram p({stmt(op::ST, 16), stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p.validate());
+}
+
+TEST(BpfValidate, ConstantDivZeroRejected)
+{
+    BpfProgram p({stmt(op::ALU | op::DIV | op::K, 0),
+                  stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p.validate());
+}
+
+TEST(BpfValidate, TooLongRejected)
+{
+    std::vector<BpfInsn> insns(kBpfMaxInsns + 1,
+                               stmt(op::LD | op::IMM, 0));
+    insns.back() = stmt(op::RET | op::K, 0);
+    BpfProgram p(std::move(insns));
+    EXPECT_FALSE(p.validate());
+}
+
+TEST(BpfValidate, GoodProgramAccepted)
+{
+    BpfProgram p({stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+                  jump(op::JMP | op::JEQ | op::K, 1, 0, 1),
+                  stmt(op::RET | op::K, 0x7fff0000),
+                  stmt(op::RET | op::K, 0)});
+    std::string err;
+    EXPECT_TRUE(p.validate(&err)) << err;
+}
+
+TEST(Bpf, Disassemble)
+{
+    BpfProgram p({stmt(op::LD | op::W | op::ABS, 0),
+                  stmt(op::RET | op::K, 7)});
+    std::string text = p.disassemble();
+    EXPECT_NE(text.find("ld"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Bpf, InsnCountingOnBranches)
+{
+    // Count only instructions on the executed path.
+    std::vector<BpfInsn> prog = {
+        stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+        jump(op::JMP | op::JEQ | op::K, 1, 2, 0), // taken: skip 2
+        stmt(op::LD | op::IMM, 0),
+        stmt(op::LD | op::IMM, 0),
+        stmt(op::RET | op::K, 9),
+    };
+    EXPECT_EQ(runProgram(prog, data(1)).insnsExecuted, 3u);
+    EXPECT_EQ(runProgram(prog, data(0)).insnsExecuted, 5u);
+}
+
+} // namespace
+} // namespace draco::seccomp

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for filter compilation: the compiled BPF program must agree
+ * with Profile::evaluate on every input, for both dispatch shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/syscalls.hh"
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profiles_builtin.hh"
+#include "support/random.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, std::array<uint64_t, 6> args = {})
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.args = args;
+    req.pc = 0x400123;
+    return req;
+}
+
+bool
+filterAllows(const BpfProgram &program, const os::SyscallRequest &req)
+{
+    auto result = program.run(req.toSeccompData());
+    return os::actionAllows(static_cast<os::SeccompAction>(result.action));
+}
+
+TEST(FilterBuilder, EmptyProfileDeniesEverything)
+{
+    Profile p("empty");
+    BpfProgram program = buildFilter(p);
+    for (uint16_t sid : {0, 1, 39, 231})
+        EXPECT_FALSE(filterAllows(program, request(sid)));
+}
+
+TEST(FilterBuilder, WrongArchitectureKilled)
+{
+    Profile p("p");
+    p.allow(os::sc::getpid);
+    BpfProgram program = buildFilter(p);
+    os::SeccompData d = request(os::sc::getpid).toSeccompData();
+    d.arch = 0x40000003; // i386
+    auto result = program.run(d);
+    EXPECT_EQ(result.action,
+              static_cast<uint32_t>(os::SeccompAction::KillProcess));
+}
+
+TEST(FilterBuilder, AllowAllRule)
+{
+    Profile p("p");
+    p.allow(os::sc::read);
+    BpfProgram program = buildFilter(p);
+    EXPECT_TRUE(filterAllows(program, request(os::sc::read, {9, 0, 9})));
+    EXPECT_FALSE(filterAllows(program, request(os::sc::write)));
+}
+
+TEST(FilterBuilder, TupleRuleExactMatch)
+{
+    Profile p("p");
+    // read(fd=3, buf=*, count=4096): checked args are fd and count.
+    p.allowTuple(os::sc::read, {3, 0xdead, 4096, 0, 0, 0});
+    BpfProgram program = buildFilter(p);
+
+    EXPECT_TRUE(
+        filterAllows(program, request(os::sc::read, {3, 0xbeef, 4096})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::read, {4, 0xdead, 4096})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::read, {3, 0xdead, 4097})));
+}
+
+TEST(FilterBuilder, TupleRuleChecksHighWord)
+{
+    Profile p("p");
+    // read count is 8 bytes: high word must participate.
+    p.allowTuple(os::sc::read, {3, 0, 0x100000001ULL, 0, 0, 0});
+    BpfProgram program = buildFilter(p);
+    EXPECT_TRUE(filterAllows(
+        program, request(os::sc::read, {3, 0, 0x100000001ULL})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::read, {3, 0, 0x1})));
+    EXPECT_FALSE(filterAllows(
+        program, request(os::sc::read, {3, 0, 0x200000001ULL})));
+}
+
+TEST(FilterBuilder, MultipleTuples)
+{
+    Profile p("p");
+    p.allowTuple(os::sc::close, {3, 0, 0, 0, 0, 0});
+    p.allowTuple(os::sc::close, {7, 0, 0, 0, 0, 0});
+    BpfProgram program = buildFilter(p);
+    EXPECT_TRUE(filterAllows(program, request(os::sc::close, {3})));
+    EXPECT_TRUE(filterAllows(program, request(os::sc::close, {7})));
+    EXPECT_FALSE(filterAllows(program, request(os::sc::close, {5})));
+}
+
+TEST(FilterBuilder, PerArgValuesRule)
+{
+    Profile p("p");
+    p.allowArgValues(os::sc::personality, 0,
+                     {0x0, 0x20008, 0xffffffff});
+    BpfProgram program = buildFilter(p);
+    EXPECT_TRUE(
+        filterAllows(program, request(os::sc::personality, {0x20008})));
+    EXPECT_TRUE(filterAllows(program,
+                             request(os::sc::personality, {0xffffffff})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::personality, {0x20009})));
+}
+
+TEST(FilterBuilder, PerArgValuesMultipleArgs)
+{
+    Profile p("p");
+    p.allowArgValues(os::sc::socket, 0, {1, 2});
+    p.allowArgValues(os::sc::socket, 1, {1});
+    BpfProgram program = buildFilter(p);
+    EXPECT_TRUE(filterAllows(program, request(os::sc::socket, {1, 1, 0})));
+    EXPECT_TRUE(filterAllows(program, request(os::sc::socket, {2, 1, 6})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::socket, {1, 2, 0})));
+    EXPECT_FALSE(
+        filterAllows(program, request(os::sc::socket, {3, 1, 0})));
+}
+
+TEST(FilterBuilder, DenyActionPropagated)
+{
+    Profile p("p");
+    p.setDenyAction(os::SeccompAction::Errno);
+    p.allow(os::sc::getpid);
+    BpfProgram program = buildFilter(p);
+    auto result = program.run(request(os::sc::write).toSeccompData());
+    EXPECT_EQ(result.action,
+              static_cast<uint32_t>(os::SeccompAction::Errno));
+}
+
+TEST(FilterBuilder, DenyDataPropagated)
+{
+    Profile p("p");
+    p.setDenyAction(os::SeccompAction::Errno);
+    p.setDenyData(13); // EACCES
+    p.allow(os::sc::getpid);
+    BpfProgram program = buildFilter(p);
+    auto result = program.run(request(os::sc::write).toSeccompData());
+    EXPECT_EQ(os::actionOf(result.action), os::SeccompAction::Errno);
+    EXPECT_EQ(os::retDataOf(result.action), 13);
+}
+
+TEST(FilterBuilder, PointerArgumentsIgnored)
+{
+    Profile p("p");
+    p.allowTuple(os::sc::read, {3, 0x1111, 64, 0, 0, 0});
+    BpfProgram program = buildFilter(p);
+    // Vary the buffer pointer (arg 1): decision must not change.
+    for (uint64_t ptr : {0ULL, 0x7fffdeadULL, ~0ULL})
+        EXPECT_TRUE(
+            filterAllows(program, request(os::sc::read, {3, ptr, 64})));
+}
+
+class DispatchShapeTest : public testing::TestWithParam<DispatchShape>
+{
+};
+
+TEST_P(DispatchShapeTest, AgreesWithProfileEvaluateOnRandomInputs)
+{
+    Profile p = dockerDefaultProfile();
+    BpfProgram program = buildFilter(p, GetParam());
+    std::string err;
+    ASSERT_TRUE(program.validate(&err)) << err;
+
+    Rng rng(2024);
+    for (int i = 0; i < 3000; ++i) {
+        os::SyscallRequest req;
+        req.sid = static_cast<uint16_t>(rng.nextBelow(440));
+        for (auto &arg : req.args)
+            arg = rng.chance(0.5) ? rng.nextBelow(16)
+                                  : rng.next();
+        EXPECT_EQ(filterAllows(program, req), p.allows(req))
+            << "sid=" << req.sid;
+    }
+}
+
+TEST_P(DispatchShapeTest, AgreesOnEveryDefinedSidWithZeroArgs)
+{
+    Profile p = gvisorProfile();
+    BpfProgram program = buildFilter(p, GetParam());
+    for (const auto &desc : os::syscallTable()) {
+        os::SyscallRequest req = request(desc.id);
+        EXPECT_EQ(filterAllows(program, req), p.allows(req)) << desc.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DispatchShapeTest,
+                         testing::Values(DispatchShape::Linear,
+                                         DispatchShape::LinearChain,
+                                         DispatchShape::BinaryTree));
+
+TEST(FilterBuilder, BinaryTreeExecutesFewerDispatchInsns)
+{
+    // The §XII libseccomp optimization: the tree shortens the syscall-ID
+    // scan for IDs that sit deep in the linear chain.
+    Profile p = dockerDefaultProfile();
+    BpfProgram linear = buildFilter(p, DispatchShape::LinearChain);
+    BpfProgram tree = buildFilter(p, DispatchShape::BinaryTree);
+
+    os::SyscallRequest req = request(334); // rseq: late in the chain
+    ASSERT_TRUE(p.allows(req));
+    auto rl = linear.run(req.toSeccompData());
+    auto rt = tree.run(req.toSeccompData());
+    EXPECT_TRUE(os::actionAllows(static_cast<os::SeccompAction>(rl.action)));
+    EXPECT_TRUE(os::actionAllows(static_cast<os::SeccompAction>(rt.action)));
+    EXPECT_LT(rt.insnsExecuted, rl.insnsExecuted / 4);
+}
+
+TEST(FilterBuilder, LinearCostGrowsWithChainPosition)
+{
+    Profile p("p");
+    for (uint16_t sid = 0; sid <= 100; ++sid)
+        if (os::syscallById(sid))
+            p.allow(sid);
+    BpfProgram program = buildFilter(p, DispatchShape::LinearChain);
+    auto early = program.run(request(0).toSeccompData());
+    auto late = program.run(request(100).toSeccompData());
+    EXPECT_GT(late.insnsExecuted, early.insnsExecuted + 50);
+}
+
+TEST(FilterBuilder, ProgramsValidate)
+{
+    for (auto shape : {DispatchShape::Linear, DispatchShape::LinearChain,
+                       DispatchShape::BinaryTree}) {
+        for (const Profile &p :
+             {dockerDefaultProfile(), gvisorProfile(),
+              firecrackerProfile()}) {
+            BpfProgram program = buildFilter(p, shape);
+            std::string err;
+            EXPECT_TRUE(program.validate(&err))
+                << p.name() << ": " << err;
+            EXPECT_LE(program.size(), kBpfMaxInsns);
+        }
+    }
+}
+
+} // namespace
+} // namespace draco::seccomp

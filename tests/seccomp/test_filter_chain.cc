@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for FilterChain: multi-program compilation of oversized
+ * profiles and the kernel's most-restrictive-action combination rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profile_gen.hh"
+#include "support/random.hh"
+#include "workload/generator.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, std::array<uint64_t, 6> args = {})
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.args = args;
+    return req;
+}
+
+/** A profile too large for one BPF program: 60 syscalls x 30 tuples. */
+Profile
+hugeProfile()
+{
+    Profile p("huge");
+    unsigned added = 0;
+    for (const auto &desc : os::syscallTable()) {
+        if (desc.checkedArgCount() == 0)
+            continue;
+        for (uint64_t i = 0; i < 30; ++i) {
+            ArgVector args{};
+            for (unsigned a = 0; a < desc.nargs; ++a)
+                if (!desc.argIsPointer(a))
+                    args[a] = 3 + i * 11 + a;
+            p.allowTuple(desc.id, args);
+        }
+        if (++added == 60)
+            break;
+    }
+    p.allow(os::sc::getpid);
+    return p;
+}
+
+TEST(FilterChain, SmallProfileIsOneProgram)
+{
+    Profile p("small");
+    p.allow(os::sc::getpid);
+    p.allowTuple(os::sc::read, {3, 0, 64, 0, 0, 0});
+    FilterChain chain = buildFilterChain(p);
+    EXPECT_EQ(chain.filterCount(), 1u);
+}
+
+TEST(FilterChain, HugeProfileSplits)
+{
+    FilterChain chain = buildFilterChain(hugeProfile());
+    EXPECT_GT(chain.filterCount(), 1u);
+    for (const auto &program : chain.programs()) {
+        std::string err;
+        EXPECT_TRUE(program.validate(&err)) << err;
+        EXPECT_LE(program.size(), kBpfMaxInsns);
+    }
+}
+
+TEST(FilterChain, ChainAgreesWithProfile)
+{
+    Profile p = hugeProfile();
+    FilterChain chain = buildFilterChain(p);
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        os::SyscallRequest req;
+        req.sid = static_cast<uint16_t>(rng.nextBelow(120));
+        // Mix values that collide with whitelisted tuples and ones
+        // that do not.
+        for (auto &arg : req.args)
+            arg = 3 + rng.nextBelow(40);
+        auto result = chain.run(req.toSeccompData());
+        EXPECT_EQ(os::actionAllows(
+                      static_cast<os::SeccompAction>(result.action)),
+                  p.allows(req))
+            << "sid " << req.sid;
+    }
+}
+
+TEST(FilterChain, InsnsSumAcrossChain)
+{
+    FilterChain chain = buildFilterChain(hugeProfile());
+    auto r = chain.run(request(os::sc::getpid).toSeccompData());
+    // Every program in the chain executes at least its prologue.
+    EXPECT_GE(r.insnsExecuted, chain.filterCount() * 4);
+    EXPECT_GT(chain.totalInsns(), kBpfMaxInsns);
+}
+
+TEST(FilterChain, ElasticsearchCompleteProfileCompiles)
+{
+    // The real trigger for chains: the biggest generated app profile.
+    const auto *app = workload::workloadByName("elasticsearch");
+    ASSERT_NE(app, nullptr);
+    workload::TraceGenerator gen(*app, 7);
+    ProfileRecorder rec;
+    for (int i = 0; i < 150000; ++i)
+        rec.record(gen.next().req);
+    Profile profile = rec.makeComplete("es");
+    FilterChain chain = buildFilterChain(profile);
+    EXPECT_GE(chain.filterCount(), 1u);
+    for (const auto &program : chain.programs())
+        EXPECT_TRUE(program.validate());
+
+    // Spot-check agreement on the trace itself.
+    workload::TraceGenerator replay(*app, 7);
+    for (int i = 0; i < 3000; ++i) {
+        os::SyscallRequest req = replay.next().req;
+        auto result = chain.run(req.toSeccompData());
+        EXPECT_EQ(os::actionAllows(
+                      static_cast<os::SeccompAction>(result.action)),
+                  profile.allows(req));
+    }
+}
+
+TEST(FilterChain, EmptyChainPanics)
+{
+    FilterChain chain;
+    EXPECT_DEATH(chain.run(os::SeccompData{}), "");
+}
+
+TEST(MostRestrictive, KernelPrecedenceOrder)
+{
+    auto v = [](os::SeccompAction a) { return static_cast<uint32_t>(a); };
+    using A = os::SeccompAction;
+    // KILL_PROCESS beats everything.
+    EXPECT_EQ(mostRestrictiveAction(v(A::KillProcess), v(A::Allow)),
+              v(A::KillProcess));
+    EXPECT_EQ(mostRestrictiveAction(v(A::Allow), v(A::KillProcess)),
+              v(A::KillProcess));
+    // KILL_THREAD beats TRAP/ERRNO/ALLOW despite being numerically 0.
+    EXPECT_EQ(mostRestrictiveAction(v(A::KillThread), v(A::Errno)),
+              v(A::KillThread));
+    EXPECT_EQ(mostRestrictiveAction(v(A::Trap), v(A::Errno)), v(A::Trap));
+    EXPECT_EQ(mostRestrictiveAction(v(A::Errno), v(A::Trace)),
+              v(A::Errno));
+    EXPECT_EQ(mostRestrictiveAction(v(A::Log), v(A::Allow)), v(A::Log));
+    EXPECT_EQ(mostRestrictiveAction(v(A::Allow), v(A::Allow)),
+              v(A::Allow));
+}
+
+TEST(FilterChain, MixedActionsTakeStrictest)
+{
+    // Two hand-built programs: one allows everything, one errnos
+    // everything. The chain must errno.
+    std::vector<BpfInsn> allowAll = {
+        stmt(op::RET | op::K,
+             static_cast<uint32_t>(os::SeccompAction::Allow))};
+    std::vector<BpfInsn> errnoAll = {
+        stmt(op::RET | op::K,
+             static_cast<uint32_t>(os::SeccompAction::Errno))};
+    std::vector<BpfProgram> programs;
+    programs.emplace_back(allowAll);
+    programs.emplace_back(errnoAll);
+    FilterChain chain(std::move(programs));
+    auto r = chain.run(request(0).toSeccompData());
+    EXPECT_EQ(r.action, static_cast<uint32_t>(os::SeccompAction::Errno));
+    EXPECT_EQ(r.insnsExecuted, 2u);
+}
+
+TEST(FilterChainDeathTest, UnsplittableRuleIsFatal)
+{
+    // 900 tuples on one syscall cannot be expressed within
+    // BPF_MAXINSNS, and conjunction semantics forbid splitting them.
+    Profile p("unsplittable");
+    for (uint64_t i = 0; i < 900; ++i)
+        p.allowTuple(os::sc::read, {3 + i, 0, 64, 0, 0, 0});
+    EXPECT_EXIT(buildFilterChain(p), testing::ExitedWithCode(1),
+                "beyond what one filter can hold");
+}
+
+} // namespace
+} // namespace draco::seccomp

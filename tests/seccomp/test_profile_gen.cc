@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for trace-driven profile generation (the §X-B toolkit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/profile_gen.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, std::array<uint64_t, 6> args = {})
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.args = args;
+    return req;
+}
+
+TEST(ProfileRecorder, RecordsDistinctSyscalls)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::read, {3, 0, 64}));
+    rec.record(request(os::sc::read, {3, 0, 64}));
+    rec.record(request(os::sc::write, {1, 0, 8}));
+    EXPECT_EQ(rec.distinctSyscalls(), 2u);
+    EXPECT_EQ(rec.distinctTuples(os::sc::read), 1u);
+}
+
+TEST(ProfileRecorder, DistinctTuplesKeyedOnCheckedArgs)
+{
+    ProfileRecorder rec;
+    // Same checked args (fd, count), different buffer pointers.
+    rec.record(request(os::sc::read, {3, 0x1000, 64}));
+    rec.record(request(os::sc::read, {3, 0x2000, 64}));
+    EXPECT_EQ(rec.distinctTuples(os::sc::read), 1u);
+    // Different count: a second tuple.
+    rec.record(request(os::sc::read, {3, 0x1000, 128}));
+    EXPECT_EQ(rec.distinctTuples(os::sc::read), 2u);
+}
+
+TEST(ProfileRecorder, NoArgsProfileAllowsAnyArgs)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::read, {3, 0, 64}));
+    Profile p = rec.makeNoArgs("t");
+    EXPECT_TRUE(p.allows(request(os::sc::read, {77, 0, 1})));
+    EXPECT_FALSE(p.allows(request(os::sc::ioctl)));
+}
+
+TEST(ProfileRecorder, CompleteProfileWhitelistsExactTuples)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::read, {3, 0, 64}));
+    Profile p = rec.makeComplete("t");
+    EXPECT_TRUE(p.allows(request(os::sc::read, {3, 0xbeef, 64})));
+    EXPECT_FALSE(p.allows(request(os::sc::read, {3, 0, 65})));
+    EXPECT_FALSE(p.allows(request(os::sc::read, {4, 0, 64})));
+}
+
+TEST(ProfileRecorder, CompleteProfileAllowsEverythingRecorded)
+{
+    // Round-trip invariant: every recorded request must pass the
+    // complete profile generated from the recording.
+    ProfileRecorder rec;
+    std::vector<os::SyscallRequest> reqs = {
+        request(os::sc::read, {3, 0, 64}),
+        request(os::sc::read, {5, 0, 4096}),
+        request(os::sc::getpid),
+        request(os::sc::ioctl, {1, 0x5401, 0}),
+        request(os::sc::futex, {0x7000, 0, 1, 0, 0, 0}),
+    };
+    for (const auto &r : reqs)
+        rec.record(r);
+    Profile p = rec.makeComplete("t");
+    for (const auto &r : reqs)
+        EXPECT_TRUE(p.allows(r)) << r.sid;
+}
+
+TEST(ProfileRecorder, ZeroCheckedArgSyscallBecomesIdOnly)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::getpid));
+    Profile p = rec.makeComplete("t");
+    ASSERT_NE(p.rule(os::sc::getpid), nullptr);
+    EXPECT_EQ(p.rule(os::sc::getpid)->kind, RuleKind::AllowAll);
+}
+
+TEST(ProfileRecorder, RuntimeSyscallsAlwaysIncluded)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::read, {3, 0, 64}));
+    Profile p = rec.makeComplete("t");
+    for (uint16_t sid : containerRuntimeSyscalls())
+        EXPECT_NE(p.rule(sid), nullptr) << sid;
+}
+
+TEST(ProfileRecorder, RuntimeFlagMarksRuntimeSet)
+{
+    ProfileRecorder rec;
+    rec.record(request(os::sc::read, {3, 0, 64}));    // runtime set
+    rec.record(request(os::sc::ioctl, {1, 0x5401})); // app-specific
+    Profile p = rec.makeComplete("t");
+    EXPECT_TRUE(p.rule(os::sc::read)->runtimeRequired);
+    EXPECT_FALSE(p.rule(os::sc::ioctl)->runtimeRequired);
+}
+
+TEST(ProfileRecorder, UnknownSyscallIgnored)
+{
+    ProfileRecorder rec;
+    rec.record(request(400)); // not a defined x86-64 syscall
+    EXPECT_EQ(rec.distinctSyscalls(), 0u);
+}
+
+TEST(ContainerRuntimeSyscalls, ContainsLoaderEssentials)
+{
+    const auto &runtime = containerRuntimeSyscalls();
+    EXPECT_TRUE(runtime.count(os::sc::execve));
+    EXPECT_TRUE(runtime.count(os::sc::brk));
+    EXPECT_TRUE(runtime.count(os::sc::openat));
+    EXPECT_TRUE(runtime.count(os::sc::futex));
+    EXPECT_GT(runtime.size(), 15u);
+}
+
+} // namespace
+} // namespace draco::seccomp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for profile serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seccomp/profile_io.hh"
+#include "seccomp/profiles_builtin.hh"
+#include "support/random.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, std::array<uint64_t, 6> args = {})
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.args = args;
+    return req;
+}
+
+Profile
+roundTrip(const Profile &p)
+{
+    std::stringstream buf;
+    writeProfile(p, buf);
+    std::string error;
+    auto parsed = readProfile(buf, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return parsed ? *parsed : Profile("failed");
+}
+
+TEST(ProfileIo, RoundTripSimpleProfile)
+{
+    Profile p("demo");
+    p.setDenyAction(os::SeccompAction::Errno);
+    p.allow(os::sc::getpid);
+    p.allowTuple(os::sc::read, {3, 0, 64, 0, 0, 0}, true);
+    p.allowArgValues(os::sc::personality, 0, {0x0, 0xffffffff});
+
+    Profile back = roundTrip(p);
+    EXPECT_EQ(back.name(), "demo");
+    EXPECT_EQ(back.denyAction(), os::SeccompAction::Errno);
+    ASSERT_NE(back.rule(os::sc::getpid), nullptr);
+    ASSERT_NE(back.rule(os::sc::read), nullptr);
+    EXPECT_TRUE(back.rule(os::sc::read)->runtimeRequired);
+    EXPECT_FALSE(back.rule(os::sc::getpid)->runtimeRequired);
+    EXPECT_EQ(back.rule(os::sc::read)->tuples.size(), 1u);
+    EXPECT_EQ(back.rule(os::sc::personality)->perArg.at(0).size(), 2u);
+}
+
+TEST(ProfileIo, RoundTripPreservesSemantics)
+{
+    // The loaded profile must decide identically on random requests.
+    Profile p = gvisorProfile();
+    Profile back = roundTrip(p);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        os::SyscallRequest req;
+        req.sid = static_cast<uint16_t>(rng.nextBelow(440));
+        for (auto &arg : req.args)
+            arg = rng.chance(0.6) ? rng.nextBelow(64) : rng.next();
+        EXPECT_EQ(back.allows(req), p.allows(req)) << "sid " << req.sid;
+    }
+}
+
+TEST(ProfileIo, RoundTripDockerDefault)
+{
+    Profile p = dockerDefaultProfile();
+    Profile back = roundTrip(p);
+    auto a = p.stats(), b = back.stats();
+    EXPECT_EQ(a.syscallsAllowed, b.syscallsAllowed);
+    EXPECT_EQ(a.argsChecked, b.argsChecked);
+    EXPECT_EQ(a.valuesAllowed, b.valuesAllowed);
+    EXPECT_EQ(back.denyAction(), os::SeccompAction::Errno);
+}
+
+TEST(ProfileIo, HeaderRequired)
+{
+    std::stringstream buf("allow getpid\n");
+    std::string error;
+    auto p = readProfile(buf, &error);
+    EXPECT_FALSE(p.has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(ProfileIo, UnknownSyscallRejected)
+{
+    std::stringstream buf;
+    buf << kProfileMagic << "\nallow flumoxify\n";
+    std::string error;
+    EXPECT_FALSE(readProfile(buf, &error).has_value());
+    EXPECT_NE(error.find("unknown syscall"), std::string::npos);
+}
+
+TEST(ProfileIo, UnknownKeywordRejected)
+{
+    std::stringstream buf;
+    buf << kProfileMagic << "\nfrobnicate getpid\n";
+    std::string error;
+    EXPECT_FALSE(readProfile(buf, &error).has_value());
+    EXPECT_NE(error.find("unknown keyword"), std::string::npos);
+}
+
+TEST(ProfileIo, BadDenyActionRejected)
+{
+    std::stringstream buf;
+    buf << kProfileMagic << "\ndeny explode\n";
+    std::string error;
+    EXPECT_FALSE(readProfile(buf, &error).has_value());
+    EXPECT_NE(error.find("deny action"), std::string::npos);
+}
+
+TEST(ProfileIo, ArgvaluesNeedsValues)
+{
+    std::stringstream buf;
+    buf << kProfileMagic << "\nargvalues personality 0\n";
+    std::string error;
+    EXPECT_FALSE(readProfile(buf, &error).has_value());
+}
+
+TEST(ProfileIo, LoadedProfileDecides)
+{
+    std::stringstream buf;
+    buf << kProfileMagic << "\n"
+        << "name handwritten\n"
+        << "deny kill-process\n"
+        << "allow getpid\n"
+        << "tuple read 3 0 40 0 0 0\n";
+    auto p = readProfile(buf, nullptr);
+    ASSERT_TRUE(p);
+    EXPECT_TRUE(p->allows(request(os::sc::getpid)));
+    EXPECT_TRUE(p->allows(request(os::sc::read, {3, 0, 0x40})));
+    EXPECT_FALSE(p->allows(request(os::sc::read, {3, 0, 0x41})));
+    EXPECT_FALSE(p->allows(request(os::sc::write)));
+}
+
+TEST(ProfileIo, FileRoundTrip)
+{
+    Profile p = firecrackerProfile();
+    std::string path = testing::TempDir() + "draco_profile_test.txt";
+    writeProfileFile(p, path);
+    Profile back = readProfileFile(path);
+    EXPECT_EQ(back.stats().syscallsAllowed, p.stats().syscallsAllowed);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace draco::seccomp

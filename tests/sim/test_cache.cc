@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the cache hierarchy timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace draco::sim {
+namespace {
+
+TEST(Cache, ColdAccessGoesToDram)
+{
+    CacheHierarchy cache(1);
+    auto [level, ns] = cache.access(0x1000);
+    EXPECT_EQ(level, MemLevel::Dram);
+    EXPECT_DOUBLE_EQ(ns, cache.latencyNs(MemLevel::Dram));
+}
+
+TEST(Cache, SecondAccessHitsL1)
+{
+    CacheHierarchy cache(1);
+    cache.access(0x1000);
+    auto [level, ns] = cache.access(0x1000);
+    EXPECT_EQ(level, MemLevel::L1);
+    EXPECT_DOUBLE_EQ(ns, cache.latencyNs(MemLevel::L1));
+}
+
+TEST(Cache, SameLineSharesResidency)
+{
+    CacheHierarchy cache(1);
+    cache.access(0x1000);
+    EXPECT_EQ(cache.access(0x1030).first, MemLevel::L1); // same 64B line
+    EXPECT_EQ(cache.access(0x1040).first, MemLevel::Dram); // next line
+}
+
+TEST(Cache, LatenciesMonotone)
+{
+    CacheHierarchy cache(1);
+    EXPECT_LT(cache.latencyNs(MemLevel::L1), cache.latencyNs(MemLevel::L2));
+    EXPECT_LT(cache.latencyNs(MemLevel::L2), cache.latencyNs(MemLevel::L3));
+    EXPECT_LT(cache.latencyNs(MemLevel::L3),
+              cache.latencyNs(MemLevel::Dram));
+}
+
+TEST(Cache, TableIIConfig)
+{
+    const auto &levels = CacheHierarchy::levelConfigs();
+    EXPECT_EQ(levels[0].capacityBytes, 32u * 1024);
+    EXPECT_EQ(levels[1].capacityBytes, 256u * 1024);
+    EXPECT_EQ(levels[2].capacityBytes, 8u * 1024 * 1024);
+}
+
+TEST(Cache, SmallPressureKeepsL3MostlyIntact)
+{
+    CacheHierarchy cache(7);
+    cache.access(0x1000);
+    // 4 KB of traffic cannot plausibly evict an 8 MB L3 line.
+    int survived = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        cache.appPressure(4096);
+        auto [level, ns] = cache.access(0x1000);
+        survived += level <= MemLevel::L3;
+    }
+    EXPECT_GT(survived, 45);
+}
+
+TEST(Cache, HeavyPressureEvictsEverything)
+{
+    CacheHierarchy cache(7);
+    cache.access(0x1000);
+    cache.appPressure(1ULL << 30); // 1 GB stream
+    EXPECT_EQ(cache.access(0x1000).first, MemLevel::Dram);
+}
+
+TEST(Cache, MediumPressureEvictsL1BeforeL3)
+{
+    CacheHierarchy cache(11);
+    int l1Evicted = 0, l3Evicted = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        cache.flush();
+        cache.access(0x5000);
+        cache.appPressure(64 * 1024); // 2× L1, 1/4 L2, tiny vs L3
+        auto [level, ns] = cache.access(0x5000);
+        l1Evicted += level > MemLevel::L1;
+        l3Evicted += level > MemLevel::L3;
+    }
+    EXPECT_GT(l1Evicted, 120); // survival exp(-2) ~ 13%
+    EXPECT_LT(l3Evicted, 10);  // survival exp(-1/128) ~ 99%
+}
+
+TEST(Cache, FlushDropsAll)
+{
+    CacheHierarchy cache(1);
+    cache.access(0x2000);
+    cache.flush();
+    EXPECT_EQ(cache.access(0x2000).first, MemLevel::Dram);
+}
+
+TEST(Cache, StatsCount)
+{
+    CacheHierarchy cache(1);
+    cache.access(0x1000);
+    cache.access(0x1000);
+    cache.access(0x2000);
+    const auto &stats = cache.stats();
+    EXPECT_EQ(stats.accesses, 3u);
+    EXPECT_EQ(stats.hits[static_cast<size_t>(MemLevel::Dram)], 2u);
+    EXPECT_EQ(stats.hits[static_cast<size_t>(MemLevel::L1)], 1u);
+}
+
+TEST(Cache, ZeroPressureIsNoop)
+{
+    CacheHierarchy cache(1);
+    cache.access(0x3000);
+    cache.appPressure(0);
+    EXPECT_EQ(cache.access(0x3000).first, MemLevel::L1);
+}
+
+} // namespace
+} // namespace draco::sim

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the experiment runner and profile generation pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/profiles_builtin.hh"
+#include "sim/machine.hh"
+
+namespace draco::sim {
+namespace {
+
+RunOptions
+opts(Mechanism mech, size_t calls = 20000)
+{
+    RunOptions o;
+    o.mechanism = mech;
+    o.steadyCalls = calls;
+    o.seed = 7;
+    return o;
+}
+
+const workload::AppModel &
+app(const char *name)
+{
+    const auto *a = workload::workloadByName(name);
+    EXPECT_NE(a, nullptr);
+    return *a;
+}
+
+TEST(Machine, InsecureNormalizedIsOne)
+{
+    ExperimentRunner runner;
+    auto r = runner.run(app("pipe-ipc"), seccomp::insecureProfile(),
+                        opts(Mechanism::Insecure));
+    EXPECT_DOUBLE_EQ(r.normalized(), 1.0);
+    EXPECT_DOUBLE_EQ(r.checkNs, 0.0);
+    EXPECT_GT(r.totalNs, 0.0);
+}
+
+TEST(Machine, SeccompAddsOverhead)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("pipe-ipc"), 7, 50000);
+    auto r = runner.run(app("pipe-ipc"), profiles.complete,
+                        opts(Mechanism::Seccomp));
+    EXPECT_GT(r.normalized(), 1.05);
+    EXPECT_GT(r.filterInsnsTotal, 0u);
+}
+
+TEST(Machine, DracoSwCheaperThanSeccompWithArgChecks)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("pipe-ipc"), 7, 50000);
+    auto seccomp = runner.run(app("pipe-ipc"), profiles.complete,
+                              opts(Mechanism::Seccomp));
+    auto dracoSw = runner.run(app("pipe-ipc"), profiles.complete,
+                              opts(Mechanism::DracoSW));
+    EXPECT_LT(dracoSw.normalized(), seccomp.normalized());
+    EXPECT_GT(dracoSw.normalized(), 1.0);
+}
+
+TEST(Machine, DracoHwNearInsecure)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("pipe-ipc"), 7, 50000);
+    auto r = runner.run(app("pipe-ipc"), profiles.complete,
+                        opts(Mechanism::DracoHW, 50000));
+    EXPECT_LT(r.normalized(), 1.03);
+    EXPECT_GE(r.normalized(), 1.0);
+}
+
+TEST(Machine, TraceIdenticalAcrossMechanisms)
+{
+    // insecureNs must match exactly for the same seed regardless of
+    // mechanism: the trace is mechanism-independent.
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("redis"), 7, 30000);
+    auto a = runner.run(app("redis"), profiles.complete,
+                        opts(Mechanism::Insecure, 10000));
+    auto b = runner.run(app("redis"), profiles.complete,
+                        opts(Mechanism::Seccomp, 10000));
+    auto c = runner.run(app("redis"), profiles.complete,
+                        opts(Mechanism::DracoHW, 10000));
+    EXPECT_DOUBLE_EQ(a.insecureNs, b.insecureNs);
+    EXPECT_DOUBLE_EQ(a.insecureNs, c.insecureNs);
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("grep"), 7, 30000);
+    auto a = runner.run(app("grep"), profiles.complete,
+                        opts(Mechanism::DracoSW, 10000));
+    auto b = runner.run(app("grep"), profiles.complete,
+                        opts(Mechanism::DracoSW, 10000));
+    EXPECT_DOUBLE_EQ(a.totalNs, b.totalNs);
+    EXPECT_EQ(a.sw.vatHits, b.sw.vatHits);
+}
+
+TEST(Machine, TwoXCopiesCostMoreForSeccomp)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("mq-ipc"), 7, 50000);
+    auto one = runner.run(app("mq-ipc"), profiles.complete,
+                          opts(Mechanism::Seccomp));
+    RunOptions o2 = opts(Mechanism::Seccomp);
+    o2.filterCopies = 2;
+    auto two = runner.run(app("mq-ipc"), profiles.complete, o2);
+    double ovOne = one.normalized() - 1.0;
+    double ovTwo = two.normalized() - 1.0;
+    EXPECT_NEAR(ovTwo, 2.0 * ovOne, 0.15 * ovTwo);
+}
+
+TEST(Machine, TwoXBarelyAffectsDracoSw)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("mq-ipc"), 7, 50000);
+    auto one = runner.run(app("mq-ipc"), profiles.complete,
+                          opts(Mechanism::DracoSW));
+    RunOptions o2 = opts(Mechanism::DracoSW);
+    o2.filterCopies = 2;
+    auto two = runner.run(app("mq-ipc"), profiles.complete, o2);
+    // Draco runs the filter only on cold misses; doubling filter cost
+    // moves the needle by far less than it does for Seccomp.
+    EXPECT_LT(two.normalized() - one.normalized(), 0.02);
+}
+
+TEST(Machine, OldKernelCostsIncreaseSeccompOverhead)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("pipe-ipc"), 7, 50000);
+    auto newK = runner.run(app("pipe-ipc"), profiles.complete,
+                           opts(Mechanism::Seccomp));
+    RunOptions oldOpts = opts(Mechanism::Seccomp);
+    oldOpts.costs = &os::oldKernelCosts();
+    auto oldK = runner.run(app("pipe-ipc"), profiles.complete, oldOpts);
+    EXPECT_GT(oldK.normalized(), newK.normalized());
+}
+
+TEST(Machine, HwRunReportsStructureStats)
+{
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("nginx"), 7, 50000);
+    auto r = runner.run(app("nginx"), profiles.complete,
+                        opts(Mechanism::DracoHW, 30000));
+    EXPECT_GT(r.stb.lookups, 0u);
+    EXPECT_GT(r.slb.accesses, 0u);
+    EXPECT_GT(r.stbHitRate(), 0.5);
+    EXPECT_GT(r.slbAccessHitRate(), 0.5);
+    EXPECT_GT(r.vatFootprintBytes, 0u);
+    uint64_t flowSum = 0;
+    for (uint64_t f : r.hw.flows)
+        flowSum += f;
+    EXPECT_EQ(flowSum, r.hw.syscalls);
+}
+
+TEST(Machine, MakeAppProfilesShapes)
+{
+    AppProfiles profiles = makeAppProfiles(app("httpd"), 7, 50000);
+    auto noargsStats = profiles.noargs.stats();
+    auto completeStats = profiles.complete.stats();
+    EXPECT_EQ(noargsStats.argsChecked, 0u);
+    EXPECT_GT(completeStats.argsChecked, 10u);
+    EXPECT_EQ(noargsStats.syscallsAllowed,
+              completeStats.syscallsAllowed);
+    // Fig. 15a: app profiles are far smaller than docker-default.
+    EXPECT_LT(completeStats.syscallsAllowed, 110u);
+    EXPECT_GT(completeStats.syscallsAllowed, 20u);
+    // ~20% runtime-required.
+    double frac = static_cast<double>(completeStats.runtimeRequired) /
+        completeStats.syscallsAllowed;
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.60);
+}
+
+TEST(Machine, ProfiledTraceRunsWithoutDenials)
+{
+    // Profile and measurement share a seed: nothing may be denied.
+    ExperimentRunner runner;
+    AppProfiles profiles = makeAppProfiles(app("cassandra"), 7, 80000);
+    auto r = runner.run(app("cassandra"), profiles.complete,
+                        opts(Mechanism::DracoSW, 40000));
+    EXPECT_EQ(r.sw.denials, 0u);
+}
+
+TEST(Machine, MechanismNames)
+{
+    EXPECT_STREQ(mechanismName(Mechanism::Insecure), "insecure");
+    EXPECT_STREQ(mechanismName(Mechanism::Seccomp), "seccomp");
+    EXPECT_STREQ(mechanismName(Mechanism::DracoSW), "draco-sw");
+    EXPECT_STREQ(mechanismName(Mechanism::DracoHW), "draco-hw");
+}
+
+} // namespace
+} // namespace draco::sim

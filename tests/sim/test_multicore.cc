@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the shared-L3 multicore simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/multicore.hh"
+
+namespace draco::sim {
+namespace {
+
+CoreAssignment
+core(const char *name, Mechanism mech = Mechanism::DracoHW)
+{
+    return CoreAssignment{workload::workloadByName(name), mech, 1};
+}
+
+MulticoreOptions
+fastOptions()
+{
+    MulticoreOptions options;
+    options.callsPerCore = 8000;
+    options.warmupCallsPerCore = 4000;
+    options.seed = 7;
+    return options;
+}
+
+TEST(Multicore, SingleCoreMatchesShape)
+{
+    MulticoreSimulator sim;
+    auto results = sim.run({core("pipe-ipc")}, fastOptions());
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].workload, "pipe-ipc");
+    EXPECT_GE(results[0].normalized(), 1.0);
+    EXPECT_LT(results[0].normalized(), 1.08);
+}
+
+TEST(Multicore, ResultsInInputOrder)
+{
+    MulticoreSimulator sim;
+    auto results =
+        sim.run({core("nginx"), core("redis"), core("grep")},
+                fastOptions());
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].workload, "nginx");
+    EXPECT_EQ(results[1].workload, "redis");
+    EXPECT_EQ(results[2].workload, "grep");
+}
+
+TEST(Multicore, NeighboursNeverHelp)
+{
+    // Co-running with an L3-hungry neighbour can only hurt (or leave
+    // unchanged) a core's normalized time.
+    MulticoreSimulator sim;
+    auto solo = sim.run({core("nginx")}, fastOptions());
+    auto paired =
+        sim.run({core("nginx"), core("hpcc")}, fastOptions());
+    // hpcc touches ~1 MB per gap: real L3 pressure.
+    EXPECT_GE(paired[0].normalized(), solo[0].normalized() - 1e-9);
+}
+
+TEST(Multicore, MixedMechanismsRun)
+{
+    MulticoreSimulator sim;
+    auto results = sim.run({core("pipe-ipc", Mechanism::Seccomp),
+                            core("pipe-ipc", Mechanism::DracoSW),
+                            core("pipe-ipc", Mechanism::DracoHW),
+                            core("pipe-ipc", Mechanism::Insecure)},
+                           fastOptions());
+    ASSERT_EQ(results.size(), 4u);
+    double seccomp = results[0].normalized();
+    double dracoSw = results[1].normalized();
+    double dracoHw = results[2].normalized();
+    double insecure = results[3].normalized();
+    EXPECT_DOUBLE_EQ(insecure, 1.0);
+    EXPECT_GT(seccomp, dracoSw);
+    EXPECT_GT(dracoSw, dracoHw);
+}
+
+TEST(Multicore, Deterministic)
+{
+    MulticoreSimulator sim;
+    auto a = sim.run({core("redis"), core("mysql")}, fastOptions());
+    auto b = sim.run({core("redis"), core("mysql")}, fastOptions());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].totalNs, b[i].totalNs);
+}
+
+TEST(Multicore, HwStatsPopulated)
+{
+    MulticoreSimulator sim;
+    auto results = sim.run({core("nginx")}, fastOptions());
+    EXPECT_GT(results[0].hw.syscalls, 0u);
+    EXPECT_GT(results[0].slb.accesses, 0u);
+}
+
+TEST(MulticoreDeathTest, EmptyCoreListIsFatal)
+{
+    MulticoreSimulator sim;
+    EXPECT_EXIT(sim.run({}, fastOptions()), testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Cache, ExternalL3PressureEvictsThroughInclusion)
+{
+    CacheHierarchy cache(3);
+    cache.access(0x9000);
+    EXPECT_EQ(cache.access(0x9000).first, MemLevel::L1);
+    cache.externalL3Pressure(1ULL << 30); // certain eviction
+    EXPECT_EQ(cache.access(0x9000).first, MemLevel::Dram);
+}
+
+TEST(Cache, SmallExternalPressureMostlyHarmless)
+{
+    CacheHierarchy cache(5);
+    int survived = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        cache.flush();
+        cache.access(0xA000);
+        cache.externalL3Pressure(4096);
+        survived += cache.access(0xA000).first <= MemLevel::L3;
+    }
+    EXPECT_GT(survived, 45);
+}
+
+} // namespace
+} // namespace draco::sim

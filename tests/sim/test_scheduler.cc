@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the multi-process context-switch simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hh"
+
+namespace draco::sim {
+namespace {
+
+std::vector<const workload::AppModel *>
+twoApps()
+{
+    return {workload::workloadByName("pipe-ipc"),
+            workload::workloadByName("fifo-ipc")};
+}
+
+TEST(Scheduler, RunsAndCountsSwitches)
+{
+    MultiProcessSimulator sim;
+    SchedOptions options;
+    options.totalCalls = 30000;
+    options.quantumNs = 200000.0; // 0.2 ms
+    SchedResult r = sim.run(twoApps(), options);
+    EXPECT_EQ(r.syscalls, 30000u);
+    EXPECT_GT(r.contextSwitches, 10u);
+    EXPECT_EQ(r.hw.contextSwitches, r.contextSwitches);
+    EXPECT_GE(r.normalized(), 1.0);
+}
+
+TEST(Scheduler, SingleProcessNeverSwitchesState)
+{
+    MultiProcessSimulator sim;
+    SchedOptions options;
+    options.totalCalls = 10000;
+    options.quantumNs = 100000.0;
+    SchedResult r = sim.run({workload::workloadByName("pipe-ipc")},
+                            options);
+    // Rescheduling the same process keeps all Draco state (§VII-B):
+    // the engine performs no invalidating switches.
+    EXPECT_EQ(r.hw.contextSwitches, 0u);
+}
+
+TEST(Scheduler, SaveRestoreReducesOverhead)
+{
+    MultiProcessSimulator sim;
+    SchedOptions with;
+    with.totalCalls = 40000;
+    with.quantumNs = 50000.0; // frequent switches stress restart
+    with.sptSaveRestore = true;
+    SchedOptions without = with;
+    without.sptSaveRestore = false;
+
+    SchedResult a = sim.run(twoApps(), with);
+    SchedResult b = sim.run(twoApps(), without);
+    EXPECT_GT(a.hw.sptRestoredEntries, 0u);
+    EXPECT_EQ(b.hw.sptRestoredEntries, 0u);
+    EXPECT_LE(a.totalNs, b.totalNs * 1.001);
+}
+
+TEST(Scheduler, ShorterQuantumMoreSwitches)
+{
+    MultiProcessSimulator sim;
+    SchedOptions coarse;
+    coarse.totalCalls = 30000;
+    coarse.quantumNs = 1.0e6;
+    SchedOptions fine = coarse;
+    fine.quantumNs = 1.0e5;
+    SchedResult a = sim.run(twoApps(), coarse);
+    SchedResult b = sim.run(twoApps(), fine);
+    EXPECT_GT(b.contextSwitches, a.contextSwitches * 5);
+}
+
+TEST(Scheduler, OverheadStaysSmallAtMillisecondQuanta)
+{
+    // The paper's design goal: with realistic quanta, hardware Draco's
+    // restart cost is negligible.
+    MultiProcessSimulator sim;
+    SchedOptions options;
+    options.totalCalls = 40000;
+    options.quantumNs = 1.0e6;
+    SchedResult r = sim.run(twoApps(), options);
+    EXPECT_LT(r.normalized(), 1.05);
+}
+
+} // namespace
+} // namespace draco::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the RNG and samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/random.hh"
+
+namespace draco {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed)
+{
+    Rng rng(0);
+    std::set<uint64_t> values;
+    for (int i = 0; i < 100; ++i)
+        values.insert(rng.next());
+    EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly)
+{
+    Rng rng(11);
+    std::map<uint64_t, int> counts;
+    const int draws = 60000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBelow(6)];
+    ASSERT_EQ(counts.size(), 6u);
+    for (const auto &[v, c] : counts) {
+        EXPECT_GT(c, draws / 6 * 0.9);
+        EXPECT_LT(c, draws / 6 * 1.1);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(17);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t v = rng.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        sawLo |= v == 5;
+        sawHi |= v == 8;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(AliasSampler, SingleCategory)
+{
+    AliasSampler sampler({1.0});
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled)
+{
+    AliasSampler sampler({1.0, 0.0, 1.0});
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSampler, MatchesWeights)
+{
+    AliasSampler sampler({1.0, 2.0, 7.0});
+    Rng rng(5);
+    std::array<int, 3> counts{};
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.2, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.7, 0.02);
+}
+
+TEST(AliasSampler, UnnormalizedWeightsOk)
+{
+    AliasSampler a({0.25, 0.75});
+    AliasSampler b({25.0, 75.0});
+    Rng ra(7), rb(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.sample(ra), b.sample(rb));
+}
+
+TEST(ZipfSampler, SkewZeroIsUniform)
+{
+    ZipfSampler sampler(4, 0.0);
+    Rng rng(9);
+    std::array<int, 4> counts{};
+    const int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[sampler.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c / static_cast<double>(draws), 0.25, 0.02);
+}
+
+TEST(ZipfSampler, HigherSkewConcentratesOnRankZero)
+{
+    Rng r1(11), r2(11);
+    ZipfSampler flat(50, 0.5), steep(50, 2.0);
+    int flat0 = 0, steep0 = 0;
+    for (int i = 0; i < 20000; ++i) {
+        flat0 += flat.sample(r1) == 0;
+        steep0 += steep.sample(r2) == 0;
+    }
+    EXPECT_GT(steep0, flat0 * 2);
+}
+
+TEST(ZipfSampler, RanksWithinBounds)
+{
+    ZipfSampler sampler(13, 1.0);
+    Rng rng(15);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(sampler.sample(rng), 13u);
+}
+
+} // namespace
+} // namespace draco

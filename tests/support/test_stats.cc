@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hh"
+
+namespace draco {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStat, MinMaxTracking)
+{
+    RunningStat s;
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(10.0);
+    EXPECT_EQ(s.min(), -1.0);
+    EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStat, Geomean)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(4.0);
+    s.add(16.0);
+    EXPECT_NEAR(s.geomean(), 4.0, 1e-12);
+}
+
+TEST(RunningStat, GeomeanUndefinedWithNonPositive)
+{
+    RunningStat s;
+    s.add(2.0);
+    s.add(0.0);
+    EXPECT_EQ(s.geomean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);  // bucket 0
+    h.add(1.9);  // bucket 0
+    h.add(2.0);  // bucket 1
+    h.add(9.99); // bucket 4
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0);
+    h.add(55.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(QuantileSketch, EmptyIsZero)
+{
+    QuantileSketch q;
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, MedianAndExtremes)
+{
+    QuantileSketch q;
+    for (int i = 1; i <= 101; ++i)
+        q.add(i);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.5), 51.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 101.0);
+}
+
+TEST(QuantileSketch, InterpolatesBetweenSamples)
+{
+    QuantileSketch q;
+    q.add(0.0);
+    q.add(10.0);
+    EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.5);
+}
+
+TEST(QuantileSketch, AddAfterQueryStillSorted)
+{
+    QuantileSketch q;
+    q.add(5.0);
+    q.add(1.0);
+    EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+    q.add(0.5);
+    EXPECT_DOUBLE_EQ(q.quantile(0.0), 0.5);
+}
+
+TEST(ReuseDistance, FirstAccessHasNoDistance)
+{
+    ReuseDistanceTracker t;
+    t.access(1);
+    EXPECT_EQ(t.meanDistance(1), 0.0);
+}
+
+TEST(ReuseDistance, BackToBackIsZero)
+{
+    ReuseDistanceTracker t;
+    t.access(1);
+    t.access(1);
+    EXPECT_DOUBLE_EQ(t.meanDistance(1), 0.0);
+}
+
+TEST(ReuseDistance, CountsInterveningAccesses)
+{
+    ReuseDistanceTracker t;
+    t.access(1);
+    t.access(2);
+    t.access(3);
+    t.access(1); // two other accesses in between
+    EXPECT_DOUBLE_EQ(t.meanDistance(1), 2.0);
+}
+
+TEST(ReuseDistance, MeanOverMultipleReuses)
+{
+    ReuseDistanceTracker t;
+    t.access(7);
+    t.access(1);
+    t.access(7); // distance 1
+    t.access(7); // distance 0
+    EXPECT_DOUBLE_EQ(t.meanDistance(7), 0.5);
+}
+
+TEST(ReuseDistance, OverallMean)
+{
+    ReuseDistanceTracker t;
+    t.access(1);
+    t.access(2);
+    t.access(1); // distance 1
+    t.access(2); // distance 1
+    EXPECT_DOUBLE_EQ(t.overallMeanDistance(), 1.0);
+    EXPECT_EQ(t.accesses(), 4u);
+}
+
+TEST(FrequencyCounter, CountsAndTotals)
+{
+    FrequencyCounter f;
+    f.add(10);
+    f.add(10);
+    f.add(20);
+    EXPECT_EQ(f.count(10), 2u);
+    EXPECT_EQ(f.count(20), 1u);
+    EXPECT_EQ(f.count(99), 0u);
+    EXPECT_EQ(f.total(), 3u);
+    EXPECT_EQ(f.distinct(), 2u);
+}
+
+TEST(FrequencyCounter, SortedByCountDescThenKey)
+{
+    FrequencyCounter f;
+    f.add(5);
+    f.add(1);
+    f.add(1);
+    f.add(9);
+    auto sorted = f.sortedByCount();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].first, 1u);
+    EXPECT_EQ(sorted[1].first, 5u); // ties broken by ascending key
+    EXPECT_EQ(sorted[2].first, 9u);
+}
+
+} // namespace
+} // namespace draco

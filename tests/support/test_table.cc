@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for TextTable rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "support/table.hh"
+
+namespace draco {
+namespace {
+
+std::string
+render(const TextTable &table, bool csv)
+{
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *mem = open_memstream(&buf, &len);
+    if (csv)
+        table.printCsv(mem);
+    else
+        table.print(mem);
+    std::fclose(mem);
+    std::string out(buf, len);
+    free(buf);
+    return out;
+}
+
+TEST(TextTable, TitleAndHeaderAppear)
+{
+    TextTable t("My Title");
+    t.setHeader({"col_a", "col_b"});
+    t.addRow({"1", "2"});
+    std::string out = render(t, false);
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("col_a"), std::string::npos);
+    EXPECT_NE(out.find("col_b"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t("t");
+    t.setHeader({"name", "v"});
+    t.addRow({"longer-name", "1"});
+    t.addRow({"x", "2"});
+    std::string out = render(t, false);
+    // Both value columns should start at the same offset.
+    size_t line1 = out.find("longer-name");
+    size_t v1 = out.find('1', line1);
+    size_t line2 = out.find("x", v1);
+    size_t v2 = out.find('2', line2);
+    size_t col1 = v1 - out.rfind('\n', line1) - 1;
+    size_t col2 = v2 - out.rfind('\n', line2) - 1;
+    EXPECT_EQ(col1, col2);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t("t");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(render(t, true), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t("t");
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"a"});
+    t.addRow({"b"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeathTest, MismatchedRowWidthIsFatal)
+{
+    TextTable t("t");
+    t.setHeader({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace draco

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the workload model catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/syscalls.hh"
+#include "workload/appmodel.hh"
+
+namespace draco::workload {
+namespace {
+
+TEST(AppModel, FifteenWorkloads)
+{
+    EXPECT_EQ(macroWorkloads().size(), 8u);
+    EXPECT_EQ(microWorkloads().size(), 7u);
+    EXPECT_EQ(allWorkloads().size(), 15u);
+}
+
+TEST(AppModel, PaperWorkloadNamesPresent)
+{
+    for (const char *name :
+         {"httpd", "nginx", "elasticsearch", "mysql", "cassandra",
+          "redis", "grep", "pwgen", "sysbench-fio", "hpcc",
+          "unixbench-syscall", "fifo-ipc", "pipe-ipc", "domain-ipc",
+          "mq-ipc"}) {
+        EXPECT_NE(workloadByName(name), nullptr) << name;
+    }
+    EXPECT_EQ(workloadByName("not-a-workload"), nullptr);
+}
+
+TEST(AppModel, MacroMicroSplitMatchesNames)
+{
+    for (const auto &app : macroWorkloads())
+        EXPECT_TRUE(app.isMacro) << app.name;
+    for (const auto &app : microWorkloads())
+        EXPECT_FALSE(app.isMacro) << app.name;
+}
+
+TEST(AppModel, AllUsagesReferenceRealSyscalls)
+{
+    for (const auto &app : allWorkloads())
+        for (const auto &usage : app.usage)
+            EXPECT_NE(os::syscallById(usage.sid), nullptr)
+                << app.name << " sid " << usage.sid;
+}
+
+TEST(AppModel, SaneParameters)
+{
+    for (const auto &app : allWorkloads()) {
+        EXPECT_GT(app.userWorkMeanNs, 0.0) << app.name;
+        EXPECT_GT(app.totalWeight(), 0.0) << app.name;
+        EXPECT_FALSE(app.usage.empty()) << app.name;
+        for (const auto &usage : app.usage) {
+            EXPECT_GT(usage.weight, 0.0) << app.name;
+            EXPECT_GE(usage.argSets, 1u) << app.name;
+            EXPECT_GE(usage.pcSites, 1u) << app.name;
+            EXPECT_GE(usage.argZipf, 0.0) << app.name;
+        }
+    }
+}
+
+TEST(AppModel, NoDuplicateSyscallsWithinAnApp)
+{
+    for (const auto &app : allWorkloads()) {
+        std::set<uint16_t> sids;
+        for (const auto &usage : app.usage)
+            EXPECT_TRUE(sids.insert(usage.sid).second)
+                << app.name << " duplicates sid " << usage.sid;
+    }
+}
+
+TEST(AppModel, MicroBenchmarksAreSyscallDense)
+{
+    // The macro/micro overhead split of Fig. 2 requires micro
+    // benchmarks to issue syscalls far more densely than servers.
+    const AppModel *unixbench = workloadByName("unixbench-syscall");
+    const AppModel *grep = workloadByName("grep");
+    ASSERT_TRUE(unixbench && grep);
+    EXPECT_LT(unixbench->userWorkMeanNs * 10, grep->userWorkMeanNs);
+}
+
+TEST(AppModel, JvmWorkloadsAreFutexHeavy)
+{
+    for (const char *name : {"elasticsearch", "cassandra"}) {
+        const AppModel *app = workloadByName(name);
+        ASSERT_NE(app, nullptr);
+        double futexWeight = 0;
+        for (const auto &usage : app->usage)
+            if (usage.sid == os::sc::futex)
+                futexWeight = usage.weight;
+        EXPECT_GT(futexWeight / app->totalWeight(), 0.2) << name;
+    }
+}
+
+TEST(AppModel, TotalArgSetsAccumulates)
+{
+    AppModel m{"t", true, 1.0, 0.1, 0,
+               {{os::sc::read, 1.0, 3, 0.5, 1},
+                {os::sc::write, 1.0, 5, 0.5, 1}}};
+    EXPECT_EQ(m.totalArgSets(), 8u);
+}
+
+TEST(AppModel, IpcBenchmarksUseTheirTransport)
+{
+    auto usesSid = [](const AppModel *app, uint16_t sid) {
+        for (const auto &usage : app->usage)
+            if (usage.sid == sid)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(usesSid(workloadByName("mq-ipc"),
+                        os::sc::mq_timedsend));
+    EXPECT_TRUE(usesSid(workloadByName("domain-ipc"), os::sc::sendto));
+    EXPECT_TRUE(usesSid(workloadByName("pipe-ipc"), os::sc::read));
+}
+
+} // namespace
+} // namespace draco::workload

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "os/syscalls.hh"
+#include "workload/generator.hh"
+
+namespace draco::workload {
+namespace {
+
+const AppModel &
+model(const char *name)
+{
+    const AppModel *app = workloadByName(name);
+    EXPECT_NE(app, nullptr);
+    return *app;
+}
+
+TEST(Generator, DeterministicForEqualSeeds)
+{
+    TraceGenerator a(model("nginx"), 7), b(model("nginx"), 7);
+    for (int i = 0; i < 500; ++i) {
+        TraceEvent ea = a.next(), eb = b.next();
+        EXPECT_EQ(ea.req.sid, eb.req.sid);
+        EXPECT_EQ(ea.req.pc, eb.req.pc);
+        EXPECT_EQ(ea.req.args, eb.req.args);
+        EXPECT_DOUBLE_EQ(ea.userWorkNs, eb.userWorkNs);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    TraceGenerator a(model("nginx"), 1), b(model("nginx"), 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        same += a.next().req.sid == b.next().req.sid;
+    EXPECT_LT(same, 150);
+}
+
+TEST(Generator, OnlyModeledSyscallsEmitted)
+{
+    const AppModel &app = model("redis");
+    std::set<uint16_t> allowed;
+    for (const auto &usage : app.usage)
+        allowed.insert(usage.sid);
+    TraceGenerator gen(app, 3);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_TRUE(allowed.count(gen.next().req.sid));
+}
+
+TEST(Generator, MixRoughlyMatchesWeights)
+{
+    const AppModel &app = model("pipe-ipc");
+    TraceGenerator gen(app, 5);
+    std::map<uint16_t, int> counts;
+    const int draws = 30000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[gen.next().req.sid];
+    double total = app.totalWeight();
+    for (const auto &usage : app.usage) {
+        double expect = usage.weight / total;
+        double got = counts[usage.sid] / static_cast<double>(draws);
+        EXPECT_NEAR(got, expect, 0.02) << usage.sid;
+    }
+}
+
+TEST(Generator, EachPcMapsToOneSyscall)
+{
+    // The STB depends on a PC naming a unique syscall (§VI-B).
+    TraceGenerator gen(model("elasticsearch"), 11);
+    std::map<uint64_t, uint16_t> pcToSid;
+    for (int i = 0; i < 20000; ++i) {
+        os::SyscallRequest req = gen.next().req;
+        auto [it, inserted] = pcToSid.emplace(req.pc, req.sid);
+        EXPECT_EQ(it->second, req.sid) << "pc " << std::hex << req.pc;
+    }
+}
+
+TEST(Generator, DistinctTuplesPerUsage)
+{
+    SyscallUsage usage{os::sc::read, 1.0, 16, 0.5, 2};
+    std::set<std::pair<uint64_t, uint64_t>> tuples;
+    for (unsigned s = 0; s < 16; ++s) {
+        os::SyscallRequest req =
+            TraceGenerator::makeRequest(usage, s, 0x400000);
+        tuples.insert({req.args[0], req.args[2]}); // fd, count
+    }
+    EXPECT_EQ(tuples.size(), 16u);
+}
+
+TEST(Generator, PointerArgsVaryBetweenCalls)
+{
+    const AppModel &app = model("grep");
+    TraceGenerator gen(app, 13);
+    std::set<uint64_t> bufPtrs;
+    for (int i = 0; i < 4000; ++i) {
+        os::SyscallRequest req = gen.next().req;
+        if (req.sid == os::sc::read)
+            bufPtrs.insert(req.args[1]);
+    }
+    EXPECT_GT(bufPtrs.size(), 50u);
+}
+
+TEST(Generator, CheckedArgsMaskedToWidth)
+{
+    // A 4-byte argument must never carry bits above bit 31.
+    TraceGenerator gen(model("httpd"), 17);
+    for (int i = 0; i < 5000; ++i) {
+        os::SyscallRequest req = gen.next().req;
+        const auto *desc = os::syscallById(req.sid);
+        ASSERT_NE(desc, nullptr);
+        for (unsigned a = 0; a < desc->nargs; ++a) {
+            if (desc->argIsPointer(a))
+                continue;
+            if (desc->argBytes(a) == 4) {
+                EXPECT_EQ(req.args[a] >> 32, 0u)
+                    << desc->name << " arg " << a;
+            }
+        }
+    }
+}
+
+TEST(Generator, UserWorkPositiveAndNearMean)
+{
+    const AppModel &app = model("mysql");
+    TraceGenerator gen(app, 19);
+    double sum = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        double ns = gen.next().userWorkNs;
+        EXPECT_GT(ns, 0.0);
+        sum += ns;
+    }
+    EXPECT_NEAR(sum / draws, app.userWorkMeanNs,
+                app.userWorkMeanNs * 0.15);
+}
+
+TEST(Generator, PrologueStartsWithExecve)
+{
+    TraceGenerator gen(model("httpd"), 23);
+    Trace pro = gen.prologue();
+    ASSERT_FALSE(pro.empty());
+    EXPECT_EQ(pro.front().req.sid, os::sc::execve);
+}
+
+TEST(Generator, PrologueCoversRuntimeSet)
+{
+    TraceGenerator gen(model("httpd"), 23);
+    std::set<uint16_t> seen;
+    for (const auto &event : gen.prologue())
+        seen.insert(event.req.sid);
+    for (uint16_t sid : {os::sc::execve, os::sc::brk, os::sc::openat,
+                         os::sc::clone, os::sc::futex})
+        EXPECT_TRUE(seen.count(sid)) << sid;
+}
+
+TEST(Generator, GenerateCombinesPrologueAndSteady)
+{
+    TraceGenerator gen(model("pwgen"), 29);
+    Trace t = gen.generate(100);
+    TraceGenerator gen2(model("pwgen"), 29);
+    size_t prologueLen = gen2.prologue().size();
+    EXPECT_EQ(t.size(), prologueLen + 100);
+}
+
+TEST(Generator, BytesTouchedMatchesModel)
+{
+    const AppModel &app = model("hpcc");
+    TraceGenerator gen(app, 31);
+    EXPECT_EQ(gen.next().bytesTouched, app.bytesPerGap);
+}
+
+} // namespace
+} // namespace draco::workload

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hh"
+#include "workload/tracefile.hh"
+
+namespace draco::workload {
+namespace {
+
+Trace
+sampleTrace(size_t n = 50)
+{
+    const AppModel *app = workloadByName("nginx");
+    TraceGenerator gen(*app, 3);
+    return gen.generate(n);
+}
+
+TEST(TraceFile, RoundTripPreservesEverything)
+{
+    Trace original = sampleTrace();
+    std::stringstream buf;
+    writeTrace(original, buf);
+    std::string error;
+    Trace parsed = readTrace(buf, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(parsed[i].req.pc, original[i].req.pc) << i;
+        EXPECT_EQ(parsed[i].req.sid, original[i].req.sid) << i;
+        EXPECT_EQ(parsed[i].req.args, original[i].req.args) << i;
+        EXPECT_EQ(parsed[i].bytesTouched, original[i].bytesTouched) << i;
+        EXPECT_NEAR(parsed[i].userWorkNs, original[i].userWorkNs,
+                    0.001)
+            << i;
+    }
+}
+
+TEST(TraceFile, HeaderRequired)
+{
+    std::stringstream buf("0x400 0 0 0 0 0 0 0 1.0 0\n");
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceFile, CommentsAndBlanksIgnored)
+{
+    std::stringstream buf;
+    buf << kTraceMagic << "\n# comment\n\n"
+        << "0x400800 39 0 0 0 0 0 0 12.500 4096\n";
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].req.sid, 39);
+    EXPECT_DOUBLE_EQ(t[0].userWorkNs, 12.5);
+    EXPECT_EQ(t[0].bytesTouched, 4096u);
+}
+
+TEST(TraceFile, MalformedLineReported)
+{
+    std::stringstream buf;
+    buf << kTraceMagic << "\nnot an event\n";
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+}
+
+TEST(TraceFile, SidRangeChecked)
+{
+    std::stringstream buf;
+    buf << kTraceMagic << "\n0x400 99999 0 0 0 0 0 0 1.0 0\n";
+    std::string error;
+    readTrace(buf, &error);
+    EXPECT_NE(error.find("sid"), std::string::npos);
+}
+
+TEST(TraceFile, FileRoundTrip)
+{
+    Trace original = sampleTrace(20);
+    std::string path = testing::TempDir() + "draco_trace_test.txt";
+    writeTraceFile(original, path);
+    Trace parsed = readTraceFile(path);
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed[7].req.args, original[7].req.args);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips)
+{
+    std::stringstream buf;
+    writeTrace({}, buf);
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_TRUE(t.empty());
+}
+
+} // namespace
+} // namespace draco::workload
