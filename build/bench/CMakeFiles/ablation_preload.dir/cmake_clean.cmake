@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preload.dir/ablation_preload.cc.o"
+  "CMakeFiles/ablation_preload.dir/ablation_preload.cc.o.d"
+  "ablation_preload"
+  "ablation_preload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

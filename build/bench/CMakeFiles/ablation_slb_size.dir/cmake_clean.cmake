@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slb_size.dir/ablation_slb_size.cc.o"
+  "CMakeFiles/ablation_slb_size.dir/ablation_slb_size.cc.o.d"
+  "ablation_slb_size"
+  "ablation_slb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_smt.cc" "bench/CMakeFiles/ablation_smt.dir/ablation_smt.cc.o" "gcc" "bench/CMakeFiles/ablation_smt.dir/ablation_smt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/draco_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/draco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/draco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/draco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/draco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/seccomp/CMakeFiles/draco_seccomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/draco_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/draco_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/draco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

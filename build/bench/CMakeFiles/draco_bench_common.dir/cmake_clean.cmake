@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_bench_common.dir/common.cc.o"
+  "CMakeFiles/draco_bench_common.dir/common.cc.o.d"
+  "libdraco_bench_common.a"
+  "libdraco_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_seccomp_overhead.dir/fig02_seccomp_overhead.cc.o"
+  "CMakeFiles/fig02_seccomp_overhead.dir/fig02_seccomp_overhead.cc.o.d"
+  "fig02_seccomp_overhead"
+  "fig02_seccomp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_seccomp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

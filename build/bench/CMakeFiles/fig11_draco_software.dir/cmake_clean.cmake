@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_draco_software.dir/fig11_draco_software.cc.o"
+  "CMakeFiles/fig11_draco_software.dir/fig11_draco_software.cc.o.d"
+  "fig11_draco_software"
+  "fig11_draco_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_draco_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_draco_software.
+# This may be replaced when dependencies are built.

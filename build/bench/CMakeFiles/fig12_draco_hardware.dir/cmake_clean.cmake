@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_draco_hardware.dir/fig12_draco_hardware.cc.o"
+  "CMakeFiles/fig12_draco_hardware.dir/fig12_draco_hardware.cc.o.d"
+  "fig12_draco_hardware"
+  "fig12_draco_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_draco_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_arg_counts.dir/fig14_arg_counts.cc.o"
+  "CMakeFiles/fig14_arg_counts.dir/fig14_arg_counts.cc.o.d"
+  "fig14_arg_counts"
+  "fig14_arg_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_arg_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_profile_security.dir/fig15_profile_security.cc.o"
+  "CMakeFiles/fig15_profile_security.dir/fig15_profile_security.cc.o.d"
+  "fig15_profile_security"
+  "fig15_profile_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_profile_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

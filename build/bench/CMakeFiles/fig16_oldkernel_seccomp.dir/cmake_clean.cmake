@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_oldkernel_seccomp.dir/fig16_oldkernel_seccomp.cc.o"
+  "CMakeFiles/fig16_oldkernel_seccomp.dir/fig16_oldkernel_seccomp.cc.o.d"
+  "fig16_oldkernel_seccomp"
+  "fig16_oldkernel_seccomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_oldkernel_seccomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_oldkernel_seccomp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_oldkernel_draco.dir/fig17_oldkernel_draco.cc.o"
+  "CMakeFiles/fig17_oldkernel_draco.dir/fig17_oldkernel_draco.cc.o.d"
+  "fig17_oldkernel_draco"
+  "fig17_oldkernel_draco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_oldkernel_draco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_consolidation.dir/multicore_consolidation.cc.o"
+  "CMakeFiles/multicore_consolidation.dir/multicore_consolidation.cc.o.d"
+  "multicore_consolidation"
+  "multicore_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

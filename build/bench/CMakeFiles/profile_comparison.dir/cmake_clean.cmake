@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_comparison.dir/profile_comparison.cc.o"
+  "CMakeFiles/profile_comparison.dir/profile_comparison.cc.o.d"
+  "profile_comparison"
+  "profile_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flows.dir/table1_flows.cc.o"
+  "CMakeFiles/table1_flows.dir/table1_flows.cc.o.d"
+  "table1_flows"
+  "table1_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vat_footprint.dir/vat_footprint.cc.o"
+  "CMakeFiles/vat_footprint.dir/vat_footprint.cc.o.d"
+  "vat_footprint"
+  "vat_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vat_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vat_footprint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_webserver.dir/container_webserver.cpp.o"
+  "CMakeFiles/container_webserver.dir/container_webserver.cpp.o.d"
+  "container_webserver"
+  "container_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

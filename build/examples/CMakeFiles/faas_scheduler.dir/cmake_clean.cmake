@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_scheduler.dir/faas_scheduler.cpp.o"
+  "CMakeFiles/faas_scheduler.dir/faas_scheduler.cpp.o.d"
+  "faas_scheduler"
+  "faas_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkspec.cc" "src/core/CMakeFiles/draco_core.dir/checkspec.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/checkspec.cc.o.d"
+  "/root/repo/src/core/hw_engine.cc" "src/core/CMakeFiles/draco_core.dir/hw_engine.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/hw_engine.cc.o.d"
+  "/root/repo/src/core/hw_structures.cc" "src/core/CMakeFiles/draco_core.dir/hw_structures.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/hw_structures.cc.o.d"
+  "/root/repo/src/core/smt.cc" "src/core/CMakeFiles/draco_core.dir/smt.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/smt.cc.o.d"
+  "/root/repo/src/core/software.cc" "src/core/CMakeFiles/draco_core.dir/software.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/software.cc.o.d"
+  "/root/repo/src/core/vat.cc" "src/core/CMakeFiles/draco_core.dir/vat.cc.o" "gcc" "src/core/CMakeFiles/draco_core.dir/vat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seccomp/CMakeFiles/draco_seccomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/draco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/draco_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/draco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_core.dir/checkspec.cc.o"
+  "CMakeFiles/draco_core.dir/checkspec.cc.o.d"
+  "CMakeFiles/draco_core.dir/hw_engine.cc.o"
+  "CMakeFiles/draco_core.dir/hw_engine.cc.o.d"
+  "CMakeFiles/draco_core.dir/hw_structures.cc.o"
+  "CMakeFiles/draco_core.dir/hw_structures.cc.o.d"
+  "CMakeFiles/draco_core.dir/smt.cc.o"
+  "CMakeFiles/draco_core.dir/smt.cc.o.d"
+  "CMakeFiles/draco_core.dir/software.cc.o"
+  "CMakeFiles/draco_core.dir/software.cc.o.d"
+  "CMakeFiles/draco_core.dir/vat.cc.o"
+  "CMakeFiles/draco_core.dir/vat.cc.o.d"
+  "libdraco_core.a"
+  "libdraco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_hash.dir/crc64.cc.o"
+  "CMakeFiles/draco_hash.dir/crc64.cc.o.d"
+  "libdraco_hash.a"
+  "libdraco_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

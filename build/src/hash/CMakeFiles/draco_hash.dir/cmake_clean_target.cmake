@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdraco_hash.a"
+)

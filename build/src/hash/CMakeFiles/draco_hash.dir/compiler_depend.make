@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for draco_hash.
+# This may be replaced when dependencies are built.

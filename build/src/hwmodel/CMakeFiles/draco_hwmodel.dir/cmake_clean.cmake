@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_hwmodel.dir/draco_costs.cc.o"
+  "CMakeFiles/draco_hwmodel.dir/draco_costs.cc.o.d"
+  "CMakeFiles/draco_hwmodel.dir/sram.cc.o"
+  "CMakeFiles/draco_hwmodel.dir/sram.cc.o.d"
+  "libdraco_hwmodel.a"
+  "libdraco_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernelcosts.cc" "src/os/CMakeFiles/draco_os.dir/kernelcosts.cc.o" "gcc" "src/os/CMakeFiles/draco_os.dir/kernelcosts.cc.o.d"
+  "/root/repo/src/os/regmap.cc" "src/os/CMakeFiles/draco_os.dir/regmap.cc.o" "gcc" "src/os/CMakeFiles/draco_os.dir/regmap.cc.o.d"
+  "/root/repo/src/os/syscalls.cc" "src/os/CMakeFiles/draco_os.dir/syscalls.cc.o" "gcc" "src/os/CMakeFiles/draco_os.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/draco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

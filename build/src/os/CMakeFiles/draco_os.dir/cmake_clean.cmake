@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_os.dir/kernelcosts.cc.o"
+  "CMakeFiles/draco_os.dir/kernelcosts.cc.o.d"
+  "CMakeFiles/draco_os.dir/regmap.cc.o"
+  "CMakeFiles/draco_os.dir/regmap.cc.o.d"
+  "CMakeFiles/draco_os.dir/syscalls.cc.o"
+  "CMakeFiles/draco_os.dir/syscalls.cc.o.d"
+  "libdraco_os.a"
+  "libdraco_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

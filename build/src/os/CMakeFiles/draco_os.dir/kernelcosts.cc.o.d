@@ -1,0 +1,3 @@
+src/os/CMakeFiles/draco_os.dir/kernelcosts.cc.o: \
+ /root/repo/src/os/kernelcosts.cc /usr/include/stdc-predef.h \
+ /root/repo/src/os/kernelcosts.hh

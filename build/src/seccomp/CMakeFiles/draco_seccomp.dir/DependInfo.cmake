@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seccomp/bpf.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/bpf.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/bpf.cc.o.d"
+  "/root/repo/src/seccomp/filter_builder.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/filter_builder.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/filter_builder.cc.o.d"
+  "/root/repo/src/seccomp/profile.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile.cc.o.d"
+  "/root/repo/src/seccomp/profile_gen.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile_gen.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile_gen.cc.o.d"
+  "/root/repo/src/seccomp/profile_io.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile_io.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profile_io.cc.o.d"
+  "/root/repo/src/seccomp/profiles_builtin.cc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profiles_builtin.cc.o" "gcc" "src/seccomp/CMakeFiles/draco_seccomp.dir/profiles_builtin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/draco_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/draco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

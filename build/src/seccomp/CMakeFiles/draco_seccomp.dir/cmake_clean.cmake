@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_seccomp.dir/bpf.cc.o"
+  "CMakeFiles/draco_seccomp.dir/bpf.cc.o.d"
+  "CMakeFiles/draco_seccomp.dir/filter_builder.cc.o"
+  "CMakeFiles/draco_seccomp.dir/filter_builder.cc.o.d"
+  "CMakeFiles/draco_seccomp.dir/profile.cc.o"
+  "CMakeFiles/draco_seccomp.dir/profile.cc.o.d"
+  "CMakeFiles/draco_seccomp.dir/profile_gen.cc.o"
+  "CMakeFiles/draco_seccomp.dir/profile_gen.cc.o.d"
+  "CMakeFiles/draco_seccomp.dir/profile_io.cc.o"
+  "CMakeFiles/draco_seccomp.dir/profile_io.cc.o.d"
+  "CMakeFiles/draco_seccomp.dir/profiles_builtin.cc.o"
+  "CMakeFiles/draco_seccomp.dir/profiles_builtin.cc.o.d"
+  "libdraco_seccomp.a"
+  "libdraco_seccomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_seccomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

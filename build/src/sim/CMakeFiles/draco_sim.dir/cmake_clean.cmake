@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_sim.dir/cache.cc.o"
+  "CMakeFiles/draco_sim.dir/cache.cc.o.d"
+  "CMakeFiles/draco_sim.dir/machine.cc.o"
+  "CMakeFiles/draco_sim.dir/machine.cc.o.d"
+  "CMakeFiles/draco_sim.dir/multicore.cc.o"
+  "CMakeFiles/draco_sim.dir/multicore.cc.o.d"
+  "CMakeFiles/draco_sim.dir/scheduler.cc.o"
+  "CMakeFiles/draco_sim.dir/scheduler.cc.o.d"
+  "libdraco_sim.a"
+  "libdraco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_support.dir/logging.cc.o"
+  "CMakeFiles/draco_support.dir/logging.cc.o.d"
+  "CMakeFiles/draco_support.dir/random.cc.o"
+  "CMakeFiles/draco_support.dir/random.cc.o.d"
+  "CMakeFiles/draco_support.dir/stats.cc.o"
+  "CMakeFiles/draco_support.dir/stats.cc.o.d"
+  "CMakeFiles/draco_support.dir/table.cc.o"
+  "CMakeFiles/draco_support.dir/table.cc.o.d"
+  "libdraco_support.a"
+  "libdraco_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

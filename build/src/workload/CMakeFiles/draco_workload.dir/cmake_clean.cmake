@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draco_workload.dir/appmodel.cc.o"
+  "CMakeFiles/draco_workload.dir/appmodel.cc.o.d"
+  "CMakeFiles/draco_workload.dir/generator.cc.o"
+  "CMakeFiles/draco_workload.dir/generator.cc.o.d"
+  "CMakeFiles/draco_workload.dir/tracefile.cc.o"
+  "CMakeFiles/draco_workload.dir/tracefile.cc.o.d"
+  "libdraco_workload.a"
+  "libdraco_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draco_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_checkspec.cc.o"
+  "CMakeFiles/test_core.dir/core/test_checkspec.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hw_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hw_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hw_structures.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hw_structures.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_smt.cc.o"
+  "CMakeFiles/test_core.dir/core/test_smt.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_software.cc.o"
+  "CMakeFiles/test_core.dir/core/test_software.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_vat.cc.o"
+  "CMakeFiles/test_core.dir/core/test_vat.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/hash/test_crc64.cc.o"
+  "CMakeFiles/test_hash.dir/hash/test_crc64.cc.o.d"
+  "CMakeFiles/test_hash.dir/hash/test_cuckoo.cc.o"
+  "CMakeFiles/test_hash.dir/hash/test_cuckoo.cc.o.d"
+  "test_hash"
+  "test_hash.pdb"
+  "test_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seccomp/test_bpf.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_bpf.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_bpf.cc.o.d"
+  "/root/repo/tests/seccomp/test_bpf_fuzz.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_bpf_fuzz.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_bpf_fuzz.cc.o.d"
+  "/root/repo/tests/seccomp/test_filter_builder.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_filter_builder.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_filter_builder.cc.o.d"
+  "/root/repo/tests/seccomp/test_filter_chain.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_filter_chain.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_filter_chain.cc.o.d"
+  "/root/repo/tests/seccomp/test_profile_gen.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profile_gen.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profile_gen.cc.o.d"
+  "/root/repo/tests/seccomp/test_profile_io.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profile_io.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profile_io.cc.o.d"
+  "/root/repo/tests/seccomp/test_profiles.cc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profiles.cc.o" "gcc" "tests/CMakeFiles/test_seccomp.dir/seccomp/test_profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/draco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/draco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/draco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/draco_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/seccomp/CMakeFiles/draco_seccomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/draco_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/draco_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/draco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seccomp.dir/seccomp/test_bpf.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_bpf.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_bpf_fuzz.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_bpf_fuzz.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_filter_builder.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_filter_builder.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_filter_chain.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_filter_chain.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profile_gen.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profile_gen.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profile_io.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profile_io.cc.o.d"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profiles.cc.o"
+  "CMakeFiles/test_seccomp.dir/seccomp/test_profiles.cc.o.d"
+  "test_seccomp"
+  "test_seccomp.pdb"
+  "test_seccomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seccomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
