@@ -34,8 +34,9 @@ meanFilterInsns(const seccomp::FilterChain &chain,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_binary_tree", argc, argv);
     ProfileCache cache;
     seccomp::Profile docker = seccomp::dockerDefaultProfile();
 
@@ -59,8 +60,12 @@ main()
         std::vector<std::string> row = {name};
         for (const auto &shape : shapes) {
             auto chain = seccomp::buildFilterChain(docker, shape.shape);
-            row.push_back(
-                TextTable::num(meanFilterInsns(chain, *app), 1));
+            double insns = meanFilterInsns(chain, *app);
+            row.push_back(TextTable::num(insns, 1));
+            report.registry().setGauge(
+                "insns." + MetricRegistry::sanitize(shape.name) + "." +
+                    MetricRegistry::sanitize(name),
+                insns);
         }
         insnTable.addRow(row);
     }
@@ -77,11 +82,15 @@ main()
         options.steadyCalls = benchCalls();
         options.seed = kBenchSeed;
         sim::ExperimentRunner runner;
-        double newK = runner.run(*app, docker, options).normalized();
+        sim::RunResult newRun = runner.run(*app, docker, options);
         options.costs = &os::oldKernelCosts();
-        double oldK = runner.run(*app, docker, options).normalized();
-        ovTable.addRow({shape.name, TextTable::num(newK, 3),
-                        TextTable::num(oldK, 3)});
+        sim::RunResult oldRun = runner.run(*app, docker, options);
+        ovTable.addRow({shape.name,
+                        TextTable::num(newRun.normalized(), 3),
+                        TextTable::num(oldRun.normalized(), 3)});
+        std::string shapeSeg = MetricRegistry::sanitize(shape.name);
+        report.record(shapeSeg + ".new_kernel", newRun);
+        report.record(shapeSeg + ".old_kernel", oldRun);
     }
     ovTable.print();
 

@@ -15,8 +15,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_ctxswitch", argc, argv);
     std::vector<const workload::AppModel *> procs = {
         workload::workloadByName("nginx"),
         workload::workloadByName("redis"),
@@ -37,6 +38,20 @@ main()
             options.seed = kBenchSeed;
             sim::MultiProcessSimulator sim;
             sim::SchedResult r = sim.run(procs, options);
+
+            std::string prefix = "runs.quantum_us_" +
+                std::to_string(static_cast<unsigned>(quantumUs)) +
+                (saveRestore ? ".save_restore_on"
+                             : ".save_restore_off");
+            auto &reg = report.registry();
+            reg.setCounter(
+                MetricRegistry::join(prefix, "context_switches"),
+                r.contextSwitches);
+            reg.setGauge(MetricRegistry::join(prefix, "normalized"),
+                         r.normalized());
+            core::exportStats(r.hw, reg,
+                              MetricRegistry::join(prefix, "hw"));
+
             table.addRow({
                 TextTable::num(quantumUs, 0),
                 saveRestore ? "on" : "off",

@@ -11,8 +11,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_preload", argc, argv);
     ProfileCache cache;
 
     TextTable table("SLB preloading ablation (hardware Draco, "
@@ -31,6 +32,10 @@ main()
         sim::RunResult with = runner.run(*app, profile, options);
         options.hwPreload = false;
         sim::RunResult without = runner.run(*app, profile, options);
+
+        std::string appSeg = MetricRegistry::sanitize(app->name);
+        report.record("preload_on." + appSeg, with);
+        report.record("preload_off." + appSeg, without);
 
         table.addRow({
             app->name,

@@ -37,8 +37,9 @@ scaledGeometry(double scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_slb_size", argc, argv);
     ProfileCache cache;
     const double scales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
     const char *apps[] = {"elasticsearch", "redis", "httpd", "mysql",
@@ -61,6 +62,11 @@ main()
             sim::ExperimentRunner runner;
             sim::RunResult r =
                 runner.run(*app, cache.get(*app).complete, options);
+            report.record("scale_" +
+                              MetricRegistry::sanitize(
+                                  TextTable::num(scale, 2)) +
+                              "." + MetricRegistry::sanitize(name),
+                          r);
             table.addRow({
                 TextTable::num(scale, 2),
                 name,

@@ -15,8 +15,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_smt", argc, argv);
     ProfileCache cache;
 
     TextTable table("SMT partitioning ablation (hit rates on one "
@@ -52,6 +53,12 @@ main()
                 : 0.0;
             uint64_t fast = hw.flows[0] + hw.flows[1] + hw.flows[3] +
                 hw.flows[5];
+
+            std::string prefix = "runs." +
+                MetricRegistry::sanitize(name) + ".contexts_" +
+                std::to_string(contexts);
+            engine.exportMetrics(report.registry(), prefix);
+
             table.addRow({
                 name,
                 std::to_string(contexts),

@@ -1,5 +1,6 @@
 #include "common.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace draco::bench {
@@ -31,6 +32,53 @@ profileKindName(ProfileKind kind)
       case ProfileKind::Complete2x: return "syscall-complete-2x";
     }
     return "?";
+}
+
+BenchReport::BenchReport(const std::string &name, int argc, char **argv)
+    : _name(name)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            _path = argv[i + 1];
+            break;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            _path = arg.substr(7);
+            break;
+        }
+    }
+    if (_path.empty()) {
+        if (const char *dir = std::getenv("DRACO_BENCH_JSON"); dir && *dir)
+            _path = std::string(dir) + "/BENCH_" + _name + ".json";
+    }
+    _registry.setText("bench.name", _name);
+    _registry.setCounter("bench.schema_version", 1);
+    _registry.setCounter("bench.calls", benchCalls());
+    _registry.setCounter("bench.seed", kBenchSeed);
+}
+
+BenchReport::~BenchReport()
+{
+    write();
+}
+
+void
+BenchReport::record(const std::string &prefix,
+                    const sim::RunResult &result)
+{
+    result.exportMetrics(_registry,
+                         MetricRegistry::join("runs", prefix));
+}
+
+void
+BenchReport::write()
+{
+    if (_path.empty() || _written)
+        return;
+    _registry.writeJsonFile(_path);
+    std::printf("\nwrote %s\n", _path.c_str());
+    _written = true;
 }
 
 const sim::AppProfiles &
@@ -102,7 +150,9 @@ printNormalizedFigure(
     const std::string &title,
     const std::vector<std::pair<
         std::string,
-        std::function<double(const workload::AppModel &)>>> &columns)
+        std::function<sim::RunResult(const workload::AppModel &)>>>
+        &columns,
+    BenchReport *report)
 {
     TextTable table(title);
     std::vector<std::string> header = {"workload"};
@@ -116,9 +166,17 @@ printNormalizedFigure(
     for (const auto *app : benchWorkloads()) {
         std::vector<std::string> row = {app->name};
         for (size_t c = 0; c < columns.size(); ++c) {
-            double v = columns[c].second(*app);
+            sim::RunResult result = columns[c].second(*app);
+            double v = result.normalized();
             (app->isMacro ? macroStats[c] : microStats[c]).add(v);
             row.push_back(TextTable::num(v, 3));
+            if (report) {
+                report->record(
+                    MetricRegistry::join(
+                        MetricRegistry::sanitize(columns[c].first),
+                        MetricRegistry::sanitize(app->name)),
+                    result);
+            }
         }
         table.addRow(row);
     }
@@ -132,6 +190,19 @@ printNormalizedFigure(
     };
     addAverage("average-macro", macroStats);
     addAverage("average-micro", microStats);
+
+    if (report) {
+        for (size_t c = 0; c < columns.size(); ++c) {
+            std::string col = MetricRegistry::join(
+                "figure", MetricRegistry::sanitize(columns[c].first));
+            report->registry().setGauge(
+                MetricRegistry::join(col, "average_macro"),
+                macroStats[c].mean());
+            report->registry().setGauge(
+                MetricRegistry::join(col, "average_micro"),
+                microStats[c].mean());
+        }
+    }
 
     table.print();
 }

@@ -54,6 +54,60 @@ class ProfileCache
 };
 
 /**
+ * JSON artifact sink for one bench binary.
+ *
+ * Every binary constructs one BenchReport from its argv; experiments
+ * record their RunResults (and any extra metrics) into the report's
+ * MetricRegistry under hierarchical names, and the destructor writes
+ * the registry as `BENCH_<name>.json` when an output location was
+ * requested:
+ *
+ *  - `--json <path>` (or `--json=<path>`) writes to exactly @p path;
+ *  - otherwise, env `DRACO_BENCH_JSON=<dir>` writes
+ *    `<dir>/BENCH_<name>.json` (`.` for the working directory);
+ *  - otherwise nothing is written and the binary only prints tables.
+ *
+ * The schema is documented in DESIGN.md §7. Recording happens even
+ * when no path was requested, so tests can inspect the registry.
+ */
+class BenchReport
+{
+  public:
+    /**
+     * @param name Artifact name; becomes `BENCH_<name>.json`.
+     * @param argc Binary's argc (scanned for `--json`).
+     * @param argv Binary's argv.
+     */
+    BenchReport(const std::string &name, int argc = 0,
+                char **argv = nullptr);
+
+    /** Writes the artifact when one was requested and not yet written. */
+    ~BenchReport();
+
+    /** @return The registry metrics are recorded into. */
+    MetricRegistry &registry() { return _registry; }
+
+    /** @return true when a JSON output path was requested. */
+    bool enabled() const { return !_path.empty(); }
+
+    /** @return The resolved output path ("" when disabled). */
+    const std::string &path() const { return _path; }
+
+    /** Record @p result under `runs.<prefix>`. */
+    void record(const std::string &prefix,
+                const sim::RunResult &result);
+
+    /** Serialize now (idempotent; no-op when disabled). */
+    void write();
+
+  private:
+    std::string _name;
+    std::string _path;
+    MetricRegistry _registry;
+    bool _written = false;
+};
+
+/**
  * Run one (workload, profile kind, mechanism) experiment with the bench
  * defaults.
  *
@@ -77,14 +131,19 @@ const std::vector<const workload::AppModel *> &benchWorkloads();
  * macro/micro averages, one column per configuration.
  *
  * @param title Table title.
- * @param columns Column label and a producer returning the normalized
- *        execution time for a workload.
+ * @param columns Column label and a producer returning the full run
+ *        result for a workload; the table shows its normalized time.
+ * @param report Optional sink: each result is recorded under
+ *        `runs.<column>.<workload>` and the column averages under
+ *        `figure.<column>.average_{macro,micro}`.
  */
 void printNormalizedFigure(
     const std::string &title,
     const std::vector<std::pair<
         std::string,
-        std::function<double(const workload::AppModel &)>>> &columns);
+        std::function<sim::RunResult(const workload::AppModel &)>>>
+        &columns,
+    BenchReport *report = nullptr);
 
 } // namespace draco::bench
 

@@ -14,8 +14,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig02_seccomp_overhead", argc, argv);
     ProfileCache cache;
 
     auto column = [&](ProfileKind kind) {
@@ -23,7 +24,7 @@ main()
             sim::Mechanism mech = kind == ProfileKind::Insecure
                 ? sim::Mechanism::Insecure
                 : sim::Mechanism::Seccomp;
-            return runExperiment(app, kind, mech, cache).normalized();
+            return runExperiment(app, kind, mech, cache);
         };
     };
 
@@ -36,6 +37,7 @@ main()
             {"syscall-noargs", column(ProfileKind::Noargs)},
             {"syscall-complete", column(ProfileKind::Complete)},
             {"syscall-complete-2x", column(ProfileKind::Complete2x)},
-        });
+        },
+        &report);
     return 0;
 }

@@ -29,8 +29,9 @@ pairKey(uint16_t sid, const core::ArgKey &key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig03_locality", argc, argv);
     FrequencyCounter sidCounts;
     std::map<uint16_t, FrequencyCounter> argsetCounts;
     ReuseDistanceTracker reuse;
@@ -79,6 +80,20 @@ main()
             top[s] = static_cast<double>(setSorted[s].second) / count;
         double other = 1.0 - top[0] - top[1] - top[2];
 
+        std::string sidPrefix = MetricRegistry::join(
+            "figure.syscalls",
+            MetricRegistry::sanitize(
+                os::syscallById(static_cast<uint16_t>(sid))->name));
+        report.registry().setGauge(
+            MetricRegistry::join(sidPrefix, "fraction"), fraction);
+        report.registry().setCounter(
+            MetricRegistry::join(sidPrefix, "distinct_sets"),
+            sets.distinct());
+        report.registry().setGauge(
+            MetricRegistry::join(sidPrefix, "reuse_distance"),
+            perSidReuse[static_cast<uint16_t>(sid)]
+                .overallMeanDistance());
+
         table.addRow({
             os::syscallById(static_cast<uint16_t>(sid))->name,
             TextTable::num(fraction, 4),
@@ -100,5 +115,9 @@ main()
                 shown, covered * 100.0);
     std::printf("overall mean (ID, argset) reuse distance: %.1f calls\n",
                 reuse.overallMeanDistance());
+
+    report.registry().setGauge("figure.top_syscall_coverage", covered);
+    report.registry().setGauge("figure.mean_reuse_distance",
+                               reuse.overallMeanDistance());
     return 0;
 }

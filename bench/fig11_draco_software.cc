@@ -15,13 +15,14 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig11_draco_software", argc, argv);
     ProfileCache cache;
 
     auto column = [&](ProfileKind kind, sim::Mechanism mech) {
         return [&, kind, mech](const workload::AppModel &app) {
-            return runExperiment(app, kind, mech, cache).normalized();
+            return runExperiment(app, kind, mech, cache);
         };
     };
 
@@ -40,6 +41,7 @@ main()
              column(ProfileKind::Complete2x, M::Seccomp)},
             {"complete-2x(DracoSW)",
              column(ProfileKind::Complete2x, M::DracoSW)},
-        });
+        },
+        &report);
     return 0;
 }

@@ -13,8 +13,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig12_draco_hardware", argc, argv);
     ProfileCache cache;
 
     auto column = [&](ProfileKind kind) {
@@ -22,7 +23,7 @@ main()
             sim::Mechanism mech = kind == ProfileKind::Insecure
                 ? sim::Mechanism::Insecure
                 : sim::Mechanism::DracoHW;
-            return runExperiment(app, kind, mech, cache).normalized();
+            return runExperiment(app, kind, mech, cache);
         };
     };
 
@@ -33,6 +34,7 @@ main()
             {"noargs(DracoHW)", column(ProfileKind::Noargs)},
             {"complete(DracoHW)", column(ProfileKind::Complete)},
             {"complete-2x(DracoHW)", column(ProfileKind::Complete2x)},
-        });
+        },
+        &report);
     return 0;
 }

@@ -15,8 +15,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig13_hit_rates", argc, argv);
     ProfileCache cache;
 
     TextTable table("Figure 13: hit rates of STB and SLB (percent; "
@@ -36,6 +37,7 @@ main()
             : 0.0;
 
         (app->isMacro ? stbMacro : stbMicro).add(r.stbHitRate());
+        report.record(MetricRegistry::sanitize(app->name), r);
         table.addRow({
             app->name,
             TextTable::num(r.stbHitRate() * 100.0, 1),
@@ -49,5 +51,10 @@ main()
     std::printf("mean STB hit rate: macro %.1f%%, micro %.1f%% "
                 "(paper: >93%% except elasticsearch/redis)\n",
                 stbMacro.mean() * 100.0, stbMicro.mean() * 100.0);
+
+    report.registry().setGauge("figure.stb_hit_rate.average_macro",
+                               stbMacro.mean());
+    report.registry().setGauge("figure.stb_hit_rate.average_micro",
+                               stbMicro.mean());
     return 0;
 }

@@ -18,7 +18,8 @@ using namespace draco::bench;
 namespace {
 
 void
-addDistributionRow(TextTable &table, const std::string &name,
+addDistributionRow(TextTable &table, BenchReport &report,
+                   const std::string &name,
                    const std::vector<unsigned> &argCounts)
 {
     std::array<unsigned, 7> hist{};
@@ -28,17 +29,28 @@ addDistributionRow(TextTable &table, const std::string &name,
         sketch.add(c);
     }
     std::vector<std::string> row = {name};
-    for (unsigned c = 0; c <= 6; ++c)
+    std::string prefix = MetricRegistry::join(
+        "figure", MetricRegistry::sanitize(name));
+    for (unsigned c = 0; c <= 6; ++c) {
         row.push_back(std::to_string(hist[c]));
+        report.registry().setCounter(
+            MetricRegistry::join(prefix,
+                                 "args_" + std::to_string(c)),
+            hist[c]);
+    }
     row.push_back(TextTable::num(sketch.quantile(0.5), 1));
+    report.registry().setGauge(
+        MetricRegistry::join(prefix, "median_args"),
+        sketch.quantile(0.5));
     table.addRow(row);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig14_arg_counts", argc, argv);
     ProfileCache cache;
 
     TextTable table(
@@ -51,7 +63,7 @@ main()
     std::vector<unsigned> linuxCounts;
     for (const auto &desc : os::syscallTable())
         linuxCounts.push_back(desc.checkedArgCount());
-    addDistributionRow(table, "linux", linuxCounts);
+    addDistributionRow(table, report, "linux", linuxCounts);
 
     for (const auto *app : benchWorkloads()) {
         const auto &profile = cache.get(*app).complete;
@@ -61,7 +73,7 @@ main()
             counts.push_back(spec.checksArguments() ? spec.argCount()
                                                     : 0);
         }
-        addDistributionRow(table, app->name, counts);
+        addDistributionRow(table, report, app->name, counts);
     }
     table.print();
     return 0;

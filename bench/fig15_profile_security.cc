@@ -17,8 +17,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig15_profile_security", argc, argv);
     ProfileCache cache;
 
     TextTable a("Figure 15a: number of system calls allowed");
@@ -56,6 +57,18 @@ main()
         maxValues = std::max(maxValues, stats.valuesAllowed);
         b.addRow({app->name, std::to_string(stats.argsChecked),
                   std::to_string(stats.valuesAllowed)});
+
+        std::string prefix = MetricRegistry::join(
+            "figure", MetricRegistry::sanitize(app->name));
+        report.registry().setCounter(
+            MetricRegistry::join(prefix, "syscalls_allowed"),
+            stats.syscallsAllowed);
+        report.registry().setCounter(
+            MetricRegistry::join(prefix, "args_checked"),
+            stats.argsChecked);
+        report.registry().setCounter(
+            MetricRegistry::join(prefix, "values_allowed"),
+            stats.valuesAllowed);
     }
     b.print();
 

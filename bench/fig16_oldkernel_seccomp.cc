@@ -15,8 +15,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig16_oldkernel_seccomp", argc, argv);
     ProfileCache cache;
     const os::KernelCosts &old = os::oldKernelCosts();
 
@@ -25,8 +26,7 @@ main()
             sim::Mechanism mech = kind == ProfileKind::Insecure
                 ? sim::Mechanism::Insecure
                 : sim::Mechanism::Seccomp;
-            return runExperiment(app, kind, mech, cache, old)
-                .normalized();
+            return runExperiment(app, kind, mech, cache, old);
         };
     };
 
@@ -38,6 +38,7 @@ main()
             {"docker-default", column(ProfileKind::DockerDefault)},
             {"syscall-noargs", column(ProfileKind::Noargs)},
             {"syscall-complete", column(ProfileKind::Complete)},
-        });
+        },
+        &report);
     return 0;
 }

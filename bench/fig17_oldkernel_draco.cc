@@ -14,15 +14,15 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig17_oldkernel_draco", argc, argv);
     ProfileCache cache;
     const os::KernelCosts &old = os::oldKernelCosts();
 
     auto column = [&](ProfileKind kind, sim::Mechanism mech) {
         return [&, kind, mech](const workload::AppModel &app) {
-            return runExperiment(app, kind, mech, cache, old)
-                .normalized();
+            return runExperiment(app, kind, mech, cache, old);
         };
     };
 
@@ -37,6 +37,7 @@ main()
              column(ProfileKind::Complete, M::Seccomp)},
             {"complete(DracoSW)",
              column(ProfileKind::Complete, M::DracoSW)},
-        });
+        },
+        &report);
     return 0;
 }

@@ -7,11 +7,45 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "draco/draco.hh"
 
 using namespace draco;
 
 namespace {
+
+/**
+ * Console reporter that additionally records every run's per-iteration
+ * real time into the bench registry as `micro.<name>.ns_per_op`.
+ */
+class RegistryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit RegistryReporter(MetricRegistry &registry)
+        : _registry(registry)
+    {
+    }
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            std::string prefix = MetricRegistry::join(
+                "micro", MetricRegistry::sanitize(run.benchmark_name()));
+            _registry.setGauge(
+                MetricRegistry::join(prefix, "ns_per_op"),
+                run.GetAdjustedRealTime());
+            _registry.setCounter(
+                MetricRegistry::join(prefix, "iterations"),
+                static_cast<uint64_t>(run.iterations));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    MetricRegistry &_registry;
+};
 
 core::ArgKey
 sampleKey(uint64_t fd, uint64_t count)
@@ -169,4 +203,15 @@ BENCHMARK(BM_TraceGeneratorNext);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // BenchReport consumes --json; google-benchmark ignores flags that
+    // don't start with --benchmark_.
+    bench::BenchReport report("micro_structures", argc, argv);
+    benchmark::Initialize(&argc, argv);
+    RegistryReporter reporter(report.registry());
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,8 +16,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("multicore_consolidation", argc, argv);
     const char *names[4] = {"nginx", "redis", "mysql", "pipe-ipc"};
 
     TextTable table("Multicore consolidation (hardware Draco, "
@@ -38,6 +39,14 @@ main()
         options.seed = kBenchSeed;
         sim::MulticoreSimulator sim;
         auto results = sim.run(cores, options);
+
+        for (size_t i = 0; i < results.size(); ++i) {
+            results[i].exportMetrics(
+                report.registry(),
+                "runs.cores_" + std::to_string(count) + ".core_" +
+                    std::to_string(i) + "_" +
+                    MetricRegistry::sanitize(results[i].workload));
+        }
 
         for (const auto &r : results) {
             double slb = r.slb.accesses

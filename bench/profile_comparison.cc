@@ -16,8 +16,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("profile_comparison", argc, argv);
     struct Case {
         const char *profileName;
         seccomp::Profile profile;
@@ -55,6 +56,14 @@ main()
         uint64_t denied = 0, total = 20000;
         for (uint64_t i = 0; i < total; ++i)
             denied += !c.profile.allows(gen.next().req);
+
+        std::string seg = MetricRegistry::sanitize(c.profileName);
+        report.record(seg + ".seccomp", seccompRun);
+        report.record(seg + ".draco_sw", swRun);
+        report.record(seg + ".draco_hw", hwRun);
+        report.registry().setGauge(
+            MetricRegistry::join("runs." + seg, "denial_rate"),
+            static_cast<double>(denied) / static_cast<double>(total));
 
         table.addRow({
             c.profileName,

@@ -14,8 +14,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table1_flows", argc, argv);
     ProfileCache cache;
 
     TextTable table("Table I flow mix (percent of syscalls; hardware "
@@ -26,6 +27,7 @@ main()
     for (const auto *app : benchWorkloads()) {
         sim::RunResult r = runExperiment(
             *app, ProfileKind::Complete, sim::Mechanism::DracoHW, cache);
+        report.record(MetricRegistry::sanitize(app->name), r);
         double total = static_cast<double>(r.hw.syscalls);
         auto pct = [&](size_t flow) {
             return TextTable::num(r.hw.flows[flow] / total * 100.0, 2);

@@ -8,10 +8,12 @@
 #include "common.hh"
 
 using namespace draco;
+using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table2_config", argc, argv);
     sim::printMachineConfig();
 
     // Sanity: the SLB geometry the engine instantiates matches the
@@ -19,12 +21,26 @@ main()
     core::Slb slb;
     TextTable table("SLB subtables as instantiated");
     table.setHeader({"args", "entries", "ways", "sets"});
-    for (unsigned argc = 1; argc <= core::Slb::kMaxArgc; ++argc) {
-        const auto &geom = slb.geometry(argc);
-        table.addRow({std::to_string(argc), std::to_string(geom.entries),
+    for (unsigned args = 1; args <= core::Slb::kMaxArgc; ++args) {
+        const auto &geom = slb.geometry(args);
+        table.addRow({std::to_string(args), std::to_string(geom.entries),
                       std::to_string(geom.ways),
                       std::to_string(geom.sets())});
+
+        std::string prefix =
+            "config.slb.args_" + std::to_string(args);
+        report.registry().setCounter(
+            MetricRegistry::join(prefix, "entries"), geom.entries);
+        report.registry().setCounter(
+            MetricRegistry::join(prefix, "ways"), geom.ways);
     }
+    report.registry().setCounter("config.stb.entries",
+                                 core::Stb::kEntries);
+    report.registry().setCounter("config.spt.entries",
+                                 core::HardwareSpt::kEntries);
+    report.registry().setCounter(
+        "config.temporary_buffer.entries",
+        core::TemporaryBuffer::kEntries);
     table.print();
     return 0;
 }

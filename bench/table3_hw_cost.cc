@@ -13,16 +13,29 @@
 #include "common.hh"
 
 using namespace draco;
+using namespace draco::bench;
 using namespace draco::hwmodel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table3_hw_cost", argc, argv);
     TextTable table("Table III: Draco hardware analysis at 22 nm");
     table.setHeader({"unit", "metric", "base-model", "calibrated",
                      "paper"});
 
     for (const auto &row : dracoTable3()) {
+        std::string prefix = MetricRegistry::join(
+            "units", MetricRegistry::sanitize(row.name));
+        auto &reg = report.registry();
+        reg.setGauge(MetricRegistry::join(prefix, "area_mm2"),
+                     row.calibrated.areaMm2);
+        reg.setGauge(MetricRegistry::join(prefix, "access_ps"),
+                     row.calibrated.accessPs);
+        reg.setGauge(MetricRegistry::join(prefix, "read_energy_pj"),
+                     row.calibrated.readEnergyPj);
+        reg.setGauge(MetricRegistry::join(prefix, "leakage_mw"),
+                     row.calibrated.leakageMw);
         auto add = [&](const char *metric, double base, double calib,
                        double paper, int decimals) {
             table.addRow({row.name, metric,

@@ -13,8 +13,9 @@ using namespace draco;
 using namespace draco::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("vat_footprint", argc, argv);
     ProfileCache cache;
 
     TextTable table("VAT memory consumption (syscall-complete "
@@ -30,6 +31,7 @@ main()
         for (const auto &[sid, spec] : core::deriveCheckSpecs(profile))
             tables += spec.checksArguments();
         footprint.add(static_cast<double>(r.vatFootprintBytes));
+        report.record(MetricRegistry::sanitize(app->name), r);
         table.addRow({app->name, std::to_string(tables),
                       std::to_string(r.vatFootprintBytes),
                       TextTable::num(r.vatFootprintBytes / 1024.0, 2)});
@@ -39,5 +41,8 @@ main()
     std::printf("geometric mean VAT footprint: %.2f KB "
                 "(paper: 6.98 KB)\n",
                 footprint.geomean() / 1024.0);
+
+    report.registry().setGauge("figure.geomean_footprint_kb",
+                               footprint.geomean() / 1024.0);
     return 0;
 }

@@ -199,8 +199,15 @@ DracoHardwareEngine::onRobHead(const os::SyscallRequest &req)
     bool pendingMatches = _pending.valid && _pending.pc == req.pc;
     result.stbHit = pendingMatches && _pending.stbHit;
     result.preloadHit = pendingMatches && _pending.preloadHit;
-    if (pendingMatches)
+    if (pendingMatches) {
         result.preloadMemAddrs = std::move(_pending.memAddrs);
+    } else {
+        // The Temporary Buffer holds entries staged by a *different*
+        // PC's prediction (or by a dispatch that never reached the
+        // head). Committing them would let stale speculative preloads
+        // fill the SLB, so they are dropped like a squash (§IX).
+        _temp.clear();
+    }
     _pending = Pending{};
 
     const CheckSpec *spec = _proc->spec(req.sid);
@@ -301,6 +308,81 @@ DracoHardwareEngine::onSyscall(const os::SyscallRequest &req)
 {
     onDispatch(req.pc);
     return onRobHead(req);
+}
+
+const char *
+hwFlowMetricName(HwFlow flow)
+{
+    switch (flow) {
+      case HwFlow::IdOnly: return "id_only";
+      case HwFlow::F1: return "f1";
+      case HwFlow::F2: return "f2";
+      case HwFlow::F3: return "f3";
+      case HwFlow::F4: return "f4";
+      case HwFlow::F5: return "f5";
+      case HwFlow::F6: return "f6";
+      case HwFlow::Denied: return "denied";
+    }
+    return "?";
+}
+
+void
+exportStats(const HwEngineStats &stats, MetricRegistry &registry,
+            const std::string &prefix)
+{
+    auto name = [&](const std::string &metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("syscalls"), stats.syscalls);
+    registry.setCounter(name("context_switches"),
+                        stats.contextSwitches);
+    registry.setCounter(name("spt_saved_entries"),
+                        stats.sptSavedEntries);
+    registry.setCounter(name("spt_restored_entries"),
+                        stats.sptRestoredEntries);
+    registry.setCounter(name("squashes"), stats.squashes);
+
+    uint64_t fast = 0;
+    for (size_t i = 0; i < stats.flows.size(); ++i) {
+        HwFlow flow = static_cast<HwFlow>(i);
+        registry.setCounter(
+            name(std::string("flows.") + hwFlowMetricName(flow)),
+            stats.flows[i]);
+        HwSyscallResult probe;
+        probe.flow = flow;
+        if (probe.fast())
+            fast += stats.flows[i];
+    }
+    uint64_t denied =
+        stats.flows[static_cast<size_t>(HwFlow::Denied)];
+    registry.setCounter(name("flows.fast"), fast);
+    registry.setCounter(name("flows.slow"),
+                        stats.syscalls - fast - denied);
+    registry.setGauge(name("flows.fast_fraction"),
+                      stats.syscalls
+                          ? static_cast<double>(fast) /
+                              static_cast<double>(stats.syscalls)
+                          : 0.0);
+}
+
+void
+HwProcessContext::exportMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    _vat.exportMetrics(registry,
+                       MetricRegistry::join(prefix, "vat"));
+}
+
+void
+DracoHardwareEngine::exportMetrics(MetricRegistry &registry,
+                                   const std::string &prefix) const
+{
+    exportStats(_stats, registry, prefix);
+    _slb.exportMetrics(registry, MetricRegistry::join(prefix, "slb"));
+    _stb.exportMetrics(registry, MetricRegistry::join(prefix, "stb"));
+    _spt.exportMetrics(registry, MetricRegistry::join(prefix, "spt"));
+    if (_proc)
+        _proc->exportMetrics(registry, prefix);
 }
 
 } // namespace draco::core

@@ -43,6 +43,10 @@ class HwProcessContext
     /** @return The check spec for @p sid, or nullptr if disallowed. */
     const CheckSpec *spec(uint16_t sid) const;
 
+    /** Export per-process state (the VAT) under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
     /** @return The process's VAT. */
     Vat &vat() { return _vat; }
     const Vat &vat() const { return _vat; }
@@ -112,6 +116,17 @@ struct HwEngineStats {
     uint64_t sptRestoredEntries = 0;
     uint64_t squashes = 0;
 };
+
+/** @return Registry metric name of @p flow ("id_only", "f1", ...). */
+const char *hwFlowMetricName(HwFlow flow);
+
+/**
+ * Export an engine counter block under @p prefix: syscall/context-
+ * switch totals plus the Table-I occupancy as `flows.<name>` counters
+ * and fast/slow aggregates.
+ */
+void exportStats(const HwEngineStats &stats, MetricRegistry &registry,
+                 const std::string &prefix);
 
 /**
  * Full geometry of one engine's hardware tables; defaults are Table II.
@@ -201,6 +216,14 @@ class DracoHardwareEngine
 
     /** Periodic Accessed-bit sweep (the 500 µs timer, §VII-B). */
     void periodicAccessedClear() { _spt.clearAccessed(); }
+
+    /**
+     * Export the whole engine under @p prefix: engine counters and
+     * flows, nested `slb`/`stb`/`spt` groups, and — when a process is
+     * scheduled — its `vat` group.
+     */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     struct Pending {

@@ -58,6 +58,22 @@ HardwareSpt::accessedEntries() const
     return out;
 }
 
+void
+HardwareSpt::exportMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("entries"), entries());
+    registry.setCounter(name("lookups"), _lookups);
+    registry.setCounter(name("hits"), _hits);
+    registry.setGauge(name("hit_rate"),
+                      _lookups ? static_cast<double>(_hits) /
+                              static_cast<double>(_lookups)
+                               : 0.0);
+}
+
 namespace {
 
 /** Table II SLB subtable geometries, indexed by argc-1. */
@@ -190,6 +206,35 @@ Slb::geometry(unsigned argc) const
     return _subtables[argc - 1].geom;
 }
 
+void
+exportStats(const SlbStats &stats, MetricRegistry &registry,
+            const std::string &prefix)
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    auto rate = [](uint64_t hits, uint64_t total) {
+        return total ? static_cast<double>(hits) /
+                static_cast<double>(total)
+                     : 0.0;
+    };
+    registry.setCounter(name("accesses"), stats.accesses);
+    registry.setCounter(name("access_hits"), stats.accessHits);
+    registry.setCounter(name("preload_probes"), stats.preloadProbes);
+    registry.setCounter(name("preload_hits"), stats.preloadHits);
+    registry.setGauge(name("access_hit_rate"),
+                      rate(stats.accessHits, stats.accesses));
+    registry.setGauge(name("preload_hit_rate"),
+                      rate(stats.preloadHits, stats.preloadProbes));
+}
+
+void
+Slb::exportMetrics(MetricRegistry &registry,
+                   const std::string &prefix) const
+{
+    exportStats(_stats, registry, prefix);
+}
+
 Stb::Stb(unsigned entries, unsigned ways)
     : _ways(ways), _sets(ways ? entries / ways : 0)
 {
@@ -248,6 +293,31 @@ void
 Stb::invalidateAll()
 {
     std::fill(_entries.begin(), _entries.end(), Entry{});
+}
+
+void
+exportStats(const StbStats &stats, MetricRegistry &registry,
+            const std::string &prefix)
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("lookups"), stats.lookups);
+    registry.setCounter(name("hits"), stats.hits);
+    registry.setGauge(name("hit_rate"),
+                      stats.lookups
+                          ? static_cast<double>(stats.hits) /
+                              static_cast<double>(stats.lookups)
+                          : 0.0);
+}
+
+void
+Stb::exportMetrics(MetricRegistry &registry,
+                   const std::string &prefix) const
+{
+    registry.setCounter(MetricRegistry::join(prefix, "entries"),
+                        entries());
+    exportStats(_stats, registry, prefix);
 }
 
 void

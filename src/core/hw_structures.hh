@@ -77,6 +77,10 @@ class HardwareSpt
     /** @return Hit count. */
     uint64_t hits() const { return _hits; }
 
+    /** Export lookup/hit counters under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
     /** @return Configured entry count. */
     unsigned entries() const
     {
@@ -105,6 +109,10 @@ struct SlbStats {
     uint64_t preloadProbes = 0;
     uint64_t preloadHits = 0;
 };
+
+/** Export an SLB counter block (plus hit-rate gauges) under @p prefix. */
+void exportStats(const SlbStats &stats, MetricRegistry &registry,
+                 const std::string &prefix);
 
 /**
  * The System Call Lookaside Buffer.
@@ -152,6 +160,10 @@ class Slb
     /** @return Counter block. */
     const SlbStats &stats() const { return _stats; }
 
+    /** Export access/preload counters and hit rates under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
     /** @return Geometry of the subtable serving @p argc. */
     const TableGeometry &geometry(unsigned argc) const;
 
@@ -175,6 +187,10 @@ struct StbStats {
     uint64_t lookups = 0;
     uint64_t hits = 0;
 };
+
+/** Export an STB counter block (plus hit-rate gauge) under @p prefix. */
+void exportStats(const StbStats &stats, MetricRegistry &registry,
+                 const std::string &prefix);
 
 /**
  * The System Call Target Buffer (Fig. 8): PC → {SID, Hash}.
@@ -209,6 +225,10 @@ class Stb
 
     /** @return Counter block. */
     const StbStats &stats() const { return _stats; }
+
+    /** Export lookup/hit counters under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 
     /** @return Configured entry count. */
     unsigned entries() const

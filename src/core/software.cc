@@ -90,4 +90,33 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
     return out;
 }
 
+void
+exportStats(const SwCheckStats &stats, MetricRegistry &registry,
+            const std::string &prefix)
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("checks"), stats.checks);
+    registry.setCounter(name("spt_allow_all"), stats.sptAllowAll);
+    registry.setCounter(name("vat_hits"), stats.vatHits);
+    registry.setCounter(name("filter_runs"), stats.filterRuns);
+    registry.setCounter(name("denials"), stats.denials);
+    registry.setCounter(name("filter_insns"), stats.filterInsns);
+    registry.setCounter(name("vat_insertions"), stats.vatInsertions);
+    registry.setGauge(name("vat_hit_rate"),
+                      stats.checks
+                          ? static_cast<double>(stats.vatHits) /
+                              static_cast<double>(stats.checks)
+                          : 0.0);
+}
+
+void
+DracoSoftwareChecker::exportMetrics(MetricRegistry &registry,
+                                    const std::string &prefix) const
+{
+    exportStats(_stats, registry, prefix);
+    _vat.exportMetrics(registry, MetricRegistry::join(prefix, "vat"));
+}
+
 } // namespace draco::core

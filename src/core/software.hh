@@ -57,6 +57,10 @@ struct SwCheckStats {
     uint64_t vatInsertions = 0;
 };
 
+/** Export a software-checker counter block under @p prefix. */
+void exportStats(const SwCheckStats &stats, MetricRegistry &registry,
+                 const std::string &prefix);
+
 /**
  * Kernel-resident software Draco for one process.
  */
@@ -87,6 +91,10 @@ class DracoSoftwareChecker
 
     /** @return Lifetime counters. */
     const SwCheckStats &stats() const { return _stats; }
+
+    /** Export checker counters and the VAT's `vat` group under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     seccomp::Profile _profile;

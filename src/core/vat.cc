@@ -157,4 +157,42 @@ Vat::setCount(uint16_t sid) const
     return table ? table->cuckoo->size() : 0;
 }
 
+void
+Vat::exportMetrics(MetricRegistry &registry,
+                   const std::string &prefix) const
+{
+    CuckooStats total;
+    size_t sets = 0;
+    size_t capacity = 0;
+    for (const auto &[sid, table] : _tables) {
+        const CuckooStats &s = table.cuckoo->stats();
+        total.lookups += s.lookups;
+        total.hits += s.hits;
+        total.insertions += s.insertions;
+        total.displacements += s.displacements;
+        total.evictions += s.evictions;
+        sets += table.cuckoo->size();
+        capacity += table.cuckoo->capacity();
+    }
+
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("tables"), _tables.size());
+    registry.setCounter(name("sets"), sets);
+    registry.setCounter(name("capacity"), capacity);
+    registry.setCounter(name("footprint_bytes"), footprintBytes());
+    registry.setCounter(name("lookups"), total.lookups);
+    registry.setCounter(name("hits"), total.hits);
+    registry.setCounter(name("insertions"), total.insertions);
+    registry.setCounter(name("displacements"), total.displacements);
+    registry.setCounter(name("cuckoo_evictions"), total.evictions);
+    registry.setCounter(name("evictions"), _evictions);
+    registry.setGauge(name("hit_rate"),
+                      total.lookups
+                          ? static_cast<double>(total.hits) /
+                              static_cast<double>(total.lookups)
+                          : 0.0);
+}
+
 } // namespace draco::core

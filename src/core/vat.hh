@@ -111,6 +111,14 @@ class Vat
     /** @return Cumulative insert-pressure evictions across tables. */
     uint64_t evictions() const { return _evictions; }
 
+    /**
+     * Export aggregate VAT metrics under @p prefix: footprint, table
+     * count, stored sets, and the cuckoo counters summed across every
+     * per-syscall table (lookups/hits give the VAT hit rate).
+     */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
   private:
     struct Table {
         uint64_t bitmask = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace draco {
 
@@ -94,21 +95,10 @@ class CuckooTable
     lookup(const Key &key) const
     {
         ++_stats.lookups;
-        uint64_t hv1 = _h1(key);
-        uint64_t idx1 = hv1 % buckets();
-        const Slot &s1 = _ways[0][idx1];
-        if (s1.occupied && s1.key == key) {
+        auto found = probe(key);
+        if (found)
             ++_stats.hits;
-            return Found{CuckooWay::H1, hv1, idx1};
-        }
-        uint64_t hv2 = _h2(key);
-        uint64_t idx2 = hv2 % buckets();
-        const Slot &s2 = _ways[1][idx2];
-        if (s2.occupied && s2.key == key) {
-            ++_stats.hits;
-            return Found{CuckooWay::H2, hv2, idx2};
-        }
-        return std::nullopt;
+        return found;
     }
 
     /** @return true if @p key is present. */
@@ -126,7 +116,9 @@ class CuckooTable
     CuckooInsert
     insert(const Key &key, Key *evicted = nullptr)
     {
-        if (contains(key))
+        // Internal presence probe: does not touch the lookup/hit
+        // counters, which account externally observed traffic only.
+        if (probe(key))
             return CuckooInsert::AlreadyPresent;
 
         ++_stats.insertions;
@@ -145,7 +137,7 @@ class CuckooTable
 
         Key pending = key;
         unsigned way = 0;
-        for (unsigned step = 0; step <= _maxDisplacements; ++step) {
+        for (unsigned step = 0; step < _maxDisplacements; ++step) {
             uint64_t hv = way == 0 ? _h1(pending) : _h2(pending);
             Slot &slot = _ways[way][hv % buckets()];
             if (!slot.occupied) {
@@ -229,11 +221,51 @@ class CuckooTable
     /** @return Dynamic behaviour counters. */
     const CuckooStats &stats() const { return _stats; }
 
+    /** Export counters and occupancy under @p prefix. */
+    void
+    exportMetrics(MetricRegistry &registry,
+                  const std::string &prefix) const
+    {
+        auto name = [&](const char *metric) {
+            return MetricRegistry::join(prefix, metric);
+        };
+        registry.setCounter(name("lookups"), _stats.lookups);
+        registry.setCounter(name("hits"), _stats.hits);
+        registry.setCounter(name("insertions"), _stats.insertions);
+        registry.setCounter(name("displacements"),
+                            _stats.displacements);
+        registry.setCounter(name("evictions"), _stats.evictions);
+        registry.setCounter(name("size"), _size);
+        registry.setCounter(name("capacity"), capacity());
+        registry.setGauge(name("hit_rate"),
+                          _stats.lookups
+                              ? static_cast<double>(_stats.hits) /
+                                  static_cast<double>(_stats.lookups)
+                              : 0.0);
+    }
+
   private:
     struct Slot {
         bool occupied = false;
         Key key{};
     };
+
+    /** Stat-free presence probe shared by lookup() and insert(). */
+    std::optional<Found>
+    probe(const Key &key) const
+    {
+        uint64_t hv1 = _h1(key);
+        uint64_t idx1 = hv1 % buckets();
+        const Slot &s1 = _ways[0][idx1];
+        if (s1.occupied && s1.key == key)
+            return Found{CuckooWay::H1, hv1, idx1};
+        uint64_t hv2 = _h2(key);
+        uint64_t idx2 = hv2 % buckets();
+        const Slot &s2 = _ways[1][idx2];
+        if (s2.occupied && s2.key == key)
+            return Found{CuckooWay::H2, hv2, idx2};
+        return std::nullopt;
+    }
 
     HashFn _h1;
     HashFn _h2;

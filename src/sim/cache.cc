@@ -115,4 +115,32 @@ CacheHierarchy::flush()
         set.clear();
 }
 
+void
+exportStats(const CacheStats &stats, MetricRegistry &registry,
+            const std::string &prefix)
+{
+    static constexpr std::array<const char *, 4> kLevelNames = {
+        "l1", "l2", "l3", "dram",
+    };
+    registry.setCounter(MetricRegistry::join(prefix, "accesses"),
+                        stats.accesses);
+    for (size_t i = 0; i < kLevelNames.size(); ++i) {
+        std::string level = MetricRegistry::join(prefix, kLevelNames[i]);
+        registry.setCounter(MetricRegistry::join(level, "hits"),
+                            stats.hits[i]);
+        registry.setGauge(MetricRegistry::join(level, "hit_fraction"),
+                          stats.accesses
+                              ? static_cast<double>(stats.hits[i]) /
+                                  static_cast<double>(stats.accesses)
+                              : 0.0);
+    }
+}
+
+void
+CacheHierarchy::exportMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    exportStats(_stats, registry, prefix);
+}
+
 } // namespace draco::sim

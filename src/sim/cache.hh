@@ -21,6 +21,7 @@
 #include <set>
 #include <string>
 
+#include "support/metrics.hh"
 #include "support/random.hh"
 
 namespace draco::sim {
@@ -46,6 +47,13 @@ struct CacheStats {
     std::array<uint64_t, 4> hits{};
     uint64_t accesses = 0;
 };
+
+/**
+ * Export a cache counter block under @p prefix: total accesses plus
+ * per-level (`l1`/`l2`/`l3`/`dram`) hit counters and hit fractions.
+ */
+void exportStats(const CacheStats &stats, MetricRegistry &registry,
+                 const std::string &prefix);
 
 /**
  * Three-level hierarchy plus DRAM with statistical app pressure.
@@ -95,6 +103,10 @@ class CacheHierarchy
 
     /** @return Counters. */
     const CacheStats &stats() const { return _stats; }
+
+    /** Export the hierarchy's counters under @p prefix. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 
     /** @return The level configurations (for Table II reporting). */
     static const std::array<CacheLevelConfig, 3> &levelConfigs();

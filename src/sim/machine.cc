@@ -42,6 +42,38 @@ RunResult::slbPreloadHitRate() const
         : 0.0;
 }
 
+void
+RunResult::exportMetrics(MetricRegistry &registry,
+                         const std::string &prefix) const
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setText(name("workload"), workload);
+    registry.setText(name("mechanism"), mechanism);
+    registry.setGauge(name("total_ns"), totalNs);
+    registry.setGauge(name("insecure_ns"), insecureNs);
+    registry.setGauge(name("check_ns"), checkNs);
+    registry.setGauge(name("normalized"), normalized());
+    registry.setCounter(name("syscalls"), syscalls);
+    registry.setGauge(name("check_ns_per_syscall"),
+                      syscalls ? checkNs / static_cast<double>(syscalls)
+                               : 0.0);
+    registry.setCounter(name("vat_footprint_bytes"), vatFootprintBytes);
+    registry.setCounter(name("filter_insns"), filterInsnsTotal);
+
+    // Mechanism-specific blocks: only the populated ones, so insecure
+    // and seccomp runs don't emit all-zero draco counters.
+    if (sw.checks)
+        core::exportStats(sw, registry, name("sw"));
+    if (hw.syscalls)
+        core::exportStats(hw, registry, name("hw"));
+    if (slb.accesses || slb.preloadProbes)
+        core::exportStats(slb, registry, name("slb"));
+    if (stb.lookups)
+        core::exportStats(stb, registry, name("stb"));
+}
+
 namespace {
 
 /** Core clock assumed by the ROB hiding model (Table II: 2 GHz). */

@@ -109,6 +109,15 @@ struct RunResult {
 
     /** @return SLB preload hit rate in [0,1] (hardware runs). */
     double slbPreloadHitRate() const;
+
+    /**
+     * Export the whole result under @p prefix: run identity, timing
+     * (total/insecure/check ns, normalized, ns-per-syscall), and the
+     * mechanism-specific counter blocks as nested `sw`/`hw`/`slb`/`stb`
+     * groups.
+     */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 };
 
 /**

@@ -6,6 +6,24 @@
 
 namespace draco::sim {
 
+void
+CoreResult::exportMetrics(MetricRegistry &registry,
+                          const std::string &prefix) const
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setText(name("workload"), workload);
+    registry.setText(name("mechanism"), mechanism);
+    registry.setGauge(name("total_ns"), totalNs);
+    registry.setGauge(name("insecure_ns"), insecureNs);
+    registry.setGauge(name("normalized"), normalized());
+    if (hw.syscalls)
+        core::exportStats(hw, registry, name("hw"));
+    if (slb.accesses || slb.preloadProbes)
+        core::exportStats(slb, registry, name("slb"));
+}
+
 std::vector<CoreResult>
 MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
                         const MulticoreOptions &options)

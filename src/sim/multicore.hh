@@ -50,6 +50,13 @@ struct CoreResult {
     {
         return insecureNs > 0.0 ? totalNs / insecureNs : 1.0;
     }
+
+    /**
+     * Export this core's result under @p prefix: identity, timing, and
+     * the `hw`/`slb` counter blocks.
+     */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
 };
 
 /**

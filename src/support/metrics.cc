@@ -1,0 +1,418 @@
+#include "support/metrics.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace draco {
+
+namespace {
+
+bool
+validSegmentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+        c == '_' || c == '-';
+}
+
+void
+validateName(const std::string &name)
+{
+    if (name.empty())
+        fatal("MetricRegistry: empty metric name");
+    size_t segLen = 0;
+    for (char c : name) {
+        if (c == '.') {
+            if (segLen == 0)
+                fatal("MetricRegistry: empty segment in '%s'",
+                      name.c_str());
+            segLen = 0;
+        } else if (validSegmentChar(c)) {
+            ++segLen;
+        } else {
+            fatal("MetricRegistry: invalid character '%c' in metric "
+                  "name '%s' (want [a-z0-9_-] segments)",
+                  c, name.c_str());
+        }
+    }
+    if (segLen == 0)
+        fatal("MetricRegistry: name '%s' ends with '.'", name.c_str());
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out += buf;
+}
+
+void
+appendJsonCounter(std::string &out, uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+} // namespace
+
+void
+MetricRegistry::registerName(const std::string &name)
+{
+    validateName(name);
+    if (_groups.count(name))
+        fatal("MetricRegistry: '%s' is already a metric group",
+              name.c_str());
+    for (size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        std::string prefix = name.substr(0, dot);
+        if (_metrics.count(prefix))
+            fatal("MetricRegistry: group prefix '%s' of '%s' is "
+                  "already a leaf metric",
+                  prefix.c_str(), name.c_str());
+        _groups.insert(std::move(prefix));
+    }
+}
+
+MetricRegistry::Metric &
+MetricRegistry::get(const std::string &name, Metric::Kind kind)
+{
+    auto it = _metrics.find(name);
+    if (it == _metrics.end()) {
+        registerName(name);
+        it = _metrics.emplace(name, Metric{}).first;
+        it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+        fatal("MetricRegistry: metric '%s' re-registered with a "
+              "different kind",
+              name.c_str());
+    }
+    return it->second;
+}
+
+const MetricRegistry::Metric &
+MetricRegistry::getExisting(const std::string &name,
+                            Metric::Kind kind) const
+{
+    auto it = _metrics.find(name);
+    if (it == _metrics.end())
+        fatal("MetricRegistry: no metric named '%s'", name.c_str());
+    if (it->second.kind != kind)
+        fatal("MetricRegistry: metric '%s' has a different kind",
+              name.c_str());
+    return it->second;
+}
+
+uint64_t &
+MetricRegistry::counter(const std::string &name)
+{
+    return get(name, Metric::Kind::Counter).counter;
+}
+
+double &
+MetricRegistry::gauge(const std::string &name)
+{
+    return get(name, Metric::Kind::Gauge).gauge;
+}
+
+RunningStat &
+MetricRegistry::runningStat(const std::string &name)
+{
+    return get(name, Metric::Kind::Stat).stat;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name, double lo, double hi,
+                          size_t buckets)
+{
+    Metric &m = get(name, Metric::Kind::Hist);
+    if (!m.hist)
+        m.hist = std::make_unique<Histogram>(lo, hi, buckets);
+    return *m.hist;
+}
+
+QuantileSketch &
+MetricRegistry::quantileSketch(const std::string &name)
+{
+    return get(name, Metric::Kind::Sketch).sketch;
+}
+
+void
+MetricRegistry::setCounter(const std::string &name, uint64_t value)
+{
+    counter(name) = value;
+}
+
+void
+MetricRegistry::setGauge(const std::string &name, double value)
+{
+    gauge(name) = value;
+}
+
+void
+MetricRegistry::setText(const std::string &name, const std::string &value)
+{
+    get(name, Metric::Kind::Text).text = value;
+}
+
+void
+MetricRegistry::setStat(const std::string &name, const RunningStat &stat)
+{
+    get(name, Metric::Kind::Stat).stat = stat;
+}
+
+void
+MetricRegistry::setQuantiles(const std::string &name,
+                             const QuantileSketch &sketch)
+{
+    get(name, Metric::Kind::Sketch).sketch = sketch;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return _metrics.count(name) > 0;
+}
+
+uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    return getExisting(name, Metric::Kind::Counter).counter;
+}
+
+double
+MetricRegistry::gaugeValue(const std::string &name) const
+{
+    return getExisting(name, Metric::Kind::Gauge).gauge;
+}
+
+const std::string &
+MetricRegistry::textValue(const std::string &name) const
+{
+    return getExisting(name, Metric::Kind::Text).text;
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_metrics.size());
+    for (const auto &[name, metric] : _metrics)
+        out.push_back(name);
+    return out;
+}
+
+void
+MetricRegistry::clear()
+{
+    _metrics.clear();
+    _groups.clear();
+}
+
+std::string
+MetricRegistry::toJson(bool pretty) const
+{
+    // Leaves are sorted by full dotted name, which keeps every group's
+    // members contiguous; serialize by recursing over name ranges.
+    std::vector<const std::map<std::string, Metric>::value_type *> items;
+    items.reserve(_metrics.size());
+    for (const auto &kv : _metrics)
+        items.push_back(&kv);
+
+    std::string out;
+    const std::string nl = pretty ? "\n" : "";
+
+    auto indentOf = [&](size_t depth) {
+        return pretty ? std::string(2 * depth, ' ') : std::string();
+    };
+
+    auto appendValue = [&](std::string &dst, const Metric &m,
+                           size_t depth) {
+        auto field = [&](std::string &d, const char *key, bool first) {
+            if (!first)
+                d += ',';
+            d += nl + indentOf(depth + 1);
+            d += '"';
+            d += key;
+            d += pretty ? "\": " : "\":";
+        };
+        switch (m.kind) {
+          case Metric::Kind::Counter:
+            appendJsonCounter(dst, m.counter);
+            break;
+          case Metric::Kind::Gauge:
+            appendJsonDouble(dst, m.gauge);
+            break;
+          case Metric::Kind::Text:
+            appendJsonString(dst, m.text);
+            break;
+          case Metric::Kind::Stat:
+            dst += '{';
+            field(dst, "count", true);
+            appendJsonCounter(dst, m.stat.count());
+            field(dst, "mean", false);
+            appendJsonDouble(dst, m.stat.mean());
+            field(dst, "stddev", false);
+            appendJsonDouble(dst, m.stat.stddev());
+            field(dst, "min", false);
+            appendJsonDouble(dst, m.stat.min());
+            field(dst, "max", false);
+            appendJsonDouble(dst, m.stat.max());
+            field(dst, "sum", false);
+            appendJsonDouble(dst, m.stat.sum());
+            dst += nl + indentOf(depth) + "}";
+            break;
+          case Metric::Kind::Hist: {
+            dst += '{';
+            field(dst, "lo", true);
+            appendJsonDouble(dst, m.hist->bucketLo(0));
+            field(dst, "buckets", false);
+            dst += '[';
+            for (size_t i = 0; i < m.hist->buckets(); ++i) {
+                if (i)
+                    dst += ',';
+                appendJsonCounter(dst, m.hist->bucketCount(i));
+            }
+            dst += ']';
+            field(dst, "underflow", false);
+            appendJsonCounter(dst, m.hist->underflow());
+            field(dst, "overflow", false);
+            appendJsonCounter(dst, m.hist->overflow());
+            field(dst, "total", false);
+            appendJsonCounter(dst, m.hist->total());
+            dst += nl + indentOf(depth) + "}";
+            break;
+          }
+          case Metric::Kind::Sketch: {
+            dst += '{';
+            field(dst, "count", true);
+            appendJsonCounter(dst, m.sketch.count());
+            static const std::pair<const char *, double> qs[] = {
+                {"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95},
+                {"p99", 0.99}, {"max", 1.00},
+            };
+            for (const auto &[label, q] : qs) {
+                field(dst, label, false);
+                appendJsonDouble(dst, m.sketch.quantile(q));
+            }
+            dst += nl + indentOf(depth) + "}";
+            break;
+          }
+        }
+    };
+
+    // Emit the half-open item range [lo, hi), whose names all share the
+    // group prefix of length prefixLen, as one JSON object.
+    auto emitGroup = [&](auto &&self, size_t lo, size_t hi,
+                         size_t prefixLen, size_t depth) -> void {
+        out += '{';
+        bool first = true;
+        size_t i = lo;
+        while (i < hi) {
+            const std::string &name = items[i]->first;
+            size_t dot = name.find('.', prefixLen);
+            if (!first)
+                out += ',';
+            first = false;
+            out += nl + indentOf(depth + 1);
+            if (dot == std::string::npos) {
+                appendJsonString(out, name.substr(prefixLen));
+                out += pretty ? ": " : ":";
+                appendValue(out, items[i]->second, depth + 1);
+                ++i;
+            } else {
+                // All names beginning with this "segment." are
+                // contiguous; find the extent and recurse.
+                std::string groupPrefix = name.substr(0, dot + 1);
+                size_t j = i + 1;
+                while (j < hi &&
+                       items[j]->first.compare(0, groupPrefix.size(),
+                                               groupPrefix) == 0)
+                    ++j;
+                appendJsonString(out, name.substr(prefixLen,
+                                                  dot - prefixLen));
+                out += pretty ? ": " : ":";
+                self(self, i, j, dot + 1, depth + 1);
+                i = j;
+            }
+        }
+        out += nl + indentOf(depth) + "}";
+    };
+
+    emitGroup(emitGroup, 0, items.size(), 0, 0);
+    out += nl;
+    return out;
+}
+
+void
+MetricRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("MetricRegistry: cannot open '%s' for writing",
+              path.c_str());
+    file << toJson();
+    if (!file.good())
+        fatal("MetricRegistry: write to '%s' failed", path.c_str());
+}
+
+std::string
+MetricRegistry::sanitize(const std::string &label)
+{
+    std::string out;
+    bool pendingSep = false;
+    for (char raw : label) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(raw)));
+        if (validSegmentChar(c)) {
+            if (pendingSep && !out.empty())
+                out += '_';
+            pendingSep = false;
+            out += c;
+        } else {
+            pendingSep = true;
+        }
+    }
+    return out.empty() ? "_" : out;
+}
+
+std::string
+MetricRegistry::join(const std::string &prefix, const std::string &name)
+{
+    return prefix.empty() ? name : prefix + "." + name;
+}
+
+} // namespace draco

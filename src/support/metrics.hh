@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unified metric registry.
+ *
+ * Every stats-bearing structure in the reproduction (cuckoo tables, the
+ * VAT, the hardware SLB/STB/SPT, the software checker, the cache model,
+ * the experiment runners) exports its counters into a MetricRegistry
+ * under hierarchical `group.metric` names, and every bench binary
+ * serializes one registry to a `BENCH_<name>.json` artifact. This is
+ * the substrate the perf trajectory is judged against: a counter that
+ * only ever prints into a stdout table can drift or lie, a counter that
+ * lands in machine-readable output gets diffed across PRs.
+ *
+ * Naming scheme (documented in DESIGN.md §7):
+ *  - names are dot-separated paths of [a-z0-9_-] segments,
+ *    e.g. `vat.lookups`, `hw.flows.f1`, `cache.l1.hits`;
+ *  - a name is either a leaf (one value) or a group (interior node);
+ *    using the same name as both is a fatal error;
+ *  - serialization nests groups as JSON objects, so `hw.flows.f1 = 3`
+ *    becomes {"hw":{"flows":{"f1":3}}}.
+ *
+ * The registry holds plain counters (uint64), gauges (double), text
+ * attributes, and live RunningStat / Histogram / QuantileSketch
+ * instruments. JSON serialization is dependency-free.
+ */
+
+#ifndef DRACO_SUPPORT_METRICS_HH
+#define DRACO_SUPPORT_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace draco {
+
+/**
+ * Named, hierarchical collection of metrics with JSON export.
+ */
+class MetricRegistry
+{
+  public:
+    /**
+     * @return A live counter handle for @p name, created at zero on
+     *         first use. Increment through the reference.
+     */
+    uint64_t &counter(const std::string &name);
+
+    /** @return A live gauge handle for @p name (created at 0.0). */
+    double &gauge(const std::string &name);
+
+    /** @return A live RunningStat instrument registered as @p name. */
+    RunningStat &runningStat(const std::string &name);
+
+    /**
+     * @return A live Histogram instrument registered as @p name; the
+     *         geometry arguments apply only on first creation.
+     */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         size_t buckets);
+
+    /** @return A live QuantileSketch instrument registered as @p name. */
+    QuantileSketch &quantileSketch(const std::string &name);
+
+    /** Set (or overwrite) the counter @p name to @p value. */
+    void setCounter(const std::string &name, uint64_t value);
+
+    /** Set (or overwrite) the gauge @p name to @p value. */
+    void setGauge(const std::string &name, double value);
+
+    /** Set (or overwrite) the text attribute @p name. */
+    void setText(const std::string &name, const std::string &value);
+
+    /** Copy a finished RunningStat snapshot into the registry. */
+    void setStat(const std::string &name, const RunningStat &stat);
+
+    /** Copy a finished QuantileSketch snapshot into the registry. */
+    void setQuantiles(const std::string &name,
+                      const QuantileSketch &sketch);
+
+    /** @return true when a leaf named @p name exists (any kind). */
+    bool has(const std::string &name) const;
+
+    /** @return Value of counter @p name; fatal if absent/not a counter. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** @return Value of gauge @p name; fatal if absent/not a gauge. */
+    double gaugeValue(const std::string &name) const;
+
+    /** @return Value of text attribute @p name; fatal if absent. */
+    const std::string &textValue(const std::string &name) const;
+
+    /** @return Number of registered leaves. */
+    size_t size() const { return _metrics.size(); }
+
+    /** @return All leaf names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Remove every metric. */
+    void clear();
+
+    /**
+     * @param pretty Indent nested objects when true.
+     * @return The whole registry as a JSON object string.
+     */
+    std::string toJson(bool pretty = true) const;
+
+    /** Serialize to @p path; fatal when the file cannot be written. */
+    void writeJsonFile(const std::string &path) const;
+
+    /**
+     * Make an arbitrary label usable as one metric path segment:
+     * lowercase, any run of characters outside [a-z0-9_-] collapses to
+     * a single '_', leading/trailing '_' trimmed.
+     *
+     * @return The sanitized segment ("_" when nothing survives).
+     */
+    static std::string sanitize(const std::string &label);
+
+    /** @return "prefix.name", or just @p name when @p prefix is empty. */
+    static std::string join(const std::string &prefix,
+                            const std::string &name);
+
+  private:
+    struct Metric {
+        enum class Kind {
+            Counter,
+            Gauge,
+            Text,
+            Stat,
+            Hist,
+            Sketch,
+        } kind = Kind::Counter;
+
+        uint64_t counter = 0;
+        double gauge = 0.0;
+        std::string text;
+        RunningStat stat;
+        std::unique_ptr<Histogram> hist;
+        QuantileSketch sketch;
+    };
+
+    Metric &get(const std::string &name, Metric::Kind kind);
+    const Metric &getExisting(const std::string &name,
+                              Metric::Kind kind) const;
+    void registerName(const std::string &name);
+
+    /** Leaves keyed by full dotted name (sorted => stable JSON). */
+    std::map<std::string, Metric> _metrics;
+
+    /** Every interior group prefix seen so far (conflict detection). */
+    std::set<std::string> _groups;
+};
+
+} // namespace draco
+
+#endif // DRACO_SUPPORT_METRICS_HH

@@ -188,6 +188,98 @@ TEST(HwEngine, SquashedPreloadStillCorrectLater)
     EXPECT_TRUE(out.accessHit);
 }
 
+TEST(HwEngine, StalePreloadFromOtherPcIsDropped)
+{
+    // Regression (§IX): a dispatch at PC A stages a preload in the
+    // Temporary Buffer; if the syscall that actually reaches the ROB
+    // head was fetched at a different PC, the staged entries belong to
+    // a prediction that never came true and must be dropped, not
+    // committed into the SLB by the unrelated syscall.
+    HwProcessContext proc(readProfile());
+    DracoHardwareEngine engine;
+    engine.switchTo(&proc);
+    auto reqA = request(os::sc::read, {3, 0, 64}, 0x400800);
+    engine.onSyscall(reqA);       // warm VAT + STB for PC A
+    engine.slb().invalidateAll(); // SLB cold, STB warm
+
+    // PC A's dispatch stages tuple A, but the head sees the *same sid*
+    // from a different PC — exactly the case where a sid-keyed commit
+    // would adopt the stale staged entry.
+    engine.onDispatch(reqA.pc);
+    auto reqB = request(os::sc::read, {4, 0, 128}, 0x990000);
+    engine.onRobHead(reqB);
+
+    // Tuple A must not have leaked into the SLB: a fresh access with
+    // no preload of its own (STB invalidated) has to fall through to
+    // the VAT.
+    engine.stb().invalidateAll();
+    auto out = engine.onSyscall(reqA);
+    EXPECT_FALSE(out.accessHit) << "stale preload leaked into SLB";
+    EXPECT_EQ(out.flow, HwFlow::F6);
+    EXPECT_TRUE(out.allowed);
+    EXPECT_FALSE(out.filterRun); // VAT still remembers tuple A
+}
+
+TEST(HwEngine, TableOneFlowClassification)
+{
+    // Drive one syscall through each Table-I flow and check both the
+    // engine's flow counters and their registry export agree with the
+    // per-call classification.
+    HwProcessContext proc(readProfile());
+    DracoHardwareEngine engine;
+    engine.switchTo(&proc);
+    auto reqA = request(os::sc::read, {3, 0, 64}, 0x400800);
+    auto reqB = request(os::sc::read, {4, 0, 128}, 0x400800);
+
+    // ID-only syscall: SPT says no argument checks.
+    ASSERT_EQ(engine.onSyscall(request(os::sc::getpid, {}, 0x100)).flow,
+              HwFlow::IdOnly);
+    // Cold miss: filter validates and fills the VAT.
+    ASSERT_EQ(engine.onSyscall(reqA).flow, HwFlow::F6);
+    // Fully warm repeat: STB hit + preload hit + access hit.
+    ASSERT_EQ(engine.onSyscall(reqA).flow, HwFlow::F1);
+    // SLB evicted, STB warm: preload fetches from the VAT in time.
+    engine.slb().invalidateAll();
+    ASSERT_EQ(engine.onSyscall(reqA).flow, HwFlow::F3);
+    // Same tuple from a new PC: no prediction, but the SLB access hits.
+    ASSERT_EQ(engine.onSyscall(request(os::sc::read, {3, 0, 64},
+                                       0x990000))
+                  .flow,
+              HwFlow::F5);
+    // Same PC, different tuple: prediction hits the *old* tuple, the
+    // access misses, the VAT misses -> filter revalidates.
+    ASSERT_EQ(engine.onSyscall(reqB).flow, HwFlow::F2);
+    // STB now predicts tuple B; evict the SLB and issue tuple A: the
+    // preload fetches the wrong entry, the access misses, the VAT hits.
+    engine.slb().invalidateAll();
+    ASSERT_EQ(engine.onSyscall(reqA).flow, HwFlow::F4);
+    // Argument set outside the profile.
+    ASSERT_EQ(engine.onSyscall(request(os::sc::read, {9, 0, 9}, 0x7700))
+                  .flow,
+              HwFlow::Denied);
+
+    const auto &stats = engine.stats();
+    EXPECT_EQ(stats.syscalls, 8u);
+    for (size_t i = 0; i < stats.flows.size(); ++i)
+        EXPECT_EQ(stats.flows[i], 1u) << hwFlowMetricName(
+            static_cast<HwFlow>(i));
+
+    MetricRegistry registry;
+    engine.exportMetrics(registry, "hw");
+    EXPECT_EQ(registry.counterValue("hw.syscalls"), 8u);
+    for (size_t i = 0; i < stats.flows.size(); ++i) {
+        std::string name = MetricRegistry::join(
+            "hw.flows", hwFlowMetricName(static_cast<HwFlow>(i)));
+        EXPECT_EQ(registry.counterValue(name), stats.flows[i]) << name;
+    }
+    // Fast flows are IdOnly/F1/F3/F5 (Table I); slow excludes denials.
+    EXPECT_EQ(registry.counterValue("hw.flows.fast"), 4u);
+    EXPECT_EQ(registry.counterValue("hw.flows.slow"), 3u);
+    EXPECT_DOUBLE_EQ(registry.gaugeValue("hw.flows.fast_fraction"), 0.5);
+    // The scheduled process's VAT rides along under the same prefix.
+    EXPECT_EQ(registry.counterValue("hw.vat.insertions"), 2u);
+}
+
 TEST(HwEngine, ContextSwitchIsolatesProcesses)
 {
     // A process must never hit on another process's cached state.

@@ -166,6 +166,77 @@ TEST(Cuckoo, StatsCountersAdvance)
     EXPECT_GE(s.hits, 1u);
 }
 
+TEST(Cuckoo, InsertDoesNotCountLookups)
+{
+    // Regression: insert()'s internal presence probe used to run through
+    // contains(), inflating the lookup/hit counters with traffic the
+    // caller never issued (and skewing the VAT hit rate).
+    auto t = makeTable(8);
+    EXPECT_EQ(t.insert(1), CuckooInsert::Inserted);
+    EXPECT_EQ(t.insert(1), CuckooInsert::AlreadyPresent);
+    EXPECT_EQ(t.insert(2), CuckooInsert::Inserted);
+    EXPECT_EQ(t.stats().lookups, 0u);
+    EXPECT_EQ(t.stats().hits, 0u);
+    EXPECT_EQ(t.stats().insertions, 2u);
+
+    // Externally observed traffic still counts.
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_FALSE(t.contains(3));
+    EXPECT_EQ(t.stats().lookups, 2u);
+    EXPECT_EQ(t.stats().hits, 1u);
+}
+
+TEST(Cuckoo, EvictionAfterExactlyMaxDisplacements)
+{
+    // Regression: the displacement loop used to run max_displacements+1
+    // swaps before giving up. Degenerate hashes (everything maps to
+    // bucket 0 of both ways, capacity 2) make the chain length exact:
+    // a third insert must swap precisely kMaxDisp times, then evict.
+    constexpr unsigned kMaxDisp = 5;
+    CuckooTable<uint64_t> t(
+        1, [](const uint64_t &) { return uint64_t{0}; },
+        [](const uint64_t &) { return uint64_t{0}; }, kMaxDisp);
+
+    EXPECT_EQ(t.insert(10), CuckooInsert::Inserted);
+    EXPECT_EQ(t.insert(20), CuckooInsert::Inserted);
+    EXPECT_EQ(t.stats().displacements, 0u);
+
+    uint64_t victim = 0;
+    EXPECT_EQ(t.insert(30, &victim), CuckooInsert::EvictedVictim);
+    EXPECT_EQ(t.stats().displacements, kMaxDisp);
+    EXPECT_EQ(t.stats().evictions, 1u);
+    EXPECT_EQ(t.size(), 2u);
+
+    // The chain alternates ways each swap, so with an odd bound the
+    // victim is deterministic: 10→way0, 20→way1, then the pending key
+    // cycles 30,10,20,30,10 and ends holding 20.
+    EXPECT_EQ(victim, 20u);
+    EXPECT_TRUE(t.contains(10));
+    EXPECT_TRUE(t.contains(30));
+    EXPECT_FALSE(t.contains(20));
+}
+
+TEST(Cuckoo, ExportMetricsMatchesStats)
+{
+    auto t = makeTable(8);
+    t.insert(1);
+    t.insert(2);
+    t.contains(1);
+    t.contains(9);
+
+    MetricRegistry registry;
+    t.exportMetrics(registry, "cuckoo");
+    EXPECT_EQ(registry.counterValue("cuckoo.lookups"), 2u);
+    EXPECT_EQ(registry.counterValue("cuckoo.hits"), 1u);
+    EXPECT_EQ(registry.counterValue("cuckoo.insertions"), 2u);
+    EXPECT_EQ(registry.counterValue("cuckoo.displacements"),
+              t.stats().displacements);
+    EXPECT_EQ(registry.counterValue("cuckoo.evictions"), 0u);
+    EXPECT_EQ(registry.counterValue("cuckoo.size"), 2u);
+    EXPECT_EQ(registry.counterValue("cuckoo.capacity"), 16u);
+    EXPECT_DOUBLE_EQ(registry.gaugeValue("cuckoo.hit_rate"), 0.5);
+}
+
 TEST(Cuckoo, ForEachVisitsAllKeys)
 {
     auto t = makeTable(16);

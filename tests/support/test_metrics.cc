@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the unified MetricRegistry: handle semantics, name
+ * hierarchy rules, and the dependency-free JSON serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/metrics.hh"
+
+namespace draco {
+namespace {
+
+TEST(MetricRegistry, CounterHandleStartsAtZeroAndIsLive)
+{
+    MetricRegistry reg;
+    uint64_t &c = reg.counter("vat.lookups");
+    EXPECT_EQ(c, 0u);
+    ++c;
+    c += 2;
+    EXPECT_EQ(reg.counterValue("vat.lookups"), 3u);
+    // Same name returns the same storage.
+    EXPECT_EQ(&reg.counter("vat.lookups"), &c);
+}
+
+TEST(MetricRegistry, GaugeAndTextSetters)
+{
+    MetricRegistry reg;
+    reg.setGauge("run.normalized", 1.0625);
+    reg.setGauge("run.normalized", 1.125); // overwrite
+    reg.setText("run.workload", "nginx");
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("run.normalized"), 1.125);
+    EXPECT_EQ(reg.textValue("run.workload"), "nginx");
+}
+
+TEST(MetricRegistry, SetCounterOverwrites)
+{
+    MetricRegistry reg;
+    reg.setCounter("x", 7);
+    reg.setCounter("x", 9);
+    EXPECT_EQ(reg.counterValue("x"), 9u);
+}
+
+TEST(MetricRegistry, HasSizeNamesAndClear)
+{
+    MetricRegistry reg;
+    reg.setCounter("b.two", 2);
+    reg.setCounter("a.one", 1);
+    reg.setGauge("c", 3.0);
+    EXPECT_TRUE(reg.has("a.one"));
+    EXPECT_FALSE(reg.has("a"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_EQ(reg.size(), 3u);
+    auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.one"); // sorted
+    EXPECT_EQ(names[1], "b.two");
+    EXPECT_EQ(names[2], "c");
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_FALSE(reg.has("a.one"));
+}
+
+TEST(MetricRegistry, RunningStatInstrument)
+{
+    MetricRegistry reg;
+    RunningStat &s = reg.runningStat("lat");
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(reg.runningStat("lat").mean(), 2.0);
+}
+
+TEST(MetricRegistry, QuantileSketchInstrument)
+{
+    MetricRegistry reg;
+    QuantileSketch &q = reg.quantileSketch("ns");
+    for (int i = 1; i <= 100; ++i)
+        q.add(static_cast<double>(i));
+    EXPECT_EQ(reg.quantileSketch("ns").count(), 100u);
+    EXPECT_NEAR(q.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(MetricRegistry, JsonNestsGroupsAndSortsKeys)
+{
+    MetricRegistry reg;
+    reg.setCounter("hw.flows.f1", 3);
+    reg.setCounter("hw.flows.f2", 1);
+    reg.setCounter("hw.syscalls", 4);
+    EXPECT_EQ(reg.toJson(false),
+              "{\"hw\":{\"flows\":{\"f1\":3,\"f2\":1},\"syscalls\":4}}");
+}
+
+TEST(MetricRegistry, JsonScalarKinds)
+{
+    MetricRegistry reg;
+    reg.setCounter("c", 42);
+    reg.setGauge("g", 0.5);
+    reg.setText("t", "nginx");
+    EXPECT_EQ(reg.toJson(false), "{\"c\":42,\"g\":0.5,\"t\":\"nginx\"}");
+}
+
+TEST(MetricRegistry, JsonNonFiniteGaugeIsNull)
+{
+    MetricRegistry reg;
+    reg.setGauge("bad", std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(reg.toJson(false), "{\"bad\":null}");
+}
+
+TEST(MetricRegistry, JsonEscapesTextStrings)
+{
+    MetricRegistry reg;
+    reg.setText("t", "a\"b\\c");
+    EXPECT_EQ(reg.toJson(false), "{\"t\":\"a\\\"b\\\\c\"}");
+}
+
+TEST(MetricRegistry, EmptyRegistrySerializesToEmptyObject)
+{
+    MetricRegistry reg;
+    EXPECT_EQ(reg.toJson(false), "{}");
+}
+
+TEST(MetricRegistryDeath, LeafVersusGroupConflictIsFatal)
+{
+    // `a.b` makes `a` a group; registering leaf `a` must be rejected —
+    // the JSON object cannot hold both a value and a subobject at `a`.
+    MetricRegistry reg;
+    reg.setCounter("a.b", 1);
+    EXPECT_EXIT(reg.setCounter("a", 1),
+                testing::ExitedWithCode(1), "group");
+}
+
+TEST(MetricRegistryDeath, GroupVersusLeafConflictIsFatal)
+{
+    MetricRegistry reg;
+    reg.setCounter("a", 1);
+    EXPECT_EXIT(reg.setCounter("a.b", 1),
+                testing::ExitedWithCode(1), "leaf");
+}
+
+TEST(MetricRegistryDeath, KindMismatchIsFatal)
+{
+    MetricRegistry reg;
+    reg.setCounter("x", 1);
+    EXPECT_EXIT(reg.setGauge("x", 1.0),
+                testing::ExitedWithCode(1), "kind");
+}
+
+TEST(MetricRegistryDeath, MissingLeafReadIsFatal)
+{
+    MetricRegistry reg;
+    EXPECT_EXIT((void)reg.counterValue("nope"),
+                testing::ExitedWithCode(1), "nope");
+}
+
+TEST(MetricRegistry, SanitizeCollapsesAndLowercases)
+{
+    EXPECT_EQ(MetricRegistry::sanitize("Nginx"), "nginx");
+    EXPECT_EQ(MetricRegistry::sanitize("pipe-ipc"), "pipe-ipc");
+    EXPECT_EQ(MetricRegistry::sanitize("BM_Crc64/8"), "bm_crc64_8");
+    EXPECT_EQ(MetricRegistry::sanitize("  spaced out  "), "spaced_out");
+    EXPECT_EQ(MetricRegistry::sanitize("!!!"), "_");
+    EXPECT_EQ(MetricRegistry::sanitize(""), "_");
+}
+
+TEST(MetricRegistry, JoinHandlesEmptyPrefix)
+{
+    EXPECT_EQ(MetricRegistry::join("", "x"), "x");
+    EXPECT_EQ(MetricRegistry::join("a.b", "x"), "a.b.x");
+}
+
+} // namespace
+} // namespace draco
