@@ -22,7 +22,7 @@ double
 meanFilterInsns(const seccomp::FilterChain &chain,
                 const workload::AppModel &app)
 {
-    workload::TraceGenerator gen(app, kBenchSeed);
+    workload::TraceGenerator gen(app, workloadSeed(app));
     RunningStat insns;
     for (size_t i = 0; i < 20000; ++i) {
         auto r = chain.run(gen.next().req.toSeccompData());
@@ -54,19 +54,30 @@ main(int argc, char **argv)
         "Mean dynamic BPF instructions per syscall, docker-default");
     insnTable.setHeader({"workload", "linear-chain", "linear-coalesced",
                          "binary-tree"});
-    for (const char *name :
-         {"unixbench-syscall", "nginx", "redis", "mysql"}) {
-        const auto *app = workload::workloadByName(name);
-        std::vector<std::string> row = {name};
-        for (const auto &shape : shapes) {
+    const char *insnApps[] = {"unixbench-syscall", "nginx", "redis",
+                              "mysql"};
+    const size_t nShapes = std::size(shapes);
+    std::vector<double> meanInsns(std::size(insnApps) * nShapes);
+    parallelCells(
+        meanInsns.size(),
+        [&](size_t idx, MetricRegistry &shard) {
+            const char *name = insnApps[idx / nShapes];
+            const Shape &shape = shapes[idx % nShapes];
+            const auto *app = workload::workloadByName(name);
             auto chain = seccomp::buildFilterChain(docker, shape.shape);
             double insns = meanFilterInsns(chain, *app);
-            row.push_back(TextTable::num(insns, 1));
-            report.registry().setGauge(
+            shard.setGauge(
                 "insns." + MetricRegistry::sanitize(shape.name) + "." +
                     MetricRegistry::sanitize(name),
                 insns);
-        }
+            meanInsns[idx] = insns;
+        },
+        &report);
+
+    for (size_t a = 0; a < std::size(insnApps); ++a) {
+        std::vector<std::string> row = {insnApps[a]};
+        for (size_t s = 0; s < nShapes; ++s)
+            row.push_back(TextTable::num(meanInsns[a * nShapes + s], 1));
         insnTable.addRow(row);
     }
     insnTable.print();
@@ -75,22 +86,34 @@ main(int argc, char **argv)
                       "syscall, docker-default, both kernel stacks)");
     ovTable.setHeader({"shape", "new-kernel", "old-kernel-interp"});
     const auto *app = workload::workloadByName("unixbench-syscall");
-    for (const auto &shape : shapes) {
-        sim::RunOptions options;
-        options.mechanism = sim::Mechanism::Seccomp;
-        options.shape = shape.shape;
-        options.steadyCalls = benchCalls();
-        options.seed = kBenchSeed;
-        sim::ExperimentRunner runner;
-        sim::RunResult newRun = runner.run(*app, docker, options);
-        options.costs = &os::oldKernelCosts();
-        sim::RunResult oldRun = runner.run(*app, docker, options);
-        ovTable.addRow({shape.name,
-                        TextTable::num(newRun.normalized(), 3),
-                        TextTable::num(oldRun.normalized(), 3)});
-        std::string shapeSeg = MetricRegistry::sanitize(shape.name);
-        report.record(shapeSeg + ".new_kernel", newRun);
-        report.record(shapeSeg + ".old_kernel", oldRun);
+    std::vector<std::pair<sim::RunResult, sim::RunResult>> overheads(
+        nShapes);
+    parallelCells(
+        nShapes,
+        [&](size_t s, MetricRegistry &shard) {
+            const Shape &shape = shapes[s];
+            sim::RunOptions options;
+            options.mechanism = sim::Mechanism::Seccomp;
+            options.shape = shape.shape;
+            options.steadyCalls = benchCalls();
+            options.seed = workloadSeed(*app);
+            sim::ExperimentRunner runner;
+            sim::RunResult newRun = runner.run(*app, docker, options);
+            options.costs = &os::oldKernelCosts();
+            sim::RunResult oldRun = runner.run(*app, docker, options);
+            std::string shapeSeg = MetricRegistry::sanitize(shape.name);
+            recordCell(shard, shapeSeg + ".new_kernel", newRun);
+            recordCell(shard, shapeSeg + ".old_kernel", oldRun);
+            overheads[s] = {std::move(newRun), std::move(oldRun)};
+        },
+        &report);
+
+    for (size_t s = 0; s < nShapes; ++s) {
+        ovTable.addRow({shapes[s].name,
+                        TextTable::num(overheads[s].first.normalized(),
+                                       3),
+                        TextTable::num(overheads[s].second.normalized(),
+                                       3)});
     }
     ovTable.print();
 

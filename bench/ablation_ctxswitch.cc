@@ -29,8 +29,15 @@ main(int argc, char **argv)
     table.setHeader({"quantum-us", "spt-save-restore", "switches",
                      "normalized", "spt-restored"});
 
-    for (double quantumUs : {50.0, 200.0, 1000.0, 5000.0}) {
-        for (bool saveRestore : {true, false}) {
+    const double quanta[] = {50.0, 200.0, 1000.0, 5000.0};
+    const bool modes[] = {true, false};
+    std::vector<sim::SchedResult> results(std::size(quanta) *
+                                          std::size(modes));
+    parallelCells(
+        results.size(),
+        [&](size_t idx, MetricRegistry &shard) {
+            double quantumUs = quanta[idx / std::size(modes)];
+            bool saveRestore = modes[idx % std::size(modes)];
             sim::SchedOptions options;
             options.quantumNs = quantumUs * 1000.0;
             options.sptSaveRestore = saveRestore;
@@ -43,23 +50,26 @@ main(int argc, char **argv)
                 std::to_string(static_cast<unsigned>(quantumUs)) +
                 (saveRestore ? ".save_restore_on"
                              : ".save_restore_off");
-            auto &reg = report.registry();
-            reg.setCounter(
+            shard.setCounter(
                 MetricRegistry::join(prefix, "context_switches"),
                 r.contextSwitches);
-            reg.setGauge(MetricRegistry::join(prefix, "normalized"),
-                         r.normalized());
-            core::exportStats(r.hw, reg,
+            shard.setGauge(MetricRegistry::join(prefix, "normalized"),
+                           r.normalized());
+            core::exportStats(r.hw, shard,
                               MetricRegistry::join(prefix, "hw"));
+            results[idx] = std::move(r);
+        },
+        &report);
 
-            table.addRow({
-                TextTable::num(quantumUs, 0),
-                saveRestore ? "on" : "off",
-                std::to_string(r.contextSwitches),
-                TextTable::num(r.normalized(), 4),
-                std::to_string(r.hw.sptRestoredEntries),
-            });
-        }
+    for (size_t idx = 0; idx < results.size(); ++idx) {
+        const sim::SchedResult &r = results[idx];
+        table.addRow({
+            TextTable::num(quanta[idx / std::size(modes)], 0),
+            modes[idx % std::size(modes)] ? "on" : "off",
+            std::to_string(r.contextSwitches),
+            TextTable::num(r.normalized(), 4),
+            std::to_string(r.hw.sptRestoredEntries),
+        });
     }
     table.print();
     return 0;

@@ -21,24 +21,35 @@ main(int argc, char **argv)
     table.setHeader({"workload", "with-preload", "without-preload",
                      "check-ns/call(with)", "check-ns/call(without)"});
 
-    for (const auto *app : benchWorkloads()) {
-        sim::RunOptions options;
-        options.mechanism = sim::Mechanism::DracoHW;
-        options.steadyCalls = benchCalls();
-        options.seed = kBenchSeed;
-        sim::ExperimentRunner runner;
-        const auto &profile = cache.get(*app).complete;
+    const auto &apps = benchWorkloads();
+    std::vector<std::pair<sim::RunResult, sim::RunResult>> results(
+        apps.size());
+    parallelCells(
+        apps.size(),
+        [&](size_t i, MetricRegistry &shard) {
+            const auto *app = apps[i];
+            sim::RunOptions options;
+            options.mechanism = sim::Mechanism::DracoHW;
+            options.steadyCalls = benchCalls();
+            options.seed = workloadSeed(*app);
+            sim::ExperimentRunner runner;
+            const auto &profile = cache.get(*app).complete;
 
-        sim::RunResult with = runner.run(*app, profile, options);
-        options.hwPreload = false;
-        sim::RunResult without = runner.run(*app, profile, options);
+            sim::RunResult with = runner.run(*app, profile, options);
+            options.hwPreload = false;
+            sim::RunResult without = runner.run(*app, profile, options);
 
-        std::string appSeg = MetricRegistry::sanitize(app->name);
-        report.record("preload_on." + appSeg, with);
-        report.record("preload_off." + appSeg, without);
+            std::string appSeg = MetricRegistry::sanitize(app->name);
+            recordCell(shard, "preload_on." + appSeg, with);
+            recordCell(shard, "preload_off." + appSeg, without);
+            results[i] = {std::move(with), std::move(without)};
+        },
+        &report);
 
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const auto &[with, without] = results[i];
         table.addRow({
-            app->name,
+            apps[i]->name,
             TextTable::num(with.normalized(), 4),
             TextTable::num(without.normalized(), 4),
             TextTable::num(with.checkNs / with.syscalls, 2),

@@ -50,33 +50,46 @@ main(int argc, char **argv)
     table.setHeader({"scale", "workload", "slb-access", "slb-preload",
                      "normalized", "slb-area-mm2", "slb-leak-mW"});
 
-    for (double scale : scales) {
-        hwmodel::SramCosts cost = hwmodel::scaledSlbCost(scale);
-        for (const char *name : apps) {
+    const size_t nScales = std::size(scales);
+    const size_t nApps = std::size(apps);
+    std::vector<sim::RunResult> results(nScales * nApps);
+    parallelCells(
+        results.size(),
+        [&](size_t idx, MetricRegistry &shard) {
+            double scale = scales[idx / nApps];
+            const char *name = apps[idx % nApps];
             const auto *app = workload::workloadByName(name);
             sim::RunOptions options;
             options.mechanism = sim::Mechanism::DracoHW;
             options.steadyCalls = benchCalls();
-            options.seed = kBenchSeed;
+            options.seed = workloadSeed(*app);
             options.slbGeometry = scaledGeometry(scale);
             sim::ExperimentRunner runner;
             sim::RunResult r =
                 runner.run(*app, cache.get(*app).complete, options);
-            report.record("scale_" +
-                              MetricRegistry::sanitize(
-                                  TextTable::num(scale, 2)) +
-                              "." + MetricRegistry::sanitize(name),
-                          r);
-            table.addRow({
-                TextTable::num(scale, 2),
-                name,
-                TextTable::num(r.slbAccessHitRate() * 100.0, 1),
-                TextTable::num(r.slbPreloadHitRate() * 100.0, 1),
-                TextTable::num(r.normalized(), 4),
-                TextTable::num(cost.areaMm2, 5),
-                TextTable::num(cost.leakageMw, 3),
-            });
-        }
+            recordCell(shard,
+                       "scale_" +
+                           MetricRegistry::sanitize(
+                               TextTable::num(scale, 2)) +
+                           "." + MetricRegistry::sanitize(name),
+                       r);
+            results[idx] = std::move(r);
+        },
+        &report);
+
+    for (size_t idx = 0; idx < results.size(); ++idx) {
+        double scale = scales[idx / nApps];
+        hwmodel::SramCosts cost = hwmodel::scaledSlbCost(scale);
+        const sim::RunResult &r = results[idx];
+        table.addRow({
+            TextTable::num(scale, 2),
+            apps[idx % nApps],
+            TextTable::num(r.slbAccessHitRate() * 100.0, 1),
+            TextTable::num(r.slbPreloadHitRate() * 100.0, 1),
+            TextTable::num(r.normalized(), 4),
+            TextTable::num(cost.areaMm2, 5),
+            TextTable::num(cost.leakageMw, 3),
+        });
     }
     table.print();
     return 0;

@@ -25,19 +25,27 @@ main(int argc, char **argv)
     table.setHeader({"workload", "contexts", "slb-ways", "stb-entries",
                      "stb-hit", "slb-access", "fast-flows"});
 
-    for (const char *name :
-         {"nginx", "elasticsearch", "redis", "pipe-ipc"}) {
-        const auto *app = workload::workloadByName(name);
-        const auto &profile = cache.get(*app).complete;
+    const char *names[] = {"nginx", "elasticsearch", "redis",
+                           "pipe-ipc"};
+    const unsigned contextCounts[] = {1u, 2u, 4u};
+    const size_t nContexts = std::size(contextCounts);
+    std::vector<std::vector<std::string>> rows(std::size(names) *
+                                               nContexts);
+    parallelCells(
+        rows.size(),
+        [&](size_t idx, MetricRegistry &shard) {
+            const char *name = names[idx / nContexts];
+            unsigned contexts = contextCounts[idx % nContexts];
+            const auto *app = workload::workloadByName(name);
+            const auto &profile = cache.get(*app).complete;
 
-        for (unsigned contexts : {1u, 2u, 4u}) {
             core::EngineGeometry geom =
                 core::EngineGeometry::smtPartition(contexts);
             core::HwProcessContext proc(profile);
             core::DracoHardwareEngine engine(true, geom);
             engine.switchTo(&proc);
 
-            workload::TraceGenerator gen(*app, kBenchSeed);
+            workload::TraceGenerator gen(*app, workloadSeed(*app));
             size_t calls = benchCalls() / 2;
             for (size_t i = 0; i < calls; ++i)
                 engine.onSyscall(gen.next().req);
@@ -57,9 +65,9 @@ main(int argc, char **argv)
             std::string prefix = "runs." +
                 MetricRegistry::sanitize(name) + ".contexts_" +
                 std::to_string(contexts);
-            engine.exportMetrics(report.registry(), prefix);
+            engine.exportMetrics(shard, prefix);
 
-            table.addRow({
+            rows[idx] = {
                 name,
                 std::to_string(contexts),
                 std::to_string(geom.slb[1].ways),
@@ -67,9 +75,12 @@ main(int argc, char **argv)
                 TextTable::num(stbHit, 1),
                 TextTable::num(slbHit, 1),
                 TextTable::num(100.0 * fast / hw.syscalls, 1),
-            });
-        }
-    }
+            };
+        },
+        &report);
+
+    for (const auto &row : rows)
+        table.addRow(row);
     table.print();
     return 0;
 }

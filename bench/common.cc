@@ -1,5 +1,6 @@
 #include "common.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -21,6 +22,43 @@ benchCalls()
     return calls;
 }
 
+namespace {
+
+/** Thread count requested via `--threads N` (0: not given). */
+unsigned threadsArg = 0;
+
+void
+setThreadsArg(const std::string &value)
+{
+    long v = std::atol(value.c_str());
+    if (v > 0)
+        threadsArg = static_cast<unsigned>(v);
+    else
+        warn("ignoring invalid --threads '%s'", value.c_str());
+}
+
+} // namespace
+
+unsigned
+benchThreads()
+{
+    if (threadsArg)
+        return threadsArg;
+    static const unsigned fromEnv = [] {
+        const char *env = std::getenv("DRACO_BENCH_THREADS");
+        if (env) {
+            long v = std::atol(env);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            warn("ignoring invalid DRACO_BENCH_THREADS='%s'", env);
+        }
+        return 0u;
+    }();
+    if (fromEnv)
+        return fromEnv;
+    return support::ThreadPool::hardwareConcurrency();
+}
+
 const char *
 profileKindName(ProfileKind kind)
 {
@@ -34,24 +72,32 @@ profileKindName(ProfileKind kind)
     return "?";
 }
 
+uint64_t
+workloadSeed(const workload::AppModel &app)
+{
+    return splitSeed(kBenchSeed, app.name);
+}
+
 BenchReport::BenchReport(const std::string &name, int argc, char **argv)
     : _name(name)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            _path = argv[i + 1];
-            break;
-        }
-        if (arg.rfind("--json=", 0) == 0) {
+        if (arg == "--json" && i + 1 < argc)
+            _path = argv[++i];
+        else if (arg.rfind("--json=", 0) == 0)
             _path = arg.substr(7);
-            break;
-        }
+        else if (arg == "--threads" && i + 1 < argc)
+            setThreadsArg(argv[++i]);
+        else if (arg.rfind("--threads=", 0) == 0)
+            setThreadsArg(arg.substr(10));
     }
     if (_path.empty()) {
         if (const char *dir = std::getenv("DRACO_BENCH_JSON"); dir && *dir)
             _path = std::string(dir) + "/BENCH_" + _name + ".json";
     }
+    // The thread count is deliberately NOT recorded: the artifact must
+    // be byte-identical at any --threads value.
     _registry.setText("bench.name", _name);
     _registry.setCounter("bench.schema_version", 1);
     _registry.setCounter("bench.calls", benchCalls());
@@ -67,31 +113,86 @@ void
 BenchReport::record(const std::string &prefix,
                     const sim::RunResult &result)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     result.exportMetrics(_registry,
                          MetricRegistry::join("runs", prefix));
 }
 
 void
+BenchReport::mergeShard(const MetricRegistry &shard)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _registry.merge(shard);
+}
+
+void
 BenchReport::write()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     if (_path.empty() || _written)
         return;
-    _registry.writeJsonFile(_path);
-    std::printf("\nwrote %s\n", _path.c_str());
     _written = true;
+    if (_registry.tryWriteJsonFile(_path))
+        std::printf("\nwrote %s\n", _path.c_str());
+    else
+        std::fprintf(stderr,
+                     "error: failed to write bench report '%s'\n",
+                     _path.c_str());
 }
 
 const sim::AppProfiles &
 ProfileCache::get(const workload::AppModel &app)
 {
-    auto it = _cache.find(app.name);
-    if (it == _cache.end()) {
-        it = _cache
-                 .emplace(app.name,
-                          sim::makeAppProfiles(app, kBenchSeed, 300000))
-                 .first;
+    Entry *entry;
+    bool owner;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto [it, inserted] = _cache.try_emplace(app.name);
+        entry = &it->second;
+        owner = inserted;
+        if (inserted)
+            entry->done = entry->ready.get_future().share();
     }
-    return it->second;
+    if (owner) {
+        // Same seed as runExperiment's measurement trace, so the
+        // 300k-call profiling trace is a superset of any measured run.
+        entry->profiles.emplace(
+            sim::makeAppProfiles(app, workloadSeed(app), 300000));
+        entry->ready.set_value();
+    } else {
+        entry->done.wait();
+    }
+    return *entry->profiles;
+}
+
+void
+recordCell(MetricRegistry &shard, const std::string &prefix,
+           const sim::RunResult &result)
+{
+    result.exportMetrics(shard, MetricRegistry::join("runs", prefix));
+}
+
+void
+parallelCells(size_t cells,
+              const std::function<void(size_t, MetricRegistry &)> &cell,
+              BenchReport *report)
+{
+    if (cells == 0)
+        return;
+
+    // Each cell records into its own shard; merging happens once, in
+    // index order, after the sweep drains — so the merged registry is
+    // independent of worker count and scheduling.
+    std::vector<MetricRegistry> shards(cells);
+    unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(benchThreads(), cells));
+    support::ThreadPool pool(workers);
+    pool.parallelFor(cells,
+                     [&](size_t i) { cell(i, shards[i]); });
+
+    if (report)
+        for (const MetricRegistry &shard : shards)
+            report->mergeShard(shard);
 }
 
 sim::RunResult
@@ -103,7 +204,14 @@ runExperiment(const workload::AppModel &app, ProfileKind kind,
     options.mechanism = mechanism;
     options.costs = &costs;
     options.steadyCalls = benchCalls();
-    options.seed = kBenchSeed;
+    // Per-workload trace stream, shared by every (kind, mechanism)
+    // column so they all replay byte-identical syscalls; the auxiliary
+    // timing streams (ROB sampling, cache noise) split further per
+    // cell so concurrent sweep cells never share generator state.
+    options.seed = workloadSeed(app);
+    options.auxSeed =
+        splitSeed(splitSeed(options.seed, static_cast<uint64_t>(kind)),
+                  static_cast<uint64_t>(mechanism));
 
     static const seccomp::Profile insecure = seccomp::insecureProfile();
     static const seccomp::Profile docker =
@@ -154,29 +262,44 @@ printNormalizedFigure(
         &columns,
     BenchReport *report)
 {
+    const auto &apps = benchWorkloads();
+    const size_t cols = columns.size();
+
+    // One cell per (workload, column); each writes only its own slot.
+    std::vector<sim::RunResult> results(apps.size() * cols);
+    parallelCells(
+        results.size(),
+        [&](size_t idx, MetricRegistry &shard) {
+            size_t w = idx / cols;
+            size_t c = idx % cols;
+            sim::RunResult result = columns[c].second(*apps[w]);
+            if (report) {
+                recordCell(
+                    shard,
+                    MetricRegistry::join(
+                        MetricRegistry::sanitize(columns[c].first),
+                        MetricRegistry::sanitize(apps[w]->name)),
+                    result);
+            }
+            results[idx] = std::move(result);
+        },
+        report);
+
     TextTable table(title);
     std::vector<std::string> header = {"workload"};
     for (const auto &[label, fn] : columns)
         header.push_back(label);
     table.setHeader(header);
 
-    std::vector<RunningStat> macroStats(columns.size());
-    std::vector<RunningStat> microStats(columns.size());
+    std::vector<RunningStat> macroStats(cols);
+    std::vector<RunningStat> microStats(cols);
 
-    for (const auto *app : benchWorkloads()) {
-        std::vector<std::string> row = {app->name};
-        for (size_t c = 0; c < columns.size(); ++c) {
-            sim::RunResult result = columns[c].second(*app);
-            double v = result.normalized();
-            (app->isMacro ? macroStats[c] : microStats[c]).add(v);
+    for (size_t w = 0; w < apps.size(); ++w) {
+        std::vector<std::string> row = {apps[w]->name};
+        for (size_t c = 0; c < cols; ++c) {
+            double v = results[w * cols + c].normalized();
+            (apps[w]->isMacro ? macroStats[c] : microStats[c]).add(v);
             row.push_back(TextTable::num(v, 3));
-            if (report) {
-                report->record(
-                    MetricRegistry::join(
-                        MetricRegistry::sanitize(columns[c].first),
-                        MetricRegistry::sanitize(app->name)),
-                    result);
-            }
         }
         table.addRow(row);
     }
@@ -192,7 +315,7 @@ printNormalizedFigure(
     addAverage("average-micro", microStats);
 
     if (report) {
-        for (size_t c = 0; c < columns.size(); ++c) {
+        for (size_t c = 0; c < cols; ++c) {
             std::string col = MetricRegistry::join(
                 "figure", MetricRegistry::sanitize(columns[c].first));
             report->registry().setGauge(

@@ -7,22 +7,41 @@
  * corresponding figure of the paper. Call counts scale with the
  * DRACO_BENCH_CALLS environment variable (default 150000 steady-state
  * syscalls per run).
+ *
+ * Sweeps execute on a support::ThreadPool: independent cells fan out
+ * across `--threads N` (or DRACO_BENCH_THREADS; default: hardware
+ * concurrency) worker threads. Parallelism never changes results —
+ * every cell derives its seeds from its own coordinates via
+ * splitSeed(), records into a private MetricRegistry shard, and the
+ * shards merge back in cell-index order, so tables and BENCH_*.json
+ * artifacts are byte-identical at any thread count.
  */
 
 #ifndef DRACO_BENCH_COMMON_HH
 #define DRACO_BENCH_COMMON_HH
 
 #include <functional>
+#include <future>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "draco/draco.hh"
+#include "support/threadpool.hh"
 
 namespace draco::bench {
 
 /** Default steady-state call count per experiment run. */
 size_t benchCalls();
+
+/**
+ * Worker threads used for sweeps: the last `--threads N` seen by a
+ * BenchReport constructor, else DRACO_BENCH_THREADS, else hardware
+ * concurrency. Always at least 1.
+ */
+unsigned benchThreads();
 
 /** Shared trace/profile seed so every binary sees identical traces. */
 inline constexpr uint64_t kBenchSeed = 7;
@@ -40,8 +59,21 @@ enum class ProfileKind {
 const char *profileKindName(ProfileKind kind);
 
 /**
+ * Trace/profile seed of @p app's experiments: the per-workload
+ * SplitMix64 stream of kBenchSeed. Shared by every (kind, mechanism)
+ * cell of a workload so all columns see byte-identical syscalls and
+ * the generated profiles cover exactly the measured trace.
+ */
+uint64_t workloadSeed(const workload::AppModel &app);
+
+/**
  * Cache of generated app profiles, keyed by workload name (generation
  * replays a 300k-call profiling trace, so each binary does it once).
+ *
+ * Safe for concurrent use: the first caller of a key generates while
+ * holding a per-key promise, later callers block on that promise, so
+ * concurrent sweep cells generate each workload's profiles exactly
+ * once.
  */
 class ProfileCache
 {
@@ -50,7 +82,14 @@ class ProfileCache
     const sim::AppProfiles &get(const workload::AppModel &app);
 
   private:
-    std::map<std::string, sim::AppProfiles> _cache;
+    struct Entry {
+        std::promise<void> ready;
+        std::shared_future<void> done;
+        std::optional<sim::AppProfiles> profiles;
+    };
+
+    std::mutex _mutex;
+    std::map<std::string, Entry> _cache;
 };
 
 /**
@@ -67,15 +106,21 @@ class ProfileCache
  *    `<dir>/BENCH_<name>.json` (`.` for the working directory);
  *  - otherwise nothing is written and the binary only prints tables.
  *
- * The schema is documented in DESIGN.md §7. Recording happens even
- * when no path was requested, so tests can inspect the registry.
+ * The constructor also consumes `--threads N` / `--threads=N` (see
+ * benchThreads()). The schema is documented in DESIGN.md §7, the
+ * concurrency model in DESIGN.md §8. Recording happens even when no
+ * path was requested, so tests can inspect the registry.
+ *
+ * record() and mergeShard() serialize on an internal lock, so cells
+ * may record concurrently; a failed JSON write is reported on stderr
+ * with the path (never swallowed, never fatal from the destructor).
  */
 class BenchReport
 {
   public:
     /**
      * @param name Artifact name; becomes `BENCH_<name>.json`.
-     * @param argc Binary's argc (scanned for `--json`).
+     * @param argc Binary's argc (scanned for `--json`/`--threads`).
      * @param argv Binary's argv.
      */
     BenchReport(const std::string &name, int argc = 0,
@@ -93,9 +138,12 @@ class BenchReport
     /** @return The resolved output path ("" when disabled). */
     const std::string &path() const { return _path; }
 
-    /** Record @p result under `runs.<prefix>`. */
+    /** Record @p result under `runs.<prefix>` (thread-safe). */
     void record(const std::string &prefix,
                 const sim::RunResult &result);
+
+    /** Merge a sweep cell's registry shard (thread-safe). */
+    void mergeShard(const MetricRegistry &shard);
 
     /** Serialize now (idempotent; no-op when disabled). */
     void write();
@@ -103,13 +151,43 @@ class BenchReport
   private:
     std::string _name;
     std::string _path;
+    std::mutex _mutex;
     MetricRegistry _registry;
     bool _written = false;
 };
 
 /**
+ * Record @p result under `runs.<prefix>` in a sweep cell's private
+ * shard — the shard-side counterpart of BenchReport::record().
+ */
+void recordCell(MetricRegistry &shard, const std::string &prefix,
+                const sim::RunResult &result);
+
+/**
+ * Run @p cells independent sweep cells on the bench thread pool.
+ *
+ * Each cell gets a private MetricRegistry shard to record into; after
+ * all cells finish, the shards merge into @p report (when given) in
+ * cell-index order. Cells must be self-contained — no shared mutable
+ * state beyond ProfileCache — so any thread count and any scheduling
+ * produce identical registries. Cell exceptions propagate (lowest
+ * index wins) after the sweep drains.
+ *
+ * @param cells Number of cells.
+ * @param cell Cell body; receives its index and its shard.
+ * @param report Shard sink; may be nullptr (shards are discarded).
+ */
+void parallelCells(size_t cells,
+                   const std::function<void(size_t, MetricRegistry &)> &cell,
+                   BenchReport *report);
+
+/**
  * Run one (workload, profile kind, mechanism) experiment with the bench
  * defaults.
+ *
+ * The trace seed is the per-workload stream (workloadSeed()); the
+ * auxiliary timing streams split further per (kind, mechanism), so
+ * every sweep cell owns statistically independent randomness.
  *
  * @param app Workload.
  * @param kind Profile flavour (selects profile and filter copies).
@@ -129,6 +207,10 @@ const std::vector<const workload::AppModel *> &benchWorkloads();
 /**
  * Emit a normalized-latency figure: one row per workload plus the
  * macro/micro averages, one column per configuration.
+ *
+ * The (workload × column) cells run via parallelCells(); column
+ * producers must be thread-safe (runExperiment with a shared
+ * ProfileCache is).
  *
  * @param title Table title.
  * @param columns Column label and a producer returning the full run

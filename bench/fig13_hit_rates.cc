@@ -25,21 +25,32 @@ main(int argc, char **argv)
     table.setHeader(
         {"workload", "stb", "slb-access", "slb-preload", "fast-flows"});
 
-    RunningStat stbMacro, stbMicro;
-    for (const auto *app : benchWorkloads()) {
-        sim::RunResult r = runExperiment(
-            *app, ProfileKind::Complete, sim::Mechanism::DracoHW, cache);
+    const auto &apps = benchWorkloads();
+    std::vector<sim::RunResult> results(apps.size());
+    parallelCells(
+        apps.size(),
+        [&](size_t i, MetricRegistry &shard) {
+            sim::RunResult r =
+                runExperiment(*apps[i], ProfileKind::Complete,
+                              sim::Mechanism::DracoHW, cache);
+            recordCell(shard, MetricRegistry::sanitize(apps[i]->name),
+                       r);
+            results[i] = std::move(r);
+        },
+        &report);
 
+    RunningStat stbMacro, stbMicro;
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const sim::RunResult &r = results[i];
         uint64_t fast = r.hw.flows[0] + r.hw.flows[1] + r.hw.flows[3] +
             r.hw.flows[5];
         double fastFrac = r.hw.syscalls
             ? static_cast<double>(fast) / r.hw.syscalls
             : 0.0;
 
-        (app->isMacro ? stbMacro : stbMicro).add(r.stbHitRate());
-        report.record(MetricRegistry::sanitize(app->name), r);
+        (apps[i]->isMacro ? stbMacro : stbMicro).add(r.stbHitRate());
         table.addRow({
-            app->name,
+            apps[i]->name,
             TextTable::num(r.stbHitRate() * 100.0, 1),
             TextTable::num(r.slbAccessHitRate() * 100.0, 1),
             TextTable::num(r.slbPreloadHitRate() * 100.0, 1),

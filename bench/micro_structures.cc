@@ -154,6 +154,41 @@ BM_SeccompFilterRun(benchmark::State &state)
 BENCHMARK(BM_SeccompFilterRun);
 
 void
+BM_BpfInterpreted(benchmark::State &state)
+{
+    // Reference interpreter vs the pre-decoded dispatcher below, same
+    // program and inputs: the per-instruction decode/bounds work the
+    // compile() pass removes.
+    seccomp::BpfProgram filter =
+        seccomp::buildFilter(seccomp::dockerDefaultProfile());
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 9);
+    std::vector<os::SeccompData> data;
+    for (int i = 0; i < 1024; ++i)
+        data.push_back(gen.next().req.toSeccompData());
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.runInterpreted(data[i++ & 1023]));
+}
+BENCHMARK(BM_BpfInterpreted);
+
+void
+BM_BpfDecoded(benchmark::State &state)
+{
+    seccomp::BpfProgram filter =
+        seccomp::buildFilter(seccomp::dockerDefaultProfile());
+    const auto *app = workload::workloadByName("nginx");
+    workload::TraceGenerator gen(*app, 9);
+    std::vector<os::SeccompData> data;
+    for (int i = 0; i < 1024; ++i)
+        data.push_back(gen.next().req.toSeccompData());
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.run(data[i++ & 1023]));
+}
+BENCHMARK(BM_BpfDecoded);
+
+void
 BM_DracoSwCheck(benchmark::State &state)
 {
     seccomp::Profile profile = benchProfile();

@@ -144,8 +144,169 @@ BpfProgram::validate(std::string *error) const
     return true;
 }
 
+bool
+BpfProgram::compile(std::string *error)
+{
+    if (!validate(error))
+        return false;
+
+    using Op = BpfDecodedInsn::Op;
+    std::vector<BpfDecodedInsn> decoded;
+    decoded.reserve(_insns.size());
+
+    for (const BpfInsn &insn : _insns) {
+        BpfDecodedInsn out;
+        out.jt = insn.jt;
+        out.jf = insn.jf;
+        out.k = insn.k;
+        uint16_t cls = insn.code & kClassMask;
+        uint16_t mode = insn.code & 0xe0;
+        bool srcX = (insn.code & op::X) != 0;
+        switch (cls) {
+          case op::LD:
+            out.op = mode == op::ABS ? Op::LdAbs
+                : mode == op::IMM    ? Op::LdImm
+                : mode == op::LEN    ? Op::LdLen
+                                     : Op::LdMem;
+            break;
+          case op::LDX:
+            out.op = mode == op::IMM ? Op::LdxImm
+                : mode == op::LEN    ? Op::LdxLen
+                                     : Op::LdxMem;
+            break;
+          case op::ST:
+            out.op = Op::St;
+            break;
+          case op::STX:
+            out.op = Op::Stx;
+            break;
+          case op::ALU:
+            switch (insn.code & 0xf0) {
+              case op::ADD: out.op = srcX ? Op::AluAddX : Op::AluAddK; break;
+              case op::SUB: out.op = srcX ? Op::AluSubX : Op::AluSubK; break;
+              case op::MUL: out.op = srcX ? Op::AluMulX : Op::AluMulK; break;
+              case op::DIV: out.op = srcX ? Op::AluDivX : Op::AluDivK; break;
+              case op::MOD: out.op = srcX ? Op::AluModX : Op::AluModK; break;
+              case op::OR:  out.op = srcX ? Op::AluOrX  : Op::AluOrK;  break;
+              case op::AND: out.op = srcX ? Op::AluAndX : Op::AluAndK; break;
+              case op::XOR: out.op = srcX ? Op::AluXorX : Op::AluXorK; break;
+              case op::LSH:
+                out.op = srcX ? Op::AluLshX : Op::AluLshK;
+                // Constant over-shifts always yield 0 (see run()):
+                // strength-reduce to a masked clear.
+                if (!srcX && insn.k >= 32) {
+                    out.op = Op::AluAndK;
+                    out.k = 0;
+                }
+                break;
+              case op::RSH:
+                out.op = srcX ? Op::AluRshX : Op::AluRshK;
+                if (!srcX && insn.k >= 32) {
+                    out.op = Op::AluAndK;
+                    out.k = 0;
+                }
+                break;
+              case op::NEG: out.op = Op::AluNeg; break;
+            }
+            break;
+          case op::JMP:
+            switch (insn.code & 0xf0) {
+              case op::JA:   out.op = Op::Ja; break;
+              case op::JEQ:  out.op = srcX ? Op::JeqX  : Op::JeqK;  break;
+              case op::JGT:  out.op = srcX ? Op::JgtX  : Op::JgtK;  break;
+              case op::JGE:  out.op = srcX ? Op::JgeX  : Op::JgeK;  break;
+              case op::JSET: out.op = srcX ? Op::JsetX : Op::JsetK; break;
+            }
+            break;
+          case op::RET:
+            out.op = (insn.code & 0x18) == op::A ? Op::RetA : Op::RetK;
+            break;
+          case op::MISC:
+            out.op = (insn.code & 0xf8) == op::TAX ? Op::Tax : Op::Txa;
+            break;
+        }
+        decoded.push_back(out);
+    }
+
+    _decoded = std::move(decoded);
+    return true;
+}
+
 BpfResult
 BpfProgram::run(const os::SeccompData &data) const
+{
+    if (_decoded.empty())
+        return runInterpreted(data);
+
+    using Op = BpfDecodedInsn::Op;
+    uint32_t acc = 0;
+    uint32_t idx = 0;
+    uint32_t mem[kBpfMemWords] = {};
+    const auto *bytes = reinterpret_cast<const uint8_t *>(&data);
+
+    // The validator guarantees every jump lands in bounds and every
+    // path terminates in RET, so the loop needs no pc bounds check.
+    const BpfDecodedInsn *insn = _decoded.data();
+    uint64_t executed = 0;
+    for (;;) {
+        ++executed;
+        switch (insn->op) {
+          case Op::LdAbs: std::memcpy(&acc, bytes + insn->k, 4); break;
+          case Op::LdImm: acc = insn->k; break;
+          case Op::LdLen: acc = sizeof(os::SeccompData); break;
+          case Op::LdMem: acc = mem[insn->k]; break;
+          case Op::LdxImm: idx = insn->k; break;
+          case Op::LdxLen: idx = sizeof(os::SeccompData); break;
+          case Op::LdxMem: idx = mem[insn->k]; break;
+          case Op::St: mem[insn->k] = acc; break;
+          case Op::Stx: mem[insn->k] = idx; break;
+          case Op::AluAddK: acc += insn->k; break;
+          case Op::AluSubK: acc -= insn->k; break;
+          case Op::AluMulK: acc *= insn->k; break;
+          case Op::AluDivK: acc /= insn->k; break; // k!=0 validated
+          case Op::AluModK: acc %= insn->k; break; // k!=0 validated
+          case Op::AluOrK: acc |= insn->k; break;
+          case Op::AluAndK: acc &= insn->k; break;
+          case Op::AluXorK: acc ^= insn->k; break;
+          case Op::AluLshK: acc <<= insn->k; break; // k<32 after compile
+          case Op::AluRshK: acc >>= insn->k; break; // k<32 after compile
+          case Op::AluAddX: acc += idx; break;
+          case Op::AluSubX: acc -= idx; break;
+          case Op::AluMulX: acc *= idx; break;
+          case Op::AluDivX: acc = idx == 0 ? 0 : acc / idx; break;
+          case Op::AluModX: acc = idx == 0 ? 0 : acc % idx; break;
+          case Op::AluOrX: acc |= idx; break;
+          case Op::AluAndX: acc &= idx; break;
+          case Op::AluXorX: acc ^= idx; break;
+          case Op::AluLshX: acc = idx < 32 ? acc << idx : 0; break;
+          case Op::AluRshX: acc = idx < 32 ? acc >> idx : 0; break;
+          case Op::AluNeg:
+            acc = static_cast<uint32_t>(-static_cast<int32_t>(acc));
+            break;
+          case Op::Ja: insn += insn->k; break;
+          case Op::JeqK: insn += acc == insn->k ? insn->jt : insn->jf; break;
+          case Op::JgtK: insn += acc > insn->k ? insn->jt : insn->jf; break;
+          case Op::JgeK: insn += acc >= insn->k ? insn->jt : insn->jf; break;
+          case Op::JsetK:
+            insn += (acc & insn->k) != 0 ? insn->jt : insn->jf;
+            break;
+          case Op::JeqX: insn += acc == idx ? insn->jt : insn->jf; break;
+          case Op::JgtX: insn += acc > idx ? insn->jt : insn->jf; break;
+          case Op::JgeX: insn += acc >= idx ? insn->jt : insn->jf; break;
+          case Op::JsetX:
+            insn += (acc & idx) != 0 ? insn->jt : insn->jf;
+            break;
+          case Op::RetK: return BpfResult{insn->k, executed};
+          case Op::RetA: return BpfResult{acc, executed};
+          case Op::Tax: idx = acc; break;
+          case Op::Txa: acc = idx; break;
+        }
+        ++insn;
+    }
+}
+
+BpfResult
+BpfProgram::runInterpreted(const os::SeccompData &data) const
 {
     if (_insns.empty())
         panic("BpfProgram::run on empty program");

@@ -104,6 +104,35 @@ struct BpfResult {
 };
 
 /**
+ * One pre-decoded instruction of a compiled program.
+ *
+ * compile() lowers every validated BpfInsn into this dense form: the
+ * opcode masks are resolved into a single enumerator, constant shifts
+ * are strength-reduced, and every load offset / memory index / jump
+ * target has already passed the verifier — so the fast interpreter
+ * dispatches on one byte and never re-checks bounds or opcodes.
+ */
+struct BpfDecodedInsn {
+    enum class Op : uint8_t {
+        LdAbs, LdImm, LdLen, LdMem,
+        LdxImm, LdxLen, LdxMem,
+        St, Stx,
+        AluAddK, AluSubK, AluMulK, AluDivK, AluModK,
+        AluOrK, AluAndK, AluXorK, AluLshK, AluRshK,
+        AluAddX, AluSubX, AluMulX, AluDivX, AluModX,
+        AluOrX, AluAndX, AluXorX, AluLshX, AluRshX,
+        AluNeg,
+        Ja, JeqK, JgtK, JgeK, JsetK, JeqX, JgtX, JgeX, JsetX,
+        RetK, RetA, Tax, Txa,
+    };
+
+    Op op;
+    uint8_t jt = 0; ///< Relative offset when the condition holds.
+    uint8_t jf = 0; ///< Relative offset when it does not.
+    uint32_t k = 0; ///< Immediate / pre-checked offset or index.
+};
+
+/**
  * A validated classic-BPF program.
  */
 class BpfProgram
@@ -130,12 +159,39 @@ class BpfProgram
     bool validate(std::string *error = nullptr) const;
 
     /**
+     * Pre-decode the program for the fast interpreter.
+     *
+     * Validates, then lowers each instruction into a BpfDecodedInsn so
+     * run() can dispatch without per-instruction bounds or opcode
+     * re-checks. Compilation happens automatically for every program
+     * the filter builder emits; call it manually only on hand-rolled
+     * instruction vectors.
+     *
+     * @param error Receives the validator's message on failure.
+     * @return true when the program validated and compiled.
+     */
+    bool compile(std::string *error = nullptr);
+
+    /** @return true once compile() has succeeded. */
+    bool compiled() const { return !_decoded.empty(); }
+
+    /**
      * Execute the filter over @p data.
+     *
+     * Uses the pre-decoded fast path when compiled, otherwise falls
+     * back to runInterpreted().
      *
      * @param data The seccomp_data block for the pending system call.
      * @return Final action and dynamic instruction count.
      */
     BpfResult run(const os::SeccompData &data) const;
+
+    /**
+     * Execute via the reference interpreter, which re-derives opcode
+     * fields on every instruction. Kept as the semantic baseline the
+     * compiled fast path is equivalence-tested against.
+     */
+    BpfResult runInterpreted(const os::SeccompData &data) const;
 
     /** @return Static instruction count. */
     size_t size() const { return _insns.size(); }
@@ -151,6 +207,7 @@ class BpfProgram
 
   private:
     std::vector<BpfInsn> _insns;
+    std::vector<BpfDecodedInsn> _decoded; ///< Empty until compile().
 };
 
 } // namespace draco::seccomp

@@ -99,7 +99,7 @@ BpfAssembler::finish()
     _fixups.clear();
     _labelPos.clear();
     std::string error;
-    if (!program.validate(&error))
+    if (!program.compile(&error))
         panic("BpfAssembler produced invalid program: %s", error.c_str());
     return program;
 }
@@ -291,6 +291,12 @@ buildFilter(const Profile &profile, DispatchShape shape)
 FilterChain::FilterChain(std::vector<BpfProgram> programs)
     : _programs(std::move(programs))
 {
+    // Attaching is the kernel's validation point; it is also where we
+    // pre-decode for the fast interpreter. Invalid programs stay
+    // uncompiled and fail at run() exactly as before.
+    for (BpfProgram &program : _programs)
+        if (!program.compiled())
+            program.compile();
 }
 
 uint32_t

@@ -121,7 +121,10 @@ ExperimentRunner::run(const workload::AppModel &app,
     std::unique_ptr<core::HwProcessContext> hwProc;
     std::unique_ptr<core::DracoHardwareEngine> hwEngine;
     std::unique_ptr<CacheHierarchy> cache;
-    Rng robRng(options.seed ^ 0x9d2c5680cafef00dULL);
+    uint64_t auxSeed = options.auxSeed
+        ? options.auxSeed
+        : splitSeed(options.seed, "aux");
+    Rng robRng(splitSeed(auxSeed, "rob"));
 
     switch (options.mechanism) {
       case Mechanism::Insecure:
@@ -143,7 +146,8 @@ ExperimentRunner::run(const workload::AppModel &app,
             : std::make_unique<core::DracoHardwareEngine>(
                   options.hwPreload);
         hwEngine->switchTo(hwProc.get());
-        cache = std::make_unique<CacheHierarchy>(options.seed + 17);
+        cache = std::make_unique<CacheHierarchy>(
+            splitSeed(auxSeed, "cache"));
         break;
     }
 

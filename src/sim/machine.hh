@@ -75,6 +75,17 @@ struct RunOptions {
 
     /** Trace seed; equal seeds make runs trace-identical. */
     uint64_t seed = 42;
+
+    /**
+     * Seed of the run's auxiliary randomness (ROB occupancy sampling,
+     * cache placement noise) — streams that shape timing but never the
+     * trace. 0 derives it from `seed`, preserving the rule that equal
+     * seeds make runs fully deterministic; sweep drivers split a
+     * distinct stream per (workload, profile, mechanism) cell here
+     * while keeping `seed` shared so every mechanism column still sees
+     * byte-identical syscalls.
+     */
+    uint64_t auxSeed = 0;
 };
 
 /** Everything measured during one run. */

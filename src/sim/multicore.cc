@@ -52,13 +52,17 @@ MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
         core.assign = cores[i];
         if (!core.assign.app)
             fatal("MulticoreSimulator: core %zu has no workload", i);
-        uint64_t seed = options.seed + i * 131;
+        // Per-core child stream: SplitMix64 stream i of the run seed,
+        // so neighbouring cores' traces are statistically independent
+        // (additive `seed + i * k` made cores of nearby run seeds
+        // replay each other's streams).
+        uint64_t seed = splitSeed(options.seed, i);
         AppProfiles profiles =
             makeAppProfiles(*core.assign.app, seed, 200000);
         core.profile = profiles.complete;
         core.gen = std::make_unique<workload::TraceGenerator>(
             *core.assign.app, seed);
-        core.robRng = Rng(seed ^ 0xfeedULL);
+        core.robRng = Rng(splitSeed(seed, "rob"));
         core.result.workload = core.assign.app->name;
         core.result.mechanism = mechanismName(core.assign.mechanism);
 
@@ -78,7 +82,8 @@ MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
                 core.profile, core.assign.filterCopies);
             core.engine = std::make_unique<core::DracoHardwareEngine>();
             core.engine->switchTo(core.hwProc.get());
-            core.cache = std::make_unique<CacheHierarchy>(seed + 17);
+            core.cache = std::make_unique<CacheHierarchy>(
+                splitSeed(seed, "cache"));
             break;
         }
     }

@@ -26,11 +26,12 @@ MultiProcessSimulator::run(
 
     std::vector<Process> procs;
     for (size_t i = 0; i < apps.size(); ++i) {
-        AppProfiles profiles =
-            makeAppProfiles(*apps[i], options.seed + i, 200000);
+        // SplitMix64 child stream per process (see sim/multicore.cc).
+        uint64_t seed = splitSeed(options.seed, i);
+        AppProfiles profiles = makeAppProfiles(*apps[i], seed, 200000);
         Process p;
         p.gen = std::make_unique<workload::TraceGenerator>(
-            *apps[i], options.seed + i);
+            *apps[i], seed);
         p.ctx = std::make_unique<core::HwProcessContext>(
             profiles.complete, options.filterCopies);
         p.prologue = p.gen->prologue();
@@ -38,8 +39,8 @@ MultiProcessSimulator::run(
     }
 
     core::DracoHardwareEngine engine;
-    CacheHierarchy cache(options.seed + 99);
-    Rng robRng(options.seed ^ 0x1234abcdULL);
+    CacheHierarchy cache(splitSeed(options.seed, "cache"));
+    Rng robRng(splitSeed(options.seed, "rob"));
 
     size_t current = 0;
     engine.switchTo(procs[current].ctx.get(), options.sptSaveRestore);

@@ -242,6 +242,54 @@ MetricRegistry::clear()
     _groups.clear();
 }
 
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (const auto &[name, theirs] : other._metrics) {
+        auto it = _metrics.find(name);
+        if (it == _metrics.end()) {
+            registerName(name);
+            Metric copy;
+            copy.kind = theirs.kind;
+            copy.counter = theirs.counter;
+            copy.gauge = theirs.gauge;
+            copy.text = theirs.text;
+            copy.stat = theirs.stat;
+            if (theirs.hist)
+                copy.hist = std::make_unique<Histogram>(*theirs.hist);
+            copy.sketch = theirs.sketch;
+            _metrics.emplace(name, std::move(copy));
+            continue;
+        }
+        Metric &ours = it->second;
+        if (ours.kind != theirs.kind)
+            fatal("MetricRegistry::merge: metric '%s' has a different "
+                  "kind in the merged registry",
+                  name.c_str());
+        switch (ours.kind) {
+          case Metric::Kind::Counter:
+            ours.counter += theirs.counter;
+            break;
+          case Metric::Kind::Stat:
+            ours.stat.merge(theirs.stat);
+            break;
+          case Metric::Kind::Hist:
+            ours.hist->merge(*theirs.hist);
+            break;
+          case Metric::Kind::Sketch:
+            ours.sketch.merge(theirs.sketch);
+            break;
+          case Metric::Kind::Gauge:
+          case Metric::Kind::Text:
+            fatal("MetricRegistry::merge: %s '%s' exists in both "
+                  "registries; point values cannot merge — use "
+                  "distinct names per shard",
+                  ours.kind == Metric::Kind::Gauge ? "gauge" : "text",
+                  name.c_str());
+        }
+    }
+}
+
 std::string
 MetricRegistry::toJson(bool pretty) const
 {
@@ -380,13 +428,19 @@ MetricRegistry::toJson(bool pretty) const
 void
 MetricRegistry::writeJsonFile(const std::string &path) const
 {
+    if (!tryWriteJsonFile(path))
+        fatal("MetricRegistry: cannot write '%s'", path.c_str());
+}
+
+bool
+MetricRegistry::tryWriteJsonFile(const std::string &path) const
+{
     std::ofstream file(path);
     if (!file)
-        fatal("MetricRegistry: cannot open '%s' for writing",
-              path.c_str());
+        return false;
     file << toJson();
-    if (!file.good())
-        fatal("MetricRegistry: write to '%s' failed", path.c_str());
+    file.flush();
+    return file.good();
 }
 
 std::string

@@ -104,6 +104,24 @@ class MetricRegistry
     void clear();
 
     /**
+     * Fold every leaf of @p other into this registry.
+     *
+     * Parallel sweeps run each cell against a private registry shard
+     * and merge the shards back in cell-index order; because leaves
+     * live in a sorted map, the merged registry (and its JSON) is
+     * identical for any shard count and any execution interleaving.
+     *
+     * New names are copied. For names present in both registries the
+     * kinds must match, and:
+     *  - counters add;
+     *  - RunningStat / Histogram / QuantileSketch instruments merge
+     *    (histogram geometries must agree);
+     *  - gauge and text collisions are fatal — point values carry no
+     *    combination rule, so shards must give them distinct names.
+     */
+    void merge(const MetricRegistry &other);
+
+    /**
      * @param pretty Indent nested objects when true.
      * @return The whole registry as a JSON object string.
      */
@@ -111,6 +129,13 @@ class MetricRegistry
 
     /** Serialize to @p path; fatal when the file cannot be written. */
     void writeJsonFile(const std::string &path) const;
+
+    /**
+     * Serialize to @p path without dying on I/O errors.
+     *
+     * @return true when the file was fully written.
+     */
+    bool tryWriteJsonFile(const std::string &path) const;
 
     /**
      * Make an arbitrary label usable as one metric path segment:

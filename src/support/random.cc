@@ -26,6 +26,28 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+splitSeed(uint64_t seed, uint64_t stream)
+{
+    // SplitMix64's i-th output from state `seed` is
+    // mix(seed + (i + 1) * gamma); jump straight to it.
+    uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+splitSeed(uint64_t seed, std::string_view label)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL; // FNV-1a 64-bit
+    for (char c : label) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return splitSeed(seed, hash);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t s = seed;

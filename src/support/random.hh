@@ -12,9 +12,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace draco {
+
+/**
+ * SplitMix64 stream splitter: derive the @p stream-th child seed of
+ * @p seed.
+ *
+ * Returns output number @p stream of a SplitMix64 generator seeded with
+ * @p seed, in O(1). Children of one seed are the outputs of a single
+ * high-quality PRNG stream, so they are statistically independent and
+ * collision-free across @p stream values — unlike additive arithmetic
+ * (`seed + i * k`, `seed ^ tag`), whose children from nearby parent
+ * seeds collide (e.g. `(s, i=131)` and `(s+131, i=0)` under `+ 131*i`).
+ *
+ * Derivations chain: `splitSeed(splitSeed(s, a), b)` names the stream
+ * (a, b) of s.
+ */
+uint64_t splitSeed(uint64_t seed, uint64_t stream);
+
+/**
+ * Stream splitter keyed by a label: hashes @p label (FNV-1a) into the
+ * stream index, so heterogeneous components ("rob", a workload name)
+ * can name child streams without a manual numbering scheme.
+ */
+uint64_t splitSeed(uint64_t seed, std::string_view label);
 
 /**
  * xoshiro256** pseudo-random generator.

@@ -49,6 +49,31 @@ RunningStat::geomean() const
     return std::exp(_logSum / static_cast<double>(_n));
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other._n == 0)
+        return;
+    if (_n == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. pairwise combination of Welford accumulators.
+    uint64_t n = _n + other._n;
+    double delta = other._mean - _mean;
+    _mean += delta * static_cast<double>(other._n) /
+        static_cast<double>(n);
+    _m2 += other._m2 +
+        delta * delta * static_cast<double>(_n) *
+            static_cast<double>(other._n) / static_cast<double>(n);
+    _n = n;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+    _sum += other._sum;
+    _logSum += other._logSum;
+    _allPositive = _allPositive && other._allPositive;
+}
+
 Histogram::Histogram(double lo, double hi, size_t buckets)
     : _lo(lo), _hi(hi), _counts(buckets, 0)
 {
@@ -82,6 +107,30 @@ Histogram::bucketLo(size_t i) const
 {
     return _lo + (_hi - _lo) * static_cast<double>(i) /
         static_cast<double>(_counts.size());
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (_lo != other._lo || _hi != other._hi ||
+        _counts.size() != other._counts.size()) {
+        fatal("Histogram::merge: incompatible geometry "
+              "([%g,%g)x%zu vs [%g,%g)x%zu)",
+              _lo, _hi, _counts.size(), other._lo, other._hi,
+              other._counts.size());
+    }
+    for (size_t i = 0; i < _counts.size(); ++i)
+        _counts[i] += other._counts[i];
+    _under += other._under;
+    _over += other._over;
+    _total += other._total;
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    _xs.insert(_xs.end(), other._xs.begin(), other._xs.end());
+    _sorted = false;
 }
 
 double

@@ -52,6 +52,12 @@ class RunningStat
      */
     double geomean() const;
 
+    /**
+     * Fold @p other into this summary, as if every sample added to
+     * @p other had been added here (parallel Welford combination).
+     */
+    void merge(const RunningStat &other);
+
   private:
     uint64_t _n = 0;
     double _mean = 0.0;
@@ -97,6 +103,12 @@ class Histogram
     /** @return Total samples recorded, including out-of-range. */
     uint64_t total() const { return _total; }
 
+    /**
+     * Add @p other's counts into this histogram; fatal unless both
+     * share the same range and bucket count.
+     */
+    void merge(const Histogram &other);
+
   private:
     double _lo;
     double _hi;
@@ -131,6 +143,9 @@ class QuantileSketch
 
     /** @return Number of samples. */
     size_t count() const { return _xs.size(); }
+
+    /** Append all of @p other's samples. */
+    void merge(const QuantileSketch &other);
 
   private:
     mutable std::vector<double> _xs;

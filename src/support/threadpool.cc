@@ -1,0 +1,116 @@
+#include "support/threadpool.hh"
+
+#include <atomic>
+
+namespace draco::support {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers <= 1)
+        return;
+    _workers.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return; // _stop and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    if (_workers.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Shared dynamic-index state; one runner task per worker claims
+    // indices until the range is exhausted.
+    struct Sweep {
+        std::atomic<size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t runnersLeft;
+        size_t failIndex = SIZE_MAX;
+        std::exception_ptr error;
+    };
+    auto sweep = std::make_shared<Sweep>();
+    size_t runners = std::min<size_t>(_workers.size(), n);
+    sweep->runnersLeft = runners;
+
+    auto runner = [sweep, n, &fn] {
+        for (;;) {
+            size_t i = sweep->next.fetch_add(1);
+            if (i >= n)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(sweep->mutex);
+                if (i < sweep->failIndex) {
+                    sweep->failIndex = i;
+                    sweep->error = std::current_exception();
+                }
+            }
+        }
+        std::lock_guard<std::mutex> lock(sweep->mutex);
+        if (--sweep->runnersLeft == 0)
+            sweep->done.notify_all();
+    };
+
+    for (size_t r = 0; r < runners; ++r)
+        enqueue(runner);
+
+    std::unique_lock<std::mutex> lock(sweep->mutex);
+    sweep->done.wait(lock, [&] { return sweep->runnersLeft == 0; });
+    if (sweep->error)
+        std::rethrow_exception(sweep->error);
+}
+
+} // namespace draco::support

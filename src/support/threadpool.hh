@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-size worker pool for deterministic parallel sweeps.
+ *
+ * The bench harness fans independent experiment cells out across a
+ * ThreadPool. Tasks must be self-contained — every task derives its own
+ * seeds (support/random splitSeed()) and writes into its own result
+ * slot or MetricRegistry shard — so results are identical at any worker
+ * count and under any scheduling; the pool provides throughput only,
+ * never semantics.
+ */
+
+#ifndef DRACO_SUPPORT_THREADPOOL_HH
+#define DRACO_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace draco::support {
+
+/**
+ * Fixed set of worker threads consuming a FIFO task queue.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn the workers.
+     *
+     * @param workers Worker thread count; 0 and 1 both mean "no
+     *        threads": parallelFor()/parallelMap() run inline on the
+     *        caller and submit() executes eagerly.
+     */
+    explicit ThreadPool(unsigned workers = hardwareConcurrency());
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return std::thread::hardware_concurrency(), at least 1. */
+    static unsigned hardwareConcurrency();
+
+    /** @return Number of worker threads (0 when inline). */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /**
+     * Enqueue one task.
+     *
+     * @return A future for the task's result; exceptions propagate
+     *         through it. With no workers the task runs immediately on
+     *         the caller.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn &>>
+    {
+        using R = std::invoke_result_t<Fn &>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> future = task->get_future();
+        if (_workers.empty())
+            (*task)();
+        else
+            enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n) and wait for completion.
+     *
+     * Indices are claimed dynamically, so per-index work may be
+     * arbitrarily unbalanced; fn must therefore not depend on execution
+     * order. If any invocation throws, the exception thrown by the
+     * lowest index is rethrown after all work finishes.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Map i -> fn(i) over [0, n).
+     *
+     * @return The results in index order (the value type must be
+     *         default-constructible).
+     */
+    template <typename Fn>
+    auto
+    parallelMap(size_t n, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, size_t>>
+    {
+        std::vector<std::invoke_result_t<Fn &, size_t>> results(n);
+        parallelFor(n, [&](size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    bool _stop = false;
+};
+
+} // namespace draco::support
+
+#endif // DRACO_SUPPORT_THREADPOOL_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The parallel-sweep determinism contract: a sweep's merged
+ * MetricRegistry (and therefore its BENCH_*.json artifact) must be
+ * byte-identical at any --threads value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+
+namespace draco::bench {
+namespace {
+
+// benchCalls() caches its env lookup on first use, so pin the call
+// count before any test (or static) can touch it, and make sure no
+// artifact file gets written from this process.
+const bool envReady = [] {
+    setenv("DRACO_BENCH_CALLS", "400", 1);
+    unsetenv("DRACO_BENCH_JSON");
+    return true;
+}();
+
+/**
+ * Run a small (workload × profile) sweep at @p threads workers and
+ * return the merged registry's JSON.
+ */
+std::string
+sweepJson(unsigned threads)
+{
+    EXPECT_TRUE(envReady);
+    // Route the thread count through the real argv parser.
+    char prog[] = "test_sweep";
+    std::string threadArg = "--threads=" + std::to_string(threads);
+    std::vector<char *> argv = {prog, threadArg.data()};
+    BenchReport report("sweep_determinism",
+                       static_cast<int>(argv.size()), argv.data());
+    EXPECT_FALSE(report.enabled());
+    EXPECT_EQ(benchThreads(), threads);
+
+    // Profiles are deterministic, so one cache may serve every sweep.
+    static ProfileCache cache;
+    const char *names[] = {"nginx", "pipe-ipc"};
+    const ProfileKind kinds[] = {ProfileKind::DockerDefault,
+                                 ProfileKind::Complete};
+    const sim::Mechanism mechs[] = {sim::Mechanism::Seccomp,
+                                    sim::Mechanism::DracoSW,
+                                    sim::Mechanism::DracoHW};
+
+    parallelCells(
+        std::size(names) * std::size(kinds) * std::size(mechs),
+        [&](size_t idx, MetricRegistry &shard) {
+            const char *name = names[idx / 6];
+            ProfileKind kind = kinds[idx / 3 % 2];
+            sim::Mechanism mech = mechs[idx % 3];
+            const auto *app = workload::workloadByName(name);
+            sim::RunResult r =
+                runExperiment(*app, kind, mech, cache);
+            recordCell(shard,
+                       MetricRegistry::sanitize(name) + "." +
+                           MetricRegistry::sanitize(
+                               profileKindName(kind)) +
+                           "." +
+                           MetricRegistry::sanitize(
+                               sim::mechanismName(mech)),
+                       r);
+        },
+        &report);
+
+    return report.registry().toJson();
+}
+
+TEST(SweepDeterminism, JsonByteIdenticalAcrossThreadCounts)
+{
+    std::string serial = sweepJson(1);
+    std::string parallel4 = sweepJson(4);
+    EXPECT_EQ(serial, parallel4);
+
+    // And stable across repeated parallel executions.
+    EXPECT_EQ(parallel4, sweepJson(4));
+}
+
+TEST(SweepDeterminism, RegistryIsPopulated)
+{
+    std::string json = sweepJson(2);
+    // Spot-check that the sweep actually recorded run blocks.
+    EXPECT_NE(json.find("\"nginx\""), std::string::npos);
+    EXPECT_NE(json.find("\"normalized\""), std::string::npos);
+    EXPECT_NE(json.find("\"draco-hw\""), std::string::npos);
+}
+
+TEST(SweepDeterminism, WorkloadSeedIsPerWorkload)
+{
+    const auto *nginx = workload::workloadByName("nginx");
+    const auto *pipe = workload::workloadByName("pipe-ipc");
+    EXPECT_EQ(workloadSeed(*nginx), workloadSeed(*nginx));
+    EXPECT_NE(workloadSeed(*nginx), workloadSeed(*pipe));
+}
+
+} // namespace
+} // namespace draco::bench

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the pre-decoded BPF fast path: BpfProgram::compile()
+ * validity rules and exact equivalence (action and executed-instruction
+ * count) between the decoded dispatcher and the reference interpreter
+ * on hand-built programs, builtin profiles, and generated app profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "seccomp/bpf.hh"
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profile_gen.hh"
+#include "seccomp/profiles_builtin.hh"
+#include "sim/machine.hh"
+#include "support/random.hh"
+#include "workload/appmodel.hh"
+#include "workload/generator.hh"
+
+namespace draco::seccomp {
+namespace {
+
+os::SeccompData
+data(uint32_t nr = 0)
+{
+    os::SeccompData d{};
+    d.nr = nr;
+    d.arch = os::kAuditArchX86_64;
+    return d;
+}
+
+/** Expect identical action and instruction count on both paths. */
+void
+expectEquivalent(const BpfProgram &program, const os::SeccompData &d)
+{
+    ASSERT_TRUE(program.compiled());
+    BpfResult fast = program.run(d);
+    BpfResult ref = program.runInterpreted(d);
+    EXPECT_EQ(fast.action, ref.action);
+    EXPECT_EQ(fast.insnsExecuted, ref.insnsExecuted);
+}
+
+os::SeccompData
+randomData(Rng &rng)
+{
+    os::SeccompData d{};
+    d.nr = static_cast<uint32_t>(rng.nextBelow(512));
+    d.arch = rng.chance(0.9) ? os::kAuditArchX86_64
+                             : static_cast<uint32_t>(rng.next());
+    d.instruction_pointer = rng.next();
+    for (auto &arg : d.args)
+        arg = rng.chance(0.5) ? rng.nextBelow(1024) : rng.next();
+    return d;
+}
+
+TEST(BpfCompile, ValidProgramCompiles)
+{
+    BpfProgram p({stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+                  jump(op::JMP | op::JEQ | op::K, 1, 0, 1),
+                  stmt(op::RET | op::K, 0x7fff0000),
+                  stmt(op::RET | op::K, 0)});
+    EXPECT_FALSE(p.compiled());
+    std::string err;
+    EXPECT_TRUE(p.compile(&err)) << err;
+    EXPECT_TRUE(p.compiled());
+}
+
+TEST(BpfCompile, InvalidProgramRejectedWithError)
+{
+    BpfProgram p({stmt(op::LD | op::IMM, 1)}); // no RET
+    std::string err;
+    EXPECT_FALSE(p.compile(&err));
+    EXPECT_FALSE(p.compiled());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(BpfCompile, UncompiledRunFallsBackToInterpreter)
+{
+    BpfProgram p({stmt(op::RET | op::K, 42)});
+    ASSERT_FALSE(p.compiled());
+    EXPECT_EQ(p.run(data()).action, 42u);
+    EXPECT_TRUE(p.validate());
+    EXPECT_FALSE(p.compiled()); // validate() alone must not decode
+}
+
+TEST(BpfCompile, EquivalentOnHandBuiltKitchenSink)
+{
+    // One program touching loads, scratch memory, X, ALU including
+    // runtime division by X, and both branch polarities.
+    BpfProgram p({
+        stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+        stmt(op::ST, 2),
+        stmt(op::LDX | op::IMM, 3),
+        stmt(op::ALU | op::DIV | op::X, 0),
+        stmt(op::MISC | op::TAX, 0),
+        stmt(op::LD | op::MEM, 2),
+        stmt(op::ALU | op::ADD | op::X, 0),
+        jump(op::JMP | op::JGT | op::K, 100, 1, 0),
+        stmt(op::RET | op::A, 0),
+        stmt(op::ALU | op::XOR | op::K, 0xff),
+        stmt(op::RET | op::A, 0),
+    });
+    ASSERT_TRUE(p.compile());
+    for (uint32_t nr = 0; nr < 400; nr += 7)
+        expectEquivalent(p, data(nr));
+}
+
+TEST(BpfCompile, EquivalentOnOverShiftLowering)
+{
+    // Constant shifts >= 32 lower to `and #0`; semantics must match the
+    // interpreter's acc = 0 for every shift amount.
+    for (uint16_t shiftOp : {op::LSH, op::RSH}) {
+        for (uint32_t k : {0u, 1u, 31u, 32u, 33u, 64u, 1000u}) {
+            BpfProgram p({stmt(op::LD | op::W | op::ABS, os::sd_off::nr),
+                          stmt(op::ALU | shiftOp | op::K, k),
+                          stmt(op::RET | op::A, 0)});
+            ASSERT_TRUE(p.compile());
+            expectEquivalent(p, data(0xdeadbeef & 0x1ff));
+            expectEquivalent(p, data(1));
+        }
+    }
+}
+
+TEST(BpfCompile, EquivalentOnDockerDefaultProfile)
+{
+    Profile docker = dockerDefaultProfile();
+    for (DispatchShape shape :
+         {DispatchShape::Linear, DispatchShape::LinearChain,
+          DispatchShape::BinaryTree}) {
+        BpfProgram p = buildFilter(docker, shape);
+        ASSERT_TRUE(p.compiled()); // assembler output is pre-compiled
+        Rng rng(splitSeed(7, "bpf-compile-docker"));
+        for (int i = 0; i < 2000; ++i)
+            expectEquivalent(p, randomData(rng));
+    }
+}
+
+TEST(BpfCompile, EquivalentOnGeneratedAppProfiles)
+{
+    // Argument-checking chains from generated syscall-complete
+    // profiles, driven by the workload's own trace plus random fuzz.
+    for (const char *name : {"nginx", "pipe-ipc"}) {
+        const auto *app = workload::workloadByName(name);
+        ASSERT_NE(app, nullptr);
+        uint64_t seed = splitSeed(7, std::string_view(name));
+        sim::AppProfiles profiles =
+            sim::makeAppProfiles(*app, seed, 20000);
+        FilterChain chain = buildFilterChain(profiles.complete);
+        ASSERT_GT(chain.filterCount(), 0u);
+
+        workload::TraceGenerator gen(*app, seed);
+        Rng rng(splitSeed(seed, "fuzz"));
+        for (int i = 0; i < 3000; ++i) {
+            os::SeccompData d = i % 4 == 0
+                ? randomData(rng)
+                : gen.next().req.toSeccompData();
+            for (const BpfProgram &p : chain.programs())
+                expectEquivalent(p, d);
+        }
+    }
+}
+
+} // namespace
+} // namespace draco::seccomp

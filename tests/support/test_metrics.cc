@@ -153,6 +153,109 @@ TEST(MetricRegistryDeath, MissingLeafReadIsFatal)
                 testing::ExitedWithCode(1), "nope");
 }
 
+TEST(MetricRegistryMerge, CopiesNewLeavesOfEveryKind)
+{
+    MetricRegistry shard;
+    shard.setCounter("c", 3);
+    shard.setGauge("g", 0.25);
+    shard.setText("t", "nginx");
+    RunningStat s;
+    s.add(1.0);
+    s.add(3.0);
+    shard.setStat("s", s);
+    shard.histogram("h", 0.0, 10.0, 5).add(2.0);
+    QuantileSketch q;
+    q.add(7.0);
+    shard.setQuantiles("q", q);
+
+    MetricRegistry merged;
+    merged.merge(shard);
+    EXPECT_EQ(merged.toJson(false), shard.toJson(false));
+}
+
+TEST(MetricRegistryMerge, CountersAddAndInstrumentsCombine)
+{
+    MetricRegistry a, b;
+    a.setCounter("c", 3);
+    b.setCounter("c", 4);
+    a.runningStat("s").add(1.0);
+    b.runningStat("s").add(3.0);
+    a.quantileSketch("q").add(1.0);
+    b.quantileSketch("q").add(2.0);
+    a.histogram("h", 0.0, 10.0, 5).add(1.0);
+    b.histogram("h", 0.0, 10.0, 5).add(9.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("c"), 7u);
+    EXPECT_EQ(a.runningStat("s").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.runningStat("s").mean(), 2.0);
+    EXPECT_EQ(a.quantileSketch("q").count(), 2u);
+    EXPECT_EQ(a.histogram("h", 0.0, 10.0, 5).total(), 2u);
+}
+
+TEST(MetricRegistryMerge, ShardOrderDoesNotChangeJson)
+{
+    // The property parallel sweeps rely on: shards with disjoint gauge
+    // names and overlapping counters merge to the same JSON in any
+    // order.
+    auto makeShard = [](const std::string &leaf, uint64_t n) {
+        MetricRegistry reg;
+        reg.setGauge("runs." + leaf + ".normalized", 1.0 + n);
+        reg.setCounter("total.cells", n);
+        return reg;
+    };
+    MetricRegistry ab, ba;
+    MetricRegistry a = makeShard("nginx", 1), b = makeShard("redis", 2);
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.toJson(), ba.toJson());
+    EXPECT_EQ(ab.counterValue("total.cells"), 3u);
+}
+
+TEST(MetricRegistryMerge, EmptySidesAreNoOps)
+{
+    MetricRegistry reg, empty;
+    reg.setCounter("c", 5);
+    reg.merge(empty);
+    EXPECT_EQ(reg.counterValue("c"), 5u);
+    empty.merge(reg);
+    EXPECT_EQ(empty.toJson(false), reg.toJson(false));
+}
+
+TEST(MetricRegistryMergeDeath, GaugeCollisionIsFatal)
+{
+    MetricRegistry a, b;
+    a.setGauge("g", 1.0);
+    b.setGauge("g", 2.0);
+    EXPECT_EXIT(a.merge(b), testing::ExitedWithCode(1), "merge");
+}
+
+TEST(MetricRegistryMergeDeath, TextCollisionIsFatal)
+{
+    MetricRegistry a, b;
+    a.setText("t", "x");
+    b.setText("t", "y");
+    EXPECT_EXIT(a.merge(b), testing::ExitedWithCode(1), "merge");
+}
+
+TEST(MetricRegistryMergeDeath, KindMismatchIsFatal)
+{
+    MetricRegistry a, b;
+    a.setCounter("x", 1);
+    b.setGauge("x", 1.0);
+    EXPECT_EXIT(a.merge(b), testing::ExitedWithCode(1), "kind");
+}
+
+TEST(MetricRegistry, TryWriteJsonFileReportsFailure)
+{
+    MetricRegistry reg;
+    reg.setCounter("c", 1);
+    EXPECT_FALSE(
+        reg.tryWriteJsonFile("/nonexistent-dir/sub/report.json"));
+}
+
 TEST(MetricRegistry, SanitizeCollapsesAndLowercases)
 {
     EXPECT_EQ(MetricRegistry::sanitize("Nginx"), "nginx");

@@ -124,6 +124,54 @@ TEST(Rng, ForkProducesIndependentStream)
     EXPECT_LT(same, 3);
 }
 
+TEST(SplitSeed, DeterministicAndStreamSensitive)
+{
+    EXPECT_EQ(splitSeed(42, 0), splitSeed(42, 0));
+    EXPECT_NE(splitSeed(42, 0), splitSeed(42, 1));
+    EXPECT_NE(splitSeed(42, 0), splitSeed(43, 0));
+}
+
+TEST(SplitSeed, NoAdditiveCollisions)
+{
+    // The bug splitSeed replaces: with `seed + i * k` derivation,
+    // (seed, i) and (seed + k, i - 1) collide exactly. The SplitMix64
+    // finalizer keeps nearby (seed, stream) pairs distinct.
+    std::set<uint64_t> seeds;
+    const int range = 64;
+    for (int base = 0; base < range; ++base)
+        for (int stream = 0; stream < range; ++stream)
+            seeds.insert(splitSeed(base, stream));
+    EXPECT_EQ(seeds.size(), static_cast<size_t>(range) * range);
+}
+
+TEST(SplitSeed, DerivedStreamsAreIndependent)
+{
+    Rng a(splitSeed(7, 0)), b(splitSeed(7, 1));
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(SplitSeed, LabelOverloadMatchesDocsAndDiffers)
+{
+    EXPECT_EQ(splitSeed(7, "rob"), splitSeed(7, "rob"));
+    EXPECT_NE(splitSeed(7, "rob"), splitSeed(7, "cache"));
+    EXPECT_NE(splitSeed(7, "rob"), splitSeed(8, "rob"));
+    EXPECT_NE(splitSeed(7, ""), splitSeed(7, "rob"));
+}
+
+TEST(SplitSeed, ChainsIntoDistinctStreams)
+{
+    // Per-cell aux seeds chain two splits; the four (kind, mechanism)
+    // combinations below must all land on different streams.
+    std::set<uint64_t> seeds;
+    for (uint64_t kind = 0; kind < 2; ++kind)
+        for (uint64_t mech = 0; mech < 2; ++mech)
+            seeds.insert(splitSeed(splitSeed(42, kind), mech));
+    EXPECT_EQ(seeds.size(), 4u);
+}
+
 TEST(AliasSampler, SingleCategory)
 {
     AliasSampler sampler({1.0});

@@ -202,5 +202,73 @@ TEST(FrequencyCounter, SortedByCountDescThenKey)
     EXPECT_EQ(sorted[2].first, 9u);
 }
 
+TEST(RunningStatMerge, MatchesSequentialFeed)
+{
+    // Parallel Welford combination must agree with feeding the whole
+    // series into one accumulator.
+    RunningStat whole, left, right;
+    for (int i = 0; i < 100; ++i) {
+        double v = std::sin(i) * 10.0 + i * 0.25;
+        whole.add(v);
+        (i < 37 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_NEAR(left.geomean(), whole.geomean(), 1e-9);
+}
+
+TEST(RunningStatMerge, EmptySidesAreNoOps)
+{
+    RunningStat s, empty;
+    s.add(2.0);
+    s.add(4.0);
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+
+    RunningStat target;
+    target.merge(s);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(target.min(), 2.0);
+    EXPECT_DOUBLE_EQ(target.max(), 4.0);
+}
+
+TEST(HistogramMerge, AddsCountsPerBucket)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(-1.0); // under
+    b.add(1.5);
+    b.add(99.0); // over
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    Histogram whole(0.0, 10.0, 5);
+    whole.add(1.0);
+    whole.add(-1.0);
+    whole.add(1.5);
+    whole.add(99.0);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(a.bucketCount(i), whole.bucketCount(i)) << i;
+}
+
+TEST(QuantileSketchMerge, CombinesSamples)
+{
+    QuantileSketch a, b;
+    for (int i = 1; i <= 50; ++i)
+        a.add(i);
+    for (int i = 51; i <= 100; ++i)
+        b.add(i);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_NEAR(a.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(a.quantile(0.99), 99.0, 2.0);
+}
+
 } // namespace
 } // namespace draco

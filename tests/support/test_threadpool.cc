@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the sweep ThreadPool: submit futures, parallelFor
+ * coverage and exception policy, parallelMap ordering, and the inline
+ * (0/1-worker) fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "support/threadpool.hh"
+
+namespace draco::support {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, ZeroAndOneWorkersRunInline)
+{
+    for (unsigned workers : {0u, 1u}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(pool.workerCount(), 0u);
+        std::thread::id caller = std::this_thread::get_id();
+        auto future =
+            pool.submit([] { return std::this_thread::get_id(); });
+        EXPECT_EQ(future.get(), caller);
+    }
+}
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    for (unsigned workers : {0u, 1u, 2u, 4u, 8u}) {
+        ThreadPool pool(workers);
+        const size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](size_t i) { hits[i]++; });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoOp)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(100, [&](size_t i) {
+            if (i == 17 || i == 63)
+                throw std::runtime_error("fail-" + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "fail-17");
+    }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    for (unsigned workers : {0u, 3u}) {
+        ThreadPool pool(workers);
+        auto squares =
+            pool.parallelMap(64, [](size_t i) { return i * i; });
+        ASSERT_EQ(squares.size(), 64u);
+        for (size_t i = 0; i < squares.size(); ++i)
+            EXPECT_EQ(squares[i], i * i);
+    }
+}
+
+TEST(ThreadPool, ParallelForUsesMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> seen;
+    pool.parallelFor(256, [&](size_t) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(std::this_thread::get_id());
+    });
+    // All work lands on pool threads, never the caller.
+    EXPECT_EQ(seen.count(std::this_thread::get_id()), 0u);
+    EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksDrainBeforeDestruction)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(3);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 200; ++i)
+            futures.push_back(pool.submit([&] { done++; }));
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+} // namespace
+} // namespace draco::support
