@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "common.hh"
+#include "trace/replay.hh"
 
 using namespace draco;
 using namespace draco::bench;
@@ -37,23 +38,53 @@ main(int argc, char **argv)
     ReuseDistanceTracker reuse;
     std::map<uint16_t, ReuseDistanceTracker> perSidReuse;
 
-    // Aggregate the macro benchmarks' steady-state traces.
-    for (const auto &app : workload::macroWorkloads()) {
-        workload::TraceGenerator gen(app, kBenchSeed);
-        size_t calls = benchCalls() / 2;
-        for (size_t i = 0; i < calls; ++i) {
-            os::SyscallRequest req = gen.next().req;
-            const auto *desc = os::syscallById(req.sid);
-            sidCounts.add(req.sid);
+    auto analyze = [&](const os::SyscallRequest &req) {
+        const auto *desc = os::syscallById(req.sid);
+        if (!desc)
+            return;
+        sidCounts.add(req.sid);
 
-            seccomp::ArgVector args;
-            std::copy(req.args.begin(), req.args.end(), args.begin());
-            core::ArgKey key(desc->argumentBitmask(), args);
-            uint64_t argsetId =
-                crc64Ecma().compute(key.data(), key.size());
-            argsetCounts[req.sid].add(argsetId);
-            perSidReuse[req.sid].access(pairKey(req.sid, key));
-            reuse.access(pairKey(req.sid, key));
+        seccomp::ArgVector args;
+        std::copy(req.args.begin(), req.args.end(), args.begin());
+        core::ArgKey key(desc->argumentBitmask(), args);
+        uint64_t argsetId = crc64Ecma().compute(key.data(), key.size());
+        argsetCounts[req.sid].add(argsetId);
+        perSidReuse[req.sid].access(pairKey(req.sid, key));
+        reuse.access(pairKey(req.sid, key));
+    };
+
+    // `--trace <file>` (repeatable) analyzes ingested real traces —
+    // strace text, `# draco-trace`, or `.dtrc` — instead of the
+    // synthetic macro workloads.
+    std::vector<std::string> tracePaths;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+            tracePaths.push_back(argv[++i]);
+
+    if (!tracePaths.empty()) {
+        for (const std::string &path : tracePaths) {
+            trace::OpenedTrace opened = trace::openTraceStream(path);
+            if (!opened.ok()) {
+                std::fprintf(stderr, "fig03_locality: %s\n",
+                             opened.error.c_str());
+                return 1;
+            }
+            workload::TraceEvent event;
+            while (opened.stream->next(event))
+                analyze(event.req);
+            report.registry().setText(
+                MetricRegistry::join(
+                    "figure.traces",
+                    MetricRegistry::sanitize(path)),
+                opened.format);
+        }
+    } else {
+        // Aggregate the macro benchmarks' steady-state traces.
+        for (const auto &app : workload::macroWorkloads()) {
+            workload::TraceGenerator gen(app, kBenchSeed);
+            size_t calls = benchCalls() / 2;
+            for (size_t i = 0; i < calls; ++i)
+                analyze(gen.next().req);
         }
     }
 

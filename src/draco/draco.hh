@@ -4,8 +4,9 @@
  *
  * Include this to get the full stack: syscall descriptors and the
  * seccomp ABI (os), BPF filters and profiles (seccomp), workload models
- * and trace synthesis (workload), both Draco implementations (core),
- * the timing simulator (sim), and the hardware cost model (hwmodel).
+ * and trace synthesis (workload), real-trace ingestion and replay
+ * (trace), both Draco implementations (core), the timing simulator
+ * (sim), and the hardware cost model (hwmodel).
  */
 
 #ifndef DRACO_DRACO_HH
@@ -34,7 +35,11 @@
 #include "sim/cache.hh"
 #include "sim/machine.hh"
 #include "sim/multicore.hh"
+#include "sim/pricer.hh"
 #include "sim/scheduler.hh"
+#include "trace/dtrc.hh"
+#include "trace/replay.hh"
+#include "trace/strace.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"

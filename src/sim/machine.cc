@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "seccomp/profile_gen.hh"
+#include "sim/pricer.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -76,28 +77,92 @@ RunResult::exportMetrics(MetricRegistry &registry,
 
 namespace {
 
-/** Core clock assumed by the ROB hiding model (Table II: 2 GHz). */
-constexpr double kCycleNs = 0.5;
-
-/** ROB capacity (Table II). */
-constexpr unsigned kRobEntries = 128;
-
-/** Average dispatch IPC assumed when estimating dispatch→head time. */
-constexpr double kAvgIpc = 2.0;
-
 /** Interval of the SPT Accessed-bit sweep (§VII-B). */
 constexpr double kAccessedSweepNs = 500000.0;
 
 /**
- * Time between a syscall's dispatch into the ROB and its arrival at the
- * head: the instructions ahead of it must retire first. Sampled
- * uniformly over ROB occupancy.
+ * The per-event simulation loop shared by generated and replayed runs:
+ * prices base time plus the mechanism check through @p pricer, tracks
+ * the measurement window, and fires the periodic Accessed-bit sweep.
  */
-double
-dispatchToHeadNs(Rng &rng)
+class RunLoop
 {
-    uint64_t ahead = rng.nextRange(16, kRobEntries - 1);
-    return static_cast<double>(ahead) / kAvgIpc * kCycleNs;
+  public:
+    RunLoop(MechanismPricer &pricer, const os::KernelCosts &costs,
+            RunResult &result)
+        : _pricer(pricer), _costs(costs), _result(result)
+    {
+    }
+
+    /** Start attributing time to the result (end of warm-up). */
+    void startCounting() { _counting = true; }
+
+    void
+    process(const workload::TraceEvent &event)
+    {
+        if (_counting)
+            ++_result.syscalls;
+        double baseNs = event.userWorkNs + _costs.syscallBaseNs;
+        if (_counting) {
+            _result.insecureNs += baseNs;
+            _result.totalNs += baseNs;
+        }
+        _simNs += baseNs;
+
+        EventPrice price = _pricer.price(event);
+        if (_counting) {
+            _result.totalNs += price.checkNs;
+            _result.checkNs += price.checkNs;
+            _result.filterInsnsTotal += price.filterInsns;
+        }
+        _simNs += price.checkNs;
+
+        if (_pricer.hwEngine() && _simNs >= _nextSweepNs) {
+            _pricer.periodicAccessedClear();
+            _nextSweepNs = _simNs + kAccessedSweepNs;
+        }
+    }
+
+    /** Copy the mechanism's statistics into the result. */
+    void
+    finish()
+    {
+        if (const auto *sw = _pricer.swChecker()) {
+            _result.sw = sw->stats();
+            _result.vatFootprintBytes = sw->vat().footprintBytes();
+        }
+        if (auto *hw = _pricer.hwEngine()) {
+            _result.hw = hw->stats();
+            _result.slb = hw->slbStats();
+            _result.stb = hw->stbStats();
+            _result.vatFootprintBytes =
+                _pricer.hwProcess()->vat().footprintBytes();
+        }
+    }
+
+  private:
+    MechanismPricer &_pricer;
+    const os::KernelCosts &_costs;
+    RunResult &_result;
+    double _simNs = 0.0;
+    double _nextSweepNs = kAccessedSweepNs;
+    bool _counting = false;
+};
+
+/** Build a pricer from the run options (auxSeed resolved from seed). */
+MechanismPricer
+makePricer(const seccomp::Profile &profile, const RunOptions &options)
+{
+    PricerConfig config;
+    config.filterCopies = options.filterCopies;
+    config.shape = options.shape;
+    config.costs = options.costs;
+    config.hwPreload = options.hwPreload;
+    config.slbGeometry = options.slbGeometry;
+    uint64_t auxSeed = options.auxSeed
+        ? options.auxSeed
+        : splitSeed(options.seed, "aux");
+    return MechanismPricer(options.mechanism, profile, config, auxSeed);
 }
 
 } // namespace
@@ -111,163 +176,50 @@ ExperimentRunner::run(const workload::AppModel &app,
     result.workload = app.name;
     result.mechanism = mechanismName(options.mechanism);
 
-    const os::KernelCosts &costs = *options.costs;
-
     workload::TraceGenerator gen(app, options.seed);
-
-    // Mechanism state.
-    std::unique_ptr<seccomp::FilterChain> filter;
-    std::unique_ptr<core::DracoSoftwareChecker> sw;
-    std::unique_ptr<core::HwProcessContext> hwProc;
-    std::unique_ptr<core::DracoHardwareEngine> hwEngine;
-    std::unique_ptr<CacheHierarchy> cache;
-    uint64_t auxSeed = options.auxSeed
-        ? options.auxSeed
-        : splitSeed(options.seed, "aux");
-    Rng robRng(splitSeed(auxSeed, "rob"));
-
-    switch (options.mechanism) {
-      case Mechanism::Insecure:
-        break;
-      case Mechanism::Seccomp:
-        filter = std::make_unique<seccomp::FilterChain>(
-            seccomp::buildFilterChain(profile, options.shape));
-        break;
-      case Mechanism::DracoSW:
-        sw = std::make_unique<core::DracoSoftwareChecker>(
-            profile, options.filterCopies, options.shape);
-        break;
-      case Mechanism::DracoHW:
-        hwProc = std::make_unique<core::HwProcessContext>(
-            profile, options.filterCopies);
-        hwEngine = options.slbGeometry
-            ? std::make_unique<core::DracoHardwareEngine>(
-                  options.hwPreload, *options.slbGeometry)
-            : std::make_unique<core::DracoHardwareEngine>(
-                  options.hwPreload);
-        hwEngine->switchTo(hwProc.get());
-        cache = std::make_unique<CacheHierarchy>(
-            splitSeed(auxSeed, "cache"));
-        break;
-    }
-
-    double nextSweepNs = kAccessedSweepNs;
-    double simNs = 0.0;
-    bool counting = false;
-
-    auto processEvent = [&](const workload::TraceEvent &event) {
-        if (counting)
-            ++result.syscalls;
-        double baseNs = event.userWorkNs + costs.syscallBaseNs;
-        if (counting) {
-            result.insecureNs += baseNs;
-            result.totalNs += baseNs;
-        }
-        simNs += baseNs;
-
-        double checkNs = 0.0;
-        switch (options.mechanism) {
-          case Mechanism::Insecure:
-            break;
-
-          case Mechanism::Seccomp: {
-            os::SeccompData data = event.req.toSeccompData();
-            for (unsigned copy = 0; copy < options.filterCopies; ++copy) {
-                seccomp::BpfResult r = filter->run(data);
-                checkNs +=
-                    costs.seccompEntryNs + r.insnsExecuted * costs.bpfInsnNs;
-                result.filterInsnsTotal += r.insnsExecuted;
-            }
-            break;
-          }
-
-          case Mechanism::DracoSW: {
-            core::SwCheckOutcome out = sw->check(event.req);
-            checkNs += costs.dracoSptLookupNs;
-            if (out.hashedBytes > 0) {
-                checkNs += 2 *
-                    (costs.dracoHashFixedNs +
-                     costs.dracoHashPerByteNs * out.hashedBytes);
-                checkNs += out.vatProbes * costs.dracoVatProbeNs;
-            }
-            if (out.filterInsns > 0) {
-                // Entry overhead applies once per attached filter copy.
-                checkNs += options.filterCopies * costs.seccompEntryNs +
-                    out.filterInsns * costs.bpfInsnNs;
-                if (counting)
-                    result.filterInsnsTotal += out.filterInsns;
-            }
-            if (out.vatInserted)
-                checkNs += costs.dracoVatInsertNs;
-            break;
-          }
-
-          case Mechanism::DracoHW: {
-            cache->appPressure(event.bytesTouched);
-            hwEngine->onDispatch(event.req.pc);
-            core::HwSyscallResult out = hwEngine->onRobHead(event.req);
-
-            // Preload fetches overlap with dispatch→head time.
-            if (!out.preloadMemAddrs.empty()) {
-                double window = dispatchToHeadNs(robRng);
-                double fetchNs = 0.0;
-                for (uint64_t addr : out.preloadMemAddrs)
-                    fetchNs =
-                        std::max(fetchNs, cache->access(addr).second);
-                checkNs += std::max(0.0, fetchNs - window);
-            }
-
-            // Head-of-ROB reads stall retirement; the two cuckoo-way
-            // probes are issued in parallel (§V-B).
-            double headNs = 0.0;
-            for (uint64_t addr : out.headMemAddrs)
-                headNs = std::max(headNs, cache->access(addr).second);
-            checkNs += headNs;
-
-            if (out.filterRun) {
-                checkNs += options.filterCopies * costs.seccompEntryNs +
-                    out.filterInsns * costs.bpfInsnNs;
-                if (counting)
-                    result.filterInsnsTotal += out.filterInsns;
-                if (out.vatInserted)
-                    checkNs += costs.dracoVatInsertNs;
-            }
-            break;
-          }
-        }
-
-        if (counting) {
-            result.totalNs += checkNs;
-            result.checkNs += checkNs;
-        }
-        simNs += checkNs;
-
-        if (hwEngine && simNs >= nextSweepNs) {
-            hwEngine->periodicAccessedClear();
-            nextSweepNs = simNs + kAccessedSweepNs;
-        }
-    };
+    MechanismPricer pricer = makePricer(profile, options);
+    RunLoop loop(pricer, *options.costs, result);
 
     // Cold start: prologue plus warm-up calls, excluded from the
     // measurement window like the paper's warm-up phase.
     for (const auto &event : gen.prologue())
-        processEvent(event);
+        loop.process(event);
     for (size_t i = 0; i < options.warmupCalls; ++i)
-        processEvent(gen.next());
-    counting = true;
+        loop.process(gen.next());
+    loop.startCounting();
     for (size_t i = 0; i < options.steadyCalls; ++i)
-        processEvent(gen.next());
+        loop.process(gen.next());
 
-    if (sw) {
-        result.sw = sw->stats();
-        result.vatFootprintBytes = sw->vat().footprintBytes();
+    loop.finish();
+    return result;
+}
+
+RunResult
+ExperimentRunner::replay(workload::EventStream &events,
+                         const seccomp::Profile &profile,
+                         const RunOptions &options,
+                         const std::string &traceName)
+{
+    RunResult result;
+    result.workload = traceName;
+    result.mechanism = mechanismName(options.mechanism);
+
+    MechanismPricer pricer = makePricer(profile, options);
+    RunLoop loop(pricer, *options.costs, result);
+
+    workload::TraceEvent event;
+    size_t warmed = 0;
+    for (; warmed < options.warmupCalls && events.next(event); ++warmed)
+        loop.process(event);
+    loop.startCounting();
+    size_t measured = 0;
+    while ((options.steadyCalls == 0 || measured < options.steadyCalls) &&
+           events.next(event)) {
+        loop.process(event);
+        ++measured;
     }
-    if (hwEngine) {
-        result.hw = hwEngine->stats();
-        result.slb = hwEngine->slbStats();
-        result.stb = hwEngine->stbStats();
-        result.vatFootprintBytes = hwProc->vat().footprintBytes();
-    }
+
+    loop.finish();
     return result;
 }
 

@@ -146,6 +146,28 @@ class ExperimentRunner
     RunResult run(const workload::AppModel &app,
                   const seccomp::Profile &profile,
                   const RunOptions &options);
+
+    /**
+     * Replay a recorded trace under @p profile with @p options.
+     *
+     * Pulls from @p events — an in-memory trace, a streaming `.dtrc`
+     * reader, anything implementing EventStream — with O(1) memory
+     * beyond the stream itself. The first options.warmupCalls events
+     * warm the structures unmeasured; measurement then runs for
+     * options.steadyCalls events (0 = until the stream is exhausted).
+     * The same stream contents produce the same result regardless of
+     * the stream's backing store.
+     *
+     * @param events Event source; consumed.
+     * @param profile Attached profile.
+     * @param options Run knobs (seed only feeds auxiliary timing
+     *        randomness; the trace itself is fixed).
+     * @param traceName Reported as RunResult::workload.
+     */
+    RunResult replay(workload::EventStream &events,
+                     const seccomp::Profile &profile,
+                     const RunOptions &options,
+                     const std::string &traceName = "trace");
 };
 
 /** The two profiles §X-B generates for an application. */

@@ -1,7 +1,10 @@
 #include "sim/multicore.hh"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
+#include "sim/pricer.hh"
 #include "support/logging.hh"
 
 namespace draco::sim {
@@ -24,6 +27,73 @@ CoreResult::exportMetrics(MetricRegistry &registry,
         core::exportStats(slb, registry, name("slb"));
 }
 
+namespace {
+
+/** One core of a lockstep consolidation run. */
+struct Core {
+    std::optional<MechanismPricer> pricer;
+    CoreResult result;
+};
+
+/**
+ * The lockstep step shared by generated and replayed consolidation
+ * runs: every active core prices its event under the L3 pressure of
+ * every *other* active core's gap traffic.
+ *
+ * @param state Per-core simulation state.
+ * @param events One event per core; disengaged entries are cores whose
+ *        stream is exhausted this step.
+ * @param costs Kernel cost preset.
+ * @param counting Inside the measurement window.
+ */
+void
+lockstepStep(std::vector<Core> &state,
+             const std::vector<std::optional<workload::TraceEvent>> &events,
+             const os::KernelCosts &costs, bool counting)
+{
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (!events[i])
+            continue;
+        Core &core = state[i];
+        const workload::TraceEvent &event = *events[i];
+
+        double baseNs = event.userWorkNs + costs.syscallBaseNs;
+        if (counting) {
+            core.result.insecureNs += baseNs;
+            core.result.totalNs += baseNs;
+        }
+
+        // Shared L3: neighbours' gap traffic evicts our lines.
+        std::vector<uint64_t> neighbourBytes;
+        neighbourBytes.reserve(state.size());
+        for (size_t j = 0; j < state.size(); ++j)
+            if (j != i && events[j])
+                neighbourBytes.push_back(events[j]->bytesTouched);
+
+        EventPrice price = core.pricer->price(event, neighbourBytes);
+        if (counting)
+            core.result.totalNs += price.checkNs;
+    }
+}
+
+/** Collect final per-core statistics, preserving input order. */
+std::vector<CoreResult>
+collectResults(std::vector<Core> &state)
+{
+    std::vector<CoreResult> results;
+    results.reserve(state.size());
+    for (Core &core : state) {
+        if (auto *hw = core.pricer->hwEngine()) {
+            core.result.hw = hw->stats();
+            core.result.slb = hw->slbStats();
+        }
+        results.push_back(core.result);
+    }
+    return results;
+}
+
+} // namespace
+
 std::vector<CoreResult>
 MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
                         const MulticoreOptions &options)
@@ -31,163 +101,105 @@ MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
     if (cores.empty())
         fatal("MulticoreSimulator: need at least one core");
 
-    struct Core {
-        CoreAssignment assign;
-        std::unique_ptr<workload::TraceGenerator> gen;
-        std::unique_ptr<core::HwProcessContext> hwProc;
-        std::unique_ptr<core::DracoHardwareEngine> engine;
-        std::unique_ptr<core::DracoSoftwareChecker> sw;
-        std::unique_ptr<seccomp::FilterChain> filter;
-        std::unique_ptr<CacheHierarchy> cache;
-        seccomp::Profile profile{"unset"};
-        CoreResult result;
-        Rng robRng{0};
-    };
-
     const os::KernelCosts &costs = *options.costs;
 
     std::vector<Core> state(cores.size());
+    std::vector<std::unique_ptr<workload::TraceGenerator>> gens(
+        cores.size());
+    std::vector<seccomp::Profile> profiles;
+    profiles.reserve(cores.size());
     for (size_t i = 0; i < cores.size(); ++i) {
         Core &core = state[i];
-        core.assign = cores[i];
-        if (!core.assign.app)
+        const CoreAssignment &assign = cores[i];
+        if (!assign.app)
             fatal("MulticoreSimulator: core %zu has no workload", i);
         // Per-core child stream: SplitMix64 stream i of the run seed,
         // so neighbouring cores' traces are statistically independent
         // (additive `seed + i * k` made cores of nearby run seeds
         // replay each other's streams).
         uint64_t seed = splitSeed(options.seed, i);
-        AppProfiles profiles =
-            makeAppProfiles(*core.assign.app, seed, 200000);
-        core.profile = profiles.complete;
-        core.gen = std::make_unique<workload::TraceGenerator>(
-            *core.assign.app, seed);
-        core.robRng = Rng(splitSeed(seed, "rob"));
-        core.result.workload = core.assign.app->name;
-        core.result.mechanism = mechanismName(core.assign.mechanism);
+        AppProfiles appProfiles =
+            makeAppProfiles(*assign.app, seed, 200000);
+        profiles.push_back(appProfiles.complete);
+        gens[i] = std::make_unique<workload::TraceGenerator>(
+            *assign.app, seed);
+        core.result.workload = assign.app->name;
+        core.result.mechanism = mechanismName(assign.mechanism);
 
-        switch (core.assign.mechanism) {
-          case Mechanism::Insecure:
-            break;
-          case Mechanism::Seccomp:
-            core.filter = std::make_unique<seccomp::FilterChain>(
-                seccomp::buildFilterChain(core.profile));
-            break;
-          case Mechanism::DracoSW:
-            core.sw = std::make_unique<core::DracoSoftwareChecker>(
-                core.profile, core.assign.filterCopies);
-            break;
-          case Mechanism::DracoHW:
-            core.hwProc = std::make_unique<core::HwProcessContext>(
-                core.profile, core.assign.filterCopies);
-            core.engine = std::make_unique<core::DracoHardwareEngine>();
-            core.engine->switchTo(core.hwProc.get());
-            core.cache = std::make_unique<CacheHierarchy>(
-                splitSeed(seed, "cache"));
-            break;
-        }
+        PricerConfig config;
+        config.filterCopies = assign.filterCopies;
+        config.costs = options.costs;
+        core.pricer.emplace(assign.mechanism, profiles.back(), config,
+                            seed);
     }
 
     // Lockstep: every step, each core consumes one event. Each core's
     // gap traffic hits its own whole hierarchy and everyone else's L3.
     size_t total = options.warmupCallsPerCore + options.callsPerCore;
+    std::vector<std::optional<workload::TraceEvent>> events(state.size());
     for (size_t step = 0; step < total; ++step) {
         bool counting = step >= options.warmupCallsPerCore;
-
         // Gather this step's events first so L3 coupling is symmetric.
-        std::vector<workload::TraceEvent> events;
-        events.reserve(state.size());
-        for (Core &core : state)
-            events.push_back(core.gen->next());
+        for (size_t i = 0; i < state.size(); ++i)
+            events[i] = gens[i]->next();
+        lockstepStep(state, events, costs, counting);
+    }
 
+    return collectResults(state);
+}
+
+std::vector<CoreResult>
+MulticoreSimulator::replay(const std::vector<TenantAssignment> &tenants,
+                          const MulticoreOptions &options)
+{
+    if (tenants.empty())
+        fatal("MulticoreSimulator: need at least one tenant");
+
+    const os::KernelCosts &costs = *options.costs;
+
+    std::vector<Core> state(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        Core &core = state[i];
+        const TenantAssignment &tenant = tenants[i];
+        if (!tenant.events)
+            fatal("MulticoreSimulator: tenant %zu has no events", i);
+        if (!tenant.profile)
+            fatal("MulticoreSimulator: tenant %zu has no profile", i);
+        core.result.workload =
+            tenant.name.empty() ? "tenant-" + std::to_string(i)
+                                : tenant.name;
+        core.result.mechanism = mechanismName(tenant.mechanism);
+
+        PricerConfig config;
+        config.filterCopies = tenant.filterCopies;
+        config.costs = options.costs;
+        core.pricer.emplace(tenant.mechanism, *tenant.profile, config,
+                            splitSeed(options.seed, i));
+    }
+
+    std::vector<std::optional<workload::TraceEvent>> events(state.size());
+    for (size_t step = 0;; ++step) {
+        bool counting = step >= options.warmupCallsPerCore;
+        if (counting && options.callsPerCore > 0 &&
+            step >= options.warmupCallsPerCore + options.callsPerCore)
+            break;
+
+        bool any = false;
         for (size_t i = 0; i < state.size(); ++i) {
-            Core &core = state[i];
-            const auto &event = events[i];
-
-            double baseNs = event.userWorkNs + costs.syscallBaseNs;
-            if (counting) {
-                core.result.insecureNs += baseNs;
-                core.result.totalNs += baseNs;
+            workload::TraceEvent event;
+            if (tenants[i].events->next(event)) {
+                events[i] = event;
+                any = true;
+            } else {
+                events[i].reset();
             }
-
-            double checkNs = 0.0;
-            switch (core.assign.mechanism) {
-              case Mechanism::Insecure:
-                break;
-              case Mechanism::Seccomp: {
-                auto r = core.filter->run(event.req.toSeccompData());
-                checkNs += core.assign.filterCopies *
-                    (costs.seccompEntryNs +
-                     r.insnsExecuted * costs.bpfInsnNs);
-                break;
-              }
-              case Mechanism::DracoSW: {
-                auto out = core.sw->check(event.req);
-                checkNs += costs.dracoSptLookupNs;
-                if (out.hashedBytes > 0) {
-                    checkNs += 2 *
-                        (costs.dracoHashFixedNs +
-                         costs.dracoHashPerByteNs * out.hashedBytes);
-                    checkNs += out.vatProbes * costs.dracoVatProbeNs;
-                }
-                if (out.filterInsns > 0) {
-                    checkNs += core.assign.filterCopies *
-                            costs.seccompEntryNs +
-                        out.filterInsns * costs.bpfInsnNs;
-                }
-                if (out.vatInserted)
-                    checkNs += costs.dracoVatInsertNs;
-                break;
-              }
-              case Mechanism::DracoHW: {
-                core.cache->appPressure(event.bytesTouched);
-                // Shared L3: neighbours' gap traffic evicts our lines.
-                for (size_t j = 0; j < state.size(); ++j)
-                    if (j != i)
-                        core.cache->externalL3Pressure(
-                            events[j].bytesTouched);
-
-                core.engine->onDispatch(event.req.pc);
-                auto out = core.engine->onRobHead(event.req);
-                if (!out.preloadMemAddrs.empty()) {
-                    double window = static_cast<double>(
-                                        core.robRng.nextRange(16, 127)) /
-                        2.0 * 0.5;
-                    double fetchNs = 0.0;
-                    for (uint64_t addr : out.preloadMemAddrs)
-                        fetchNs = std::max(
-                            fetchNs, core.cache->access(addr).second);
-                    checkNs += std::max(0.0, fetchNs - window);
-                }
-                double headNs = 0.0;
-                for (uint64_t addr : out.headMemAddrs)
-                    headNs = std::max(headNs,
-                                      core.cache->access(addr).second);
-                checkNs += headNs;
-                if (out.filterRun) {
-                    checkNs += core.assign.filterCopies *
-                            costs.seccompEntryNs +
-                        out.filterInsns * costs.bpfInsnNs;
-                    if (out.vatInserted)
-                        checkNs += costs.dracoVatInsertNs;
-                }
-                break;
-              }
-            }
-            if (counting)
-                core.result.totalNs += checkNs;
         }
+        if (!any)
+            break;
+        lockstepStep(state, events, costs, counting);
     }
 
-    std::vector<CoreResult> results;
-    for (Core &core : state) {
-        if (core.engine) {
-            core.result.hw = core.engine->stats();
-            core.result.slb = core.engine->slbStats();
-        }
-        results.push_back(core.result);
-    }
-    return results;
+    return collectResults(state);
 }
 
 } // namespace draco::sim

@@ -28,6 +28,19 @@ struct CoreAssignment {
     unsigned filterCopies = 1;
 };
 
+/**
+ * One core's assignment when replaying recorded traces: a tenant is an
+ * event stream (one pid of an ingested strace, one round-robin share of
+ * a `.dtrc` corpus) plus the profile it runs under.
+ */
+struct TenantAssignment {
+    workload::EventStream *events = nullptr;   ///< Not owned.
+    const seccomp::Profile *profile = nullptr; ///< Not owned.
+    std::string name;                          ///< Reported workload name.
+    Mechanism mechanism = Mechanism::DracoHW;
+    unsigned filterCopies = 1;
+};
+
 /** Multicore experiment knobs. */
 struct MulticoreOptions {
     size_t callsPerCore = 100000;
@@ -75,6 +88,26 @@ class MulticoreSimulator
      */
     std::vector<CoreResult> run(const std::vector<CoreAssignment> &cores,
                                 const MulticoreOptions &options);
+
+    /**
+     * Replay one recorded event stream per core in lockstep with the
+     * same shared-L3 coupling — the consolidation experiment driven by
+     * real traces instead of synthetic generators.
+     *
+     * A core whose stream runs dry goes idle: it stops contributing
+     * events and L3 pressure while its neighbours keep running. The
+     * first warmupCallsPerCore lockstep steps are unmeasured;
+     * callsPerCore then caps the measured steps (0 = until every
+     * stream is exhausted).
+     *
+     * @param tenants Per-core stream/profile assignments.
+     * @param options Experiment knobs (seed feeds only auxiliary
+     *        timing randomness).
+     * @return One result per core, in input order.
+     */
+    std::vector<CoreResult> replay(
+        const std::vector<TenantAssignment> &tenants,
+        const MulticoreOptions &options);
 };
 
 } // namespace draco::sim

@@ -1,0 +1,152 @@
+#include "sim/pricer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace draco::sim {
+
+namespace {
+
+/** Core clock assumed by the ROB hiding model (Table II: 2 GHz). */
+constexpr double kCycleNs = 0.5;
+
+/** ROB capacity (Table II). */
+constexpr unsigned kRobEntries = 128;
+
+/** Average dispatch IPC assumed when estimating dispatch→head time. */
+constexpr double kAvgIpc = 2.0;
+
+/**
+ * Time between a syscall's dispatch into the ROB and its arrival at the
+ * head: the instructions ahead of it must retire first. Sampled
+ * uniformly over ROB occupancy.
+ */
+double
+dispatchToHeadNs(Rng &rng)
+{
+    uint64_t ahead = rng.nextRange(16, kRobEntries - 1);
+    return static_cast<double>(ahead) / kAvgIpc * kCycleNs;
+}
+
+} // namespace
+
+MechanismPricer::MechanismPricer(Mechanism mechanism,
+                                 const seccomp::Profile &profile,
+                                 const PricerConfig &config,
+                                 uint64_t auxSeed)
+    : _mechanism(mechanism), _filterCopies(config.filterCopies),
+      _costs(*config.costs), _robRng(splitSeed(auxSeed, "rob"))
+{
+    switch (mechanism) {
+      case Mechanism::Insecure:
+        break;
+      case Mechanism::Seccomp:
+        _filter = std::make_unique<seccomp::FilterChain>(
+            seccomp::buildFilterChain(profile, config.shape));
+        break;
+      case Mechanism::DracoSW:
+        _sw = std::make_unique<core::DracoSoftwareChecker>(
+            profile, config.filterCopies, config.shape);
+        break;
+      case Mechanism::DracoHW:
+        _hwProc = std::make_unique<core::HwProcessContext>(
+            profile, config.filterCopies);
+        _hwEngine = config.slbGeometry
+            ? std::make_unique<core::DracoHardwareEngine>(
+                  config.hwPreload, *config.slbGeometry)
+            : std::make_unique<core::DracoHardwareEngine>(
+                  config.hwPreload);
+        _hwEngine->switchTo(_hwProc.get());
+        _cache = std::make_unique<CacheHierarchy>(
+            splitSeed(auxSeed, "cache"));
+        break;
+    }
+}
+
+EventPrice
+MechanismPricer::price(const workload::TraceEvent &event,
+                       const std::vector<uint64_t> &neighbourL3Bytes)
+{
+    EventPrice price;
+    switch (_mechanism) {
+      case Mechanism::Insecure:
+        break;
+
+      case Mechanism::Seccomp: {
+        os::SeccompData data = event.req.toSeccompData();
+        for (unsigned copy = 0; copy < _filterCopies; ++copy) {
+            seccomp::BpfResult r = _filter->run(data);
+            price.checkNs +=
+                _costs.seccompEntryNs + r.insnsExecuted * _costs.bpfInsnNs;
+            price.filterInsns += r.insnsExecuted;
+        }
+        break;
+      }
+
+      case Mechanism::DracoSW: {
+        core::SwCheckOutcome out = _sw->check(event.req);
+        price.checkNs += _costs.dracoSptLookupNs;
+        if (out.hashedBytes > 0) {
+            price.checkNs += 2 *
+                (_costs.dracoHashFixedNs +
+                 _costs.dracoHashPerByteNs * out.hashedBytes);
+            price.checkNs += out.vatProbes * _costs.dracoVatProbeNs;
+        }
+        if (out.filterInsns > 0) {
+            // Entry overhead applies once per attached filter copy.
+            price.checkNs += _filterCopies * _costs.seccompEntryNs +
+                out.filterInsns * _costs.bpfInsnNs;
+            price.filterInsns += out.filterInsns;
+        }
+        if (out.vatInserted)
+            price.checkNs += _costs.dracoVatInsertNs;
+        break;
+      }
+
+      case Mechanism::DracoHW: {
+        _cache->appPressure(event.bytesTouched);
+        // Shared L3: neighbours' gap traffic evicts our lines.
+        for (uint64_t bytes : neighbourL3Bytes)
+            _cache->externalL3Pressure(bytes);
+
+        _hwEngine->onDispatch(event.req.pc);
+        core::HwSyscallResult out = _hwEngine->onRobHead(event.req);
+
+        // Preload fetches overlap with dispatch→head time.
+        if (!out.preloadMemAddrs.empty()) {
+            double window = dispatchToHeadNs(_robRng);
+            double fetchNs = 0.0;
+            for (uint64_t addr : out.preloadMemAddrs)
+                fetchNs = std::max(fetchNs, _cache->access(addr).second);
+            price.checkNs += std::max(0.0, fetchNs - window);
+        }
+
+        // Head-of-ROB reads stall retirement; the two cuckoo-way
+        // probes are issued in parallel (§V-B).
+        double headNs = 0.0;
+        for (uint64_t addr : out.headMemAddrs)
+            headNs = std::max(headNs, _cache->access(addr).second);
+        price.checkNs += headNs;
+
+        if (out.filterRun) {
+            price.checkNs += _filterCopies * _costs.seccompEntryNs +
+                out.filterInsns * _costs.bpfInsnNs;
+            price.filterInsns += out.filterInsns;
+            if (out.vatInserted)
+                price.checkNs += _costs.dracoVatInsertNs;
+        }
+        break;
+      }
+    }
+    return price;
+}
+
+void
+MechanismPricer::periodicAccessedClear()
+{
+    if (_hwEngine)
+        _hwEngine->periodicAccessedClear();
+}
+
+} // namespace draco::sim

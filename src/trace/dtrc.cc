@@ -1,0 +1,624 @@
+#include "trace/dtrc.hh"
+
+#include <cstring>
+
+#include "hash/crc64.hh"
+#include "os/syscalls.hh"
+#include "support/logging.hh"
+
+namespace draco::trace {
+
+namespace {
+
+/** Fixed-width little-endian primitives. */
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** LEB128 unsigned varint. */
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** Zigzag-mapped signed delta as a varint. */
+void
+putDelta(std::vector<uint8_t> &out, uint64_t now, uint64_t prev)
+{
+    auto delta = static_cast<int64_t>(now - prev);
+    auto zigzag = static_cast<uint64_t>((delta << 1) ^ (delta >> 63));
+    putVarint(out, zigzag);
+}
+
+/** Pointer-argument slots of @p sid as a bitmask (0 = none known). */
+uint8_t
+pointerMaskOf(uint16_t sid)
+{
+    const auto *desc = os::syscallById(sid);
+    return desc ? desc->pointerMask : 0;
+}
+
+/** The checked tuple: argument array with pointer slots zeroed. */
+std::array<uint64_t, os::kMaxSyscallArgs>
+checkedTuple(const os::SyscallRequest &req, uint8_t pointerMask)
+{
+    std::array<uint64_t, os::kMaxSyscallArgs> tuple = req.args;
+    for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i)
+        if (pointerMask & (1u << i))
+            tuple[i] = 0;
+    return tuple;
+}
+
+/** Key of a (sid, slot) pointer-delta chain. */
+uint32_t
+pointerChainKey(uint16_t sid, unsigned slot)
+{
+    return (static_cast<uint32_t>(sid) << 3) | slot;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// TraceWriter
+// --------------------------------------------------------------------
+
+TraceWriter::TraceWriter(std::ostream &out, uint32_t blockEvents)
+    : _out(out), _blockEvents(std::max(1u, blockEvents))
+{
+    writeHeader();
+}
+
+TraceWriter::TraceWriter(const std::string &path, uint32_t blockEvents)
+    : _file(path, std::ios::binary), _out(_file),
+      _blockEvents(std::max(1u, blockEvents))
+{
+    if (!_file)
+        fatal("TraceWriter: cannot open '%s'", path.c_str());
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+void
+TraceWriter::writeHeader()
+{
+    std::string header(kDtrcMagic, sizeof(kDtrcMagic));
+    putU32(header, kDtrcVersion | (0u << 16)); // u16 version, u16 flags.
+    putU32(header, _blockEvents);
+    _out.write(header.data(),
+               static_cast<std::streamsize>(header.size()));
+    resetBlockState();
+}
+
+void
+TraceWriter::resetBlockState()
+{
+    _payload.clear();
+    _blockCount = 0;
+    _prevPc = 0;
+    _prevWorkBits = 0;
+    _prevBytesTouched = 0;
+    _dict.clear();
+    _prevPointer.clear();
+}
+
+void
+TraceWriter::add(const workload::TraceEvent &event)
+{
+    if (_finished)
+        panic("TraceWriter: add() after finish()");
+
+    const os::SyscallRequest &req = event.req;
+    uint8_t pointerMask = pointerMaskOf(req.sid);
+
+    // User-work gaps travel as XOR against the previous gap's bit
+    // pattern: a repeated value — fixed prologue costs, the constant
+    // default gap of untimed captures — collapses to zero significant
+    // bytes while arbitrary doubles stay bit-exact.
+    uint64_t workBits;
+    static_assert(sizeof(workBits) == sizeof(event.userWorkNs));
+    std::memcpy(&workBits, &event.userWorkNs, sizeof(workBits));
+    uint64_t workXor = workBits ^ _prevWorkBits;
+    _prevWorkBits = workBits;
+    unsigned workLen = 0;
+    for (uint64_t rest = workXor; rest; rest >>= 8)
+        ++workLen;
+
+    bool bytesSame = event.bytesTouched == _prevBytesTouched;
+
+    // One head varint packs the dictionary reference (0 = literal,
+    // k+1 = entry k), the work-XOR byte count, and a bytes-unchanged
+    // flag; for a dictionary hit with a constant footprint the whole
+    // event head is typically a single byte.
+    DictKey key{req.sid, req.pc, checkedTuple(req, pointerMask)};
+    auto hit = _dict.find(key);
+    uint64_t tag = hit != _dict.end() ? hit->second + 1 : 0;
+    putVarint(_payload,
+              (tag * 9 + workLen) * 2 + (bytesSame ? 0 : 1));
+
+    if (hit == _dict.end()) {
+        putVarint(_payload, req.sid);
+        putDelta(_payload, req.pc, _prevPc);
+        for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i)
+            if (!(pointerMask & (1u << i)))
+                putVarint(_payload, req.args[i]);
+        _dict.emplace(key, static_cast<uint32_t>(_dict.size()));
+    }
+    _prevPc = req.pc;
+
+    // Pointer slots ride outside the dictionary: they change on every
+    // call, delta-chained per (sid, slot) since real pointers cluster.
+    for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i) {
+        if (!(pointerMask & (1u << i)))
+            continue;
+        uint64_t &prev = _prevPointer[pointerChainKey(req.sid, i)];
+        putDelta(_payload, req.args[i], prev);
+        prev = req.args[i];
+    }
+
+    for (unsigned i = 0; i < workLen; ++i)
+        _payload.push_back(
+            static_cast<uint8_t>((workXor >> (8 * i)) & 0xff));
+
+    if (!bytesSame) {
+        putDelta(_payload, event.bytesTouched, _prevBytesTouched);
+        _prevBytesTouched = event.bytesTouched;
+    }
+
+    ++_blockCount;
+    ++_totalEvents;
+    if (_blockCount >= _blockEvents)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (_blockCount == 0)
+        return;
+
+    BlockInfo info;
+    info.offset = static_cast<uint64_t>(_out.tellp());
+    info.events = _blockCount;
+    info.payloadBytes = static_cast<uint32_t>(_payload.size());
+
+    std::string header;
+    putU32(header, info.events);
+    putU32(header, info.payloadBytes);
+    putU64(header, crc64Ecma().compute(_payload.data(), _payload.size()));
+    _out.write(header.data(),
+               static_cast<std::streamsize>(header.size()));
+    _out.write(reinterpret_cast<const char *>(_payload.data()),
+               static_cast<std::streamsize>(_payload.size()));
+
+    _index.push_back(info);
+    resetBlockState();
+}
+
+void
+TraceWriter::finish()
+{
+    if (_finished)
+        return;
+    flushBlock();
+
+    // End-of-blocks marker, then the seekable index and footer.
+    std::string tail;
+    putU32(tail, 0);
+
+    auto indexOffset =
+        static_cast<uint64_t>(_out.tellp()) + tail.size();
+    std::string index;
+    putU32(index, static_cast<uint32_t>(_index.size()));
+    for (const BlockInfo &block : _index) {
+        putU64(index, block.offset);
+        putU32(index, block.events);
+        putU32(index, block.payloadBytes);
+    }
+    putU64(index, _totalEvents);
+
+    tail += index;
+    putU64(tail, crc64Ecma().compute(index.data(), index.size()));
+    putU64(tail, indexOffset);
+    tail.append(kDtrcIndexMagic, sizeof(kDtrcIndexMagic));
+    _out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    _out.flush();
+    if (!_out)
+        fatal("TraceWriter: write failed");
+    _finished = true;
+}
+
+// --------------------------------------------------------------------
+// TraceReader
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Bounded little-endian reads from a byte buffer. */
+bool
+takeVarint(const std::vector<uint8_t> &buf, size_t &pos, uint64_t &out)
+{
+    out = 0;
+    unsigned shift = 0;
+    while (pos < buf.size() && shift < 64) {
+        uint8_t byte = buf[pos++];
+        out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+    return false;
+}
+
+bool
+takeDelta(const std::vector<uint8_t> &buf, size_t &pos, uint64_t prev,
+          uint64_t &out)
+{
+    uint64_t zigzag;
+    if (!takeVarint(buf, pos, zigzag))
+        return false;
+    auto delta = static_cast<int64_t>((zigzag >> 1) ^
+                                      (~(zigzag & 1) + 1));
+    out = prev + static_cast<uint64_t>(delta);
+    return true;
+}
+
+bool
+readExact(std::istream &in, void *out, size_t len)
+{
+    in.read(static_cast<char *>(out), static_cast<std::streamsize>(len));
+    return static_cast<size_t>(in.gcount()) == len && !in.bad();
+}
+
+bool
+readU32(std::istream &in, uint32_t &out)
+{
+    uint8_t bytes[4];
+    if (!readExact(in, bytes, sizeof(bytes)))
+        return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+        out |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+    return true;
+}
+
+bool
+readU64(std::istream &in, uint64_t &out)
+{
+    uint8_t bytes[8];
+    if (!readExact(in, bytes, sizeof(bytes)))
+        return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+    return true;
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path)
+    : _in(path, std::ios::binary), _path(path)
+{
+    if (!_in) {
+        fail("cannot open '" + path + "'");
+        return;
+    }
+    char magic[sizeof(kDtrcMagic)];
+    if (!readExact(_in, magic, sizeof(magic)) ||
+        std::memcmp(magic, kDtrcMagic, sizeof(magic)) != 0) {
+        fail("not a .dtrc file (bad magic)");
+        return;
+    }
+    uint32_t versionFlags = 0, blockEvents = 0;
+    if (!readU32(_in, versionFlags) || !readU32(_in, blockEvents)) {
+        fail("truncated header");
+        return;
+    }
+    if ((versionFlags & 0xffff) != kDtrcVersion)
+        fail("unsupported version " +
+             std::to_string(versionFlags & 0xffff));
+}
+
+void
+TraceReader::fail(const std::string &message)
+{
+    _error = "TraceReader: " + message;
+    _done = true;
+}
+
+bool
+TraceReader::loadBlock()
+{
+    uint32_t events = 0;
+    if (!readU32(_in, events)) {
+        fail("truncated file (missing end-of-blocks marker)");
+        return false;
+    }
+    if (events == 0) {
+        // End marker: the index follows, which streaming ignores.
+        _done = true;
+        return false;
+    }
+    uint32_t payloadBytes = 0;
+    uint64_t crc = 0;
+    if (!readU32(_in, payloadBytes) || !readU64(_in, crc)) {
+        fail("truncated block header");
+        return false;
+    }
+    _payload.resize(payloadBytes);
+    if (!readExact(_in, _payload.data(), payloadBytes)) {
+        fail("truncated block (expected " +
+             std::to_string(payloadBytes) + " payload bytes)");
+        return false;
+    }
+    if (crc64Ecma().compute(_payload.data(), _payload.size()) != crc) {
+        fail("block CRC mismatch (corrupt data)");
+        return false;
+    }
+
+    _pos = 0;
+    _blockRemaining = events;
+    _prevPc = 0;
+    _prevWorkBits = 0;
+    _prevBytesTouched = 0;
+    _dict.clear();
+    _prevPointer.clear();
+    return true;
+}
+
+bool
+TraceReader::next(workload::TraceEvent &out)
+{
+    if (_done)
+        return false;
+    if (_blockRemaining == 0 && !loadBlock())
+        return false;
+
+    auto corrupt = [&]() {
+        fail("corrupt block payload (event " +
+             std::to_string(_eventsRead) + ")");
+        return false;
+    };
+
+    uint64_t head;
+    if (!takeVarint(_payload, _pos, head))
+        return corrupt();
+    bool bytesSame = (head & 1) == 0;
+    unsigned workLen = static_cast<unsigned>((head >> 1) % 9);
+    uint64_t tag = (head >> 1) / 9;
+
+    uint16_t sid;
+    uint64_t pc;
+    std::array<uint64_t, os::kMaxSyscallArgs> args{};
+    uint8_t pointerMask;
+    if (tag == 0) {
+        uint64_t rawSid;
+        if (!takeVarint(_payload, _pos, rawSid) || rawSid > 0xffff)
+            return corrupt();
+        sid = static_cast<uint16_t>(rawSid);
+        if (!takeDelta(_payload, _pos, _prevPc, pc))
+            return corrupt();
+        pointerMask = pointerMaskOf(sid);
+        for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i)
+            if (!(pointerMask & (1u << i)))
+                if (!takeVarint(_payload, _pos, args[i]))
+                    return corrupt();
+        _dict.push_back(DictEntry{sid, pc, args});
+    } else {
+        uint64_t index = tag - 1;
+        if (index >= _dict.size())
+            return corrupt();
+        const DictEntry &entry = _dict[index];
+        sid = entry.sid;
+        pc = entry.pc;
+        args = entry.args;
+        pointerMask = pointerMaskOf(sid);
+    }
+    _prevPc = pc;
+
+    for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i) {
+        if (!(pointerMask & (1u << i)))
+            continue;
+        uint64_t &prev = _prevPointer[pointerChainKey(sid, i)];
+        if (!takeDelta(_payload, _pos, prev, args[i]))
+            return corrupt();
+        prev = args[i];
+    }
+
+    if (_pos + workLen > _payload.size())
+        return corrupt();
+    uint64_t workXor = 0;
+    for (unsigned i = 0; i < workLen; ++i)
+        workXor |= static_cast<uint64_t>(_payload[_pos + i]) << (8 * i);
+    _pos += workLen;
+    uint64_t workBits = workXor ^ _prevWorkBits;
+    _prevWorkBits = workBits;
+
+    uint64_t bytesTouched = _prevBytesTouched;
+    if (!bytesSame) {
+        if (!takeDelta(_payload, _pos, _prevBytesTouched, bytesTouched))
+            return corrupt();
+        _prevBytesTouched = bytesTouched;
+    }
+
+    out.req.sid = sid;
+    out.req.pc = pc;
+    out.req.args = args;
+    std::memcpy(&out.userWorkNs, &workBits, sizeof(out.userWorkNs));
+    out.bytesTouched = bytesTouched;
+
+    --_blockRemaining;
+    ++_eventsRead;
+    if (_blockRemaining == 0 && _pos != _payload.size())
+        return corrupt(); // Payload bytes left over: corrupt block.
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Convenience entry points
+// --------------------------------------------------------------------
+
+void
+writeDtrcFile(const workload::Trace &trace, const std::string &path,
+              uint32_t blockEvents)
+{
+    TraceWriter writer(path, blockEvents);
+    for (const auto &event : trace)
+        writer.add(event);
+    writer.finish();
+}
+
+workload::Trace
+readDtrcFile(const std::string &path, std::string *error)
+{
+    TraceReader reader(path);
+    workload::Trace trace;
+    workload::TraceEvent event;
+    while (reader.next(event))
+        trace.push_back(event);
+    if (reader.failed()) {
+        if (!error)
+            fatal("readDtrcFile: %s", reader.error().c_str());
+        *error = reader.error();
+        return {};
+    }
+    if (error)
+        error->clear();
+    return trace;
+}
+
+bool
+isDtrcFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[sizeof(kDtrcMagic)];
+    return in && readExact(in, magic, sizeof(magic)) &&
+        std::memcmp(magic, kDtrcMagic, sizeof(magic)) == 0;
+}
+
+bool
+inspectDtrc(const std::string &path, DtrcInfo &info, std::string &error)
+{
+    info = DtrcInfo{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    char magic[sizeof(kDtrcMagic)];
+    if (!readExact(in, magic, sizeof(magic)) ||
+        std::memcmp(magic, kDtrcMagic, sizeof(magic)) != 0) {
+        error = "not a .dtrc file (bad magic)";
+        return false;
+    }
+    uint32_t versionFlags = 0;
+    if (!readU32(in, versionFlags) || !readU32(in, info.blockEvents)) {
+        error = "truncated header";
+        return false;
+    }
+    info.version = static_cast<uint16_t>(versionFlags & 0xffff);
+
+    // Fast path: the footer index.
+    in.seekg(0, std::ios::end);
+    auto fileSize = static_cast<uint64_t>(in.tellg());
+    constexpr uint64_t kFooterBytes = 8 + 8 + sizeof(kDtrcIndexMagic);
+    if (fileSize >= 16 + kFooterBytes) {
+        in.seekg(static_cast<std::streamoff>(fileSize - kFooterBytes));
+        uint64_t indexCrc = 0, indexOffset = 0;
+        char tailMagic[sizeof(kDtrcIndexMagic)];
+        if (readU64(in, indexCrc) && readU64(in, indexOffset) &&
+            readExact(in, tailMagic, sizeof(tailMagic)) &&
+            std::memcmp(tailMagic, kDtrcIndexMagic,
+                        sizeof(tailMagic)) == 0 &&
+            indexOffset + kFooterBytes < fileSize) {
+            uint64_t indexBytes = fileSize - kFooterBytes - indexOffset;
+            std::string index(indexBytes, '\0');
+            in.seekg(static_cast<std::streamoff>(indexOffset));
+            if (readExact(in, index.data(), index.size()) &&
+                crc64Ecma().compute(index.data(), index.size()) ==
+                    indexCrc) {
+                size_t pos = 0;
+                auto u32 = [&](uint32_t &v) {
+                    v = 0;
+                    for (int i = 0; i < 4; ++i)
+                        v |= static_cast<uint32_t>(
+                                 static_cast<uint8_t>(index[pos++]))
+                            << (8 * i);
+                };
+                auto u64 = [&](uint64_t &v) {
+                    v = 0;
+                    for (int i = 0; i < 8; ++i)
+                        v |= static_cast<uint64_t>(
+                                 static_cast<uint8_t>(index[pos++]))
+                            << (8 * i);
+                };
+                uint32_t blocks = 0;
+                u32(blocks);
+                if (index.size() == 4 + blocks * 16ull + 8) {
+                    info.blocks.reserve(blocks);
+                    for (uint32_t b = 0; b < blocks; ++b) {
+                        BlockInfo block;
+                        u64(block.offset);
+                        u32(block.events);
+                        u32(block.payloadBytes);
+                        info.blocks.push_back(block);
+                    }
+                    u64(info.totalEvents);
+                    info.indexed = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // Fallback: scan block headers (index missing or damaged).
+    in.clear();
+    in.seekg(16);
+    while (true) {
+        BlockInfo block;
+        block.offset = static_cast<uint64_t>(in.tellg());
+        uint32_t events = 0;
+        if (!readU32(in, events)) {
+            error = "truncated file (missing end-of-blocks marker)";
+            return false;
+        }
+        if (events == 0)
+            break;
+        uint32_t payloadBytes = 0;
+        uint64_t crc = 0;
+        if (!readU32(in, payloadBytes) || !readU64(in, crc)) {
+            error = "truncated block header";
+            return false;
+        }
+        block.events = events;
+        block.payloadBytes = payloadBytes;
+        in.seekg(payloadBytes, std::ios::cur);
+        if (!in) {
+            error = "truncated block payload";
+            return false;
+        }
+        info.totalEvents += events;
+        info.blocks.push_back(block);
+    }
+    return true;
+}
+
+} // namespace draco::trace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The `.dtrc` compact binary trace format.
+ *
+ * Draco's workloads are syscall streams with extreme argument locality
+ * (Fig. 3: a handful of (syscall, argument-tuple) pairs cover almost
+ * all calls), and `.dtrc` exploits exactly that: events are packed into
+ * fixed-capacity blocks, each block carrying a per-block dictionary of
+ * (sid, pc, checked-argument-tuple) triples, so a repeated tuple costs
+ * one or two bytes. Pointer arguments — re-randomized per call and
+ * never checked — are delta-encoded against the previous value of the
+ * same (sid, slot), and user-work gaps are XOR-chained doubles with a
+ * length prefix, so repeated gap values (fixed prologue costs, default
+ * gaps of untimed strace captures) cost one byte while arbitrary
+ * doubles stay bit-exact. Every block is independently decodable
+ * (dictionary and deltas reset per block), covered by a CRC-64
+ * checksum, and listed
+ * in a seekable index at the end of the file; readers and writers
+ * stream with O(1) memory, so million-user-scale corpora never fully
+ * materialize. The on-disk layout is specified in DESIGN.md §9.
+ */
+
+#ifndef DRACO_TRACE_DTRC_HH
+#define DRACO_TRACE_DTRC_HH
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace draco::trace {
+
+/** First 8 bytes of every `.dtrc` file. */
+inline constexpr char kDtrcMagic[8] = {'d', 't', 'r', 'c', '-', 'v',
+                                       '1', '\n'};
+
+/** Last 8 bytes of a complete (indexed) `.dtrc` file. */
+inline constexpr char kDtrcIndexMagic[8] = {'d', 't', 'r', 'c', 'i',
+                                            'd', 'x', '\n'};
+
+/** Format version written into the header. */
+inline constexpr uint16_t kDtrcVersion = 1;
+
+/** Default events per block. */
+inline constexpr uint32_t kDtrcBlockEvents = 4096;
+
+/** One block's entry in the seekable index. */
+struct BlockInfo {
+    uint64_t offset = 0;       ///< File offset of the block header.
+    uint32_t events = 0;       ///< Events encoded in the block.
+    uint32_t payloadBytes = 0; ///< Encoded payload size.
+};
+
+/** Whole-file description (header plus index). */
+struct DtrcInfo {
+    uint16_t version = 0;
+    uint32_t blockEvents = 0;    ///< Writer's block capacity.
+    uint64_t totalEvents = 0;
+    bool indexed = false;        ///< Footer index present and valid.
+    std::vector<BlockInfo> blocks;
+};
+
+/**
+ * Streaming `.dtrc` encoder.
+ *
+ * Events are buffered per block and flushed when the block fills;
+ * finish() (or destruction) flushes the tail block and appends the
+ * index. Memory use is bounded by one block regardless of trace
+ * length. Identical event sequences encode to identical bytes.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Write to @p out (kept open by the caller, must be binary).
+     *
+     * @param out Destination stream.
+     * @param blockEvents Events per block (min 1).
+     */
+    explicit TraceWriter(std::ostream &out,
+                         uint32_t blockEvents = kDtrcBlockEvents);
+
+    /** Open @p path for writing; fatal() when it cannot be opened. */
+    explicit TraceWriter(const std::string &path,
+                         uint32_t blockEvents = kDtrcBlockEvents);
+
+    /** Flushes and finalizes unless finish() already ran. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one event. */
+    void add(const workload::TraceEvent &event);
+
+    /** Flush the tail block and write the index; idempotent. */
+    void finish();
+
+    /** @return Events written so far. */
+    uint64_t eventsWritten() const { return _totalEvents; }
+
+  private:
+    struct DictKey {
+        uint16_t sid;
+        uint64_t pc;
+        std::array<uint64_t, os::kMaxSyscallArgs> args;
+
+        bool
+        operator<(const DictKey &o) const
+        {
+            if (sid != o.sid)
+                return sid < o.sid;
+            if (pc != o.pc)
+                return pc < o.pc;
+            return args < o.args;
+        }
+    };
+
+    void resetBlockState();
+    void flushBlock();
+    void writeHeader();
+
+    std::ofstream _file;
+    std::ostream &_out;
+    uint32_t _blockEvents;
+    uint64_t _totalEvents = 0;
+    bool _finished = false;
+
+    // Per-block encoder state.
+    std::vector<uint8_t> _payload;
+    uint32_t _blockCount = 0;
+    uint64_t _prevPc = 0;
+    uint64_t _prevWorkBits = 0;
+    uint64_t _prevBytesTouched = 0;
+    std::map<DictKey, uint32_t> _dict;
+    std::map<uint32_t, uint64_t> _prevPointer; ///< (sid<<3|slot) → value.
+
+    std::vector<BlockInfo> _index;
+};
+
+/**
+ * Streaming `.dtrc` decoder implementing workload::EventStream.
+ *
+ * Reads block by block with O(1) memory. Format errors (bad magic,
+ * truncated block, CRC mismatch) never crash: next() returns false and
+ * failed()/error() report what went wrong, so callers can distinguish
+ * clean end-of-stream from corruption.
+ */
+class TraceReader final : public workload::EventStream
+{
+  public:
+    /** Open @p path; check failed() before streaming. */
+    explicit TraceReader(const std::string &path);
+
+    bool next(workload::TraceEvent &out) override;
+
+    /** @return true when the stream is in an error state. */
+    bool failed() const { return !_error.empty(); }
+
+    /** @return Description of the failure ("" when healthy). */
+    const std::string &error() const { return _error; }
+
+    /** @return Events decoded so far. */
+    uint64_t eventsRead() const { return _eventsRead; }
+
+  private:
+    bool loadBlock();
+    void fail(const std::string &message);
+
+    std::ifstream _in;
+    std::string _path;
+    std::string _error;
+    bool _done = false;
+    uint64_t _eventsRead = 0;
+
+    // Current decoded block.
+    std::vector<uint8_t> _payload;
+    size_t _pos = 0;
+    uint32_t _blockRemaining = 0;
+
+    // Per-block decoder state (mirrors the writer).
+    uint64_t _prevPc = 0;
+    uint64_t _prevWorkBits = 0;
+    uint64_t _prevBytesTouched = 0;
+    struct DictEntry {
+        uint16_t sid;
+        uint64_t pc;
+        std::array<uint64_t, os::kMaxSyscallArgs> args;
+    };
+    std::vector<DictEntry> _dict;
+    std::map<uint32_t, uint64_t> _prevPointer;
+};
+
+/** Serialize @p trace to @p path; fatal() on I/O failure. */
+void writeDtrcFile(const workload::Trace &trace, const std::string &path,
+                   uint32_t blockEvents = kDtrcBlockEvents);
+
+/**
+ * Materialize the whole trace at @p path.
+ *
+ * @param path Input file.
+ * @param error Receives a message on failure (fatal() when null).
+ * @return The decoded trace (empty when parsing failed and @p error
+ *         was set).
+ */
+workload::Trace readDtrcFile(const std::string &path,
+                             std::string *error = nullptr);
+
+/**
+ * Read the header and index of @p path without decoding events.
+ *
+ * Prefers the footer index (O(1) seek); falls back to scanning block
+ * headers when the index is missing or damaged.
+ *
+ * @param path Input file.
+ * @param info Receives the description.
+ * @param error Receives a message on failure.
+ * @return true on success.
+ */
+bool inspectDtrc(const std::string &path, DtrcInfo &info,
+                 std::string &error);
+
+/** @return true when @p path starts with the `.dtrc` magic. */
+bool isDtrcFile(const std::string &path);
+
+} // namespace draco::trace
+
+#endif // DRACO_TRACE_DTRC_HH

@@ -1,0 +1,129 @@
+#include "trace/replay.hh"
+
+#include <fstream>
+
+#include "support/logging.hh"
+#include "trace/dtrc.hh"
+#include "workload/tracefile.hh"
+
+namespace draco::trace {
+
+OpenedTrace
+openTraceStream(const std::string &path,
+                const StraceOptions &straceOptions)
+{
+    OpenedTrace opened;
+
+    if (isDtrcFile(path)) {
+        auto reader = std::make_unique<TraceReader>(path);
+        if (reader->failed()) {
+            opened.error = reader->error();
+            return opened;
+        }
+        opened.format = "dtrc";
+        opened.stream = std::move(reader);
+        return opened;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        opened.error = "cannot open '" + path + "'";
+        return opened;
+    }
+    std::string firstLine;
+    std::getline(in, firstLine);
+    in.seekg(0);
+
+    if (firstLine == workload::kTraceMagic) {
+        std::string error;
+        workload::Trace trace = workload::readTrace(in, &error);
+        if (!error.empty()) {
+            opened.error = error;
+            return opened;
+        }
+        opened.format = "text";
+        opened.stream = std::make_unique<workload::OwningTraceStream>(
+            std::move(trace));
+        return opened;
+    }
+
+    StraceResult parsed = parseStrace(in, straceOptions);
+    if (!parsed.ok()) {
+        opened.error = parsed.error;
+        return opened;
+    }
+    if (parsed.events.empty()) {
+        opened.error = "'" + path +
+            "' contains no recognizable trace events";
+        return opened;
+    }
+    opened.format = "strace";
+    opened.straceStats = parsed.stats;
+    opened.stream = std::make_unique<workload::OwningTraceStream>(
+        std::move(parsed.events));
+    return opened;
+}
+
+RoundRobinSplitter::RoundRobinSplitter(workload::EventStream &source,
+                                       size_t tenants)
+    : _source(source), _queues(std::max<size_t>(1, tenants))
+{
+    _children.reserve(_queues.size());
+    for (size_t i = 0; i < _queues.size(); ++i)
+        _children.push_back(std::make_unique<Child>(*this, i));
+}
+
+workload::EventStream &
+RoundRobinSplitter::child(size_t index)
+{
+    if (index >= _children.size())
+        fatal("RoundRobinSplitter: child %zu of %zu", index,
+              _children.size());
+    return *_children[index];
+}
+
+bool
+RoundRobinSplitter::pull(size_t index, workload::TraceEvent &out)
+{
+    std::deque<workload::TraceEvent> &queue = _queues[index];
+    // Deal source events to their round-robin owners until this
+    // tenant's turn comes up (or the source runs dry).
+    while (queue.empty() && !_sourceDry) {
+        workload::TraceEvent event;
+        if (!_source.next(event)) {
+            _sourceDry = true;
+            break;
+        }
+        _queues[_nextTenant].push_back(event);
+        _nextTenant = (_nextTenant + 1) % _queues.size();
+    }
+    if (queue.empty())
+        return false;
+    out = queue.front();
+    queue.pop_front();
+    return true;
+}
+
+std::vector<sim::CoreResult>
+replayMulticoreRoundRobin(workload::EventStream &events,
+                          const seccomp::Profile &profile, size_t cores,
+                          sim::Mechanism mechanism,
+                          const sim::MulticoreOptions &options,
+                          const std::string &name)
+{
+    if (cores == 0)
+        fatal("replayMulticoreRoundRobin: need at least one core");
+
+    RoundRobinSplitter splitter(events, cores);
+    std::vector<sim::TenantAssignment> tenants(cores);
+    for (size_t i = 0; i < cores; ++i) {
+        tenants[i].events = &splitter.child(i);
+        tenants[i].profile = &profile;
+        tenants[i].name = name + "-" + std::to_string(i);
+        tenants[i].mechanism = mechanism;
+    }
+    sim::MulticoreSimulator simulator;
+    return simulator.replay(tenants, options);
+}
+
+} // namespace draco::trace

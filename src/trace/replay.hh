@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Feeding recorded traces back into the simulators.
+ *
+ * Three trace encodings exist side by side — strace text captures,
+ * the `# draco-trace` text format, and compact `.dtrc` binaries — and
+ * the simulators only speak workload::EventStream. openTraceStream()
+ * sniffs the format and returns a stream (the `.dtrc` path stays fully
+ * streaming; the text formats materialize). RoundRobinSplitter deals
+ * one recorded stream out to N tenants so a single capture can drive
+ * the multicore consolidation experiment, and
+ * replayMulticoreRoundRobin() wires the two together.
+ */
+
+#ifndef DRACO_TRACE_REPLAY_HH
+#define DRACO_TRACE_REPLAY_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/multicore.hh"
+#include "trace/strace.hh"
+#include "workload/trace.hh"
+
+namespace draco::trace {
+
+/** A stream opened from disk plus what it turned out to be. */
+struct OpenedTrace {
+    /** The event stream (null when opening failed). */
+    std::unique_ptr<workload::EventStream> stream;
+
+    /** Detected encoding: "dtrc", "text", or "strace". */
+    std::string format;
+
+    /** strace ingestion tallies (populated for "strace" only). */
+    StraceStats straceStats;
+
+    /** Failure description ("" on success). */
+    std::string error;
+
+    /** @return true when a stream was opened. */
+    bool ok() const { return stream != nullptr; }
+};
+
+/**
+ * Open @p path as an event stream, sniffing the encoding: the `.dtrc`
+ * magic selects the streaming binary reader, a `# draco-trace` header
+ * selects the text format, and anything else is parsed as strace
+ * output.
+ *
+ * @param path Input file.
+ * @param straceOptions Knobs used when the file is strace text.
+ * @return Stream plus detected format, or an error.
+ */
+OpenedTrace openTraceStream(const std::string &path,
+                            const StraceOptions &straceOptions = {});
+
+/**
+ * Deals one source stream out to @p tenants child streams, event i
+ * going to child i mod tenants — the round-robin tenant assignment of
+ * the consolidation benchmark. Children buffer only what fairness
+ * requires, so memory stays O(tenants) for lockstep consumers.
+ */
+class RoundRobinSplitter
+{
+  public:
+    /**
+     * @param source Underlying stream (not owned, must outlive this).
+     * @param tenants Number of child streams (min 1).
+     */
+    RoundRobinSplitter(workload::EventStream &source, size_t tenants);
+
+    /** @return Child stream @p index (owned by the splitter). */
+    workload::EventStream &child(size_t index);
+
+    /** @return Number of child streams. */
+    size_t tenants() const { return _children.size(); }
+
+  private:
+    class Child final : public workload::EventStream
+    {
+      public:
+        Child(RoundRobinSplitter &owner, size_t index)
+            : _owner(owner), _index(index)
+        {}
+
+        bool
+        next(workload::TraceEvent &out) override
+        {
+            return _owner.pull(_index, out);
+        }
+
+      private:
+        RoundRobinSplitter &_owner;
+        size_t _index;
+    };
+
+    bool pull(size_t index, workload::TraceEvent &out);
+
+    workload::EventStream &_source;
+    bool _sourceDry = false;
+    size_t _nextTenant = 0; ///< Destination of the next source event.
+    std::vector<std::deque<workload::TraceEvent>> _queues;
+    std::vector<std::unique_ptr<Child>> _children;
+};
+
+/**
+ * Run the multicore consolidation experiment from one recorded stream:
+ * events are dealt round-robin to @p cores tenants, every tenant runs
+ * @p mechanism under @p profile, and the cores couple through the
+ * shared L3 as in MulticoreSimulator::run.
+ *
+ * @param events Source stream (consumed).
+ * @param profile Seccomp profile every tenant runs under.
+ * @param cores Number of simulated cores/tenants.
+ * @param mechanism Checking mechanism on every core.
+ * @param options Experiment knobs.
+ * @param name Reported workload name (suffixed with the core index).
+ * @return One result per core.
+ */
+std::vector<sim::CoreResult> replayMulticoreRoundRobin(
+    workload::EventStream &events, const seccomp::Profile &profile,
+    size_t cores, sim::Mechanism mechanism,
+    const sim::MulticoreOptions &options,
+    const std::string &name = "tenant");
+
+} // namespace draco::trace
+
+#endif // DRACO_TRACE_REPLAY_HH

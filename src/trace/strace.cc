@@ -1,0 +1,471 @@
+#include "trace/strace.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "os/syscalls.hh"
+
+namespace draco::trace {
+
+namespace {
+
+/** FNV-1a of @p text masked to the 48 checkable argument bits. */
+uint64_t
+hashToken(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (char c : text) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ULL;
+    }
+    return h & ((1ULL << os::kArgBitmaskBits) - 1);
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Parse one argument token to 64 bits: numbers (decimal, hex, octal,
+ * negative) verbatim, anything else — quoted strings, flag ORs,
+ * structs, arrays — hashed deterministically. Both make the same token
+ * map to the same value, which is all the VAT/SLB model needs.
+ */
+uint64_t
+tokenValue(const std::string &raw)
+{
+    std::string token = trim(raw);
+    if (token.empty())
+        return 0;
+    bool negative = token[0] == '-';
+    size_t digits = negative ? 1 : 0;
+    if (digits < token.size() &&
+        std::isdigit(static_cast<unsigned char>(token[digits]))) {
+        errno = 0;
+        char *end = nullptr;
+        if (negative) {
+            auto value = std::strtoll(token.c_str(), &end, 0);
+            if (errno == 0 && end && *end == '\0')
+                return static_cast<uint64_t>(value);
+        } else {
+            auto value = std::strtoull(token.c_str(), &end, 0);
+            if (errno == 0 && end && *end == '\0')
+                return value;
+        }
+    }
+    return hashToken(token);
+}
+
+/**
+ * Split @p args at top-level commas: commas inside quotes, parens,
+ * braces, or brackets belong to a single argument.
+ */
+std::vector<std::string>
+splitArgs(const std::string &args)
+{
+    std::vector<std::string> out;
+    if (trim(args).empty())
+        return out;
+    int depth = 0;
+    bool quoted = false;
+    std::string current;
+    for (size_t i = 0; i < args.size(); ++i) {
+        char c = args[i];
+        if (quoted) {
+            current.push_back(c);
+            if (c == '\\' && i + 1 < args.size())
+                current.push_back(args[++i]);
+            else if (c == '"')
+                quoted = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            quoted = true;
+            current.push_back(c);
+            break;
+          case '(': case '[': case '{':
+            ++depth;
+            current.push_back(c);
+            break;
+          case ')': case ']': case '}':
+            --depth;
+            current.push_back(c);
+            break;
+          case ',':
+            if (depth == 0) {
+                out.push_back(current);
+                current.clear();
+            } else {
+                current.push_back(c);
+            }
+            break;
+          default:
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+/** Per-pid demux state. */
+struct PidState {
+    std::string unfinished;   ///< Stashed `<unfinished ...>` prefix.
+    bool hasUnfinished = false;
+    int64_t lastTimestampNs = -1; ///< -1 = no timestamp seen yet.
+    double lastDurationNs = 0.0;
+};
+
+/** Exact decimal-seconds to nanoseconds (epoch doubles lose ~100ns). */
+int64_t
+secondsToNs(uint64_t seconds, const std::string &fraction)
+{
+    uint64_t ns = seconds * 1000000000ULL;
+    uint64_t scale = 100000000ULL;
+    for (char c : fraction) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) || !scale)
+            break;
+        ns += static_cast<uint64_t>(c - '0') * scale;
+        scale /= 10;
+    }
+    return static_cast<int64_t>(ns);
+}
+
+class Parser
+{
+  public:
+    Parser(const StraceOptions &options, StraceResult &result)
+        : _options(options), _result(result)
+    {}
+
+    /** @return false to stop (strict-mode failure). */
+    bool
+    consume(const std::string &rawLine, uint64_t lineNo)
+    {
+        std::string line = trim(rawLine);
+        if (line.empty())
+            return true;
+        ++_result.stats.lines;
+
+        uint32_t pid = 0;
+        bool sawPid = stripPid(line, pid);
+        int64_t timestampNs = stripTimestamp(line);
+        uint64_t pc = 0;
+        bool sawPc = stripInstructionPointer(line, pc);
+        (void)sawPid;
+
+        // Signal deliveries and process exits carry no syscall.
+        if (line.rfind("---", 0) == 0 || line.rfind("+++", 0) == 0) {
+            ++_result.stats.skippedMeta;
+            return true;
+        }
+
+        PidState &state = _pids[pid];
+
+        // `<... name resumed> tail` — splice onto the stashed prefix.
+        if (line.rfind("<...", 0) == 0) {
+            size_t mark = line.find("resumed>");
+            if (mark == std::string::npos || !state.hasUnfinished)
+                return malformed(lineNo, "resumed line without a "
+                                         "matching unfinished call");
+            line = state.unfinished + line.substr(mark + 8);
+            state.unfinished.clear();
+            state.hasUnfinished = false;
+            ++_result.stats.splicedResumed;
+        }
+
+        // `name(args... <unfinished ...>` — stash until resumed.
+        size_t unfinished = line.find("<unfinished");
+        if (unfinished != std::string::npos) {
+            state.unfinished = trim(line.substr(0, unfinished));
+            state.hasUnfinished = true;
+            return true;
+        }
+
+        return parseCall(line, lineNo, pid, timestampNs, sawPc, pc);
+    }
+
+    void
+    finish()
+    {
+        for (auto &[pid, state] : _pids)
+            if (state.hasUnfinished)
+                ++_result.stats.danglingUnfinished;
+    }
+
+  private:
+    bool
+    malformed(uint64_t lineNo, const std::string &why)
+    {
+        if (_options.strict) {
+            _result.error =
+                "line " + std::to_string(lineNo) + ": " + why;
+            return false;
+        }
+        ++_result.stats.skippedMalformed;
+        return true;
+    }
+
+    /** `[pid 1234] ...` or `1234  ...` (strace -f output styles). */
+    bool
+    stripPid(std::string &line, uint32_t &pid)
+    {
+        if (line.rfind("[pid", 0) == 0) {
+            size_t close = line.find(']');
+            if (close != std::string::npos) {
+                pid = static_cast<uint32_t>(
+                    std::strtoul(line.c_str() + 4, nullptr, 10));
+                line = trim(line.substr(close + 1));
+                return true;
+            }
+        }
+        // Leading bare pid: digits, then whitespace, then a non-digit
+        // continuation (a lone leading number could also be an epoch
+        // timestamp, but those always contain a '.').
+        size_t i = 0;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i > 0 && i < line.size() &&
+            (line[i] == ' ' || line[i] == '\t')) {
+            pid = static_cast<uint32_t>(
+                std::strtoul(line.c_str(), nullptr, 10));
+            line = trim(line.substr(i));
+            return true;
+        }
+        return false;
+    }
+
+    /** `-ttt` epoch seconds or `-tt` wall-clock; returns ns or -1. */
+    int64_t
+    stripTimestamp(std::string &line)
+    {
+        size_t i = 0;
+        while (i < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[i])) ||
+                line[i] == '.' || line[i] == ':'))
+            ++i;
+        if (i == 0 || i >= line.size() ||
+            (line[i] != ' ' && line[i] != '\t'))
+            return -1;
+        std::string token = line.substr(0, i);
+        int64_t timestampNs = -1;
+        size_t dot = token.find('.');
+        std::string fraction =
+            dot == std::string::npos ? "" : token.substr(dot + 1);
+        if (token.find(':') != std::string::npos) {
+            unsigned h = 0, m = 0, s = 0;
+            if (std::sscanf(token.c_str(), "%u:%u:%u", &h, &m, &s) == 3)
+                timestampNs =
+                    secondsToNs(h * 3600ULL + m * 60ULL + s, fraction);
+        } else if (dot != std::string::npos) {
+            timestampNs = secondsToNs(
+                std::strtoull(token.c_str(), nullptr, 10), fraction);
+        } else {
+            return -1; // A lone integer is a pid, not a timestamp.
+        }
+        line = trim(line.substr(i));
+        return timestampNs;
+    }
+
+    /** `-i` call sites: `[00007f1bc4d0f6f9] name(...`. */
+    bool
+    stripInstructionPointer(std::string &line, uint64_t &pc)
+    {
+        if (line.empty() || line[0] != '[')
+            return false;
+        size_t close = line.find(']');
+        if (close == std::string::npos)
+            return false;
+        std::string body = line.substr(1, close - 1);
+        for (char c : body)
+            if (!std::isxdigit(static_cast<unsigned char>(c)) &&
+                c != 'x')
+                return false;
+        pc = std::strtoull(body.c_str(), nullptr, 16);
+        line = trim(line.substr(close + 1));
+        return true;
+    }
+
+    bool
+    parseCall(const std::string &line, uint64_t lineNo, uint32_t pid,
+              int64_t timestampNs, bool sawPc, uint64_t pc)
+    {
+        size_t open = line.find('(');
+        if (open == std::string::npos || open == 0)
+            return malformed(lineNo, "no syscall invocation found");
+        std::string name = line.substr(0, open);
+        for (char c : name)
+            if (!isIdentChar(c))
+                return malformed(lineNo, "bad syscall name '" + name +
+                                             "'");
+
+        // The result separator is the *last* " = " — argument strings
+        // can contain the same characters.
+        size_t sep = line.rfind(" = ");
+        if (sep == std::string::npos || sep < open)
+            return malformed(lineNo, "no return value found");
+        size_t close = line.rfind(')', sep);
+        if (close == std::string::npos || close < open)
+            return malformed(lineNo, "unterminated argument list");
+
+        const os::SyscallDesc *desc = os::syscallByName(name);
+        if (!desc) {
+            if (_options.strict) {
+                _result.error = "line " + std::to_string(lineNo) +
+                    ": unknown syscall '" + name + "'";
+                return false;
+            }
+            ++_result.stats.skippedUnknown;
+            return true;
+        }
+
+        std::string retText = trim(line.substr(sep + 3));
+        double durationNs = 0.0;
+        size_t durOpen = retText.rfind('<');
+        if (durOpen != std::string::npos &&
+            retText.back() == '>') {
+            durationNs = std::strtod(retText.c_str() + durOpen + 1,
+                                     nullptr) * 1e9;
+            retText = trim(retText.substr(0, durOpen));
+        }
+        long long retValue = 0;
+        if (!retText.empty() &&
+            (retText[0] == '-' ||
+             std::isdigit(static_cast<unsigned char>(retText[0]))))
+            retValue = std::strtoll(retText.c_str(), nullptr, 0);
+
+        workload::TraceEvent event;
+        event.req.sid = desc->id;
+        event.req.pc = sawPc
+            ? pc
+            : _options.pcBase + static_cast<uint64_t>(desc->id) * 0x40;
+        auto tokens =
+            splitArgs(line.substr(open + 1, close - open - 1));
+        for (size_t i = 0;
+             i < tokens.size() && i < os::kMaxSyscallArgs; ++i)
+            event.req.args[i] = tokenValue(tokens[i]);
+
+        PidState &state = _pids[pid];
+        event.userWorkNs = _options.defaultUserWorkNs;
+        if (timestampNs >= 0 && state.lastTimestampNs >= 0) {
+            double gap = static_cast<double>(timestampNs -
+                                             state.lastTimestampNs) -
+                state.lastDurationNs;
+            if (gap >= 0.0)
+                event.userWorkNs = gap;
+        }
+        if (timestampNs >= 0) {
+            state.lastTimestampNs = timestampNs;
+            state.lastDurationNs = durationNs;
+        }
+
+        event.bytesTouched = _options.defaultBytesTouched;
+        if (retValue > 0 && touchesReturnedBytes(desc->id))
+            event.bytesTouched = static_cast<uint64_t>(retValue);
+
+        if (_pidIndex.find(pid) == _pidIndex.end()) {
+            _pidIndex.emplace(pid, _result.pids.size());
+            _result.pids.push_back(pid);
+        }
+        _result.events.push_back(event);
+        _result.eventPid.push_back(pid);
+        ++_result.stats.events;
+        return true;
+    }
+
+    /** Syscalls whose positive return counts bytes moved. */
+    static bool
+    touchesReturnedBytes(uint16_t sid)
+    {
+        using namespace os::sc;
+        switch (sid) {
+          case read: case write: case writev: case sendto:
+          case recvfrom: case sendmsg: case recvmsg: case sendfile:
+          case getdents:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    const StraceOptions &_options;
+    StraceResult &_result;
+    std::map<uint32_t, PidState> _pids;
+    std::map<uint32_t, size_t> _pidIndex;
+};
+
+} // namespace
+
+void
+StraceStats::exportInto(MetricRegistry &registry,
+                        const std::string &prefix) const
+{
+    auto name = [&](const char *metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+    registry.setCounter(name("lines"), lines);
+    registry.setCounter(name("events"), events);
+    registry.setCounter(name("skipped_malformed"), skippedMalformed);
+    registry.setCounter(name("skipped_unknown"), skippedUnknown);
+    registry.setCounter(name("skipped_meta"), skippedMeta);
+    registry.setCounter(name("spliced_resumed"), splicedResumed);
+    registry.setCounter(name("dangling_unfinished"),
+                        danglingUnfinished);
+}
+
+workload::Trace
+StraceResult::eventsForPid(uint32_t pid) const
+{
+    workload::Trace trace;
+    for (size_t i = 0; i < events.size(); ++i)
+        if (eventPid[i] == pid)
+            trace.push_back(events[i]);
+    return trace;
+}
+
+StraceResult
+parseStrace(std::istream &in, const StraceOptions &options)
+{
+    StraceResult result;
+    Parser parser(options, result);
+    std::string line;
+    uint64_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (!parser.consume(line, lineNo))
+            return result;
+    }
+    parser.finish();
+    return result;
+}
+
+StraceResult
+parseStraceFile(const std::string &path, const StraceOptions &options)
+{
+    std::ifstream in(path);
+    if (!in) {
+        StraceResult result;
+        result.error = "cannot open '" + path + "'";
+        return result;
+    }
+    return parseStrace(in, options);
+}
+
+} // namespace draco::trace

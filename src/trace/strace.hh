@@ -1,0 +1,110 @@
+/**
+ * @file
+ * strace text-output ingestion.
+ *
+ * Draco's inputs are syscall streams; the most common way to record one
+ * from a real application is `strace -f` (ideally with `-ttt -T -i` for
+ * timestamps, durations, and call sites). This parser turns that text
+ * into workload::TraceEvents: syscall names resolve to SIDs through
+ * os::syscalls, `[pid N]`/leading-pid prefixes demultiplex interleaved
+ * processes, `<unfinished ...>`/`<... resumed>` pairs are spliced back
+ * together, and timestamps become per-pid user-work gaps. Parsing is
+ * tolerant by default — malformed lines and unknown syscalls are
+ * counted and skipped, with the tallies exportable into a
+ * MetricRegistry — because real captures are messy; strict mode turns
+ * the first problem into a line-numbered error instead.
+ */
+
+#ifndef DRACO_TRACE_STRACE_HH
+#define DRACO_TRACE_STRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/metrics.hh"
+#include "workload/trace.hh"
+
+namespace draco::trace {
+
+/** Ingestion knobs. */
+struct StraceOptions {
+    /** Fail on the first malformed line instead of skipping it. */
+    bool strict = false;
+
+    /**
+     * User work charged to an event when the capture has no usable
+     * timestamps (or for the first event of each pid).
+     */
+    double defaultUserWorkNs = 3000.0;
+
+    /** Gap traffic charged when the return value gives no better hint. */
+    uint64_t defaultBytesTouched = 4096;
+
+    /**
+     * Base address for synthesized call sites when the capture lacks
+     * `-i` instruction pointers (one site per syscall id).
+     */
+    uint64_t pcBase = 0x400000;
+};
+
+/** Count-and-skip tallies from one parse. */
+struct StraceStats {
+    uint64_t lines = 0;             ///< Non-empty input lines seen.
+    uint64_t events = 0;            ///< Events produced.
+    uint64_t skippedMalformed = 0;  ///< Unparseable lines skipped.
+    uint64_t skippedUnknown = 0;    ///< Unknown-syscall lines skipped.
+    uint64_t skippedMeta = 0;       ///< Signal/exit annotation lines.
+    uint64_t splicedResumed = 0;    ///< unfinished/resumed pairs joined.
+    uint64_t danglingUnfinished = 0;///< Unfinished calls never resumed.
+
+    /** Export every tally as a counter under @p prefix. */
+    void exportInto(MetricRegistry &registry,
+                    const std::string &prefix = "trace.strace") const;
+};
+
+/** Everything one parse produced. */
+struct StraceResult {
+    /** Events in capture order, all pids interleaved. */
+    std::vector<workload::TraceEvent> events;
+
+    /** Parallel to events: the pid each event belongs to. */
+    std::vector<uint32_t> eventPid;
+
+    /** Distinct pids in first-appearance order. */
+    std::vector<uint32_t> pids;
+
+    StraceStats stats;
+
+    /** Strict-mode failure ("" when parsing succeeded). */
+    std::string error;
+
+    /** @return true when no strict-mode error was recorded. */
+    bool ok() const { return error.empty(); }
+
+    /** @return Number of distinct pids in the capture. */
+    size_t distinctPids() const { return pids.size(); }
+
+    /** @return The events of @p pid only, in capture order. */
+    workload::Trace eventsForPid(uint32_t pid) const;
+};
+
+/**
+ * Parse strace text from @p in.
+ *
+ * @param in Input stream of strace lines.
+ * @param options Ingestion knobs.
+ * @return Parsed events plus tallies; result.error is set (and parsing
+ *         stops early) only in strict mode.
+ */
+StraceResult parseStrace(std::istream &in,
+                         const StraceOptions &options = {});
+
+/** Parse the file at @p path; sets result.error when it cannot open. */
+StraceResult parseStraceFile(const std::string &path,
+                             const StraceOptions &options = {});
+
+} // namespace draco::trace
+
+#endif // DRACO_TRACE_STRACE_HH

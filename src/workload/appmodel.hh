@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "workload/trace.hh"
+
 namespace draco::workload {
 
 /** How one system call is used by an application. */
@@ -50,6 +52,30 @@ struct AppModel {
 
     /** @return Total distinct (sid, tuple) combinations. */
     unsigned totalArgSets() const;
+
+    /**
+     * Fit a generator model to a real trace.
+     *
+     * Derives, per syscall: dynamic weight, distinct checked-argument
+     * tuples, a Zipf skew estimate (log-log regression of tuple
+     * popularity), and distinct call sites; plus the trace-wide
+     * lognormal gap parameters and mean gap footprint. The result
+     * drives TraceGenerator, so a statistical twin of an ingested
+     * workload can be synthesized at any length.
+     *
+     * @param name Name for the fitted model.
+     * @param events Trace to fit; consumed to exhaustion.
+     * @param isMacro Macro/micro label (not inferable from a trace).
+     * @return The fitted model; usage is empty when the stream was.
+     */
+    static AppModel fitFromTrace(const std::string &name,
+                                 EventStream &events,
+                                 bool isMacro = true);
+
+    /** Convenience overload over a materialized trace. */
+    static AppModel fitFromTrace(const std::string &name,
+                                 const Trace &trace,
+                                 bool isMacro = true);
 };
 
 /** @return The eight macro benchmarks, in figure order. */

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * AppModel::fitFromTrace — derive generator parameters from a real
+ * trace, the inverse of TraceGenerator. The fit is streaming: one pass,
+ * memory proportional to the number of *distinct* (syscall, tuple) and
+ * (syscall, pc) pairs, never to the trace length.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "os/syscalls.hh"
+#include "workload/appmodel.hh"
+
+namespace draco::workload {
+
+namespace {
+
+/** Per-syscall accumulation state for one fit pass. */
+struct SidFit {
+    uint64_t count = 0;
+    std::map<std::array<uint64_t, os::kMaxSyscallArgs>, uint64_t> tuples;
+    std::set<uint64_t> pcs;
+};
+
+/**
+ * Zipf skew estimate: least-squares slope of log(freq) over log(rank)
+ * for the popularity-sorted tuple counts; the generator's ZipfSampler
+ * produces frequencies ∝ rank^-s, so -slope recovers s.
+ */
+double
+estimateZipf(const SidFit &fit)
+{
+    if (fit.tuples.size() < 2)
+        return 0.0;
+    std::vector<uint64_t> counts;
+    counts.reserve(fit.tuples.size());
+    for (const auto &[tuple, count] : fit.tuples)
+        counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    double n = static_cast<double>(counts.size());
+    for (size_t rank = 0; rank < counts.size(); ++rank) {
+        double x = std::log(static_cast<double>(rank + 1));
+        double y = std::log(static_cast<double>(counts[rank]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    double denom = n * sxx - sx * sx;
+    if (denom <= 0.0)
+        return 0.0;
+    double slope = (n * sxy - sx * sy) / denom;
+    return std::clamp(-slope, 0.0, 4.0);
+}
+
+} // namespace
+
+AppModel
+AppModel::fitFromTrace(const std::string &name, EventStream &events,
+                       bool isMacro)
+{
+    std::map<uint16_t, SidFit> perSid;
+    uint64_t n = 0;
+    double workSum = 0.0, logSum = 0.0, logSqSum = 0.0;
+    uint64_t logged = 0;
+    double bytesSum = 0.0;
+
+    TraceEvent event;
+    while (events.next(event)) {
+        ++n;
+        workSum += event.userWorkNs;
+        if (event.userWorkNs > 0.0) {
+            double l = std::log(event.userWorkNs);
+            logSum += l;
+            logSqSum += l * l;
+            ++logged;
+        }
+        bytesSum += static_cast<double>(event.bytesTouched);
+
+        SidFit &fit = perSid[event.req.sid];
+        ++fit.count;
+        fit.pcs.insert(event.req.pc);
+
+        // The checked-argument tuple: pointer arguments never
+        // participate in checking (TOCTOU), so zero them out — two
+        // calls differing only in pointers share a tuple, exactly as
+        // the VAT sees them. Unknown syscalls keep all arguments.
+        std::array<uint64_t, os::kMaxSyscallArgs> tuple = event.req.args;
+        if (const auto *desc = os::syscallById(event.req.sid)) {
+            for (unsigned i = 0; i < os::kMaxSyscallArgs; ++i)
+                if (desc->argIsPointer(i))
+                    tuple[i] = 0;
+        }
+        ++fit.tuples[tuple];
+    }
+
+    AppModel model;
+    model.name = name;
+    model.isMacro = isMacro;
+    if (n == 0) {
+        model.userWorkMeanNs = 0.0;
+        model.userWorkSigma = 0.0;
+        model.bytesPerGap = 0;
+        return model;
+    }
+
+    model.userWorkMeanNs = workSum / static_cast<double>(n);
+    double sigma = 0.0;
+    if (logged > 1) {
+        double mean = logSum / static_cast<double>(logged);
+        double var =
+            logSqSum / static_cast<double>(logged) - mean * mean;
+        sigma = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    model.userWorkSigma = sigma;
+    model.bytesPerGap =
+        static_cast<uint64_t>(bytesSum / static_cast<double>(n) + 0.5);
+
+    model.usage.reserve(perSid.size());
+    for (const auto &[sid, fit] : perSid) {
+        SyscallUsage usage;
+        usage.sid = sid;
+        usage.weight =
+            100.0 * static_cast<double>(fit.count) /
+            static_cast<double>(n);
+        usage.argSets = static_cast<unsigned>(fit.tuples.size());
+        usage.argZipf = estimateZipf(fit);
+        usage.pcSites = static_cast<unsigned>(fit.pcs.size());
+        model.usage.push_back(usage);
+    }
+    // Most frequent first, ties by id: stable, readable models.
+    std::sort(model.usage.begin(), model.usage.end(),
+              [](const SyscallUsage &a, const SyscallUsage &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  return a.sid < b.sid;
+              });
+    return model;
+}
+
+AppModel
+AppModel::fitFromTrace(const std::string &name, const Trace &trace,
+                       bool isMacro)
+{
+    TraceStream stream(trace);
+    return fitFromTrace(name, stream, isMacro);
+}
+
+} // namespace draco::workload

@@ -11,6 +11,7 @@
 #ifndef DRACO_WORKLOAD_TRACE_HH
 #define DRACO_WORKLOAD_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,77 @@ struct TraceEvent {
 
 /** A fully materialized trace. */
 using Trace = std::vector<TraceEvent>;
+
+/**
+ * Pull-based event source.
+ *
+ * Everything that can supply a syscall stream — an in-memory Trace, the
+ * synthetic TraceGenerator, a streaming `.dtrc` reader — implements this
+ * one-method interface, so the simulator replays any of them through the
+ * same code path and million-event corpora never have to materialize.
+ */
+class EventStream
+{
+  public:
+    virtual ~EventStream() = default;
+
+    /**
+     * Fetch the next event.
+     *
+     * @param out Receives the event when one is available.
+     * @return true when @p out was filled; false at end of stream.
+     */
+    virtual bool next(TraceEvent &out) = 0;
+};
+
+/** EventStream view over an in-memory Trace (not owned). */
+class TraceStream final : public EventStream
+{
+  public:
+    explicit TraceStream(const Trace &trace) : _trace(&trace) {}
+
+    bool
+    next(TraceEvent &out) override
+    {
+        if (_pos >= _trace->size())
+            return false;
+        out = (*_trace)[_pos++];
+        return true;
+    }
+
+    /** Rewind to the first event. */
+    void reset() { _pos = 0; }
+
+  private:
+    const Trace *_trace;
+    size_t _pos = 0;
+};
+
+/** EventStream that owns its backing Trace (for loaded files). */
+class OwningTraceStream final : public EventStream
+{
+  public:
+    explicit OwningTraceStream(Trace trace) : _trace(std::move(trace)) {}
+
+    bool
+    next(TraceEvent &out) override
+    {
+        if (_pos >= _trace.size())
+            return false;
+        out = _trace[_pos++];
+        return true;
+    }
+
+    /** Rewind to the first event. */
+    void reset() { _pos = 0; }
+
+    /** @return The backing trace. */
+    const Trace &trace() const { return _trace; }
+
+  private:
+    Trace _trace;
+    size_t _pos = 0;
+};
 
 } // namespace draco::workload
 

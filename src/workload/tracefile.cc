@@ -16,9 +16,11 @@ writeTrace(const Trace &trace, std::ostream &out)
     char line[256];
     for (const auto &event : trace) {
         const auto &req = event.req;
+        // %.17g keeps the double exact, so write->read->write is
+        // byte-stable.
         std::snprintf(
             line, sizeof(line),
-            "0x%llx %u %llx %llx %llx %llx %llx %llx %.3f %llu\n",
+            "0x%llx %u %llx %llx %llx %llx %llx %llx %.17g %llu\n",
             static_cast<unsigned long long>(req.pc), req.sid,
             static_cast<unsigned long long>(req.args[0]),
             static_cast<unsigned long long>(req.args[1]),
@@ -44,7 +46,7 @@ writeTraceFile(const Trace &trace, const std::string &path)
 }
 
 Trace
-readTrace(std::istream &in, std::string *error)
+readTrace(std::istream &in, std::string *error, size_t sizeHint)
 {
     auto fail = [&](const std::string &msg) {
         if (error)
@@ -59,9 +61,13 @@ readTrace(std::istream &in, std::string *error)
         return fail("missing '# draco-trace v1' header");
 
     Trace trace;
+    trace.reserve(sizeHint);
     size_t lineNo = 1;
     while (std::getline(in, line)) {
         ++lineNo;
+        if (line == kTraceMagic)
+            return fail("duplicate header at line " +
+                        std::to_string(lineNo));
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream fields(line);
@@ -75,6 +81,12 @@ readTrace(std::istream &in, std::string *error)
         fields >> std::dec >> event.userWorkNs >> bytes;
         if (!fields)
             return fail("malformed event at line " +
+                        std::to_string(lineNo));
+        // Exactly ten fields per event: anything left beyond
+        // whitespace is a corrupt or truncated-and-glued line.
+        fields >> std::ws;
+        if (fields.peek() != std::istringstream::traits_type::eof())
+            return fail("trailing garbage at line " +
                         std::to_string(lineNo));
         if (sid > 0xffff)
             return fail("sid out of range at line " +
@@ -94,10 +106,14 @@ readTrace(std::istream &in, std::string *error)
 Trace
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::ate);
     if (!in)
         fatal("readTraceFile: cannot open '%s'", path.c_str());
-    return readTrace(in, nullptr);
+    // Reserve from the byte size: steady-state event lines run ~50-80
+    // bytes, so bytes/48 slightly over-reserves instead of growing.
+    auto bytes = static_cast<size_t>(in.tellg());
+    in.seekg(0);
+    return readTrace(in, nullptr, bytes / 48);
 }
 
 } // namespace draco::workload

@@ -11,7 +11,8 @@
  *     <pc-hex> <sid> <arg0>..<arg5> <user-work-ns> <bytes-touched>
  *
  * All argument values are hex without prefixes except pc (0x-prefixed
- * for readability).
+ * for readability). user-work-ns is emitted with %.17g so a
+ * write→read→write cycle is byte-stable (doubles survive exactly).
  */
 
 #ifndef DRACO_WORKLOAD_TRACEFILE_HH
@@ -36,12 +37,19 @@ void writeTraceFile(const Trace &trace, const std::string &path);
 /**
  * Parse a trace from @p in.
  *
+ * Rejects (with a line-numbered message) malformed events, trailing
+ * garbage after an event's ten fields, out-of-range syscall IDs, and a
+ * repeated header line.
+ *
  * @param in Input stream positioned at the start of the file.
  * @param error Receives a message on parse failure (may be null).
+ * @param sizeHint Expected event count; reserves capacity up front
+ *        (0 = unknown).
  * @return The parsed trace, or an empty trace when parsing failed and
  *         @p error was set.
  */
-Trace readTrace(std::istream &in, std::string *error = nullptr);
+Trace readTrace(std::istream &in, std::string *error = nullptr,
+                size_t sizeHint = 0);
 
 /** Parse a trace from @p path; fatal() on I/O or parse failure. */
 Trace readTraceFile(const std::string &path);

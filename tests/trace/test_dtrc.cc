@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the `.dtrc` compact binary trace format: lossless round
+ * trips, streaming decode, corruption handling, the seekable index,
+ * and the compression-ratio claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/dtrc.hh"
+#include "workload/generator.hh"
+#include "workload/tracefile.hh"
+
+namespace draco::trace {
+namespace {
+
+workload::Trace
+sampleTrace(size_t n, const char *app = "nginx", uint64_t seed = 7)
+{
+    const workload::AppModel *model = workload::workloadByName(app);
+    workload::TraceGenerator gen(*model, seed);
+    return gen.generate(n);
+}
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+expectSameTrace(const workload::Trace &a, const workload::Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].req.pc, b[i].req.pc) << i;
+        EXPECT_EQ(a[i].req.sid, b[i].req.sid) << i;
+        EXPECT_EQ(a[i].req.args, b[i].req.args) << i;
+        EXPECT_EQ(a[i].bytesTouched, b[i].bytesTouched) << i;
+        // Bit-exact doubles, not approximately equal.
+        EXPECT_EQ(a[i].userWorkNs, b[i].userWorkNs) << i;
+    }
+}
+
+TEST(Dtrc, RoundTripIsLossless)
+{
+    workload::Trace original = sampleTrace(2000);
+    std::string path = tempPath("dtrc_roundtrip.dtrc");
+    writeDtrcFile(original, path);
+    std::string error;
+    workload::Trace parsed = readDtrcFile(path, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    expectSameTrace(original, parsed);
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, MultiBlockRoundTripAndIndex)
+{
+    workload::Trace original = sampleTrace(1000);
+    std::string path = tempPath("dtrc_multiblock.dtrc");
+    writeDtrcFile(original, path, 64);
+
+    std::string error;
+    workload::Trace parsed = readDtrcFile(path, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    expectSameTrace(original, parsed);
+
+    DtrcInfo info;
+    ASSERT_TRUE(inspectDtrc(path, info, error)) << error;
+    EXPECT_TRUE(info.indexed);
+    EXPECT_EQ(info.version, kDtrcVersion);
+    EXPECT_EQ(info.blockEvents, 64u);
+    EXPECT_EQ(info.totalEvents, original.size());
+    EXPECT_EQ(info.blocks.size(), (original.size() + 63) / 64);
+    uint64_t eventsInBlocks = 0;
+    for (const auto &block : info.blocks)
+        eventsInBlocks += block.events;
+    EXPECT_EQ(eventsInBlocks, original.size());
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, EmptyTraceRoundTrips)
+{
+    std::string path = tempPath("dtrc_empty.dtrc");
+    writeDtrcFile({}, path);
+    std::string error;
+    workload::Trace parsed = readDtrcFile(path, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(parsed.empty());
+
+    DtrcInfo info;
+    ASSERT_TRUE(inspectDtrc(path, info, error)) << error;
+    EXPECT_EQ(info.totalEvents, 0u);
+    EXPECT_TRUE(info.indexed);
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, StreamingReaderMatchesMaterialized)
+{
+    workload::Trace original = sampleTrace(500);
+    std::string path = tempPath("dtrc_stream.dtrc");
+    writeDtrcFile(original, path, 128);
+
+    TraceReader reader(path);
+    ASSERT_FALSE(reader.failed()) << reader.error();
+    workload::Trace streamed;
+    workload::TraceEvent event;
+    while (reader.next(event))
+        streamed.push_back(event);
+    EXPECT_FALSE(reader.failed()) << reader.error();
+    EXPECT_EQ(reader.eventsRead(), original.size());
+    expectSameTrace(original, streamed);
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, WritesAreByteDeterministic)
+{
+    workload::Trace trace = sampleTrace(700);
+    std::string pathA = tempPath("dtrc_det_a.dtrc");
+    std::string pathB = tempPath("dtrc_det_b.dtrc");
+    writeDtrcFile(trace, pathA, 100);
+    writeDtrcFile(trace, pathB, 100);
+    EXPECT_EQ(fileBytes(pathA), fileBytes(pathB));
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+}
+
+TEST(Dtrc, TruncatedFinalBlockReportsError)
+{
+    workload::Trace trace = sampleTrace(600);
+    std::string path = tempPath("dtrc_truncated.dtrc");
+    writeDtrcFile(trace, path, 100);
+
+    std::string bytes = fileBytes(path);
+    DtrcInfo info;
+    std::string inspectError;
+    ASSERT_TRUE(inspectDtrc(path, info, inspectError)) << inspectError;
+    // Chop the file mid-way through the last block's payload.
+    const BlockInfo &last = info.blocks.back();
+    size_t cut = last.offset + 16 + last.payloadBytes / 2;
+    ASSERT_LT(cut, bytes.size());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+
+    TraceReader reader(path);
+    workload::TraceEvent event;
+    size_t decoded = 0;
+    while (reader.next(event))
+        ++decoded;
+    EXPECT_TRUE(reader.failed());
+    EXPECT_NE(reader.error().find("truncated"), std::string::npos)
+        << reader.error();
+    EXPECT_LT(decoded, trace.size());
+
+    // The materializing helper surfaces the same error, no crash.
+    std::string error;
+    workload::Trace parsed = readDtrcFile(path, &error);
+    EXPECT_TRUE(parsed.empty());
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, CorruptBlockFailsCrc)
+{
+    workload::Trace trace = sampleTrace(600);
+    std::string path = tempPath("dtrc_corrupt.dtrc");
+    writeDtrcFile(trace, path, 100);
+
+    std::string bytes = fileBytes(path);
+    // Flip one byte inside the first block's payload (header is 16
+    // bytes, block header another 16).
+    bytes[48] = static_cast<char>(bytes[48] ^ 0x5a);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    std::string error;
+    workload::Trace parsed = readDtrcFile(path, &error);
+    EXPECT_TRUE(parsed.empty());
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, NotADtrcFileReportsBadMagic)
+{
+    std::string path = tempPath("dtrc_not_binary.txt");
+    std::ofstream(path) << "# draco-trace v1\n";
+    TraceReader reader(path);
+    EXPECT_TRUE(reader.failed());
+    EXPECT_NE(reader.error().find("magic"), std::string::npos)
+        << reader.error();
+    EXPECT_FALSE(isDtrcFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, InspectFallsBackToScanWithoutIndex)
+{
+    workload::Trace trace = sampleTrace(300);
+    std::string path = tempPath("dtrc_noindex.dtrc");
+    writeDtrcFile(trace, path, 100);
+
+    // Strip everything after the end-of-blocks marker: the streaming
+    // reader and inspect's scan path must still work.
+    std::string bytes = fileBytes(path);
+    DtrcInfo info;
+    std::string error;
+    ASSERT_TRUE(inspectDtrc(path, info, error)) << error;
+    const BlockInfo &last = info.blocks.back();
+    size_t endMarker = last.offset + 16 + last.payloadBytes + 4;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(endMarker));
+    out.close();
+
+    DtrcInfo scanned;
+    ASSERT_TRUE(inspectDtrc(path, scanned, error)) << error;
+    EXPECT_FALSE(scanned.indexed);
+    EXPECT_EQ(scanned.totalEvents, trace.size());
+    EXPECT_EQ(scanned.blocks.size(), info.blocks.size());
+
+    workload::Trace parsed = readDtrcFile(path, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    expectSameTrace(trace, parsed);
+    std::remove(path.c_str());
+}
+
+TEST(Dtrc, AtLeastFourTimesSmallerThanText)
+{
+    // The acceptance bar: on a representative corpus the binary format
+    // is >=4x smaller than the text serialization.
+    workload::Trace trace = sampleTrace(2000);
+    std::stringstream text;
+    workload::writeTrace(trace, text);
+
+    std::string path = tempPath("dtrc_ratio.dtrc");
+    writeDtrcFile(trace, path);
+    size_t binaryBytes = fileBytes(path).size();
+    size_t textBytes = text.str().size();
+    EXPECT_GE(static_cast<double>(textBytes) /
+                  static_cast<double>(binaryBytes),
+              4.0)
+        << "text=" << textBytes << " binary=" << binaryBytes;
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace draco::trace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for trace replay: the streamed-vs-materialized equivalence
+ * contract, format sniffing, round-robin tenant splitting, multicore
+ * replay, and AppModel fitting from real traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "trace/dtrc.hh"
+#include "trace/replay.hh"
+#include "workload/generator.hh"
+#include "workload/tracefile.hh"
+
+namespace draco::trace {
+namespace {
+
+workload::Trace
+sampleTrace(size_t n, const char *app = "nginx", uint64_t seed = 11)
+{
+    const workload::AppModel *model = workload::workloadByName(app);
+    workload::TraceGenerator gen(*model, seed);
+    return gen.generate(n);
+}
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+resultJson(const sim::RunResult &result)
+{
+    MetricRegistry registry;
+    result.exportMetrics(registry, "run");
+    return registry.toJson();
+}
+
+TEST(Replay, StreamedDtrcMatchesInMemoryTrace)
+{
+    // The acceptance contract: replaying a `.dtrc` through the
+    // streaming reader produces the same metrics JSON as replaying the
+    // equivalent in-memory trace.
+    workload::Trace trace = sampleTrace(3000);
+    std::string path = tempPath("replay_equiv.dtrc");
+    writeDtrcFile(trace, path, 256);
+
+    const workload::AppModel *app = workload::workloadByName("nginx");
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 11, 3000);
+
+    sim::RunOptions options;
+    options.mechanism = sim::Mechanism::DracoHW;
+    options.warmupCalls = 500;
+    options.steadyCalls = 2000;
+
+    sim::ExperimentRunner runner;
+    workload::TraceStream memoryStream(trace);
+    sim::RunResult fromMemory =
+        runner.replay(memoryStream, profiles.complete, options, "t");
+
+    TraceReader fileStream(path);
+    ASSERT_FALSE(fileStream.failed()) << fileStream.error();
+    sim::RunResult fromFile =
+        runner.replay(fileStream, profiles.complete, options, "t");
+
+    EXPECT_GT(fromMemory.totalNs, 0.0);
+    EXPECT_EQ(fromMemory.syscalls, 2000u);
+    EXPECT_EQ(resultJson(fromMemory), resultJson(fromFile));
+    std::remove(path.c_str());
+}
+
+TEST(Replay, StreamedEquivalenceHoldsForEveryMechanism)
+{
+    workload::Trace trace = sampleTrace(1500);
+    std::string path = tempPath("replay_equiv_mech.dtrc");
+    writeDtrcFile(trace, path);
+
+    const workload::AppModel *app = workload::workloadByName("nginx");
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 11, 1500);
+
+    for (auto mechanism :
+         {sim::Mechanism::Insecure, sim::Mechanism::Seccomp,
+          sim::Mechanism::DracoSW, sim::Mechanism::DracoHW}) {
+        sim::RunOptions options;
+        options.mechanism = mechanism;
+        options.warmupCalls = 200;
+        options.steadyCalls = 0; // To exhaustion.
+
+        sim::ExperimentRunner runner;
+        workload::TraceStream memoryStream(trace);
+        sim::RunResult fromMemory = runner.replay(
+            memoryStream, profiles.complete, options, "t");
+        TraceReader fileStream(path);
+        sim::RunResult fromFile =
+            runner.replay(fileStream, profiles.complete, options, "t");
+
+        EXPECT_EQ(fromMemory.syscalls, trace.size() - 200);
+        EXPECT_EQ(resultJson(fromMemory), resultJson(fromFile))
+            << sim::mechanismName(mechanism);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Replay, OpenTraceStreamSniffsFormats)
+{
+    workload::Trace trace = sampleTrace(100);
+
+    std::string dtrcPath = tempPath("sniff.dtrc");
+    writeDtrcFile(trace, dtrcPath);
+    OpenedTrace dtrc = openTraceStream(dtrcPath);
+    ASSERT_TRUE(dtrc.ok()) << dtrc.error;
+    EXPECT_EQ(dtrc.format, "dtrc");
+
+    std::string textPath = tempPath("sniff.trace");
+    workload::writeTraceFile(trace, textPath);
+    OpenedTrace text = openTraceStream(textPath);
+    ASSERT_TRUE(text.ok()) << text.error;
+    EXPECT_EQ(text.format, "text");
+
+    std::string stracePath = tempPath("sniff.strace");
+    std::ofstream(stracePath)
+        << "getpid() = 42\nread(3, \"x\", 1) = 1\n";
+    OpenedTrace strace = openTraceStream(stracePath);
+    ASSERT_TRUE(strace.ok()) << strace.error;
+    EXPECT_EQ(strace.format, "strace");
+    EXPECT_EQ(strace.straceStats.events, 2u);
+
+    // All three agree on the events they carry.
+    workload::TraceEvent a, b;
+    ASSERT_TRUE(dtrc.stream->next(a));
+    ASSERT_TRUE(text.stream->next(b));
+    EXPECT_EQ(a.req.sid, b.req.sid);
+    EXPECT_EQ(a.req.args, b.req.args);
+
+    std::string missing = openTraceStream("/nonexistent/zz").error;
+    EXPECT_FALSE(missing.empty());
+
+    std::remove(dtrcPath.c_str());
+    std::remove(textPath.c_str());
+    std::remove(stracePath.c_str());
+}
+
+TEST(Replay, RoundRobinSplitterDealsInOrder)
+{
+    // Ten synthetic events tagged by position in args[0].
+    workload::Trace trace(10);
+    for (size_t i = 0; i < trace.size(); ++i) {
+        trace[i].req.sid = 39;
+        trace[i].req.args[0] = i;
+        trace[i].userWorkNs = 100.0;
+    }
+    workload::TraceStream source(trace);
+    RoundRobinSplitter splitter(source, 3);
+    ASSERT_EQ(splitter.tenants(), 3u);
+
+    // Child i must see events i, i+3, i+6, ... regardless of the order
+    // the children are pulled in.
+    workload::TraceEvent event;
+    ASSERT_TRUE(splitter.child(2).next(event));
+    EXPECT_EQ(event.req.args, trace[2].req.args);
+    ASSERT_TRUE(splitter.child(0).next(event));
+    EXPECT_EQ(event.req.args, trace[0].req.args);
+    ASSERT_TRUE(splitter.child(0).next(event));
+    EXPECT_EQ(event.req.args, trace[3].req.args);
+    ASSERT_TRUE(splitter.child(1).next(event));
+    EXPECT_EQ(event.req.args, trace[1].req.args);
+
+    // 10 events over 3 tenants: child 0 gets 4, children 1/2 get 3.
+    size_t remaining0 = 0;
+    while (splitter.child(0).next(event))
+        ++remaining0;
+    EXPECT_EQ(remaining0, 2u); // Already pulled 2 of its 4.
+    ASSERT_TRUE(splitter.child(2).next(event));
+    EXPECT_EQ(event.req.args, trace[5].req.args);
+}
+
+TEST(Replay, MulticoreRoundRobinRuns)
+{
+    workload::Trace trace = sampleTrace(4000);
+    const workload::AppModel *app = workload::workloadByName("nginx");
+    sim::AppProfiles profiles = sim::makeAppProfiles(*app, 11, 4000);
+
+    sim::MulticoreOptions options;
+    options.warmupCallsPerCore = 100;
+    options.callsPerCore = 0; // Run every stream dry.
+
+    workload::TraceStream source(trace);
+    auto results = replayMulticoreRoundRobin(
+        source, profiles.complete, 4, sim::Mechanism::DracoHW, options);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &core : results) {
+        EXPECT_GT(core.totalNs, 0.0);
+        EXPECT_GE(core.normalized(), 1.0);
+        EXPECT_EQ(core.mechanism, "draco-hw");
+    }
+}
+
+TEST(Replay, FitFromTraceRecoversMix)
+{
+    const workload::AppModel *app = workload::workloadByName("nginx");
+    workload::Trace trace = sampleTrace(20000);
+
+    workload::AppModel fitted =
+        workload::AppModel::fitFromTrace("refit", trace, true);
+    EXPECT_EQ(fitted.name, "refit");
+    EXPECT_TRUE(fitted.isMacro);
+    ASSERT_FALSE(fitted.usage.empty());
+
+    // Weights form a percentage distribution.
+    EXPECT_NEAR(fitted.totalWeight(), 100.0, 1e-6);
+
+    // The fitted mix contains the source model's top syscall with a
+    // comparable weight, and the gap mean lands near the source's.
+    const workload::SyscallUsage &top = fitted.usage.front();
+    double sourceTopWeight = 0.0;
+    for (const auto &usage : app->usage)
+        if (usage.sid == top.sid)
+            sourceTopWeight = usage.weight;
+    EXPECT_GT(sourceTopWeight, 0.0);
+    EXPECT_NEAR(top.weight / fitted.totalWeight(),
+                sourceTopWeight / app->totalWeight(), 0.1);
+    EXPECT_NEAR(fitted.userWorkMeanNs, app->userWorkMeanNs,
+                0.25 * app->userWorkMeanNs);
+
+    // A fitted model drives the generator end to end (generate()
+    // prepends the fixed startup prologue to the requested calls).
+    workload::TraceGenerator gen(fitted, 5);
+    workload::Trace synthesized = gen.generate(100);
+    EXPECT_GE(synthesized.size(), 100u);
+}
+
+TEST(Replay, CheckedInSamplesStayInSync)
+{
+    // The three files in examples/traces/ are one capture in three
+    // formats; conversion between them must stay lossless, and the
+    // checked-in .dtrc must match a fresh deterministic encode.
+    std::string base = DRACO_SOURCE_DIR "/examples/traces/sample";
+    OpenedTrace strace = openTraceStream(base + ".strace");
+    ASSERT_TRUE(strace.ok()) << strace.error;
+    EXPECT_EQ(strace.format, "strace");
+    EXPECT_EQ(strace.straceStats.splicedResumed, 1u);
+
+    std::string error;
+    workload::Trace text = workload::readTraceFile(base + ".trace");
+    workload::Trace binary = readDtrcFile(base + ".dtrc", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(text.size(), binary.size());
+    ASSERT_EQ(text.size(), 22u);
+    for (size_t i = 0; i < text.size(); ++i) {
+        EXPECT_EQ(text[i].req.sid, binary[i].req.sid) << i;
+        EXPECT_EQ(text[i].req.pc, binary[i].req.pc) << i;
+        EXPECT_EQ(text[i].req.args, binary[i].req.args) << i;
+        EXPECT_EQ(text[i].userWorkNs, binary[i].userWorkNs) << i;
+        EXPECT_EQ(text[i].bytesTouched, binary[i].bytesTouched) << i;
+    }
+
+    // Re-encoding the text sample reproduces the checked-in binary
+    // byte for byte.
+    std::ostringstream encoded;
+    {
+        TraceWriter writer(encoded);
+        for (const auto &event : text)
+            writer.add(event);
+    }
+    std::ifstream in(base + ".dtrc", std::ios::binary);
+    std::stringstream checkedIn;
+    checkedIn << in.rdbuf();
+    EXPECT_EQ(encoded.str(), checkedIn.str());
+}
+
+TEST(Replay, FitFromEmptyStreamIsEmpty)
+{
+    workload::Trace empty;
+    workload::AppModel fitted =
+        workload::AppModel::fitFromTrace("empty", empty, false);
+    EXPECT_TRUE(fitted.usage.empty());
+    EXPECT_FALSE(fitted.isMacro);
+}
+
+} // namespace
+} // namespace draco::trace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for strace text ingestion: happy-path parsing, pid demux,
+ * unfinished/resumed splicing, timestamp-derived gaps, and the
+ * tolerant/strict error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "os/syscalls.hh"
+#include "support/metrics.hh"
+#include "trace/strace.hh"
+
+namespace draco::trace {
+namespace {
+
+StraceResult
+parse(const std::string &text, const StraceOptions &options = {})
+{
+    std::istringstream in(text);
+    return parseStrace(in, options);
+}
+
+TEST(Strace, ParsesPlainCalls)
+{
+    StraceResult result = parse(
+        "openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY) = 3\n"
+        "read(3, \"root:x\", 4096) = 813\n"
+        "close(3) = 0\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.events.size(), 3u);
+    EXPECT_EQ(result.events[0].req.sid, os::sc::openat);
+    EXPECT_EQ(result.events[1].req.sid, os::sc::read);
+    EXPECT_EQ(result.events[2].req.sid, os::sc::close);
+
+    // Numeric args parse verbatim.
+    EXPECT_EQ(result.events[1].req.args[0], 3u);
+    EXPECT_EQ(result.events[1].req.args[2], 4096u);
+    EXPECT_EQ(result.events[2].req.args[0], 3u);
+
+    // read()'s positive return drives the gap footprint.
+    EXPECT_EQ(result.events[1].bytesTouched, 813u);
+    EXPECT_EQ(result.stats.events, 3u);
+}
+
+TEST(Strace, StringArgsHashDeterministically)
+{
+    StraceResult result = parse(
+        "openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY) = 3\n"
+        "openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY) = 4\n"
+        "openat(AT_FDCWD, \"/etc/group\", O_RDONLY) = 5\n");
+    ASSERT_EQ(result.events.size(), 3u);
+    // Same path token, same hashed value; different path, different.
+    EXPECT_EQ(result.events[0].req.args[1], result.events[1].req.args[1]);
+    EXPECT_NE(result.events[0].req.args[1], result.events[2].req.args[1]);
+    // The hash stays inside the 48 checkable bits.
+    EXPECT_LT(result.events[0].req.args[1], 1ULL << 48);
+}
+
+TEST(Strace, DemuxesPids)
+{
+    StraceResult result = parse(
+        "[pid 101] getpid() = 101\n"
+        "[pid  202] write(1, \"x\", 1) = 1\n"
+        "[pid 101] close(3) = 0\n"
+        "303   getpid() = 303\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.events.size(), 4u);
+    EXPECT_EQ(result.distinctPids(), 3u);
+    EXPECT_EQ(result.pids, (std::vector<uint32_t>{101, 202, 303}));
+
+    workload::Trace pid101 = result.eventsForPid(101);
+    ASSERT_EQ(pid101.size(), 2u);
+    EXPECT_EQ(pid101[0].req.sid, os::sc::getpid);
+    EXPECT_EQ(pid101[1].req.sid, os::sc::close);
+}
+
+TEST(Strace, SplicesUnfinishedResumed)
+{
+    StraceResult result = parse(
+        "[pid 7] read(5,  <unfinished ...>\n"
+        "[pid 8] getpid() = 8\n"
+        "[pid 7] <... read resumed> \"data\", 512) = 4\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.events.size(), 2u);
+    EXPECT_EQ(result.stats.splicedResumed, 1u);
+    workload::Trace pid7 = result.eventsForPid(7);
+    ASSERT_EQ(pid7.size(), 1u);
+    EXPECT_EQ(pid7[0].req.sid, os::sc::read);
+    EXPECT_EQ(pid7[0].req.args[0], 5u);
+    EXPECT_EQ(pid7[0].req.args[2], 512u);
+}
+
+TEST(Strace, DanglingUnfinishedCounted)
+{
+    StraceResult result = parse(
+        "read(5, <unfinished ...>\n"
+        "getpid() = 1\n");
+    EXPECT_EQ(result.events.size(), 1u);
+    EXPECT_EQ(result.stats.danglingUnfinished, 1u);
+}
+
+TEST(Strace, TimestampsBecomeUserWorkGaps)
+{
+    StraceOptions options;
+    options.defaultUserWorkNs = 1111.0;
+    StraceResult result = parse(
+        "1000000000.000100 getpid() = 1 <0.000010>\n"
+        "1000000000.000200 getpid() = 1 <0.000010>\n"
+        "1000000000.000500 getpid() = 1 <0.000010>\n",
+        options);
+    ASSERT_EQ(result.events.size(), 3u);
+    // First event of a pid has no predecessor: the default applies.
+    EXPECT_DOUBLE_EQ(result.events[0].userWorkNs, 1111.0);
+    // gap = timestamp delta minus the previous call's kernel time.
+    EXPECT_NEAR(result.events[1].userWorkNs, 100000.0 - 10000.0, 1.0);
+    EXPECT_NEAR(result.events[2].userWorkNs, 300000.0 - 10000.0, 1.0);
+}
+
+TEST(Strace, WallClockTimestampsParse)
+{
+    StraceResult result = parse(
+        "12:00:01.000000 getpid() = 1\n"
+        "12:00:01.000050 getpid() = 1\n");
+    ASSERT_EQ(result.events.size(), 2u);
+    EXPECT_NEAR(result.events[1].userWorkNs, 50000.0, 1.0);
+}
+
+TEST(Strace, InstructionPointerBecomesPc)
+{
+    StraceResult result = parse(
+        "[00007f2a1b3c4d5e] getpid() = 1\n"
+        "getpid() = 1\n");
+    ASSERT_EQ(result.events.size(), 2u);
+    EXPECT_EQ(result.events[0].req.pc, 0x7f2a1b3c4d5eULL);
+    // Without -i the site is synthesized per syscall id.
+    StraceOptions options;
+    EXPECT_EQ(result.events[1].req.pc,
+              options.pcBase + os::sc::getpid * 0x40ULL);
+}
+
+TEST(Strace, MetaLinesSkipped)
+{
+    StraceResult result = parse(
+        "--- SIGCHLD {si_signo=SIGCHLD} ---\n"
+        "getpid() = 1\n"
+        "+++ exited with 0 +++\n");
+    EXPECT_EQ(result.events.size(), 1u);
+    EXPECT_EQ(result.stats.skippedMeta, 2u);
+}
+
+TEST(Strace, TolerantModeCountsAndSkips)
+{
+    StraceResult result = parse(
+        "this is not strace output\n"
+        "frobnicate_xyz(1, 2) = 0\n"
+        "getpid() = 1\n");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.events.size(), 1u);
+    EXPECT_EQ(result.stats.skippedMalformed, 1u);
+    EXPECT_EQ(result.stats.skippedUnknown, 1u);
+}
+
+TEST(Strace, StrictModeReportsLineNumbers)
+{
+    StraceOptions strict;
+    strict.strict = true;
+    StraceResult malformed = parse(
+        "getpid() = 1\n"
+        "not parseable at all\n",
+        strict);
+    EXPECT_FALSE(malformed.ok());
+    EXPECT_NE(malformed.error.find("line 2"), std::string::npos)
+        << malformed.error;
+
+    StraceResult unknown = parse("frobnicate_xyz(1) = 0\n", strict);
+    EXPECT_FALSE(unknown.ok());
+    EXPECT_NE(unknown.error.find("line 1"), std::string::npos)
+        << unknown.error;
+    EXPECT_NE(unknown.error.find("frobnicate_xyz"), std::string::npos)
+        << unknown.error;
+}
+
+TEST(Strace, NegativeReturnsDoNotDriveFootprint)
+{
+    StraceOptions options;
+    options.defaultBytesTouched = 2048;
+    StraceResult result =
+        parse("read(3, \"\", 4096) = -1 EAGAIN (Resource "
+              "temporarily unavailable)\n",
+              options);
+    ASSERT_EQ(result.events.size(), 1u);
+    EXPECT_EQ(result.events[0].bytesTouched, 2048u);
+}
+
+TEST(Strace, StatsExportIntoRegistry)
+{
+    StraceResult result = parse(
+        "getpid() = 1\n"
+        "frobnicate_xyz(1) = 0\n"
+        "--- SIGINT ---\n");
+    MetricRegistry registry;
+    result.stats.exportInto(registry);
+    std::string json = registry.toJson();
+    EXPECT_NE(json.find("skipped_unknown"), std::string::npos);
+    EXPECT_NE(json.find("skipped_meta"), std::string::npos);
+}
+
+} // namespace
+} // namespace draco::trace

@@ -83,6 +83,59 @@ TEST(TraceFile, SidRangeChecked)
     EXPECT_NE(error.find("sid"), std::string::npos);
 }
 
+TEST(TraceFile, RoundTripIsLossless)
+{
+    // %.17g serialization: doubles survive text exactly, not to 1e-3.
+    Trace original = sampleTrace(200);
+    original[3].userWorkNs = 0.1 + 0.2; // A classic non-representable.
+    std::stringstream buf;
+    writeTrace(original, buf);
+    std::string error;
+    Trace parsed = readTrace(buf, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(parsed[i].userWorkNs, original[i].userWorkNs) << i;
+}
+
+TEST(TraceFile, WriteReadWriteIsByteStable)
+{
+    Trace original = sampleTrace(200);
+    std::stringstream first;
+    writeTrace(original, first);
+    std::string error;
+    first.seekg(0);
+    Trace parsed = readTrace(first, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    std::stringstream second;
+    writeTrace(parsed, second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceFile, TrailingGarbageRejected)
+{
+    std::stringstream buf;
+    buf << kTraceMagic
+        << "\n0x400800 39 0 0 0 0 0 0 12.5 4096 extra\n";
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TraceFile, DuplicateHeaderRejected)
+{
+    std::stringstream buf;
+    buf << kTraceMagic << "\n0x400800 39 0 0 0 0 0 0 12.5 4096\n"
+        << kTraceMagic << "\n";
+    std::string error;
+    Trace t = readTrace(buf, &error);
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(error.find("header"), std::string::npos) << error;
+    EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
 TEST(TraceFile, FileRoundTrip)
 {
     Trace original = sampleTrace(20);

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * tracetool — convert, inspect, and slice syscall traces.
+ *
+ * One binary for the trace pipeline: ingest strace captures or
+ * `# draco-trace` text, convert losslessly to/from compact `.dtrc`
+ * binaries, summarize corpora, filter by pid/syscall, merge shards,
+ * and fit AppModels from real traces. Output format follows the
+ * destination extension: `.dtrc` selects the binary format, anything
+ * else the text format.
+ *
+ * Usage:
+ *   tracetool convert <in> <out>
+ *   tracetool inspect <in.dtrc>
+ *   tracetool stats <in> [--json <file>]
+ *   tracetool filter <in> <out> [--pid N] [--sid NAME|ID] [--max N]
+ *   tracetool merge <out> <in>...
+ *   tracetool fit <in> [--name NAME] [--micro]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/syscalls.hh"
+#include "support/metrics.hh"
+#include "trace/dtrc.hh"
+#include "trace/replay.hh"
+#include "trace/strace.hh"
+#include "workload/appmodel.hh"
+#include "workload/tracefile.hh"
+
+using namespace draco;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tracetool convert <in> <out>\n"
+                 "       tracetool inspect <in.dtrc>\n"
+                 "       tracetool stats <in> [--json <file>]\n"
+                 "       tracetool filter <in> <out> [--pid N] "
+                 "[--sid NAME|ID] [--max N]\n"
+                 "       tracetool merge <out> <in>...\n"
+                 "       tracetool fit <in> [--name NAME] [--micro]\n");
+    return 2;
+}
+
+bool
+hasSuffix(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Open @p path or exit with its error on stderr. */
+trace::OpenedTrace
+openOrDie(const std::string &path)
+{
+    trace::OpenedTrace opened = trace::openTraceStream(path);
+    if (!opened.ok()) {
+        std::fprintf(stderr, "tracetool: %s\n", opened.error.c_str());
+        std::exit(1);
+    }
+    return opened;
+}
+
+/** Drain @p events into a materialized trace. */
+workload::Trace
+drain(workload::EventStream &events)
+{
+    workload::Trace trace;
+    workload::TraceEvent event;
+    while (events.next(event))
+        trace.push_back(event);
+    return trace;
+}
+
+/** Write @p trace to @p path in the format its extension selects. */
+void
+writeAs(const workload::Trace &trace, const std::string &path)
+{
+    if (hasSuffix(path, ".dtrc"))
+        trace::writeDtrcFile(trace, path);
+    else
+        workload::writeTraceFile(trace, path);
+}
+
+int
+cmdConvert(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return usage();
+    trace::OpenedTrace opened = openOrDie(args[0]);
+
+    uint64_t count;
+    if (hasSuffix(args[1], ".dtrc")) {
+        // Binary destinations stream: O(1) memory end to end.
+        trace::TraceWriter writer(args[1]);
+        workload::TraceEvent event;
+        while (opened.stream->next(event))
+            writer.add(event);
+        writer.finish();
+        count = writer.eventsWritten();
+    } else {
+        workload::Trace trace = drain(*opened.stream);
+        workload::writeTraceFile(trace, args[1]);
+        count = trace.size();
+    }
+
+    if (auto *reader =
+            dynamic_cast<trace::TraceReader *>(opened.stream.get());
+        reader && reader->failed()) {
+        std::fprintf(stderr, "tracetool: %s\n",
+                     reader->error().c_str());
+        return 1;
+    }
+    std::printf("converted %llu events (%s -> %s)\n",
+                static_cast<unsigned long long>(count),
+                opened.format.c_str(),
+                hasSuffix(args[1], ".dtrc") ? "dtrc" : "text");
+    return 0;
+}
+
+int
+cmdInspect(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    trace::DtrcInfo info;
+    std::string error;
+    if (!trace::inspectDtrc(args[0], info, error)) {
+        std::fprintf(stderr, "tracetool: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("format:       dtrc v%u\n", info.version);
+    std::printf("block events: %u\n", info.blockEvents);
+    std::printf("total events: %llu\n",
+                static_cast<unsigned long long>(info.totalEvents));
+    std::printf("blocks:       %zu (%s index)\n", info.blocks.size(),
+                info.indexed ? "footer" : "scanned");
+    uint64_t payload = 0;
+    for (const auto &block : info.blocks)
+        payload += block.payloadBytes;
+    if (info.totalEvents)
+        std::printf("payload:      %llu bytes (%.2f bytes/event)\n",
+                    static_cast<unsigned long long>(payload),
+                    static_cast<double>(payload) /
+                        static_cast<double>(info.totalEvents));
+    for (size_t i = 0; i < info.blocks.size() && i < 16; ++i)
+        std::printf("  block %3zu: offset=%llu events=%u payload=%u\n",
+                    i,
+                    static_cast<unsigned long long>(
+                        info.blocks[i].offset),
+                    info.blocks[i].events, info.blocks[i].payloadBytes);
+    if (info.blocks.size() > 16)
+        std::printf("  ... %zu more blocks\n", info.blocks.size() - 16);
+    return 0;
+}
+
+int
+cmdStats(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string jsonPath;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--json" && i + 1 < args.size())
+            jsonPath = args[++i];
+        else
+            return usage();
+    }
+
+    trace::OpenedTrace opened = openOrDie(args[0]);
+    std::map<uint16_t, uint64_t> bySid;
+    double totalWorkNs = 0.0;
+    uint64_t totalBytes = 0, events = 0;
+    workload::TraceEvent event;
+    while (opened.stream->next(event)) {
+        ++bySid[event.req.sid];
+        totalWorkNs += event.userWorkNs;
+        totalBytes += event.bytesTouched;
+        ++events;
+    }
+
+    std::printf("format:        %s\n", opened.format.c_str());
+    std::printf("events:        %llu\n",
+                static_cast<unsigned long long>(events));
+    std::printf("distinct sids: %zu\n", bySid.size());
+    if (events) {
+        std::printf("user work:     %.0f ns total, %.1f ns/event\n",
+                    totalWorkNs, totalWorkNs / events);
+        std::printf("gap traffic:   %llu bytes total\n",
+                    static_cast<unsigned long long>(totalBytes));
+    }
+
+    // Top syscalls by frequency.
+    std::vector<std::pair<uint64_t, uint16_t>> ranked;
+    ranked.reserve(bySid.size());
+    for (auto [sid, count] : bySid)
+        ranked.emplace_back(count, sid);
+    std::sort(ranked.rbegin(), ranked.rend());
+    size_t shown = std::min<size_t>(ranked.size(), 15);
+    for (size_t i = 0; i < shown; ++i) {
+        const auto *desc = os::syscallById(ranked[i].second);
+        std::printf("  %6.2f%% %8llu  %s\n",
+                    100.0 * static_cast<double>(ranked[i].first) /
+                        static_cast<double>(events),
+                    static_cast<unsigned long long>(ranked[i].first),
+                    desc ? desc->name : "?");
+    }
+
+    if (!jsonPath.empty()) {
+        MetricRegistry registry;
+        registry.setText("trace.file", args[0]);
+        registry.setText("trace.format", opened.format);
+        registry.setCounter("trace.events", events);
+        registry.setCounter("trace.distinct_sids", bySid.size());
+        registry.setGauge("trace.user_work_ns", totalWorkNs);
+        registry.setCounter("trace.gap_bytes", totalBytes);
+        for (auto [sid, count] : bySid) {
+            const auto *desc = os::syscallById(sid);
+            std::string key = desc
+                ? std::string(desc->name)
+                : "sid" + std::to_string(sid);
+            registry.setCounter("trace.calls." + key, count);
+        }
+        if (opened.format == "strace")
+            opened.straceStats.exportInto(registry);
+        registry.writeJsonFile(jsonPath);
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return 0;
+}
+
+int
+cmdFilter(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    long pid = -1;
+    int sid = -1;
+    uint64_t maxEvents = 0;
+    for (size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--pid" && i + 1 < args.size()) {
+            pid = std::strtol(args[++i].c_str(), nullptr, 10);
+        } else if (args[i] == "--sid" && i + 1 < args.size()) {
+            const std::string &token = args[++i];
+            if (const auto *desc = os::syscallByName(token)) {
+                sid = desc->id;
+            } else {
+                char *end = nullptr;
+                sid = static_cast<int>(
+                    std::strtol(token.c_str(), &end, 10));
+                if (!end || *end != '\0' || !os::syscallById(
+                        static_cast<uint16_t>(sid))) {
+                    std::fprintf(stderr,
+                                 "tracetool: unknown syscall '%s'\n",
+                                 token.c_str());
+                    return 1;
+                }
+            }
+        } else if (args[i] == "--max" && i + 1 < args.size()) {
+            maxEvents = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+
+    workload::Trace trace;
+    if (pid >= 0) {
+        // Pid selection only exists in strace captures.
+        trace::StraceResult parsed =
+            trace::parseStraceFile(args[0], {});
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "tracetool: %s\n",
+                         parsed.error.c_str());
+            return 1;
+        }
+        trace = parsed.eventsForPid(static_cast<uint32_t>(pid));
+    } else {
+        trace::OpenedTrace opened = openOrDie(args[0]);
+        trace = drain(*opened.stream);
+    }
+
+    workload::Trace kept;
+    for (const auto &event : trace) {
+        if (sid >= 0 && event.req.sid != sid)
+            continue;
+        kept.push_back(event);
+        if (maxEvents && kept.size() >= maxEvents)
+            break;
+    }
+    writeAs(kept, args[1]);
+    std::printf("kept %zu of %zu events\n", kept.size(), trace.size());
+    return 0;
+}
+
+int
+cmdMerge(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    workload::Trace merged;
+    for (size_t i = 1; i < args.size(); ++i) {
+        trace::OpenedTrace opened = openOrDie(args[i]);
+        workload::Trace part = drain(*opened.stream);
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    writeAs(merged, args[0]);
+    std::printf("merged %zu events from %zu inputs\n", merged.size(),
+                args.size() - 1);
+    return 0;
+}
+
+int
+cmdFit(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string name = "trace";
+    bool macro = true;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--name" && i + 1 < args.size())
+            name = args[++i];
+        else if (args[i] == "--micro")
+            macro = false;
+        else
+            return usage();
+    }
+
+    trace::OpenedTrace opened = openOrDie(args[0]);
+    workload::AppModel model =
+        workload::AppModel::fitFromTrace(name, *opened.stream, macro);
+    std::printf("app model '%s' (%s)\n", model.name.c_str(),
+                macro ? "macro" : "micro");
+    std::printf("  mean user work: %.1f ns (sigma %.2f)\n",
+                model.userWorkMeanNs, model.userWorkSigma);
+    std::printf("  bytes per gap:  %llu\n",
+                static_cast<unsigned long long>(model.bytesPerGap));
+    std::printf("  syscalls:\n");
+    for (const auto &usage : model.usage) {
+        const auto *desc = os::syscallById(usage.sid);
+        std::printf("    %-16s w=%6.2f tuples=%u sites=%u zipf=%.2f\n",
+                    desc ? desc->name : "?", usage.weight,
+                    usage.argSets, usage.pcSites, usage.argZipf);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "convert")
+        return cmdConvert(args);
+    if (command == "inspect")
+        return cmdInspect(args);
+    if (command == "stats")
+        return cmdStats(args);
+    if (command == "filter")
+        return cmdFilter(args);
+    if (command == "merge")
+        return cmdMerge(args);
+    if (command == "fit")
+        return cmdFit(args);
+    return usage();
+}
