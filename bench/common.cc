@@ -37,7 +37,65 @@ setThreadsArg(const std::string &value)
         warn("ignoring invalid --threads '%s'", value.c_str());
 }
 
+/** Sample interval requested via `--sample-every N` (0: not given). */
+uint64_t sampleEveryArg = 0;
+
+void
+setSampleEveryArg(const std::string &value)
+{
+    long long v = std::atoll(value.c_str());
+    if (v > 0)
+        sampleEveryArg = static_cast<uint64_t>(v);
+    else
+        warn("ignoring invalid --sample-every '%s'", value.c_str());
+}
+
+/**
+ * Enable benchTraceSession() from the parsed `--trace-out` /
+ * `--sample-every` values (env fallbacks DRACO_TRACE_OUT /
+ * DRACO_TRACE_SAMPLE_EVERY). Later BenchReports in the same process
+ * reuse the already-configured session.
+ */
+void
+configureTraceSession(std::string outPath)
+{
+    if (outPath.empty()) {
+        if (const char *env = std::getenv("DRACO_TRACE_OUT");
+            env && *env)
+            outPath = env;
+    }
+    if (sampleEveryArg == 0) {
+        if (const char *env = std::getenv("DRACO_TRACE_SAMPLE_EVERY");
+            env && *env) {
+            long long v = std::atoll(env);
+            if (v > 0)
+                sampleEveryArg = static_cast<uint64_t>(v);
+            else
+                warn("ignoring invalid DRACO_TRACE_SAMPLE_EVERY='%s'",
+                     env);
+        }
+    }
+    if (outPath.empty()) {
+        if (sampleEveryArg)
+            warn("ignoring --sample-every without --trace-out");
+        return;
+    }
+    if (benchTraceSession().enabled())
+        return;
+    obs::SessionConfig config;
+    config.outPath = outPath;
+    config.tracer.sampleEveryCycles = sampleEveryArg;
+    benchTraceSession().configure(config);
+}
+
 } // namespace
+
+obs::TraceSession &
+benchTraceSession()
+{
+    static obs::TraceSession session;
+    return session;
+}
 
 unsigned
 benchThreads()
@@ -81,6 +139,7 @@ workloadSeed(const workload::AppModel &app)
 BenchReport::BenchReport(const std::string &name, int argc, char **argv)
     : _name(name)
 {
+    std::string traceOut;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc)
@@ -91,7 +150,16 @@ BenchReport::BenchReport(const std::string &name, int argc, char **argv)
             setThreadsArg(argv[++i]);
         else if (arg.rfind("--threads=", 0) == 0)
             setThreadsArg(arg.substr(10));
+        else if (arg == "--trace-out" && i + 1 < argc)
+            traceOut = argv[++i];
+        else if (arg.rfind("--trace-out=", 0) == 0)
+            traceOut = arg.substr(12);
+        else if (arg == "--sample-every" && i + 1 < argc)
+            setSampleEveryArg(argv[++i]);
+        else if (arg.rfind("--sample-every=", 0) == 0)
+            setSampleEveryArg(arg.substr(15));
     }
+    configureTraceSession(std::move(traceOut));
     if (_path.empty()) {
         if (const char *dir = std::getenv("DRACO_BENCH_JSON"); dir && *dir)
             _path = std::string(dir) + "/BENCH_" + _name + ".json";
@@ -129,9 +197,24 @@ void
 BenchReport::write()
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    if (_path.empty() || _written)
+    if (_written)
         return;
     _written = true;
+
+    // The trace artifact is independent of the JSON one: `--trace-out`
+    // without `--json` still exports the trace.
+    obs::TraceSession &session = benchTraceSession();
+    if (session.enabled()) {
+        session.exportMetrics(_registry, "obs");
+        if (session.writeOutput())
+            std::printf("\nwrote %s (%llu events)\n",
+                        session.outPath().c_str(),
+                        static_cast<unsigned long long>(
+                            session.totalEvents()));
+    }
+
+    if (_path.empty())
+        return;
     if (_registry.tryWriteJsonFile(_path))
         std::printf("\nwrote %s\n", _path.c_str());
     else
@@ -236,6 +319,12 @@ runExperiment(const workload::AppModel &app, ProfileKind kind,
         options.filterCopies = 2;
         break;
     }
+
+    // One track per sweep cell, named by its coordinates, so export
+    // order (name-sorted) is independent of scheduling.
+    options.tracer = benchTraceSession().tracer(
+        std::string(profileKindName(kind)) + "/" +
+        sim::mechanismName(options.mechanism) + "/" + app.name);
 
     sim::ExperimentRunner runner;
     return runner.run(app, *profile, options);

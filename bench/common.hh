@@ -43,6 +43,19 @@ size_t benchCalls();
  */
 unsigned benchThreads();
 
+/**
+ * The process-wide trace session bench binaries record into.
+ *
+ * Disabled until a BenchReport constructor sees `--trace-out <path>`
+ * (or env DRACO_TRACE_OUT); `--sample-every <cycles>` (or env
+ * DRACO_TRACE_SAMPLE_EVERY) additionally turns on telemetry sampling.
+ * runExperiment() claims one track per (kind, mechanism, workload)
+ * cell, so any sweep exports the same byte-identical trace at any
+ * `--threads N`. BenchReport::write() serializes the session next to
+ * the JSON artifact.
+ */
+obs::TraceSession &benchTraceSession();
+
 /** Shared trace/profile seed so every binary sees identical traces. */
 inline constexpr uint64_t kBenchSeed = 7;
 
@@ -107,9 +120,11 @@ class ProfileCache
  *  - otherwise nothing is written and the binary only prints tables.
  *
  * The constructor also consumes `--threads N` / `--threads=N` (see
- * benchThreads()). The schema is documented in DESIGN.md §7, the
- * concurrency model in DESIGN.md §8. Recording happens even when no
- * path was requested, so tests can inspect the registry.
+ * benchThreads()) and `--trace-out <path>` / `--sample-every <cycles>`
+ * (see benchTraceSession()). The schema is documented in DESIGN.md §7,
+ * the concurrency model in DESIGN.md §8, tracing in DESIGN.md §10.
+ * Recording happens even when no path was requested, so tests can
+ * inspect the registry.
  *
  * record() and mergeShard() serialize on an internal lock, so cells
  * may record concurrently; a failed JSON write is reported on stderr
@@ -188,6 +203,10 @@ void parallelCells(size_t cells,
  * The trace seed is the per-workload stream (workloadSeed()); the
  * auxiliary timing streams split further per (kind, mechanism), so
  * every sweep cell owns statistically independent randomness.
+ *
+ * When benchTraceSession() is enabled the run records onto the
+ * `<kind>/<mechanism>/<workload>` track — one single-writer track per
+ * sweep cell, so concurrent cells never share a ring.
  *
  * @param app Workload.
  * @param kind Profile flavour (selects profile and filter copies).

@@ -37,6 +37,13 @@ main(int argc, char **argv)
         options.callsPerCore = benchCalls() / 3;
         options.warmupCallsPerCore = 10000;
         options.seed = kBenchSeed;
+        if (benchTraceSession().enabled()) {
+            options.session = &benchTraceSession();
+            // Distinct per-run prefix: a track's clock must stay
+            // monotonic, so the three runs never share tracks.
+            options.trackPrefix =
+                "cores" + std::to_string(count) + "/";
+        }
         sim::MulticoreSimulator sim;
         auto results = sim.run(cores, options);
 

@@ -7,10 +7,18 @@
  * from strace output) to the library.
  *
  * Run: ./build/examples/replay_trace [workload] [calls]
+ *          [--trace-out <path.json|path.devt>] [--sample-every <cycles>]
+ *
+ * With `--trace-out`, the timed replay additionally records a
+ * cycle-level event trace — one track per mechanism — and exports it
+ * for ui.perfetto.dev (`.json`) or obstool (`.devt`).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "draco/draco.hh"
 
@@ -19,9 +27,21 @@ using namespace draco;
 int
 main(int argc, char **argv)
 {
-    const char *name = argc > 1 ? argv[1] : "redis";
-    size_t calls = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                            : 50000;
+    std::string traceOut;
+    uint64_t sampleEvery = 0;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+            traceOut = argv[++i];
+        else if (!std::strcmp(argv[i], "--sample-every") && i + 1 < argc)
+            sampleEvery = std::strtoull(argv[++i], nullptr, 10);
+        else
+            positional.push_back(argv[i]);
+    }
+    const char *name = positional.size() > 0 ? positional[0] : "redis";
+    size_t calls = positional.size() > 1
+        ? std::strtoull(positional[1], nullptr, 10)
+        : 50000;
 
     const auto *app = workload::workloadByName(name);
     if (!app)
@@ -85,6 +105,14 @@ main(int argc, char **argv)
     // Step 3: the timed experiment, streamed straight off the `.dtrc`
     // file — the same path real ingested corpora take, with O(1)
     // memory no matter how long the capture is.
+    obs::TraceSession session;
+    if (!traceOut.empty()) {
+        obs::SessionConfig sc;
+        sc.outPath = traceOut;
+        sc.tracer.sampleEveryCycles = sampleEvery;
+        session.configure(sc);
+    }
+
     std::printf("\nstreamed timing replay (%s):\n", dtrcPath.c_str());
     for (auto mechanism :
          {sim::Mechanism::Seccomp, sim::Mechanism::DracoSW,
@@ -94,6 +122,7 @@ main(int argc, char **argv)
         options.mechanism = mechanism;
         options.warmupCalls = calls / 10;
         options.steadyCalls = 0; // To stream exhaustion.
+        options.tracer = session.tracer(sim::mechanismName(mechanism));
         sim::ExperimentRunner runner;
         sim::RunResult result =
             runner.replay(stream, profile, options, name);
@@ -101,6 +130,12 @@ main(int argc, char **argv)
                     sim::mechanismName(mechanism),
                     result.normalized());
     }
+
+    if (session.enabled() && session.writeOutput())
+        std::printf("\nwrote %s (%llu trace events)\n",
+                    traceOut.c_str(),
+                    static_cast<unsigned long long>(
+                        session.totalEvents()));
 
     std::remove(tracePath.c_str());
     std::remove(dtrcPath.c_str());

@@ -101,6 +101,14 @@ EngineGeometry::smtPartition(unsigned contexts)
 }
 
 void
+DracoHardwareEngine::setTracer(obs::Tracer *tracer)
+{
+    _tracer = tracer;
+    if (_proc)
+        _proc->vat().setTracer(tracer);
+}
+
+void
 DracoHardwareEngine::switchTo(HwProcessContext *proc, bool spt_save_restore)
 {
     if (proc == _proc)
@@ -108,13 +116,22 @@ DracoHardwareEngine::switchTo(HwProcessContext *proc, bool spt_save_restore)
 
     // Scheduling the very first process onto an idle core is not a
     // context switch; the structures are already empty.
-    if (_proc)
+    if (_proc) {
         ++_stats.contextSwitches;
+        if (_tracer)
+            _tracer->record(obs::EventKind::ContextSwitch);
+    }
 
     if (_proc && spt_save_restore) {
         _proc->savedSpt = _spt.accessedEntries();
         _stats.sptSavedEntries += _proc->savedSpt.size();
+        if (_tracer) {
+            _tracer->record(obs::EventKind::SptSave, 0, 0, 0,
+                            _proc->savedSpt.size());
+        }
     }
+    if (_proc)
+        _proc->vat().setTracer(nullptr);
 
     // Isolation: a different process must never observe cached state.
     _spt.invalidateAll();
@@ -124,10 +141,16 @@ DracoHardwareEngine::switchTo(HwProcessContext *proc, bool spt_save_restore)
     _pending = Pending{};
 
     _proc = proc;
+    if (_proc)
+        _proc->vat().setTracer(_tracer);
     if (_proc && spt_save_restore) {
         for (const auto &entry : _proc->savedSpt)
             _spt.fill(entry.sid, entry.bitmask);
         _stats.sptRestoredEntries += _proc->savedSpt.size();
+        if (_tracer) {
+            _tracer->record(obs::EventKind::SptRestore, 0, 0, 0,
+                            _proc->savedSpt.size());
+        }
     }
 }
 
@@ -141,11 +164,16 @@ DracoHardwareEngine::onDispatch(uint64_t pc)
         return;
 
     auto prediction = _stb.lookup(pc);
-    if (!prediction)
+    if (!prediction) {
+        if (_tracer)
+            _tracer->record(obs::EventKind::StbMiss, 0, pc);
         return;
+    }
     _pending.stbHit = true;
 
     uint16_t sid = prediction->sid;
+    if (_tracer)
+        _tracer->record(obs::EventKind::StbHit, sid, pc);
     const CheckSpec *spec = _proc->spec(sid);
     if (!spec)
         return;
@@ -165,11 +193,15 @@ DracoHardwareEngine::onDispatch(uint64_t pc)
     unsigned argc = spec->argCount();
     if (_slb.preloadProbe(argc, sid, prediction->token)) {
         _pending.preloadHit = true;
+        if (_tracer)
+            _tracer->record(obs::EventKind::SlbPreloadHit, sid, pc);
         return;
     }
 
     // SLB preload miss: fetch the predicted VAT location and stage it
     // in the Temporary Buffer — never directly into the SLB (§IX).
+    if (_tracer)
+        _tracer->record(obs::EventKind::SlbPreloadMiss, sid, pc);
     _pending.memAddrs.push_back(
         _proc->vat().entryAddress(sid, prediction->token));
     auto contents = _proc->vat().slotContents(sid, prediction->token);
@@ -183,6 +215,10 @@ void
 DracoHardwareEngine::onSquash()
 {
     ++_stats.squashes;
+    if (_tracer) {
+        _tracer->record(obs::EventKind::TempSquash, 0, _pending.pc, 0,
+                        _temp.size());
+    }
     _temp.clear();
     _pending = Pending{};
 }
@@ -206,6 +242,10 @@ DracoHardwareEngine::onRobHead(const os::SyscallRequest &req)
         // PC's prediction (or by a dispatch that never reached the
         // head). Committing them would let stale speculative preloads
         // fill the SLB, so they are dropped like a squash (§IX).
+        if (_tracer && _temp.size() != 0) {
+            _tracer->record(obs::EventKind::TempStaleDrop, req.sid,
+                            req.pc, 0, _temp.size());
+        }
         _temp.clear();
     }
     _pending = Pending{};
@@ -215,6 +255,10 @@ DracoHardwareEngine::onRobHead(const os::SyscallRequest &req)
         // SPT Valid bit clear: the OS runs the Seccomp filter, which
         // (for whitelist profiles) rejects the call.
         auto [allowed, insns] = _proc->runFilter(req);
+        if (_tracer) {
+            _tracer->record(obs::EventKind::FilterRun, req.sid, req.pc,
+                            0, insns);
+        }
         result.filterRun = true;
         result.filterInsns = insns;
         result.allowed = allowed;
@@ -246,10 +290,18 @@ DracoHardwareEngine::onRobHead(const os::SyscallRequest &req)
 
     // Commit any staged preload for this syscall: the non-speculative
     // access is what moves Temporary Buffer contents into the SLB.
-    if (auto staged = _temp.take(req.sid))
+    if (auto staged = _temp.take(req.sid)) {
         _slb.fill(staged->argc, staged->sid, staged->token, staged->key);
+        if (_tracer)
+            _tracer->record(obs::EventKind::TempCommit, req.sid, req.pc);
+    }
 
     auto accessToken = _slb.accessLookup(argc, req.sid, key);
+    if (_tracer) {
+        _tracer->record(accessToken ? obs::EventKind::SlbAccessHit
+                                    : obs::EventKind::SlbAccessMiss,
+                        req.sid, req.pc);
+    }
     if (accessToken) {
         result.accessHit = true;
         result.allowed = true;
@@ -274,6 +326,10 @@ DracoHardwareEngine::onRobHead(const os::SyscallRequest &req)
         // Not validated yet: the OS runs the filter (SWCheckNeeded path,
         // §VII-B) and, on success, updates the VAT.
         auto [allowed, insns] = _proc->runFilter(req);
+        if (_tracer) {
+            _tracer->record(obs::EventKind::FilterRun, req.sid, req.pc,
+                            0, insns);
+        }
         result.filterRun = true;
         result.filterInsns = insns;
         result.allowed = allowed;

@@ -21,6 +21,7 @@
 #include "core/hw_structures.hh"
 #include "core/software.hh"
 #include "core/vat.hh"
+#include "obs/tracer.hh"
 #include "seccomp/filter_builder.hh"
 
 namespace draco::core {
@@ -218,6 +219,13 @@ class DracoHardwareEngine
     void periodicAccessedClear() { _spt.clearAccessed(); }
 
     /**
+     * Attach @p tracer (nullptr detaches): STB/SLB/Temporary Buffer/
+     * SPT/context-switch events from this engine land on its track, and
+     * the running process's VAT reports its insertions there too.
+     */
+    void setTracer(obs::Tracer *tracer);
+
+    /**
      * Export the whole engine under @p prefix: engine counters and
      * flows, nested `slb`/`stb`/`spt` groups, and — when a process is
      * scheduled — its `vat` group.
@@ -242,6 +250,7 @@ class DracoHardwareEngine
     TemporaryBuffer _temp;
     Pending _pending;
     HwEngineStats _stats;
+    obs::Tracer *_tracer = nullptr;
 };
 
 } // namespace draco::core

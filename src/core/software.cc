@@ -22,6 +22,30 @@ DracoSoftwareChecker::DracoSoftwareChecker(const seccomp::Profile &profile,
             _vat.configure(sid, spec.bitmask, spec.estimatedSets);
 }
 
+namespace {
+
+/** @return The trace flow code of a software-check path. */
+obs::FlowCode
+swPathFlow(SwPath path)
+{
+    switch (path) {
+      case SwPath::SptAllowAll: return obs::FlowCode::SptAllowAll;
+      case SwPath::VatHit: return obs::FlowCode::VatHit;
+      case SwPath::FilterAllowed: return obs::FlowCode::FilterAllowed;
+      case SwPath::FilterDenied: return obs::FlowCode::Denied;
+    }
+    return obs::FlowCode::Denied;
+}
+
+} // namespace
+
+void
+DracoSoftwareChecker::setTracer(obs::Tracer *tracer)
+{
+    _tracer = tracer;
+    _vat.setTracer(tracer);
+}
+
 SwCheckOutcome
 DracoSoftwareChecker::check(const os::SyscallRequest &req)
 {
@@ -39,8 +63,20 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         ++_stats.filterRuns;
         _stats.filterInsns += result.insnsExecuted;
         out.filterInsns = result.insnsExecuted;
+        if (_tracer) {
+            _tracer->record(obs::EventKind::FilterRun, req.sid, req.pc,
+                            0, result.insnsExecuted);
+        }
         return os::actionAllows(
             static_cast<os::SeccompAction>(result.action));
+    };
+
+    auto traced = [&](SwCheckOutcome &o) -> SwCheckOutcome & {
+        if (_tracer) {
+            _tracer->record(obs::EventKind::SwCheck, req.sid, req.pc,
+                            static_cast<uint8_t>(swPathFlow(o.path)));
+        }
+        return o;
     };
 
     auto it = _specs.find(req.sid);
@@ -52,7 +88,7 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         out.path = allowed ? SwPath::FilterAllowed : SwPath::FilterDenied;
         if (!allowed)
             ++_stats.denials;
-        return out;
+        return traced(out);
     }
 
     const CheckSpec &spec = it->second;
@@ -60,7 +96,7 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         ++_stats.sptAllowAll;
         out.allowed = true;
         out.path = SwPath::SptAllowAll;
-        return out;
+        return traced(out);
     }
 
     seccomp::ArgVector args;
@@ -73,7 +109,7 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         ++_stats.vatHits;
         out.allowed = true;
         out.path = SwPath::VatHit;
-        return out;
+        return traced(out);
     }
 
     bool allowed = runFilter();
@@ -87,7 +123,7 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         ++_stats.denials;
         out.path = SwPath::FilterDenied;
     }
-    return out;
+    return traced(out);
 }
 
 void

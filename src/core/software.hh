@@ -96,6 +96,14 @@ class DracoSoftwareChecker
     void exportMetrics(MetricRegistry &registry,
                        const std::string &prefix) const;
 
+    /**
+     * Attach @p tracer (nullptr detaches): each check() records an
+     * SwCheck instant carrying the path it took (arg = obs::FlowCode),
+     * filter executions record FilterRun with the instruction count,
+     * and the VAT reports its insertions on the same track.
+     */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     seccomp::Profile _profile;
     unsigned _filterCopies;
@@ -103,6 +111,7 @@ class DracoSoftwareChecker
     std::map<uint16_t, CheckSpec> _specs;
     Vat _vat;
     SwCheckStats _stats;
+    obs::Tracer *_tracer = nullptr;
 };
 
 } // namespace draco::core

@@ -100,9 +100,16 @@ Vat::insert(uint16_t sid, const ArgKey &key)
     if (it == _tables.end())
         panic("Vat::insert: sid %u not configured", sid);
     ArgKey victim;
+    uint64_t before = it->second.cuckoo->stats().displacements;
     auto result = it->second.cuckoo->insert(key, &victim);
+    if (_tracer) {
+        _tracer->record(obs::EventKind::VatInsert, sid, 0, 0,
+                        it->second.cuckoo->stats().displacements - before);
+    }
     if (result == CuckooInsert::EvictedVictim) {
         ++_evictions;
+        if (_tracer)
+            _tracer->record(obs::EventKind::VatEvict, sid);
         return true;
     }
     return false;

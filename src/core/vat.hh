@@ -23,6 +23,7 @@
 
 #include "core/checkspec.hh"
 #include "hash/cuckoo.hh"
+#include "obs/tracer.hh"
 
 namespace draco::core {
 
@@ -112,6 +113,14 @@ class Vat
     uint64_t evictions() const { return _evictions; }
 
     /**
+     * Attach @p tracer (nullptr detaches): each insert() records a
+     * VatInsert event whose value is the cuckoo displacement count it
+     * caused, and a VatEvict event when the chain bound evicted an
+     * entry — making displacement storms visible on the timeline.
+     */
+    void setTracer(obs::Tracer *tracer) { _tracer = tracer; }
+
+    /**
      * Export aggregate VAT metrics under @p prefix: footprint, table
      * count, stored sets, and the cuckoo counters summed across every
      * per-syscall table (lookups/hits give the VAT hit rate).
@@ -131,6 +140,7 @@ class Vat
 
     std::map<uint16_t, Table> _tables;
     uint64_t _evictions = 0;
+    obs::Tracer *_tracer = nullptr;
 };
 
 /** @return CRC-64 over the key bytes for @p way. */

@@ -6,7 +6,8 @@
  * seccomp ABI (os), BPF filters and profiles (seccomp), workload models
  * and trace synthesis (workload), real-trace ingestion and replay
  * (trace), both Draco implementations (core), the timing simulator
- * (sim), and the hardware cost model (hwmodel).
+ * (sim), the event-tracing and telemetry layer (obs), and the hardware
+ * cost model (hwmodel).
  */
 
 #ifndef DRACO_DRACO_HH
@@ -22,6 +23,9 @@
 #include "hash/cuckoo.hh"
 #include "hwmodel/draco_costs.hh"
 #include "hwmodel/sram.hh"
+#include "obs/events.hh"
+#include "obs/export.hh"
+#include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "os/regmap.hh"
 #include "os/seccomp_abi.hh"

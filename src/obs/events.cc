@@ -1,0 +1,52 @@
+#include "obs/events.hh"
+
+namespace draco::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Syscall: return "syscall";
+      case EventKind::StbHit: return "stb_hit";
+      case EventKind::StbMiss: return "stb_miss";
+      case EventKind::SlbPreloadHit: return "slb_preload_hit";
+      case EventKind::SlbPreloadMiss: return "slb_preload_miss";
+      case EventKind::SlbAccessHit: return "slb_access_hit";
+      case EventKind::SlbAccessMiss: return "slb_access_miss";
+      case EventKind::TempCommit: return "temp_commit";
+      case EventKind::TempSquash: return "temp_squash";
+      case EventKind::TempStaleDrop: return "temp_stale_drop";
+      case EventKind::VatInsert: return "vat_insert";
+      case EventKind::VatEvict: return "vat_evict";
+      case EventKind::SptSave: return "spt_save";
+      case EventKind::SptRestore: return "spt_restore";
+      case EventKind::ContextSwitch: return "context_switch";
+      case EventKind::CacheFill: return "cache_fill";
+      case EventKind::FilterRun: return "filter_run";
+      case EventKind::SwCheck: return "sw_check";
+    }
+    return "unknown";
+}
+
+const char *
+flowCodeName(FlowCode flow)
+{
+    switch (flow) {
+      case FlowCode::IdOnly: return "id_only";
+      case FlowCode::F1: return "f1";
+      case FlowCode::F2: return "f2";
+      case FlowCode::F3: return "f3";
+      case FlowCode::F4: return "f4";
+      case FlowCode::F5: return "f5";
+      case FlowCode::F6: return "f6";
+      case FlowCode::Denied: return "denied";
+      case FlowCode::SptAllowAll: return "spt_allow_all";
+      case FlowCode::VatHit: return "vat_hit";
+      case FlowCode::FilterAllowed: return "filter_allowed";
+      case FlowCode::Seccomp: return "seccomp";
+      case FlowCode::Unchecked: return "unchecked";
+    }
+    return "unknown";
+}
+
+} // namespace draco::obs

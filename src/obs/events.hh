@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Typed event vocabulary of the tracing subsystem.
+ *
+ * Every instrumentation point in the simulator emits one of these
+ * compact records: a kind tag, the simulated cycle it happened at, the
+ * core/track and process it belongs to, and the syscall identity
+ * (SID, PC) plus a small kind-specific payload. Syscall checks are
+ * duration spans classified by their Table-I execution flow; everything
+ * else is an instant. The record layout is fixed-size POD so a per-core
+ * ring buffer of them is a single allocation and recording is a handful
+ * of stores.
+ */
+
+#ifndef DRACO_OBS_EVENTS_HH
+#define DRACO_OBS_EVENTS_HH
+
+#include <cstdint>
+
+namespace draco::obs {
+
+/** What happened. Values are stable — they appear in `.devt` files. */
+enum class EventKind : uint8_t {
+    Syscall = 0,        ///< Span: one checked syscall; arg = FlowCode.
+    StbHit = 1,         ///< STB predicted a SID for this PC.
+    StbMiss = 2,        ///< No STB prediction at dispatch.
+    SlbPreloadHit = 3,  ///< Predicted entry already in the SLB.
+    SlbPreloadMiss = 4, ///< Preload fetched the VAT line speculatively.
+    SlbAccessHit = 5,   ///< Non-speculative SLB lookup hit.
+    SlbAccessMiss = 6,  ///< Non-speculative SLB lookup missed.
+    TempCommit = 7,     ///< Temporary Buffer entry committed to the SLB.
+    TempSquash = 8,     ///< Squash dropped staged entries.
+    TempStaleDrop = 9,  ///< Stale staged entries dropped at the head.
+    VatInsert = 10,     ///< Validated set cached; value = displacements.
+    VatEvict = 11,      ///< Displacement chain bound hit; victim evicted.
+    SptSave = 12,       ///< Accessed SPT entries saved; value = count.
+    SptRestore = 13,    ///< Saved SPT entries restored; value = count.
+    ContextSwitch = 14, ///< A different process was scheduled.
+    CacheFill = 15,     ///< Line filled; arg = MemLevel, value = line id.
+    FilterRun = 16,     ///< Fallback filter executed; value = insns.
+    SwCheck = 17,       ///< Software-Draco check; arg = FlowCode.
+};
+
+/** Number of distinct EventKind values (array sizing). */
+inline constexpr unsigned kEventKinds = 18;
+
+/** @return Stable lower-case name of @p kind ("syscall", "stb_hit"...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * Span classification: the paper's Table-I hardware flows first (their
+ * values match core::HwFlow so the engine can cast directly), then the
+ * software-checker paths and the plain mechanisms. Values are stable —
+ * they appear in `.devt` files and as Perfetto span names.
+ */
+enum class FlowCode : uint8_t {
+    IdOnly = 0,        ///< SPT Valid bit, empty bitmask.
+    F1 = 1,            ///< STB hit, preload hit, access hit.
+    F2 = 2,            ///< STB hit, preload hit, access miss.
+    F3 = 3,            ///< STB hit, preload miss, access hit.
+    F4 = 4,            ///< STB hit, preload miss, access miss.
+    F5 = 5,            ///< STB miss, access hit.
+    F6 = 6,            ///< STB miss, access miss.
+    Denied = 7,        ///< Check rejected the call.
+    SptAllowAll = 8,   ///< Software Draco: SPT Valid, no argument check.
+    VatHit = 9,        ///< Software Draco: argument set already valid.
+    FilterAllowed = 10,///< Software Draco: filter ran and allowed.
+    Seccomp = 11,      ///< Plain Seccomp filter execution.
+    Unchecked = 12,    ///< Insecure baseline: no check performed.
+};
+
+/** Number of distinct FlowCode values (array sizing). */
+inline constexpr unsigned kFlowCodes = 13;
+
+/** @return Stable name of @p flow ("f1".."f6", "denied", ...). */
+const char *flowCodeName(FlowCode flow);
+
+/**
+ * One recorded event. 40 bytes, trivially copyable; the ring buffer
+ * stores these by value.
+ */
+struct Event {
+    uint64_t cycle = 0; ///< Sim cycle (2 GHz) the event begins at.
+    uint64_t pc = 0;    ///< Syscall site PC (0 when not applicable).
+    uint64_t value = 0; ///< Kind-specific payload (counts, insns...).
+    uint32_t dur = 0;   ///< Span length in cycles (0 for instants).
+    uint32_t pid = 0;   ///< Simulated process id (0 when single-process).
+    uint16_t sid = 0;   ///< Syscall id (0 when not applicable).
+    EventKind kind = EventKind::Syscall;
+    uint8_t arg = 0;    ///< FlowCode / MemLevel / small payload.
+};
+
+static_assert(sizeof(Event) == 40, "Event layout is part of the ABI");
+
+} // namespace draco::obs
+
+#endif // DRACO_OBS_EVENTS_HH

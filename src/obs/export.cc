@@ -1,0 +1,511 @@
+#include "obs/export.hh"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "hash/crc64.hh"
+#include "support/binio.hh"
+#include "support/logging.hh"
+
+namespace draco::obs {
+
+using namespace binio;
+
+namespace {
+
+constexpr char kDevtMagic[8] = {'d', 'e', 'v', 't', '-', 'v', '1', '\n'};
+constexpr char kDevtEnd[8] = {'d', 'e', 'v', 't', 'e', 'n', 'd', '\n'};
+constexpr uint32_t kDevtVersion = 1;
+
+} // namespace
+
+TrackView
+viewOf(const Tracer &tracer)
+{
+    return TrackView{&tracer.track(), tracer.dropped(), &tracer.events(),
+                     &tracer.sampleCycles(), &tracer.series()};
+}
+
+TrackView
+viewOf(const TrackStore &store)
+{
+    return TrackView{&store.name, store.dropped, &store.events,
+                     &store.sampleCycles, &store.series};
+}
+
+std::vector<TrackView>
+LoadedTrace::views() const
+{
+    std::vector<TrackView> out;
+    out.reserve(tracks.size());
+    for (const TrackStore &t : tracks)
+        out.push_back(viewOf(t));
+    return out;
+}
+
+namespace {
+
+std::vector<TrackView>
+viewsOf(const std::vector<const Tracer *> &tracks)
+{
+    std::vector<TrackView> out;
+    out.reserve(tracks.size());
+    for (const Tracer *t : tracks)
+        out.push_back(viewOf(*t));
+    return out;
+}
+
+// ---- Perfetto JSON ----
+
+/** Escape a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Format a cycle count as microseconds at the 2 GHz sim clock. */
+std::string
+cyclesToUs(uint64_t cycles)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  static_cast<double>(cycles) * 0.0005);
+    return buf;
+}
+
+class JsonEventList
+{
+  public:
+    explicit JsonEventList(std::ostream &out) : _out(out)
+    {
+        _out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    }
+
+    ~JsonEventList() { _out << "\n]}\n"; }
+
+    /** Begin one event object (adds the separating comma). */
+    std::ostream &
+    next()
+    {
+        if (!_first)
+            _out << ",\n";
+        _first = false;
+        return _out;
+    }
+
+  private:
+    std::ostream &_out;
+    bool _first = true;
+};
+
+void
+emitMetadata(JsonEventList &list, unsigned tid, const std::string &name)
+{
+    list.next() << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,"
+                << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+                << jsonEscape(name) << "\"}}";
+}
+
+void
+emitInstant(JsonEventList &list, unsigned tid, const Event &e)
+{
+    list.next() << "{\"ph\":\"i\",\"name\":\""
+                << eventKindName(e.kind)
+                << "\",\"cat\":\"hw\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << cyclesToUs(e.cycle)
+                << ",\"args\":{\"sid\":" << e.sid
+                << ",\"value\":" << e.value
+                << ",\"arg\":" << static_cast<unsigned>(e.arg) << "}}";
+}
+
+void
+emitSpan(JsonEventList &list, unsigned tid, const Event &e)
+{
+    const char *name = flowCodeName(static_cast<FlowCode>(e.arg));
+    list.next() << "{\"ph\":\"X\",\"name\":\"" << name
+                << "\",\"cat\":\"flow\",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << cyclesToUs(e.cycle)
+                << ",\"dur\":" << cyclesToUs(e.dur)
+                << ",\"args\":{\"sid\":" << e.sid
+                << ",\"pc\":" << e.pc
+                << ",\"spid\":" << e.pid << "}}";
+}
+
+void
+emitArrow(JsonEventList &list, unsigned tid, uint64_t id,
+          uint64_t fromCycle, uint64_t toCycle)
+{
+    list.next() << "{\"ph\":\"s\",\"name\":\"preload\",\"cat\":\"preload\","
+                << "\"id\":" << id << ",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << cyclesToUs(fromCycle) << "}";
+    list.next() << "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"preload\","
+                << "\"cat\":\"preload\",\"id\":" << id
+                << ",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << cyclesToUs(toCycle) << "}";
+}
+
+void
+emitCounter(JsonEventList &list, unsigned tid, const std::string &name,
+            uint64_t cycle, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    list.next() << "{\"ph\":\"C\",\"name\":\"" << jsonEscape(name)
+                << "\",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << cyclesToUs(cycle)
+                << ",\"args\":{\"value\":" << buf << "}}";
+}
+
+} // namespace
+
+void
+writePerfettoJson(const std::vector<TrackView> &tracks, std::ostream &out)
+{
+    JsonEventList list(out);
+    list.next() << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+                << "\"tid\":0,\"args\":{\"name\":\"draco-sim\"}}";
+    uint64_t arrowId = 0;
+    for (size_t tid = 0; tid < tracks.size(); ++tid) {
+        const TrackView &track = tracks[tid];
+        emitMetadata(list, tid, *track.name);
+        // A preload miss launches a speculative VAT fetch; draw an async
+        // arrow from it to the syscall span whose check it raced.
+        bool preloadPending = false;
+        uint64_t preloadCycle = 0;
+        for (const Event &e : *track.events) {
+            switch (e.kind) {
+              case EventKind::Syscall:
+                if (preloadPending) {
+                    emitArrow(list, tid, arrowId++, preloadCycle, e.cycle);
+                    preloadPending = false;
+                }
+                emitSpan(list, tid, e);
+                break;
+              case EventKind::SlbPreloadMiss:
+                preloadPending = true;
+                preloadCycle = e.cycle;
+                emitInstant(list, tid, e);
+                break;
+              default:
+                emitInstant(list, tid, e);
+                break;
+            }
+        }
+        for (const Series &s : *track.series) {
+            std::string name = *track.name + "." + s.name;
+            for (size_t i = 0; i < track.sampleCycles->size(); ++i) {
+                emitCounter(list, tid, name, (*track.sampleCycles)[i],
+                            s.values[i]);
+            }
+        }
+    }
+}
+
+bool
+writePerfettoJson(const std::vector<TrackView> &tracks,
+                  const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    writePerfettoJson(tracks, out);
+    out.flush();
+    return out.good();
+}
+
+bool
+writePerfettoJson(const std::vector<const Tracer *> &tracks,
+                  const std::string &path)
+{
+    return writePerfettoJson(viewsOf(tracks), path);
+}
+
+// ---- .devt ----
+
+namespace {
+
+/** Encode one track's events and samples into a varint payload. */
+std::vector<uint8_t>
+encodePayload(const TrackView &track)
+{
+    std::vector<uint8_t> payload;
+    uint64_t prevCycle = 0, prevPc = 0, prevPid = 0;
+    for (const Event &e : *track.events) {
+        putDelta(payload, e.cycle, prevCycle);
+        prevCycle = e.cycle;
+        putVarint(payload, static_cast<uint64_t>(e.kind));
+        putVarint(payload, e.sid);
+        putDelta(payload, e.pc, prevPc);
+        prevPc = e.pc;
+        putVarint(payload, e.arg);
+        putVarint(payload, e.dur);
+        putVarint(payload, e.value);
+        putDelta(payload, e.pid, prevPid);
+        prevPid = e.pid;
+    }
+    uint64_t prevSample = 0;
+    std::vector<uint64_t> prevBits(track.series->size(), 0);
+    for (size_t i = 0; i < track.sampleCycles->size(); ++i) {
+        putDelta(payload, (*track.sampleCycles)[i], prevSample);
+        prevSample = (*track.sampleCycles)[i];
+        for (size_t c = 0; c < track.series->size(); ++c) {
+            // XOR against the previous sample: slowly-moving telemetry
+            // zeroes the exponent/sign bits, so the varint stays short.
+            uint64_t bits =
+                std::bit_cast<uint64_t>((*track.series)[c].values[i]);
+            putVarint(payload, bits ^ prevBits[c]);
+            prevBits[c] = bits;
+        }
+    }
+    return payload;
+}
+
+bool
+decodePayload(const std::vector<uint8_t> &payload, uint32_t eventCount,
+              uint32_t sampleCount, TrackStore &track, std::string &error)
+{
+    size_t pos = 0;
+    uint64_t prevCycle = 0, prevPc = 0, prevPid = 0;
+    track.events.reserve(eventCount);
+    for (uint32_t i = 0; i < eventCount; ++i) {
+        Event e;
+        uint64_t kind, sid, arg, dur, value;
+        if (!takeDelta(payload, pos, prevCycle, e.cycle) ||
+            !takeVarint(payload, pos, kind) ||
+            !takeVarint(payload, pos, sid) ||
+            !takeDelta(payload, pos, prevPc, e.pc) ||
+            !takeVarint(payload, pos, arg) ||
+            !takeVarint(payload, pos, dur) ||
+            !takeVarint(payload, pos, value)) {
+            error = "truncated event payload";
+            return false;
+        }
+        uint64_t pid;
+        if (!takeDelta(payload, pos, prevPid, pid)) {
+            error = "truncated event payload";
+            return false;
+        }
+        if (kind >= kEventKinds) {
+            error = "invalid event kind";
+            return false;
+        }
+        prevCycle = e.cycle;
+        prevPc = e.pc;
+        prevPid = pid;
+        e.kind = static_cast<EventKind>(kind);
+        e.sid = static_cast<uint16_t>(sid);
+        e.arg = static_cast<uint8_t>(arg);
+        e.dur = static_cast<uint32_t>(dur);
+        e.value = value;
+        e.pid = static_cast<uint32_t>(pid);
+        track.events.push_back(e);
+    }
+    uint64_t prevSample = 0;
+    std::vector<uint64_t> prevBits(track.series.size(), 0);
+    track.sampleCycles.reserve(sampleCount);
+    for (uint32_t i = 0; i < sampleCount; ++i) {
+        uint64_t cycle;
+        if (!takeDelta(payload, pos, prevSample, cycle)) {
+            error = "truncated sample payload";
+            return false;
+        }
+        prevSample = cycle;
+        track.sampleCycles.push_back(cycle);
+        for (size_t c = 0; c < track.series.size(); ++c) {
+            uint64_t xorBits;
+            if (!takeVarint(payload, pos, xorBits)) {
+                error = "truncated sample payload";
+                return false;
+            }
+            prevBits[c] ^= xorBits;
+            track.series[c].values.push_back(
+                std::bit_cast<double>(prevBits[c]));
+        }
+    }
+    if (pos != payload.size()) {
+        error = "trailing bytes in track payload";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeDevt(const std::vector<TrackView> &tracks, std::ostream &out)
+{
+    std::string head;
+    head.append(kDevtMagic, sizeof(kDevtMagic));
+    putU32(head, kDevtVersion);
+    putU32(head, static_cast<uint32_t>(tracks.size()));
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+
+    uint64_t totalEvents = 0;
+    for (const TrackView &track : tracks) {
+        std::vector<uint8_t> payload = encodePayload(track);
+        std::string header;
+        putU32(header, static_cast<uint32_t>(track.name->size()));
+        header += *track.name;
+        putU64(header, track.dropped);
+        putU32(header, static_cast<uint32_t>(track.series->size()));
+        for (const Series &s : *track.series) {
+            putU32(header, static_cast<uint32_t>(s.name.size()));
+            header += s.name;
+        }
+        putU32(header, static_cast<uint32_t>(track.events->size()));
+        putU32(header, static_cast<uint32_t>(track.sampleCycles->size()));
+        putU32(header, static_cast<uint32_t>(payload.size()));
+        putU64(header, crc64Ecma().compute(payload.data(), payload.size()));
+        out.write(header.data(),
+                  static_cast<std::streamsize>(header.size()));
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        totalEvents += track.events->size();
+    }
+
+    std::string tail;
+    putU64(tail, totalEvents);
+    tail.append(kDevtEnd, sizeof(kDevtEnd));
+    out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+}
+
+bool
+writeDevt(const std::vector<TrackView> &tracks, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    writeDevt(tracks, out);
+    out.flush();
+    return out.good();
+}
+
+bool
+writeDevt(const std::vector<const Tracer *> &tracks,
+          const std::string &path)
+{
+    return writeDevt(viewsOf(tracks), path);
+}
+
+namespace {
+
+bool
+readString(std::istream &in, std::string &out)
+{
+    uint32_t len;
+    if (!readU32(in, len) || len > (1u << 24))
+        return false;
+    out.resize(len);
+    return len == 0 || readExact(in, out.data(), len);
+}
+
+} // namespace
+
+bool
+loadDevt(const std::string &path, LoadedTrace &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    char magic[8];
+    if (!readExact(in, magic, sizeof(magic)) ||
+        std::memcmp(magic, kDevtMagic, sizeof(magic)) != 0) {
+        error = "not a .devt file (bad magic)";
+        return false;
+    }
+    uint32_t version, trackCount;
+    if (!readU32(in, version) || !readU32(in, trackCount)) {
+        error = "truncated header";
+        return false;
+    }
+    if (version != kDevtVersion) {
+        error = "unsupported .devt version " + std::to_string(version);
+        return false;
+    }
+    out.tracks.clear();
+    for (uint32_t t = 0; t < trackCount; ++t) {
+        TrackStore track;
+        if (!readString(in, track.name)) {
+            error = "truncated track header";
+            return false;
+        }
+        uint32_t channelCount;
+        if (!readU64(in, track.dropped) || !readU32(in, channelCount) ||
+            channelCount > (1u << 16)) {
+            error = "truncated track header";
+            return false;
+        }
+        track.series.resize(channelCount);
+        for (uint32_t c = 0; c < channelCount; ++c) {
+            if (!readString(in, track.series[c].name)) {
+                error = "truncated channel table";
+                return false;
+            }
+        }
+        uint32_t eventCount, sampleCount, payloadBytes;
+        uint64_t crc;
+        if (!readU32(in, eventCount) || !readU32(in, sampleCount) ||
+            !readU32(in, payloadBytes) || !readU64(in, crc)) {
+            error = "truncated track header";
+            return false;
+        }
+        std::vector<uint8_t> payload(payloadBytes);
+        if (payloadBytes != 0 &&
+            !readExact(in, payload.data(), payloadBytes)) {
+            error = "truncated track payload";
+            return false;
+        }
+        if (crc64Ecma().compute(payload.data(), payload.size()) != crc) {
+            error = "CRC mismatch in track '" + track.name + "'";
+            return false;
+        }
+        if (!decodePayload(payload, eventCount, sampleCount, track,
+                           error)) {
+            error += " in track '" + track.name + "'";
+            return false;
+        }
+        out.tracks.push_back(std::move(track));
+    }
+    uint64_t totalEvents;
+    char end[8];
+    if (!readU64(in, totalEvents) || !readExact(in, end, sizeof(end)) ||
+        std::memcmp(end, kDevtEnd, sizeof(end)) != 0) {
+        error = "truncated footer";
+        return false;
+    }
+    uint64_t counted = 0;
+    for (const TrackStore &track : out.tracks)
+        counted += track.events.size();
+    if (counted != totalEvents) {
+        error = "footer event count mismatch";
+        return false;
+    }
+    return true;
+}
+
+} // namespace draco::obs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace exporters and the `.devt` event-trace file format.
+ *
+ * Two on-disk representations of a recorded trace:
+ *
+ *  - Chrome/Perfetto `trace_event` JSON: one Perfetto thread per track,
+ *    syscall checks as duration spans named by their Table-I flow,
+ *    structure events as instants, SLB preloads as async flow arrows
+ *    from the preload to the syscall span they raced, and telemetry
+ *    channels as counter tracks. Loads directly in ui.perfetto.dev or
+ *    chrome://tracing.
+ *
+ *  - `.devt`: a compact binary format sharing the `.dtrc` framing
+ *    discipline (LEB128 varints, zigzag deltas against running
+ *    predecessors, CRC-64-ECMA per payload, magic header and footer).
+ *    Unlike JSON it is cheap to re-load, which is what `obstool`
+ *    consumes.
+ *
+ * Both writers walk tracks in the caller-provided order; TraceSession
+ * hands them name-sorted tracks, which is what makes the output
+ * byte-identical at any thread count.
+ */
+
+#ifndef DRACO_OBS_EXPORT_HH
+#define DRACO_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hh"
+
+namespace draco::obs {
+
+/** Borrowed view of one track's data (adapts Tracer and TrackStore). */
+struct TrackView {
+    const std::string *name = nullptr;
+    uint64_t dropped = 0;
+    const std::vector<Event> *events = nullptr;
+    const std::vector<uint64_t> *sampleCycles = nullptr;
+    const std::vector<Series> *series = nullptr;
+};
+
+/** @return A view of @p tracer's recorded data. */
+TrackView viewOf(const Tracer &tracer);
+
+/** One track loaded back from a `.devt` file (owning). */
+struct TrackStore {
+    std::string name;
+    uint64_t dropped = 0;
+    std::vector<Event> events;
+    std::vector<uint64_t> sampleCycles;
+    std::vector<Series> series;
+};
+
+/** @return A view of @p store's data. */
+TrackView viewOf(const TrackStore &store);
+
+/** A whole trace loaded from a `.devt` file, tracks in file order. */
+struct LoadedTrace {
+    std::vector<TrackStore> tracks;
+
+    /** @return Views of all tracks, in file (name) order. */
+    std::vector<TrackView> views() const;
+};
+
+// ---- Perfetto / Chrome trace_event JSON ----
+
+/** Write @p tracks as trace_event JSON to @p out. */
+void writePerfettoJson(const std::vector<TrackView> &tracks,
+                       std::ostream &out);
+
+/** Write @p tracks as trace_event JSON to @p path; false on I/O error. */
+bool writePerfettoJson(const std::vector<TrackView> &tracks,
+                       const std::string &path);
+
+/** Convenience overload for a live session's tracks. */
+bool writePerfettoJson(const std::vector<const Tracer *> &tracks,
+                       const std::string &path);
+
+// ---- .devt binary format ----
+
+/** Write @p tracks as a `.devt` file to @p out. */
+void writeDevt(const std::vector<TrackView> &tracks, std::ostream &out);
+
+/** Write @p tracks as a `.devt` file to @p path; false on I/O error. */
+bool writeDevt(const std::vector<TrackView> &tracks,
+               const std::string &path);
+
+/** Convenience overload for a live session's tracks. */
+bool writeDevt(const std::vector<const Tracer *> &tracks,
+               const std::string &path);
+
+/**
+ * Load a `.devt` file.
+ *
+ * @param path File to read.
+ * @param out Receives the decoded tracks.
+ * @param error Receives a one-line description on failure.
+ * @return true when the whole file decoded and every CRC matched.
+ */
+bool loadDevt(const std::string &path, LoadedTrace &out,
+              std::string &error);
+
+} // namespace draco::obs
+
+#endif // DRACO_OBS_EXPORT_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Low-overhead deterministic event tracing and telemetry.
+ *
+ * A Tracer is one track of a trace: a single-writer, preallocated ring
+ * of typed events plus an optional columnar telemetry sampler. The
+ * simulator's instrumentation points hold a `Tracer *` that is null (or
+ * a disabled Tracer) when tracing is off, so the disabled path is one
+ * predictable branch — no events, no allocations, no locks. When
+ * enabled, recording is a bounds check and a few stores into memory
+ * allocated once up front; a full buffer drops events and counts the
+ * drops instead of growing, so tracing memory is strictly bounded.
+ *
+ * A TraceSession owns one Tracer per track (per simulated core, or per
+ * sweep cell) and merges them at export time in *name* order with each
+ * track's events in cycle order — never in creation or completion
+ * order — so the exported bytes are identical at any `--threads N`.
+ *
+ * The tracer never consumes randomness and never feeds back into the
+ * simulation: a traced run produces bit-identical RunResults to an
+ * untraced one.
+ */
+
+#ifndef DRACO_OBS_TRACER_HH
+#define DRACO_OBS_TRACER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/events.hh"
+#include "support/metrics.hh"
+
+namespace draco::obs {
+
+/** Knobs of one track's tracer. */
+struct TracerConfig {
+    /**
+     * Event-ring capacity (events). Allocated once at enable time;
+     * recording beyond it increments the drop counter instead of
+     * growing. ~40 MB per million events.
+     */
+    size_t capacity = 1 << 20;
+
+    /** Record discrete events (false: telemetry sampling only). */
+    bool recordEvents = true;
+
+    /** Telemetry sample interval in sim cycles (0 = sampling off). */
+    uint64_t sampleEveryCycles = 0;
+};
+
+/** One telemetry channel: a name and its sampled values (columnar). */
+struct Series {
+    std::string name;
+    std::vector<double> values; ///< Aligned with Tracer::sampleCycles().
+};
+
+/**
+ * One track's event recorder and telemetry sampler.
+ */
+class Tracer
+{
+  public:
+    /** Disabled tracer: record() is a no-op, nothing is allocated. */
+    Tracer() = default;
+
+    /**
+     * Enabled tracer.
+     *
+     * @param config Capacity and sampling knobs.
+     * @param track Track name (stable export identity).
+     */
+    Tracer(const TracerConfig &config, std::string track);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** @return true when this tracer records anything at all. */
+    bool enabled() const { return _enabled; }
+
+    /** @return The track name ("" for a disabled tracer). */
+    const std::string &track() const { return _track; }
+
+    // ---- clock and identity context (set by the driving loop) ----
+
+    /** Set the current sim time in cycles. */
+    void setNow(uint64_t cycle) { _now = cycle; }
+
+    /** Set the current sim time from nanoseconds (2 GHz clock). */
+    void setNowNs(double ns)
+    {
+        _now = static_cast<uint64_t>(ns * 2.0 + 0.5);
+    }
+
+    /** @return The current sim cycle. */
+    uint64_t now() const { return _now; }
+
+    /** Set the simulated process id stamped on subsequent events. */
+    void setPid(uint32_t pid) { _pid = pid; }
+
+    // ---- event recording (hot path) ----
+
+    /** Record one instant event at the current cycle. */
+    void
+    record(EventKind kind, uint16_t sid = 0, uint64_t pc = 0,
+           uint8_t arg = 0, uint64_t value = 0)
+    {
+        if (!_recordEvents)
+            return;
+        if (_events.size() >= _capacity) {
+            noteDrop();
+            return;
+        }
+        Event &e = _events.emplace_back();
+        e.cycle = _now;
+        e.pc = pc;
+        e.value = value;
+        e.pid = _pid;
+        e.sid = sid;
+        e.kind = kind;
+        e.arg = arg;
+    }
+
+    /**
+     * Open a syscall-check span at the current cycle. The matching
+     * endSyscall() closes it with its flow classification; sub-events
+     * recorded in between land inside the span.
+     */
+    void
+    beginSyscall(uint16_t sid, uint64_t pc)
+    {
+        _spanOpen = _enabled;
+        _spanCycle = _now;
+        _spanSid = sid;
+        _spanPc = pc;
+    }
+
+    /** Close the open span, classified as @p flow. */
+    void
+    endSyscall(FlowCode flow)
+    {
+        if (!_spanOpen)
+            return;
+        _spanOpen = false;
+        if (!_recordEvents)
+            return;
+        if (_events.size() >= _capacity) {
+            noteDrop();
+            return;
+        }
+        Event &e = _events.emplace_back();
+        e.cycle = _spanCycle;
+        e.pc = _spanPc;
+        e.dur = static_cast<uint32_t>(_now - _spanCycle);
+        e.pid = _pid;
+        e.sid = _spanSid;
+        e.kind = EventKind::Syscall;
+        e.arg = static_cast<uint8_t>(flow);
+    }
+
+    // ---- telemetry sampling ----
+
+    /**
+     * Register (or re-register) a telemetry channel. The provider is
+     * polled at every sample point; it must stay valid for the duration
+     * of the run that registered it.
+     */
+    void addChannel(const std::string &name,
+                    std::function<double()> provider);
+
+    /**
+     * Sample all channels if the current cycle crossed the sampling
+     * interval; cheap no-op otherwise (or when sampling is off).
+     */
+    void
+    maybeSample()
+    {
+        if (_sampleEvery == 0 || _now < _nextSample)
+            return;
+        takeSample();
+    }
+
+    // ---- inspection and export ----
+
+    /** @return Recorded events, in recording (cycle) order. */
+    const std::vector<Event> &events() const { return _events; }
+
+    /** @return Events dropped because the ring was full. */
+    uint64_t dropped() const { return _dropped; }
+
+    /** @return Bytes of event storage allocated (0 when disabled). */
+    size_t capacityBytes() const { return _capacity * sizeof(Event); }
+
+    /** @return Cycles at which telemetry samples were taken. */
+    const std::vector<uint64_t> &sampleCycles() const
+    {
+        return _sampleCycles;
+    }
+
+    /** @return Telemetry channels, in registration order. */
+    const std::vector<Series> &series() const { return _series; }
+
+  private:
+    void noteDrop();
+    void takeSample();
+
+    bool _enabled = false;
+    bool _recordEvents = false;
+    size_t _capacity = 0;
+    std::string _track;
+    uint64_t _now = 0;
+    uint32_t _pid = 0;
+    uint64_t _dropped = 0;
+    std::vector<Event> _events;
+
+    bool _spanOpen = false;
+    uint64_t _spanCycle = 0;
+    uint64_t _spanPc = 0;
+    uint16_t _spanSid = 0;
+
+    uint64_t _sampleEvery = 0;
+    uint64_t _nextSample = 0;
+    std::vector<uint64_t> _sampleCycles;
+    std::vector<Series> _series;
+    std::vector<std::function<double()>> _providers;
+};
+
+/** Session-level configuration. */
+struct SessionConfig {
+    /**
+     * Export destination. Extension selects the format: `.json` writes
+     * Chrome/Perfetto trace-event JSON, anything else the compact
+     * binary `.devt` format. Empty leaves the session disabled.
+     */
+    std::string outPath;
+
+    /** Per-track tracer knobs. */
+    TracerConfig tracer;
+};
+
+/**
+ * A set of per-track tracers with deterministic merged export.
+ *
+ * tracer() hands out one Tracer per track name, creating it on first
+ * request (thread-safe: concurrent sweep cells may each claim their own
+ * track; the per-event record path stays lock-free because each track
+ * has exactly one writer). Export walks tracks sorted by name, so the
+ * output is independent of creation order and thread count.
+ */
+class TraceSession
+{
+  public:
+    /** Disabled session: tracer() returns nullptr, exports are no-ops. */
+    TraceSession() = default;
+
+    /** Enable with @p config (outPath must be non-empty). */
+    explicit TraceSession(const SessionConfig &config);
+
+    /** Enable a default-constructed session; fatal if already enabled. */
+    void configure(const SessionConfig &config);
+
+    /** @return true when tracing is on. */
+    bool enabled() const { return _enabled; }
+
+    /** @return The configured export path ("" when disabled). */
+    const std::string &outPath() const { return _config.outPath; }
+
+    /**
+     * @return The tracer of @p track (created on first use), or nullptr
+     *         when the session is disabled.
+     */
+    Tracer *tracer(const std::string &track);
+
+    /** @return All tracers, sorted by track name. */
+    std::vector<const Tracer *> tracks() const;
+
+    /** @return Events recorded across all tracks. */
+    uint64_t totalEvents() const;
+
+    /** @return Events dropped across all tracks. */
+    uint64_t totalDropped() const;
+
+    /** @return Telemetry samples taken across all tracks. */
+    uint64_t totalSamples() const;
+
+    /**
+     * Export `obs.*` session counters (tracks, events, drops, samples)
+     * under @p prefix.
+     */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
+    /**
+     * Write the configured output file (format from the extension).
+     * No-op when disabled; returns false (with a warning) when the file
+     * cannot be written.
+     */
+    bool writeOutput() const;
+
+  private:
+    bool _enabled = false;
+    SessionConfig _config;
+    mutable std::mutex _mutex; ///< Guards _tracers (creation only).
+    std::map<std::string, std::unique_ptr<Tracer>> _tracers;
+};
+
+} // namespace draco::obs
+
+#endif // DRACO_OBS_TRACER_HH

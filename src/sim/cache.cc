@@ -58,12 +58,23 @@ CacheHierarchy::access(uint64_t addr)
         }
     }
     ++_stats.hits[static_cast<size_t>(level)];
+    if (_tracer && level != MemLevel::L1) {
+        _tracer->record(obs::EventKind::CacheFill, 0, 0,
+                        static_cast<uint8_t>(level), lineId(line));
+    }
 
     // Install/refresh the line in every level (inclusive hierarchy).
     for (auto &set : _resident)
         set.insert(line);
 
     return {level, latencyNs(level)};
+}
+
+uint64_t
+CacheHierarchy::lineId(uint64_t line)
+{
+    auto [it, inserted] = _lineIds.try_emplace(line, _lineIds.size());
+    return it->second;
 }
 
 void

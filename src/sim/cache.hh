@@ -18,9 +18,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 
+#include "obs/tracer.hh"
 #include "support/metrics.hh"
 #include "support/random.hh"
 
@@ -108,6 +110,18 @@ class CacheHierarchy
     void exportMetrics(MetricRegistry &registry,
                        const std::string &prefix) const;
 
+    /**
+     * Attach @p tracer (nullptr detaches): every access that misses a
+     * level records a CacheFill instant whose arg is the MemLevel that
+     * finally supplied the line and whose value is the line's dense
+     * first-touch id. Ids, not raw addresses: VAT regions come from a
+     * process-global bump allocator, so absolute addresses depend on
+     * allocation interleaving across concurrent cells — the first-touch
+     * id is the cell-local rename that keeps traces byte-deterministic
+     * while still correlating reuse of the same line.
+     */
+    void setTracer(obs::Tracer *tracer) { _tracer = tracer; }
+
     /** @return The level configurations (for Table II reporting). */
     static const std::array<CacheLevelConfig, 3> &levelConfigs();
 
@@ -115,11 +129,16 @@ class CacheHierarchy
     static constexpr double kDramNs = 60.0;
 
   private:
+    /** @return The dense first-touch id of @p line (tracing only). */
+    uint64_t lineId(uint64_t line);
+
     // Ordered so pressure-eviction RNG draws visit lines in a stable,
     // allocation-order-consistent sequence (determinism across runs).
     std::set<uint64_t> _resident[3]; ///< Line tags per level.
     Rng _rng;
     CacheStats _stats;
+    obs::Tracer *_tracer = nullptr;
+    std::map<uint64_t, uint64_t> _lineIds; ///< Populated only if traced.
 };
 
 } // namespace draco::sim

@@ -89,8 +89,8 @@ class RunLoop
 {
   public:
     RunLoop(MechanismPricer &pricer, const os::KernelCosts &costs,
-            RunResult &result)
-        : _pricer(pricer), _costs(costs), _result(result)
+            RunResult &result, obs::Tracer *tracer = nullptr)
+        : _pricer(pricer), _costs(costs), _result(result), _tracer(tracer)
     {
     }
 
@@ -109,6 +109,13 @@ class RunLoop
         }
         _simNs += baseNs;
 
+        // The check span opens when the call reaches kernel entry (base
+        // work done) and closes when the check resolves; structure
+        // events recorded inside price() land at the span's begin cycle.
+        if (_tracer) {
+            _tracer->setNowNs(_simNs);
+            _tracer->beginSyscall(event.req.sid, event.req.pc);
+        }
         EventPrice price = _pricer.price(event);
         if (_counting) {
             _result.totalNs += price.checkNs;
@@ -116,6 +123,11 @@ class RunLoop
             _result.filterInsnsTotal += price.filterInsns;
         }
         _simNs += price.checkNs;
+        if (_tracer) {
+            _tracer->setNowNs(_simNs);
+            _tracer->endSyscall(price.flow);
+            _tracer->maybeSample();
+        }
 
         if (_pricer.hwEngine() && _simNs >= _nextSweepNs) {
             _pricer.periodicAccessedClear();
@@ -144,6 +156,7 @@ class RunLoop
     MechanismPricer &_pricer;
     const os::KernelCosts &_costs;
     RunResult &_result;
+    obs::Tracer *_tracer;
     double _simNs = 0.0;
     double _nextSweepNs = kAccessedSweepNs;
     bool _counting = false;
@@ -159,6 +172,7 @@ makePricer(const seccomp::Profile &profile, const RunOptions &options)
     config.costs = options.costs;
     config.hwPreload = options.hwPreload;
     config.slbGeometry = options.slbGeometry;
+    config.tracer = options.tracer;
     uint64_t auxSeed = options.auxSeed
         ? options.auxSeed
         : splitSeed(options.seed, "aux");
@@ -178,7 +192,7 @@ ExperimentRunner::run(const workload::AppModel &app,
 
     workload::TraceGenerator gen(app, options.seed);
     MechanismPricer pricer = makePricer(profile, options);
-    RunLoop loop(pricer, *options.costs, result);
+    RunLoop loop(pricer, *options.costs, result, options.tracer);
 
     // Cold start: prologue plus warm-up calls, excluded from the
     // measurement window like the paper's warm-up phase.
@@ -205,7 +219,7 @@ ExperimentRunner::replay(workload::EventStream &events,
     result.mechanism = mechanismName(options.mechanism);
 
     MechanismPricer pricer = makePricer(profile, options);
-    RunLoop loop(pricer, *options.costs, result);
+    RunLoop loop(pricer, *options.costs, result, options.tracer);
 
     workload::TraceEvent event;
     size_t warmed = 0;

@@ -23,6 +23,7 @@
 
 #include "core/hw_engine.hh"
 #include "core/software.hh"
+#include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "seccomp/profile.hh"
 #include "sim/cache.hh"
@@ -86,6 +87,17 @@ struct RunOptions {
      * byte-identical syscalls.
      */
     uint64_t auxSeed = 0;
+
+    /**
+     * Event tracer for this run's track, or nullptr (off). When set,
+     * every checked syscall becomes a timed span classified by its
+     * execution flow, the mechanism's structures record their events on
+     * the same track, and the telemetry sampler (if configured on the
+     * tracer) snapshots hit-rate curves as sim time passes. Tracing
+     * never changes the RunResult: traced and untraced runs are
+     * bit-identical.
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** Everything measured during one run. */

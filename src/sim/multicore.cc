@@ -33,7 +33,20 @@ namespace {
 struct Core {
     std::optional<MechanismPricer> pricer;
     CoreResult result;
+    obs::Tracer *tracer = nullptr; ///< This core's track, or null.
+    double simNs = 0.0;            ///< This core's local sim clock.
 };
+
+/** @return The tracer of lockstep core @p i ("coreNN" track), or null. */
+obs::Tracer *
+coreTracer(const MulticoreOptions &options, size_t i)
+{
+    if (!options.session)
+        return nullptr;
+    char track[16];
+    std::snprintf(track, sizeof(track), "core%02zu", i);
+    return options.session->tracer(options.trackPrefix + track);
+}
 
 /**
  * The lockstep step shared by generated and replayed consolidation
@@ -62,6 +75,11 @@ lockstepStep(std::vector<Core> &state,
             core.result.insecureNs += baseNs;
             core.result.totalNs += baseNs;
         }
+        core.simNs += baseNs;
+        if (core.tracer) {
+            core.tracer->setNowNs(core.simNs);
+            core.tracer->beginSyscall(event.req.sid, event.req.pc);
+        }
 
         // Shared L3: neighbours' gap traffic evicts our lines.
         std::vector<uint64_t> neighbourBytes;
@@ -73,6 +91,12 @@ lockstepStep(std::vector<Core> &state,
         EventPrice price = core.pricer->price(event, neighbourBytes);
         if (counting)
             core.result.totalNs += price.checkNs;
+        core.simNs += price.checkNs;
+        if (core.tracer) {
+            core.tracer->setNowNs(core.simNs);
+            core.tracer->endSyscall(price.flow);
+            core.tracer->maybeSample();
+        }
     }
 }
 
@@ -129,6 +153,8 @@ MulticoreSimulator::run(const std::vector<CoreAssignment> &cores,
         PricerConfig config;
         config.filterCopies = assign.filterCopies;
         config.costs = options.costs;
+        core.tracer = coreTracer(options, i);
+        config.tracer = core.tracer;
         core.pricer.emplace(assign.mechanism, profiles.back(), config,
                             seed);
     }
@@ -173,6 +199,8 @@ MulticoreSimulator::replay(const std::vector<TenantAssignment> &tenants,
         PricerConfig config;
         config.filterCopies = tenant.filterCopies;
         config.costs = options.costs;
+        core.tracer = coreTracer(options, i);
+        config.tracer = core.tracer;
         core.pricer.emplace(tenant.mechanism, *tenant.profile, config,
                             splitSeed(options.seed, i));
     }

@@ -47,6 +47,20 @@ struct MulticoreOptions {
     size_t warmupCallsPerCore = 10000;
     uint64_t seed = 42;
     const os::KernelCosts *costs = &os::newKernelCosts();
+
+    /**
+     * Trace session, or nullptr (off). Each core records onto its own
+     * `coreNN` track with its own sim-cycle clock, so a consolidation
+     * run exports one Perfetto thread per core.
+     */
+    obs::TraceSession *session = nullptr;
+
+    /**
+     * Prefix of the per-core track names (e.g. "cores4/"). Give each
+     * run of a shared session a distinct prefix: a track has one
+     * monotonic clock, so two runs must never share one.
+     */
+    std::string trackPrefix;
 };
 
 /** Per-core outcome. */

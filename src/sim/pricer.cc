@@ -36,7 +36,8 @@ MechanismPricer::MechanismPricer(Mechanism mechanism,
                                  const PricerConfig &config,
                                  uint64_t auxSeed)
     : _mechanism(mechanism), _filterCopies(config.filterCopies),
-      _costs(*config.costs), _robRng(splitSeed(auxSeed, "rob"))
+      _costs(*config.costs), _robRng(splitSeed(auxSeed, "rob")),
+      _tracer(config.tracer)
 {
     switch (mechanism) {
       case Mechanism::Insecure:
@@ -62,6 +63,64 @@ MechanismPricer::MechanismPricer(Mechanism mechanism,
             splitSeed(auxSeed, "cache"));
         break;
     }
+
+    if (!_tracer)
+        return;
+    if (_sw) {
+        _sw->setTracer(_tracer);
+        auto *sw = _sw.get();
+        _tracer->addChannel("vat_hit_rate", [sw] {
+            const core::SwCheckStats &s = sw->stats();
+            return s.checks ? static_cast<double>(s.vatHits) /
+                                  static_cast<double>(s.checks)
+                            : 0.0;
+        });
+        _tracer->addChannel("filter_insns", [sw] {
+            return static_cast<double>(sw->stats().filterInsns);
+        });
+    }
+    if (_hwEngine) {
+        _hwEngine->setTracer(_tracer);
+        auto *engine = _hwEngine.get();
+        _tracer->addChannel("fast_fraction", [engine] {
+            const core::HwEngineStats &s = engine->stats();
+            uint64_t fast = 0;
+            for (size_t i = 0; i < s.flows.size(); ++i) {
+                core::HwSyscallResult probe;
+                probe.flow = static_cast<core::HwFlow>(i);
+                if (probe.fast())
+                    fast += s.flows[i];
+            }
+            return s.syscalls ? static_cast<double>(fast) /
+                                    static_cast<double>(s.syscalls)
+                              : 0.0;
+        });
+        _tracer->addChannel("stb_hit_rate", [engine] {
+            const core::StbStats &s = engine->stbStats();
+            return s.lookups ? static_cast<double>(s.hits) /
+                                   static_cast<double>(s.lookups)
+                             : 0.0;
+        });
+        _tracer->addChannel("slb_preload_hit_rate", [engine] {
+            const core::SlbStats &s = engine->slbStats();
+            return s.preloadProbes
+                ? static_cast<double>(s.preloadHits) /
+                      static_cast<double>(s.preloadProbes)
+                : 0.0;
+        });
+        _tracer->addChannel("slb_access_hit_rate", [engine] {
+            const core::SlbStats &s = engine->slbStats();
+            return s.accesses ? static_cast<double>(s.accessHits) /
+                                    static_cast<double>(s.accesses)
+                              : 0.0;
+        });
+        auto *proc = _hwProc.get();
+        _tracer->addChannel("vat_footprint_bytes", [proc] {
+            return static_cast<double>(proc->vat().footprintBytes());
+        });
+    }
+    if (_cache)
+        _cache->setTracer(_tracer);
 }
 
 EventPrice
@@ -71,21 +130,40 @@ MechanismPricer::price(const workload::TraceEvent &event,
     EventPrice price;
     switch (_mechanism) {
       case Mechanism::Insecure:
+        price.flow = obs::FlowCode::Unchecked;
         break;
 
       case Mechanism::Seccomp: {
         os::SeccompData data = event.req.toSeccompData();
+        price.flow = obs::FlowCode::Seccomp;
         for (unsigned copy = 0; copy < _filterCopies; ++copy) {
             seccomp::BpfResult r = _filter->run(data);
             price.checkNs +=
                 _costs.seccompEntryNs + r.insnsExecuted * _costs.bpfInsnNs;
             price.filterInsns += r.insnsExecuted;
+            if (!os::actionAllows(
+                    static_cast<os::SeccompAction>(r.action)))
+                price.flow = obs::FlowCode::Denied;
         }
         break;
       }
 
       case Mechanism::DracoSW: {
         core::SwCheckOutcome out = _sw->check(event.req);
+        switch (out.path) {
+          case core::SwPath::SptAllowAll:
+            price.flow = obs::FlowCode::SptAllowAll;
+            break;
+          case core::SwPath::VatHit:
+            price.flow = obs::FlowCode::VatHit;
+            break;
+          case core::SwPath::FilterAllowed:
+            price.flow = obs::FlowCode::FilterAllowed;
+            break;
+          case core::SwPath::FilterDenied:
+            price.flow = obs::FlowCode::Denied;
+            break;
+        }
         price.checkNs += _costs.dracoSptLookupNs;
         if (out.hashedBytes > 0) {
             price.checkNs += 2 *
@@ -112,6 +190,8 @@ MechanismPricer::price(const workload::TraceEvent &event,
 
         _hwEngine->onDispatch(event.req.pc);
         core::HwSyscallResult out = _hwEngine->onRobHead(event.req);
+        // HwFlow values 0–7 coincide with the first FlowCode values.
+        price.flow = static_cast<obs::FlowCode>(out.flow);
 
         // Preload fetches overlap with dispatch→head time.
         if (!out.preloadMemAddrs.empty()) {

@@ -20,6 +20,7 @@
 
 #include "core/hw_engine.hh"
 #include "core/software.hh"
+#include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "seccomp/filter_builder.hh"
 #include "seccomp/profile.hh"
@@ -38,12 +39,20 @@ struct PricerConfig {
     bool hwPreload = true;
     std::optional<std::array<core::TableGeometry, core::Slb::kMaxArgc>>
         slbGeometry;
+
+    /**
+     * Event tracer of the core this pricer models, or nullptr. The
+     * pricer attaches it to its checker/engine/cache and registers the
+     * mechanism's telemetry channels (hit-rate curves, VAT occupancy).
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** What one event cost. */
 struct EventPrice {
     double checkNs = 0.0;      ///< Time attributed to checking.
     uint64_t filterInsns = 0;  ///< BPF instructions executed (all copies).
+    obs::FlowCode flow = obs::FlowCode::Unchecked; ///< Span classification.
 };
 
 /**
@@ -102,6 +111,7 @@ class MechanismPricer
     std::unique_ptr<core::DracoHardwareEngine> _hwEngine;
     std::unique_ptr<CacheHierarchy> _cache;
     Rng _robRng;
+    obs::Tracer *_tracer = nullptr;
 };
 
 } // namespace draco::sim

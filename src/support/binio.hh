@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared little-endian binary encoding primitives.
+ *
+ * The `.dtrc` trace format and the `.devt` event-trace format encode
+ * the same way: fixed-width little-endian integers for headers and
+ * indices, LEB128 varints for counts and ids, and zigzag-mapped signed
+ * deltas for values that cluster around a running predecessor. Keeping
+ * the primitives here guarantees the two formats stay bit-compatible
+ * with each other's framing and that a fix to bounds checking lands in
+ * both decoders at once.
+ */
+
+#ifndef DRACO_SUPPORT_BINIO_HH
+#define DRACO_SUPPORT_BINIO_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace draco::binio {
+
+/** Append @p v little-endian as 4 bytes. */
+inline void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Append @p v little-endian as 8 bytes. */
+inline void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Append @p v as a LEB128 unsigned varint. */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** Append the zigzag-mapped signed delta @p now - @p prev as a varint. */
+inline void
+putDelta(std::vector<uint8_t> &out, uint64_t now, uint64_t prev)
+{
+    auto delta = static_cast<int64_t>(now - prev);
+    auto zigzag = static_cast<uint64_t>((delta << 1) ^ (delta >> 63));
+    putVarint(out, zigzag);
+}
+
+/**
+ * Decode one varint from @p buf at @p pos (advanced past it).
+ *
+ * @return false when the buffer ends mid-varint or the value would
+ *         exceed 64 bits.
+ */
+inline bool
+takeVarint(const std::vector<uint8_t> &buf, size_t &pos, uint64_t &out)
+{
+    out = 0;
+    unsigned shift = 0;
+    while (pos < buf.size() && shift < 64) {
+        uint8_t byte = buf[pos++];
+        out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+    return false;
+}
+
+/** Decode one zigzag delta and apply it to @p prev. */
+inline bool
+takeDelta(const std::vector<uint8_t> &buf, size_t &pos, uint64_t prev,
+          uint64_t &out)
+{
+    uint64_t zigzag;
+    if (!takeVarint(buf, pos, zigzag))
+        return false;
+    auto delta = static_cast<int64_t>((zigzag >> 1) ^
+                                      (~(zigzag & 1) + 1));
+    out = prev + static_cast<uint64_t>(delta);
+    return true;
+}
+
+/** Read exactly @p len bytes; @return false on short read. */
+inline bool
+readExact(std::istream &in, void *out, size_t len)
+{
+    in.read(static_cast<char *>(out), static_cast<std::streamsize>(len));
+    return static_cast<size_t>(in.gcount()) == len && !in.bad();
+}
+
+/** Read a 4-byte little-endian integer. */
+inline bool
+readU32(std::istream &in, uint32_t &out)
+{
+    uint8_t bytes[4];
+    if (!readExact(in, bytes, sizeof(bytes)))
+        return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+        out |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+    return true;
+}
+
+/** Read an 8-byte little-endian integer. */
+inline bool
+readU64(std::istream &in, uint64_t &out)
+{
+    uint8_t bytes[8];
+    if (!readExact(in, bytes, sizeof(bytes)))
+        return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+    return true;
+}
+
+} // namespace draco::binio
+
+#endif // DRACO_SUPPORT_BINIO_HH

@@ -1,33 +1,96 @@
 #include "support/logging.hh"
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
 
 namespace draco {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Info};
+/** @return The startup level: DRACO_LOG_LEVEL if set and valid, Info. */
+LogLevel
+startupLevel()
+{
+    const char *env = std::getenv("DRACO_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Info;
+    LogLevel level;
+    if (!parseLogLevel(env, level)) {
+        std::fprintf(stderr,
+                     "warn: DRACO_LOG_LEVEL='%s' is not a log level "
+                     "(debug|info|warn|error), using info\n", env);
+        return LogLevel::Info;
+    }
+    return level;
+}
+
+std::atomic<LogLevel> &
+levelVar()
+{
+    static std::atomic<LogLevel> level{startupLevel()};
+    return level;
+}
+
+thread_local std::string t_context;
 
 void
-emit(const char *tag, const char *fmt, va_list ap)
+emit(const char *tag, bool withContext, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
+    if (withContext && !t_context.empty())
+        std::fprintf(stderr, "%s: [%s] ", tag, t_context.c_str());
+    else
+        std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
 }
 
 } // namespace
 
+bool
+parseLogLevel(const char *text, LogLevel &out)
+{
+    if (!text)
+        return false;
+    std::string lowered;
+    for (const char *p = text; *p; ++p)
+        lowered.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p))));
+    if (lowered == "debug")
+        out = LogLevel::Debug;
+    else if (lowered == "info")
+        out = LogLevel::Info;
+    else if (lowered == "warn" || lowered == "warning")
+        out = LogLevel::Warn;
+    else if (lowered == "error")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
 void
 setLogLevel(LogLevel level)
 {
-    g_level.store(level, std::memory_order_relaxed);
+    levelVar().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level.load(std::memory_order_relaxed);
+    return levelVar().load(std::memory_order_relaxed);
+}
+
+void
+setLogContext(std::string context)
+{
+    t_context = std::move(context);
+}
+
+const std::string &
+logContext()
+{
+    return t_context;
 }
 
 void
@@ -37,7 +100,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    emit("info", fmt, ap);
+    emit("info", false, fmt, ap);
     va_end(ap);
 }
 
@@ -48,7 +111,7 @@ warn(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    emit("warn", fmt, ap);
+    emit("warn", true, fmt, ap);
     va_end(ap);
 }
 
@@ -59,7 +122,7 @@ debugLog(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    emit("debug", fmt, ap);
+    emit("debug", true, fmt, ap);
     va_end(ap);
 }
 
@@ -68,7 +131,7 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("fatal", fmt, ap);
+    emit("fatal", false, fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -78,7 +141,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("panic", fmt, ap);
+    emit("panic", false, fmt, ap);
     va_end(ap);
     std::abort();
 }

@@ -29,12 +29,58 @@ enum class LogLevel {
 /**
  * Global minimum level below which messages are suppressed.
  *
+ * The startup default honors the `DRACO_LOG_LEVEL` environment variable
+ * ("debug", "info", "warn", "error" — case-insensitive; unknown values
+ * are ignored with a warning) and falls back to Info.
+ *
  * @param level New minimum level.
  */
 void setLogLevel(LogLevel level);
 
 /** @return The current minimum log level. */
 LogLevel logLevel();
+
+/**
+ * Parse a `DRACO_LOG_LEVEL`-style spelling of a level.
+ *
+ * @param text Level name, case-insensitive; null is rejected (so the
+ *        result of getenv() can be passed straight through).
+ * @param out Receives the level on success.
+ * @return false when @p text names no level.
+ */
+bool parseLogLevel(const char *text, LogLevel &out);
+
+/**
+ * Set this thread's log context — a short tag naming what the thread is
+ * simulating right now (a trace track, a sweep cell). While non-empty
+ * it is prefixed to Debug and Warn messages as `[context]`, so messages
+ * from parallel cells are attributable.
+ *
+ * @param context New context ("" clears it).
+ */
+void setLogContext(std::string context);
+
+/** @return This thread's current log context ("" when unset). */
+const std::string &logContext();
+
+/** RAII guard: sets the thread's log context, restores it on exit. */
+class ScopedLogContext
+{
+  public:
+    explicit ScopedLogContext(std::string context)
+        : _saved(logContext())
+    {
+        setLogContext(std::move(context));
+    }
+
+    ~ScopedLogContext() { setLogContext(std::move(_saved)); }
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+
+  private:
+    std::string _saved;
+};
 
 /** Emit an informational message (printf-style). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -159,8 +159,15 @@ MetricRegistry::histogram(const std::string &name, double lo, double hi,
                           size_t buckets)
 {
     Metric &m = get(name, Metric::Kind::Hist);
-    if (!m.hist)
+    if (!m.hist) {
         m.hist = std::make_unique<Histogram>(lo, hi, buckets);
+    } else if (m.hist->lo() != lo || m.hist->hi() != hi ||
+               m.hist->buckets() != buckets) {
+        panic("metric '%s': histogram geometry mismatch: created as "
+              "[%g, %g) x %zu, requested [%g, %g) x %zu",
+              name.c_str(), m.hist->lo(), m.hist->hi(),
+              m.hist->buckets(), lo, hi, buckets);
+    }
     return *m.hist;
 }
 

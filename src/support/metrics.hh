@@ -57,8 +57,10 @@ class MetricRegistry
     RunningStat &runningStat(const std::string &name);
 
     /**
-     * @return A live Histogram instrument registered as @p name; the
-     *         geometry arguments apply only on first creation.
+     * @return A live Histogram instrument registered as @p name. The
+     *         geometry arguments apply on first creation; a later
+     *         lookup passing a different lo/hi/buckets is a bug in the
+     *         caller and panics with both geometries named.
      */
     Histogram &histogram(const std::string &name, double lo, double hi,
                          size_t buckets);

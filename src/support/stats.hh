@@ -91,6 +91,12 @@ class Histogram
     /** @return Inclusive lower edge of bucket i. */
     double bucketLo(size_t i) const;
 
+    /** @return Inclusive lower bound of the tracked range. */
+    double lo() const { return _lo; }
+
+    /** @return Exclusive upper bound of the tracked range. */
+    double hi() const { return _hi; }
+
     /** @return Number of buckets. */
     size_t buckets() const { return _counts.size(); }
 

@@ -4,46 +4,14 @@
 
 #include "hash/crc64.hh"
 #include "os/syscalls.hh"
+#include "support/binio.hh"
 #include "support/logging.hh"
 
 namespace draco::trace {
 
+using namespace binio;
+
 namespace {
-
-/** Fixed-width little-endian primitives. */
-void
-putU32(std::string &out, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putU64(std::string &out, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-/** LEB128 unsigned varint. */
-void
-putVarint(std::vector<uint8_t> &out, uint64_t v)
-{
-    while (v >= 0x80) {
-        out.push_back(static_cast<uint8_t>(v) | 0x80);
-        v >>= 7;
-    }
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-/** Zigzag-mapped signed delta as a varint. */
-void
-putDelta(std::vector<uint8_t> &out, uint64_t now, uint64_t prev)
-{
-    auto delta = static_cast<int64_t>(now - prev);
-    auto zigzag = static_cast<uint64_t>((delta << 1) ^ (delta >> 63));
-    putVarint(out, zigzag);
-}
 
 /** Pointer-argument slots of @p sid as a bitmask (0 = none known). */
 uint8_t
@@ -249,70 +217,6 @@ TraceWriter::finish()
 // --------------------------------------------------------------------
 // TraceReader
 // --------------------------------------------------------------------
-
-namespace {
-
-/** Bounded little-endian reads from a byte buffer. */
-bool
-takeVarint(const std::vector<uint8_t> &buf, size_t &pos, uint64_t &out)
-{
-    out = 0;
-    unsigned shift = 0;
-    while (pos < buf.size() && shift < 64) {
-        uint8_t byte = buf[pos++];
-        out |= static_cast<uint64_t>(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return true;
-        shift += 7;
-    }
-    return false;
-}
-
-bool
-takeDelta(const std::vector<uint8_t> &buf, size_t &pos, uint64_t prev,
-          uint64_t &out)
-{
-    uint64_t zigzag;
-    if (!takeVarint(buf, pos, zigzag))
-        return false;
-    auto delta = static_cast<int64_t>((zigzag >> 1) ^
-                                      (~(zigzag & 1) + 1));
-    out = prev + static_cast<uint64_t>(delta);
-    return true;
-}
-
-bool
-readExact(std::istream &in, void *out, size_t len)
-{
-    in.read(static_cast<char *>(out), static_cast<std::streamsize>(len));
-    return static_cast<size_t>(in.gcount()) == len && !in.bad();
-}
-
-bool
-readU32(std::istream &in, uint32_t &out)
-{
-    uint8_t bytes[4];
-    if (!readExact(in, bytes, sizeof(bytes)))
-        return false;
-    out = 0;
-    for (int i = 0; i < 4; ++i)
-        out |= static_cast<uint32_t>(bytes[i]) << (8 * i);
-    return true;
-}
-
-bool
-readU64(std::istream &in, uint64_t &out)
-{
-    uint8_t bytes[8];
-    if (!readExact(in, bytes, sizeof(bytes)))
-        return false;
-    out = 0;
-    for (int i = 0; i < 8; ++i)
-        out |= static_cast<uint64_t>(bytes[i]) << (8 * i);
-    return true;
-}
-
-} // namespace
 
 TraceReader::TraceReader(const std::string &path)
     : _in(path, std::ios::binary), _path(path)

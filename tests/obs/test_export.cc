@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hh"
+#include "obs/tracer.hh"
+
+namespace draco::obs {
+namespace {
+
+/** Temp path helper; files are removed by the fixture teardown. */
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+/** A small two-track session with events, spans, and samples. */
+void
+populate(TraceSession &session)
+{
+    Tracer *a = session.tracer("core00");
+    a->setPid(11);
+    a->setNow(100);
+    a->beginSyscall(3, 0x4000);
+    a->record(EventKind::StbHit, 3, 0x4000);
+    a->record(EventKind::SlbPreloadMiss, 3, 0x4000);
+    a->setNow(260);
+    a->endSyscall(FlowCode::F4);
+    a->addChannel("hit_rate", [] { return 0.75; });
+    a->setNow(1000);
+    a->maybeSample();
+    a->setNow(1100);
+    a->beginSyscall(3, 0x4000);
+    a->setNow(1105);
+    a->endSyscall(FlowCode::F1);
+
+    Tracer *b = session.tracer("core01");
+    b->setNow(50);
+    b->record(EventKind::VatInsert, 9, 0, 1, 12345678901ull);
+    b->record(EventKind::CacheFill, 0, 0, 2, 0xdeadbeef);
+}
+
+SessionConfig
+sessionConfig()
+{
+    SessionConfig config;
+    config.outPath = "unused.devt";
+    config.tracer.sampleEveryCycles = 500;
+    return config;
+}
+
+TEST(Devt, RoundTripPreservesEverything)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::string path = tempPath("roundtrip.devt");
+    ASSERT_TRUE(writeDevt(session.tracks(), path));
+
+    LoadedTrace loaded;
+    std::string error;
+    ASSERT_TRUE(loadDevt(path, loaded, error)) << error;
+    ASSERT_EQ(loaded.tracks.size(), 2u);
+
+    const TrackStore &a = loaded.tracks[0];
+    EXPECT_EQ(a.name, "core00");
+    const auto &orig = session.tracks()[0]->events();
+    ASSERT_EQ(a.events.size(), orig.size());
+    for (size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(a.events[i].cycle, orig[i].cycle) << i;
+        EXPECT_EQ(a.events[i].pc, orig[i].pc) << i;
+        EXPECT_EQ(a.events[i].value, orig[i].value) << i;
+        EXPECT_EQ(a.events[i].dur, orig[i].dur) << i;
+        EXPECT_EQ(a.events[i].pid, orig[i].pid) << i;
+        EXPECT_EQ(a.events[i].sid, orig[i].sid) << i;
+        EXPECT_EQ(a.events[i].kind, orig[i].kind) << i;
+        EXPECT_EQ(a.events[i].arg, orig[i].arg) << i;
+    }
+    ASSERT_EQ(a.series.size(), 1u);
+    EXPECT_EQ(a.series[0].name, "hit_rate");
+    ASSERT_EQ(a.sampleCycles.size(), 1u);
+    EXPECT_EQ(a.sampleCycles[0], 1000u);
+    EXPECT_EQ(a.series[0].values[0], 0.75); // Bit-exact, not approx.
+
+    const TrackStore &b = loaded.tracks[1];
+    EXPECT_EQ(b.name, "core01");
+    ASSERT_EQ(b.events.size(), 2u);
+    EXPECT_EQ(b.events[0].value, 12345678901ull);
+    EXPECT_EQ(b.events[1].value, 0xdeadbeefu);
+
+    std::remove(path.c_str());
+}
+
+TEST(Devt, ReencodeIsByteIdentical)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::ostringstream first;
+    writeDevt(
+        std::vector<TrackView>{viewOf(*session.tracks()[0]),
+                               viewOf(*session.tracks()[1])},
+        first);
+
+    std::string path = tempPath("reencode.devt");
+    ASSERT_TRUE(writeDevt(session.tracks(), path));
+    LoadedTrace loaded;
+    std::string error;
+    ASSERT_TRUE(loadDevt(path, loaded, error)) << error;
+    std::ostringstream second;
+    writeDevt(loaded.views(), second);
+
+    EXPECT_EQ(first.str(), second.str());
+    std::remove(path.c_str());
+}
+
+TEST(Devt, CorruptionFailsTheCrc)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::ostringstream buffer;
+    writeDevt(
+        std::vector<TrackView>{viewOf(*session.tracks()[0]),
+                               viewOf(*session.tracks()[1])},
+        buffer);
+    std::string bytes = buffer.str();
+    bytes[bytes.size() / 2] ^= 0x40; // Flip one payload bit.
+
+    std::string path = tempPath("corrupt.devt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_FALSE(loadDevt(path, loaded, error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Devt, TruncationIsDetected)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::string path = tempPath("full.devt");
+    ASSERT_TRUE(writeDevt(session.tracks(), path));
+
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::string truncPath = tempPath("trunc.devt");
+    {
+        std::ofstream out(truncPath, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_FALSE(loadDevt(truncPath, loaded, error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+    std::remove(truncPath.c_str());
+}
+
+TEST(Devt, BadMagicIsRejected)
+{
+    std::string path = tempPath("nottrace.devt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "definitely not a trace";
+    }
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_FALSE(loadDevt(path, loaded, error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(PerfettoJson, EmitsSpansInstantsArrowsAndCounters)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::ostringstream out;
+    writePerfettoJson(
+        std::vector<TrackView>{viewOf(*session.tracks()[0]),
+                               viewOf(*session.tracks()[1])},
+        out);
+    std::string json = out.str();
+
+    // Structure: the trace-event envelope with per-track names.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("core00"), std::string::npos);
+    EXPECT_NE(json.find("core01"), std::string::npos);
+
+    // The F4 span, its sub-events, the preload arrow, the counter.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"f4\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"f1\""), std::string::npos);
+    EXPECT_NE(json.find("stb_hit"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("core00.hit_rate"), std::string::npos);
+
+    // Balanced braces and brackets — cheap well-formedness check.
+    long braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += c == '{';
+        braces -= c == '}';
+        brackets += c == '[';
+        brackets -= c == ']';
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(PerfettoJson, WriteIsDeterministic)
+{
+    TraceSession session(sessionConfig());
+    populate(session);
+    std::ostringstream first, second;
+    std::vector<TrackView> views{viewOf(*session.tracks()[0]),
+                                 viewOf(*session.tracks()[1])};
+    writePerfettoJson(views, first);
+    writePerfettoJson(views, second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Export, EmptySessionStillWritesValidFiles)
+{
+    std::string path = tempPath("empty.devt");
+    ASSERT_TRUE(writeDevt(std::vector<TrackView>{}, path));
+    LoadedTrace loaded;
+    std::string error;
+    EXPECT_TRUE(loadDevt(path, loaded, error)) << error;
+    EXPECT_TRUE(loaded.tracks.empty());
+    std::remove(path.c_str());
+
+    std::ostringstream out;
+    writePerfettoJson(std::vector<TrackView>{}, out);
+    EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+}
+
+} // namespace
+} // namespace draco::obs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The tracing determinism contract: a traced run never perturbs the
+ * simulation, and the exported bytes are independent of how many
+ * worker threads recorded the trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hh"
+#include "obs/tracer.hh"
+#include "sim/machine.hh"
+#include "sim/multicore.hh"
+#include "support/threadpool.hh"
+#include "workload/appmodel.hh"
+
+namespace draco {
+namespace {
+
+struct Cell {
+    const char *workload;
+    sim::Mechanism mechanism;
+};
+
+const std::vector<Cell> kCells = {
+    {"redis", sim::Mechanism::DracoHW},
+    {"redis", sim::Mechanism::DracoSW},
+    {"nginx", sim::Mechanism::DracoHW},
+    {"pipe-ipc", sim::Mechanism::Seccomp},
+};
+
+/** Run one sweep cell, recording onto its own named track. */
+sim::RunResult
+runCell(const Cell &cell, obs::TraceSession *session)
+{
+    const auto *app = workload::workloadByName(cell.workload);
+    sim::RunOptions options;
+    options.mechanism = cell.mechanism;
+    options.steadyCalls = 2000;
+    options.warmupCalls = 500;
+    options.seed = splitSeed(7, app->name);
+    if (session) {
+        options.tracer = session->tracer(
+            std::string(sim::mechanismName(cell.mechanism)) + "/" +
+            app->name);
+    }
+    sim::AppProfiles profiles =
+        sim::makeAppProfiles(*app, options.seed, 5000);
+    sim::ExperimentRunner runner;
+    return runner.run(*app, profiles.complete, options);
+}
+
+/** Run the whole sweep on @p workers threads; return exported bytes. */
+void
+sweep(unsigned workers, std::string &devt, std::string &json)
+{
+    obs::SessionConfig config;
+    config.outPath = "unused.devt";
+    config.tracer.sampleEveryCycles = 20000;
+    obs::TraceSession session(config);
+
+    support::ThreadPool pool(workers);
+    pool.parallelFor(kCells.size(),
+                     [&](size_t i) { runCell(kCells[i], &session); });
+
+    std::vector<obs::TrackView> views;
+    for (const obs::Tracer *t : session.tracks())
+        views.push_back(obs::viewOf(*t));
+    std::ostringstream devtOut, jsonOut;
+    obs::writeDevt(views, devtOut);
+    obs::writePerfettoJson(views, jsonOut);
+    devt = devtOut.str();
+    json = jsonOut.str();
+}
+
+TEST(TraceDeterminism, ExportedBytesAreThreadCountInvariant)
+{
+    std::string devt1, json1, devt8, json8;
+    sweep(1, devt1, json1);
+    sweep(8, devt8, json8);
+
+    EXPECT_FALSE(devt1.empty());
+    EXPECT_FALSE(json1.empty());
+    EXPECT_EQ(devt1, devt8);
+    EXPECT_EQ(json1, json8);
+}
+
+TEST(TraceDeterminism, TracedRunMatchesUntracedBitForBit)
+{
+    for (const Cell &cell : kCells) {
+        obs::SessionConfig config;
+        config.outPath = "unused.devt";
+        config.tracer.sampleEveryCycles = 10000;
+        obs::TraceSession session(config);
+
+        sim::RunResult untraced = runCell(cell, nullptr);
+        sim::RunResult traced = runCell(cell, &session);
+        EXPECT_GT(session.totalEvents(), 0u);
+
+        EXPECT_EQ(traced.totalNs, untraced.totalNs) << cell.workload;
+        EXPECT_EQ(traced.insecureNs, untraced.insecureNs);
+        EXPECT_EQ(traced.checkNs, untraced.checkNs);
+        EXPECT_EQ(traced.syscalls, untraced.syscalls);
+        EXPECT_EQ(traced.vatFootprintBytes, untraced.vatFootprintBytes);
+        EXPECT_EQ(traced.filterInsnsTotal, untraced.filterInsnsTotal);
+    }
+}
+
+TEST(TraceDeterminism, MulticoreTracksOnePerCore)
+{
+    std::vector<sim::CoreAssignment> cores;
+    for (const char *name : {"redis", "nginx"})
+        cores.push_back(sim::CoreAssignment{
+            workload::workloadByName(name), sim::Mechanism::DracoHW, 1});
+
+    obs::SessionConfig sc;
+    sc.outPath = "unused.devt";
+    obs::TraceSession session(sc);
+
+    sim::MulticoreOptions options;
+    options.callsPerCore = 1000;
+    options.warmupCallsPerCore = 200;
+    options.session = &session;
+    options.trackPrefix = "run/";
+    sim::MulticoreSimulator sim;
+    auto untracedOptions = options;
+    untracedOptions.session = nullptr;
+
+    auto traced = sim.run(cores, options);
+    auto untraced = sim.run(cores, untracedOptions);
+
+    auto tracks = session.tracks();
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_EQ(tracks[0]->track(), "run/core00");
+    EXPECT_EQ(tracks[1]->track(), "run/core01");
+    EXPECT_GT(tracks[0]->events().size(), 0u);
+    EXPECT_GT(tracks[1]->events().size(), 0u);
+
+    ASSERT_EQ(traced.size(), untraced.size());
+    for (size_t i = 0; i < traced.size(); ++i) {
+        EXPECT_EQ(traced[i].totalNs, untraced[i].totalNs) << i;
+        EXPECT_EQ(traced[i].insecureNs, untraced[i].insecureNs) << i;
+    }
+}
+
+} // namespace
+} // namespace draco

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "obs/tracer.hh"
+
+namespace draco::obs {
+namespace {
+
+TEST(Tracer, DisabledTracerRecordsNothingAndAllocatesNothing)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_EQ(tracer.capacityBytes(), 0u);
+    EXPECT_EQ(tracer.events().capacity(), 0u);
+
+    tracer.setNow(100);
+    tracer.record(EventKind::StbHit, 3, 0x1000);
+    tracer.beginSyscall(3, 0x1000);
+    tracer.setNow(200);
+    tracer.endSyscall(FlowCode::F1);
+    tracer.maybeSample();
+
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.events().capacity(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    EXPECT_TRUE(tracer.sampleCycles().empty());
+    EXPECT_TRUE(tracer.series().empty());
+}
+
+TEST(Tracer, RecordStampsClockAndIdentity)
+{
+    TracerConfig config;
+    config.capacity = 16;
+    Tracer tracer(config, "t0");
+    EXPECT_TRUE(tracer.enabled());
+    EXPECT_EQ(tracer.track(), "t0");
+    EXPECT_EQ(tracer.capacityBytes(), 16 * sizeof(Event));
+
+    tracer.setNow(1234);
+    tracer.setPid(7);
+    tracer.record(EventKind::VatInsert, 42, 0xabcd, 2, 99);
+
+    ASSERT_EQ(tracer.events().size(), 1u);
+    const Event &e = tracer.events()[0];
+    EXPECT_EQ(e.cycle, 1234u);
+    EXPECT_EQ(e.pc, 0xabcdu);
+    EXPECT_EQ(e.value, 99u);
+    EXPECT_EQ(e.dur, 0u);
+    EXPECT_EQ(e.pid, 7u);
+    EXPECT_EQ(e.sid, 42);
+    EXPECT_EQ(e.kind, EventKind::VatInsert);
+    EXPECT_EQ(e.arg, 2);
+}
+
+TEST(Tracer, SetNowNsUsesTwoGigahertzClock)
+{
+    TracerConfig config;
+    Tracer tracer(config, "t0");
+    tracer.setNowNs(10.0); // 10 ns at 2 GHz = 20 cycles.
+    EXPECT_EQ(tracer.now(), 20u);
+    tracer.setNowNs(10.3);
+    EXPECT_EQ(tracer.now(), 21u); // Rounded, not truncated.
+}
+
+TEST(Tracer, FullRingDropsAndCounts)
+{
+    TracerConfig config;
+    config.capacity = 4;
+    Tracer tracer(config, "t0");
+    for (int i = 0; i < 10; ++i)
+        tracer.record(EventKind::StbHit);
+
+    EXPECT_EQ(tracer.events().size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    // The ring never grows past its one up-front allocation.
+    EXPECT_LE(tracer.events().capacity(), 4u);
+}
+
+TEST(Tracer, SyscallSpanMeasuresDuration)
+{
+    TracerConfig config;
+    Tracer tracer(config, "t0");
+
+    tracer.setNow(1000);
+    tracer.beginSyscall(17, 0x4000);
+    tracer.setNow(1150);
+    tracer.record(EventKind::SlbAccessHit, 17, 0x4000);
+    tracer.endSyscall(FlowCode::F3);
+
+    ASSERT_EQ(tracer.events().size(), 2u);
+    const Event &span = tracer.events()[1];
+    EXPECT_EQ(span.kind, EventKind::Syscall);
+    EXPECT_EQ(span.cycle, 1000u);
+    EXPECT_EQ(span.dur, 150u);
+    EXPECT_EQ(span.sid, 17);
+    EXPECT_EQ(span.pc, 0x4000u);
+    EXPECT_EQ(span.arg, static_cast<uint8_t>(FlowCode::F3));
+}
+
+TEST(Tracer, EndWithoutBeginIsIgnored)
+{
+    TracerConfig config;
+    Tracer tracer(config, "t0");
+    tracer.endSyscall(FlowCode::F1);
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, SamplerTakesOneSamplePerIntervalCrossing)
+{
+    TracerConfig config;
+    config.sampleEveryCycles = 100;
+    Tracer tracer(config, "t0");
+    double value = 0.0;
+    tracer.addChannel("v", [&value] { return value; });
+
+    tracer.setNow(50);
+    tracer.maybeSample(); // Before the first interval: nothing.
+    EXPECT_TRUE(tracer.sampleCycles().empty());
+
+    value = 1.0;
+    tracer.setNow(130);
+    tracer.maybeSample(); // Crossed 100.
+    value = 2.0;
+    tracer.setNow(140);
+    tracer.maybeSample(); // Same interval: nothing.
+    value = 3.0;
+    tracer.setNow(520);
+    tracer.maybeSample(); // Jumped over 200..500: one sample, not four.
+
+    ASSERT_EQ(tracer.sampleCycles().size(), 2u);
+    EXPECT_EQ(tracer.sampleCycles()[0], 130u);
+    EXPECT_EQ(tracer.sampleCycles()[1], 520u);
+    ASSERT_EQ(tracer.series().size(), 1u);
+    ASSERT_EQ(tracer.series()[0].values.size(), 2u);
+    EXPECT_EQ(tracer.series()[0].values[0], 1.0);
+    EXPECT_EQ(tracer.series()[0].values[1], 3.0);
+}
+
+TEST(Tracer, LateChannelBackfillsZeros)
+{
+    TracerConfig config;
+    config.sampleEveryCycles = 10;
+    Tracer tracer(config, "t0");
+    tracer.addChannel("early", [] { return 1.0; });
+    tracer.setNow(10);
+    tracer.maybeSample();
+
+    tracer.addChannel("late", [] { return 2.0; });
+    tracer.setNow(20);
+    tracer.maybeSample();
+
+    ASSERT_EQ(tracer.series().size(), 2u);
+    ASSERT_EQ(tracer.series()[1].values.size(), 2u);
+    EXPECT_EQ(tracer.series()[1].name, "late");
+    EXPECT_EQ(tracer.series()[1].values[0], 0.0); // Backfilled.
+    EXPECT_EQ(tracer.series()[1].values[1], 2.0);
+}
+
+TEST(Tracer, SamplerOnlyConfigAllocatesNoEventRing)
+{
+    TracerConfig config;
+    config.recordEvents = false;
+    config.sampleEveryCycles = 10;
+    Tracer tracer(config, "t0");
+    EXPECT_EQ(tracer.capacityBytes(), 0u);
+
+    tracer.record(EventKind::StbHit);
+    tracer.beginSyscall(1, 2);
+    tracer.setNow(15);
+    tracer.endSyscall(FlowCode::F1);
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.dropped(), 0u);
+
+    tracer.addChannel("v", [] { return 4.0; });
+    tracer.maybeSample();
+    EXPECT_EQ(tracer.sampleCycles().size(), 1u);
+}
+
+TEST(TraceSession, DisabledSessionHandsOutNullTracers)
+{
+    TraceSession session;
+    EXPECT_FALSE(session.enabled());
+    EXPECT_EQ(session.tracer("a"), nullptr);
+    EXPECT_TRUE(session.tracks().empty());
+    EXPECT_TRUE(session.writeOutput()); // No-op, not a failure.
+}
+
+TEST(TraceSession, TracksAreUniqueAndNameSorted)
+{
+    SessionConfig config;
+    config.outPath = "unused.devt";
+    TraceSession session(config);
+
+    Tracer *b = session.tracer("b");
+    Tracer *a = session.tracer("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(session.tracer("a"), a); // Same track, same tracer.
+
+    auto tracks = session.tracks();
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_EQ(tracks[0]->track(), "a");
+    EXPECT_EQ(tracks[1]->track(), "b");
+}
+
+TEST(TraceSession, TotalsAndMetricsAggregateAcrossTracks)
+{
+    SessionConfig config;
+    config.outPath = "unused.devt";
+    config.tracer.capacity = 2;
+    config.tracer.sampleEveryCycles = 10;
+    TraceSession session(config);
+
+    Tracer *a = session.tracer("a");
+    a->record(EventKind::StbHit);
+    a->record(EventKind::StbMiss);
+    a->record(EventKind::StbHit); // Dropped: capacity 2.
+    a->addChannel("v", [] { return 1.0; });
+    a->setNow(10);
+    a->maybeSample();
+    session.tracer("b")->record(EventKind::VatInsert);
+
+    EXPECT_EQ(session.totalEvents(), 3u);
+    EXPECT_EQ(session.totalDropped(), 1u);
+    EXPECT_EQ(session.totalSamples(), 1u);
+
+    MetricRegistry registry;
+    session.exportMetrics(registry, "obs");
+    EXPECT_EQ(registry.counter("obs.tracks"), 2u);
+    EXPECT_EQ(registry.counter("obs.events"), 3u);
+    EXPECT_EQ(registry.counter("obs.dropped"), 1u);
+    EXPECT_EQ(registry.counter("obs.samples"), 1u);
+}
+
+TEST(TraceSessionDeathTest, ReconfigureIsFatal)
+{
+    SessionConfig config;
+    config.outPath = "unused.devt";
+    TraceSession session(config);
+    EXPECT_EXIT(session.configure(config), testing::ExitedWithCode(1),
+                "already configured");
+}
+
+TEST(TraceSessionDeathTest, EmptyPathIsFatal)
+{
+    TraceSession session;
+    EXPECT_EXIT(session.configure(SessionConfig{}),
+                testing::ExitedWithCode(1), "empty output path");
+}
+
+} // namespace
+} // namespace draco::obs

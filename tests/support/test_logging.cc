@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace draco {
+namespace {
+
+TEST(Logging, ParseLogLevelAcceptsAllSpellings)
+{
+    LogLevel level;
+    ASSERT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    ASSERT_TRUE(parseLogLevel("INFO", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    ASSERT_TRUE(parseLogLevel("Warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    ASSERT_TRUE(parseLogLevel("warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    ASSERT_TRUE(parseLogLevel("error", level));
+    EXPECT_EQ(level, LogLevel::Error);
+}
+
+TEST(Logging, ParseLogLevelRejectsGarbage)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("verbose", level));
+    EXPECT_FALSE(parseLogLevel("", level));
+    EXPECT_FALSE(parseLogLevel(nullptr, level));
+    EXPECT_EQ(level, LogLevel::Info); // Untouched on failure.
+}
+
+TEST(Logging, SetLogLevelRoundTrips)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(saved);
+}
+
+TEST(Logging, ScopedContextSetsAndRestores)
+{
+    EXPECT_EQ(logContext(), "");
+    {
+        ScopedLogContext outer("core00");
+        EXPECT_EQ(logContext(), "core00");
+        {
+            ScopedLogContext inner("core01");
+            EXPECT_EQ(logContext(), "core01");
+        }
+        EXPECT_EQ(logContext(), "core00");
+    }
+    EXPECT_EQ(logContext(), "");
+}
+
+TEST(Logging, ContextIsPerThread)
+{
+    ScopedLogContext ctx("main-thread");
+    std::string seen = "unset";
+    std::thread worker([&seen] { seen = logContext(); });
+    worker.join();
+    EXPECT_EQ(seen, ""); // The worker never inherits our context.
+    EXPECT_EQ(logContext(), "main-thread");
+}
+
+} // namespace
+} // namespace draco

@@ -193,6 +193,24 @@ TEST(MetricRegistryMerge, CountersAddAndInstrumentsCombine)
     EXPECT_EQ(a.histogram("h", 0.0, 10.0, 5).total(), 2u);
 }
 
+TEST(MetricRegistry, HistogramSameGeometryReturnsSameInstrument)
+{
+    MetricRegistry reg;
+    reg.histogram("h", 0.0, 10.0, 5).add(1.0);
+    reg.histogram("h", 0.0, 10.0, 5).add(2.0);
+    EXPECT_EQ(reg.histogram("h", 0.0, 10.0, 5).total(), 2u);
+}
+
+TEST(MetricRegistryDeathTest, HistogramGeometryMismatchPanics)
+{
+    MetricRegistry reg;
+    reg.histogram("h", 0.0, 10.0, 5);
+    // A silently different [lo, hi) would mis-bucket every later add.
+    EXPECT_DEATH(reg.histogram("h", 0.0, 20.0, 5), "geometry mismatch");
+    EXPECT_DEATH(reg.histogram("h", 1.0, 10.0, 5), "geometry mismatch");
+    EXPECT_DEATH(reg.histogram("h", 0.0, 10.0, 10), "geometry mismatch");
+}
+
 TEST(MetricRegistryMerge, ShardOrderDoesNotChangeJson)
 {
     // The property parallel sweeps rely on: shards with disjoint gauge

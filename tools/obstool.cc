@@ -1,0 +1,354 @@
+/**
+ * @file
+ * obstool — inspect, convert, and compare `.devt` event traces.
+ *
+ * The companion binary of the obs subsystem: simulator runs export
+ * compact `.devt` traces (cheap to write, cheap to re-load), and
+ * obstool turns them into Perfetto timelines or terminal summaries
+ * after the fact — so a sweep can always record in binary and defer
+ * the JSON conversion to the one trace someone actually wants to look
+ * at.
+ *
+ * Usage:
+ *   obstool export <in.devt> <out.json|out.devt>
+ *   obstool stats <in.devt> [--json <file>]
+ *   obstool top <in.devt> [--by flow|sid|kind] [--limit N]
+ *   obstool diff <a.devt> <b.devt>
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.hh"
+#include "obs/export.hh"
+#include "os/syscalls.hh"
+#include "support/metrics.hh"
+
+using namespace draco;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: obstool export <in.devt> <out.json|out.devt>\n"
+                 "       obstool stats <in.devt> [--json <file>]\n"
+                 "       obstool top <in.devt> [--by flow|sid|kind] "
+                 "[--limit N]\n"
+                 "       obstool diff <a.devt> <b.devt>\n");
+    return 2;
+}
+
+bool
+hasSuffix(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Load @p path or exit with its error on stderr. */
+obs::LoadedTrace
+loadOrDie(const std::string &path)
+{
+    obs::LoadedTrace trace;
+    std::string error;
+    if (!obs::loadDevt(path, trace, error)) {
+        std::fprintf(stderr, "obstool: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(1);
+    }
+    return trace;
+}
+
+/** Aggregate counts of one loaded trace. */
+struct TraceSummary {
+    uint64_t events = 0;
+    uint64_t dropped = 0;
+    uint64_t samples = 0;
+    uint64_t byKind[obs::kEventKinds] = {};
+    uint64_t byFlow[obs::kFlowCodes] = {};   ///< Syscall spans only.
+    double flowCycles[obs::kFlowCodes] = {}; ///< Summed span durations.
+};
+
+TraceSummary
+summarize(const obs::LoadedTrace &trace)
+{
+    TraceSummary sum;
+    for (const obs::TrackStore &track : trace.tracks) {
+        sum.events += track.events.size();
+        sum.dropped += track.dropped;
+        sum.samples +=
+            track.sampleCycles.size() * track.series.size();
+        for (const obs::Event &e : track.events) {
+            ++sum.byKind[static_cast<size_t>(e.kind)];
+            if (e.kind == obs::EventKind::Syscall &&
+                e.arg < obs::kFlowCodes) {
+                ++sum.byFlow[e.arg];
+                sum.flowCycles[e.arg] += e.dur;
+            }
+        }
+    }
+    return sum;
+}
+
+int
+cmdExport(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return usage();
+    obs::LoadedTrace trace = loadOrDie(args[0]);
+
+    bool ok = hasSuffix(args[1], ".json")
+        ? obs::writePerfettoJson(trace.views(), args[1])
+        : obs::writeDevt(trace.views(), args[1]);
+    if (!ok) {
+        std::fprintf(stderr, "obstool: failed to write '%s'\n",
+                     args[1].c_str());
+        return 1;
+    }
+    uint64_t events = 0;
+    for (const obs::TrackStore &track : trace.tracks)
+        events += track.events.size();
+    std::printf("exported %zu tracks, %llu events -> %s\n",
+                trace.tracks.size(),
+                static_cast<unsigned long long>(events),
+                args[1].c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string jsonPath;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--json" && i + 1 < args.size())
+            jsonPath = args[++i];
+        else
+            return usage();
+    }
+
+    obs::LoadedTrace trace = loadOrDie(args[0]);
+    TraceSummary sum = summarize(trace);
+
+    std::printf("tracks:  %zu\n", trace.tracks.size());
+    std::printf("events:  %llu (%llu dropped)\n",
+                static_cast<unsigned long long>(sum.events),
+                static_cast<unsigned long long>(sum.dropped));
+    std::printf("samples: %llu\n",
+                static_cast<unsigned long long>(sum.samples));
+    for (const obs::TrackStore &track : trace.tracks) {
+        uint64_t spanEnd = 0;
+        for (const obs::Event &e : track.events)
+            spanEnd = std::max(spanEnd, e.cycle + e.dur);
+        std::printf("  %-28s %8zu events  %6zu samples x %zu ch"
+                    "  %12llu cycles\n",
+                    track.name.c_str(), track.events.size(),
+                    track.sampleCycles.size(), track.series.size(),
+                    static_cast<unsigned long long>(spanEnd));
+    }
+
+    std::printf("by kind:\n");
+    for (size_t k = 0; k < obs::kEventKinds; ++k)
+        if (sum.byKind[k])
+            std::printf("  %-18s %10llu\n",
+                        obs::eventKindName(
+                            static_cast<obs::EventKind>(k)),
+                        static_cast<unsigned long long>(sum.byKind[k]));
+    std::printf("by flow (syscall spans):\n");
+    for (size_t f = 0; f < obs::kFlowCodes; ++f)
+        if (sum.byFlow[f])
+            std::printf("  %-18s %10llu  avg %8.1f cycles\n",
+                        obs::flowCodeName(
+                            static_cast<obs::FlowCode>(f)),
+                        static_cast<unsigned long long>(sum.byFlow[f]),
+                        sum.flowCycles[f] /
+                            static_cast<double>(sum.byFlow[f]));
+
+    if (!jsonPath.empty()) {
+        MetricRegistry registry;
+        registry.setText("trace.file", args[0]);
+        registry.setCounter("trace.tracks", trace.tracks.size());
+        registry.setCounter("trace.events", sum.events);
+        registry.setCounter("trace.dropped", sum.dropped);
+        registry.setCounter("trace.samples", sum.samples);
+        for (size_t k = 0; k < obs::kEventKinds; ++k)
+            if (sum.byKind[k])
+                registry.setCounter(
+                    std::string("trace.kind.") +
+                        obs::eventKindName(
+                            static_cast<obs::EventKind>(k)),
+                    sum.byKind[k]);
+        for (size_t f = 0; f < obs::kFlowCodes; ++f)
+            if (sum.byFlow[f])
+                registry.setCounter(
+                    std::string("trace.flow.") +
+                        obs::flowCodeName(
+                            static_cast<obs::FlowCode>(f)),
+                    sum.byFlow[f]);
+        registry.writeJsonFile(jsonPath);
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return 0;
+}
+
+int
+cmdTop(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string by = "flow";
+    size_t limit = 15;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--by" && i + 1 < args.size())
+            by = args[++i];
+        else if (args[i] == "--limit" && i + 1 < args.size())
+            limit = std::strtoull(args[++i].c_str(), nullptr, 10);
+        else
+            return usage();
+    }
+    if (by != "flow" && by != "sid" && by != "kind")
+        return usage();
+
+    obs::LoadedTrace trace = loadOrDie(args[0]);
+
+    // key -> (count, summed span cycles)
+    std::map<std::string, std::pair<uint64_t, double>> groups;
+    uint64_t total = 0;
+    for (const obs::TrackStore &track : trace.tracks) {
+        for (const obs::Event &e : track.events) {
+            std::string key;
+            double cycles = 0.0;
+            if (by == "kind") {
+                key = obs::eventKindName(e.kind);
+            } else {
+                // Flow and sid rank the syscall spans only.
+                if (e.kind != obs::EventKind::Syscall)
+                    continue;
+                cycles = e.dur;
+                if (by == "flow") {
+                    key = e.arg < obs::kFlowCodes
+                        ? obs::flowCodeName(
+                              static_cast<obs::FlowCode>(e.arg))
+                        : "?";
+                } else {
+                    const auto *desc = os::syscallById(e.sid);
+                    key = desc ? desc->name
+                               : "sid" + std::to_string(e.sid);
+                }
+            }
+            auto &slot = groups[key];
+            ++slot.first;
+            slot.second += cycles;
+            ++total;
+        }
+    }
+
+    std::vector<std::pair<uint64_t, std::string>> ranked;
+    ranked.reserve(groups.size());
+    for (const auto &[key, slot] : groups)
+        ranked.emplace_back(slot.first, key);
+    std::sort(ranked.rbegin(), ranked.rend());
+
+    std::printf("top %s (%llu %s):\n", by.c_str(),
+                static_cast<unsigned long long>(total),
+                by == "kind" ? "events" : "syscall spans");
+    for (size_t i = 0; i < ranked.size() && i < limit; ++i) {
+        const auto &slot = groups[ranked[i].second];
+        if (by == "kind")
+            std::printf("  %6.2f%% %10llu  %s\n",
+                        100.0 * static_cast<double>(slot.first) /
+                            static_cast<double>(total),
+                        static_cast<unsigned long long>(slot.first),
+                        ranked[i].second.c_str());
+        else
+            std::printf("  %6.2f%% %10llu  avg %8.1f cycles  %s\n",
+                        100.0 * static_cast<double>(slot.first) /
+                            static_cast<double>(total),
+                        static_cast<unsigned long long>(slot.first),
+                        slot.second / static_cast<double>(slot.first),
+                        ranked[i].second.c_str());
+    }
+    if (ranked.size() > limit)
+        std::printf("  ... %zu more\n", ranked.size() - limit);
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return usage();
+    obs::LoadedTrace a = loadOrDie(args[0]);
+    obs::LoadedTrace b = loadOrDie(args[1]);
+    TraceSummary sa = summarize(a);
+    TraceSummary sb = summarize(b);
+
+    int differences = 0;
+    auto compare = [&](const char *what, uint64_t va, uint64_t vb) {
+        if (va == vb)
+            return;
+        ++differences;
+        std::printf("  %-22s %10llu -> %10llu (%+lld)\n", what,
+                    static_cast<unsigned long long>(va),
+                    static_cast<unsigned long long>(vb),
+                    static_cast<long long>(vb) -
+                        static_cast<long long>(va));
+    };
+
+    std::printf("diff %s -> %s\n", args[0].c_str(), args[1].c_str());
+    compare("tracks", a.tracks.size(), b.tracks.size());
+    compare("events", sa.events, sb.events);
+    compare("dropped", sa.dropped, sb.dropped);
+    compare("samples", sa.samples, sb.samples);
+    for (size_t k = 0; k < obs::kEventKinds; ++k)
+        compare(obs::eventKindName(static_cast<obs::EventKind>(k)),
+                sa.byKind[k], sb.byKind[k]);
+    for (size_t f = 0; f < obs::kFlowCodes; ++f)
+        compare(obs::flowCodeName(static_cast<obs::FlowCode>(f)),
+                sa.byFlow[f], sb.byFlow[f]);
+
+    // Per-track event counts, matched by name.
+    std::map<std::string, std::pair<uint64_t, uint64_t>> byTrack;
+    for (const obs::TrackStore &track : a.tracks)
+        byTrack[track.name].first = track.events.size();
+    for (const obs::TrackStore &track : b.tracks)
+        byTrack[track.name].second = track.events.size();
+    for (const auto &[name, counts] : byTrack)
+        compare(name.c_str(), counts.first, counts.second);
+
+    if (!differences) {
+        std::printf("  identical counts\n");
+        return 0;
+    }
+    std::printf("%d differing counters\n", differences);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "export")
+        return cmdExport(args);
+    if (command == "stats")
+        return cmdStats(args);
+    if (command == "top")
+        return cmdTop(args);
+    if (command == "diff")
+        return cmdDiff(args);
+    return usage();
+}
