@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/cliflags.hh"
+
 namespace draco::bench {
 
 size_t
@@ -27,28 +29,8 @@ namespace {
 /** Thread count requested via `--threads N` (0: not given). */
 unsigned threadsArg = 0;
 
-void
-setThreadsArg(const std::string &value)
-{
-    long v = std::atol(value.c_str());
-    if (v > 0)
-        threadsArg = static_cast<unsigned>(v);
-    else
-        warn("ignoring invalid --threads '%s'", value.c_str());
-}
-
 /** Sample interval requested via `--sample-every N` (0: not given). */
 uint64_t sampleEveryArg = 0;
-
-void
-setSampleEveryArg(const std::string &value)
-{
-    long long v = std::atoll(value.c_str());
-    if (v > 0)
-        sampleEveryArg = static_cast<uint64_t>(v);
-    else
-        warn("ignoring invalid --sample-every '%s'", value.c_str());
-}
 
 /**
  * Enable benchTraceSession() from the parsed `--trace-out` /
@@ -139,27 +121,19 @@ workloadSeed(const workload::AppModel &app)
 BenchReport::BenchReport(const std::string &name, int argc, char **argv)
     : _name(name)
 {
-    std::string traceOut;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc)
-            _path = argv[++i];
-        else if (arg.rfind("--json=", 0) == 0)
-            _path = arg.substr(7);
-        else if (arg == "--threads" && i + 1 < argc)
-            setThreadsArg(argv[++i]);
-        else if (arg.rfind("--threads=", 0) == 0)
-            setThreadsArg(arg.substr(10));
-        else if (arg == "--trace-out" && i + 1 < argc)
-            traceOut = argv[++i];
-        else if (arg.rfind("--trace-out=", 0) == 0)
-            traceOut = arg.substr(12);
-        else if (arg == "--sample-every" && i + 1 < argc)
-            setSampleEveryArg(argv[++i]);
-        else if (arg.rfind("--sample-every=", 0) == 0)
-            setSampleEveryArg(arg.substr(15));
-    }
-    configureTraceSession(std::move(traceOut));
+    // Lenient parse: bench binaries layer their own argv handling on
+    // top of the common flags, so unknown tokens pass through and
+    // malformed values of known flags warn and keep their defaults.
+    support::CliFlags flags(_name);
+    flags.addCommon();
+    flags.parse(argc, argv, /*lenient=*/true);
+    if (flags.given("json"))
+        _path = flags.str("json");
+    if (flags.given("threads"))
+        threadsArg = static_cast<unsigned>(flags.uintValue("threads"));
+    if (flags.given("sample-every"))
+        sampleEveryArg = flags.uintValue("sample-every");
+    configureTraceSession(flags.str("trace-out"));
     if (_path.empty()) {
         if (const char *dir = std::getenv("DRACO_BENCH_JSON"); dir && *dir)
             _path = std::string(dir) + "/BENCH_" + _name + ".json";

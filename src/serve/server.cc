@@ -1,0 +1,443 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace draco::serve {
+
+namespace {
+
+/** Fill @p addr with @p path; false when it does not fit sun_path. */
+bool
+makeAddress(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+// ---- SocketServer ----
+
+SocketServer::SocketServer(CheckService &service, std::string socketPath)
+    : _service(service), _socketPath(std::move(socketPath))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+bool
+SocketServer::start()
+{
+    sockaddr_un addr;
+    if (!makeAddress(_socketPath, addr)) {
+        warn("dracod: socket path too long: %s", _socketPath.c_str());
+        return false;
+    }
+    _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (_listenFd < 0) {
+        warn("dracod: socket(): %s", std::strerror(errno));
+        return false;
+    }
+    ::unlink(_socketPath.c_str());
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(_listenFd, 16) < 0) {
+        warn("dracod: bind/listen %s: %s", _socketPath.c_str(),
+             std::strerror(errno));
+        ::close(_listenFd);
+        _listenFd = -1;
+        return false;
+    }
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+SocketServer::acceptLoop()
+{
+    ScopedLogContext logContext("dracod/accept");
+    for (;;) {
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (!_stop.load())
+                warn("dracod: accept(): %s", std::strerror(errno));
+            break;
+        }
+        if (_stop.load()) {
+            ::close(fd);
+            break;
+        }
+        _accepted.fetch_add(1);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *c = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(_connMutex);
+            _connections.push_back(std::move(conn));
+        }
+        c->writer = std::thread([this, c] { writerLoop(c); });
+        c->reader = std::thread([this, c] { readerLoop(c); });
+    }
+}
+
+void
+SocketServer::sendFrame(Connection *conn, std::vector<uint8_t> payload)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->closing)
+            return;
+        conn->outbox.push_back(std::move(payload));
+    }
+    conn->wake.notify_all();
+}
+
+void
+SocketServer::writerLoop(Connection *conn)
+{
+    ScopedLogContext logContext("dracod/writer");
+    for (;;) {
+        std::vector<uint8_t> payload;
+        {
+            std::unique_lock<std::mutex> lock(conn->mutex);
+            conn->wake.wait(lock, [&] {
+                return !conn->outbox.empty() || conn->closing;
+            });
+            if (conn->outbox.empty())
+                break; // closing and drained
+            payload = std::move(conn->outbox.front());
+            conn->outbox.pop_front();
+        }
+        if (!conn->writeFailed && !wire::writeFrame(conn->fd, payload))
+            conn->writeFailed = true; // keep draining, drop frames
+    }
+}
+
+bool
+SocketServer::handleFrame(Connection *conn,
+                          const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> reply;
+    switch (wire::peekType(payload)) {
+      case wire::MsgType::Hello: {
+        wire::Hello msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        wire::HelloReply r;
+        r.version = wire::kProtocolVersion;
+        r.shards = _service.shards();
+        wire::encode(reply, r);
+        sendFrame(conn, std::move(reply));
+        return true;
+      }
+      case wire::MsgType::CreateTenant: {
+        wire::CreateTenant msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        wire::CreateTenantReply r;
+        std::optional<seccomp::Profile> profile =
+            builtinProfileByName(msg.profile);
+        if (!profile) {
+            r.error = "unknown profile: " + msg.profile;
+        } else {
+            TenantOptions opts;
+            if (msg.filterCopies > 0)
+                opts.filterCopies = msg.filterCopies;
+            if (msg.maxInFlight > 0)
+                opts.maxInFlight = msg.maxInFlight;
+            r.tenantId =
+                _service.createTenant(msg.name, *profile, opts);
+            if (r.tenantId == kInvalidTenant)
+                r.error = "tenant table full or service stopping";
+        }
+        wire::encode(reply, r);
+        sendFrame(conn, std::move(reply));
+        return true;
+      }
+      case wire::MsgType::CheckBatch: {
+        // The reply is produced by the shard worker when the batch
+        // completes, so the reader keeps decoding the next frame and a
+        // connection can pipeline many batches.
+        struct Pending {
+            wire::CheckBatchReply reply;
+            Batch batch;
+        };
+        auto ctx = std::make_shared<Pending>();
+        wire::CheckBatch msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        ctx->reply.batchId = msg.batchId;
+        ctx->reply.resps.resize(msg.reqs.size());
+        if (msg.reqs.empty()) {
+            wire::encode(reply, ctx->reply);
+            sendFrame(conn, std::move(reply));
+            return true;
+        }
+        conn->inflight.fetch_add(1);
+        // The requests must outlive the submit; move them into the
+        // context so the callback owns everything it needs.
+        auto reqs = std::make_shared<std::vector<os::SyscallRequest>>(
+            std::move(msg.reqs));
+        TenantId tenantId = msg.tenantId;
+        ctx->batch.onComplete([this, conn, ctx, reqs] {
+            std::vector<uint8_t> buf;
+            wire::encode(buf, ctx->reply);
+            sendFrame(conn, std::move(buf));
+            conn->inflight.fetch_sub(1);
+            conn->wake.notify_all();
+        });
+        _service.submitBatch(tenantId, reqs->data(),
+                             static_cast<uint32_t>(reqs->size()),
+                             ctx->reply.resps.data(), ctx->batch);
+        return true;
+      }
+      case wire::MsgType::TenantStatsReq: {
+        wire::TenantStatsReq msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        wire::TenantStatsReply r;
+        r.ok = _service.tenantStats(msg.tenantId, r.stats);
+        wire::encode(reply, r);
+        sendFrame(conn, std::move(reply));
+        return true;
+      }
+      case wire::MsgType::EvictTenant: {
+        wire::EvictTenant msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        wire::EvictTenantReply r;
+        r.ok = _service.evictTenant(msg.tenantId);
+        wire::encode(reply, r);
+        sendFrame(conn, std::move(reply));
+        return true;
+      }
+      case wire::MsgType::Shutdown: {
+        wire::encodeShutdownReply(reply);
+        sendFrame(conn, std::move(reply));
+        requestStop();
+        return false;
+      }
+      default:
+        warn("dracod: unexpected frame type %u, closing connection",
+             static_cast<unsigned>(wire::peekType(payload)));
+        return false;
+    }
+}
+
+void
+SocketServer::readerLoop(Connection *conn)
+{
+    ScopedLogContext logContext("dracod/reader");
+    std::vector<uint8_t> payload;
+    while (wire::readFrame(conn->fd, payload)) {
+        if (!handleFrame(conn, payload))
+            break;
+    }
+}
+
+void
+SocketServer::requestStop()
+{
+    if (_stop.exchange(true))
+        return;
+    if (_listenFd >= 0)
+        ::shutdown(_listenFd, SHUT_RDWR);
+    _waitCv.notify_all();
+}
+
+void
+SocketServer::wait()
+{
+    {
+        std::unique_lock<std::mutex> lock(_waitMutex);
+        _waitCv.wait(lock, [this] { return _stop.load(); });
+    }
+    stop();
+}
+
+void
+SocketServer::stop()
+{
+    requestStop();
+    if (_stopped.exchange(true))
+        return;
+
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+
+    std::lock_guard<std::mutex> lock(_connMutex);
+    for (auto &conn : _connections) {
+        // Unblock the reader; it stops decoding new frames.
+        ::shutdown(conn->fd, SHUT_RD);
+        if (conn->reader.joinable())
+            conn->reader.join();
+        // Batches still in the service must finish and enqueue their
+        // replies before the writer is told to drain and exit.
+        {
+            std::unique_lock<std::mutex> connLock(conn->mutex);
+            conn->wake.wait(connLock, [&] {
+                return conn->inflight.load() == 0;
+            });
+            conn->closing = true;
+        }
+        conn->wake.notify_all();
+        if (conn->writer.joinable())
+            conn->writer.join();
+        ::close(conn->fd);
+    }
+    _connections.clear();
+    ::unlink(_socketPath.c_str());
+}
+
+// ---- SocketClient ----
+
+std::unique_ptr<SocketClient>
+SocketClient::connect(const std::string &socketPath)
+{
+    sockaddr_un addr;
+    if (!makeAddress(socketPath, addr)) {
+        warn("dracoload: socket path too long: %s", socketPath.c_str());
+        return nullptr;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("dracoload: socket(): %s", std::strerror(errno));
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        warn("dracoload: connect %s: %s", socketPath.c_str(),
+             std::strerror(errno));
+        ::close(fd);
+        return nullptr;
+    }
+
+    auto client = std::unique_ptr<SocketClient>(new SocketClient(fd));
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, wire::Hello{});
+    wire::HelloReply hello;
+    if (!client->roundTrip(request, reply) ||
+        !wire::decode(reply, hello) ||
+        hello.version != wire::kProtocolVersion) {
+        warn("dracoload: handshake with %s failed", socketPath.c_str());
+        return nullptr;
+    }
+    client->_serverShards = hello.shards;
+    return client;
+}
+
+SocketClient::~SocketClient()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+bool
+SocketClient::roundTrip(const std::vector<uint8_t> &request,
+                        std::vector<uint8_t> &reply)
+{
+    return wire::writeFrame(_fd, request) && wire::readFrame(_fd, reply);
+}
+
+TenantId
+SocketClient::createTenant(const std::string &name,
+                           const std::string &profileName,
+                           const TenantOptions &options)
+{
+    wire::CreateTenant msg;
+    msg.name = name;
+    msg.profile = profileName;
+    msg.maxInFlight = options.maxInFlight;
+    msg.filterCopies = static_cast<uint8_t>(options.filterCopies);
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, msg);
+    wire::CreateTenantReply r;
+    if (!roundTrip(request, reply) || !wire::decode(reply, r)) {
+        warn("dracoload: CreateTenant transport failure");
+        return kInvalidTenant;
+    }
+    if (r.tenantId == kInvalidTenant && !r.error.empty())
+        warn("dracoload: CreateTenant '%s': %s", name.c_str(),
+             r.error.c_str());
+    return r.tenantId;
+}
+
+bool
+SocketClient::checkBatch(TenantId id, const os::SyscallRequest *reqs,
+                         uint32_t count, CheckResponse *resps)
+{
+    wire::CheckBatch msg;
+    msg.batchId = _nextBatchId++;
+    msg.tenantId = id;
+    msg.reqs.assign(reqs, reqs + count);
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, msg);
+    wire::CheckBatchReply r;
+    if (!roundTrip(request, reply) || !wire::decode(reply, r) ||
+        r.batchId != msg.batchId || r.resps.size() != count) {
+        return false;
+    }
+    std::copy(r.resps.begin(), r.resps.end(), resps);
+    return true;
+}
+
+bool
+SocketClient::tenantStats(TenantId id, TenantStats &out)
+{
+    wire::TenantStatsReq msg;
+    msg.tenantId = id;
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, msg);
+    wire::TenantStatsReply r;
+    if (!roundTrip(request, reply) || !wire::decode(reply, r) || !r.ok)
+        return false;
+    out = r.stats;
+    return true;
+}
+
+bool
+SocketClient::evictTenant(TenantId id)
+{
+    wire::EvictTenant msg;
+    msg.tenantId = id;
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, msg);
+    wire::EvictTenantReply r;
+    return roundTrip(request, reply) && wire::decode(reply, r) && r.ok;
+}
+
+bool
+SocketClient::shutdownServer()
+{
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encodeShutdown(request);
+    return roundTrip(request, reply) &&
+           wire::peekType(reply) == wire::MsgType::ShutdownReply;
+}
+
+} // namespace draco::serve

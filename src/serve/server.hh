@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The dracod socket frontend.
+ *
+ * SocketServer exposes a CheckService over a Unix-domain stream socket
+ * speaking the serve/wire protocol. Each accepted connection gets a
+ * reader thread (decodes frames, handles control messages inline,
+ * submits CheckBatch work to the service) and a writer thread draining
+ * a per-connection outbox — so check replies are enqueued by shard
+ * workers as batches complete and a connection can keep many batches in
+ * flight (open-loop pipelining) without any thread lock-stepping on the
+ * slowest one. A Shutdown frame (or requestStop()) stops the daemon:
+ * the listener closes, in-flight batches drain, replies flush, and
+ * wait() returns.
+ *
+ * SocketClient is the lock-step counterpart: one outstanding request at
+ * a time, so the next frame on the wire is always the awaited reply.
+ * Open-loop load generation bypasses it and pipelines raw frames (see
+ * tools/dracoload.cc).
+ */
+
+#ifndef DRACO_SERVE_SERVER_HH
+#define DRACO_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/service.hh"
+#include "serve/wire.hh"
+
+namespace draco::serve {
+
+/**
+ * Wire-protocol server for one CheckService (see file comment).
+ */
+class SocketServer
+{
+  public:
+    /**
+     * @param service Backing service (not owned, must outlive this).
+     * @param socketPath Filesystem path to bind (unlinked first).
+     */
+    SocketServer(CheckService &service, std::string socketPath);
+
+    /** Calls stop(). */
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind, listen, and start accepting.
+     *
+     * @return false (with a warning) when the socket cannot be bound.
+     */
+    bool start();
+
+    /** Block until a Shutdown frame or requestStop() stops the server. */
+    void wait();
+
+    /** Begin shutdown from any thread; idempotent. */
+    void requestStop();
+
+    /** Stop and join everything; idempotent. wait() returns after. */
+    void stop();
+
+    /** @return true once shutdown has begun. */
+    bool stopRequested() const { return _stop.load(); }
+
+    /** @return Connections accepted over the server's lifetime. */
+    uint64_t connectionsAccepted() const
+    {
+        return _accepted.load();
+    }
+
+    const std::string &socketPath() const { return _socketPath; }
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::thread reader;
+        std::thread writer;
+
+        std::mutex mutex;
+        std::condition_variable wake;
+        std::deque<std::vector<uint8_t>> outbox;
+        bool closing = false;      ///< Writer exits once outbox drains.
+        bool writeFailed = false;
+
+        /** CheckBatch submits whose completion has not enqueued yet. */
+        std::atomic<uint32_t> inflight{0};
+    };
+
+    void acceptLoop();
+    void readerLoop(Connection *conn);
+    void writerLoop(Connection *conn);
+    void sendFrame(Connection *conn, std::vector<uint8_t> payload);
+    bool handleFrame(Connection *conn,
+                     const std::vector<uint8_t> &payload);
+
+    CheckService &_service;
+    std::string _socketPath;
+    int _listenFd = -1;
+    std::thread _acceptThread;
+    std::atomic<bool> _stop{false};
+    std::atomic<bool> _stopped{false};
+    std::atomic<uint64_t> _accepted{0};
+
+    std::mutex _connMutex;
+    std::list<std::unique_ptr<Connection>> _connections;
+
+    std::mutex _waitMutex;
+    std::condition_variable _waitCv;
+};
+
+/**
+ * Lock-step wire-protocol client (see file comment).
+ */
+class SocketClient final : public Client
+{
+  public:
+    /**
+     * Connect to @p socketPath and exchange Hello.
+     *
+     * @return nullptr (with a warning) on connect/handshake failure.
+     */
+    static std::unique_ptr<SocketClient>
+    connect(const std::string &socketPath);
+
+    ~SocketClient() override;
+
+    SocketClient(const SocketClient &) = delete;
+    SocketClient &operator=(const SocketClient &) = delete;
+
+    TenantId createTenant(const std::string &name,
+                          const std::string &profileName,
+                          const TenantOptions &options = {}) override;
+
+    bool checkBatch(TenantId id, const os::SyscallRequest *reqs,
+                    uint32_t count, CheckResponse *resps) override;
+
+    bool tenantStats(TenantId id, TenantStats &out) override;
+
+    bool evictTenant(TenantId id) override;
+
+    /** Ask the daemon to shut down. @return false on transport error. */
+    bool shutdownServer();
+
+    /** @return Shard count the server reported at Hello. */
+    uint32_t serverShards() const { return _serverShards; }
+
+    /** @return The connected socket fd (open-loop raw-frame access). */
+    int fd() const { return _fd; }
+
+  private:
+    explicit SocketClient(int fd) : _fd(fd) {}
+
+    /** Send @p request and read the next frame into @p reply. */
+    bool roundTrip(const std::vector<uint8_t> &request,
+                   std::vector<uint8_t> &reply);
+
+    int _fd;
+    uint32_t _serverShards = 0;
+    uint64_t _nextBatchId = 1;
+};
+
+} // namespace draco::serve
+
+#endif // DRACO_SERVE_SERVER_HH

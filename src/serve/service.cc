@@ -1,0 +1,605 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+
+#include "obs/tracer.hh"
+#include "os/kernelcosts.hh"
+#include "support/logging.hh"
+
+namespace draco::serve {
+
+const char *
+checkStatusName(CheckStatus status)
+{
+    switch (status) {
+      case CheckStatus::Allowed: return "allowed";
+      case CheckStatus::Denied: return "denied";
+      case CheckStatus::Overloaded: return "overloaded";
+      case CheckStatus::UnknownTenant: return "unknown-tenant";
+      case CheckStatus::ShuttingDown: return "shutting-down";
+    }
+    return "invalid";
+}
+
+// ---- Batch ----
+
+void
+Batch::arm(uint32_t n)
+{
+    _outstanding.fetch_add(n, std::memory_order_acq_rel);
+}
+
+void
+Batch::complete(uint32_t n)
+{
+    if (n == 0)
+        return;
+    uint32_t before = _outstanding.fetch_sub(n, std::memory_order_acq_rel);
+    if (before < n)
+        panic("Batch: completed %u with only %u outstanding", n, before);
+    if (before != n)
+        return;
+    std::function<void()> callback;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        callback = std::move(_callback);
+        _callback = nullptr;
+    }
+    _cv.notify_all();
+    if (callback)
+        callback();
+}
+
+void
+Batch::wait()
+{
+    if (done())
+        return;
+    std::unique_lock<std::mutex> lock(_mutex);
+    _cv.wait(lock, [this] { return done(); });
+}
+
+void
+Batch::onComplete(std::function<void()> callback)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _callback = std::move(callback);
+}
+
+// ---- CheckService ----
+
+namespace {
+
+/** Requests an item charges against queue capacity and drain budget. */
+uint32_t
+itemRequests(uint32_t count, bool isCheck)
+{
+    return isCheck ? count : 1;
+}
+
+} // namespace
+
+CheckService::CheckService(const ServiceOptions &options)
+    : _options(options),
+      _costs(options.costs ? options.costs : &os::newKernelCosts()),
+      _pool(std::max(1u, options.shards),
+            support::ThreadPool::Spawn::Always)
+{
+    if (_options.shards == 0)
+        _options.shards = 1;
+    if (_options.maxBatch == 0)
+        _options.maxBatch = 1;
+    if (_options.queueCapacity == 0)
+        fatal("CheckService: queueCapacity must be positive");
+    if (_options.maxTenants == 0)
+        fatal("CheckService: maxTenants must be positive");
+
+    _tenants.resize(_options.maxTenants);
+    _shards.reserve(_options.shards);
+    for (unsigned i = 0; i < _options.shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        if (_options.session) {
+            obs::Tracer *tracer = _options.session->tracer(
+                "serve/shard" + std::to_string(i));
+            if (tracer) {
+                Shard *s = shard.get();
+                tracer->addChannel("queue_depth", [s] {
+                    return static_cast<double>(s->depth.load());
+                });
+                tracer->addChannel("batch_size", [s] {
+                    return static_cast<double>(s->lastBatch.load());
+                });
+                tracer->addChannel("rejects", [s] {
+                    return static_cast<double>(s->rejects.load());
+                });
+            }
+            shard->tracer = tracer;
+        }
+        _shards.push_back(std::move(shard));
+    }
+
+    for (unsigned i = 0; i < _options.shards; ++i)
+        _pool.submit([this, i] { shardLoop(i); });
+}
+
+CheckService::~CheckService()
+{
+    stop();
+}
+
+CheckService::TenantState *
+CheckService::tenant(TenantId id) const
+{
+    uint32_t count = _tenantCount.load(std::memory_order_acquire);
+    if (id == kInvalidTenant || id > count)
+        return nullptr;
+    return _tenants[id - 1].get();
+}
+
+TenantId
+CheckService::createTenant(const std::string &name,
+                           const seccomp::Profile &profile,
+                           const TenantOptions &tenantOptions)
+{
+    if (_stopping.load())
+        return kInvalidTenant;
+    std::lock_guard<std::mutex> lock(_tenantMutex);
+    uint32_t count = _tenantCount.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+        TenantState *t = _tenants[i].get();
+        if (t && !t->evicted.load() && t->name == name)
+            return t->id;
+    }
+    if (count == _options.maxTenants) {
+        warn("CheckService: tenant table full (%u), rejecting '%s'",
+             _options.maxTenants, name.c_str());
+        return kInvalidTenant;
+    }
+
+    auto state = std::make_shared<TenantState>();
+    state->name = name;
+    state->id = count + 1;
+    state->shard = count % shards();
+    state->opts = tenantOptions;
+    if (state->opts.filterCopies == 0)
+        state->opts.filterCopies = 1;
+    if (state->opts.maxInFlight == 0)
+        state->opts.maxInFlight = 1;
+    state->checker = std::make_unique<core::DracoSoftwareChecker>(
+        profile, state->opts.filterCopies);
+
+    _tenants[count] = std::move(state);
+    _tenantCount.store(count + 1, std::memory_order_release);
+    return count + 1;
+}
+
+TenantId
+CheckService::findTenant(const std::string &name) const
+{
+    uint32_t count = _tenantCount.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+        TenantState *t = _tenants[i].get();
+        if (t && !t->evicted.load() && t->name == name)
+            return t->id;
+    }
+    return kInvalidTenant;
+}
+
+uint32_t
+CheckService::retryAfterUs(const Shard &shard) const
+{
+    double perCheckNs = shard.ewmaCheckNs.load(std::memory_order_relaxed);
+    double depth = shard.depth.load(std::memory_order_relaxed);
+    double us = depth * perCheckNs / 1000.0;
+    return static_cast<uint32_t>(std::clamp(us, 1.0, 100000.0));
+}
+
+void
+CheckService::shed(TenantState *t, CheckResponse *resps, uint32_t count,
+                   Batch &batch, CheckStatus status, uint32_t retryUs)
+{
+    for (uint32_t i = 0; i < count; ++i) {
+        resps[i].status = status;
+        resps[i].path = 0;
+        resps[i].retryAfterUs = retryUs;
+    }
+    if (t && status == CheckStatus::Overloaded)
+        t->rejects.fetch_add(count, std::memory_order_relaxed);
+    batch.complete(count);
+}
+
+bool
+CheckService::enqueue(Shard &shard, Item item)
+{
+    bool isCheck = item.op == Op::Check;
+    uint32_t charge = itemRequests(item.count, isCheck);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (_stopping.load())
+            return false;
+        // Control items (Stats/Evict) are never shed: the control plane
+        // must stay responsive under data-plane overload.
+        if (isCheck &&
+            shard.queuedRequests + charge > _options.queueCapacity) {
+            shard.queueFullRejects += charge;
+            shard.rejects.fetch_add(charge, std::memory_order_relaxed);
+            return false;
+        }
+        shard.queue.push_back(item);
+        shard.queuedRequests += charge;
+        shard.depth.store(shard.queuedRequests,
+                          std::memory_order_relaxed);
+        shard.peakDepth = std::max(shard.peakDepth, shard.queuedRequests);
+        shard.depthStat.add(shard.queuedRequests);
+    }
+    shard.wake.notify_one();
+    return true;
+}
+
+void
+CheckService::submitBatch(TenantId id, const os::SyscallRequest *reqs,
+                          uint32_t count, CheckResponse *resps,
+                          Batch &batch)
+{
+    if (count == 0)
+        return;
+    batch.arm(count);
+
+    TenantState *t = tenant(id);
+    if (!t || t->evicted.load()) {
+        shed(nullptr, resps, count, batch, CheckStatus::UnknownTenant, 0);
+        return;
+    }
+    if (_stopping.load()) {
+        shed(nullptr, resps, count, batch, CheckStatus::ShuttingDown, 0);
+        return;
+    }
+
+    Shard &shard = *_shards[t->shard];
+
+    // Tenant in-flight cap: a flooder sheds its own excess here and the
+    // reject is attributed to it, before it can crowd the shard queue.
+    uint32_t before = t->inFlight.fetch_add(count,
+                                            std::memory_order_acq_rel);
+    if (before + count > t->opts.maxInFlight) {
+        t->inFlight.fetch_sub(count, std::memory_order_acq_rel);
+        shard.rejects.fetch_add(count, std::memory_order_relaxed);
+        shed(t, resps, count, batch, CheckStatus::Overloaded,
+             retryAfterUs(shard));
+        return;
+    }
+
+    Item item;
+    item.op = Op::Check;
+    item.tenant = t;
+    item.reqs = reqs;
+    item.resps = resps;
+    item.count = count;
+    item.batch = &batch;
+    if (!enqueue(shard, item)) {
+        t->inFlight.fetch_sub(count, std::memory_order_acq_rel);
+        CheckStatus status = _stopping.load()
+            ? CheckStatus::ShuttingDown : CheckStatus::Overloaded;
+        uint32_t retryUs = status == CheckStatus::Overloaded
+            ? retryAfterUs(shard) : 0;
+        shed(t, resps, count, batch, status, retryUs);
+    }
+}
+
+CheckResponse
+CheckService::check(TenantId id, const os::SyscallRequest &req)
+{
+    CheckResponse resp;
+    Batch batch;
+    submitBatch(id, &req, 1, &resp, batch);
+    batch.wait();
+    return resp;
+}
+
+void
+CheckService::snapshotTenant(const TenantState &t, TenantStats &out) const
+{
+    out.name = t.name;
+    out.id = t.id;
+    out.shard = t.shard;
+    out.evicted = t.evicted.load();
+    out.check = t.checker ? t.checker->stats() : core::SwCheckStats{};
+    out.allowed = t.allowed;
+    out.denied = t.denied;
+    out.rejects = t.rejects.load();
+    out.busyNs = t.busyNs;
+}
+
+bool
+CheckService::tenantStats(TenantId id, TenantStats &out)
+{
+    TenantState *t = tenant(id);
+    if (!t)
+        return false;
+    if (_stopping.load()) {
+        // Workers are draining or gone; after stop() the service is
+        // quiesced and a direct snapshot is race-free.
+        snapshotTenant(*t, out);
+        return true;
+    }
+
+    Batch batch;
+    batch.arm(1);
+    Item item;
+    item.op = Op::Stats;
+    item.tenant = t;
+    item.batch = &batch;
+    item.statsOut = &out;
+    if (!enqueue(*_shards[t->shard], item)) {
+        batch.complete(1);
+        snapshotTenant(*t, out);
+        return true;
+    }
+    batch.wait();
+    return true;
+}
+
+bool
+CheckService::evictTenant(TenantId id)
+{
+    TenantState *t = tenant(id);
+    if (!t || t->evicted.exchange(true))
+        return false;
+
+    // New submits reject from here on; requests already queued precede
+    // this Evict item in the shard FIFO, so they still check before the
+    // worker tears the checker down.
+    Batch batch;
+    batch.arm(1);
+    Item item;
+    item.op = Op::Evict;
+    item.tenant = t;
+    item.batch = &batch;
+    if (!enqueue(*_shards[t->shard], item)) {
+        // Stopping: leave the checker for the service dtor — a worker
+        // may still be draining this tenant's queued requests.
+        batch.complete(1);
+        return true;
+    }
+    batch.wait();
+    return true;
+}
+
+void
+CheckService::shardLoop(size_t index)
+{
+    Shard &shard = *_shards[index];
+    ScopedLogContext logContext("serve/shard" + std::to_string(index));
+    std::vector<Item> items;
+    items.reserve(_options.maxBatch);
+
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(shard.mutex);
+            shard.wake.wait(lock, [&] {
+                return _stopping.load() || !shard.queue.empty();
+            });
+            if (shard.queue.empty())
+                break; // stopping and fully drained
+            uint32_t budget = _options.maxBatch;
+            while (!shard.queue.empty()) {
+                Item &front = shard.queue.front();
+                uint32_t charge = itemRequests(front.count,
+                                               front.op == Op::Check);
+                // Always take at least one item per wakeup, then keep
+                // draining while the next whole item fits the budget.
+                if (!items.empty() && charge > budget)
+                    break;
+                items.push_back(front);
+                shard.queue.pop_front();
+                shard.queuedRequests -= std::min(shard.queuedRequests,
+                                                 charge);
+                budget -= std::min(budget, charge);
+                if (budget == 0)
+                    break;
+            }
+            shard.depth.store(shard.queuedRequests,
+                              std::memory_order_relaxed);
+        }
+        process(shard, items);
+        items.clear();
+    }
+}
+
+void
+CheckService::process(Shard &shard, std::vector<Item> &items)
+{
+    uint32_t requestsChecked = 0;
+    double drainNs = 0.0;
+
+    // Batch completions are deferred past the shard-counter updates
+    // below: a waiter woken by its batch must observe totalChecks()/
+    // busy-time figures that already include its own requests.
+    std::vector<std::pair<Batch *, uint32_t>> completions;
+    completions.reserve(items.size());
+
+    for (Item &item : items) {
+        TenantState *t = item.tenant;
+        switch (item.op) {
+          case Op::Check: {
+            if (!t->checker) {
+                // A submit that raced the eviction flag can land behind
+                // the Evict item; its state is gone, so it rejects.
+                for (uint32_t i = 0; i < item.count; ++i) {
+                    item.resps[i].status = CheckStatus::UnknownTenant;
+                    item.resps[i].path = 0;
+                    item.resps[i].retryAfterUs = 0;
+                }
+            } else {
+                for (uint32_t i = 0; i < item.count; ++i) {
+                    core::SwCheckOutcome out =
+                        t->checker->check(item.reqs[i]);
+                    double ns = core::swCheckCostNs(
+                        out, *_costs, t->opts.filterCopies);
+                    t->busyNs += ns;
+                    drainNs += ns;
+                    CheckResponse &resp = item.resps[i];
+                    resp.status = out.allowed ? CheckStatus::Allowed
+                                              : CheckStatus::Denied;
+                    resp.path = static_cast<uint8_t>(out.path);
+                    resp.retryAfterUs = 0;
+                    if (out.allowed)
+                        ++t->allowed;
+                    else
+                        ++t->denied;
+                }
+                requestsChecked += item.count;
+            }
+            t->inFlight.fetch_sub(item.count, std::memory_order_acq_rel);
+            completions.emplace_back(item.batch, item.count);
+            break;
+          }
+          case Op::Stats:
+            snapshotTenant(*t, *item.statsOut);
+            completions.emplace_back(item.batch, 1);
+            break;
+          case Op::Evict:
+            t->checker.reset();
+            completions.emplace_back(item.batch, 1);
+            break;
+        }
+    }
+
+    shard.busyNs += drainNs;
+    ++shard.drains;
+    shard.processed += requestsChecked;
+    shard.batchStat.add(requestsChecked);
+    shard.lastBatch.store(requestsChecked, std::memory_order_relaxed);
+    if (requestsChecked > 0) {
+        double perCheck = drainNs / requestsChecked;
+        double old = shard.ewmaCheckNs.load(std::memory_order_relaxed);
+        shard.ewmaCheckNs.store(0.8 * old + 0.2 * perCheck,
+                                std::memory_order_relaxed);
+    }
+    if (shard.tracer) {
+        // The modeled busy clock drives telemetry, so exported samples
+        // are deterministic regardless of host timing.
+        shard.tracer->setNowNs(shard.busyNs);
+        shard.tracer->maybeSample();
+    }
+
+    for (auto &[batch, count] : completions)
+        batch->complete(count);
+}
+
+void
+CheckService::stop()
+{
+    if (_stopping.exchange(true))
+        return;
+    for (auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->wake.notify_all();
+    }
+    _pool.shutdown();
+}
+
+uint64_t
+CheckService::totalChecks() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : _shards)
+        total += shard->processed;
+    return total;
+}
+
+uint64_t
+CheckService::totalRejects() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : _shards)
+        total += shard->rejects.load();
+    return total;
+}
+
+double
+CheckService::maxShardBusyNs() const
+{
+    double ns = 0.0;
+    for (const auto &shard : _shards)
+        ns = std::max(ns, shard->busyNs);
+    return ns;
+}
+
+void
+CheckService::exportMetrics(MetricRegistry &registry,
+                            const std::string &prefix) const
+{
+    auto name = [&](const std::string &metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+
+    uint64_t checks = 0;
+    uint64_t drains = 0;
+    uint64_t queueFull = 0;
+    uint64_t rejects = 0;
+    double busyTotal = 0.0;
+    RunningStat batchStat;
+    RunningStat depthStat;
+
+    for (size_t i = 0; i < _shards.size(); ++i) {
+        const Shard &shard = *_shards[i];
+        checks += shard.processed;
+        drains += shard.drains;
+        queueFull += shard.queueFullRejects;
+        rejects += shard.rejects.load();
+        busyTotal += shard.busyNs;
+        batchStat.merge(shard.batchStat);
+        depthStat.merge(shard.depthStat);
+
+        std::string sp = name("shards.s" + std::to_string(i));
+        registry.setCounter(sp + ".checks", shard.processed);
+        registry.setCounter(sp + ".drains", shard.drains);
+        registry.setCounter(sp + ".rejects", shard.rejects.load());
+        registry.setCounter(sp + ".rejects_queue_full",
+                            shard.queueFullRejects);
+        registry.setCounter(sp + ".peak_depth", shard.peakDepth);
+        registry.setGauge(sp + ".busy_ns", shard.busyNs);
+    }
+
+    registry.setCounter(name("shard_count"), _shards.size());
+    registry.setCounter(name("queue_capacity"), _options.queueCapacity);
+    registry.setCounter(name("max_batch"), _options.maxBatch);
+    registry.setCounter(name("checks"), checks);
+    registry.setCounter(name("drains"), drains);
+    registry.setCounter(name("rejects.total"), rejects);
+    registry.setCounter(name("rejects.queue_full"), queueFull);
+    registry.setCounter(name("rejects.tenant_cap"),
+                        rejects >= queueFull ? rejects - queueFull : 0);
+    registry.setStat(name("batch_size"), batchStat);
+    registry.setStat(name("queue_depth"), depthStat);
+    double busyMax = maxShardBusyNs();
+    registry.setGauge(name("busy_ns.total"), busyTotal);
+    registry.setGauge(name("busy_ns.max"), busyMax);
+    registry.setGauge(name("modeled_qps"),
+                      busyMax > 0.0
+                          ? static_cast<double>(checks) / busyMax * 1e9
+                          : 0.0);
+
+    uint32_t count = _tenantCount.load(std::memory_order_acquire);
+    registry.setCounter(name("tenants.count"), count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const TenantState *t = _tenants[i].get();
+        if (!t)
+            continue;
+        std::string tp =
+            name("tenants." + MetricRegistry::sanitize(t->name));
+        registry.setCounter(tp + ".id", t->id);
+        registry.setCounter(tp + ".shard", t->shard);
+        registry.setCounter(tp + ".allowed", t->allowed);
+        registry.setCounter(tp + ".denied", t->denied);
+        registry.setCounter(tp + ".rejects", t->rejects.load());
+        registry.setCounter(tp + ".evicted", t->evicted.load() ? 1 : 0);
+        registry.setGauge(tp + ".busy_ns", t->busyNs);
+        if (t->checker)
+            core::exportStats(t->checker->stats(), registry,
+                              tp + ".check");
+    }
+}
+
+} // namespace draco::serve

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Public types of the syscall-check serving subsystem.
+ *
+ * `dracod` turns the per-process software checker (§V-C) into a
+ * long-lived multi-tenant service: each tenant is one confined process
+ * — a seccomp profile plus its SPT/VAT state — pinned to one of N
+ * shards, and clients submit batches of syscall requests that come back
+ * as verdicts. The vocabulary here (statuses, per-tenant options and
+ * stats, service knobs) is shared by the in-process client, the wire
+ * protocol, and the tools.
+ */
+
+#ifndef DRACO_SERVE_TYPES_HH
+#define DRACO_SERVE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/software.hh"
+#include "os/seccomp_abi.hh"
+
+namespace draco::obs {
+class TraceSession;
+} // namespace draco::obs
+
+namespace draco::serve {
+
+/** Dense tenant handle; 0 is never a valid tenant. */
+using TenantId = uint32_t;
+
+/** The "no such tenant" sentinel. */
+inline constexpr TenantId kInvalidTenant = 0;
+
+/** Outcome of one served check request. */
+enum class CheckStatus : uint8_t {
+    Allowed,      ///< Checked; the profile allows the call.
+    Denied,       ///< Checked; the profile denies the call.
+    Overloaded,   ///< Shed by admission control; retry after the hint.
+    UnknownTenant,///< No such (or already evicted) tenant.
+    ShuttingDown, ///< Service is stopping; no new work accepted.
+};
+
+/** @return Stable lowercase name of @p status. */
+const char *checkStatusName(CheckStatus status);
+
+/** One served verdict. */
+struct CheckResponse {
+    CheckStatus status = CheckStatus::ShuttingDown;
+
+    /** core::SwPath taken (valid for Allowed/Denied only). */
+    uint8_t path = 0;
+
+    /**
+     * Backpressure hint for Overloaded responses: microseconds the
+     * client should wait before retrying, estimated from the rejecting
+     * shard's queue depth and recent per-check service time.
+     */
+    uint32_t retryAfterUs = 0;
+};
+
+/** Per-tenant knobs fixed at creation. */
+struct TenantOptions {
+    /** Attached filter copies (2 models syscall-complete-2x). */
+    unsigned filterCopies = 1;
+
+    /**
+     * Admission cap: at most this many of the tenant's requests may be
+     * queued or in service at once. Submits beyond it are rejected with
+     * Overloaded and attributed to this tenant, so one flooding tenant
+     * sheds its own excess instead of filling the shard queue ahead of
+     * its neighbours.
+     */
+    uint32_t maxInFlight = 1024;
+};
+
+/** Point-in-time snapshot of one tenant (FIFO-ordered, see service). */
+struct TenantStats {
+    std::string name;
+    TenantId id = kInvalidTenant;
+    uint32_t shard = 0;
+    bool evicted = false;
+
+    /** Requests that went through the checker. */
+    core::SwCheckStats check;
+
+    uint64_t allowed = 0;  ///< Verdicts that permitted the call.
+    uint64_t denied = 0;   ///< Verdicts that denied the call.
+    uint64_t rejects = 0;  ///< Requests shed by admission control.
+    double busyNs = 0.0;   ///< Modeled service time consumed (§V-C).
+};
+
+/** Service-wide configuration. */
+struct ServiceOptions {
+    /** Shard (worker thread) count; tenants are spread id mod shards. */
+    unsigned shards = 1;
+
+    /**
+     * Bounded per-shard queue capacity in *requests*. A submit that
+     * would exceed it is rejected with Overloaded instead of blocking,
+     * so memory stays bounded no matter how fast clients push.
+     */
+    uint32_t queueCapacity = 4096;
+
+    /**
+     * Max requests drained per worker wakeup. Draining a batch under
+     * one lock acquisition amortizes queue and metrics cost across the
+     * batch; 1 disables batching (one lock round-trip per item).
+     */
+    uint32_t maxBatch = 64;
+
+    /** Most tenants the service will ever hold (slots preallocate). */
+    uint32_t maxTenants = 4096;
+
+    /** Kernel cost preset pricing each check (default: newKernelCosts). */
+    const os::KernelCosts *costs = nullptr;
+
+    /**
+     * Observability session for per-shard telemetry (queue depth, batch
+     * size, rejects sampled over modeled time); nullptr disables.
+     * Tracks are named `serve/shard<i>`.
+     */
+    obs::TraceSession *session = nullptr;
+};
+
+} // namespace draco::serve
+
+#endif // DRACO_SERVE_TYPES_HH

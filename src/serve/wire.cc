@@ -1,0 +1,406 @@
+#include "serve/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "support/binio.hh"
+
+namespace draco::serve::wire {
+
+using binio::putString;
+using binio::putU16;
+using binio::putU32;
+using binio::putU64;
+using binio::putU8;
+using binio::putVarint;
+using binio::takeString;
+using binio::takeU16;
+using binio::takeU32;
+using binio::takeU64;
+using binio::takeU8;
+using binio::takeVarint;
+
+namespace {
+
+/** Requests one CheckBatch frame may carry (bounds the decoder). */
+constexpr uint32_t kMaxBatchRequests = 8192;
+
+void
+putType(std::vector<uint8_t> &out, MsgType type)
+{
+    putU8(out, static_cast<uint8_t>(type));
+}
+
+bool
+takeType(const std::vector<uint8_t> &payload, size_t &pos, MsgType want)
+{
+    uint8_t type;
+    return takeU8(payload, pos, type) &&
+           type == static_cast<uint8_t>(want);
+}
+
+} // namespace
+
+MsgType
+peekType(const std::vector<uint8_t> &payload)
+{
+    return payload.empty() ? static_cast<MsgType>(0)
+                           : static_cast<MsgType>(payload[0]);
+}
+
+// ---- Hello ----
+
+void
+encode(std::vector<uint8_t> &out, const Hello &msg)
+{
+    putType(out, MsgType::Hello);
+    putU32(out, msg.version);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, Hello &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::Hello) &&
+           takeU32(payload, pos, out.version) && pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const HelloReply &msg)
+{
+    putType(out, MsgType::HelloReply);
+    putU32(out, msg.version);
+    putU32(out, msg.shards);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, HelloReply &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::HelloReply) &&
+           takeU32(payload, pos, out.version) &&
+           takeU32(payload, pos, out.shards) && pos == payload.size();
+}
+
+// ---- CreateTenant ----
+
+void
+encode(std::vector<uint8_t> &out, const CreateTenant &msg)
+{
+    putType(out, MsgType::CreateTenant);
+    putString(out, msg.name);
+    putString(out, msg.profile);
+    putU32(out, msg.maxInFlight);
+    putU8(out, msg.filterCopies);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, CreateTenant &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::CreateTenant) &&
+           takeString(payload, pos, out.name) &&
+           takeString(payload, pos, out.profile) &&
+           takeU32(payload, pos, out.maxInFlight) &&
+           takeU8(payload, pos, out.filterCopies) &&
+           pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const CreateTenantReply &msg)
+{
+    putType(out, MsgType::CreateTenantReply);
+    putU32(out, msg.tenantId);
+    putString(out, msg.error);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, CreateTenantReply &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::CreateTenantReply) &&
+           takeU32(payload, pos, out.tenantId) &&
+           takeString(payload, pos, out.error) && pos == payload.size();
+}
+
+// ---- CheckBatch ----
+
+void
+encode(std::vector<uint8_t> &out, const CheckBatch &msg)
+{
+    putType(out, MsgType::CheckBatch);
+    putU64(out, msg.batchId);
+    putU32(out, msg.tenantId);
+    putU32(out, static_cast<uint32_t>(msg.reqs.size()));
+    for (const os::SyscallRequest &req : msg.reqs) {
+        putU16(out, req.sid);
+        putVarint(out, req.pc);
+        for (uint64_t arg : req.args)
+            putVarint(out, arg);
+    }
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, CheckBatch &out)
+{
+    size_t pos = 0;
+    uint32_t count;
+    if (!takeType(payload, pos, MsgType::CheckBatch) ||
+        !takeU64(payload, pos, out.batchId) ||
+        !takeU32(payload, pos, out.tenantId) ||
+        !takeU32(payload, pos, count) || count > kMaxBatchRequests) {
+        return false;
+    }
+    out.reqs.resize(count);
+    for (os::SyscallRequest &req : out.reqs) {
+        if (!takeU16(payload, pos, req.sid) ||
+            !takeVarint(payload, pos, req.pc)) {
+            return false;
+        }
+        for (uint64_t &arg : req.args)
+            if (!takeVarint(payload, pos, arg))
+                return false;
+    }
+    return pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const CheckBatchReply &msg)
+{
+    putType(out, MsgType::CheckBatchReply);
+    putU64(out, msg.batchId);
+    putU32(out, static_cast<uint32_t>(msg.resps.size()));
+    for (const CheckResponse &resp : msg.resps) {
+        putU8(out, static_cast<uint8_t>(resp.status));
+        putU8(out, resp.path);
+        putVarint(out, resp.retryAfterUs);
+    }
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, CheckBatchReply &out)
+{
+    size_t pos = 0;
+    uint32_t count;
+    if (!takeType(payload, pos, MsgType::CheckBatchReply) ||
+        !takeU64(payload, pos, out.batchId) ||
+        !takeU32(payload, pos, count) || count > kMaxBatchRequests) {
+        return false;
+    }
+    out.resps.resize(count);
+    for (CheckResponse &resp : out.resps) {
+        uint8_t status;
+        uint64_t retry;
+        if (!takeU8(payload, pos, status) ||
+            !takeU8(payload, pos, resp.path) ||
+            !takeVarint(payload, pos, retry) ||
+            status > static_cast<uint8_t>(CheckStatus::ShuttingDown) ||
+            retry > UINT32_MAX) {
+            return false;
+        }
+        resp.status = static_cast<CheckStatus>(status);
+        resp.retryAfterUs = static_cast<uint32_t>(retry);
+    }
+    return pos == payload.size();
+}
+
+// ---- TenantStats ----
+
+void
+encode(std::vector<uint8_t> &out, const TenantStatsReq &msg)
+{
+    putType(out, MsgType::TenantStatsReq);
+    putU32(out, msg.tenantId);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, TenantStatsReq &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::TenantStatsReq) &&
+           takeU32(payload, pos, out.tenantId) && pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const TenantStatsReply &msg)
+{
+    putType(out, MsgType::TenantStatsReply);
+    putU8(out, msg.ok ? 1 : 0);
+    if (!msg.ok)
+        return;
+    const TenantStats &s = msg.stats;
+    putString(out, s.name);
+    putU32(out, s.id);
+    putU32(out, s.shard);
+    putU8(out, s.evicted ? 1 : 0);
+    putU64(out, s.check.checks);
+    putU64(out, s.check.sptAllowAll);
+    putU64(out, s.check.vatHits);
+    putU64(out, s.check.filterRuns);
+    putU64(out, s.check.denials);
+    putU64(out, s.check.filterInsns);
+    putU64(out, s.check.vatInsertions);
+    putU64(out, s.allowed);
+    putU64(out, s.denied);
+    putU64(out, s.rejects);
+    putU64(out, static_cast<uint64_t>(s.busyNs + 0.5));
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, TenantStatsReply &out)
+{
+    size_t pos = 0;
+    uint8_t ok;
+    if (!takeType(payload, pos, MsgType::TenantStatsReply) ||
+        !takeU8(payload, pos, ok)) {
+        return false;
+    }
+    out.ok = ok != 0;
+    if (!out.ok)
+        return pos == payload.size();
+    TenantStats &s = out.stats;
+    uint8_t evicted;
+    uint64_t busyNs;
+    if (!takeString(payload, pos, s.name) ||
+        !takeU32(payload, pos, s.id) ||
+        !takeU32(payload, pos, s.shard) ||
+        !takeU8(payload, pos, evicted) ||
+        !takeU64(payload, pos, s.check.checks) ||
+        !takeU64(payload, pos, s.check.sptAllowAll) ||
+        !takeU64(payload, pos, s.check.vatHits) ||
+        !takeU64(payload, pos, s.check.filterRuns) ||
+        !takeU64(payload, pos, s.check.denials) ||
+        !takeU64(payload, pos, s.check.filterInsns) ||
+        !takeU64(payload, pos, s.check.vatInsertions) ||
+        !takeU64(payload, pos, s.allowed) ||
+        !takeU64(payload, pos, s.denied) ||
+        !takeU64(payload, pos, s.rejects) ||
+        !takeU64(payload, pos, busyNs)) {
+        return false;
+    }
+    s.evicted = evicted != 0;
+    s.busyNs = static_cast<double>(busyNs);
+    return pos == payload.size();
+}
+
+// ---- EvictTenant ----
+
+void
+encode(std::vector<uint8_t> &out, const EvictTenant &msg)
+{
+    putType(out, MsgType::EvictTenant);
+    putU32(out, msg.tenantId);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, EvictTenant &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::EvictTenant) &&
+           takeU32(payload, pos, out.tenantId) && pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const EvictTenantReply &msg)
+{
+    putType(out, MsgType::EvictTenantReply);
+    putU8(out, msg.ok ? 1 : 0);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, EvictTenantReply &out)
+{
+    size_t pos = 0;
+    uint8_t ok;
+    if (!takeType(payload, pos, MsgType::EvictTenantReply) ||
+        !takeU8(payload, pos, ok) || pos != payload.size()) {
+        return false;
+    }
+    out.ok = ok != 0;
+    return true;
+}
+
+// ---- Shutdown ----
+
+void
+encodeShutdown(std::vector<uint8_t> &out)
+{
+    putType(out, MsgType::Shutdown);
+}
+
+void
+encodeShutdownReply(std::vector<uint8_t> &out)
+{
+    putType(out, MsgType::ShutdownReply);
+}
+
+// ---- frame I/O ----
+
+namespace {
+
+bool
+writeAll(int fd, const uint8_t *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, uint8_t *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::read(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-frame (or before one)
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::vector<uint8_t> &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    uint8_t header[4];
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        header[i] = static_cast<uint8_t>((len >> (8 * i)) & 0xff);
+    return writeAll(fd, header, sizeof(header)) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::vector<uint8_t> &payload)
+{
+    uint8_t header[4];
+    if (!readAll(fd, header, sizeof(header)))
+        return false;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    if (len > kMaxFrameBytes)
+        return false;
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len);
+}
+
+} // namespace draco::serve::wire

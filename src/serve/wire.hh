@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The dracod wire protocol.
+ *
+ * Frames are a 4-byte little-endian payload length followed by the
+ * payload; the first payload byte is the message type. Field encoding
+ * uses the shared binio primitives: fixed-width little-endian integers
+ * for ids and counts, LEB128 varints for values that are usually small
+ * (PCs, arguments, retry hints), varint-length-prefixed strings for
+ * names. Frames are capped at kMaxFrameBytes so a corrupt length can
+ * never force a huge allocation; decoders are total — any malformed
+ * payload returns false instead of crashing the daemon.
+ *
+ * Requests carry a client-chosen batchId that the reply echoes, so
+ * clients may pipeline CheckBatch frames and match replies out of an
+ * outbox rather than lock-stepping one frame at a time. Encode/decode
+ * round-trips are bit-exact, which the wire tests assert.
+ */
+
+#ifndef DRACO_SERVE_WIRE_HH
+#define DRACO_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/seccomp_abi.hh"
+#include "serve/types.hh"
+
+namespace draco::serve::wire {
+
+/** Protocol version expected in Hello. */
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/** Upper bound on one frame's payload (decoder rejects beyond it). */
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Message type, first payload byte of every frame. */
+enum class MsgType : uint8_t {
+    Hello = 1,
+    HelloReply = 2,
+    CreateTenant = 3,
+    CreateTenantReply = 4,
+    CheckBatch = 5,
+    CheckBatchReply = 6,
+    TenantStatsReq = 7,
+    TenantStatsReply = 8,
+    EvictTenant = 9,
+    EvictTenantReply = 10,
+    Shutdown = 11,
+    ShutdownReply = 12,
+};
+
+struct Hello {
+    uint32_t version = kProtocolVersion;
+};
+
+struct HelloReply {
+    uint32_t version = kProtocolVersion;
+    uint32_t shards = 0;
+};
+
+struct CreateTenant {
+    std::string name;
+    std::string profile;       ///< Built-in catalog name.
+    uint32_t maxInFlight = 0;  ///< 0 keeps the server default.
+    uint8_t filterCopies = 1;
+};
+
+struct CreateTenantReply {
+    TenantId tenantId = kInvalidTenant; ///< kInvalidTenant on failure.
+    std::string error;                  ///< "" on success.
+};
+
+struct CheckBatch {
+    uint64_t batchId = 0; ///< Echoed in the reply (pipelining).
+    TenantId tenantId = kInvalidTenant;
+    std::vector<os::SyscallRequest> reqs;
+};
+
+struct CheckBatchReply {
+    uint64_t batchId = 0;
+    std::vector<CheckResponse> resps;
+};
+
+struct TenantStatsReq {
+    TenantId tenantId = kInvalidTenant;
+};
+
+struct TenantStatsReply {
+    bool ok = false;
+    TenantStats stats; ///< busyNs rounded to whole nanoseconds.
+};
+
+struct EvictTenant {
+    TenantId tenantId = kInvalidTenant;
+};
+
+struct EvictTenantReply {
+    bool ok = false;
+};
+
+// Shutdown and ShutdownReply carry no fields beyond the type byte.
+
+/** @return The type byte of @p payload, or 0 when empty. */
+MsgType peekType(const std::vector<uint8_t> &payload);
+
+// ---- payload encoding (type byte included) ----
+
+void encode(std::vector<uint8_t> &out, const Hello &msg);
+void encode(std::vector<uint8_t> &out, const HelloReply &msg);
+void encode(std::vector<uint8_t> &out, const CreateTenant &msg);
+void encode(std::vector<uint8_t> &out, const CreateTenantReply &msg);
+void encode(std::vector<uint8_t> &out, const CheckBatch &msg);
+void encode(std::vector<uint8_t> &out, const CheckBatchReply &msg);
+void encode(std::vector<uint8_t> &out, const TenantStatsReq &msg);
+void encode(std::vector<uint8_t> &out, const TenantStatsReply &msg);
+void encode(std::vector<uint8_t> &out, const EvictTenant &msg);
+void encode(std::vector<uint8_t> &out, const EvictTenantReply &msg);
+void encodeShutdown(std::vector<uint8_t> &out);
+void encodeShutdownReply(std::vector<uint8_t> &out);
+
+// ---- payload decoding (false on any malformation) ----
+
+bool decode(const std::vector<uint8_t> &payload, Hello &out);
+bool decode(const std::vector<uint8_t> &payload, HelloReply &out);
+bool decode(const std::vector<uint8_t> &payload, CreateTenant &out);
+bool decode(const std::vector<uint8_t> &payload, CreateTenantReply &out);
+bool decode(const std::vector<uint8_t> &payload, CheckBatch &out);
+bool decode(const std::vector<uint8_t> &payload, CheckBatchReply &out);
+bool decode(const std::vector<uint8_t> &payload, TenantStatsReq &out);
+bool decode(const std::vector<uint8_t> &payload, TenantStatsReply &out);
+bool decode(const std::vector<uint8_t> &payload, EvictTenant &out);
+bool decode(const std::vector<uint8_t> &payload, EvictTenantReply &out);
+
+// ---- frame I/O on a connected stream socket ----
+
+/**
+ * Write one length-prefixed frame, retrying short writes and EINTR.
+ *
+ * @return false on I/O error or oversized payload.
+ */
+bool writeFrame(int fd, const std::vector<uint8_t> &payload);
+
+/**
+ * Read one frame into @p payload.
+ *
+ * @return false on EOF, I/O error, or an over-limit length prefix.
+ */
+bool readFrame(int fd, std::vector<uint8_t> &payload);
+
+} // namespace draco::serve::wire
+
+#endif // DRACO_SERVE_WIRE_HH

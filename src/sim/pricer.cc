@@ -164,21 +164,9 @@ MechanismPricer::price(const workload::TraceEvent &event,
             price.flow = obs::FlowCode::Denied;
             break;
         }
-        price.checkNs += _costs.dracoSptLookupNs;
-        if (out.hashedBytes > 0) {
-            price.checkNs += 2 *
-                (_costs.dracoHashFixedNs +
-                 _costs.dracoHashPerByteNs * out.hashedBytes);
-            price.checkNs += out.vatProbes * _costs.dracoVatProbeNs;
-        }
-        if (out.filterInsns > 0) {
-            // Entry overhead applies once per attached filter copy.
-            price.checkNs += _filterCopies * _costs.seccompEntryNs +
-                out.filterInsns * _costs.bpfInsnNs;
-            price.filterInsns += out.filterInsns;
-        }
-        if (out.vatInserted)
-            price.checkNs += _costs.dracoVatInsertNs;
+        price.checkNs +=
+            core::swCheckCostNs(out, _costs, _filterCopies);
+        price.filterInsns += out.filterInsns;
         break;
       }
 

@@ -2,13 +2,14 @@
  * @file
  * Shared little-endian binary encoding primitives.
  *
- * The `.dtrc` trace format and the `.devt` event-trace format encode
- * the same way: fixed-width little-endian integers for headers and
- * indices, LEB128 varints for counts and ids, and zigzag-mapped signed
- * deltas for values that cluster around a running predecessor. Keeping
- * the primitives here guarantees the two formats stay bit-compatible
- * with each other's framing and that a fix to bounds checking lands in
- * both decoders at once.
+ * The `.dtrc` trace format, the `.devt` event-trace format, and the
+ * dracod wire protocol all encode the same way: fixed-width
+ * little-endian integers for headers and indices, LEB128 varints for
+ * counts and ids, zigzag-mapped signed deltas for values that cluster
+ * around a running predecessor, and varint-length-prefixed byte strings
+ * for names. Keeping the primitives here guarantees the formats stay
+ * bit-compatible with each other's framing and that a fix to bounds
+ * checking lands in every decoder at once.
  */
 
 #ifndef DRACO_SUPPORT_BINIO_HH
@@ -35,6 +36,37 @@ putU64(std::string &out, uint64_t v)
 {
     for (int i = 0; i < 8; ++i)
         out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Append one byte. */
+inline void
+putU8(std::vector<uint8_t> &out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+/** Append @p v little-endian as 2 bytes. */
+inline void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xff));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+/** Append @p v little-endian as 4 bytes. */
+inline void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+/** Append @p v little-endian as 8 bytes. */
+inline void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
 }
 
 /** Append @p v as a LEB128 unsigned varint. */
@@ -76,6 +108,87 @@ takeVarint(const std::vector<uint8_t> &buf, size_t &pos, uint64_t &out)
         shift += 7;
     }
     return false;
+}
+
+/** Decode one byte from @p buf at @p pos (advanced past it). */
+inline bool
+takeU8(const std::vector<uint8_t> &buf, size_t &pos, uint8_t &out)
+{
+    if (pos >= buf.size())
+        return false;
+    out = buf[pos++];
+    return true;
+}
+
+/** Decode a 2-byte little-endian integer from @p buf at @p pos. */
+inline bool
+takeU16(const std::vector<uint8_t> &buf, size_t &pos, uint16_t &out)
+{
+    if (pos + 2 > buf.size())
+        return false;
+    out = static_cast<uint16_t>(buf[pos] |
+                                (static_cast<uint16_t>(buf[pos + 1])
+                                 << 8));
+    pos += 2;
+    return true;
+}
+
+/** Decode a 4-byte little-endian integer from @p buf at @p pos. */
+inline bool
+takeU32(const std::vector<uint8_t> &buf, size_t &pos, uint32_t &out)
+{
+    if (pos + 4 > buf.size())
+        return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+        out |= static_cast<uint32_t>(buf[pos + i]) << (8 * i);
+    pos += 4;
+    return true;
+}
+
+/** Decode an 8-byte little-endian integer from @p buf at @p pos. */
+inline bool
+takeU64(const std::vector<uint8_t> &buf, size_t &pos, uint64_t &out)
+{
+    if (pos + 8 > buf.size())
+        return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+        out |= static_cast<uint64_t>(buf[pos + i]) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+/** Append @p s as a varint length followed by its bytes. */
+inline void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/**
+ * Decode one length-prefixed string from @p buf at @p pos.
+ *
+ * @param maxLen Upper bound on the accepted length — decoders reading
+ *        untrusted frames must bound names so a corrupt length byte
+ *        cannot force a huge allocation.
+ * @return false when the buffer ends short or the length exceeds
+ *         @p maxLen.
+ */
+inline bool
+takeString(const std::vector<uint8_t> &buf, size_t &pos,
+           std::string &out, size_t maxLen = 4096)
+{
+    uint64_t len;
+    if (!takeVarint(buf, pos, len))
+        return false;
+    if (len > maxLen || pos + len > buf.size())
+        return false;
+    out.assign(reinterpret_cast<const char *>(buf.data()) + pos,
+               static_cast<size_t>(len));
+    pos += static_cast<size_t>(len);
+    return true;
 }
 
 /** Decode one zigzag delta and apply it to @p prev. */

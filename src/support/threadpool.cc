@@ -1,13 +1,16 @@
 #include "support/threadpool.hh"
 
 #include <atomic>
+#include <stdexcept>
 
 namespace draco::support {
 
-ThreadPool::ThreadPool(unsigned workers)
+ThreadPool::ThreadPool(unsigned workers, Spawn spawn)
 {
-    if (workers <= 1)
+    if (spawn == Spawn::Auto && workers <= 1)
         return;
+    if (workers == 0)
+        workers = 1;
     _workers.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
         _workers.emplace_back([this] { workerLoop(); });
@@ -15,13 +18,39 @@ ThreadPool::ThreadPool(unsigned workers)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
         _stop = true;
     }
     _wake.notify_all();
+    // Joining outside the lock lets workers drain the queue; a second
+    // concurrent shutdown() call would race the joins themselves, so
+    // shutdown() is idempotent but must come from one thread (the
+    // destructor path trivially satisfies this).
     for (std::thread &worker : _workers)
-        worker.join();
+        if (worker.joinable())
+            worker.join();
+}
+
+bool
+ThreadPool::isShutdown() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _shutdown;
+}
+
+void
+ThreadPool::throwIfShutdown() const
+{
+    if (isShutdown())
+        throw std::runtime_error("ThreadPool: submit after shutdown()");
 }
 
 unsigned
@@ -36,6 +65,9 @@ ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(_mutex);
+        if (_shutdown)
+            throw std::runtime_error(
+                "ThreadPool: submit after shutdown()");
         _queue.push_back(std::move(task));
     }
     _wake.notify_one();
@@ -65,6 +97,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         return;
 
     if (_workers.empty() || n == 1) {
+        throwIfShutdown();
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;

@@ -31,16 +31,36 @@ namespace draco::support {
 class ThreadPool
 {
   public:
+    /** Worker-spawning policy. */
+    enum class Spawn {
+        /**
+         * 0 and 1 workers both mean "no threads": parallelFor()/
+         * parallelMap() run inline on the caller and submit() executes
+         * eagerly. The right default for sweep fan-out, where one
+         * worker buys nothing over the caller's own thread.
+         */
+        Auto,
+
+        /**
+         * Spawn exactly the requested worker count (minimum 1), even
+         * for a single worker. Required for long-lived loop tasks — a
+         * 1-shard CheckService still needs its shard loop on a real
+         * thread, not inlined into (and blocking) the submitter.
+         */
+        Always,
+    };
+
     /**
      * Spawn the workers.
      *
-     * @param workers Worker thread count; 0 and 1 both mean "no
-     *        threads": parallelFor()/parallelMap() run inline on the
-     *        caller and submit() executes eagerly.
+     * @param workers Worker thread count (see Spawn for how 0/1 are
+     *        treated).
+     * @param spawn Spawning policy; default Auto.
      */
-    explicit ThreadPool(unsigned workers = hardwareConcurrency());
+    explicit ThreadPool(unsigned workers = hardwareConcurrency(),
+                        Spawn spawn = Spawn::Auto);
 
-    /** Drains outstanding tasks, then joins the workers. */
+    /** Calls shutdown(): drains outstanding tasks, joins the workers. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -48,6 +68,20 @@ class ThreadPool
 
     /** @return std::thread::hardware_concurrency(), at least 1. */
     static unsigned hardwareConcurrency();
+
+    /**
+     * Drain and retire the pool: new submits are rejected from this
+     * point on (submit()/parallelFor() throw std::runtime_error), every
+     * task already queued still runs to completion, and the workers are
+     * joined before shutdown() returns. Idempotent; the destructor calls
+     * it. This is the shutdown path long-lived services use — they must
+     * stop accepting work and drain without destroying the pool object
+     * mid-flight.
+     */
+    void shutdown();
+
+    /** @return true once shutdown() has begun rejecting submits. */
+    bool isShutdown() const;
 
     /** @return Number of worker threads (0 when inline). */
     unsigned workerCount() const
@@ -70,10 +104,12 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<Fn>(fn));
         std::future<R> future = task->get_future();
-        if (_workers.empty())
+        if (_workers.empty()) {
+            throwIfShutdown();
             (*task)();
-        else
+        } else {
             enqueue([task] { (*task)(); });
+        }
         return future;
     }
 
@@ -106,12 +142,14 @@ class ThreadPool
   private:
     void enqueue(std::function<void()> task);
     void workerLoop();
+    void throwIfShutdown() const;
 
     std::vector<std::thread> _workers;
     std::deque<std::function<void()>> _queue;
-    std::mutex _mutex;
+    mutable std::mutex _mutex;
     std::condition_variable _wake;
     bool _stop = false;
+    bool _shutdown = false;
 };
 
 } // namespace draco::support

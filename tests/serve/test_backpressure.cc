@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Admission-control tests: the per-tenant in-flight cap and the bounded
+ * shard queue both shed deterministically with Overloaded + a sane
+ * retry-after hint, rejects are attributed, and control-plane ops
+ * (stats, evict) are never shed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/syscalls.hh"
+#include "seccomp/profile.hh"
+#include "serve/service.hh"
+#include "support/metrics.hh"
+
+namespace draco::serve {
+namespace {
+
+os::SyscallRequest
+readRequest()
+{
+    os::SyscallRequest req;
+    req.sid = os::sc::read;
+    req.pc = 0x1000;
+    return req;
+}
+
+seccomp::Profile
+allowReadProfile()
+{
+    seccomp::Profile profile("bp-test");
+    profile.allow(os::sc::read);
+    return profile;
+}
+
+TEST(Backpressure, TenantCapShedsTheWholeOverflowingBatch)
+{
+    ServiceOptions options;
+    options.queueCapacity = 4096;
+    CheckService service(options);
+    TenantOptions tenantOptions;
+    tenantOptions.maxInFlight = 4;
+    TenantId id =
+        service.createTenant("a", allowReadProfile(), tenantOptions);
+
+    // A single submit larger than the cap can never be admitted, so the
+    // shed is deterministic: no race against the worker draining.
+    std::vector<os::SyscallRequest> reqs(8, readRequest());
+    std::vector<CheckResponse> resps(reqs.size());
+    Batch batch;
+    service.submitBatch(id, reqs.data(),
+                        static_cast<uint32_t>(reqs.size()),
+                        resps.data(), batch);
+    EXPECT_TRUE(batch.done()); // shed completes inline, never blocks
+    for (const CheckResponse &resp : resps) {
+        EXPECT_EQ(resp.status, CheckStatus::Overloaded);
+        EXPECT_GE(resp.retryAfterUs, 1u);
+        EXPECT_LE(resp.retryAfterUs, 100000u);
+    }
+
+    TenantStats stats;
+    ASSERT_TRUE(service.tenantStats(id, stats));
+    EXPECT_EQ(stats.rejects, 8u);
+    EXPECT_EQ(stats.allowed + stats.denied, 0u);
+    EXPECT_EQ(service.totalRejects(), 8u);
+    EXPECT_EQ(service.totalChecks(), 0u);
+}
+
+TEST(Backpressure, BoundedQueueShedsBatchesBeyondCapacity)
+{
+    ServiceOptions options;
+    options.queueCapacity = 8;
+    CheckService service(options);
+    TenantOptions tenantOptions;
+    tenantOptions.maxInFlight = 1024; // cap out of the way
+    TenantId id =
+        service.createTenant("a", allowReadProfile(), tenantOptions);
+
+    // 9 requests can never fit an 8-request queue, even empty: the
+    // queue, not the tenant cap, does the shedding.
+    std::vector<os::SyscallRequest> reqs(9, readRequest());
+    std::vector<CheckResponse> resps(reqs.size());
+    Batch batch;
+    service.submitBatch(id, reqs.data(),
+                        static_cast<uint32_t>(reqs.size()),
+                        resps.data(), batch);
+    EXPECT_TRUE(batch.done());
+    for (const CheckResponse &resp : resps)
+        EXPECT_EQ(resp.status, CheckStatus::Overloaded);
+
+    service.stop();
+    MetricRegistry registry;
+    service.exportMetrics(registry);
+    EXPECT_EQ(registry.counterValue("serve.rejects.queue_full"), 9u);
+    EXPECT_EQ(registry.counterValue("serve.rejects.total"), 9u);
+    EXPECT_EQ(registry.counterValue("serve.checks"), 0u);
+
+    // A fitting batch on a fresh service passes the same gate.
+    CheckService ok(options);
+    TenantId id2 = ok.createTenant("a", allowReadProfile(),
+                                   tenantOptions);
+    std::vector<CheckResponse> okResps(8);
+    Batch okBatch;
+    ok.submitBatch(id2, reqs.data(), 8, okResps.data(), okBatch);
+    okBatch.wait();
+    for (const CheckResponse &resp : okResps)
+        EXPECT_EQ(resp.status, CheckStatus::Allowed);
+}
+
+TEST(Backpressure, ControlOpsBypassTheQueueBound)
+{
+    ServiceOptions options;
+    options.queueCapacity = 1;
+    CheckService service(options);
+    TenantId id = service.createTenant("a", allowReadProfile());
+
+    // Stats and evict must stay serviceable no matter how small the
+    // data-plane budget is.
+    TenantStats stats;
+    EXPECT_TRUE(service.tenantStats(id, stats));
+    EXPECT_TRUE(service.evictTenant(id));
+    ASSERT_TRUE(service.tenantStats(id, stats));
+    EXPECT_TRUE(stats.evicted);
+}
+
+TEST(Backpressure, OpenLoopFloodShedsButNeverLosesAccounting)
+{
+    ServiceOptions options;
+    options.queueCapacity = 64;
+    CheckService service(options);
+    TenantOptions tenantOptions;
+    tenantOptions.maxInFlight = 32;
+    TenantId id =
+        service.createTenant("a", allowReadProfile(), tenantOptions);
+
+    // Fire far more than the caps admit without ever waiting; every
+    // request must resolve to exactly one of {verdict, Overloaded}.
+    constexpr int kBatches = 200;
+    constexpr uint32_t kPerBatch = 16;
+    std::vector<os::SyscallRequest> reqs(kPerBatch, readRequest());
+    std::vector<std::vector<CheckResponse>> resps(
+        kBatches, std::vector<CheckResponse>(kPerBatch));
+    std::vector<std::unique_ptr<Batch>> batches;
+    for (int b = 0; b < kBatches; ++b) {
+        batches.push_back(std::make_unique<Batch>());
+        service.submitBatch(id, reqs.data(), kPerBatch,
+                            resps[b].data(), *batches[b]);
+    }
+    for (auto &batch : batches)
+        batch->wait();
+    service.stop();
+
+    uint64_t verdicts = 0;
+    uint64_t overloaded = 0;
+    for (const auto &group : resps) {
+        for (const CheckResponse &resp : group) {
+            if (resp.status == CheckStatus::Allowed)
+                ++verdicts;
+            else if (resp.status == CheckStatus::Overloaded)
+                ++overloaded;
+            else
+                FAIL() << "unexpected status "
+                       << checkStatusName(resp.status);
+        }
+    }
+    EXPECT_EQ(verdicts + overloaded,
+              static_cast<uint64_t>(kBatches) * kPerBatch);
+    EXPECT_EQ(service.totalChecks(), verdicts);
+    EXPECT_EQ(service.totalRejects(), overloaded);
+    TenantStats stats;
+    ASSERT_TRUE(service.tenantStats(id, stats));
+    EXPECT_EQ(stats.allowed, verdicts);
+    EXPECT_EQ(stats.rejects, overloaded);
+}
+
+TEST(Backpressure, SubmitAfterStopIsShuttingDown)
+{
+    CheckService service;
+    TenantId id = service.createTenant("a", allowReadProfile());
+    service.stop();
+    os::SyscallRequest req = readRequest();
+    CheckResponse resp;
+    Batch batch;
+    service.submitBatch(id, &req, 1, &resp, batch);
+    EXPECT_TRUE(batch.done());
+    EXPECT_EQ(resp.status, CheckStatus::ShuttingDown);
+    EXPECT_EQ(resp.retryAfterUs, 0u);
+}
+
+} // namespace
+} // namespace draco::serve

@@ -108,6 +108,58 @@ TEST(ThreadPool, ParallelForUsesMultipleThreads)
     EXPECT_GE(seen.size(), 1u);
 }
 
+TEST(ThreadPool, SpawnAlwaysGivesSingleWorkerARealThread)
+{
+    ThreadPool pool(1, ThreadPool::Spawn::Always);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    auto future = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_NE(future.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ShutdownDrainsEveryQueuedTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i)
+        futures.push_back(pool.submit([&] { done++; }));
+    pool.shutdown();
+    // shutdown() returns only after the queue drained and the workers
+    // joined: every accepted task ran, none was dropped.
+    EXPECT_EQ(done.load(), 500);
+    EXPECT_TRUE(pool.isShutdown());
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, ShutdownRejectsLaterSubmits)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+    EXPECT_THROW(pool.parallelFor(4, [](size_t) {}),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownRejectsInlineSubmitsToo)
+{
+    ThreadPool pool(0);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&] { done++; });
+    pool.shutdown();
+    pool.shutdown();
+    EXPECT_EQ(done.load(), 32);
+    EXPECT_TRUE(pool.isShutdown());
+}
+
 TEST(ThreadPool, ManyTasksDrainBeforeDestruction)
 {
     std::atomic<int> done{0};

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * dracod — the syscall-check serving daemon.
+ *
+ * Hosts a serve::CheckService behind a Unix-domain socket speaking the
+ * serve/wire protocol. Clients (dracoload, or anything else speaking
+ * the protocol) create tenants by profile name and stream check
+ * batches; the daemon runs until a Shutdown frame or SIGINT/SIGTERM,
+ * then drains, optionally writes its `serve.*` metrics as JSON and its
+ * per-shard telemetry as a trace, and exits.
+ *
+ * Typical CI/EXPERIMENTS use:
+ *   dracod --socket /tmp/dracod.sock --shards 4 \
+ *          --json dracod_metrics.json &
+ *   dracoload --socket /tmp/dracod.sock --trace sample.dtrc --shutdown
+ */
+
+#include <csignal>
+
+#include "obs/tracer.hh"
+#include "os/kernelcosts.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "support/cliflags.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+using namespace draco;
+
+namespace {
+
+serve::SocketServer *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer)
+        gServer->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::CliFlags flags(
+        "dracod", "Serve syscall checks for multiple tenants over a "
+                  "Unix-domain socket.");
+    flags.addString("socket", "path", "Unix-domain socket to listen on");
+    flags.addUint("shards", "n", "shard (worker thread) count", 1);
+    flags.addUint("queue-capacity", "n",
+                  "bounded per-shard queue, in requests", 4096);
+    flags.addUint("max-batch", "n", "max requests drained per wakeup",
+                  64);
+    flags.addUint("max-tenants", "n", "tenant table capacity", 4096);
+    flags.addFlag("old-kernel",
+                  "price checks with the old-kernel cost preset");
+    flags.addCommon();
+
+    if (!flags.parse(argc, argv)) {
+        fprintf(stderr, "dracod: %s\n%s", flags.error().c_str(),
+                flags.helpText().c_str());
+        return 1;
+    }
+    if (flags.helpRequested()) {
+        fputs(flags.helpText().c_str(), stdout);
+        return 0;
+    }
+    if (flags.str("socket").empty())
+        fatal("dracod: --socket is required");
+
+    obs::TraceSession session;
+    if (!flags.str("trace-out").empty()) {
+        obs::SessionConfig config;
+        config.outPath = flags.str("trace-out");
+        // The serve tracks carry telemetry channels only; keep the
+        // per-track event ring tiny.
+        config.tracer.recordEvents = false;
+        config.tracer.capacity = 1024;
+        config.tracer.sampleEveryCycles =
+            flags.given("sample-every") ? flags.uintValue("sample-every")
+                                        : 100000;
+        session.configure(config);
+    }
+
+    serve::ServiceOptions options;
+    options.shards = static_cast<unsigned>(flags.uintValue("shards"));
+    options.queueCapacity =
+        static_cast<uint32_t>(flags.uintValue("queue-capacity"));
+    options.maxBatch =
+        static_cast<uint32_t>(flags.uintValue("max-batch"));
+    options.maxTenants =
+        static_cast<uint32_t>(flags.uintValue("max-tenants"));
+    options.costs = flags.flag("old-kernel") ? &os::oldKernelCosts()
+                                             : &os::newKernelCosts();
+    options.session = session.enabled() ? &session : nullptr;
+
+    serve::CheckService service(options);
+    serve::SocketServer server(service, flags.str("socket"));
+    if (!server.start())
+        fatal("dracod: could not listen on %s",
+              flags.str("socket").c_str());
+
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    inform("dracod: serving on %s (%u shards, queue %u, batch %u)",
+           flags.str("socket").c_str(), service.shards(),
+           options.queueCapacity, options.maxBatch);
+    server.wait();
+    gServer = nullptr;
+    service.stop();
+
+    inform("dracod: served %llu checks, shed %llu, %llu connections",
+           static_cast<unsigned long long>(service.totalChecks()),
+           static_cast<unsigned long long>(service.totalRejects()),
+           static_cast<unsigned long long>(
+               server.connectionsAccepted()));
+
+    if (!flags.str("json").empty() || session.enabled()) {
+        MetricRegistry registry;
+        service.exportMetrics(registry);
+        if (session.enabled()) {
+            session.exportMetrics(registry, "obs");
+            session.writeOutput();
+        }
+        if (!flags.str("json").empty())
+            registry.writeJsonFile(flags.str("json"));
+    }
+    return 0;
+}

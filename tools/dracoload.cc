@@ -1,0 +1,467 @@
+/**
+ * @file
+ * dracoload — load generator for the check-serving subsystem.
+ *
+ * Replays a recorded trace (any format openTraceStream understands)
+ * against either a dracod daemon (--socket) or an in-process
+ * CheckService (--shards), dealing events round-robin across N tenants
+ * exactly like the consolidation experiments do. Closed-loop mode (the
+ * default) drives each tenant with blocking batches and reports wall
+ * latency quantiles; --open-loop fires every batch without waiting for
+ * verdicts, which is how admission control is pushed into visible load
+ * shedding.
+ *
+ * The per-tenant verdict lines printed at the end come from
+ * *server-side* tenant stats, so two closed-loop runs against different
+ * shard counts must print byte-identical verdict counts — the CI smoke
+ * job asserts exactly that.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/tracer.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "serve/wire.hh"
+#include "support/cliflags.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/stats.hh"
+#include "trace/replay.hh"
+
+using namespace draco;
+namespace wire = draco::serve::wire;
+
+namespace {
+
+constexpr size_t kStatusCount = 5;
+
+struct TenantLoad {
+    std::string name;
+    serve::TenantId id = serve::kInvalidTenant;
+    std::vector<os::SyscallRequest> reqs;
+    uint64_t statuses[kStatusCount] = {};
+    uint64_t transportErrors = 0;
+    QuantileSketch latencyUs;
+};
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** Closed loop: blocking batches, per-batch wall latency. */
+void
+runClosedLoop(serve::Client &client, TenantLoad &tenant, uint32_t batch)
+{
+    std::vector<serve::CheckResponse> resps(batch);
+    size_t pos = 0;
+    while (pos < tenant.reqs.size()) {
+        uint32_t n = static_cast<uint32_t>(
+            std::min<size_t>(batch, tenant.reqs.size() - pos));
+        auto t0 = std::chrono::steady_clock::now();
+        if (!client.checkBatch(tenant.id, tenant.reqs.data() + pos, n,
+                               resps.data())) {
+            tenant.transportErrors += n;
+            pos += n;
+            continue;
+        }
+        tenant.latencyUs.add(elapsedSeconds(t0) * 1e6);
+        for (uint32_t i = 0; i < n; ++i)
+            ++tenant.statuses[static_cast<size_t>(resps[i].status)];
+        pos += n;
+    }
+}
+
+/** Open loop, in-process: fire every batch, wait only at the end. */
+void
+runOpenLoopLocal(serve::CheckService &service,
+                 std::vector<TenantLoad> &tenants, uint32_t batch)
+{
+    struct Pending {
+        TenantLoad *tenant;
+        const os::SyscallRequest *reqs;
+        uint32_t count;
+        std::vector<serve::CheckResponse> resps;
+        serve::Batch done;
+    };
+    std::vector<std::unique_ptr<Pending>> pending;
+    // Interleave tenants round-robin so every shard sees arrivals from
+    // all of its tenants at once, as a real open-loop frontend would.
+    size_t remaining = tenants.size();
+    std::vector<size_t> cursor(tenants.size(), 0);
+    while (remaining > 0) {
+        remaining = 0;
+        for (TenantLoad &tenant : tenants) {
+            size_t i = &tenant - tenants.data();
+            if (cursor[i] >= tenant.reqs.size())
+                continue;
+            uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+                batch, tenant.reqs.size() - cursor[i]));
+            auto p = std::make_unique<Pending>();
+            p->tenant = &tenant;
+            p->reqs = tenant.reqs.data() + cursor[i];
+            p->count = n;
+            p->resps.resize(n);
+            service.submitBatch(tenant.id, p->reqs, n, p->resps.data(),
+                                p->done);
+            pending.push_back(std::move(p));
+            cursor[i] += n;
+            if (cursor[i] < tenant.reqs.size())
+                ++remaining;
+        }
+    }
+    for (auto &p : pending) {
+        p->done.wait();
+        for (uint32_t i = 0; i < p->count; ++i)
+            ++p->tenant
+                  ->statuses[static_cast<size_t>(p->resps[i].status)];
+    }
+}
+
+/** Open loop over the wire: pipeline frames, reap replies in parallel. */
+void
+runOpenLoopSocket(serve::SocketClient &client,
+                  std::vector<TenantLoad> &tenants, uint32_t batch)
+{
+    std::map<uint64_t, TenantLoad *> owner;
+    uint64_t nextBatchId = 1;
+    std::atomic<uint64_t> expected{0};
+    std::atomic<bool> readerFailed{false};
+
+    // Pre-plan every frame so the reader knows the total reply count.
+    struct Frame {
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Frame> frames;
+    std::vector<size_t> cursor(tenants.size(), 0);
+    size_t remaining = tenants.size();
+    while (remaining > 0) {
+        remaining = 0;
+        for (TenantLoad &tenant : tenants) {
+            size_t i = &tenant - tenants.data();
+            if (cursor[i] >= tenant.reqs.size())
+                continue;
+            uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+                batch, tenant.reqs.size() - cursor[i]));
+            wire::CheckBatch msg;
+            msg.batchId = nextBatchId++;
+            msg.tenantId = tenant.id;
+            msg.reqs.assign(tenant.reqs.begin() + cursor[i],
+                            tenant.reqs.begin() + cursor[i] + n);
+            owner[msg.batchId] = &tenant;
+            frames.emplace_back();
+            wire::encode(frames.back().payload, msg);
+            cursor[i] += n;
+            if (cursor[i] < tenant.reqs.size())
+                ++remaining;
+        }
+    }
+    expected.store(frames.size());
+
+    std::thread reader([&] {
+        std::vector<uint8_t> payload;
+        while (expected.load() > 0) {
+            wire::CheckBatchReply reply;
+            if (!wire::readFrame(client.fd(), payload) ||
+                !wire::decode(payload, reply)) {
+                readerFailed.store(true);
+                return;
+            }
+            TenantLoad *tenant = owner[reply.batchId];
+            if (!tenant) {
+                readerFailed.store(true);
+                return;
+            }
+            for (const serve::CheckResponse &resp : reply.resps)
+                ++tenant->statuses[static_cast<size_t>(resp.status)];
+            expected.fetch_sub(1);
+        }
+    });
+    for (const Frame &frame : frames) {
+        if (!wire::writeFrame(client.fd(), frame.payload)) {
+            warn("dracoload: open-loop write failed");
+            break;
+        }
+    }
+    reader.join();
+    if (readerFailed.load())
+        warn("dracoload: open-loop reply stream failed");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::CliFlags flags(
+        "dracoload",
+        "Replay a syscall trace against dracod (or an in-process "
+        "service) across N tenants.");
+    flags.addString("socket", "path",
+                    "dracod socket (omit to serve in-process)");
+    flags.addString("trace", "path", "trace to replay (.dtrc/text/strace)");
+    flags.addString("profile", "name",
+                    "built-in profile every tenant runs",
+                    "docker-default");
+    flags.addUint("tenants", "n", "tenant count", 4);
+    flags.addUint("batch", "k", "requests per check batch", 32);
+    flags.addUint("repeat", "n", "replay the trace this many times", 1);
+    flags.addUint("max-events", "n", "cap events read from the trace",
+                  1u << 20);
+    flags.addUint("max-inflight", "n",
+                  "per-tenant in-flight admission cap", 1024);
+    flags.addUint("filter-copies", "n", "filter copies per tenant", 1);
+    flags.addUint("shards", "n", "in-process service shards", 1);
+    flags.addUint("queue-capacity", "n",
+                  "in-process per-shard queue capacity", 4096);
+    flags.addUint("max-batch", "n", "in-process drain batch", 64);
+    flags.addFlag("open-loop",
+                  "fire batches without waiting (pushes backpressure)");
+    flags.addFlag("shutdown", "send Shutdown to the daemon when done");
+    flags.addCommon();
+
+    if (!flags.parse(argc, argv)) {
+        fprintf(stderr, "dracoload: %s\n%s", flags.error().c_str(),
+                flags.helpText().c_str());
+        return 1;
+    }
+    if (flags.helpRequested()) {
+        fputs(flags.helpText().c_str(), stdout);
+        return 0;
+    }
+    if (flags.str("trace").empty())
+        fatal("dracoload: --trace is required");
+
+    // ---- load and deal the trace ----
+
+    trace::OpenedTrace opened = trace::openTraceStream(flags.str("trace"));
+    if (!opened.ok())
+        fatal("dracoload: %s: %s", flags.str("trace").c_str(),
+              opened.error.c_str());
+
+    uint64_t tenantCount = std::max<uint64_t>(1, flags.uintValue("tenants"));
+    std::vector<TenantLoad> tenants(tenantCount);
+    for (uint64_t i = 0; i < tenantCount; ++i)
+        tenants[i].name = "t" + std::to_string(i);
+
+    uint64_t maxEvents = flags.uintValue("max-events");
+    workload::TraceEvent event;
+    uint64_t loaded = 0;
+    while (loaded < maxEvents && opened.stream->next(event)) {
+        tenants[loaded % tenantCount].reqs.push_back(event.req);
+        ++loaded;
+    }
+    if (loaded == 0)
+        fatal("dracoload: trace %s holds no events",
+              flags.str("trace").c_str());
+    uint64_t repeat = std::max<uint64_t>(1, flags.uintValue("repeat"));
+    if (repeat > 1) {
+        for (TenantLoad &tenant : tenants) {
+            std::vector<os::SyscallRequest> base = tenant.reqs;
+            tenant.reqs.reserve(base.size() * repeat);
+            for (uint64_t r = 1; r < repeat; ++r)
+                tenant.reqs.insert(tenant.reqs.end(), base.begin(),
+                                   base.end());
+        }
+    }
+    uint64_t totalRequests = 0;
+    for (const TenantLoad &tenant : tenants)
+        totalRequests += tenant.reqs.size();
+
+    // ---- backend ----
+
+    bool socketMode = !flags.str("socket").empty();
+    obs::TraceSession session;
+    std::unique_ptr<serve::CheckService> localService;
+    std::unique_ptr<serve::SocketClient> socketClient;
+    std::unique_ptr<serve::LocalClient> localClient;
+    serve::Client *client = nullptr;
+
+    if (socketMode) {
+        socketClient = serve::SocketClient::connect(flags.str("socket"));
+        if (!socketClient)
+            return 1;
+        client = socketClient.get();
+    } else {
+        if (!flags.str("trace-out").empty()) {
+            obs::SessionConfig config;
+            config.outPath = flags.str("trace-out");
+            config.tracer.recordEvents = false;
+            config.tracer.capacity = 1024;
+            config.tracer.sampleEveryCycles =
+                flags.given("sample-every")
+                    ? flags.uintValue("sample-every") : 100000;
+            session.configure(config);
+        }
+        serve::ServiceOptions options;
+        options.shards =
+            static_cast<unsigned>(flags.uintValue("shards"));
+        options.queueCapacity =
+            static_cast<uint32_t>(flags.uintValue("queue-capacity"));
+        options.maxBatch =
+            static_cast<uint32_t>(flags.uintValue("max-batch"));
+        options.session = session.enabled() ? &session : nullptr;
+        localService = std::make_unique<serve::CheckService>(options);
+        localClient = std::make_unique<serve::LocalClient>(*localService);
+        client = localClient.get();
+    }
+
+    serve::TenantOptions tenantOptions;
+    tenantOptions.maxInFlight =
+        static_cast<uint32_t>(flags.uintValue("max-inflight"));
+    tenantOptions.filterCopies =
+        static_cast<unsigned>(flags.uintValue("filter-copies"));
+    for (TenantLoad &tenant : tenants) {
+        tenant.id = client->createTenant(tenant.name,
+                                         flags.str("profile"),
+                                         tenantOptions);
+        if (tenant.id == serve::kInvalidTenant)
+            fatal("dracoload: could not create tenant %s",
+                  tenant.name.c_str());
+    }
+
+    // ---- drive ----
+
+    uint32_t batch = static_cast<uint32_t>(
+        std::max<uint64_t>(1, flags.uintValue("batch")));
+    auto start = std::chrono::steady_clock::now();
+
+    if (flags.flag("open-loop")) {
+        if (socketMode)
+            runOpenLoopSocket(*socketClient, tenants, batch);
+        else
+            runOpenLoopLocal(*localService, tenants, batch);
+    } else {
+        // One driver per tenant, capped by --threads: closed-loop
+        // tenants progress independently, like separate containers.
+        uint64_t drivers = flags.given("threads")
+            ? std::max<uint64_t>(1, flags.uintValue("threads"))
+            : tenantCount;
+        drivers = std::min<uint64_t>(drivers, tenantCount);
+        std::atomic<size_t> nextTenant{0};
+        std::vector<std::thread> threads;
+        for (uint64_t d = 0; d < drivers; ++d) {
+            threads.emplace_back([&] {
+                // Socket mode: a connection per driver, so drivers
+                // don't serialize on one lock-step client.
+                std::unique_ptr<serve::SocketClient> own;
+                serve::Client *c = client;
+                if (socketMode) {
+                    own = serve::SocketClient::connect(
+                        flags.str("socket"));
+                    if (!own)
+                        return;
+                    c = own.get();
+                }
+                for (;;) {
+                    size_t i = nextTenant.fetch_add(1);
+                    if (i >= tenants.size())
+                        break;
+                    runClosedLoop(*c, tenants[i], batch);
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    double wallSeconds = elapsedSeconds(start);
+
+    // ---- report ----
+
+    uint64_t totals[kStatusCount] = {};
+    QuantileSketch latency;
+    for (TenantLoad &tenant : tenants) {
+        for (size_t s = 0; s < kStatusCount; ++s)
+            totals[s] += tenant.statuses[s];
+        latency.merge(tenant.latencyUs);
+    }
+    uint64_t answered = 0;
+    for (uint64_t n : totals)
+        answered += n;
+
+    MetricRegistry registry;
+    registry.setText("load.trace", flags.str("trace"));
+    registry.setText("load.mode",
+                     flags.flag("open-loop") ? "open" : "closed");
+    registry.setCounter("load.requests", totalRequests);
+    registry.setCounter("load.answered", answered);
+    for (size_t s = 0; s < kStatusCount; ++s) {
+        registry.setCounter(
+            std::string("load.statuses.") +
+                serve::checkStatusName(
+                    static_cast<serve::CheckStatus>(s)),
+            totals[s]);
+    }
+    registry.setGauge("load.wall_seconds", wallSeconds);
+    registry.setGauge("load.wall_qps",
+                      wallSeconds > 0.0 ? answered / wallSeconds : 0.0);
+    if (latency.count() > 0) {
+        registry.setGauge("load.latency_us.p50", latency.quantile(0.50));
+        registry.setGauge("load.latency_us.p90", latency.quantile(0.90));
+        registry.setGauge("load.latency_us.p99", latency.quantile(0.99));
+    }
+
+    // Server-side verdict lines: the CI determinism check compares
+    // these across shard counts byte for byte.
+    for (TenantLoad &tenant : tenants) {
+        serve::TenantStats stats;
+        if (!client->tenantStats(tenant.id, stats)) {
+            warn("dracoload: no stats for tenant %s",
+                 tenant.name.c_str());
+            continue;
+        }
+        printf("tenant %s checks=%llu allowed=%llu denied=%llu "
+               "vat_hits=%llu rejects=%llu\n",
+               tenant.name.c_str(),
+               static_cast<unsigned long long>(stats.check.checks),
+               static_cast<unsigned long long>(stats.allowed),
+               static_cast<unsigned long long>(stats.denied),
+               static_cast<unsigned long long>(stats.check.vatHits),
+               static_cast<unsigned long long>(stats.rejects));
+        std::string prefix =
+            "load.tenants." + MetricRegistry::sanitize(tenant.name);
+        registry.setCounter(prefix + ".allowed", stats.allowed);
+        registry.setCounter(prefix + ".denied", stats.denied);
+        registry.setCounter(prefix + ".rejects", stats.rejects);
+        registry.setCounter(prefix + ".checks", stats.check.checks);
+    }
+    printf("summary requests=%llu answered=%llu overloaded=%llu "
+           "wall_s=%.3f wall_qps=%.0f\n",
+           static_cast<unsigned long long>(totalRequests),
+           static_cast<unsigned long long>(answered),
+           static_cast<unsigned long long>(
+               totals[static_cast<size_t>(
+                   serve::CheckStatus::Overloaded)]),
+           wallSeconds,
+           wallSeconds > 0.0 ? answered / wallSeconds : 0.0);
+
+    if (!socketMode) {
+        localService->stop();
+        localService->exportMetrics(registry);
+        if (session.enabled()) {
+            session.exportMetrics(registry, "obs");
+            session.writeOutput();
+        }
+    }
+    if (!flags.str("json").empty())
+        registry.writeJsonFile(flags.str("json"));
+
+    if (socketMode && flags.flag("shutdown") &&
+        !socketClient->shutdownServer()) {
+        warn("dracoload: shutdown request failed");
+        return 1;
+    }
+    return 0;
+}
