@@ -2,8 +2,8 @@
 
 #include <cerrno>
 #include <cstring>
+
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "support/logging.hh"
@@ -12,24 +12,68 @@ namespace draco::serve {
 
 namespace {
 
-/** Fill @p addr with @p path; false when it does not fit sun_path. */
-bool
-makeAddress(const std::string &path, sockaddr_un &addr)
+ServerOptions
+unixOnly(std::string path)
 {
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path))
-        return false;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    return true;
+    ServerOptions options;
+    options.socketPath = std::move(path);
+    return options;
 }
 
 } // namespace
 
+/** One accepted connection; loop-thread-only after adoption. */
+struct SocketServer::Conn {
+    int fd = -1;
+    ConnState state = ConnState::Open;
+
+    wire::FrameParser parser;     ///< Incremental inbound frame decode.
+    std::vector<uint8_t> outBuf;  ///< Staged framed output.
+    size_t outPos = 0;            ///< Bytes of outBuf already written.
+
+    /**
+     * CheckBatch submissions whose reply has not been pumped from the
+     * loop inbox yet. Only the owning loop thread reads or writes it,
+     * and the conn cannot be reaped while it is non-zero — which is
+     * exactly what keeps the Conn* inside queued replies valid.
+     */
+    uint32_t inflight = 0;
+
+    uint32_t epollMask = 0;       ///< Currently registered interest.
+    bool discardOutput = false;   ///< Write side dead; drop replies.
+    bool pumpTouched = false;     ///< Dedup flag while pumping replies.
+};
+
+/** One event-loop thread and everything it owns. */
+struct SocketServer::Loop {
+    /** A completed batch's framed reply, bound for conn's outBuf. */
+    struct Reply {
+        Conn *conn;
+        std::vector<uint8_t> frame;
+    };
+
+    support::Epoll epoll;
+    support::EventFd wake;
+    std::thread thread;
+
+    std::mutex mutex; ///< Guards inbox and pendingAdopt.
+    std::vector<Reply> inbox; ///< Completions from shard workers.
+    std::vector<std::unique_ptr<Conn>> pendingAdopt; ///< From accept.
+
+    std::list<std::unique_ptr<Conn>> conns; ///< Loop-thread-only.
+};
+
 // ---- SocketServer ----
 
+SocketServer::SocketServer(CheckService &service, ServerOptions options)
+    : _service(service), _options(std::move(options))
+{
+    if (_options.eventThreads == 0)
+        _options.eventThreads = 1;
+}
+
 SocketServer::SocketServer(CheckService &service, std::string socketPath)
-    : _service(service), _socketPath(std::move(socketPath))
+    : SocketServer(service, unixOnly(std::move(socketPath)))
 {
 }
 
@@ -41,95 +85,302 @@ SocketServer::~SocketServer()
 bool
 SocketServer::start()
 {
-    sockaddr_un addr;
-    if (!makeAddress(_socketPath, addr)) {
-        warn("dracod: socket path too long: %s", _socketPath.c_str());
+    if (_options.socketPath.empty() && _options.tcpAddress.empty()) {
+        warn("dracod: no listen endpoint configured");
         return false;
     }
-    _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (_listenFd < 0) {
-        warn("dracod: socket(): %s", std::strerror(errno));
-        return false;
+    if (!_options.socketPath.empty()) {
+        _unixListenFd = listenEndpoint(
+            Endpoint::unix_(_options.socketPath), _options.backlog);
+        if (_unixListenFd < 0)
+            return false;
+        support::setNonBlocking(_unixListenFd);
     }
-    ::unlink(_socketPath.c_str());
-    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0 ||
-        ::listen(_listenFd, 16) < 0) {
-        warn("dracod: bind/listen %s: %s", _socketPath.c_str(),
-             std::strerror(errno));
-        ::close(_listenFd);
-        _listenFd = -1;
-        return false;
+    if (!_options.tcpAddress.empty()) {
+        std::optional<Endpoint> ep =
+            Endpoint::parseTcp(_options.tcpAddress);
+        int fd = ep ? listenEndpoint(*ep, _options.backlog) : -1;
+        if (fd < 0) {
+            if (!ep)
+                warn("dracod: bad TCP listen address: %s",
+                     _options.tcpAddress.c_str());
+            if (_unixListenFd >= 0) {
+                ::close(_unixListenFd);
+                _unixListenFd = -1;
+                ::unlink(_options.socketPath.c_str());
+            }
+            return false;
+        }
+        _tcpListenFd = fd;
+        support::setNonBlocking(_tcpListenFd);
+        _tcpPort = tcpLocalPort(_tcpListenFd);
     }
-    _acceptThread = std::thread([this] { acceptLoop(); });
+
+    for (unsigned i = 0; i < _options.eventThreads; ++i)
+        _loops.push_back(std::make_unique<Loop>());
+    // All listeners live in loop 0's epoll set; accepted connections
+    // spread round-robin over the pool through adoption queues.
+    if (_unixListenFd >= 0)
+        _loops[0]->epoll.add(_unixListenFd, EPOLLIN, &_unixTag);
+    if (_tcpListenFd >= 0)
+        _loops[0]->epoll.add(_tcpListenFd, EPOLLIN, &_tcpTag);
+    for (size_t i = 0; i < _loops.size(); ++i) {
+        Loop &loop = *_loops[i];
+        loop.epoll.add(loop.wake.fd(), EPOLLIN, &loop);
+        loop.thread = std::thread([this, i] { loopMain(i); });
+    }
     return true;
 }
 
 void
-SocketServer::acceptLoop()
+SocketServer::loopMain(size_t index)
 {
-    ScopedLogContext logContext("dracod/accept");
+    ScopedLogContext logContext("dracod/loop");
+    Loop &loop = *_loops[index];
+    std::vector<epoll_event> events;
+    std::vector<uint8_t> chunk(64 * 1024);
+    bool listenersLive = (index == 0);
+    bool stopping = false;
+    std::chrono::steady_clock::time_point stopSeen{};
+
+    // Transition into the draining state once _stop becomes visible.
+    // Called both before and after the epoll wait: the wake eventfd
+    // coalesces, so a stop signal can be drained away by the same
+    // iteration that was woken for an earlier reason — only a check on
+    // both sides of the blocking point cannot miss it.
+    auto observeStop = [&] {
+        if (stopping || !_stop.load())
+            return;
+        stopping = true;
+        stopSeen = std::chrono::steady_clock::now();
+        if (listenersLive) {
+            if (_unixListenFd >= 0)
+                loop.epoll.del(_unixListenFd);
+            if (_tcpListenFd >= 0)
+                loop.epoll.del(_tcpListenFd);
+            listenersLive = false;
+        }
+        beginStopDrain(loop);
+    };
+
     for (;;) {
-        int fd = ::accept(_listenFd, nullptr, nullptr);
+        observeStop();
+        // While stopping, poll with a timeout so the drain grace can
+        // expire even if no fd ever becomes ready again.
+        int n = loop.epoll.wait(events, stopping ? 50 : -1);
+        observeStop();
+
+        for (int i = 0; i < n; ++i) {
+            void *cookie = events[i].data.ptr;
+            uint32_t ev = events[i].events;
+            if (cookie == &loop) {
+                loop.wake.drain();
+                continue;
+            }
+            if (cookie == &_unixTag || cookie == &_tcpTag) {
+                if (!stopping)
+                    acceptReady(cookie == &_unixTag ? _unixListenFd
+                                                    : _tcpListenFd,
+                                cookie == &_tcpTag);
+                continue;
+            }
+            // Conns are destroyed only in reapConnections(), after
+            // this dispatch loop, so the cookie is always alive here.
+            Conn *conn = static_cast<Conn *>(cookie);
+            if (ev & EPOLLOUT)
+                flushOutput(loop, conn);
+            if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+                if (conn->state == ConnState::Open)
+                    readInput(loop, conn, chunk);
+                else if (ev & (EPOLLHUP | EPOLLERR))
+                    // A draining peer that hung up can never take the
+                    // replies it is owed; stop waiting on them.
+                    beginDrain(loop, conn, true);
+            }
+        }
+
+        adoptPending(loop, stopping);
+        pumpReplies(loop);
+
+        if (stopping &&
+            std::chrono::steady_clock::now() - stopSeen >
+                std::chrono::milliseconds(_options.drainGraceMs)) {
+            for (auto &conn : loop.conns)
+                if (conn->outPos < conn->outBuf.size())
+                    beginDrain(loop, conn.get(), true);
+        }
+
+        reapConnections(loop);
+
+        if (stopping && loop.conns.empty()) {
+            std::lock_guard<std::mutex> lock(loop.mutex);
+            if (loop.pendingAdopt.empty() && loop.inbox.empty())
+                break;
+        }
+    }
+}
+
+void
+SocketServer::acceptReady(int listenFd, bool tcp)
+{
+    for (;;) {
+        int fd = ::accept4(listenFd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            if (!_stop.load())
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
                 warn("dracod: accept(): %s", std::strerror(errno));
             break;
         }
-        if (_stop.load()) {
-            ::close(fd);
+        if (tcp)
+            setNoDelay(fd);
+        uint64_t seq = _accepted.fetch_add(1);
+        _active.fetch_add(1);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        Loop &target = *_loops[seq % _loops.size()];
+        {
+            std::lock_guard<std::mutex> lock(target.mutex);
+            target.pendingAdopt.push_back(std::move(conn));
+            target.wake.signal();
+        }
+    }
+}
+
+void
+SocketServer::adoptPending(Loop &loop, bool stopping)
+{
+    std::vector<std::unique_ptr<Conn>> adopt;
+    {
+        std::lock_guard<std::mutex> lock(loop.mutex);
+        adopt.swap(loop.pendingAdopt);
+    }
+    for (auto &owned : adopt) {
+        Conn *conn = owned.get();
+        conn->epollMask = EPOLLIN | EPOLLRDHUP;
+        if (!loop.epoll.add(conn->fd, conn->epollMask, conn)) {
+            warn("dracod: epoll add for new connection failed");
+            ::close(conn->fd);
+            _reaped.fetch_add(1);
+            _active.fetch_sub(1);
+            continue;
+        }
+        loop.conns.push_back(std::move(owned));
+        if (stopping)
+            beginDrain(loop, conn, false);
+    }
+}
+
+void
+SocketServer::pumpReplies(Loop &loop)
+{
+    std::vector<Loop::Reply> inbox;
+    {
+        std::lock_guard<std::mutex> lock(loop.mutex);
+        inbox.swap(loop.inbox);
+    }
+    if (inbox.empty())
+        return;
+    std::vector<Conn *> touched;
+    for (Loop::Reply &reply : inbox) {
+        Conn *conn = reply.conn;
+        conn->inflight--;
+        if (!conn->pumpTouched) {
+            conn->pumpTouched = true;
+            touched.push_back(conn);
+        }
+        if (conn->discardOutput)
+            continue;
+        if (conn->outBuf.size() - conn->outPos + reply.frame.size() >
+            _options.maxOutputBytes) {
+            warn("dracod: connection output backlog over %zu bytes, "
+                 "dropping connection", _options.maxOutputBytes);
+            beginDrain(loop, conn, true);
+            continue;
+        }
+        conn->outBuf.insert(conn->outBuf.end(), reply.frame.begin(),
+                            reply.frame.end());
+    }
+    for (Conn *conn : touched) {
+        conn->pumpTouched = false;
+        flushOutput(loop, conn);
+    }
+}
+
+void
+SocketServer::readInput(Loop &loop, Conn *conn,
+                        std::vector<uint8_t> &chunk)
+{
+    while (conn->state == ConnState::Open) {
+        ssize_t r = ::read(conn->fd, chunk.data(), chunk.size());
+        if (r > 0) {
+            conn->parser.append(chunk.data(), static_cast<size_t>(r));
+            if (!parseFrames(loop, conn)) {
+                beginDrain(loop, conn, false);
+                break;
+            }
+            if (static_cast<size_t>(r) < chunk.size())
+                break; // Short read: the socket is drained.
+            continue;
+        }
+        if (r == 0) {
+            // EOF or client half-close: stop reading, but in-flight
+            // batches still complete and their replies still flush.
+            beginDrain(loop, conn, false);
             break;
         }
-        _accepted.fetch_add(1);
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        Connection *c = conn.get();
-        {
-            std::lock_guard<std::mutex> lock(_connMutex);
-            _connections.push_back(std::move(conn));
-        }
-        c->writer = std::thread([this, c] { writerLoop(c); });
-        c->reader = std::thread([this, c] { readerLoop(c); });
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        beginDrain(loop, conn, true);
+        break;
     }
-}
-
-void
-SocketServer::sendFrame(Connection *conn, std::vector<uint8_t> payload)
-{
-    {
-        std::lock_guard<std::mutex> lock(conn->mutex);
-        if (conn->closing)
-            return;
-        conn->outbox.push_back(std::move(payload));
-    }
-    conn->wake.notify_all();
-}
-
-void
-SocketServer::writerLoop(Connection *conn)
-{
-    ScopedLogContext logContext("dracod/writer");
-    for (;;) {
-        std::vector<uint8_t> payload;
-        {
-            std::unique_lock<std::mutex> lock(conn->mutex);
-            conn->wake.wait(lock, [&] {
-                return !conn->outbox.empty() || conn->closing;
-            });
-            if (conn->outbox.empty())
-                break; // closing and drained
-            payload = std::move(conn->outbox.front());
-            conn->outbox.pop_front();
-        }
-        if (!conn->writeFailed && !wire::writeFrame(conn->fd, payload))
-            conn->writeFailed = true; // keep draining, drop frames
-    }
+    if (!conn->discardOutput && conn->outPos < conn->outBuf.size())
+        flushOutput(loop, conn);
 }
 
 bool
-SocketServer::handleFrame(Connection *conn,
+SocketServer::parseFrames(Loop &loop, Conn *conn)
+{
+    std::vector<uint8_t> payload;
+    for (;;) {
+        switch (conn->parser.next(payload)) {
+          case wire::FrameParser::Result::Need:
+            return true;
+          case wire::FrameParser::Result::Corrupt:
+            warn("dracod: oversized frame length, closing connection");
+            return false;
+          case wire::FrameParser::Result::Frame:
+            if (!handleFrame(loop, conn, payload))
+                return false;
+            if (conn->state != ConnState::Open)
+                return true; // handleFrame began a drain itself.
+            break;
+        }
+    }
+}
+
+void
+SocketServer::sendControl(Loop &loop, Conn *conn,
+                          const std::vector<uint8_t> &payload)
+{
+    if (conn->discardOutput)
+        return;
+    if (conn->outBuf.size() - conn->outPos + payload.size() + 4 >
+        _options.maxOutputBytes) {
+        warn("dracod: connection output backlog over %zu bytes, "
+             "dropping connection", _options.maxOutputBytes);
+        beginDrain(loop, conn, true);
+        return;
+    }
+    if (!wire::appendFrame(conn->outBuf, payload))
+        warn("dracod: oversized control reply dropped");
+}
+
+bool
+SocketServer::handleFrame(Loop &loop, Conn *conn,
                           const std::vector<uint8_t> &payload)
 {
     std::vector<uint8_t> reply;
@@ -142,7 +393,7 @@ SocketServer::handleFrame(Connection *conn,
         r.version = wire::kProtocolVersion;
         r.shards = _service.shards();
         wire::encode(reply, r);
-        sendFrame(conn, std::move(reply));
+        sendControl(loop, conn, reply);
         return true;
       }
       case wire::MsgType::CreateTenant: {
@@ -166,16 +417,17 @@ SocketServer::handleFrame(Connection *conn,
                 r.error = "tenant table full or service stopping";
         }
         wire::encode(reply, r);
-        sendFrame(conn, std::move(reply));
+        sendControl(loop, conn, reply);
         return true;
       }
       case wire::MsgType::CheckBatch: {
         // The reply is produced by the shard worker when the batch
-        // completes, so the reader keeps decoding the next frame and a
+        // completes; the loop keeps decoding further frames, so one
         // connection can pipeline many batches.
         struct Pending {
             wire::CheckBatchReply reply;
             Batch batch;
+            std::vector<os::SyscallRequest> reqs;
         };
         auto ctx = std::make_shared<Pending>();
         wire::CheckBatch msg;
@@ -185,24 +437,34 @@ SocketServer::handleFrame(Connection *conn,
         ctx->reply.resps.resize(msg.reqs.size());
         if (msg.reqs.empty()) {
             wire::encode(reply, ctx->reply);
-            sendFrame(conn, std::move(reply));
+            sendControl(loop, conn, reply);
             return true;
         }
-        conn->inflight.fetch_add(1);
-        // The requests must outlive the submit; move them into the
-        // context so the callback owns everything it needs.
-        auto reqs = std::make_shared<std::vector<os::SyscallRequest>>(
-            std::move(msg.reqs));
+        ctx->reqs = std::move(msg.reqs);
+        conn->inflight++;
         TenantId tenantId = msg.tenantId;
-        ctx->batch.onComplete([this, conn, ctx, reqs] {
+        Loop *owner = &loop;
+        ctx->batch.onComplete([owner, conn, ctx] {
+            // Runs on whichever thread completes the batch (a shard
+            // worker, or the loop thread inline when the batch is
+            // fully shed). It must not touch Conn state: the framed
+            // reply goes through the owning loop's inbox and the loop
+            // alone decrements inflight — which also keeps `conn`
+            // alive until this reply has been pumped. The eventfd is
+            // signalled under the inbox mutex so the loop cannot pump
+            // this entry, finish draining, and let the server be
+            // destroyed between our push and the wakeup write.
             std::vector<uint8_t> buf;
             wire::encode(buf, ctx->reply);
-            sendFrame(conn, std::move(buf));
-            conn->inflight.fetch_sub(1);
-            conn->wake.notify_all();
+            std::vector<uint8_t> frame;
+            wire::appendFrame(frame, buf);
+            std::lock_guard<std::mutex> lock(owner->mutex);
+            owner->inbox.push_back(
+                Loop::Reply{conn, std::move(frame)});
+            owner->wake.signal();
         });
-        _service.submitBatch(tenantId, reqs->data(),
-                             static_cast<uint32_t>(reqs->size()),
+        _service.submitBatch(tenantId, ctx->reqs.data(),
+                             static_cast<uint32_t>(ctx->reqs.size()),
                              ctx->reply.resps.data(), ctx->batch);
         return true;
       }
@@ -213,7 +475,7 @@ SocketServer::handleFrame(Connection *conn,
         wire::TenantStatsReply r;
         r.ok = _service.tenantStats(msg.tenantId, r.stats);
         wire::encode(reply, r);
-        sendFrame(conn, std::move(reply));
+        sendControl(loop, conn, reply);
         return true;
       }
       case wire::MsgType::EvictTenant: {
@@ -223,12 +485,12 @@ SocketServer::handleFrame(Connection *conn,
         wire::EvictTenantReply r;
         r.ok = _service.evictTenant(msg.tenantId);
         wire::encode(reply, r);
-        sendFrame(conn, std::move(reply));
+        sendControl(loop, conn, reply);
         return true;
       }
       case wire::MsgType::Shutdown: {
         wire::encodeShutdownReply(reply);
-        sendFrame(conn, std::move(reply));
+        sendControl(loop, conn, reply);
         requestStop();
         return false;
       }
@@ -240,24 +502,112 @@ SocketServer::handleFrame(Connection *conn,
 }
 
 void
-SocketServer::readerLoop(Connection *conn)
+SocketServer::flushOutput(Loop &loop, Conn *conn)
 {
-    ScopedLogContext logContext("dracod/reader");
-    std::vector<uint8_t> payload;
-    while (wire::readFrame(conn->fd, payload)) {
-        if (!handleFrame(conn, payload))
+    if (conn->discardOutput)
+        return;
+    while (conn->outPos < conn->outBuf.size()) {
+        ssize_t w = ::send(conn->fd, conn->outBuf.data() + conn->outPos,
+                           conn->outBuf.size() - conn->outPos,
+                           MSG_NOSIGNAL);
+        if (w > 0) {
+            conn->outPos += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
+        // A failed write kills the whole connection, reader included:
+        // the peer can never see the replies it is owed, so decoding
+        // further requests for it would only leak work.
+        beginDrain(loop, conn, true);
+        return;
+    }
+    if (conn->outPos == conn->outBuf.size()) {
+        conn->outBuf.clear();
+        conn->outPos = 0;
+    } else if (conn->outPos >= (64u << 10)) {
+        conn->outBuf.erase(conn->outBuf.begin(),
+                           conn->outBuf.begin() +
+                               static_cast<ptrdiff_t>(conn->outPos));
+        conn->outPos = 0;
+    }
+    updateInterest(loop, conn);
+}
+
+void
+SocketServer::beginDrain(Loop &loop, Conn *conn, bool discardOutput)
+{
+    if (discardOutput && !conn->discardOutput) {
+        conn->discardOutput = true;
+        conn->outBuf.clear();
+        conn->outPos = 0;
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (conn->state == ConnState::Open) {
+        conn->state = ConnState::Draining;
+        if (!conn->discardOutput)
+            ::shutdown(conn->fd, SHUT_RD);
+    }
+    updateInterest(loop, conn);
+}
+
+void
+SocketServer::updateInterest(Loop &loop, Conn *conn)
+{
+    uint32_t mask = 0;
+    if (conn->state == ConnState::Open)
+        mask |= EPOLLIN | EPOLLRDHUP;
+    if (!conn->discardOutput && conn->outPos < conn->outBuf.size())
+        mask |= EPOLLOUT;
+    if (mask != conn->epollMask) {
+        conn->epollMask = mask;
+        loop.epoll.mod(conn->fd, mask, conn);
+    }
+}
+
+void
+SocketServer::beginStopDrain(Loop &loop)
+{
+    for (auto &conn : loop.conns)
+        if (conn->state == ConnState::Open)
+            beginDrain(loop, conn.get(), false);
+}
+
+void
+SocketServer::reapConnections(Loop &loop)
+{
+    for (auto it = loop.conns.begin(); it != loop.conns.end();) {
+        Conn *conn = it->get();
+        bool flushed = conn->discardOutput ||
+                       conn->outPos == conn->outBuf.size();
+        if (conn->state == ConnState::Draining &&
+            conn->inflight == 0 && flushed) {
+            loop.epoll.del(conn->fd);
+            ::close(conn->fd);
+            _reaped.fetch_add(1);
+            _active.fetch_sub(1);
+            it = loop.conns.erase(it);
+        } else {
+            ++it;
+        }
     }
 }
 
 void
 SocketServer::requestStop()
 {
-    if (_stop.exchange(true))
+    bool already;
+    {
+        std::lock_guard<std::mutex> lock(_waitMutex);
+        already = _stop.exchange(true);
+    }
+    if (already)
         return;
-    if (_listenFd >= 0)
-        ::shutdown(_listenFd, SHUT_RDWR);
     _waitCv.notify_all();
+    for (auto &loop : _loops)
+        loop->wake.signal();
 }
 
 void
@@ -276,61 +626,43 @@ SocketServer::stop()
     requestStop();
     if (_stopped.exchange(true))
         return;
-
-    if (_acceptThread.joinable())
-        _acceptThread.join();
-    if (_listenFd >= 0) {
-        ::close(_listenFd);
-        _listenFd = -1;
-    }
-
-    std::lock_guard<std::mutex> lock(_connMutex);
-    for (auto &conn : _connections) {
-        // Unblock the reader; it stops decoding new frames.
-        ::shutdown(conn->fd, SHUT_RD);
-        if (conn->reader.joinable())
-            conn->reader.join();
-        // Batches still in the service must finish and enqueue their
-        // replies before the writer is told to drain and exit.
-        {
-            std::unique_lock<std::mutex> connLock(conn->mutex);
-            conn->wake.wait(connLock, [&] {
-                return conn->inflight.load() == 0;
-            });
-            conn->closing = true;
+    for (auto &loop : _loops)
+        if (loop->thread.joinable())
+            loop->thread.join();
+    // A connection accepted in the instant before loop 0 observed the
+    // stop can land in the adoption queue of a loop that had already
+    // drained and exited — nobody will ever adopt it. Reap those here
+    // (threads are joined, so the queues are ours), or the fds leak
+    // and their clients block forever on a Hello reply.
+    for (auto &loop : _loops) {
+        for (auto &conn : loop->pendingAdopt) {
+            ::close(conn->fd);
+            _reaped.fetch_add(1);
+            _active.fetch_sub(1);
         }
-        conn->wake.notify_all();
-        if (conn->writer.joinable())
-            conn->writer.join();
-        ::close(conn->fd);
+        loop->pendingAdopt.clear();
     }
-    _connections.clear();
-    ::unlink(_socketPath.c_str());
+    _loops.clear();
+    if (_unixListenFd >= 0) {
+        ::close(_unixListenFd);
+        _unixListenFd = -1;
+    }
+    if (_tcpListenFd >= 0) {
+        ::close(_tcpListenFd);
+        _tcpListenFd = -1;
+    }
+    if (!_options.socketPath.empty())
+        ::unlink(_options.socketPath.c_str());
 }
 
 // ---- SocketClient ----
 
 std::unique_ptr<SocketClient>
-SocketClient::connect(const std::string &socketPath)
+SocketClient::connectTo(const Endpoint &endpoint)
 {
-    sockaddr_un addr;
-    if (!makeAddress(socketPath, addr)) {
-        warn("dracoload: socket path too long: %s", socketPath.c_str());
+    int fd = draco::serve::connectEndpoint(endpoint);
+    if (fd < 0)
         return nullptr;
-    }
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        warn("dracoload: socket(): %s", std::strerror(errno));
-        return nullptr;
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
-        warn("dracoload: connect %s: %s", socketPath.c_str(),
-             std::strerror(errno));
-        ::close(fd);
-        return nullptr;
-    }
-
     auto client = std::unique_ptr<SocketClient>(new SocketClient(fd));
     std::vector<uint8_t> request;
     std::vector<uint8_t> reply;
@@ -339,11 +671,29 @@ SocketClient::connect(const std::string &socketPath)
     if (!client->roundTrip(request, reply) ||
         !wire::decode(reply, hello) ||
         hello.version != wire::kProtocolVersion) {
-        warn("dracoload: handshake with %s failed", socketPath.c_str());
+        warn("dracoload: handshake with %s failed",
+             endpoint.describe().c_str());
         return nullptr;
     }
     client->_serverShards = hello.shards;
     return client;
+}
+
+std::unique_ptr<SocketClient>
+SocketClient::connect(const std::string &socketPath)
+{
+    return connectTo(Endpoint::unix_(socketPath));
+}
+
+std::unique_ptr<SocketClient>
+SocketClient::connectTcp(const std::string &hostPort)
+{
+    std::optional<Endpoint> ep = Endpoint::parseTcp(hostPort);
+    if (!ep) {
+        warn("dracoload: bad TCP address: %s", hostPort.c_str());
+        return nullptr;
+    }
+    return connectTo(*ep);
 }
 
 SocketClient::~SocketClient()

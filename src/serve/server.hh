@@ -2,29 +2,40 @@
  * @file
  * The dracod socket frontend.
  *
- * SocketServer exposes a CheckService over a Unix-domain stream socket
- * speaking the serve/wire protocol. Each accepted connection gets a
- * reader thread (decodes frames, handles control messages inline,
- * submits CheckBatch work to the service) and a writer thread draining
- * a per-connection outbox — so check replies are enqueued by shard
- * workers as batches complete and a connection can keep many batches in
- * flight (open-loop pipelining) without any thread lock-stepping on the
- * slowest one. A Shutdown frame (or requestStop()) stops the daemon:
- * the listener closes, in-flight batches drain, replies flush, and
- * wait() returns.
+ * SocketServer exposes a CheckService over stream sockets — a
+ * Unix-domain path, a TCP host:port, or both at once — speaking the
+ * serve/wire protocol. Unlike the original thread-per-connection
+ * design, the frontend is an epoll event loop: a small fixed pool of
+ * loop threads owns all connections, every fd is non-blocking, and
+ * each connection carries its own incremental frame parser and staged
+ * output buffer. Control messages answer inline on the loop thread;
+ * CheckBatch replies are produced by shard workers as batches complete
+ * and handed back to the owning loop through a per-loop MPSC inbox
+ * woken by an eventfd — so one connection can pipeline many batches
+ * and thousands of connections cost threads only in the fixed pool.
  *
- * SocketClient is the lock-step counterpart: one outstanding request at
- * a time, so the next frame on the wire is always the awaited reply.
- * Open-loop load generation bypasses it and pipelines raw frames (see
- * tools/dracoload.cc).
+ * Connection teardown is a state machine, not a join: Open →
+ * Draining → reaped. A client disconnect (EOF or half-close) stops
+ * reading but keeps the connection until in-flight batches complete
+ * and their replies flush; a write failure kills the whole connection
+ * (reader included) immediately, discarding undeliverable output; a
+ * reaped connection releases its fd and memory eagerly, so
+ * long-running daemons do not leak per-disconnect resources. Server
+ * stop drains every connection the same way (with a bounded grace for
+ * clients that stop reading), then joins the loop pool.
+ *
+ * SocketClient is the lock-step counterpart: one outstanding request
+ * at a time, so the next frame on the wire is always the awaited
+ * reply. Open-loop load generation bypasses it and pipelines raw
+ * frames (see tools/dracoload.cc).
  */
 
 #ifndef DRACO_SERVE_SERVER_HH
 #define DRACO_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -34,9 +45,41 @@
 
 #include "serve/client.hh"
 #include "serve/service.hh"
+#include "serve/transport.hh"
 #include "serve/wire.hh"
+#include "support/epoll.hh"
 
 namespace draco::serve {
+
+/** Frontend configuration for one SocketServer. */
+struct ServerOptions {
+    /** Unix-domain socket path; "" disables the Unix listener. */
+    std::string socketPath;
+
+    /** TCP "host:port" to listen on; "" disables the TCP listener. */
+    std::string tcpAddress;
+
+    /** Event-loop threads; connections spread round-robin. */
+    unsigned eventThreads = 2;
+
+    /** listen(2) backlog for both listeners. */
+    int backlog = 128;
+
+    /**
+     * Staged-output cap per connection. A client that stops reading
+     * while replies accumulate beyond this is treated as dead (the
+     * connection is torn down, output discarded) so one stalled peer
+     * cannot pin unbounded memory.
+     */
+    size_t maxOutputBytes = 16u << 20;
+
+    /**
+     * After stop(), draining connections get this long to accept
+     * their remaining replies before undeliverable output is dropped;
+     * keeps shutdown bounded when a client never reads.
+     */
+    unsigned drainGraceMs = 5000;
+};
 
 /**
  * Wire-protocol server for one CheckService (see file comment).
@@ -46,8 +89,12 @@ class SocketServer
   public:
     /**
      * @param service Backing service (not owned, must outlive this).
-     * @param socketPath Filesystem path to bind (unlinked first).
+     * @param options Listener endpoints and event-loop knobs; at
+     *        least one of socketPath / tcpAddress must be set.
      */
+    SocketServer(CheckService &service, ServerOptions options);
+
+    /** Unix-socket-only convenience constructor. */
     SocketServer(CheckService &service, std::string socketPath);
 
     /** Calls stop(). */
@@ -57,9 +104,9 @@ class SocketServer
     SocketServer &operator=(const SocketServer &) = delete;
 
     /**
-     * Bind, listen, and start accepting.
+     * Bind the configured listeners and start the event-loop pool.
      *
-     * @return false (with a warning) when the socket cannot be bound.
+     * @return false (with a warning) when no listener could be bound.
      */
     bool start();
 
@@ -69,53 +116,87 @@ class SocketServer
     /** Begin shutdown from any thread; idempotent. */
     void requestStop();
 
-    /** Stop and join everything; idempotent. wait() returns after. */
+    /** Stop, drain connections, and join the pool; idempotent. */
     void stop();
 
     /** @return true once shutdown has begun. */
     bool stopRequested() const { return _stop.load(); }
 
     /** @return Connections accepted over the server's lifetime. */
-    uint64_t connectionsAccepted() const
+    uint64_t connectionsAccepted() const { return _accepted.load(); }
+
+    /** @return Connections fully torn down (fd closed, state freed). */
+    uint64_t connectionsReaped() const { return _reaped.load(); }
+
+    /** @return Connections currently alive (accepted − reaped). */
+    uint32_t activeConnections() const { return _active.load(); }
+
+    /**
+     * @return The bound TCP port (useful with a ":0" tcpAddress), or
+     *         0 when no TCP listener is configured.
+     */
+    uint16_t tcpPort() const { return _tcpPort; }
+
+    const std::string &socketPath() const
     {
-        return _accepted.load();
+        return _options.socketPath;
     }
 
-    const std::string &socketPath() const { return _socketPath; }
+    const ServerOptions &options() const { return _options; }
 
   private:
-    struct Connection {
-        int fd = -1;
-        std::thread reader;
-        std::thread writer;
-
-        std::mutex mutex;
-        std::condition_variable wake;
-        std::deque<std::vector<uint8_t>> outbox;
-        bool closing = false;      ///< Writer exits once outbox drains.
-        bool writeFailed = false;
-
-        /** CheckBatch submits whose completion has not enqueued yet. */
-        std::atomic<uint32_t> inflight{0};
+    /** Connection lifecycle (loop-thread-only). */
+    enum class ConnState : uint8_t {
+        Open,     ///< Reading frames, writing replies.
+        Draining, ///< Read side closed; flush in-flight, then reap.
     };
 
-    void acceptLoop();
-    void readerLoop(Connection *conn);
-    void writerLoop(Connection *conn);
-    void sendFrame(Connection *conn, std::vector<uint8_t> payload);
-    bool handleFrame(Connection *conn,
+    /*
+     * Conn is one accepted connection; Loop is one event-loop thread
+     * plus its epoll set, eventfd, MPSC inbox of completed-batch
+     * replies, and adoption queue of freshly accepted connections.
+     * After adoption every Conn field is owned by its loop thread;
+     * shard workers never touch a Conn — completed batches travel
+     * through the loop's inbox, and the conn pointer they carry stays
+     * valid because a connection is only reaped once its in-flight
+     * count (decremented exclusively by the loop while pumping that
+     * inbox) reaches zero. Both are defined in server.cc.
+     */
+    struct Conn;
+    struct Loop;
+
+    void loopMain(size_t index);
+    void acceptReady(int listenFd, bool tcp);
+    void adoptPending(Loop &loop, bool stopping);
+    void pumpReplies(Loop &loop);
+    void readInput(Loop &loop, Conn *conn, std::vector<uint8_t> &chunk);
+    bool parseFrames(Loop &loop, Conn *conn);
+    bool handleFrame(Loop &loop, Conn *conn,
+                     const std::vector<uint8_t> &payload);
+    void flushOutput(Loop &loop, Conn *conn);
+    void beginDrain(Loop &loop, Conn *conn, bool discardOutput);
+    void updateInterest(Loop &loop, Conn *conn);
+    void beginStopDrain(Loop &loop);
+    void reapConnections(Loop &loop);
+    void sendControl(Loop &loop, Conn *conn,
                      const std::vector<uint8_t> &payload);
 
     CheckService &_service;
-    std::string _socketPath;
-    int _listenFd = -1;
-    std::thread _acceptThread;
+    ServerOptions _options;
+
+    int _unixListenFd = -1;
+    int _tcpListenFd = -1;
+    uint16_t _tcpPort = 0;
+    int _unixTag = 0; ///< epoll cookie identity for the Unix listener.
+    int _tcpTag = 0;  ///< epoll cookie identity for the TCP listener.
+
+    std::vector<std::unique_ptr<Loop>> _loops;
+
     std::atomic<bool> _stop{false};
     std::atomic<bool> _stopped{false};
     std::atomic<uint64_t> _accepted{0};
-
-    std::mutex _connMutex;
-    std::list<std::unique_ptr<Connection>> _connections;
+    std::atomic<uint64_t> _reaped{0};
+    std::atomic<uint32_t> _active{0};
 
     std::mutex _waitMutex;
     std::condition_variable _waitCv;
@@ -128,12 +209,24 @@ class SocketClient final : public Client
 {
   public:
     /**
-     * Connect to @p socketPath and exchange Hello.
+     * Connect to the Unix socket @p socketPath and exchange Hello.
      *
      * @return nullptr (with a warning) on connect/handshake failure.
      */
     static std::unique_ptr<SocketClient>
     connect(const std::string &socketPath);
+
+    /**
+     * Connect to the TCP endpoint "host:port" and exchange Hello.
+     *
+     * @return nullptr (with a warning) on connect/handshake failure.
+     */
+    static std::unique_ptr<SocketClient>
+    connectTcp(const std::string &hostPort);
+
+    /** Connect to @p endpoint and exchange Hello. */
+    static std::unique_ptr<SocketClient>
+    connectTo(const Endpoint &endpoint);
 
     ~SocketClient() override;
 

@@ -34,18 +34,26 @@ Batch::complete(uint32_t n)
 {
     if (n == 0)
         return;
-    uint32_t before = _outstanding.fetch_sub(n, std::memory_order_acq_rel);
-    if (before < n)
-        panic("Batch: completed %u with only %u outstanding", n, before);
-    if (before != n)
-        return;
     std::function<void()> callback;
     {
+        // The final decrement must happen under the mutex, and the
+        // waiter must observe it under the same mutex: if done()
+        // became true before we took the lock, wait() could return
+        // and the caller destroy this Batch while we still touch
+        // _callback and _cv. With both inside the critical section,
+        // the completer's last access is the unlock, which a waiter's
+        // lock acquisition synchronizes with before destruction.
         std::lock_guard<std::mutex> lock(_mutex);
+        uint32_t before =
+            _outstanding.fetch_sub(n, std::memory_order_acq_rel);
+        if (before < n)
+            panic("Batch: completed %u with only %u outstanding", n, before);
+        if (before != n)
+            return;
         callback = std::move(_callback);
         _callback = nullptr;
+        _cv.notify_all();
     }
-    _cv.notify_all();
     if (callback)
         callback();
 }
@@ -53,8 +61,10 @@ Batch::complete(uint32_t n)
 void
 Batch::wait()
 {
-    if (done())
-        return;
+    // No lock-free fast path: returning on a bare done() load could
+    // race a completer still inside its critical section (see
+    // complete()). Observing done() under the mutex is what makes it
+    // safe to destroy the Batch the moment wait() returns.
     std::unique_lock<std::mutex> lock(_mutex);
     _cv.wait(lock, [this] { return done(); });
 }

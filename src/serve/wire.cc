@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "support/binio.hh"
@@ -23,8 +24,24 @@ using binio::takeVarint;
 
 namespace {
 
-/** Requests one CheckBatch frame may carry (bounds the decoder). */
-constexpr uint32_t kMaxBatchRequests = 8192;
+/**
+ * Smallest possible encodings of one batch element, used to reject a
+ * forged count before the element array is allocated: a request is a
+ * u16 sid, a >=1-byte pc varint, and six >=1-byte arg varints; a
+ * response is status, path, and a >=1-byte retry varint.
+ */
+constexpr size_t kMinRequestBytes = 2 + 1 + 6;
+constexpr size_t kMinResponseBytes = 1 + 1 + 1;
+
+/** @return true when @p count elements of @p minBytes can still fit. */
+bool
+countFits(const std::vector<uint8_t> &payload, size_t pos,
+          uint32_t count, size_t minBytes)
+{
+    return pos <= payload.size() &&
+           static_cast<uint64_t>(count) * minBytes <=
+               payload.size() - pos;
+}
 
 void
 putType(std::vector<uint8_t> &out, MsgType type)
@@ -149,7 +166,8 @@ decode(const std::vector<uint8_t> &payload, CheckBatch &out)
     if (!takeType(payload, pos, MsgType::CheckBatch) ||
         !takeU64(payload, pos, out.batchId) ||
         !takeU32(payload, pos, out.tenantId) ||
-        !takeU32(payload, pos, count) || count > kMaxBatchRequests) {
+        !takeU32(payload, pos, count) || count > kMaxBatchRequests ||
+        !countFits(payload, pos, count, kMinRequestBytes)) {
         return false;
     }
     out.reqs.resize(count);
@@ -185,7 +203,8 @@ decode(const std::vector<uint8_t> &payload, CheckBatchReply &out)
     uint32_t count;
     if (!takeType(payload, pos, MsgType::CheckBatchReply) ||
         !takeU64(payload, pos, out.batchId) ||
-        !takeU32(payload, pos, count) || count > kMaxBatchRequests) {
+        !takeU32(payload, pos, count) || count > kMaxBatchRequests ||
+        !countFits(payload, pos, count, kMinResponseBytes)) {
         return false;
     }
     out.resps.resize(count);
@@ -343,7 +362,10 @@ bool
 writeAll(int fd, const uint8_t *data, size_t len)
 {
     while (len > 0) {
-        ssize_t n = ::write(fd, data, len);
+        // MSG_NOSIGNAL: writing to a peer that half-closed must fail
+        // with EPIPE, not kill the process — clients routinely race
+        // their requests against a server beginning to drain.
+        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -401,6 +423,59 @@ readFrame(int fd, std::vector<uint8_t> &payload)
         return false;
     payload.resize(len);
     return len == 0 || readAll(fd, payload.data(), len);
+}
+
+bool
+appendFrame(std::vector<uint8_t> &stream,
+            const std::vector<uint8_t> &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    stream.reserve(stream.size() + 4 + payload.size());
+    for (int i = 0; i < 4; ++i)
+        stream.push_back(static_cast<uint8_t>((len >> (8 * i)) & 0xff));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+    return true;
+}
+
+// ---- FrameParser ----
+
+void
+FrameParser::append(const uint8_t *data, size_t n)
+{
+    if (_corrupt)
+        return;
+    // Compact before growing so the buffer never holds more than one
+    // in-progress frame plus fresh input.
+    if (_pos > 0) {
+        _buf.erase(_buf.begin(),
+                   _buf.begin() + static_cast<ptrdiff_t>(_pos));
+        _pos = 0;
+    }
+    _buf.insert(_buf.end(), data, data + n);
+}
+
+FrameParser::Result
+FrameParser::next(std::vector<uint8_t> &payload)
+{
+    if (_corrupt)
+        return Result::Corrupt;
+    if (_buf.size() - _pos < 4)
+        return Result::Need;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(_buf[_pos + i]) << (8 * i);
+    if (len > kMaxFrameBytes) {
+        _corrupt = true;
+        return Result::Corrupt;
+    }
+    if (_buf.size() - _pos - 4 < len)
+        return Result::Need;
+    payload.assign(_buf.begin() + static_cast<ptrdiff_t>(_pos + 4),
+                   _buf.begin() + static_cast<ptrdiff_t>(_pos + 4 + len));
+    _pos += 4 + len;
+    return Result::Frame;
 }
 
 } // namespace draco::serve::wire

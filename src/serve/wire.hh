@@ -35,6 +35,9 @@ inline constexpr uint32_t kProtocolVersion = 1;
 /** Upper bound on one frame's payload (decoder rejects beyond it). */
 inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
 
+/** Requests one CheckBatch frame may carry (bounds the decoder). */
+inline constexpr uint32_t kMaxBatchRequests = 8192;
+
 /** Message type, first payload byte of every frame. */
 enum class MsgType : uint8_t {
     Hello = 1,
@@ -148,6 +151,53 @@ bool writeFrame(int fd, const std::vector<uint8_t> &payload);
  * @return false on EOF, I/O error, or an over-limit length prefix.
  */
 bool readFrame(int fd, std::vector<uint8_t> &payload);
+
+/**
+ * Append the framed form of @p payload (length prefix + bytes) to
+ * @p stream — the buffer-building counterpart of writeFrame() for
+ * non-blocking writers that stage output and flush when the socket is
+ * ready.
+ *
+ * @return false (stream untouched) on an oversized payload.
+ */
+bool appendFrame(std::vector<uint8_t> &stream,
+                 const std::vector<uint8_t> &payload);
+
+/**
+ * Incremental frame splitter for non-blocking readers.
+ *
+ * Feed whatever bytes arrived with append(); next() peels complete
+ * frames off the front. A forged over-limit length prefix poisons the
+ * parser (corrupt() stays true; next() returns Corrupt) before any
+ * payload-sized allocation happens. Consumed bytes are compacted away
+ * lazily, so buffering stays O(one frame + one read chunk).
+ */
+class FrameParser
+{
+  public:
+    enum class Result : uint8_t {
+        Frame,   ///< @p payload holds the next complete frame.
+        Need,    ///< No complete frame buffered yet.
+        Corrupt, ///< Over-limit length prefix; the stream is dead.
+    };
+
+    /** Buffer @p n incoming bytes. */
+    void append(const uint8_t *data, size_t n);
+
+    /** Extract the next frame into @p payload, if one is complete. */
+    Result next(std::vector<uint8_t> &payload);
+
+    /** @return true once an over-limit length prefix was seen. */
+    bool corrupt() const { return _corrupt; }
+
+    /** @return Bytes buffered and not yet consumed. */
+    size_t buffered() const { return _buf.size() - _pos; }
+
+  private:
+    std::vector<uint8_t> _buf;
+    size_t _pos = 0;
+    bool _corrupt = false;
+};
 
 } // namespace draco::serve::wire
 

@@ -1,0 +1,137 @@
+#include "support/epoll.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace draco::support {
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+uint64_t
+raiseFdLimit(uint64_t atLeast)
+{
+    rlimit limit;
+    if (::getrlimit(RLIMIT_NOFILE, &limit) != 0)
+        return 0;
+    if (limit.rlim_cur >= atLeast)
+        return limit.rlim_cur;
+    rlim_t want = atLeast;
+    if (limit.rlim_max != RLIM_INFINITY && want > limit.rlim_max)
+        want = limit.rlim_max;
+    rlimit raised = limit;
+    raised.rlim_cur = want;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+        warn("raiseFdLimit: setrlimit(%llu): %s",
+             static_cast<unsigned long long>(want),
+             std::strerror(errno));
+        return limit.rlim_cur;
+    }
+    return want;
+}
+
+// ---- EventFd ----
+
+EventFd::EventFd()
+{
+    _fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (_fd < 0)
+        panic("EventFd: eventfd(): %s", std::strerror(errno));
+}
+
+EventFd::~EventFd()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+EventFd::signal()
+{
+    uint64_t one = 1;
+    // EAGAIN means the counter is saturated — the owner is already
+    // guaranteed to wake, so the signal is not lost.
+    ssize_t n;
+    do {
+        n = ::write(_fd, &one, sizeof(one));
+    } while (n < 0 && errno == EINTR);
+}
+
+void
+EventFd::drain()
+{
+    uint64_t count;
+    ssize_t n;
+    do {
+        n = ::read(_fd, &count, sizeof(count));
+    } while (n < 0 && errno == EINTR);
+}
+
+// ---- Epoll ----
+
+Epoll::Epoll()
+{
+    _fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (_fd < 0)
+        panic("Epoll: epoll_create1(): %s", std::strerror(errno));
+}
+
+Epoll::~Epoll()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+bool
+Epoll::add(int fd, uint32_t events, void *cookie)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = cookie;
+    return ::epoll_ctl(_fd, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool
+Epoll::mod(int fd, uint32_t events, void *cookie)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = cookie;
+    return ::epoll_ctl(_fd, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool
+Epoll::del(int fd)
+{
+    return ::epoll_ctl(_fd, EPOLL_CTL_DEL, fd, nullptr) == 0;
+}
+
+int
+Epoll::wait(std::vector<epoll_event> &events, int timeoutMs)
+{
+    if (events.size() < 64)
+        events.resize(64);
+    int n;
+    do {
+        n = ::epoll_wait(_fd, events.data(),
+                         static_cast<int>(events.size()), timeoutMs);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0)
+        panic("Epoll: epoll_wait(): %s", std::strerror(errno));
+    return n;
+}
+
+} // namespace draco::support

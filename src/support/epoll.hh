@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thin RAII wrappers over the Linux readiness primitives the serving
+ * frontend builds on: an epoll set, an eventfd wakeup, and the fd
+ * bookkeeping helpers (non-blocking mode, RLIMIT_NOFILE raising) that
+ * every event-driven component needs. The wrappers add nothing beyond
+ * ownership and EINTR handling — callers keep full control of event
+ * masks and dispatch.
+ */
+
+#ifndef DRACO_SUPPORT_EPOLL_HH
+#define DRACO_SUPPORT_EPOLL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <sys/epoll.h>
+
+namespace draco::support {
+
+/** Put @p fd in non-blocking mode. @return false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Raise the process soft RLIMIT_NOFILE to at least @p atLeast
+ * (clamped to the hard limit).
+ *
+ * @return The resulting soft limit (which may still be below
+ *         @p atLeast when the hard limit is lower).
+ */
+uint64_t raiseFdLimit(uint64_t atLeast);
+
+/**
+ * Owning wrapper around an eventfd used as a cross-thread wakeup: any
+ * thread may signal(), the owning event loop registers fd() for
+ * EPOLLIN and drain()s on wakeup. Signals coalesce (the counter is
+ * drained whole), so N signals cost at most N syscalls and one wakeup.
+ */
+class EventFd
+{
+  public:
+    /** Creates the eventfd (non-blocking). Aborts on failure. */
+    EventFd();
+    ~EventFd();
+
+    EventFd(const EventFd &) = delete;
+    EventFd &operator=(const EventFd &) = delete;
+
+    int fd() const { return _fd; }
+
+    /** Wake the owner; safe from any thread and from signal context. */
+    void signal();
+
+    /** Consume all pending signals (owner side). */
+    void drain();
+
+  private:
+    int _fd = -1;
+};
+
+/**
+ * Owning wrapper around an epoll instance.
+ *
+ * Registration carries a caller-owned cookie pointer returned in
+ * `epoll_event::data.ptr`; the set never interprets it. All methods
+ * are owner-thread-only except where epoll itself is thread-safe
+ * (EPOLL_CTL_* from other threads is not used here).
+ */
+class Epoll
+{
+  public:
+    /** Creates the epoll instance. Aborts on failure. */
+    Epoll();
+    ~Epoll();
+
+    Epoll(const Epoll &) = delete;
+    Epoll &operator=(const Epoll &) = delete;
+
+    /** Register @p fd for @p events with @p cookie. @return false on error. */
+    bool add(int fd, uint32_t events, void *cookie);
+
+    /** Change @p fd's event mask / cookie. @return false on error. */
+    bool mod(int fd, uint32_t events, void *cookie);
+
+    /** Deregister @p fd. @return false on error. */
+    bool del(int fd);
+
+    /**
+     * Wait for events, retrying EINTR.
+     *
+     * @param events Filled with ready events (resized to the result).
+     * @param timeoutMs -1 blocks indefinitely.
+     * @return Number of ready events (0 on timeout).
+     */
+    int wait(std::vector<epoll_event> &events, int timeoutMs);
+
+  private:
+    int _fd = -1;
+};
+
+} // namespace draco::support
+
+#endif // DRACO_SUPPORT_EPOLL_HH

@@ -2,8 +2,10 @@
  * @file
  * dracod — the syscall-check serving daemon.
  *
- * Hosts a serve::CheckService behind a Unix-domain socket speaking the
- * serve/wire protocol. Clients (dracoload, or anything else speaking
+ * Hosts a serve::CheckService behind a Unix-domain socket (--socket),
+ * a TCP endpoint (--listen host:port), or both at once, speaking the
+ * serve/wire protocol from a fixed pool of epoll event-loop threads
+ * (--event-threads). Clients (dracoload, or anything else speaking
  * the protocol) create tenants by profile name and stream check
  * batches; the daemon runs until a Shutdown frame or SIGINT/SIGTERM,
  * then drains, optionally writes its `serve.*` metrics as JSON and its
@@ -15,13 +17,16 @@
  *   dracoload --socket /tmp/dracod.sock --trace sample.dtrc --shutdown
  */
 
+#include <algorithm>
 #include <csignal>
+#include <string>
 
 #include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "support/cliflags.hh"
+#include "support/epoll.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -45,8 +50,13 @@ main(int argc, char **argv)
 {
     support::CliFlags flags(
         "dracod", "Serve syscall checks for multiple tenants over a "
-                  "Unix-domain socket.");
+                  "Unix-domain socket and/or TCP.");
     flags.addString("socket", "path", "Unix-domain socket to listen on");
+    flags.addString("listen", "host:port",
+                    "TCP endpoint to listen on (port 0 picks a free "
+                    "port)");
+    flags.addUint("event-threads", "n",
+                  "connection event-loop thread count", 2);
     flags.addUint("shards", "n", "shard (worker thread) count", 1);
     flags.addUint("queue-capacity", "n",
                   "bounded per-shard queue, in requests", 4096);
@@ -66,8 +76,8 @@ main(int argc, char **argv)
         fputs(flags.helpText().c_str(), stdout);
         return 0;
     }
-    if (flags.str("socket").empty())
-        fatal("dracod: --socket is required");
+    if (flags.str("socket").empty() && flags.str("listen").empty())
+        fatal("dracod: --socket and/or --listen is required");
 
     obs::TraceSession session;
     if (!flags.str("trace-out").empty()) {
@@ -95,28 +105,47 @@ main(int argc, char **argv)
                                              : &os::newKernelCosts();
     options.session = session.enabled() ? &session : nullptr;
 
+    // Thousands of concurrent connections need more than the default
+    // 1024-fd soft limit most distros (and CI runners) ship with.
+    support::raiseFdLimit(16384);
+
     serve::CheckService service(options);
-    serve::SocketServer server(service, flags.str("socket"));
+    serve::ServerOptions serverOptions;
+    serverOptions.socketPath = flags.str("socket");
+    serverOptions.tcpAddress = flags.str("listen");
+    serverOptions.eventThreads = static_cast<unsigned>(
+        std::max<uint64_t>(1, flags.uintValue("event-threads")));
+    serve::SocketServer server(service, serverOptions);
     if (!server.start())
-        fatal("dracod: could not listen on %s",
-              flags.str("socket").c_str());
+        fatal("dracod: could not listen (socket '%s', tcp '%s')",
+              flags.str("socket").c_str(), flags.str("listen").c_str());
 
     gServer = &server;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
-    inform("dracod: serving on %s (%u shards, queue %u, batch %u)",
-           flags.str("socket").c_str(), service.shards(),
-           options.queueCapacity, options.maxBatch);
+    std::string where;
+    if (!serverOptions.socketPath.empty())
+        where += "unix:" + serverOptions.socketPath;
+    if (server.tcpPort() != 0) {
+        if (!where.empty())
+            where += " + ";
+        where += "tcp port " + std::to_string(server.tcpPort());
+    }
+    inform("dracod: serving on %s (%u shards, queue %u, batch %u, "
+           "%u event threads)",
+           where.c_str(), service.shards(), options.queueCapacity,
+           options.maxBatch, serverOptions.eventThreads);
     server.wait();
     gServer = nullptr;
     service.stop();
 
-    inform("dracod: served %llu checks, shed %llu, %llu connections",
+    inform("dracod: served %llu checks, shed %llu, "
+           "%llu connections accepted, %llu reaped",
            static_cast<unsigned long long>(service.totalChecks()),
            static_cast<unsigned long long>(service.totalRejects()),
-           static_cast<unsigned long long>(
-               server.connectionsAccepted()));
+           static_cast<unsigned long long>(server.connectionsAccepted()),
+           static_cast<unsigned long long>(server.connectionsReaped()));
 
     if (!flags.str("json").empty() || session.enabled()) {
         MetricRegistry registry;

@@ -3,13 +3,20 @@
  * dracoload — load generator for the check-serving subsystem.
  *
  * Replays a recorded trace (any format openTraceStream understands)
- * against either a dracod daemon (--socket) or an in-process
- * CheckService (--shards), dealing events round-robin across N tenants
- * exactly like the consolidation experiments do. Closed-loop mode (the
- * default) drives each tenant with blocking batches and reports wall
- * latency quantiles; --open-loop fires every batch without waiting for
- * verdicts, which is how admission control is pushed into visible load
- * shedding.
+ * against either a dracod daemon (--socket path or --connect
+ * host:port) or an in-process CheckService (--shards), dealing events
+ * round-robin across N tenants exactly like the consolidation
+ * experiments do. Closed-loop mode (the default) drives each tenant
+ * with blocking batches and reports wall latency quantiles;
+ * --open-loop fires every batch without waiting for verdicts, which
+ * is how admission control is pushed into visible load shedding.
+ *
+ * Overloaded verdicts are a backpressure signal, not a loss: the
+ * server attaches a retryAfterUs hint and dracoload honors it, waiting
+ * (capped by --retry-cap-us) before re-submitting the shed requests up
+ * to --retries times. The summary separates `retried` (re-submissions
+ * that eventually got a verdict) from `shed` (requests still
+ * Overloaded after the retry budget was spent).
  *
  * The per-tenant verdict lines printed at the end come from
  * *server-side* tenant stats, so two closed-loop runs against different
@@ -22,6 +29,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -49,8 +57,25 @@ struct TenantLoad {
     std::vector<os::SyscallRequest> reqs;
     uint64_t statuses[kStatusCount] = {};
     uint64_t transportErrors = 0;
+    uint64_t retried = 0; ///< Requests re-submitted after Overloaded.
+    uint64_t shed = 0;    ///< Still Overloaded with no retries left.
     QuantileSketch latencyUs;
 };
+
+/** How Overloaded verdicts are retried. */
+struct RetryPolicy {
+    unsigned retries = 0;  ///< Re-submissions per request; 0 disables.
+    uint32_t capUs = 50000; ///< Ceiling on one retryAfterUs wait.
+};
+
+/** Honor the server's backpressure hint, bounded by the cap. */
+void
+backoffSleep(uint32_t hintUs, const RetryPolicy &policy)
+{
+    uint32_t us = std::min(std::max<uint32_t>(hintUs, 1u),
+                           policy.capUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
 
 double
 elapsedSeconds(std::chrono::steady_clock::time_point since)
@@ -62,36 +87,66 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
 
 /** Closed loop: blocking batches, per-batch wall latency. */
 void
-runClosedLoop(serve::Client &client, TenantLoad &tenant, uint32_t batch)
+runClosedLoop(serve::Client &client, TenantLoad &tenant, uint32_t batch,
+              const RetryPolicy &policy)
 {
     std::vector<serve::CheckResponse> resps(batch);
+    std::vector<os::SyscallRequest> work;
+    std::vector<os::SyscallRequest> again;
     size_t pos = 0;
     while (pos < tenant.reqs.size()) {
         uint32_t n = static_cast<uint32_t>(
             std::min<size_t>(batch, tenant.reqs.size() - pos));
-        auto t0 = std::chrono::steady_clock::now();
-        if (!client.checkBatch(tenant.id, tenant.reqs.data() + pos, n,
-                               resps.data())) {
-            tenant.transportErrors += n;
-            pos += n;
-            continue;
-        }
-        tenant.latencyUs.add(elapsedSeconds(t0) * 1e6);
-        for (uint32_t i = 0; i < n; ++i)
-            ++tenant.statuses[static_cast<size_t>(resps[i].status)];
+        work.assign(tenant.reqs.begin() + pos,
+                    tenant.reqs.begin() + pos + n);
         pos += n;
+        unsigned attempt = 0;
+        while (!work.empty()) {
+            resps.resize(work.size());
+            auto t0 = std::chrono::steady_clock::now();
+            if (!client.checkBatch(tenant.id, work.data(),
+                                   static_cast<uint32_t>(work.size()),
+                                   resps.data())) {
+                tenant.transportErrors += work.size();
+                break;
+            }
+            tenant.latencyUs.add(elapsedSeconds(t0) * 1e6);
+            // Overloaded is a backpressure signal: retry those
+            // requests after the server's hinted wait, tally
+            // everything else as a final verdict.
+            again.clear();
+            uint32_t waitUs = 0;
+            for (size_t i = 0; i < work.size(); ++i) {
+                bool overloaded = resps[i].status ==
+                                  serve::CheckStatus::Overloaded;
+                if (overloaded && attempt < policy.retries) {
+                    again.push_back(work[i]);
+                    waitUs = std::max(waitUs, resps[i].retryAfterUs);
+                    continue;
+                }
+                ++tenant.statuses[static_cast<size_t>(resps[i].status)];
+                if (overloaded)
+                    ++tenant.shed;
+            }
+            if (again.empty())
+                break;
+            ++attempt;
+            tenant.retried += again.size();
+            backoffSleep(waitUs, policy);
+            work.swap(again);
+        }
     }
 }
 
 /** Open loop, in-process: fire every batch, wait only at the end. */
 void
 runOpenLoopLocal(serve::CheckService &service,
-                 std::vector<TenantLoad> &tenants, uint32_t batch)
+                 std::vector<TenantLoad> &tenants, uint32_t batch,
+                 const RetryPolicy &policy)
 {
     struct Pending {
         TenantLoad *tenant;
-        const os::SyscallRequest *reqs;
-        uint32_t count;
+        std::vector<os::SyscallRequest> reqs;
         std::vector<serve::CheckResponse> resps;
         serve::Batch done;
     };
@@ -110,40 +165,103 @@ runOpenLoopLocal(serve::CheckService &service,
                 batch, tenant.reqs.size() - cursor[i]));
             auto p = std::make_unique<Pending>();
             p->tenant = &tenant;
-            p->reqs = tenant.reqs.data() + cursor[i];
-            p->count = n;
+            p->reqs.assign(tenant.reqs.begin() + cursor[i],
+                           tenant.reqs.begin() + cursor[i] + n);
             p->resps.resize(n);
-            service.submitBatch(tenant.id, p->reqs, n, p->resps.data(),
-                                p->done);
+            service.submitBatch(tenant.id, p->reqs.data(), n,
+                                p->resps.data(), p->done);
             pending.push_back(std::move(p));
             cursor[i] += n;
             if (cursor[i] < tenant.reqs.size())
                 ++remaining;
         }
     }
-    for (auto &p : pending) {
-        p->done.wait();
-        for (uint32_t i = 0; i < p->count; ++i)
-            ++p->tenant
-                  ->statuses[static_cast<size_t>(p->resps[i].status)];
+    // Collect verdicts; Overloaded batches go back for another round
+    // after the server's hinted wait, until the retry budget is spent.
+    for (unsigned attempt = 0; !pending.empty(); ++attempt) {
+        std::vector<std::unique_ptr<Pending>> next;
+        uint32_t waitUs = 0;
+        for (auto &p : pending) {
+            p->done.wait();
+            std::vector<os::SyscallRequest> again;
+            for (size_t i = 0; i < p->reqs.size(); ++i) {
+                bool overloaded = p->resps[i].status ==
+                                  serve::CheckStatus::Overloaded;
+                if (overloaded && attempt < policy.retries) {
+                    again.push_back(p->reqs[i]);
+                    waitUs = std::max(waitUs, p->resps[i].retryAfterUs);
+                    continue;
+                }
+                ++p->tenant->statuses[
+                    static_cast<size_t>(p->resps[i].status)];
+                if (overloaded)
+                    ++p->tenant->shed;
+            }
+            if (again.empty())
+                continue;
+            auto r = std::make_unique<Pending>();
+            r->tenant = p->tenant;
+            r->reqs = std::move(again);
+            r->resps.resize(r->reqs.size());
+            r->tenant->retried += r->reqs.size();
+            next.push_back(std::move(r));
+        }
+        if (next.empty())
+            break;
+        backoffSleep(waitUs, policy);
+        for (auto &r : next)
+            service.submitBatch(r->tenant->id, r->reqs.data(),
+                                static_cast<uint32_t>(r->reqs.size()),
+                                r->resps.data(), r->done);
+        pending = std::move(next);
     }
 }
 
 /** Open loop over the wire: pipeline frames, reap replies in parallel. */
 void
 runOpenLoopSocket(serve::SocketClient &client,
-                  std::vector<TenantLoad> &tenants, uint32_t batch)
+                  std::vector<TenantLoad> &tenants, uint32_t batch,
+                  const RetryPolicy &policy)
 {
-    std::map<uint64_t, TenantLoad *> owner;
-    uint64_t nextBatchId = 1;
-    std::atomic<uint64_t> expected{0};
-    std::atomic<bool> readerFailed{false};
-
-    // Pre-plan every frame so the reader knows the total reply count.
-    struct Frame {
-        std::vector<uint8_t> payload;
+    // Every in-flight batch keeps its requests so an Overloaded
+    // verdict can be re-submitted under a fresh batchId.
+    struct Flight {
+        TenantLoad *tenant;
+        std::vector<os::SyscallRequest> reqs;
+        unsigned attempt = 0;
     };
-    std::vector<Frame> frames;
+    std::mutex flightMutex;
+    std::map<uint64_t, Flight> flights;
+    std::atomic<uint64_t> nextBatchId{1};
+    std::atomic<uint64_t> outstanding{0};
+    std::atomic<bool> readerFailed{false};
+    // The reader re-sends shed batches while the main thread is still
+    // pipelining planned ones, so writes must not interleave.
+    std::mutex writeMutex;
+
+    auto sendBatch = [&](Flight flight) {
+        wire::CheckBatch msg;
+        msg.batchId = nextBatchId.fetch_add(1);
+        msg.tenantId = flight.tenant->id;
+        msg.reqs = flight.reqs;
+        std::vector<uint8_t> payload;
+        wire::encode(payload, msg);
+        {
+            std::lock_guard<std::mutex> lock(flightMutex);
+            flights.emplace(msg.batchId, std::move(flight));
+        }
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!wire::writeFrame(client.fd(), payload)) {
+            std::lock_guard<std::mutex> flock(flightMutex);
+            flights.erase(msg.batchId);
+            return false;
+        }
+        return true;
+    };
+
+    // Pre-plan every batch so the reader knows the total reply count
+    // before the first frame goes out.
+    std::vector<Flight> planned;
     std::vector<size_t> cursor(tenants.size(), 0);
     size_t remaining = tenants.size();
     while (remaining > 0) {
@@ -154,42 +272,76 @@ runOpenLoopSocket(serve::SocketClient &client,
                 continue;
             uint32_t n = static_cast<uint32_t>(std::min<size_t>(
                 batch, tenant.reqs.size() - cursor[i]));
-            wire::CheckBatch msg;
-            msg.batchId = nextBatchId++;
-            msg.tenantId = tenant.id;
-            msg.reqs.assign(tenant.reqs.begin() + cursor[i],
-                            tenant.reqs.begin() + cursor[i] + n);
-            owner[msg.batchId] = &tenant;
-            frames.emplace_back();
-            wire::encode(frames.back().payload, msg);
+            Flight flight;
+            flight.tenant = &tenant;
+            flight.reqs.assign(tenant.reqs.begin() + cursor[i],
+                               tenant.reqs.begin() + cursor[i] + n);
+            planned.push_back(std::move(flight));
             cursor[i] += n;
             if (cursor[i] < tenant.reqs.size())
                 ++remaining;
         }
     }
-    expected.store(frames.size());
+    outstanding.store(planned.size());
 
     std::thread reader([&] {
         std::vector<uint8_t> payload;
-        while (expected.load() > 0) {
+        while (outstanding.load() > 0) {
             wire::CheckBatchReply reply;
             if (!wire::readFrame(client.fd(), payload) ||
                 !wire::decode(payload, reply)) {
                 readerFailed.store(true);
                 return;
             }
-            TenantLoad *tenant = owner[reply.batchId];
-            if (!tenant) {
+            Flight flight;
+            {
+                std::lock_guard<std::mutex> lock(flightMutex);
+                auto it = flights.find(reply.batchId);
+                if (it == flights.end() ||
+                    it->second.reqs.size() != reply.resps.size()) {
+                    readerFailed.store(true);
+                    return;
+                }
+                flight = std::move(it->second);
+                flights.erase(it);
+            }
+            std::vector<os::SyscallRequest> again;
+            uint32_t waitUs = 0;
+            for (size_t i = 0; i < reply.resps.size(); ++i) {
+                bool overloaded = reply.resps[i].status ==
+                                  serve::CheckStatus::Overloaded;
+                if (overloaded && flight.attempt < policy.retries) {
+                    again.push_back(flight.reqs[i]);
+                    waitUs = std::max(waitUs,
+                                      reply.resps[i].retryAfterUs);
+                    continue;
+                }
+                ++flight.tenant->statuses[
+                    static_cast<size_t>(reply.resps[i].status)];
+                if (overloaded)
+                    ++flight.tenant->shed;
+            }
+            if (again.empty()) {
+                outstanding.fetch_sub(1);
+                continue;
+            }
+            // Same batch, next attempt: the reply count stays owed, so
+            // `outstanding` is untouched.
+            flight.tenant->retried += again.size();
+            backoffSleep(waitUs, policy);
+            Flight retry;
+            retry.tenant = flight.tenant;
+            retry.reqs = std::move(again);
+            retry.attempt = flight.attempt + 1;
+            if (!sendBatch(std::move(retry))) {
                 readerFailed.store(true);
+                outstanding.fetch_sub(1);
                 return;
             }
-            for (const serve::CheckResponse &resp : reply.resps)
-                ++tenant->statuses[static_cast<size_t>(resp.status)];
-            expected.fetch_sub(1);
         }
     });
-    for (const Frame &frame : frames) {
-        if (!wire::writeFrame(client.fd(), frame.payload)) {
+    for (Flight &flight : planned) {
+        if (!sendBatch(std::move(flight))) {
             warn("dracoload: open-loop write failed");
             break;
         }
@@ -209,7 +361,9 @@ main(int argc, char **argv)
         "Replay a syscall trace against dracod (or an in-process "
         "service) across N tenants.");
     flags.addString("socket", "path",
-                    "dracod socket (omit to serve in-process)");
+                    "dracod Unix socket (omit to serve in-process)");
+    flags.addString("connect", "host:port",
+                    "dracod TCP endpoint (alternative to --socket)");
     flags.addString("trace", "path", "trace to replay (.dtrc/text/strace)");
     flags.addString("profile", "name",
                     "built-in profile every tenant runs",
@@ -226,6 +380,10 @@ main(int argc, char **argv)
     flags.addUint("queue-capacity", "n",
                   "in-process per-shard queue capacity", 4096);
     flags.addUint("max-batch", "n", "in-process drain batch", 64);
+    flags.addUint("retries", "n",
+                  "re-submissions per Overloaded request", 3);
+    flags.addUint("retry-cap-us", "us",
+                  "cap on one retryAfterUs backoff wait", 50000);
     flags.addFlag("open-loop",
                   "fire batches without waiting (pushes backpressure)");
     flags.addFlag("shutdown", "send Shutdown to the daemon when done");
@@ -281,7 +439,15 @@ main(int argc, char **argv)
 
     // ---- backend ----
 
-    bool socketMode = !flags.str("socket").empty();
+    if (!flags.str("socket").empty() && !flags.str("connect").empty())
+        fatal("dracoload: --socket and --connect are exclusive");
+    bool socketMode = !flags.str("socket").empty() ||
+                      !flags.str("connect").empty();
+    auto dialServer = [&flags]() {
+        return flags.str("socket").empty()
+                   ? serve::SocketClient::connectTcp(flags.str("connect"))
+                   : serve::SocketClient::connect(flags.str("socket"));
+    };
     obs::TraceSession session;
     std::unique_ptr<serve::CheckService> localService;
     std::unique_ptr<serve::SocketClient> socketClient;
@@ -289,7 +455,7 @@ main(int argc, char **argv)
     serve::Client *client = nullptr;
 
     if (socketMode) {
-        socketClient = serve::SocketClient::connect(flags.str("socket"));
+        socketClient = dialServer();
         if (!socketClient)
             return 1;
         client = socketClient.get();
@@ -335,13 +501,20 @@ main(int argc, char **argv)
 
     uint32_t batch = static_cast<uint32_t>(
         std::max<uint64_t>(1, flags.uintValue("batch")));
+    RetryPolicy retryPolicy;
+    retryPolicy.retries =
+        static_cast<unsigned>(flags.uintValue("retries"));
+    retryPolicy.capUs = static_cast<uint32_t>(
+        std::max<uint64_t>(1, flags.uintValue("retry-cap-us")));
     auto start = std::chrono::steady_clock::now();
 
     if (flags.flag("open-loop")) {
         if (socketMode)
-            runOpenLoopSocket(*socketClient, tenants, batch);
+            runOpenLoopSocket(*socketClient, tenants, batch,
+                              retryPolicy);
         else
-            runOpenLoopLocal(*localService, tenants, batch);
+            runOpenLoopLocal(*localService, tenants, batch,
+                             retryPolicy);
     } else {
         // One driver per tenant, capped by --threads: closed-loop
         // tenants progress independently, like separate containers.
@@ -358,8 +531,7 @@ main(int argc, char **argv)
                 std::unique_ptr<serve::SocketClient> own;
                 serve::Client *c = client;
                 if (socketMode) {
-                    own = serve::SocketClient::connect(
-                        flags.str("socket"));
+                    own = dialServer();
                     if (!own)
                         return;
                     c = own.get();
@@ -368,7 +540,7 @@ main(int argc, char **argv)
                     size_t i = nextTenant.fetch_add(1);
                     if (i >= tenants.size())
                         break;
-                    runClosedLoop(*c, tenants[i], batch);
+                    runClosedLoop(*c, tenants[i], batch, retryPolicy);
                 }
             });
         }
@@ -381,10 +553,14 @@ main(int argc, char **argv)
     // ---- report ----
 
     uint64_t totals[kStatusCount] = {};
+    uint64_t retried = 0;
+    uint64_t shed = 0;
     QuantileSketch latency;
     for (TenantLoad &tenant : tenants) {
         for (size_t s = 0; s < kStatusCount; ++s)
             totals[s] += tenant.statuses[s];
+        retried += tenant.retried;
+        shed += tenant.shed;
         latency.merge(tenant.latencyUs);
     }
     uint64_t answered = 0;
@@ -407,6 +583,12 @@ main(int argc, char **argv)
     registry.setGauge("load.wall_seconds", wallSeconds);
     registry.setGauge("load.wall_qps",
                       wallSeconds > 0.0 ? answered / wallSeconds : 0.0);
+    registry.setCounter("load.backpressure.retried", retried);
+    registry.setCounter("load.backpressure.shed", shed);
+    registry.setCounter("load.backpressure.retries_allowed",
+                        retryPolicy.retries);
+    registry.setCounter("load.backpressure.retry_cap_us",
+                        retryPolicy.capUs);
     if (latency.count() > 0) {
         registry.setGauge("load.latency_us.p50", latency.quantile(0.50));
         registry.setGauge("load.latency_us.p90", latency.quantile(0.90));
@@ -438,12 +620,14 @@ main(int argc, char **argv)
         registry.setCounter(prefix + ".checks", stats.check.checks);
     }
     printf("summary requests=%llu answered=%llu overloaded=%llu "
-           "wall_s=%.3f wall_qps=%.0f\n",
+           "retried=%llu shed=%llu wall_s=%.3f wall_qps=%.0f\n",
            static_cast<unsigned long long>(totalRequests),
            static_cast<unsigned long long>(answered),
            static_cast<unsigned long long>(
                totals[static_cast<size_t>(
                    serve::CheckStatus::Overloaded)]),
+           static_cast<unsigned long long>(retried),
+           static_cast<unsigned long long>(shed),
            wallSeconds,
            wallSeconds > 0.0 ? answered / wallSeconds : 0.0);
 
