@@ -3,8 +3,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "buildinfo.hh"
+#include "hash/crc64.hh"
 #include "support/cliflags.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#define DRACO_BENCH_CPUID 1
+#endif
 
 namespace draco::bench {
 
@@ -68,6 +76,63 @@ configureTraceSession(std::string outPath)
     config.outPath = outPath;
     config.tracer.sampleEveryCycles = sampleEveryArg;
     benchTraceSession().configure(config);
+}
+
+/**
+ * CPU brand string from CPUID leaves 0x80000002..4 ("AMD EPYC 7..."),
+ * whitespace-normalized. "unknown" off x86 or on very old CPUs.
+ */
+std::string
+cpuBrandString()
+{
+#ifdef DRACO_BENCH_CPUID
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) &&
+        eax >= 0x80000004u) {
+        unsigned regs[12] = {};
+        for (unsigned i = 0; i < 3; ++i)
+            __get_cpuid(0x80000002u + i, &regs[4 * i + 0],
+                        &regs[4 * i + 1], &regs[4 * i + 2],
+                        &regs[4 * i + 3]);
+        char raw[sizeof(regs) + 1] = {};
+        std::memcpy(raw, regs, sizeof(regs));
+        std::string brand;
+        for (const char *p = raw; *p; ++p) {
+            if (*p == ' ' && (brand.empty() || brand.back() == ' '))
+                continue;
+            brand.push_back(*p);
+        }
+        while (!brand.empty() && brand.back() == ' ')
+            brand.pop_back();
+        if (!brand.empty())
+            return brand;
+    }
+#endif
+    return "unknown";
+}
+
+/**
+ * Stamp compiler/flags/CPU attribution into a report registry. Every
+ * value here is independent of thread count and run parameters, so the
+ * byte-identical-at-any---threads contract still holds.
+ */
+void
+recordBuildInfo(MetricRegistry &registry)
+{
+    registry.setText("build.compiler", DRACO_BUILD_COMPILER);
+    registry.setText("build.type", DRACO_BUILD_TYPE);
+    registry.setText("build.flags", DRACO_BUILD_CXX_FLAGS);
+    registry.setText("cpu.brand", cpuBrandString());
+#ifdef DRACO_BENCH_CPUID
+    registry.setCounter("cpu.sse42",
+                        __builtin_cpu_supports("sse4.2") ? 1 : 0);
+    registry.setCounter("cpu.pclmul",
+                        __builtin_cpu_supports("pclmul") ? 1 : 0);
+#else
+    registry.setCounter("cpu.sse42", 0);
+    registry.setCounter("cpu.pclmul", 0);
+#endif
+    registry.setText("build.crc64_engine", crc64EngineName());
 }
 
 } // namespace
@@ -144,6 +209,7 @@ BenchReport::BenchReport(const std::string &name, int argc, char **argv)
     _registry.setCounter("bench.schema_version", 1);
     _registry.setCounter("bench.calls", benchCalls());
     _registry.setCounter("bench.seed", kBenchSeed);
+    recordBuildInfo(_registry);
 }
 
 BenchReport::~BenchReport()

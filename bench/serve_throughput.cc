@@ -252,6 +252,18 @@ main(int argc, char **argv)
                               cell.qps);
             registry.setGauge(MetricRegistry::join(prefix, "wall_qps"),
                               cell.wallQps);
+            // Per-check cost, the unit the hotpath bench argues in:
+            // ns_per_check is modeled (busiest-shard makespan over
+            // checks, deterministic); wall_ns_per_check is measured.
+            registry.setGauge(
+                MetricRegistry::join(prefix, "ns_per_check"),
+                cell.qps > 0.0 ? 1e9 / cell.qps : 0.0);
+            registry.setGauge(
+                MetricRegistry::join(prefix, "wall_ns_per_check"),
+                cell.checks > 0
+                    ? cell.wallSeconds * 1e9 /
+                          static_cast<double>(cell.checks)
+                    : 0.0);
             registry.setGauge(
                 MetricRegistry::join(prefix, "wall_seconds"),
                 cell.wallSeconds);

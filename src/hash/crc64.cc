@@ -1,30 +1,186 @@
 #include "hash/crc64.hh"
 
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(DRACO_FORCE_PORTABLE_CRC)
+#define DRACO_CRC64_CLMUL 1
+#include <immintrin.h>
+#endif
+
 namespace draco {
+
+namespace {
+
+uint64_t
+loadBe64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    if constexpr (std::endian::native == std::endian::little) {
+#if defined(__GNUC__) || defined(__clang__)
+        return __builtin_bswap64(v);
+#else
+        uint64_t r = 0;
+        for (int i = 0; i < 8; ++i)
+            r = (r << 8) | ((v >> (8 * i)) & 0xff);
+        return r;
+#endif
+    }
+    return v;
+}
+
+/** @return r·x mod P for a degree-<64 residue r. */
+uint64_t
+mulXmod(uint64_t r, uint64_t poly)
+{
+    return (r << 1) ^ (r >> 63 ? poly : 0);
+}
+
+} // namespace
 
 Crc64::Crc64(uint64_t poly)
     : _poly(poly)
 {
     for (uint32_t i = 0; i < 256; ++i) {
         uint64_t crc = static_cast<uint64_t>(i) << 56;
-        for (int bit = 0; bit < 8; ++bit) {
-            if (crc & 0x8000000000000000ULL)
-                crc = (crc << 1) ^ poly;
-            else
-                crc <<= 1;
-        }
-        _table[i] = crc;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = mulXmod(crc, poly);
+        _slice[0][i] = crc;
     }
+    // _slice[n][b] = CRC of byte b followed by n zero bytes, so an
+    // 8-byte step can consume each byte through its own table and XOR
+    // the partial remainders.
+    for (int n = 1; n < 8; ++n) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint64_t prev = _slice[n - 1][i];
+            _slice[n][i] = (prev << 8) ^ _slice[0][(prev >> 56) & 0xff];
+        }
+    }
+    // Folding constants: x^64 mod P is the polynomial's low 64 bits;
+    // 64 more modular doublings give x^128, another 64 give x^192.
+    uint64_t r = poly;
+    for (int i = 0; i < 64; ++i)
+        r = mulXmod(r, poly);
+    _k128 = r;
+    for (int i = 0; i < 64; ++i)
+        r = mulXmod(r, poly);
+    _k192 = r;
+}
+
+uint64_t
+Crc64::computeTable(const void *data, size_t len, uint64_t init) const
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t crc = init;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc << 8) ^ _slice[0][((crc >> 56) ^ p[i]) & 0xff];
+    return crc;
+}
+
+uint64_t
+Crc64::computeSlice8(const void *data, size_t len, uint64_t init) const
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t crc = init;
+    while (len >= 8) {
+        uint64_t x = crc ^ loadBe64(p);
+        crc = _slice[7][x >> 56] ^ _slice[6][(x >> 48) & 0xff] ^
+              _slice[5][(x >> 40) & 0xff] ^ _slice[4][(x >> 32) & 0xff] ^
+              _slice[3][(x >> 24) & 0xff] ^ _slice[2][(x >> 16) & 0xff] ^
+              _slice[1][(x >> 8) & 0xff] ^ _slice[0][x & 0xff];
+        p += 8;
+        len -= 8;
+    }
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc << 8) ^ _slice[0][((crc >> 56) ^ p[i]) & 0xff];
+    return crc;
+}
+
+#if DRACO_CRC64_CLMUL
+
+/**
+ * PCLMULQDQ 16-byte folding. The 128-bit accumulator A holds a
+ * polynomial congruent (mod P) to the message consumed so far shifted
+ * by the bytes still pending; each step computes
+ *   A' = hi(A)·(x^192 mod P) ⊕ lo(A)·(x^128 mod P) ⊕ next16
+ * which is A·x^128 ⊕ next16 (mod P) — one 128-bit block consumed.
+ * The caller's init register is XORed into the first 8 message bytes
+ * (CRC(M, init) == CRC(M ⊕ init·x^{8n-64}, 0) for n >= 8). Requires
+ * len >= 16.
+ */
+__attribute__((target("pclmul,ssse3"))) uint64_t
+Crc64::foldClmul(const uint8_t *p, size_t len, uint64_t init) const
+{
+    // pshufb byte-reversal so lane order matches polynomial order
+    // (first memory byte = most significant coefficient).
+    const __m128i kSwap =
+        _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    const __m128i kFold = _mm_set_epi64x(static_cast<int64_t>(_k192),
+                                         static_cast<int64_t>(_k128));
+
+    __m128i acc = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)), kSwap);
+    acc = _mm_xor_si128(acc,
+                        _mm_set_epi64x(static_cast<int64_t>(init), 0));
+    p += 16;
+    len -= 16;
+
+    while (len >= 16) {
+        __m128i next = _mm_shuffle_epi8(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)), kSwap);
+        __m128i hi = _mm_clmulepi64_si128(acc, kFold, 0x11); // hi(A)·k192
+        __m128i lo = _mm_clmulepi64_si128(acc, kFold, 0x00); // lo(A)·k128
+        acc = _mm_xor_si128(_mm_xor_si128(hi, lo), next);
+        p += 16;
+        len -= 16;
+    }
+
+    // Final reduction without Barrett constants: the table-engine CRC
+    // of the accumulator's 16 big-endian bytes (init 0) is exactly
+    // A·x^64 mod P, which is the running CRC register before the tail.
+    alignas(16) uint8_t buf[16];
+    _mm_store_si128(reinterpret_cast<__m128i *>(buf),
+                    _mm_shuffle_epi8(acc, kSwap));
+    uint64_t crc = computeTable(buf, 16, 0);
+    return computeTable(p, len, crc);
+}
+
+#endif // DRACO_CRC64_CLMUL
+
+bool
+Crc64::clmulSupported()
+{
+#if DRACO_CRC64_CLMUL
+    static const bool ok = __builtin_cpu_supports("pclmul") &&
+                           __builtin_cpu_supports("ssse3");
+    return ok;
+#else
+    return false;
+#endif
 }
 
 uint64_t
 Crc64::compute(const void *data, size_t len, uint64_t init) const
 {
-    const auto *p = static_cast<const uint8_t *>(data);
-    uint64_t crc = init;
-    for (size_t i = 0; i < len; ++i)
-        crc = (crc << 8) ^ _table[((crc >> 56) ^ p[i]) & 0xff];
-    return crc;
+#if DRACO_CRC64_CLMUL
+    // Folding wins once a few 16-byte blocks amortize the setup; the
+    // small keys the VAT hashes stay on the slice-by-8 path.
+    if (len >= 64 && clmulSupported())
+        return foldClmul(static_cast<const uint8_t *>(data), len, init);
+#endif
+    return computeSlice8(data, len, init);
+}
+
+uint64_t
+Crc64::computeClmul(const void *data, size_t len, uint64_t init) const
+{
+#if DRACO_CRC64_CLMUL
+    if (len >= 16 && clmulSupported())
+        return foldClmul(static_cast<const uint8_t *>(data), len, init);
+#endif
+    return computeTable(data, len, init);
 }
 
 uint64_t
@@ -35,12 +191,8 @@ Crc64::computeBitwise(uint64_t poly, const void *data, size_t len,
     uint64_t crc = init;
     for (size_t i = 0; i < len; ++i) {
         crc ^= static_cast<uint64_t>(p[i]) << 56;
-        for (int bit = 0; bit < 8; ++bit) {
-            if (crc & 0x8000000000000000ULL)
-                crc = (crc << 1) ^ poly;
-            else
-                crc <<= 1;
-        }
+        for (int bit = 0; bit < 8; ++bit)
+            crc = mulXmod(crc, poly);
     }
     return crc;
 }
@@ -57,6 +209,12 @@ crc64NotEcma()
 {
     static const Crc64 engine(kCrc64NotEcmaPoly);
     return engine;
+}
+
+const char *
+crc64EngineName()
+{
+    return Crc64::clmulSupported() ? "pclmul" : "slice8";
 }
 
 } // namespace draco

@@ -4,8 +4,10 @@
  *
  * The paper (§VII-A) computes the two cuckoo hash indices with the
  * ECMA-182 CRC-64 polynomial and its bitwise complement ("¬ECMA"). In
- * hardware, each is a linear-feedback shift register (LFSR); in software
- * we use byte-at-a-time table lookup, which produces identical values.
+ * hardware, each is a linear-feedback shift register (LFSR); in
+ * software compute() dispatches between a slice-by-8 table engine and
+ * a PCLMULQDQ carry-less-multiply folding engine (DESIGN.md §12), both
+ * bit-identical to the byte-at-a-time reference computeTable().
  */
 
 #ifndef DRACO_HASH_CRC64_HH
@@ -23,16 +25,24 @@ inline constexpr uint64_t kCrc64EcmaPoly = 0x42F0E1EBA9EA3693ULL;
 inline constexpr uint64_t kCrc64NotEcmaPoly = ~kCrc64EcmaPoly;
 
 /**
- * Table-driven CRC-64 engine over an arbitrary generator polynomial.
+ * CRC-64 engine over an arbitrary generator polynomial.
+ *
+ * The CRC is MSB-first (non-reflected) with caller-supplied initial
+ * register and no output XOR — the LFSR the paper's hardware builds.
  */
 class Crc64
 {
   public:
-    /** Build the 256-entry lookup table for @p poly. */
+    /** Build the lookup tables and fold constants for @p poly. */
     explicit Crc64(uint64_t poly);
 
     /**
      * Hash a byte buffer.
+     *
+     * Dispatches to the PCLMULQDQ folding engine on long buffers when
+     * the CPU supports it (and the build was not forced portable),
+     * otherwise to the slice-by-8 table engine. Every engine returns
+     * the same digest bit for bit.
      *
      * @param data Input bytes.
      * @param len Number of bytes.
@@ -42,18 +52,51 @@ class Crc64
     uint64_t compute(const void *data, size_t len, uint64_t init = 0) const;
 
     /**
+     * Byte-at-a-time table engine — the cross-engine reference the
+     * fast paths are equivalence-tested against.
+     */
+    uint64_t computeTable(const void *data, size_t len,
+                          uint64_t init = 0) const;
+
+    /**
+     * Carry-less-multiply folding engine, forced regardless of buffer
+     * length (folds whenever len >= 16; shorter buffers and the tail
+     * go through the table engine). Falls back to computeTable() when
+     * the CPU lacks PCLMULQDQ — so it is always safe to call.
+     */
+    uint64_t computeClmul(const void *data, size_t len,
+                          uint64_t init = 0) const;
+
+    /**
      * Bit-at-a-time reference implementation (the LFSR the hardware
      * builds). Used in tests to validate the table-driven path.
      */
     static uint64_t computeBitwise(uint64_t poly, const void *data,
                                    size_t len, uint64_t init = 0);
 
+    /**
+     * @return true when the PCLMULQDQ engine is compiled in and the
+     * CPU advertises pclmul+ssse3 (false under
+     * DRACO_FORCE_PORTABLE_CRC builds).
+     */
+    static bool clmulSupported();
+
     /** @return The generator polynomial. */
     uint64_t poly() const { return _poly; }
 
   private:
+    uint64_t computeSlice8(const void *data, size_t len, uint64_t init) const;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(DRACO_FORCE_PORTABLE_CRC)
+    uint64_t foldClmul(const uint8_t *p, size_t len, uint64_t init) const;
+#endif
+
     uint64_t _poly;
-    uint64_t _table[256];
+    /** _slice[0] is the classic byte table; [n][b] = CRC of byte b
+     * followed by n zero bytes. */
+    uint64_t _slice[8][256];
+    uint64_t _k128 = 0; ///< x^128 mod P, for 16-byte folding.
+    uint64_t _k192 = 0; ///< x^192 mod P.
 };
 
 /** @return Singleton engine for the ECMA polynomial. */
@@ -61,6 +104,9 @@ const Crc64 &crc64Ecma();
 
 /** @return Singleton engine for the ¬ECMA polynomial. */
 const Crc64 &crc64NotEcma();
+
+/** @return Name of the engine compute() prefers: "pclmul" or "slice8". */
+const char *crc64EngineName();
 
 /**
  * Non-linear index diffusion (the 64-bit Murmur3 finalizer).

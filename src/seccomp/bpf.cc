@@ -1,9 +1,22 @@
 #include "seccomp/bpf.hh"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstring>
+#include <set>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+
+// The decoded core dispatches on one byte per instruction; with GNU
+// labels-as-values the dispatch becomes a single indirect jump per
+// instruction (one BTB entry per opcode site instead of a shared
+// switch), which is worth ~10-20% on long filters.
+#if defined(__GNUC__) || defined(__clang__)
+#define DRACO_BPF_COMPUTED_GOTO 1
+#endif
 
 namespace draco::seccomp {
 
@@ -29,11 +42,20 @@ namespace {
 constexpr uint16_t kClassMask = 0x07;
 
 bool
-isValidSeccompLoad(const BpfInsn &insn, std::string *error)
+isValidSeccompLoad(const BpfInsn &insn, bool isLdx, std::string *error)
 {
     uint16_t mode = insn.code & 0xe0;
     uint16_t size = insn.code & 0x18;
     if (mode == op::ABS) {
+        // Classic BPF has no LDX|ABS form (linux/filter.h only defines
+        // ABS for LD); accepting it here used to alias it onto the
+        // scratch-memory load with an unchecked k up to 60 — an
+        // out-of-bounds read past mem[16].
+        if (isLdx) {
+            if (error)
+                *error = "LDX has no ABS addressing mode";
+            return false;
+        }
         if (size != op::W) {
             if (error)
                 *error = "ABS load must be word-sized";
@@ -61,7 +83,71 @@ isValidSeccompLoad(const BpfInsn &insn, std::string *error)
     return false;
 }
 
+// Process-wide compile()-outcome tallies. Relaxed atomics: these are
+// monotonic scoreboard counters, never used for synchronization.
+struct CompileCounters {
+    std::atomic<uint64_t> shape[3] = {};
+    std::atomic<uint64_t> exec[3] = {};
+};
+
+CompileCounters &
+compileCounters()
+{
+    static CompileCounters counters;
+    return counters;
+}
+
 } // namespace
+
+const char *
+bpfShapeName(BpfShape shape)
+{
+    switch (shape) {
+      case BpfShape::General: return "general";
+      case BpfShape::Chain: return "chain";
+      case BpfShape::Tree: return "tree";
+    }
+    return "?";
+}
+
+const char *
+bpfExecutorName(BpfExecutor executor)
+{
+    switch (executor) {
+      case BpfExecutor::Decoded: return "decoded";
+      case BpfExecutor::DenseTable: return "dense";
+      case BpfExecutor::RangeSearch: return "ranges";
+    }
+    return "?";
+}
+
+void
+exportBpfCompileMetrics(MetricRegistry &registry, const std::string &prefix)
+{
+    auto &counters = compileCounters();
+    auto shapeOf = [&](BpfShape shape) {
+        return counters.shape[static_cast<size_t>(shape)].load(
+            std::memory_order_relaxed);
+    };
+    auto execOf = [&](BpfExecutor executor) {
+        return counters.exec[static_cast<size_t>(executor)].load(
+            std::memory_order_relaxed);
+    };
+    for (BpfShape shape :
+         {BpfShape::General, BpfShape::Chain, BpfShape::Tree}) {
+        registry.setCounter(
+            MetricRegistry::join(prefix,
+                                 std::string("shape.") + bpfShapeName(shape)),
+            shapeOf(shape));
+    }
+    for (BpfExecutor executor : {BpfExecutor::Decoded, BpfExecutor::DenseTable,
+                                 BpfExecutor::RangeSearch}) {
+        registry.setCounter(
+            MetricRegistry::join(
+                prefix, std::string("exec.") + bpfExecutorName(executor)),
+            execOf(executor));
+    }
+}
 
 bool
 BpfProgram::validate(std::string *error) const
@@ -89,8 +175,10 @@ BpfProgram::validate(std::string *error) const
         switch (insn.code & kClassMask) {
           case op::LD:
           case op::LDX:
-            if (!isValidSeccompLoad(insn, &sub))
+            if (!isValidSeccompLoad(insn, (insn.code & kClassMask) == op::LDX,
+                                    &sub)) {
                 return fail(sub, pc);
+            }
             break;
           case op::ST:
           case op::STX:
@@ -229,7 +317,412 @@ BpfProgram::compile(std::string *error)
     }
 
     _decoded = std::move(decoded);
+    specialize();
+
+    auto &counters = compileCounters();
+    counters.shape[static_cast<size_t>(_shape)].fetch_add(
+        1, std::memory_order_relaxed);
+    counters.exec[static_cast<size_t>(_executor)].fetch_add(
+        1, std::memory_order_relaxed);
     return true;
+}
+
+namespace {
+
+/**
+ * Abstract value classes tracked by the compile-time pre-execution in
+ * specialize(). Concrete values are fully known; Nr is the untouched
+ * syscall number (pure, so JEQ/JGT/JGE against constants stay monotone
+ * between range boundaries); Derived mixes nr into arithmetic (correct
+ * for the pre-run's exact nr only); ArchOther is the unknown arch word
+ * on the guard-mismatch path (only provably != the guard constant).
+ */
+enum class Taint : uint8_t { Concrete, Nr, Derived, ArchOther };
+
+} // namespace
+
+void
+BpfProgram::specialize()
+{
+    using Op = BpfDecodedInsn::Op;
+
+    _shape = BpfShape::General;
+    _executor = BpfExecutor::Decoded;
+    _hasArchGuard = false;
+    _archK = 0;
+    _archFail = NrEntry{};
+    _table.clear();
+    _tableLimit = 0;
+    _rangeStart.clear();
+    _rangeEntry.clear();
+
+    // Arch-guard prefix the filter builder always emits:
+    //   ld [arch]; jeq #NATIVE, +a, +b
+    // Detecting it lets pre-runs resolve later arch loads to the guard
+    // constant; run() gates the tables on data.arch at dispatch time.
+    if (_decoded.size() >= 2 && _decoded[0].op == Op::LdAbs &&
+        _decoded[0].k == os::sd_off::arch && _decoded[1].op == Op::JeqK) {
+        _hasArchGuard = true;
+        _archK = _decoded[1].k;
+    }
+
+    // Syntactic shape: classify by the conditional mix, skipping the
+    // guard comparison itself (every filter-builder program has one).
+    // Only comparisons against the syscall number feed maxK and the
+    // range boundaries: argument-rule bodies compare A against raw
+    // argument constants (flag masks, fd numbers) that say nothing
+    // about how the nr domain partitions and would blow the dense cap.
+    // The linear accInfluencedByNr scan is a heuristic, not a proof —
+    // it ignores control flow — but boundary choice only affects which
+    // intervals collapse to Slow: every emitted entry is still
+    // validated by its own interval-safe pre-run below.
+    bool onlyJeq = true;
+    bool onlyCmpK = true;
+    uint32_t maxK = 0;
+    bool anyCmp = false;
+    bool accInfluencedByNr = false;
+    std::set<uint32_t> bounds;
+    bounds.insert(0);
+    for (size_t pc = 0; pc < _decoded.size(); ++pc) {
+        switch (_decoded[pc].op) {
+          case Op::LdAbs:
+            accInfluencedByNr = _decoded[pc].k == os::sd_off::nr;
+            break;
+          case Op::LdImm:
+          case Op::LdLen:
+          case Op::LdMem:
+          case Op::Txa:
+          case Op::AluAddK:
+          case Op::AluSubK:
+          case Op::AluMulK:
+          case Op::AluDivK:
+          case Op::AluModK:
+          case Op::AluOrK:
+          case Op::AluAndK:
+          case Op::AluXorK:
+          case Op::AluLshK:
+          case Op::AluRshK:
+          case Op::AluAddX:
+          case Op::AluSubX:
+          case Op::AluMulX:
+          case Op::AluDivX:
+          case Op::AluModX:
+          case Op::AluOrX:
+          case Op::AluAndX:
+          case Op::AluXorX:
+          case Op::AluLshX:
+          case Op::AluRshX:
+          case Op::AluNeg:
+            accInfluencedByNr = false;
+            break;
+          case Op::JeqK:
+          case Op::JgtK:
+          case Op::JgeK: {
+            if (_hasArchGuard && pc == 1)
+                break;
+            if (_decoded[pc].op != Op::JeqK)
+                onlyJeq = false;
+            if (!accInfluencedByNr)
+                break;
+            uint32_t k = _decoded[pc].k;
+            anyCmp = true;
+            maxK = std::max(maxK, k);
+            // Monotone comparisons change direction at k (JGE/JEQ) or
+            // k+1 (JGT/JEQ); both are boundaries.
+            bounds.insert(k);
+            if (k != UINT32_MAX)
+                bounds.insert(k + 1);
+            break;
+          }
+          case Op::JsetK:
+          case Op::JeqX:
+          case Op::JgtX:
+          case Op::JgeX:
+          case Op::JsetX:
+            onlyJeq = false;
+            onlyCmpK = false;
+            break;
+          default:
+            break;
+        }
+    }
+    if (!onlyCmpK)
+        return; // General: the decoded dispatcher handles it.
+    _shape = onlyJeq ? BpfShape::Chain : BpfShape::Tree;
+
+    // Pre-execute the program for a concrete syscall number. Everything
+    // stays concrete until the first load of an unknown seccomp_data
+    // offset; that load's pc becomes the Resume point (the start of an
+    // argument-checking rule body). The result is an NrEntry plus a
+    // flag saying whether the run is valid for a whole nr interval.
+    struct Pre {
+        NrEntry entry;
+        bool intervalSafe = true;
+    };
+
+    auto aluK = [](Op o, uint32_t a, uint32_t k) -> uint32_t {
+        switch (o) {
+          case Op::AluAddK: return a + k;
+          case Op::AluSubK: return a - k;
+          case Op::AluMulK: return a * k;
+          case Op::AluDivK: return a / k; // k!=0 validated
+          case Op::AluModK: return a % k; // k!=0 validated
+          case Op::AluOrK: return a | k;
+          case Op::AluAndK: return a & k;
+          case Op::AluXorK: return a ^ k;
+          case Op::AluLshK: return a << k; // k<32 after compile
+          case Op::AluRshK: return a >> k; // k<32 after compile
+          default: panic("specialize: not an ALU-K op");
+        }
+    };
+    auto aluX = [](Op o, uint32_t a, uint32_t x) -> uint32_t {
+        switch (o) {
+          case Op::AluAddX: return a + x;
+          case Op::AluSubX: return a - x;
+          case Op::AluMulX: return a * x;
+          case Op::AluDivX: return x == 0 ? 0 : a / x;
+          case Op::AluModX: return x == 0 ? 0 : a % x;
+          case Op::AluOrX: return a | x;
+          case Op::AluAndX: return a & x;
+          case Op::AluXorX: return a ^ x;
+          case Op::AluLshX: return x < 32 ? a << x : 0;
+          case Op::AluRshX: return x < 32 ? a >> x : 0;
+          default: panic("specialize: not an ALU-X op");
+        }
+    };
+
+    auto preRun = [&](uint32_t nr, bool archMatches) -> Pre {
+        uint32_t acc = 0;
+        uint32_t idx = 0;
+        uint32_t mem[kBpfMemWords] = {};
+        Taint accT = Taint::Concrete;
+        Taint idxT = Taint::Concrete;
+        Taint memT[kBpfMemWords];
+        std::fill(std::begin(memT), std::end(memT), Taint::Concrete);
+
+        Pre out;
+        size_t pc = 0;
+        uint32_t count = 0;
+        // Slow is universally valid (full decoded re-run), so bailing
+        // out is always sound — just not fast.
+        auto slow = [&]() -> Pre {
+            return Pre{NrEntry{}, true};
+        };
+
+        // Forward-only jumps: pc strictly increases, so the walk ends
+        // within size() steps.
+        for (size_t steps = 0; steps < _decoded.size(); ++steps) {
+            const BpfDecodedInsn &insn = _decoded[pc];
+            ++count;
+            switch (insn.op) {
+              case Op::LdAbs:
+                if (insn.k == os::sd_off::nr && archMatches) {
+                    acc = nr;
+                    accT = Taint::Nr;
+                } else if (insn.k == os::sd_off::arch && _hasArchGuard &&
+                           archMatches) {
+                    acc = _archK;
+                    accT = Taint::Concrete;
+                } else if (insn.k == os::sd_off::arch && _hasArchGuard) {
+                    acc = 0; // Value unknown; only != _archK is known.
+                    accT = Taint::ArchOther;
+                } else {
+                    // Unknown input word: stop and resume here. The
+                    // decoded core restarts with acc=0/idx=0/mem zeroed
+                    // (this load overwrites acc), so the live state
+                    // must match that — otherwise fall back to Slow.
+                    bool clean = idx == 0 && idxT == Taint::Concrete;
+                    for (unsigned i = 0; clean && i < kBpfMemWords; ++i)
+                        clean = mem[i] == 0 && memT[i] == Taint::Concrete;
+                    if (!clean)
+                        return slow();
+                    out.entry.kind = NrEntry::Kind::Resume;
+                    out.entry.value = static_cast<uint32_t>(pc);
+                    out.entry.count = count - 1;
+                    return out;
+                }
+                break;
+              case Op::LdImm: acc = insn.k; accT = Taint::Concrete; break;
+              case Op::LdLen:
+                acc = sizeof(os::SeccompData);
+                accT = Taint::Concrete;
+                break;
+              case Op::LdMem: acc = mem[insn.k]; accT = memT[insn.k]; break;
+              case Op::LdxImm: idx = insn.k; idxT = Taint::Concrete; break;
+              case Op::LdxLen:
+                idx = sizeof(os::SeccompData);
+                idxT = Taint::Concrete;
+                break;
+              case Op::LdxMem: idx = mem[insn.k]; idxT = memT[insn.k]; break;
+              case Op::St: mem[insn.k] = acc; memT[insn.k] = accT; break;
+              case Op::Stx: mem[insn.k] = idx; memT[insn.k] = idxT; break;
+              case Op::AluAddK:
+              case Op::AluSubK:
+              case Op::AluMulK:
+              case Op::AluDivK:
+              case Op::AluModK:
+              case Op::AluOrK:
+              case Op::AluAndK:
+              case Op::AluXorK:
+              case Op::AluLshK:
+              case Op::AluRshK:
+                if (accT == Taint::ArchOther)
+                    return slow();
+                acc = aluK(insn.op, acc, insn.k);
+                if (accT != Taint::Concrete)
+                    accT = Taint::Derived;
+                break;
+              case Op::AluAddX:
+              case Op::AluSubX:
+              case Op::AluMulX:
+              case Op::AluDivX:
+              case Op::AluModX:
+              case Op::AluOrX:
+              case Op::AluAndX:
+              case Op::AluXorX:
+              case Op::AluLshX:
+              case Op::AluRshX:
+                if (accT == Taint::ArchOther || idxT == Taint::ArchOther)
+                    return slow();
+                acc = aluX(insn.op, acc, idx);
+                accT = accT == Taint::Concrete && idxT == Taint::Concrete
+                    ? Taint::Concrete
+                    : Taint::Derived;
+                break;
+              case Op::AluNeg:
+                if (accT == Taint::ArchOther)
+                    return slow();
+                acc = static_cast<uint32_t>(-static_cast<int32_t>(acc));
+                if (accT != Taint::Concrete)
+                    accT = Taint::Derived;
+                break;
+              case Op::Ja:
+                pc += insn.k;
+                break;
+              case Op::JeqK:
+              case Op::JgtK:
+              case Op::JgeK:
+              case Op::JsetK:
+              case Op::JeqX:
+              case Op::JgtX:
+              case Op::JgeX:
+              case Op::JsetX: {
+                bool srcX = insn.op >= Op::JeqX;
+                uint32_t src = srcX ? idx : insn.k;
+                Taint srcT = srcX ? idxT : Taint::Concrete;
+                if (accT == Taint::ArchOther) {
+                    // On the mismatch path arch != _archK by
+                    // assumption, so only that equality resolves.
+                    if (insn.op == Op::JeqK && insn.k == _archK) {
+                        pc += insn.jf;
+                        break;
+                    }
+                    return slow();
+                }
+                if (srcT == Taint::ArchOther)
+                    return slow();
+                bool taken;
+                switch (insn.op) {
+                  case Op::JeqK:
+                  case Op::JeqX: taken = acc == src; break;
+                  case Op::JgtK:
+                  case Op::JgtX: taken = acc > src; break;
+                  case Op::JgeK:
+                  case Op::JgeX: taken = acc >= src; break;
+                  default: taken = (acc & src) != 0; break;
+                }
+                // Interval safety: the branch direction must be
+                // uniform across the whole nr interval. JEQ/JGT/JGE
+                // against a constant are monotone in nr between range
+                // boundaries; anything else taken on a nr-dependent
+                // value pins the result to this exact nr.
+                bool nrMonotone = !srcX && insn.op != Op::JsetK &&
+                                  accT == Taint::Nr;
+                bool concreteCond =
+                    accT == Taint::Concrete && srcT == Taint::Concrete;
+                if (!concreteCond && !nrMonotone)
+                    out.intervalSafe = false;
+                pc += taken ? insn.jt : insn.jf;
+                break;
+              }
+              case Op::RetK:
+                out.entry.kind = NrEntry::Kind::Terminal;
+                out.entry.value = insn.k;
+                out.entry.count = count;
+                return out;
+              case Op::RetA:
+                if (accT == Taint::ArchOther)
+                    return slow();
+                out.entry.kind = NrEntry::Kind::Terminal;
+                out.entry.value = acc;
+                out.entry.count = count;
+                if (accT != Taint::Concrete)
+                    out.intervalSafe = false;
+                return out;
+              case Op::Tax: idx = acc; idxT = accT; break;
+              case Op::Txa: acc = idx; accT = idxT; break;
+            }
+            ++pc;
+        }
+        panic("BpfProgram::specialize: pre-run did not terminate");
+    };
+
+    // One pre-run on the guard-mismatch path covers every (nr, arch !=
+    // _archK) input: the nr load (if reached) becomes a Resume, which
+    // is exact for any data, and a Terminal is only reached through
+    // concrete or guard-resolved conditionals.
+    if (_hasArchGuard)
+        _archFail = preRun(0, false).entry;
+
+    auto useful = [](const std::vector<NrEntry> &entries) {
+        // The tier must beat the decoded core on some input: either a
+        // precomputed verdict or a resume that actually skips work.
+        for (const NrEntry &e : entries) {
+            if (e.kind == NrEntry::Kind::Terminal)
+                return true;
+            if (e.kind == NrEntry::Kind::Resume && e.value > 0)
+                return true;
+        }
+        return false;
+    };
+
+    // Chains index a dense (nr -> verdict) table when the comparison
+    // constants are small enough; everything else (trees, huge-K
+    // chains) takes the sorted-range binary search.
+    constexpr uint32_t kDenseCap = 4096;
+    if (_shape == BpfShape::Chain && (!anyCmp || maxK < kDenseCap)) {
+        uint32_t limit = anyCmp ? maxK + 1 : 0;
+        std::vector<NrEntry> table(static_cast<size_t>(limit) + 1);
+        for (uint32_t nr = 0; nr < limit; ++nr)
+            table[nr] = preRun(nr, true).entry; // Exact per-nr slots.
+        // Slot `limit` covers every nr >= limit: above the largest
+        // comparison constant every JEQ is false and JGT/JGE true, so
+        // one interval-safe pre-run stands in for all of them.
+        Pre def = preRun(limit, true);
+        table[limit] = def.intervalSafe ? def.entry : NrEntry{};
+        if (useful(table)) {
+            _table = std::move(table);
+            _tableLimit = limit;
+            _executor = BpfExecutor::DenseTable;
+            return;
+        }
+    }
+
+    std::vector<uint32_t> starts;
+    std::vector<NrEntry> entries;
+    for (uint32_t b : bounds) {
+        Pre r = preRun(b, true);
+        NrEntry e = r.intervalSafe ? r.entry : NrEntry{};
+        if (!entries.empty() && entries.back() == e)
+            continue; // Merge adjacent identical ranges.
+        starts.push_back(b);
+        entries.push_back(e);
+    }
+    if (useful(entries)) {
+        _rangeStart = std::move(starts);
+        _rangeEntry = std::move(entries);
+        _executor = BpfExecutor::RangeSearch;
+    }
 }
 
 BpfResult
@@ -238,16 +731,143 @@ BpfProgram::run(const os::SeccompData &data) const
     if (_decoded.empty())
         return runInterpreted(data);
 
+    if (_executor != BpfExecutor::Decoded) {
+        const NrEntry *entry;
+        if (_hasArchGuard && data.arch != _archK) {
+            entry = &_archFail;
+        } else if (_executor == BpfExecutor::DenseTable) {
+            entry = &_table[data.nr < _tableLimit ? data.nr : _tableLimit];
+        } else {
+            // Branch-free binary search for the last range whose start
+            // is <= nr (starts[0] == 0, so it always exists). The
+            // conditional move keeps the loop pattern-free for the
+            // branch predictor regardless of the nr mix.
+            const uint32_t *starts = _rangeStart.data();
+            size_t n = _rangeStart.size();
+            size_t lo = 0;
+            for (size_t step = std::bit_ceil(n) >> 1; step != 0; step >>= 1) {
+                size_t cand = lo + step;
+                lo = cand < n && starts[cand] <= data.nr ? cand : lo;
+            }
+            entry = &_rangeEntry[lo];
+        }
+        switch (entry->kind) {
+          case NrEntry::Kind::Terminal:
+            return BpfResult{entry->value, entry->count};
+          case NrEntry::Kind::Resume:
+            return runDecodedFrom(entry->value, 0, entry->count, data);
+          case NrEntry::Kind::Slow:
+            break;
+        }
+    }
+    return runDecodedFrom(0, 0, 0, data);
+}
+
+BpfResult
+BpfProgram::runDecoded(const os::SeccompData &data) const
+{
+    if (_decoded.empty())
+        panic("BpfProgram::runDecoded on uncompiled program");
+    return runDecodedFrom(0, 0, 0, data);
+}
+
+BpfResult
+BpfProgram::runDecodedFrom(size_t pc, uint32_t acc, uint64_t executed,
+                           const os::SeccompData &data) const
+{
     using Op = BpfDecodedInsn::Op;
-    uint32_t acc = 0;
     uint32_t idx = 0;
     uint32_t mem[kBpfMemWords] = {};
     const auto *bytes = reinterpret_cast<const uint8_t *>(&data);
 
     // The validator guarantees every jump lands in bounds and every
     // path terminates in RET, so the loop needs no pc bounds check.
-    const BpfDecodedInsn *insn = _decoded.data();
-    uint64_t executed = 0;
+    const BpfDecodedInsn *insn = _decoded.data() + pc;
+
+#if DRACO_BPF_COMPUTED_GOTO
+    // Order must match BpfDecodedInsn::Op exactly.
+    static const void *const kDispatch[] = {
+        &&doLdAbs, &&doLdImm, &&doLdLen, &&doLdMem,
+        &&doLdxImm, &&doLdxLen, &&doLdxMem,
+        &&doSt, &&doStx,
+        &&doAluAddK, &&doAluSubK, &&doAluMulK, &&doAluDivK, &&doAluModK,
+        &&doAluOrK, &&doAluAndK, &&doAluXorK, &&doAluLshK, &&doAluRshK,
+        &&doAluAddX, &&doAluSubX, &&doAluMulX, &&doAluDivX, &&doAluModX,
+        &&doAluOrX, &&doAluAndX, &&doAluXorX, &&doAluLshX, &&doAluRshX,
+        &&doAluNeg,
+        &&doJa, &&doJeqK, &&doJgtK, &&doJgeK, &&doJsetK,
+        &&doJeqX, &&doJgtX, &&doJgeX, &&doJsetX,
+        &&doRetK, &&doRetA, &&doTax, &&doTxa,
+    };
+    static_assert(std::size(kDispatch) == static_cast<size_t>(Op::Txa) + 1,
+                  "dispatch table out of sync with BpfDecodedInsn::Op");
+
+#define DRACO_BPF_DISPATCH() \
+    do { \
+        ++executed; \
+        goto *kDispatch[static_cast<size_t>(insn->op)]; \
+    } while (0)
+#define DRACO_BPF_NEXT() \
+    do { \
+        ++insn; \
+        DRACO_BPF_DISPATCH(); \
+    } while (0)
+
+    DRACO_BPF_DISPATCH();
+
+doLdAbs: std::memcpy(&acc, bytes + insn->k, 4); DRACO_BPF_NEXT();
+doLdImm: acc = insn->k; DRACO_BPF_NEXT();
+doLdLen: acc = sizeof(os::SeccompData); DRACO_BPF_NEXT();
+doLdMem: acc = mem[insn->k]; DRACO_BPF_NEXT();
+doLdxImm: idx = insn->k; DRACO_BPF_NEXT();
+doLdxLen: idx = sizeof(os::SeccompData); DRACO_BPF_NEXT();
+doLdxMem: idx = mem[insn->k]; DRACO_BPF_NEXT();
+doSt: mem[insn->k] = acc; DRACO_BPF_NEXT();
+doStx: mem[insn->k] = idx; DRACO_BPF_NEXT();
+doAluAddK: acc += insn->k; DRACO_BPF_NEXT();
+doAluSubK: acc -= insn->k; DRACO_BPF_NEXT();
+doAluMulK: acc *= insn->k; DRACO_BPF_NEXT();
+doAluDivK: acc /= insn->k; DRACO_BPF_NEXT(); // k!=0 validated
+doAluModK: acc %= insn->k; DRACO_BPF_NEXT(); // k!=0 validated
+doAluOrK: acc |= insn->k; DRACO_BPF_NEXT();
+doAluAndK: acc &= insn->k; DRACO_BPF_NEXT();
+doAluXorK: acc ^= insn->k; DRACO_BPF_NEXT();
+doAluLshK: acc <<= insn->k; DRACO_BPF_NEXT(); // k<32 after compile
+doAluRshK: acc >>= insn->k; DRACO_BPF_NEXT(); // k<32 after compile
+doAluAddX: acc += idx; DRACO_BPF_NEXT();
+doAluSubX: acc -= idx; DRACO_BPF_NEXT();
+doAluMulX: acc *= idx; DRACO_BPF_NEXT();
+doAluDivX: acc = idx == 0 ? 0 : acc / idx; DRACO_BPF_NEXT();
+doAluModX: acc = idx == 0 ? 0 : acc % idx; DRACO_BPF_NEXT();
+doAluOrX: acc |= idx; DRACO_BPF_NEXT();
+doAluAndX: acc &= idx; DRACO_BPF_NEXT();
+doAluXorX: acc ^= idx; DRACO_BPF_NEXT();
+doAluLshX: acc = idx < 32 ? acc << idx : 0; DRACO_BPF_NEXT();
+doAluRshX: acc = idx < 32 ? acc >> idx : 0; DRACO_BPF_NEXT();
+doAluNeg:
+    acc = static_cast<uint32_t>(-static_cast<int32_t>(acc));
+    DRACO_BPF_NEXT();
+doJa: insn += insn->k; DRACO_BPF_NEXT();
+doJeqK: insn += acc == insn->k ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJgtK: insn += acc > insn->k ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJgeK: insn += acc >= insn->k ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJsetK:
+    insn += (acc & insn->k) != 0 ? insn->jt : insn->jf;
+    DRACO_BPF_NEXT();
+doJeqX: insn += acc == idx ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJgtX: insn += acc > idx ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJgeX: insn += acc >= idx ? insn->jt : insn->jf; DRACO_BPF_NEXT();
+doJsetX:
+    insn += (acc & idx) != 0 ? insn->jt : insn->jf;
+    DRACO_BPF_NEXT();
+doRetK: return BpfResult{insn->k, executed};
+doRetA: return BpfResult{acc, executed};
+doTax: idx = acc; DRACO_BPF_NEXT();
+doTxa: acc = idx; DRACO_BPF_NEXT();
+
+#undef DRACO_BPF_NEXT
+#undef DRACO_BPF_DISPATCH
+#else
     for (;;) {
         ++executed;
         switch (insn->op) {
@@ -303,6 +923,7 @@ BpfProgram::run(const os::SeccompData &data) const
         }
         ++insn;
     }
+#endif
 }
 
 BpfResult

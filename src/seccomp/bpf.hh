@@ -21,6 +21,10 @@
 
 #include "os/seccomp_abi.hh"
 
+namespace draco {
+class MetricRegistry;
+}
+
 namespace draco::seccomp {
 
 /** One classic-BPF instruction, laid out like struct sock_filter. */
@@ -133,6 +137,45 @@ struct BpfDecodedInsn {
 };
 
 /**
+ * Syntactic filter shape recognized by compile() (DESIGN.md §12).
+ *
+ * The dispatch region of a seccomp filter — the conditionals that test
+ * the loaded syscall number — falls into a few stereotyped shapes:
+ * libseccomp-style linear if-chains (every conditional a JEQ against a
+ * constant), balanced binary search trees (JGE/JGT bisection over
+ * sorted IDs), and everything else. The first two lower into
+ * specialized executors; General programs run on the decoded
+ * dispatcher.
+ */
+enum class BpfShape : uint8_t {
+    General, ///< Anything the recognizer cannot prove chain/tree.
+    Chain,   ///< All conditionals are JEQ-immediate (linear if-chain).
+    Tree,    ///< JEQ/JGT/JGE-immediate only (binary-tree dispatch).
+};
+
+/** Execution tier compile() selected for run(). */
+enum class BpfExecutor : uint8_t {
+    Decoded,     ///< Pre-decoded array dispatcher (the general tier).
+    DenseTable,  ///< Dense (nr → verdict) per-syscall dispatch table.
+    RangeSearch, ///< Branch-free binary search over sorted nr ranges.
+};
+
+/** @return Stable lowercase name of @p shape ("chain", ...). */
+const char *bpfShapeName(BpfShape shape);
+
+/** @return Stable lowercase name of @p executor ("dense", ...). */
+const char *bpfExecutorName(BpfExecutor executor);
+
+/**
+ * Export the process-wide compile()-outcome counters under
+ * `<prefix>.shape.{chain,tree,general}` and
+ * `<prefix>.exec.{dense,ranges,decoded}` — the scoreboard bench/hotpath
+ * and CI use to assert the specialized tiers actually engaged.
+ */
+void exportBpfCompileMetrics(MetricRegistry &registry,
+                             const std::string &prefix);
+
+/**
  * A validated classic-BPF program.
  */
 class BpfProgram
@@ -178,8 +221,13 @@ class BpfProgram
     /**
      * Execute the filter over @p data.
      *
-     * Uses the pre-decoded fast path when compiled, otherwise falls
-     * back to runInterpreted().
+     * Dispatches to the specialized executor compile() selected (dense
+     * table or range search), falling back to the decoded dispatcher
+     * for General programs and to runInterpreted() when uncompiled.
+     * All tiers return bit-identical actions AND identical dynamic
+     * instruction counts — the count is what the timing model prices,
+     * so the specialized tiers replay the exact count the decoded walk
+     * would have executed.
      *
      * @param data The seccomp_data block for the pending system call.
      * @return Final action and dynamic instruction count.
@@ -187,11 +235,25 @@ class BpfProgram
     BpfResult run(const os::SeccompData &data) const;
 
     /**
+     * Execute on the pre-decoded array dispatcher, bypassing any
+     * specialized executor. The middle equivalence tier: differential
+     * tests assert runInterpreted() == runDecoded() == run(). Panics
+     * if the program is not compiled.
+     */
+    BpfResult runDecoded(const os::SeccompData &data) const;
+
+    /**
      * Execute via the reference interpreter, which re-derives opcode
      * fields on every instruction. Kept as the semantic baseline the
      * compiled fast path is equivalence-tested against.
      */
     BpfResult runInterpreted(const os::SeccompData &data) const;
+
+    /** @return The recognized filter shape (General until compile()). */
+    BpfShape shape() const { return _shape; }
+
+    /** @return The execution tier run() uses (Decoded until compile()). */
+    BpfExecutor executor() const { return _executor; }
 
     /** @return Static instruction count. */
     size_t size() const { return _insns.size(); }
@@ -206,8 +268,59 @@ class BpfProgram
     std::string disassemble() const;
 
   private:
+    /**
+     * One precomputed verdict slot of a specialized executor.
+     *
+     * compile() pre-executes the dispatch region for a concrete
+     * syscall number (everything is concrete until the first load of
+     * an unknown seccomp_data offset), so a slot either carries the
+     * final verdict outright or the program counter where the decoded
+     * core must resume (the start of an argument-checking rule body).
+     */
+    struct NrEntry {
+        enum class Kind : uint8_t {
+            Terminal, ///< value = final action; count = insns executed.
+            Resume,   ///< value = resume pc; count = insns before it.
+            Slow,     ///< Re-run the decoded dispatcher from pc 0.
+        };
+        Kind kind = Kind::Slow;
+        uint32_t value = 0;
+        uint32_t count = 0;
+
+        bool operator==(const NrEntry &) const = default;
+    };
+
+    /** Decoded-core run from @p pc with live acc/count (resume path). */
+    BpfResult runDecodedFrom(size_t pc, uint32_t acc, uint64_t executed,
+                             const os::SeccompData &data) const;
+
+    /** Shape recognizer + executor lowering; called by compile(). */
+    void specialize();
+
     std::vector<BpfInsn> _insns;
     std::vector<BpfDecodedInsn> _decoded; ///< Empty until compile().
+
+    BpfShape _shape = BpfShape::General;
+    BpfExecutor _executor = BpfExecutor::Decoded;
+
+    // Architecture-guard gate: when _hasArchGuard, the specialized
+    // tables assume data.arch == _archK; a mismatch takes the
+    // precomputed _archFail verdict (or the decoded core when the
+    // mismatch path was not provably constant).
+    bool _hasArchGuard = false;
+    uint32_t _archK = 0;
+    NrEntry _archFail;
+
+    // DenseTable tier: _table[min(nr, _tableLimit)]; slots below
+    // _tableLimit are exact per-nr pre-runs, slot _tableLimit covers
+    // every nr ≥ _tableLimit (Slow when not provably uniform).
+    std::vector<NrEntry> _table;
+    uint32_t _tableLimit = 0;
+
+    // RangeSearch tier: _rangeEntry[i] covers nr ∈ [_rangeStart[i],
+    // _rangeStart[i+1]); the last range extends to UINT32_MAX.
+    std::vector<uint32_t> _rangeStart;
+    std::vector<NrEntry> _rangeEntry;
 };
 
 } // namespace draco::seccomp

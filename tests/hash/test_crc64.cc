@@ -104,6 +104,92 @@ TEST(Crc64, DistributionOverBuckets)
     }
 }
 
+TEST(Crc64, KnownNotEcmaCheckValue)
+{
+    // Same check string under the complement polynomial (computed with
+    // the bit-serial LFSR; there is no published vector for ¬ECMA).
+    const char *msg = "123456789";
+    EXPECT_EQ(crc64NotEcma().compute(msg, 9), 0xC9183FC2C8BB41C4ULL);
+    EXPECT_EQ(crc64NotEcma().computeTable(msg, 9), 0xC9183FC2C8BB41C4ULL);
+    EXPECT_EQ(crc64NotEcma().computeClmul(msg, 9), 0xC9183FC2C8BB41C4ULL);
+}
+
+TEST(Crc64, CrossEngineIdentityEveryLengthZeroTo64)
+{
+    // Tail handling is where folding implementations break: check the
+    // table, slice-by-8 (compute), and clmul engines agree on random
+    // buffers of EVERY length 0..64, with random initial registers.
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    auto next = [&x]() {
+        // SplitMix64: cheap, deterministic, seeds the buffers.
+        x += 0x9E3779B97F4A7C15ULL;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    };
+    for (const Crc64 *engine : {&crc64Ecma(), &crc64NotEcma()}) {
+        for (size_t len = 0; len <= 64; ++len) {
+            for (int rep = 0; rep < 8; ++rep) {
+                std::vector<uint8_t> buf(len);
+                for (auto &b : buf)
+                    b = static_cast<uint8_t>(next());
+                uint64_t init = rep == 0 ? 0 : next();
+                uint64_t ref = engine->computeTable(buf.data(), len, init);
+                EXPECT_EQ(engine->compute(buf.data(), len, init), ref)
+                    << "len=" << len;
+                EXPECT_EQ(engine->computeClmul(buf.data(), len, init), ref)
+                    << "len=" << len;
+                EXPECT_EQ(Crc64::computeBitwise(engine->poly(), buf.data(),
+                                                len, init),
+                          ref)
+                    << "len=" << len;
+            }
+        }
+    }
+}
+
+TEST(Crc64, CrossEngineIdentityOnLongBuffers)
+{
+    // Long enough that compute() takes the folding path when the CPU
+    // has PCLMULQDQ; every 16-byte phase of the tail is covered.
+    std::vector<uint8_t> buf(4096 + 15);
+    uint64_t x = 42;
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(x = x * 6364136223846793005ULL + 1);
+    for (size_t len : {64u, 65u, 79u, 80u, 128u, 1000u, 4096u, 4111u}) {
+        for (uint64_t init : {0ull, 0xFFFFFFFFFFFFFFFFull,
+                              0x0123456789ABCDEFull}) {
+            uint64_t ref = crc64Ecma().computeTable(buf.data(), len, init);
+            EXPECT_EQ(crc64Ecma().compute(buf.data(), len, init), ref);
+            EXPECT_EQ(crc64Ecma().computeClmul(buf.data(), len, init), ref);
+        }
+    }
+}
+
+TEST(Crc64, ClmulIncrementalEqualsWhole)
+{
+    // init-register chaining across engine switches: fold a prefix
+    // with one engine and finish with another.
+    std::vector<uint8_t> buf(777);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 131 + 7);
+    uint64_t whole = crc64Ecma().computeTable(buf.data(), buf.size());
+    for (size_t cut : {1u, 15u, 16u, 17u, 63u, 64u, 100u, 776u}) {
+        uint64_t part = crc64Ecma().computeClmul(buf.data(), cut);
+        part = crc64Ecma().compute(buf.data() + cut, buf.size() - cut,
+                                   part);
+        EXPECT_EQ(part, whole) << "cut=" << cut;
+    }
+}
+
+TEST(Crc64, EngineNameIsConsistentWithDispatch)
+{
+    std::string name = crc64EngineName();
+    EXPECT_TRUE(name == "pclmul" || name == "slice8") << name;
+    EXPECT_EQ(name == "pclmul", Crc64::clmulSupported());
+}
+
 TEST(Mix64, Deterministic)
 {
     EXPECT_EQ(mix64(12345), mix64(12345));

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the shape-specialized BPF executors (DESIGN.md §12): the
+ * recognizer's chain/tree/general classification, the dense-table and
+ * range-search tiers, and three-way differential equivalence — action
+ * AND dynamic instruction count — between runInterpreted(),
+ * runDecoded(), and run() on builtin profiles, hand-built boundary
+ * cases, and randomly generated valid programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "seccomp/bpf.hh"
+#include "seccomp/filter_builder.hh"
+#include "seccomp/profiles_builtin.hh"
+#include "support/metrics.hh"
+#include "support/random.hh"
+
+namespace draco::seccomp {
+namespace {
+
+constexpr uint32_t kAllow = static_cast<uint32_t>(os::SeccompAction::Allow);
+
+os::SeccompData
+data(uint32_t nr, uint32_t arch = os::kAuditArchX86_64)
+{
+    os::SeccompData d{};
+    d.nr = nr;
+    d.arch = arch;
+    return d;
+}
+
+os::SeccompData
+randomData(Rng &rng)
+{
+    os::SeccompData d{};
+    d.nr = rng.chance(0.9) ? static_cast<uint32_t>(rng.nextBelow(512))
+                           : static_cast<uint32_t>(rng.next());
+    d.arch = rng.chance(0.85) ? os::kAuditArchX86_64
+                              : static_cast<uint32_t>(rng.next());
+    d.instruction_pointer = rng.next();
+    for (auto &arg : d.args)
+        arg = rng.chance(0.5) ? rng.nextBelow(64) : rng.next();
+    return d;
+}
+
+/** All three tiers must agree on action and instruction count. */
+void
+expectThreeWay(const BpfProgram &program, const os::SeccompData &d)
+{
+    ASSERT_TRUE(program.compiled());
+    BpfResult oracle = program.runInterpreted(d);
+    BpfResult decoded = program.runDecoded(d);
+    BpfResult fast = program.run(d);
+    EXPECT_EQ(decoded.action, oracle.action);
+    EXPECT_EQ(decoded.insnsExecuted, oracle.insnsExecuted);
+    EXPECT_EQ(fast.action, oracle.action);
+    EXPECT_EQ(fast.insnsExecuted, oracle.insnsExecuted);
+}
+
+/** Standard arch-guard prefix every builder filter carries. */
+void
+pushGuard(std::vector<BpfInsn> &insns)
+{
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::arch));
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, os::kAuditArchX86_64,
+                         1, 0));
+    insns.push_back(stmt(op::RET | op::K, 0x80000000u));
+}
+
+TEST(BpfSpecialize, BuiltinProfilesEngageSpecializedExecutors)
+{
+    // The LinearChain lowering of docker-default is the Figure-1
+    // shape: pure JEQ chain -> dense table. BinaryTree and the
+    // coalesced Linear lowering use JGE/JGT -> range search.
+    Profile docker = dockerDefaultProfile();
+
+    BpfProgram chain = buildFilter(docker, DispatchShape::LinearChain);
+    EXPECT_EQ(chain.shape(), BpfShape::Chain);
+    EXPECT_EQ(chain.executor(), BpfExecutor::DenseTable);
+
+    BpfProgram tree = buildFilter(docker, DispatchShape::BinaryTree);
+    EXPECT_EQ(tree.shape(), BpfShape::Tree);
+    EXPECT_EQ(tree.executor(), BpfExecutor::RangeSearch);
+
+    BpfProgram linear = buildFilter(docker, DispatchShape::Linear);
+    EXPECT_EQ(linear.shape(), BpfShape::Tree);
+    EXPECT_EQ(linear.executor(), BpfExecutor::RangeSearch);
+}
+
+TEST(BpfSpecialize, ThreeWayAgreementOnBuiltinProfiles)
+{
+    const Profile profiles[] = {dockerDefaultProfile(), gvisorProfile(),
+                                firecrackerProfile()};
+    for (const Profile &profile : profiles) {
+        for (DispatchShape shape :
+             {DispatchShape::Linear, DispatchShape::LinearChain,
+              DispatchShape::BinaryTree}) {
+            BpfProgram p = buildFilter(profile, shape);
+            ASSERT_TRUE(p.compiled());
+            Rng rng(splitSeed(7, "specialize-" + profile.name()));
+            for (int i = 0; i < 2000; ++i)
+                expectThreeWay(p, randomData(rng));
+            // Explicit interesting corners: 0, just past the table,
+            // and the extremes of the nr domain.
+            for (uint32_t nr : {0u, 1u, 511u, 512u, 4095u, 4096u,
+                                100000u, UINT32_MAX}) {
+                expectThreeWay(p, data(nr));
+                expectThreeWay(p, data(nr, /*arch=*/0x12345678u));
+            }
+        }
+    }
+}
+
+TEST(BpfSpecialize, ChainWithArgTestResumesIntoDecodedCore)
+{
+    // A JEQ chain where one rule has an argument-check body: the
+    // matching nr's table slot must resume the decoded core at the
+    // body (the arg load), not precompute a wrong verdict.
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    // Rule 1: plain allow of nr 10.
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 10, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    // Rule 2: nr 20 allowed only when arg0 (low word) == 7.
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 20, 0, 4));
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::argLo(0)));
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 7, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    // Rule 3: plain allow of nr 30.
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 30, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    insns.push_back(stmt(op::RET | op::K, 0x00050001u)); // errno deny
+
+    BpfProgram p(insns);
+    ASSERT_TRUE(p.compile());
+    EXPECT_EQ(p.shape(), BpfShape::Chain);
+    EXPECT_EQ(p.executor(), BpfExecutor::DenseTable);
+
+    for (uint32_t nr : {0u, 9u, 10u, 11u, 19u, 20u, 21u, 29u, 30u, 31u,
+                        1000u, UINT32_MAX}) {
+        for (uint64_t arg0 : {0ull, 7ull, 8ull, 0x700000000ull}) {
+            os::SeccompData d = data(nr);
+            d.args[0] = arg0;
+            expectThreeWay(p, d);
+        }
+    }
+    // The arg-dependent rule really is arg-dependent through run().
+    os::SeccompData good = data(20);
+    good.args[0] = 7;
+    os::SeccompData bad = data(20);
+    bad.args[0] = 8;
+    EXPECT_EQ(p.run(good).action, kAllow);
+    EXPECT_EQ(p.run(bad).action, 0x00050001u);
+}
+
+TEST(BpfSpecialize, DegenerateSingleNodeTree)
+{
+    // One JGE is the smallest possible tree: two ranges.
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    insns.push_back(jump(op::JMP | op::JGE | op::K, 100, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    insns.push_back(stmt(op::RET | op::K, 0));
+
+    BpfProgram p(insns);
+    ASSERT_TRUE(p.compile());
+    EXPECT_EQ(p.shape(), BpfShape::Tree);
+    EXPECT_EQ(p.executor(), BpfExecutor::RangeSearch);
+    for (uint32_t nr : {0u, 1u, 99u, 100u, 101u, 4096u, UINT32_MAX})
+        expectThreeWay(p, data(nr));
+}
+
+TEST(BpfSpecialize, ChainOfOneJeqIsStillAChain)
+{
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 42, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    insns.push_back(stmt(op::RET | op::K, 0));
+
+    BpfProgram p(insns);
+    ASSERT_TRUE(p.compile());
+    EXPECT_EQ(p.shape(), BpfShape::Chain);
+    EXPECT_EQ(p.executor(), BpfExecutor::DenseTable);
+    for (uint32_t nr : {0u, 41u, 42u, 43u, UINT32_MAX})
+        expectThreeWay(p, data(nr));
+}
+
+TEST(BpfSpecialize, JsetAndXComparisonsStayGeneral)
+{
+    std::vector<BpfInsn> jset;
+    pushGuard(jset);
+    jset.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    jset.push_back(jump(op::JMP | op::JSET | op::K, 0x8, 0, 1));
+    jset.push_back(stmt(op::RET | op::K, kAllow));
+    jset.push_back(stmt(op::RET | op::K, 0));
+    BpfProgram p1(jset);
+    ASSERT_TRUE(p1.compile());
+    EXPECT_EQ(p1.shape(), BpfShape::General);
+    EXPECT_EQ(p1.executor(), BpfExecutor::Decoded);
+
+    std::vector<BpfInsn> jx;
+    pushGuard(jx);
+    jx.push_back(stmt(op::LDX | op::IMM, 42));
+    jx.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    jx.push_back(jump(op::JMP | op::JEQ | op::X, 0, 0, 1));
+    jx.push_back(stmt(op::RET | op::K, kAllow));
+    jx.push_back(stmt(op::RET | op::K, 0));
+    BpfProgram p2(jx);
+    ASSERT_TRUE(p2.compile());
+    EXPECT_EQ(p2.shape(), BpfShape::General);
+    EXPECT_EQ(p2.executor(), BpfExecutor::Decoded);
+
+    Rng rng(splitSeed(7, "specialize-general"));
+    for (int i = 0; i < 500; ++i) {
+        os::SeccompData d = randomData(rng);
+        expectThreeWay(p1, d);
+        expectThreeWay(p2, d);
+    }
+}
+
+TEST(BpfSpecialize, RetAOfNrCannotBeTabledButStaysCorrect)
+{
+    // RET A where A depends on nr: no finite table covers the default
+    // interval, so the specializer must decline rather than precompute
+    // a wrong verdict for large nr.
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    insns.push_back(stmt(op::RET | op::A, 0));
+
+    BpfProgram p(insns);
+    ASSERT_TRUE(p.compile());
+    EXPECT_EQ(p.executor(), BpfExecutor::Decoded);
+    for (uint32_t nr : {0u, 1u, 4097u, UINT32_MAX})
+        expectThreeWay(p, data(nr));
+}
+
+TEST(BpfSpecialize, ArchMismatchTakesTheGuardPath)
+{
+    BpfProgram p = buildFilter(dockerDefaultProfile(),
+                               DispatchShape::LinearChain);
+    ASSERT_EQ(p.executor(), BpfExecutor::DenseTable);
+    for (uint32_t arch : {0u, 1u, 0x40000003u, UINT32_MAX}) {
+        os::SeccompData d = data(3, arch);
+        expectThreeWay(p, d);
+        EXPECT_EQ(p.run(d).action, p.runInterpreted(d).action);
+    }
+}
+
+TEST(BpfSpecialize, LdxAbsIsRejectedByTheValidator)
+{
+    // Regression: LDX|ABS is not a classic-BPF form; it used to alias
+    // onto a scratch-memory load with k up to 60 — past mem[16].
+    BpfProgram p({stmt(op::LDX | op::W | op::ABS, 16),
+                  stmt(op::RET | op::K, 0)});
+    std::string err;
+    EXPECT_FALSE(p.validate(&err));
+    EXPECT_NE(err.find("LDX"), std::string::npos) << err;
+}
+
+/** Random VALID instruction: jump offsets stay in range by design. */
+BpfInsn
+randomValidInsn(Rng &rng, size_t remaining)
+{
+    // remaining = instructions after this one; the last slot is always
+    // a RET appended by the caller.
+    switch (rng.nextBelow(8)) {
+      case 0: { // LD
+        switch (rng.nextBelow(4)) {
+          case 0:
+            return stmt(op::LD | op::W | op::ABS,
+                        4 * static_cast<uint32_t>(rng.nextBelow(16)));
+          case 1:
+            return stmt(op::LD | op::IMM,
+                        static_cast<uint32_t>(rng.next()));
+          case 2: return stmt(op::LD | op::LEN, 0);
+          default:
+            return stmt(op::LD | op::MEM,
+                        static_cast<uint32_t>(rng.nextBelow(16)));
+        }
+      }
+      case 1: { // LDX
+        switch (rng.nextBelow(3)) {
+          case 0:
+            return stmt(op::LDX | op::IMM,
+                        static_cast<uint32_t>(rng.nextBelow(64)));
+          case 1: return stmt(op::LDX | op::LEN, 0);
+          default:
+            return stmt(op::LDX | op::MEM,
+                        static_cast<uint32_t>(rng.nextBelow(16)));
+        }
+      }
+      case 2:
+        return stmt((rng.chance(0.5) ? op::ST : op::STX),
+                    static_cast<uint32_t>(rng.nextBelow(16)));
+      case 3: { // ALU
+        static constexpr uint16_t kOps[] = {
+            op::ADD, op::SUB, op::MUL, op::DIV, op::OR, op::AND,
+            op::LSH, op::RSH, op::NEG, op::MOD, op::XOR};
+        uint16_t aluOp = kOps[rng.nextBelow(std::size(kOps))];
+        uint16_t src = rng.chance(0.5) ? op::K : op::X;
+        uint32_t k = static_cast<uint32_t>(rng.nextBelow(64));
+        if (src == op::K && (aluOp == op::DIV || aluOp == op::MOD))
+            k = 1 + k; // constant divide-by-zero is rejected
+        if (rng.chance(0.2))
+            k = static_cast<uint32_t>(rng.next() | 1);
+        return stmt(op::ALU | aluOp | src, k);
+      }
+      case 4:
+      case 5: { // JMP (biased: jumps are the interesting part)
+        if (remaining == 0)
+            return stmt(op::RET | op::K,
+                        static_cast<uint32_t>(rng.next()));
+        uint32_t span = static_cast<uint32_t>(std::min<size_t>(
+            remaining, 255));
+        if (rng.chance(0.15))
+            return stmt(op::JMP | op::JA, rng.nextBelow(span));
+        static constexpr uint16_t kJops[] = {op::JEQ, op::JGT, op::JGE,
+                                             op::JSET};
+        uint16_t jop = kJops[rng.nextBelow(std::size(kJops))];
+        uint16_t src = rng.chance(0.75) ? op::K : op::X;
+        uint32_t k = rng.chance(0.5)
+            ? static_cast<uint32_t>(rng.nextBelow(512))
+            : static_cast<uint32_t>(rng.next());
+        return jump(op::JMP | jop | src, k,
+                    static_cast<uint8_t>(rng.nextBelow(span)),
+                    static_cast<uint8_t>(rng.nextBelow(span)));
+      }
+      case 6:
+        return stmt(op::MISC | (rng.chance(0.5) ? op::TAX : op::TXA), 0);
+      default:
+        return rng.chance(0.5)
+            ? stmt(op::RET | op::K, static_cast<uint32_t>(rng.next()))
+            : stmt(op::RET | op::A, 0);
+    }
+}
+
+TEST(BpfSpecialize, RandomValidProgramsThreeWayAgreement)
+{
+    Rng rng(splitSeed(7, "specialize-random-valid"));
+    for (int trial = 0; trial < 3000; ++trial) {
+        size_t len = 2 + rng.nextBelow(40);
+        std::vector<BpfInsn> insns;
+        for (size_t i = 0; i + 1 < len; ++i)
+            insns.push_back(randomValidInsn(rng, len - i - 2));
+        insns.push_back(rng.chance(0.5)
+                            ? stmt(op::RET | op::K,
+                                   static_cast<uint32_t>(rng.next()))
+                            : stmt(op::RET | op::A, 0));
+        BpfProgram p(std::move(insns));
+        std::string err;
+        ASSERT_TRUE(p.compile(&err)) << err;
+        for (int i = 0; i < 20; ++i)
+            expectThreeWay(p, randomData(rng));
+    }
+}
+
+/** Random docker-style chain: JEQ dispatch plus arg-check bodies. */
+BpfProgram
+randomChainProgram(Rng &rng)
+{
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    size_t rules = 1 + rng.nextBelow(24);
+    for (size_t r = 0; r < rules; ++r) {
+        uint32_t sid = static_cast<uint32_t>(rng.nextBelow(512));
+        if (rng.chance(0.3)) {
+            // Arg-check body: ld arg; jeq val -> allow; else reload nr
+            // and fall through to the next rule.
+            uint32_t arg = static_cast<uint32_t>(rng.nextBelow(6));
+            uint32_t val = static_cast<uint32_t>(rng.nextBelow(64));
+            insns.push_back(jump(op::JMP | op::JEQ | op::K, sid, 0, 4));
+            insns.push_back(
+                stmt(op::LD | op::W | op::ABS, os::sd_off::argLo(arg)));
+            insns.push_back(jump(op::JMP | op::JEQ | op::K, val, 0, 1));
+            insns.push_back(stmt(op::RET | op::K, kAllow));
+            insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+        } else {
+            insns.push_back(jump(op::JMP | op::JEQ | op::K, sid, 0, 1));
+            insns.push_back(stmt(op::RET | op::K, kAllow));
+        }
+    }
+    insns.push_back(stmt(op::RET | op::K, 0x00050001u));
+    BpfProgram p(std::move(insns));
+    EXPECT_TRUE(p.compile());
+    return p;
+}
+
+TEST(BpfSpecialize, RandomChainsUseDenseTableAndAgree)
+{
+    Rng rng(splitSeed(7, "specialize-random-chain"));
+    int dense = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        BpfProgram p = randomChainProgram(rng);
+        ASSERT_EQ(p.shape(), BpfShape::Chain);
+        dense += p.executor() == BpfExecutor::DenseTable;
+        for (int i = 0; i < 200; ++i)
+            expectThreeWay(p, randomData(rng));
+    }
+    // Every generated chain has in-cap constants, so all must lower.
+    EXPECT_EQ(dense, 200);
+}
+
+TEST(BpfSpecialize, CompileMetricsExportScoreboard)
+{
+    MetricRegistry registry;
+    exportBpfCompileMetrics(registry, "bpf");
+    for (const char *name :
+         {"bpf.shape.chain", "bpf.shape.tree", "bpf.shape.general",
+          "bpf.exec.dense", "bpf.exec.ranges", "bpf.exec.decoded"}) {
+        EXPECT_TRUE(registry.has(name)) << name;
+    }
+    uint64_t chains = registry.counterValue("bpf.shape.chain");
+
+    // Compiling one more chain bumps the process-wide counters.
+    std::vector<BpfInsn> insns;
+    pushGuard(insns);
+    insns.push_back(stmt(op::LD | op::W | op::ABS, os::sd_off::nr));
+    insns.push_back(jump(op::JMP | op::JEQ | op::K, 1, 0, 1));
+    insns.push_back(stmt(op::RET | op::K, kAllow));
+    insns.push_back(stmt(op::RET | op::K, 0));
+    BpfProgram p(insns);
+    ASSERT_TRUE(p.compile());
+
+    MetricRegistry after;
+    exportBpfCompileMetrics(after, "bpf");
+    EXPECT_EQ(after.counterValue("bpf.shape.chain"), chains + 1);
+}
+
+} // namespace
+} // namespace draco::seccomp
