@@ -85,6 +85,17 @@ ArgKey::ArgKey(uint64_t bitmask, const seccomp::ArgVector &args)
     }
 }
 
+ArgKey
+ArgKey::fromBytes(const uint8_t *bytes, unsigned len)
+{
+    ArgKey key;
+    if (len > kMaxBytes)
+        return key;
+    std::memcpy(key._bytes, bytes, len);
+    key._len = static_cast<uint8_t>(len);
+    return key;
+}
+
 bool
 ArgKey::operator==(const ArgKey &other) const
 {

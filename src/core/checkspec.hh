@@ -75,6 +75,13 @@ class ArgKey
      */
     ArgKey(uint64_t bitmask, const seccomp::ArgVector &args);
 
+    /**
+     * Rebuild a key from a previously-extracted byte string — the
+     * snapshot decoder's inverse of data()/size(). @p len beyond
+     * kMaxBytes is rejected with an empty key.
+     */
+    static ArgKey fromBytes(const uint8_t *bytes, unsigned len);
+
     /** @return Selected byte string. */
     const uint8_t *data() const { return _bytes; }
 

@@ -2,22 +2,64 @@
 
 #include <algorithm>
 
+#include "hash/crc64.hh"
+#include "support/binio.hh"
 #include "support/logging.hh"
 
 namespace draco::core {
 
+uint64_t
+filterProgramKey(const seccomp::FilterChain &chain)
+{
+    std::vector<uint8_t> bytes;
+    binio::putVarint(bytes, chain.programs().size());
+    for (const seccomp::BpfProgram &program : chain.programs()) {
+        binio::putVarint(bytes, program.insns().size());
+        for (const seccomp::BpfInsn &insn : program.insns()) {
+            binio::putU16(bytes, insn.code);
+            binio::putU8(bytes, insn.jt);
+            binio::putU8(bytes, insn.jf);
+            binio::putU32(bytes, insn.k);
+        }
+    }
+    return crc64Ecma().compute(bytes.data(), bytes.size());
+}
+
+CompiledPolicy::CompiledPolicy(const seccomp::Profile &profile_,
+                               seccomp::DispatchShape shape_)
+    : profile(profile_), shape(shape_),
+      filter(seccomp::buildFilterChain(profile_, shape_)),
+      specs(deriveCheckSpecs(profile_)),
+      programKey(filterProgramKey(filter))
+{
+}
+
+std::shared_ptr<const CompiledPolicy>
+CompiledPolicy::compile(const seccomp::Profile &profile,
+                        seccomp::DispatchShape shape)
+{
+    return std::make_shared<const CompiledPolicy>(profile, shape);
+}
+
 DracoSoftwareChecker::DracoSoftwareChecker(const seccomp::Profile &profile,
                                            unsigned filter_copies,
                                            seccomp::DispatchShape shape)
-    : _profile(profile), _filterCopies(filter_copies),
-      _filter(seccomp::buildFilterChain(profile, shape)),
-      _specs(deriveCheckSpecs(profile))
+    : DracoSoftwareChecker(CompiledPolicy::compile(profile, shape),
+                           filter_copies)
 {
+}
+
+DracoSoftwareChecker::DracoSoftwareChecker(
+    std::shared_ptr<const CompiledPolicy> policy, unsigned filter_copies)
+    : _policy(std::move(policy)), _filterCopies(filter_copies)
+{
+    if (!_policy)
+        fatal("DracoSoftwareChecker: null compiled policy");
     if (filter_copies == 0)
         fatal("DracoSoftwareChecker: need at least one filter copy");
     // The OS sizes one VAT table per argument-checking syscall from the
     // profile's estimated set counts (§VII-A).
-    for (const auto &[sid, spec] : _specs)
+    for (const auto &[sid, spec] : _policy->specs)
         if (spec.checksArguments())
             _vat.configure(sid, spec.bitmask, spec.estimatedSets);
 }
@@ -56,7 +98,7 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         os::SeccompData data = req.toSeccompData();
         seccomp::BpfResult result{};
         for (unsigned copy = 0; copy < _filterCopies; ++copy) {
-            seccomp::BpfResult r = _filter.run(data);
+            seccomp::BpfResult r = _policy->filter.run(data);
             result.action = r.action; // identical copies agree
             result.insnsExecuted += r.insnsExecuted;
         }
@@ -79,8 +121,8 @@ DracoSoftwareChecker::check(const os::SyscallRequest &req)
         return o;
     };
 
-    auto it = _specs.find(req.sid);
-    if (it == _specs.end()) {
+    auto it = _policy->specs.find(req.sid);
+    if (it == _policy->specs.end()) {
         // SPT Valid bit clear: nothing cached can help; the filter
         // decides (and, for whitelist profiles, denies).
         bool allowed = runFilter();

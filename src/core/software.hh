@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
 #include "core/checkspec.hh"
 #include "core/vat.hh"
@@ -81,6 +82,44 @@ double swCheckCostNs(const SwCheckOutcome &outcome,
                      unsigned filterCopies = 1);
 
 /**
+ * The immutable, shareable compile of one profile: the policy itself,
+ * its compiled fallback filter chain, and the derived per-syscall
+ * check specs (the SPT template). Everything here is read-only after
+ * construction and FilterChain::run() is const and stateless, so one
+ * CompiledPolicy may back any number of checkers across any number of
+ * threads — in real fleets most tenants run the identical
+ * docker-default profile (§II), and sharing the compile turns a
+ * million per-tenant copies into one.
+ *
+ * programKey is the CRC-64 (ECMA) of the canonical program bytes —
+ * the content address the lifecycle subsystem dedups and snapshots
+ * against.
+ */
+struct CompiledPolicy {
+    seccomp::Profile profile;
+    seccomp::DispatchShape shape;
+    seccomp::FilterChain filter;
+    std::map<uint16_t, CheckSpec> specs;
+    uint64_t programKey = 0;
+
+    CompiledPolicy(const seccomp::Profile &profile_,
+                   seccomp::DispatchShape shape_);
+
+    /** Compile @p profile into a shareable policy. */
+    static std::shared_ptr<const CompiledPolicy> compile(
+        const seccomp::Profile &profile,
+        seccomp::DispatchShape shape = seccomp::DispatchShape::Linear);
+};
+
+/**
+ * CRC-64 (ECMA) over the canonical bytes of a compiled filter chain:
+ * program count, then per program its instruction count and each
+ * instruction as (code, jt, jf, k) little-endian. Two chains share a
+ * key iff they are instruction-identical.
+ */
+uint64_t filterProgramKey(const seccomp::FilterChain &chain);
+
+/**
  * Kernel-resident software Draco for one process.
  */
 class DracoSoftwareChecker
@@ -96,20 +135,41 @@ class DracoSoftwareChecker
         const seccomp::Profile &profile, unsigned filter_copies = 1,
         seccomp::DispatchShape shape = seccomp::DispatchShape::Linear);
 
+    /**
+     * Share a pre-compiled policy instead of compiling privately —
+     * the VAT and counters stay per-checker (copy-on-write state);
+     * the profile, filter, and specs are the shared immutable part.
+     */
+    explicit DracoSoftwareChecker(
+        std::shared_ptr<const CompiledPolicy> policy,
+        unsigned filter_copies = 1);
+
     /** Check one system call at kernel entry. */
     SwCheckOutcome check(const os::SyscallRequest &req);
 
     /** @return The process's VAT. */
     const Vat &vat() const { return _vat; }
 
+    /** @return Mutable VAT — snapshot restore repopulates it in place. */
+    Vat &mutableVat() { return _vat; }
+
     /** @return The enforced profile. */
-    const seccomp::Profile &profile() const { return _profile; }
+    const seccomp::Profile &profile() const { return _policy->profile; }
 
     /** @return The compiled fallback filter chain. */
-    const seccomp::FilterChain &filter() const { return _filter; }
+    const seccomp::FilterChain &filter() const { return _policy->filter; }
+
+    /** @return The shared compiled policy backing this checker. */
+    const std::shared_ptr<const CompiledPolicy> &policy() const
+    {
+        return _policy;
+    }
 
     /** @return Lifetime counters. */
     const SwCheckStats &stats() const { return _stats; }
+
+    /** Replace the lifetime counters (snapshot restore). */
+    void restoreStats(const SwCheckStats &stats) { _stats = stats; }
 
     /** Export checker counters and the VAT's `vat` group under @p prefix. */
     void exportMetrics(MetricRegistry &registry,
@@ -124,10 +184,8 @@ class DracoSoftwareChecker
     void setTracer(obs::Tracer *tracer);
 
   private:
-    seccomp::Profile _profile;
+    std::shared_ptr<const CompiledPolicy> _policy;
     unsigned _filterCopies;
-    seccomp::FilterChain _filter;
-    std::map<uint16_t, CheckSpec> _specs;
     Vat _vat;
     SwCheckStats _stats;
     obs::Tracer *_tracer = nullptr;

@@ -116,6 +116,26 @@ Vat::insert(uint16_t sid, const ArgKey &key)
 }
 
 bool
+Vat::placeAt(uint16_t sid, CuckooWay way, uint64_t index,
+             const ArgKey &key)
+{
+    auto it = _tables.find(sid);
+    if (it == _tables.end())
+        return false;
+    return it->second.cuckoo->placeAt(way, index, key);
+}
+
+bool
+Vat::restoreTableStats(uint16_t sid, const CuckooStats &stats)
+{
+    auto it = _tables.find(sid);
+    if (it == _tables.end())
+        return false;
+    it->second.cuckoo->restoreStats(stats);
+    return true;
+}
+
+bool
 Vat::erase(uint16_t sid, const ArgKey &key)
 {
     auto it = _tables.find(sid);

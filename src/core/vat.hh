@@ -112,6 +112,41 @@ class Vat
     /** @return Cumulative insert-pressure evictions across tables. */
     uint64_t evictions() const { return _evictions; }
 
+    // ---- snapshot support (lifecycle subsystem) ----
+
+    /**
+     * Invoke @p fn(sid, bitmask, cuckoo) on every configured table in
+     * ascending sid order — the deterministic enumeration the `.dtss`
+     * encoder serializes.
+     */
+    template <typename Fn>
+    void
+    forEachTable(Fn &&fn) const
+    {
+        for (const auto &[sid, table] : _tables)
+            fn(sid, table.bitmask, *table.cuckoo);
+    }
+
+    /**
+     * Place @p key at the exact cuckoo slot (@p way, @p index) of
+     * @p sid's table — see CuckooTable::placeAt().
+     *
+     * @return false when @p sid is unconfigured or the slot placement
+     *         was rejected.
+     */
+    bool placeAt(uint16_t sid, CuckooWay way, uint64_t index,
+                 const ArgKey &key);
+
+    /**
+     * Replace @p sid's cuckoo behaviour counters (snapshot restore).
+     *
+     * @return false when @p sid has no configured table.
+     */
+    bool restoreTableStats(uint16_t sid, const CuckooStats &stats);
+
+    /** Replace the cumulative eviction counter (snapshot restore). */
+    void restoreEvictions(uint64_t evictions) { _evictions = evictions; }
+
     /**
      * Attach @p tracer (nullptr detaches): each insert() records a
      * VatInsert event whose value is the cuckoo displacement count it

@@ -209,6 +209,48 @@ class CuckooTable
                     fn(slot.key);
     }
 
+    /**
+     * Invoke @p fn(way, index, key) on every occupied slot, way-major
+     * then index order — the deterministic enumeration snapshot
+     * encoders serialize.
+     */
+    template <typename Fn>
+    void
+    forEachSlot(Fn &&fn) const
+    {
+        for (unsigned w = 0; w < 2; ++w)
+            for (size_t i = 0; i < _ways[w].size(); ++i)
+                if (_ways[w][i].occupied)
+                    fn(static_cast<CuckooWay>(w),
+                       static_cast<uint64_t>(i), _ways[w][i].key);
+    }
+
+    /**
+     * Place @p key at the exact slot (@p way, @p index) — snapshot
+     * restore reproduces a table's layout verbatim rather than
+     * replaying the insertion history, so post-restore displacement
+     * and eviction behaviour is identical to never having snapshotted.
+     *
+     * @return false (table untouched) when @p index is out of range or
+     *         the slot is already occupied.
+     */
+    bool
+    placeAt(CuckooWay way, uint64_t index, const Key &key)
+    {
+        if (index >= buckets())
+            return false;
+        Slot &slot = _ways[static_cast<size_t>(way)][index];
+        if (slot.occupied)
+            return false;
+        slot.occupied = true;
+        slot.key = key;
+        ++_size;
+        return true;
+    }
+
+    /** Replace the behaviour counters (snapshot restore). */
+    void restoreStats(const CuckooStats &stats) { _stats = stats; }
+
     /** @return Number of stored keys. */
     size_t size() const { return _size; }
 

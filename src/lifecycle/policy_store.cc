@@ -1,0 +1,84 @@
+#include "lifecycle/policy_store.hh"
+
+#include "hash/crc64.hh"
+#include "support/binio.hh"
+
+namespace draco::lifecycle {
+
+uint64_t
+profileContentKey(const seccomp::Profile &profile,
+                  seccomp::DispatchShape shape)
+{
+    std::vector<uint8_t> bytes;
+    binio::putU8(bytes, static_cast<uint8_t>(shape));
+    binio::putU32(bytes, profile.denyValue());
+    binio::putVarint(bytes, profile.rules().size());
+    for (const auto &[sid, rule] : profile.rules()) {
+        binio::putVarint(bytes, sid);
+        binio::putU8(bytes, static_cast<uint8_t>(rule.kind));
+        binio::putU8(bytes, rule.runtimeRequired ? 1 : 0);
+        binio::putVarint(bytes, rule.tuples.size());
+        for (const seccomp::ArgVector &tuple : rule.tuples)
+            for (uint64_t value : tuple)
+                binio::putU64(bytes, value);
+        binio::putVarint(bytes, rule.perArg.size());
+        for (const auto &[arg, values] : rule.perArg) {
+            binio::putVarint(bytes, arg);
+            binio::putVarint(bytes, values.size());
+            for (uint64_t value : values)
+                binio::putU64(bytes, value);
+        }
+    }
+    return crc64Ecma().compute(bytes.data(), bytes.size());
+}
+
+std::shared_ptr<const core::CompiledPolicy>
+PolicyStore::intern(const seccomp::Profile &profile,
+                    seccomp::DispatchShape shape)
+{
+    uint64_t key = profileContentKey(profile, shape);
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _byContentKey.find(key);
+    if (it != _byContentKey.end()) {
+        ++_hits;
+        return it->second;
+    }
+    auto policy = core::CompiledPolicy::compile(profile, shape);
+    _byContentKey.emplace(key, policy);
+    return policy;
+}
+
+size_t
+PolicyStore::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _byContentKey.size();
+}
+
+uint64_t
+PolicyStore::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+uint64_t
+PolicyStore::compiles() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _byContentKey.size();
+}
+
+void
+PolicyStore::exportMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    registry.setCounter(MetricRegistry::join(prefix, "policies"),
+                        _byContentKey.size());
+    registry.setCounter(MetricRegistry::join(prefix, "hits"), _hits);
+    registry.setCounter(MetricRegistry::join(prefix, "compiles"),
+                        _byContentKey.size());
+}
+
+} // namespace draco::lifecycle

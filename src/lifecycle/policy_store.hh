@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Content-addressed store of compiled policies.
+ *
+ * In real fleets almost every container runs the identical
+ * docker-default seccomp profile (PAPER §II), so compiling and holding
+ * one filter chain + SPT template *per tenant* wastes both startup
+ * time and resident memory linearly in tenant count. The PolicyStore
+ * keys compiled policies by the CRC-64 of the profile's canonical
+ * semantic bytes (name excluded — "tenant-000001" and
+ * "tenant-999999" on docker-default share one entry) and hands out
+ * shared_ptr<const CompiledPolicy> handles: a million tenants on one
+ * profile hold exactly one compiled filter and one spec map, shared
+ * copy-on-write — the mutable VAT and counters stay per-tenant.
+ */
+
+#ifndef DRACO_LIFECYCLE_POLICY_STORE_HH
+#define DRACO_LIFECYCLE_POLICY_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/software.hh"
+#include "support/metrics.hh"
+
+namespace draco::lifecycle {
+
+/**
+ * CRC-64 (ECMA) over the canonical semantic bytes of (@p profile,
+ * @p shape): deny value, dispatch shape, and every rule's kind,
+ * tuples, and per-argument value sets — the profile *name* is
+ * excluded so identically-constrained profiles collide on purpose.
+ */
+uint64_t profileContentKey(const seccomp::Profile &profile,
+                           seccomp::DispatchShape shape);
+
+/**
+ * Thread-safe content-addressed policy interner (see file comment).
+ */
+class PolicyStore
+{
+  public:
+    /**
+     * Return the shared compile of (@p profile, @p shape), compiling
+     * it on first sight. A repeat intern of semantically identical
+     * content returns the existing policy and counts a dedup hit.
+     */
+    std::shared_ptr<const core::CompiledPolicy> intern(
+        const seccomp::Profile &profile,
+        seccomp::DispatchShape shape = seccomp::DispatchShape::Linear);
+
+    /** @return Distinct policies compiled and held. */
+    size_t size() const;
+
+    /** @return Interns served by an existing entry. */
+    uint64_t hits() const;
+
+    /** @return Interns that had to compile. */
+    uint64_t compiles() const;
+
+    /** Export `<prefix>.{policies,hits,compiles}`. */
+    void exportMetrics(MetricRegistry &registry,
+                       const std::string &prefix) const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<uint64_t, std::shared_ptr<const core::CompiledPolicy>>
+        _byContentKey;
+    uint64_t _hits = 0;
+};
+
+} // namespace draco::lifecycle
+
+#endif // DRACO_LIFECYCLE_POLICY_STORE_HH

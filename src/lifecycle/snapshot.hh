@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The `.dtss` tenant snapshot format.
+ *
+ * A snapshot is the *mutable* half of a tenant's checking state — the
+ * lifetime counters and the exact VAT layout — serialized so a cold
+ * tenant can be dropped from memory and rebuilt bit-identically on its
+ * next request. The immutable half (profile, compiled filter, specs)
+ * is NOT stored: the snapshot references it by the policy's programKey
+ * and the restorer re-attaches the shared CompiledPolicy.
+ *
+ * Layout (all little-endian, same binio primitives as `.dtrc`):
+ *
+ *   "dtss-v1\n"  8-byte magic
+ *   u16          format version (kSnapshotVersion)
+ *   blocks...    each: u8 type | u32 payloadLen | payload | u64 crc
+ *
+ * The trailing CRC-64 (ECMA) covers the type byte, the length bytes,
+ * and the payload, so a flipped bit anywhere in a block is caught
+ * before its contents are trusted. Block types:
+ *
+ *   Meta  (1): tenant name, policy programKey, filter copies, the
+ *              seven SwCheckStats counters, the VAT eviction counter,
+ *              and the table count that must follow.
+ *   Table (2): sid, bitmask, buckets-per-way, the five CuckooStats
+ *              counters, then each occupied slot as (way, index,
+ *              keyLen, key bytes) in way-major order — restore places
+ *              slots verbatim instead of replaying inserts, so
+ *              post-restore displacement behaviour is identical to
+ *              never having snapshotted.
+ *   End   (3): table count again — a truncated file that still ends
+ *              on a block boundary is caught here.
+ *
+ * Every decoder is total: malformed input returns false with a
+ * diagnostic, never a crash and never a partially-trusted restore.
+ * Fail-closed contract: when restore fails the caller rebuilds the
+ * checker fresh from the profile — verdicts stay correct (the VAT is
+ * only a cache); only the warm-up cost is lost.
+ */
+
+#ifndef DRACO_LIFECYCLE_SNAPSHOT_HH
+#define DRACO_LIFECYCLE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/software.hh"
+
+namespace draco::lifecycle {
+
+/** `.dtss` file magic. */
+inline constexpr char kSnapshotMagic[8] = {'d', 't', 's', 's',
+                                           '-', 'v', '1', '\n'};
+
+/** Current format version. */
+inline constexpr uint16_t kSnapshotVersion = 1;
+
+/** Block type tags. */
+enum class BlockType : uint8_t {
+    Meta = 1,
+    Table = 2,
+    End = 3,
+};
+
+/** One structurally-verified block (type + payload, CRC stripped). */
+struct RawBlock {
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Per-table summary reported by inspectSnapshot(). */
+struct SnapshotTableInfo {
+    uint16_t sid = 0;
+    uint64_t bitmask = 0;
+    uint64_t buckets = 0; ///< Slots per way.
+    uint64_t sets = 0;    ///< Occupied slots serialized.
+};
+
+/** Whole-snapshot summary reported by inspectSnapshot(). */
+struct SnapshotInfo {
+    std::string tenant;
+    uint64_t policyKey = 0;
+    uint16_t version = 0;
+    unsigned filterCopies = 1;
+    core::SwCheckStats stats;
+    uint64_t vatEvictions = 0;
+    std::vector<SnapshotTableInfo> tables;
+    size_t bytes = 0; ///< Encoded size.
+};
+
+/**
+ * Serialize @p checker's restorable state for tenant @p tenant into
+ * `.dtss` bytes.
+ */
+std::vector<uint8_t> encodeSnapshot(
+    const std::string &tenant, const core::DracoSoftwareChecker &checker,
+    unsigned filterCopies);
+
+/**
+ * Structure-level parse: verify magic, version, every block's CRC, and
+ * the End terminator. Needs no policy — lifecycletool verifies
+ * snapshots it cannot semantically restore.
+ *
+ * @param blocks Receives the verified blocks (End excluded).
+ * @return false (with @p error set) on any malformation.
+ */
+bool parseSnapshotBlocks(const std::vector<uint8_t> &bytes,
+                         std::vector<RawBlock> &blocks,
+                         std::string *error);
+
+/**
+ * Re-serialize @p blocks into a fresh `.dtss` byte string (header and
+ * End block re-emitted) — lifecycletool's compact path rewrites a
+ * verified parse, dropping any trailing garbage.
+ */
+std::vector<uint8_t> serializeSnapshotBlocks(
+    const std::vector<RawBlock> &blocks);
+
+/**
+ * Summarize a snapshot without restoring it (lifecycletool inspect).
+ *
+ * @return false (with @p error set) on any malformation.
+ */
+bool inspectSnapshot(const std::vector<uint8_t> &bytes,
+                     SnapshotInfo &info, std::string *error);
+
+/**
+ * Restore @p checker — freshly constructed from the shared policy —
+ * from @p bytes.
+ *
+ * The snapshot must name @p expectTenant, reference policy
+ * @p expectPolicyKey, and agree with the checker's configured tables
+ * (bitmask and buckets per sid); any mismatch, bad CRC, truncation,
+ * or version skew fails. On failure the checker may hold a partial
+ * restore — the caller MUST discard and rebuild it (fail-closed).
+ *
+ * @return false (with @p error set) when the restore was rejected.
+ */
+bool restoreSnapshot(const std::vector<uint8_t> &bytes,
+                     const std::string &expectTenant,
+                     uint64_t expectPolicyKey, unsigned expectFilterCopies,
+                     core::DracoSoftwareChecker &checker,
+                     std::string *error);
+
+} // namespace draco::lifecycle
+
+#endif // DRACO_LIFECYCLE_SNAPSHOT_HH

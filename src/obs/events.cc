@@ -24,6 +24,8 @@ eventKindName(EventKind kind)
       case EventKind::CacheFill: return "cache_fill";
       case EventKind::FilterRun: return "filter_run";
       case EventKind::SwCheck: return "sw_check";
+      case EventKind::TenantSnapshot: return "tenant_snapshot";
+      case EventKind::TenantRestore: return "tenant_restore";
     }
     return "unknown";
 }

@@ -39,10 +39,13 @@ enum class EventKind : uint8_t {
     CacheFill = 15,     ///< Line filled; arg = MemLevel, value = line id.
     FilterRun = 16,     ///< Fallback filter executed; value = insns.
     SwCheck = 17,       ///< Software-Draco check; arg = FlowCode.
+    TenantSnapshot = 18,///< Cold tenant serialized; value = .dtss bytes.
+    TenantRestore = 19, ///< Tenant state rebuilt; value = .dtss bytes
+                        ///< read (0 when rebuilt fresh from profile).
 };
 
 /** Number of distinct EventKind values (array sizing). */
-inline constexpr unsigned kEventKinds = 18;
+inline constexpr unsigned kEventKinds = 20;
 
 /** @return Stable lower-case name of @p kind ("syscall", "stb_hit"...). */
 const char *eventKindName(EventKind kind);

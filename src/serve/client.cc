@@ -63,4 +63,11 @@ LocalClient::evictTenant(TenantId id)
     return _service.evictTenant(id);
 }
 
+bool
+LocalClient::serviceStats(ServiceStatsSnapshot &out)
+{
+    _service.serviceStats(out);
+    return true;
+}
+
 } // namespace draco::serve

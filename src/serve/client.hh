@@ -67,6 +67,20 @@ class Client
 
     /** Evict tenant @p id. @return false when unknown/already gone. */
     virtual bool evictTenant(TenantId id) = 0;
+
+    /**
+     * Snapshot the service-wide control-plane counters (tenant counts,
+     * lifecycle evictions/restores, dedup figures). Default-false so
+     * pre-existing Client implementations keep compiling.
+     *
+     * @return false when the transport failed or the server predates
+     *         the ServiceStats message.
+     */
+    virtual bool serviceStats(ServiceStatsSnapshot &out)
+    {
+        (void)out;
+        return false;
+    }
 };
 
 /**
@@ -88,6 +102,8 @@ class LocalClient final : public Client
     bool tenantStats(TenantId id, TenantStats &out) override;
 
     bool evictTenant(TenantId id) override;
+
+    bool serviceStats(ServiceStatsSnapshot &out) override;
 
     /** @return The backing service. */
     CheckService &service() { return _service; }

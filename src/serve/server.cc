@@ -488,6 +488,15 @@ SocketServer::handleFrame(Loop &loop, Conn *conn,
         sendControl(loop, conn, reply);
         return true;
       }
+      case wire::MsgType::ServiceStatsReq: {
+        if (payload.size() != 1)
+            return false;
+        wire::ServiceStatsReply r;
+        _service.serviceStats(r.stats);
+        wire::encode(reply, r);
+        sendControl(loop, conn, reply);
+        return true;
+      }
       case wire::MsgType::Shutdown: {
         wire::encodeShutdownReply(reply);
         sendControl(loop, conn, reply);
@@ -778,6 +787,19 @@ SocketClient::evictTenant(TenantId id)
     wire::encode(request, msg);
     wire::EvictTenantReply r;
     return roundTrip(request, reply) && wire::decode(reply, r) && r.ok;
+}
+
+bool
+SocketClient::serviceStats(ServiceStatsSnapshot &out)
+{
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encodeServiceStatsReq(request);
+    wire::ServiceStatsReply r;
+    if (!roundTrip(request, reply) || !wire::decode(reply, r))
+        return false;
+    out = r.stats;
+    return true;
 }
 
 bool

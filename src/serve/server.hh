@@ -244,6 +244,8 @@ class SocketClient final : public Client
 
     bool evictTenant(TenantId id) override;
 
+    bool serviceStats(ServiceStatsSnapshot &out) override;
+
     /** Ask the daemon to shut down. @return false on transport error. */
     bool shutdownServer();
 

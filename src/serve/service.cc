@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lifecycle/snapshot.hh"
+#include "lifecycle/store.hh"
 #include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "support/logging.hh"
@@ -104,6 +106,19 @@ CheckService::CheckService(const ServiceOptions &options)
     if (_options.maxTenants == 0)
         fatal("CheckService: maxTenants must be positive");
 
+    if (_options.maxResidentTenants != 0) {
+        // Service-wide budget, rounded up per shard so every shard
+        // keeps at least one tenant materialized.
+        _shardResidentCap = (_options.maxResidentTenants +
+                             _options.shards - 1) / _options.shards;
+        _store = _options.snapshotStore;
+        if (!_store) {
+            _ownedStore =
+                std::make_unique<lifecycle::MemorySnapshotStore>();
+            _store = _ownedStore.get();
+        }
+    }
+
     _tenants.resize(_options.maxTenants);
     _shards.reserve(_options.shards);
     for (unsigned i = 0; i < _options.shards; ++i) {
@@ -121,6 +136,9 @@ CheckService::CheckService(const ServiceOptions &options)
                 });
                 tracer->addChannel("rejects", [s] {
                     return static_cast<double>(s->rejects.load());
+                });
+                tracer->addChannel("resident", [s] {
+                    return static_cast<double>(s->resident.load());
                 });
             }
             shard->tracer = tracer;
@@ -154,12 +172,10 @@ CheckService::createTenant(const std::string &name,
     if (_stopping.load())
         return kInvalidTenant;
     std::lock_guard<std::mutex> lock(_tenantMutex);
+    auto existing = _nameIndex.find(name);
+    if (existing != _nameIndex.end())
+        return existing->second;
     uint32_t count = _tenantCount.load(std::memory_order_acquire);
-    for (uint32_t i = 0; i < count; ++i) {
-        TenantState *t = _tenants[i].get();
-        if (t && !t->evicted.load() && t->name == name)
-            return t->id;
-    }
     if (count == _options.maxTenants) {
         warn("CheckService: tenant table full (%u), rejecting '%s'",
              _options.maxTenants, name.c_str());
@@ -175,10 +191,19 @@ CheckService::createTenant(const std::string &name,
         state->opts.filterCopies = 1;
     if (state->opts.maxInFlight == 0)
         state->opts.maxInFlight = 1;
-    state->checker = std::make_unique<core::DracoSoftwareChecker>(
-        profile, state->opts.filterCopies);
+    // The compile is interned by content: a million tenants on the
+    // same profile share one filter chain and spec map.
+    state->policy = _policies.intern(profile);
+    if (!lifecycleEnabled()) {
+        // No resident cap: build the mutable half eagerly, as before.
+        // Under a cap the owning shard worker materializes it on the
+        // tenant's first request (and may drop it again later).
+        state->checker = std::make_unique<core::DracoSoftwareChecker>(
+            state->policy, state->opts.filterCopies);
+    }
 
     _tenants[count] = std::move(state);
+    _nameIndex.emplace(name, count + 1);
     _tenantCount.store(count + 1, std::memory_order_release);
     return count + 1;
 }
@@ -186,13 +211,9 @@ CheckService::createTenant(const std::string &name,
 TenantId
 CheckService::findTenant(const std::string &name) const
 {
-    uint32_t count = _tenantCount.load(std::memory_order_acquire);
-    for (uint32_t i = 0; i < count; ++i) {
-        TenantState *t = _tenants[i].get();
-        if (t && !t->evicted.load() && t->name == name)
-            return t->id;
-    }
-    return kInvalidTenant;
+    std::lock_guard<std::mutex> lock(_tenantMutex);
+    auto it = _nameIndex.find(name);
+    return it == _nameIndex.end() ? kInvalidTenant : it->second;
 }
 
 uint32_t
@@ -313,7 +334,7 @@ CheckService::snapshotTenant(const TenantState &t, TenantStats &out) const
     out.id = t.id;
     out.shard = t.shard;
     out.evicted = t.evicted.load();
-    out.check = t.checker ? t.checker->stats() : core::SwCheckStats{};
+    out.check = t.checker ? t.checker->stats() : t.frozenStats;
     out.allowed = t.allowed;
     out.denied = t.denied;
     out.rejects = t.rejects.load();
@@ -355,6 +376,14 @@ CheckService::evictTenant(TenantId id)
     TenantState *t = tenant(id);
     if (!t || t->evicted.exchange(true))
         return false;
+
+    {
+        // Free the name for re-creation; the slot itself is not reused.
+        std::lock_guard<std::mutex> lock(_tenantMutex);
+        auto it = _nameIndex.find(t->name);
+        if (it != _nameIndex.end() && it->second == id)
+            _nameIndex.erase(it);
+    }
 
     // New submits reject from here on; requests already queued precede
     // this Evict item in the shard FIFO, so they still check before the
@@ -432,6 +461,8 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
         TenantState *t = item.tenant;
         switch (item.op) {
           case Op::Check: {
+            if (!t->checker && !t->evicted.load() && t->policy)
+                materializeChecker(shard, *t);
             if (!t->checker) {
                 // A submit that raced the eviction flag can land behind
                 // the Evict item; its state is gone, so it rejects.
@@ -460,6 +491,8 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                 }
                 requestsChecked += item.count;
             }
+            if (_shardResidentCap && t->checker)
+                shard.lru.touch(t->id);
             t->inFlight.fetch_sub(item.count, std::memory_order_acq_rel);
             completions.emplace_back(item.batch, item.count);
             break;
@@ -469,6 +502,15 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
             completions.emplace_back(item.batch, 1);
             break;
           case Op::Evict:
+            shard.lru.erase(t->id);
+            if (t->hasSnapshot && _store) {
+                _store->remove(t->name);
+                t->hasSnapshot = false;
+                _snapshotted.fetch_sub(1, std::memory_order_relaxed);
+            }
+            // Admin eviction discards state for good: evicted tenants
+            // have always reported empty check stats.
+            t->frozenStats = {};
             t->checker.reset();
             completions.emplace_back(item.batch, 1);
             break;
@@ -478,8 +520,15 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
     shard.busyNs += drainNs;
     ++shard.drains;
     shard.processed += requestsChecked;
+    shard.processedMirror.store(shard.processed,
+                                std::memory_order_relaxed);
     shard.batchStat.add(requestsChecked);
     shard.lastBatch.store(requestsChecked, std::memory_order_relaxed);
+    if (_shardResidentCap) {
+        enforceResidentCap(shard);
+        shard.resident.store(static_cast<uint32_t>(shard.lru.size()),
+                             std::memory_order_relaxed);
+    }
     if (requestsChecked > 0) {
         double perCheck = drainNs / requestsChecked;
         double old = shard.ewmaCheckNs.load(std::memory_order_relaxed);
@@ -498,6 +547,93 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
 }
 
 void
+CheckService::materializeChecker(Shard &shard, TenantState &t)
+{
+    t.checker = std::make_unique<core::DracoSoftwareChecker>(
+        t.policy, t.opts.filterCopies);
+
+    if (t.hasSnapshot && _store) {
+        std::vector<uint8_t> bytes;
+        std::string error;
+        bool ok = _store->get(t.name, bytes);
+        if (!ok)
+            error = "snapshot missing from store";
+        else if (!lifecycle::restoreSnapshot(bytes, t.name,
+                                             t.policy->programKey,
+                                             t.opts.filterCopies,
+                                             *t.checker, &error))
+            ok = false;
+        if (ok) {
+            _restores.fetch_add(1, std::memory_order_relaxed);
+            _snapshotBytesRead.fetch_add(bytes.size(),
+                                         std::memory_order_relaxed);
+            if (shard.tracer)
+                shard.tracer->record(obs::EventKind::TenantRestore, 0, 0,
+                                     0, bytes.size());
+        } else {
+            // Fail closed: a damaged snapshot never yields a wrong
+            // verdict — the tenant restarts from its profile with a
+            // cold VAT, and the failure is counted and logged.
+            warn("CheckService: tenant '%s' snapshot restore failed "
+                 "(%s); rebuilding from profile", t.name.c_str(),
+                 error.c_str());
+            t.checker = std::make_unique<core::DracoSoftwareChecker>(
+                t.policy, t.opts.filterCopies);
+            _restoreFailures.fetch_add(1, std::memory_order_relaxed);
+            if (shard.tracer)
+                shard.tracer->record(obs::EventKind::TenantRestore, 0, 0,
+                                     0, 0);
+        }
+        _store->remove(t.name);
+        t.hasSnapshot = false;
+        _snapshotted.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    if (_shardResidentCap)
+        shard.lru.touch(t.id);
+}
+
+void
+CheckService::enforceResidentCap(Shard &shard)
+{
+    while (shard.lru.size() > _shardResidentCap) {
+        TenantId victimId = shard.lru.coldest();
+        if (victimId == kInvalidTenant)
+            break;
+        shard.lru.erase(victimId);
+        TenantState *victim = tenant(victimId);
+        if (!victim || !victim->checker)
+            continue;
+
+        std::vector<uint8_t> bytes = lifecycle::encodeSnapshot(
+            victim->name, *victim->checker, victim->opts.filterCopies);
+        if (!_store || !_store->put(victim->name, bytes)) {
+            // Keep the victim resident rather than drop state we could
+            // not persist; re-touch it hottest so the next pass tries a
+            // different victim first.
+            _snapshotPutFailures.fetch_add(1, std::memory_order_relaxed);
+            shard.lru.touch(victimId);
+            warn("CheckService: snapshot put failed for tenant '%s'; "
+                 "keeping resident", victim->name.c_str());
+            break;
+        }
+
+        victim->frozenStats = victim->checker->stats();
+        victim->checker.reset();
+        victim->hasSnapshot = true;
+        _snapshotted.fetch_add(1, std::memory_order_relaxed);
+        _evictions.fetch_add(1, std::memory_order_relaxed);
+        _snapshotBytesWritten.fetch_add(bytes.size(),
+                                        std::memory_order_relaxed);
+        if (shard.tracer)
+            shard.tracer->record(obs::EventKind::TenantSnapshot, 0, 0, 0,
+                                 bytes.size());
+    }
+    shard.resident.store(static_cast<uint32_t>(shard.lru.size()),
+                         std::memory_order_relaxed);
+}
+
+void
 CheckService::stop()
 {
     if (_stopping.exchange(true))
@@ -507,6 +643,16 @@ CheckService::stop()
         shard->wake.notify_all();
     }
     _pool.shutdown();
+
+    // Deterministic teardown: with the workers joined, release the
+    // remaining checkers in ascending tenant-id order so destruction
+    // (and anything it traces) is reproducible run to run.
+    uint32_t count = _tenantCount.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < count; ++i) {
+        TenantState *t = _tenants[i].get();
+        if (t && t->checker)
+            t->checker.reset();
+    }
 }
 
 uint64_t
@@ -534,6 +680,52 @@ CheckService::maxShardBusyNs() const
     for (const auto &shard : _shards)
         ns = std::max(ns, shard->busyNs);
     return ns;
+}
+
+uint32_t
+CheckService::residentTenants() const
+{
+    if (!lifecycleEnabled()) {
+        // Without a cap every non-evicted tenant holds its checker.
+        uint32_t resident = 0;
+        uint32_t count = _tenantCount.load(std::memory_order_acquire);
+        for (uint32_t i = 0; i < count; ++i) {
+            const TenantState *t = _tenants[i].get();
+            if (t && !t->evicted.load())
+                ++resident;
+        }
+        return resident;
+    }
+    uint32_t resident = 0;
+    for (const auto &shard : _shards)
+        resident += shard->resident.load(std::memory_order_relaxed);
+    return resident;
+}
+
+void
+CheckService::serviceStats(ServiceStatsSnapshot &out) const
+{
+    out.tenants = _tenantCount.load(std::memory_order_acquire);
+    out.resident = residentTenants();
+    out.snapshotted = _snapshotted.load(std::memory_order_relaxed);
+    out.evictions = _evictions.load(std::memory_order_relaxed);
+    out.restores = _restores.load(std::memory_order_relaxed);
+    out.restoreFailures =
+        _restoreFailures.load(std::memory_order_relaxed);
+    out.snapshotPutFailures =
+        _snapshotPutFailures.load(std::memory_order_relaxed);
+    out.dedupPolicies = _policies.size();
+    out.dedupHits = _policies.hits();
+    out.snapshotBytesWritten =
+        _snapshotBytesWritten.load(std::memory_order_relaxed);
+    out.snapshotBytesRead =
+        _snapshotBytesRead.load(std::memory_order_relaxed);
+    out.storeBytes = _store ? _store->totalBytes() : 0;
+    out.checks = 0;
+    for (const auto &shard : _shards)
+        out.checks += shard->processedMirror.load(
+            std::memory_order_relaxed);
+    out.rejects = totalRejects();
 }
 
 void
@@ -593,7 +785,9 @@ CheckService::exportMetrics(MetricRegistry &registry,
 
     uint32_t count = _tenantCount.load(std::memory_order_acquire);
     registry.setCounter(name("tenants.count"), count);
-    for (uint32_t i = 0; i < count; ++i) {
+    uint32_t exported = std::min(count, _options.tenantMetricsLimit);
+    registry.setCounter(name("tenants.exported"), exported);
+    for (uint32_t i = 0; i < exported; ++i) {
         const TenantState *t = _tenants[i].get();
         if (!t)
             continue;
@@ -609,7 +803,43 @@ CheckService::exportMetrics(MetricRegistry &registry,
         if (t->checker)
             core::exportStats(t->checker->stats(), registry,
                               tp + ".check");
+        else if (t->hasSnapshot)
+            core::exportStats(t->frozenStats, registry, tp + ".check");
     }
+
+    std::string lp = name("lifecycle");
+    registry.setCounter(lp + ".enabled", lifecycleEnabled() ? 1 : 0);
+    registry.setCounter(lp + ".resident_cap",
+                        _options.maxResidentTenants);
+    registry.setCounter(lp + ".resident", residentTenants());
+    registry.setCounter(lp + ".snapshotted",
+                        _snapshotted.load(std::memory_order_relaxed));
+    registry.setCounter(lp + ".evictions",
+                        _evictions.load(std::memory_order_relaxed));
+    registry.setCounter(lp + ".restores",
+                        _restores.load(std::memory_order_relaxed));
+    registry.setCounter(
+        lp + ".restore_failures",
+        _restoreFailures.load(std::memory_order_relaxed));
+    registry.setCounter(
+        lp + ".snapshot_put_failures",
+        _snapshotPutFailures.load(std::memory_order_relaxed));
+    registry.setCounter(
+        lp + ".snapshot_bytes_written",
+        _snapshotBytesWritten.load(std::memory_order_relaxed));
+    registry.setCounter(
+        lp + ".snapshot_bytes_read",
+        _snapshotBytesRead.load(std::memory_order_relaxed));
+    if (_store) {
+        registry.setCounter(lp + ".store_bytes", _store->totalBytes());
+        registry.setText(lp + ".store_kind", _store->kind());
+    }
+    _policies.exportMetrics(registry, lp + ".dedup");
+    registry.setGauge(lp + ".dedup.ratio",
+                      _policies.size() > 0
+                          ? static_cast<double>(count) /
+                                static_cast<double>(_policies.size())
+                          : 0.0);
 }
 
 } // namespace draco::serve

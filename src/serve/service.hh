@@ -38,9 +38,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/software.hh"
+#include "lifecycle/policy_store.hh"
+#include "lifecycle/resident_lru.hh"
 #include "seccomp/profile.hh"
 #include "serve/types.hh"
 #include "support/metrics.hh"
@@ -196,6 +199,15 @@ class CheckService
      */
     double maxShardBusyNs() const;
 
+    /** @return true when a resident-tenant cap governs this service. */
+    bool lifecycleEnabled() const { return _shardResidentCap != 0; }
+
+    /** @return Materialized (checker-holding) tenants right now. */
+    uint32_t residentTenants() const;
+
+    /** Fill @p out with the service-wide control-plane counters. */
+    void serviceStats(ServiceStatsSnapshot &out) const;
+
     /**
      * Export the `serve.*` metric block under @p prefix: service totals,
      * per-shard counters (`<prefix>.shards.s<i>.*`) and per-tenant
@@ -218,6 +230,16 @@ class CheckService
         TenantId id = kInvalidTenant;
         uint32_t shard = 0;
         TenantOptions opts;
+
+        /** Shared immutable compile (profile + filter + specs). */
+        std::shared_ptr<const core::CompiledPolicy> policy;
+
+        /**
+         * Mutable per-tenant state (VAT + counters). Built eagerly at
+         * create when no resident cap governs the service; under a
+         * cap it is materialized lazily on the owning worker and may
+         * be dropped (after snapshotting) between requests.
+         */
         std::unique_ptr<core::DracoSoftwareChecker> checker;
 
         std::atomic<bool> evicted{false};
@@ -228,6 +250,8 @@ class CheckService
         uint64_t allowed = 0;
         uint64_t denied = 0;
         double busyNs = 0.0;
+        bool hasSnapshot = false; ///< A `.dtss` awaits in the store.
+        core::SwCheckStats frozenStats; ///< Stats while snapshotted.
     };
 
     struct Item {
@@ -261,6 +285,11 @@ class CheckService
         double busyNs = 0.0;     ///< Modeled service time (§V-C).
         RunningStat batchStat;   ///< Requests per drain.
         uint32_t peakDepth = 0;  ///< Deepest queue seen at enqueue.
+        lifecycle::ResidentLru lru; ///< Resident tenants, LRU order.
+
+        /** Cross-thread mirrors of worker-owned lifecycle state. */
+        std::atomic<uint32_t> resident{0};
+        std::atomic<uint64_t> processedMirror{0};
 
         obs::Tracer *tracer = nullptr;
     };
@@ -274,6 +303,22 @@ class CheckService
     void process(Shard &shard, std::vector<Item> &items);
     void snapshotTenant(const TenantState &t, TenantStats &out) const;
 
+    /**
+     * Build tenant @p t's checker on its owning worker, replaying its
+     * `.dtss` snapshot when one exists. A failed restore falls back
+     * closed: the checker rebuilds fresh from the shared policy (cold
+     * VAT, correct verdicts) and the failure is counted.
+     */
+    void materializeChecker(Shard &shard, TenantState &t);
+
+    /**
+     * Post-drain eviction hook: while the shard is over its resident
+     * budget, serialize the LRU-coldest tenant to the snapshot store
+     * and drop its checker. A failed store put keeps the victim
+     * resident (re-touched hottest) rather than dropping state.
+     */
+    void enforceResidentCap(Shard &shard);
+
     ServiceOptions _options;
     const os::KernelCosts *_costs;
 
@@ -283,6 +328,25 @@ class CheckService
     std::vector<std::shared_ptr<TenantState>> _tenants;
     std::atomic<uint32_t> _tenantCount{0};
     mutable std::mutex _tenantMutex; ///< Serializes createTenant().
+
+    /** Live tenant name → id (guarded by _tenantMutex); entries are
+     * erased on evict so a name can be re-created, and the index
+     * keeps createTenant O(1) at million-tenant scale. */
+    std::unordered_map<std::string, TenantId> _nameIndex;
+
+    // ---- lifecycle (see src/lifecycle/) ----
+    lifecycle::PolicyStore _policies;
+    std::unique_ptr<lifecycle::SnapshotStore> _ownedStore;
+    lifecycle::SnapshotStore *_store = nullptr;
+    uint32_t _shardResidentCap = 0; ///< Per-shard budget; 0 = unbounded.
+
+    std::atomic<uint32_t> _snapshotted{0};
+    std::atomic<uint64_t> _evictions{0};
+    std::atomic<uint64_t> _restores{0};
+    std::atomic<uint64_t> _restoreFailures{0};
+    std::atomic<uint64_t> _snapshotPutFailures{0};
+    std::atomic<uint64_t> _snapshotBytesWritten{0};
+    std::atomic<uint64_t> _snapshotBytesRead{0};
 
     std::atomic<bool> _stopping{false};
     support::ThreadPool _pool;

@@ -24,6 +24,10 @@ namespace draco::obs {
 class TraceSession;
 } // namespace draco::obs
 
+namespace draco::lifecycle {
+class SnapshotStore;
+} // namespace draco::lifecycle
+
 namespace draco::serve {
 
 /** Dense tenant handle; 0 is never a valid tenant. */
@@ -121,6 +125,49 @@ struct ServiceOptions {
      * Tracks are named `serve/shard<i>`.
      */
     obs::TraceSession *session = nullptr;
+
+    /**
+     * Resident-tenant budget across the service; 0 (the default)
+     * keeps every tenant resident forever. When set, each shard holds
+     * at most ceil(maxResidentTenants / shards) materialized tenants:
+     * checkers are built lazily on first request, the coldest tenants
+     * past the cap are serialized to `.dtss` snapshots and dropped
+     * after each drain, and a snapshotted tenant is restored
+     * transparently on its next request.
+     */
+    uint32_t maxResidentTenants = 0;
+
+    /**
+     * Snapshot backend for evicted tenants (not owned; must outlive
+     * the service). nullptr with a resident cap set uses an internal
+     * in-memory store.
+     */
+    lifecycle::SnapshotStore *snapshotStore = nullptr;
+
+    /**
+     * Most tenants exportMetrics() emits per-tenant counter blocks
+     * for — at fleet scale a million tenants would swamp the JSON;
+     * `<prefix>.tenants.exported` records the cap applied.
+     */
+    uint32_t tenantMetricsLimit = 1024;
+};
+
+/** Point-in-time service-wide counters (the control-plane stats op). */
+struct ServiceStatsSnapshot {
+    uint64_t tenants = 0;        ///< Tenants ever created.
+    uint64_t resident = 0;       ///< Tenants currently materialized.
+    uint64_t snapshotted = 0;    ///< Tenants currently evicted to store.
+    uint64_t evictions = 0;      ///< Cold-tenant snapshot+drops.
+    uint64_t restores = 0;       ///< Snapshot restores served.
+    uint64_t restoreFailures = 0;///< Restores that failed closed.
+    uint64_t snapshotPutFailures = 0; ///< Evictions aborted on store put.
+    uint64_t dedupPolicies = 0;  ///< Distinct compiled policies held.
+    uint64_t dedupHits = 0;      ///< Tenant creates served by a shared policy.
+    uint64_t snapshotBytesWritten = 0; ///< Total `.dtss` bytes written.
+    uint64_t snapshotBytesRead = 0;    ///< Total `.dtss` bytes read back.
+    uint64_t storeBytes = 0;     ///< Bytes currently in the store.
+    uint64_t checks = 0;         ///< Requests checked (not shed).
+    uint64_t rejects = 0;        ///< Requests shed by admission control.
 };
 
 } // namespace draco::serve

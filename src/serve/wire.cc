@@ -354,6 +354,60 @@ encodeShutdownReply(std::vector<uint8_t> &out)
     putType(out, MsgType::ShutdownReply);
 }
 
+// ---- ServiceStats ----
+
+void
+encodeServiceStatsReq(std::vector<uint8_t> &out)
+{
+    putType(out, MsgType::ServiceStatsReq);
+}
+
+void
+encode(std::vector<uint8_t> &out, const ServiceStatsReply &msg)
+{
+    putType(out, MsgType::ServiceStatsReply);
+    const ServiceStatsSnapshot &s = msg.stats;
+    // Varints: nearly every counter is small on an idle or young
+    // service, and the reply is control-plane traffic anyway.
+    putVarint(out, s.tenants);
+    putVarint(out, s.resident);
+    putVarint(out, s.snapshotted);
+    putVarint(out, s.evictions);
+    putVarint(out, s.restores);
+    putVarint(out, s.restoreFailures);
+    putVarint(out, s.snapshotPutFailures);
+    putVarint(out, s.dedupPolicies);
+    putVarint(out, s.dedupHits);
+    putVarint(out, s.snapshotBytesWritten);
+    putVarint(out, s.snapshotBytesRead);
+    putVarint(out, s.storeBytes);
+    putVarint(out, s.checks);
+    putVarint(out, s.rejects);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, ServiceStatsReply &out)
+{
+    size_t pos = 0;
+    ServiceStatsSnapshot &s = out.stats;
+    return takeType(payload, pos, MsgType::ServiceStatsReply) &&
+           takeVarint(payload, pos, s.tenants) &&
+           takeVarint(payload, pos, s.resident) &&
+           takeVarint(payload, pos, s.snapshotted) &&
+           takeVarint(payload, pos, s.evictions) &&
+           takeVarint(payload, pos, s.restores) &&
+           takeVarint(payload, pos, s.restoreFailures) &&
+           takeVarint(payload, pos, s.snapshotPutFailures) &&
+           takeVarint(payload, pos, s.dedupPolicies) &&
+           takeVarint(payload, pos, s.dedupHits) &&
+           takeVarint(payload, pos, s.snapshotBytesWritten) &&
+           takeVarint(payload, pos, s.snapshotBytesRead) &&
+           takeVarint(payload, pos, s.storeBytes) &&
+           takeVarint(payload, pos, s.checks) &&
+           takeVarint(payload, pos, s.rejects) &&
+           pos == payload.size();
+}
+
 // ---- frame I/O ----
 
 namespace {

@@ -52,6 +52,8 @@ enum class MsgType : uint8_t {
     EvictTenantReply = 10,
     Shutdown = 11,
     ShutdownReply = 12,
+    ServiceStatsReq = 13,
+    ServiceStatsReply = 14,
 };
 
 struct Hello {
@@ -104,6 +106,11 @@ struct EvictTenantReply {
 };
 
 // Shutdown and ShutdownReply carry no fields beyond the type byte.
+// ServiceStatsReq likewise: it asks for the service-wide counters.
+
+struct ServiceStatsReply {
+    ServiceStatsSnapshot stats;
+};
 
 /** @return The type byte of @p payload, or 0 when empty. */
 MsgType peekType(const std::vector<uint8_t> &payload);
@@ -122,6 +129,8 @@ void encode(std::vector<uint8_t> &out, const EvictTenant &msg);
 void encode(std::vector<uint8_t> &out, const EvictTenantReply &msg);
 void encodeShutdown(std::vector<uint8_t> &out);
 void encodeShutdownReply(std::vector<uint8_t> &out);
+void encodeServiceStatsReq(std::vector<uint8_t> &out);
+void encode(std::vector<uint8_t> &out, const ServiceStatsReply &msg);
 
 // ---- payload decoding (false on any malformation) ----
 
@@ -135,6 +144,7 @@ bool decode(const std::vector<uint8_t> &payload, TenantStatsReq &out);
 bool decode(const std::vector<uint8_t> &payload, TenantStatsReply &out);
 bool decode(const std::vector<uint8_t> &payload, EvictTenant &out);
 bool decode(const std::vector<uint8_t> &payload, EvictTenantReply &out);
+bool decode(const std::vector<uint8_t> &payload, ServiceStatsReply &out);
 
 // ---- frame I/O on a connected stream socket ----
 

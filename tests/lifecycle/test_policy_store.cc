@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PolicyStore tests: content-addressed interning dedups semantically
+ * identical profiles regardless of name, and distinguishes real
+ * semantic differences (rules, deny value, dispatch shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lifecycle/policy_store.hh"
+#include "os/syscalls.hh"
+#include "seccomp/profile.hh"
+
+namespace draco::lifecycle {
+namespace {
+
+seccomp::Profile
+profileNamed(const std::string &name)
+{
+    seccomp::Profile profile(name);
+    profile.allow(os::sc::read);
+    profile.allowTuple(os::sc::write, {1, 0, 0, 0, 0, 0});
+    return profile;
+}
+
+TEST(PolicyStore, NameDoesNotAffectContentKey)
+{
+    EXPECT_EQ(profileContentKey(profileNamed("tenant-000001"),
+                                seccomp::DispatchShape::Linear),
+              profileContentKey(profileNamed("tenant-999999"),
+                                seccomp::DispatchShape::Linear));
+}
+
+TEST(PolicyStore, SemanticsDoAffectContentKey)
+{
+    seccomp::Profile base = profileNamed("p");
+    uint64_t baseKey =
+        profileContentKey(base, seccomp::DispatchShape::Linear);
+
+    seccomp::Profile extra = profileNamed("p");
+    extra.allow(os::sc::close);
+    EXPECT_NE(profileContentKey(extra, seccomp::DispatchShape::Linear),
+              baseKey);
+
+    EXPECT_NE(profileContentKey(base, seccomp::DispatchShape::BinaryTree),
+              baseKey);
+}
+
+TEST(PolicyStore, InternDedupsIdenticalContent)
+{
+    PolicyStore store;
+    auto a = store.intern(profileNamed("tenant-000001"));
+    auto b = store.intern(profileNamed("tenant-999999"));
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.compiles(), 1u);
+    EXPECT_EQ(a->programKey, b->programKey);
+}
+
+TEST(PolicyStore, InternSeparatesDistinctContent)
+{
+    PolicyStore store;
+    auto a = store.intern(profileNamed("p"));
+    seccomp::Profile other = profileNamed("p");
+    other.allow(os::sc::close);
+    auto b = store.intern(other);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.compiles(), 2u);
+}
+
+TEST(PolicyStore, ExportMetrics)
+{
+    PolicyStore store;
+    store.intern(profileNamed("a"));
+    store.intern(profileNamed("b"));
+    MetricRegistry registry;
+    store.exportMetrics(registry, "dedup");
+    EXPECT_EQ(registry.counterValue("dedup.policies"), 1u);
+    EXPECT_EQ(registry.counterValue("dedup.hits"), 1u);
+    EXPECT_EQ(registry.counterValue("dedup.compiles"), 1u);
+}
+
+} // namespace
+} // namespace draco::lifecycle

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ResidentLru tests: recency order, idempotent touch, erase, and the
+ * eviction-loop pattern the shard workers drive (pop coldest until
+ * under cap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lifecycle/resident_lru.hh"
+
+namespace draco::lifecycle {
+namespace {
+
+TEST(ResidentLru, TouchOrdersByRecency)
+{
+    ResidentLru lru;
+    EXPECT_TRUE(lru.empty());
+    EXPECT_EQ(lru.coldest(), 0u);
+
+    lru.touch(1);
+    lru.touch(2);
+    lru.touch(3);
+    EXPECT_EQ(lru.size(), 3u);
+    EXPECT_EQ(lru.coldest(), 1u);
+
+    // Re-touching moves to the hot end without growing.
+    lru.touch(1);
+    EXPECT_EQ(lru.size(), 3u);
+    EXPECT_EQ(lru.coldest(), 2u);
+}
+
+TEST(ResidentLru, EraseAndContains)
+{
+    ResidentLru lru;
+    lru.touch(7);
+    lru.touch(8);
+    EXPECT_TRUE(lru.contains(7));
+    EXPECT_TRUE(lru.erase(7));
+    EXPECT_FALSE(lru.contains(7));
+    EXPECT_FALSE(lru.erase(7));
+    EXPECT_EQ(lru.coldest(), 8u);
+    EXPECT_TRUE(lru.erase(8));
+    EXPECT_TRUE(lru.empty());
+}
+
+TEST(ResidentLru, EvictionLoopDrainsColdestFirst)
+{
+    ResidentLru lru;
+    for (uint32_t id = 1; id <= 10; ++id)
+        lru.touch(id);
+    lru.touch(2); // 2 is now hottest; 1 is coldest.
+
+    std::vector<uint32_t> evicted;
+    const size_t cap = 3;
+    while (lru.size() > cap) {
+        uint32_t victim = lru.coldest();
+        evicted.push_back(victim);
+        ASSERT_TRUE(lru.erase(victim));
+    }
+    EXPECT_EQ(evicted,
+              (std::vector<uint32_t>{1, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(lru.size(), cap);
+    EXPECT_EQ(lru.coldest(), 9u);
+    EXPECT_TRUE(lru.contains(2));
+}
+
+} // namespace
+} // namespace draco::lifecycle

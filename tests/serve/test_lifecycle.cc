@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Serve-layer lifecycle tests: capped services return verdicts
+ * identical to all-resident ones, eviction/restore round-trips keep
+ * per-tenant counters, every snapshot-corruption flavour fails closed
+ * (fresh rebuild + error metric, never a wrong verdict), and the
+ * lifecycle gauges show up in stats and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lifecycle/snapshot.hh"
+#include "lifecycle/store.hh"
+#include "os/syscalls.hh"
+#include "seccomp/profile.hh"
+#include "serve/service.hh"
+#include "support/metrics.hh"
+
+namespace draco::serve {
+namespace {
+
+os::SyscallRequest
+request(uint16_t sid, uint64_t arg0 = 0, uint64_t pc = 0x1000)
+{
+    os::SyscallRequest req;
+    req.sid = sid;
+    req.pc = pc;
+    req.args[0] = arg0;
+    return req;
+}
+
+/** read: allowed unconditionally; write: allowed only to fd 1. */
+seccomp::Profile
+testProfile()
+{
+    seccomp::Profile profile("serve-test");
+    profile.allow(os::sc::read);
+    profile.allowTuple(os::sc::write, {1, 0, 0, 0, 0, 0});
+    return profile;
+}
+
+/** Allow/tuple-allow/tuple-deny/unknown mix, order varied by seed. */
+std::vector<os::SyscallRequest>
+trafficMix(uint64_t seed, size_t n)
+{
+    std::vector<os::SyscallRequest> reqs;
+    reqs.reserve(n);
+    uint64_t x = seed * 2654435761u + 1;
+    for (size_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        switch ((x >> 33) % 4) {
+          case 0:
+            reqs.push_back(request(os::sc::read, x % 8));
+            break;
+          case 1:
+            reqs.push_back(request(os::sc::write, 1));
+            break;
+          case 2:
+            reqs.push_back(request(os::sc::write, 2)); // denied tuple
+            break;
+          default:
+            reqs.push_back(request(os::sc::openat)); // not in profile
+            break;
+        }
+    }
+    return reqs;
+}
+
+TEST(ServeLifecycle, CappedVerdictsMatchAllResident)
+{
+    constexpr size_t kTenants = 24;
+    constexpr size_t kRounds = 6;
+    constexpr size_t kPerRound = 16;
+
+    ServiceOptions capped;
+    capped.shards = 2;
+    capped.maxResidentTenants = 4;
+    ServiceOptions uncapped;
+    uncapped.shards = 2;
+
+    CheckService a(capped);
+    CheckService b(uncapped);
+    for (size_t t = 0; t < kTenants; ++t) {
+        std::string name = "tenant-" + std::to_string(t);
+        ASSERT_EQ(a.createTenant(name, testProfile()),
+                  b.createTenant(name, testProfile()));
+    }
+
+    // Round-robin rounds so every tenant is evicted and restored
+    // several times in the capped service.
+    for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t t = 0; t < kTenants; ++t) {
+            TenantId id = static_cast<TenantId>(t + 1);
+            for (const os::SyscallRequest &req :
+                 trafficMix(round * kTenants + t, kPerRound)) {
+                CheckResponse ra = a.check(id, req);
+                CheckResponse rb = b.check(id, req);
+                ASSERT_EQ(static_cast<int>(ra.status),
+                          static_cast<int>(rb.status));
+                ASSERT_EQ(ra.path, rb.path);
+            }
+        }
+        // Cap enforced after every synchronous check.
+        EXPECT_LE(a.residentTenants(), 4u);
+    }
+
+    ServiceStatsSnapshot stats;
+    a.serviceStats(stats);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.restores, 0u);
+    EXPECT_EQ(stats.restoreFailures, 0u);
+    EXPECT_EQ(stats.resident + stats.snapshotted, kTenants);
+    // All 24 tenants share one semantic profile.
+    EXPECT_EQ(stats.dedupPolicies, 1u);
+    EXPECT_EQ(stats.dedupHits, kTenants - 1);
+
+    // Per-tenant lifetime counters survive the evict/restore cycles:
+    // both services saw identical traffic, so identical stats.
+    for (size_t t = 0; t < kTenants; ++t) {
+        TenantId id = static_cast<TenantId>(t + 1);
+        TenantStats sa, sb;
+        ASSERT_TRUE(a.tenantStats(id, sa));
+        ASSERT_TRUE(b.tenantStats(id, sb));
+        EXPECT_EQ(sa.check.checks, sb.check.checks);
+        EXPECT_EQ(sa.check.vatHits, sb.check.vatHits);
+        EXPECT_EQ(sa.allowed, sb.allowed);
+        EXPECT_EQ(sa.denied, sb.denied);
+    }
+}
+
+/**
+ * Fixture driving a single-shard capped service against an external
+ * store so tests can corrupt snapshots between accesses.
+ */
+class CorruptionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        options.shards = 1;
+        options.maxResidentTenants = 2;
+        options.snapshotStore = &store;
+        service = std::make_unique<CheckService>(options);
+        victim = service->createTenant("victim", testProfile());
+        ASSERT_NE(victim, kInvalidTenant);
+        for (int i = 0; i < 2; ++i) {
+            TenantId id = service->createTenant(
+                "filler-" + std::to_string(i), testProfile());
+            ASSERT_NE(id, kInvalidTenant);
+            fillers.push_back(id);
+        }
+    }
+
+    /** Touch the fillers so the victim becomes coldest and evicts. */
+    void
+    evictVictim()
+    {
+        ASSERT_EQ(service->check(victim, request(os::sc::read)).status,
+                  CheckStatus::Allowed);
+        for (TenantId id : fillers)
+            ASSERT_EQ(service->check(id, request(os::sc::read)).status,
+                      CheckStatus::Allowed);
+        std::vector<uint8_t> bytes;
+        ASSERT_TRUE(store.get("victim", bytes))
+            << "victim was not snapshotted";
+    }
+
+    /** Rewrite the victim's stored snapshot through @p mutate. */
+    void
+    corrupt(const std::function<void(std::vector<uint8_t> &)> &mutate)
+    {
+        std::vector<uint8_t> bytes;
+        ASSERT_TRUE(store.get("victim", bytes));
+        mutate(bytes);
+        ASSERT_TRUE(store.put("victim", bytes));
+    }
+
+    /**
+     * The fail-closed contract: the next access after corruption gets
+     * correct verdicts from a fresh rebuild and bumps the failure
+     * counter — the snapshot is only a cache.
+     */
+    void
+    expectFailClosed(uint64_t expectFailures)
+    {
+        EXPECT_EQ(service->check(victim, request(os::sc::read)).status,
+                  CheckStatus::Allowed);
+        EXPECT_EQ(
+            service->check(victim, request(os::sc::write, 1)).status,
+            CheckStatus::Allowed);
+        EXPECT_EQ(
+            service->check(victim, request(os::sc::write, 2)).status,
+            CheckStatus::Denied);
+        ServiceStatsSnapshot stats;
+        service->serviceStats(stats);
+        EXPECT_EQ(stats.restoreFailures, expectFailures);
+    }
+
+    ServiceOptions options;
+    lifecycle::MemorySnapshotStore store;
+    std::unique_ptr<CheckService> service;
+    TenantId victim = kInvalidTenant;
+    std::vector<TenantId> fillers;
+};
+
+TEST_F(CorruptionTest, TruncatedSnapshotFailsClosed)
+{
+    evictVictim();
+    corrupt([](std::vector<uint8_t> &b) { b.resize(b.size() / 2); });
+    expectFailClosed(1);
+}
+
+TEST_F(CorruptionTest, CrcFlipFailsClosed)
+{
+    evictVictim();
+    // Flip one bit in the middle of the payload area.
+    corrupt([](std::vector<uint8_t> &b) { b[b.size() / 2] ^= 0x10; });
+    expectFailClosed(1);
+}
+
+TEST_F(CorruptionTest, BadMagicFailsClosed)
+{
+    evictVictim();
+    corrupt([](std::vector<uint8_t> &b) { b[0] ^= 1; });
+    expectFailClosed(1);
+}
+
+TEST_F(CorruptionTest, VersionSkewFailsClosed)
+{
+    evictVictim();
+    corrupt([](std::vector<uint8_t> &b) {
+        b[8] = static_cast<uint8_t>(lifecycle::kSnapshotVersion + 1);
+    });
+    expectFailClosed(1);
+}
+
+TEST_F(CorruptionTest, VanishedSnapshotFailsClosed)
+{
+    evictVictim();
+    ASSERT_TRUE(store.remove("victim"));
+    expectFailClosed(1);
+}
+
+TEST_F(CorruptionTest, IntactSnapshotRestoresCleanly)
+{
+    evictVictim();
+    expectFailClosed(0); // No corruption: restore, no failure counted.
+    ServiceStatsSnapshot stats;
+    service->serviceStats(stats);
+    EXPECT_EQ(stats.restores, 1u);
+}
+
+TEST_F(CorruptionTest, AdminEvictDropsTheSnapshot)
+{
+    evictVictim();
+    ServiceStatsSnapshot stats;
+    service->serviceStats(stats);
+    EXPECT_EQ(stats.snapshotted, 1u);
+
+    EXPECT_TRUE(service->evictTenant(victim));
+    service->serviceStats(stats);
+    EXPECT_EQ(stats.snapshotted, 0u);
+    std::vector<uint8_t> bytes;
+    EXPECT_FALSE(store.get("victim", bytes));
+    EXPECT_EQ(service->check(victim, request(os::sc::read)).status,
+              CheckStatus::UnknownTenant);
+}
+
+TEST(ServeLifecycle, MetricsExportLifecycleBlock)
+{
+    ServiceOptions options;
+    options.maxResidentTenants = 1;
+    CheckService service(options);
+    TenantId a = service.createTenant("a", testProfile());
+    TenantId b = service.createTenant("b", testProfile());
+    ASSERT_EQ(service.check(a, request(os::sc::read)).status,
+              CheckStatus::Allowed);
+    ASSERT_EQ(service.check(b, request(os::sc::read)).status,
+              CheckStatus::Allowed); // evicts a
+
+    MetricRegistry registry;
+    service.exportMetrics(registry, "serve");
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.enabled"), 1u);
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.resident_cap"), 1u);
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.resident"), 1u);
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.snapshotted"), 1u);
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.evictions"), 1u);
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.dedup.policies"),
+              1u);
+    EXPECT_EQ(registry.textValue("serve.lifecycle.store_kind"),
+              "memory");
+    EXPECT_GT(registry.counterValue("serve.lifecycle.store_bytes"), 0u);
+    EXPECT_EQ(registry.gaugeValue("serve.lifecycle.dedup.ratio"), 2.0);
+}
+
+TEST(ServeLifecycle, UncappedServiceExportsDisabledLifecycle)
+{
+    CheckService service;
+    service.createTenant("a", testProfile());
+    MetricRegistry registry;
+    service.exportMetrics(registry, "serve");
+    EXPECT_EQ(registry.counterValue("serve.lifecycle.enabled"), 0u);
+}
+
+} // namespace
+} // namespace draco::serve

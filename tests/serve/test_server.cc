@@ -381,6 +381,49 @@ TEST(SocketServer, TcpAndUnixVerdictFingerprintsMatch)
     EXPECT_EQ(fingerprints[0], fingerprints[1]);
 }
 
+/**
+ * The control-plane stats op over the socket: a capped service's
+ * lifecycle gauges arrive at the client intact.
+ */
+TEST(SocketServer, ServiceStatsOverTheSocket)
+{
+    ServiceOptions serviceOptions;
+    serviceOptions.maxResidentTenants = 1;
+    CheckService service(serviceOptions);
+    const std::string path = socketPath("svcstats");
+    SocketServer server(service, path);
+    ASSERT_TRUE(server.start());
+
+    auto client = SocketClient::connect(path);
+    ASSERT_NE(client, nullptr);
+    TenantId a = client->createTenant("a", "docker-default");
+    TenantId b = client->createTenant("b", "docker-default");
+    ASSERT_NE(a, kInvalidTenant);
+    ASSERT_NE(b, kInvalidTenant);
+    // Touching both under a cap of 1 forces one eviction.
+    const auto reqs = trafficMix(1, 32);
+    std::vector<CheckResponse> resps(reqs.size());
+    ASSERT_TRUE(client->checkBatch(
+        a, reqs.data(), static_cast<uint32_t>(reqs.size()),
+        resps.data()));
+    ASSERT_TRUE(client->checkBatch(
+        b, reqs.data(), static_cast<uint32_t>(reqs.size()),
+        resps.data()));
+
+    ServiceStatsSnapshot stats;
+    ASSERT_TRUE(client->serviceStats(stats));
+    EXPECT_EQ(stats.tenants, 2u);
+    EXPECT_EQ(stats.resident, 1u);
+    EXPECT_EQ(stats.snapshotted, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.dedupPolicies, 1u);
+    EXPECT_EQ(stats.dedupHits, 1u);
+    EXPECT_GT(stats.storeBytes, 0u);
+    EXPECT_EQ(stats.checks, 2 * reqs.size());
+    server.stop();
+    service.stop();
+}
+
 /** Both listeners at once: one service, either doorway. */
 TEST(SocketServer, ServesUnixAndTcpSimultaneously)
 {

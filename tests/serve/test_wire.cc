@@ -171,6 +171,59 @@ TEST(Wire, EvictAndShutdownRoundTrip)
     EXPECT_EQ(peekType(payload), MsgType::ShutdownReply);
 }
 
+TEST(Wire, ServiceStatsRoundTrip)
+{
+    std::vector<uint8_t> payload;
+    encodeServiceStatsReq(payload);
+    EXPECT_EQ(peekType(payload), MsgType::ServiceStatsReq);
+    EXPECT_EQ(payload.size(), 1u);
+
+    ServiceStatsReply reply;
+    reply.stats.tenants = 1000000;
+    reply.stats.resident = 10000;
+    reply.stats.snapshotted = 990000;
+    reply.stats.evictions = 424970;
+    reply.stats.restores = 209305;
+    reply.stats.restoreFailures = 3;
+    reply.stats.snapshotPutFailures = 1;
+    reply.stats.dedupPolicies = 1;
+    reply.stats.dedupHits = 999999;
+    reply.stats.snapshotBytesWritten = 54000000;
+    reply.stats.snapshotBytesRead = 26000000;
+    reply.stats.storeBytes = 123456789;
+    reply.stats.checks = 2000000;
+    reply.stats.rejects = 42;
+    ServiceStatsReply out =
+        roundTrip(reply, MsgType::ServiceStatsReply);
+    EXPECT_EQ(out.stats.tenants, 1000000u);
+    EXPECT_EQ(out.stats.resident, 10000u);
+    EXPECT_EQ(out.stats.snapshotted, 990000u);
+    EXPECT_EQ(out.stats.evictions, 424970u);
+    EXPECT_EQ(out.stats.restores, 209305u);
+    EXPECT_EQ(out.stats.restoreFailures, 3u);
+    EXPECT_EQ(out.stats.snapshotPutFailures, 1u);
+    EXPECT_EQ(out.stats.dedupPolicies, 1u);
+    EXPECT_EQ(out.stats.dedupHits, 999999u);
+    EXPECT_EQ(out.stats.snapshotBytesWritten, 54000000u);
+    EXPECT_EQ(out.stats.snapshotBytesRead, 26000000u);
+    EXPECT_EQ(out.stats.storeBytes, 123456789u);
+    EXPECT_EQ(out.stats.checks, 2000000u);
+    EXPECT_EQ(out.stats.rejects, 42u);
+
+    // Truncations and trailing garbage are malformed.
+    payload.clear();
+    encode(payload, reply);
+    for (size_t len = 0; len < payload.size(); ++len) {
+        std::vector<uint8_t> cut(payload.begin(),
+                                 payload.begin() + len);
+        ServiceStatsReply bad;
+        EXPECT_FALSE(decode(cut, bad)) << "length " << len;
+    }
+    payload.push_back(0);
+    ServiceStatsReply bad;
+    EXPECT_FALSE(decode(payload, bad));
+}
+
 TEST(Wire, DecodersRejectEveryTruncation)
 {
     CheckBatch msg;

@@ -21,6 +21,7 @@
 #include <csignal>
 #include <string>
 
+#include "lifecycle/store.hh"
 #include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "serve/server.hh"
@@ -63,6 +64,12 @@ main(int argc, char **argv)
     flags.addUint("max-batch", "n", "max requests drained per wakeup",
                   64);
     flags.addUint("max-tenants", "n", "tenant table capacity", 4096);
+    flags.addUint("max-resident-tenants", "n",
+                  "resident-tenant budget; colder tenants snapshot to "
+                  "the store and restore on demand (0 = unbounded)", 0);
+    flags.addString("snapshot-dir", "path",
+                    "directory for evicted-tenant .dtss snapshots "
+                    "(default: in-memory store)");
     flags.addFlag("old-kernel",
                   "price checks with the old-kernel cost preset");
     flags.addCommon();
@@ -104,6 +111,21 @@ main(int argc, char **argv)
     options.costs = flags.flag("old-kernel") ? &os::oldKernelCosts()
                                              : &os::newKernelCosts();
     options.session = session.enabled() ? &session : nullptr;
+    options.maxResidentTenants = static_cast<uint32_t>(
+        flags.uintValue("max-resident-tenants"));
+    std::unique_ptr<lifecycle::DirSnapshotStore> snapshotStore;
+    if (!flags.str("snapshot-dir").empty()) {
+        snapshotStore = std::make_unique<lifecycle::DirSnapshotStore>(
+            flags.str("snapshot-dir"));
+        if (!snapshotStore->ok())
+            fatal("dracod: cannot use snapshot dir '%s'",
+                  flags.str("snapshot-dir").c_str());
+        options.snapshotStore = snapshotStore.get();
+        if (options.maxResidentTenants == 0)
+            warn("dracod: --snapshot-dir without "
+                 "--max-resident-tenants; no tenant will ever be "
+                 "evicted to it");
+    }
 
     // Thousands of concurrent connections need more than the default
     // 1024-fd soft limit most distros (and CI runners) ship with.
@@ -146,6 +168,17 @@ main(int argc, char **argv)
            static_cast<unsigned long long>(service.totalRejects()),
            static_cast<unsigned long long>(server.connectionsAccepted()),
            static_cast<unsigned long long>(server.connectionsReaped()));
+    if (service.lifecycleEnabled()) {
+        serve::ServiceStatsSnapshot ls;
+        service.serviceStats(ls);
+        inform("dracod: lifecycle: %llu evictions, %llu restores "
+               "(%llu failed), %llu distinct policies for %llu tenants",
+               static_cast<unsigned long long>(ls.evictions),
+               static_cast<unsigned long long>(ls.restores),
+               static_cast<unsigned long long>(ls.restoreFailures),
+               static_cast<unsigned long long>(ls.dedupPolicies),
+               static_cast<unsigned long long>(ls.tenants));
+    }
 
     if (!flags.str("json").empty() || session.enabled()) {
         MetricRegistry registry;

@@ -41,6 +41,7 @@
 #include "support/cliflags.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/random.hh"
 #include "support/stats.hh"
 #include "trace/replay.hh"
 
@@ -369,6 +370,9 @@ main(int argc, char **argv)
                     "built-in profile every tenant runs",
                     "docker-default");
     flags.addUint("tenants", "n", "tenant count", 4);
+    flags.addString("zipf", "s",
+                    "deal events to tenants Zipf(s)-skewed instead of "
+                    "round-robin (hot tenants model a real fleet)");
     flags.addUint("batch", "k", "requests per check batch", 32);
     flags.addUint("repeat", "n", "replay the trace this many times", 1);
     flags.addUint("max-events", "n", "cap events read from the trace",
@@ -413,11 +417,26 @@ main(int argc, char **argv)
     for (uint64_t i = 0; i < tenantCount; ++i)
         tenants[i].name = "t" + std::to_string(i);
 
+    double zipfSkew = 0.0;
+    if (!flags.str("zipf").empty()) {
+        char *end = nullptr;
+        zipfSkew = strtod(flags.str("zipf").c_str(), &end);
+        if (end == nullptr || *end != '\0' || zipfSkew < 0.0)
+            fatal("dracoload: --zipf wants a non-negative number, got "
+                  "'%s'", flags.str("zipf").c_str());
+    }
+    std::unique_ptr<ZipfSampler> zipf;
+    Rng zipfRng(splitSeed(0x647261636f6c6fULL, "dracoload/zipf"));
+    if (zipfSkew > 0.0)
+        zipf = std::make_unique<ZipfSampler>(tenantCount, zipfSkew);
+
     uint64_t maxEvents = flags.uintValue("max-events");
     workload::TraceEvent event;
     uint64_t loaded = 0;
     while (loaded < maxEvents && opened.stream->next(event)) {
-        tenants[loaded % tenantCount].reqs.push_back(event.req);
+        uint64_t slot = zipf ? zipf->sample(zipfRng)
+                             : loaded % tenantCount;
+        tenants[slot].reqs.push_back(event.req);
         ++loaded;
     }
     if (loaded == 0)
@@ -618,6 +637,31 @@ main(int argc, char **argv)
         registry.setCounter(prefix + ".denied", stats.denied);
         registry.setCounter(prefix + ".rejects", stats.rejects);
         registry.setCounter(prefix + ".checks", stats.check.checks);
+    }
+    // Service-wide lifecycle line (the dracod stats op): meaningful
+    // when the server runs with a resident cap, harmless otherwise.
+    serve::ServiceStatsSnapshot svc;
+    if (client->serviceStats(svc)) {
+        printf("service tenants=%llu resident=%llu snapshotted=%llu "
+               "evictions=%llu restores=%llu restore_failures=%llu "
+               "policies=%llu dedup_hits=%llu store_bytes=%llu\n",
+               static_cast<unsigned long long>(svc.tenants),
+               static_cast<unsigned long long>(svc.resident),
+               static_cast<unsigned long long>(svc.snapshotted),
+               static_cast<unsigned long long>(svc.evictions),
+               static_cast<unsigned long long>(svc.restores),
+               static_cast<unsigned long long>(svc.restoreFailures),
+               static_cast<unsigned long long>(svc.dedupPolicies),
+               static_cast<unsigned long long>(svc.dedupHits),
+               static_cast<unsigned long long>(svc.storeBytes));
+        registry.setCounter("load.service.tenants", svc.tenants);
+        registry.setCounter("load.service.resident", svc.resident);
+        registry.setCounter("load.service.evictions", svc.evictions);
+        registry.setCounter("load.service.restores", svc.restores);
+        registry.setCounter("load.service.restore_failures",
+                            svc.restoreFailures);
+        registry.setCounter("load.service.dedup_policies",
+                            svc.dedupPolicies);
     }
     printf("summary requests=%llu answered=%llu overloaded=%llu "
            "retried=%llu shed=%llu wall_s=%.3f wall_qps=%.0f\n",
