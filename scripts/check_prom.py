@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) scrape body.
+
+usage: check_prom.py <metrics-file> [required-family...]
+
+Every non-comment line must match the exposition grammar (metric name,
+optional well-formed label set, numeric value), and every family named
+on the command line must appear — either bare or via its _count /
+_bucket series. Exits non-zero with a pointed message otherwise.
+"""
+import re
+import sys
+
+LINE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?'
+                  r' (-?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?'
+                  r'|NaN|[-+]?Inf)$')
+LABEL_PAIR = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"')
+
+
+def fail(msg):
+    sys.exit(f"check_prom: {msg}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_prom.py <metrics-file> [family...]")
+    path, required = sys.argv[1], sys.argv[2:]
+    seen = set()
+    for n, raw in enumerate(open(path), 1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        m = LINE.match(line)
+        if not m:
+            fail(f"{path}:{n}: malformed exposition line: {line!r}")
+        name, labels = m.group(1), m.group(2)
+        if labels:
+            # Strip valid pairs; only commas may remain between them.
+            leftover = LABEL_PAIR.sub("", labels[1:-1]).replace(",", "")
+            if leftover:
+                fail(f"{path}:{n}: malformed label set: {labels!r}")
+        seen.add(name)
+    missing = [f for f in required
+               if not (f in seen or f + "_count" in seen
+                       or f + "_bucket" in seen)]
+    if missing:
+        fail(f"missing families {missing}; scrape had {len(seen)}")
+    print(f"check_prom: ok ({len(seen)} series names, "
+          f"{len(required)} required families present)")
+
+
+main()

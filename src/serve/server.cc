@@ -2,10 +2,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/serveobs.hh"
 #include "support/logging.hh"
 
 namespace draco::serve {
@@ -42,6 +44,29 @@ struct SocketServer::Conn {
     uint32_t epollMask = 0;       ///< Currently registered interest.
     bool discardOutput = false;   ///< Write side dead; drop replies.
     bool pumpTouched = false;     ///< Dedup flag while pumping replies.
+
+    /** Accepted on the metrics listener: speaks HTTP, not frames. */
+    bool http = false;
+    std::string httpBuf;          ///< Buffered HTTP request head.
+
+    /**
+     * Latency-pipeline state (only populated when the server owns an
+     * obs::ServeObs). lastReadNs is the admission stamp: one clock
+     * read per readInput() call, shared by every frame parsed out of
+     * that read. The cumulative queued/sent byte counters pair with
+     * marks to detect when a given reply's last byte hit the socket —
+     * they keep counting across outBuf compaction, unlike outPos.
+     */
+    uint64_t lastReadNs = 0;
+    uint64_t outQueuedBytes = 0;  ///< Bytes ever appended to outBuf.
+    uint64_t outSentBytes = 0;    ///< Bytes ever accepted by send().
+
+    /** A reply awaiting its flush stamp. */
+    struct FlushMark {
+        uint64_t target; ///< outQueuedBytes after this reply landed.
+        obs::StageRecord rec;
+    };
+    std::deque<FlushMark> marks; ///< FIFO, targets ascending.
 };
 
 /** One event-loop thread and everything it owns. */
@@ -50,11 +75,14 @@ struct SocketServer::Loop {
     struct Reply {
         Conn *conn;
         std::vector<uint8_t> frame;
+        bool hasRec = false;
+        obs::StageRecord rec; ///< Valid when hasRec.
     };
 
     support::Epoll epoll;
     support::EventFd wake;
     std::thread thread;
+    size_t index = 0; ///< This loop's slot in the ServeObs hub.
 
     std::mutex mutex; ///< Guards inbox and pendingAdopt.
     std::vector<Reply> inbox; ///< Completions from shard workers.
@@ -115,6 +143,36 @@ SocketServer::start()
         support::setNonBlocking(_tcpListenFd);
         _tcpPort = tcpLocalPort(_tcpListenFd);
     }
+    if (!_options.metricsAddress.empty()) {
+        std::optional<Endpoint> ep =
+            Endpoint::parseTcp(_options.metricsAddress);
+        int fd = ep ? listenEndpoint(*ep, _options.backlog) : -1;
+        if (fd < 0) {
+            if (!ep)
+                warn("dracod: bad metrics listen address: %s",
+                     _options.metricsAddress.c_str());
+            if (_unixListenFd >= 0) {
+                ::close(_unixListenFd);
+                _unixListenFd = -1;
+                ::unlink(_options.socketPath.c_str());
+            }
+            if (_tcpListenFd >= 0) {
+                ::close(_tcpListenFd);
+                _tcpListenFd = -1;
+            }
+            return false;
+        }
+        _metricsListenFd = fd;
+        support::setNonBlocking(_metricsListenFd);
+        _metricsPort = tcpLocalPort(_metricsListenFd);
+
+        obs::ServeObsOptions obsOptions;
+        obsOptions.loops = _options.eventThreads;
+        obsOptions.shards = _service.shards();
+        obsOptions.slowUs = _options.slowUs;
+        obsOptions.slowCapacity = _options.slowCapacity;
+        _obs = std::make_unique<obs::ServeObs>(obsOptions);
+    }
 
     for (unsigned i = 0; i < _options.eventThreads; ++i)
         _loops.push_back(std::make_unique<Loop>());
@@ -124,8 +182,11 @@ SocketServer::start()
         _loops[0]->epoll.add(_unixListenFd, EPOLLIN, &_unixTag);
     if (_tcpListenFd >= 0)
         _loops[0]->epoll.add(_tcpListenFd, EPOLLIN, &_tcpTag);
+    if (_metricsListenFd >= 0)
+        _loops[0]->epoll.add(_metricsListenFd, EPOLLIN, &_metricsTag);
     for (size_t i = 0; i < _loops.size(); ++i) {
         Loop &loop = *_loops[i];
+        loop.index = i;
         loop.epoll.add(loop.wake.fd(), EPOLLIN, &loop);
         loop.thread = std::thread([this, i] { loopMain(i); });
     }
@@ -158,6 +219,8 @@ SocketServer::loopMain(size_t index)
                 loop.epoll.del(_unixListenFd);
             if (_tcpListenFd >= 0)
                 loop.epoll.del(_tcpListenFd);
+            if (_metricsListenFd >= 0)
+                loop.epoll.del(_metricsListenFd);
             listenersLive = false;
         }
         beginStopDrain(loop);
@@ -177,11 +240,16 @@ SocketServer::loopMain(size_t index)
                 loop.wake.drain();
                 continue;
             }
-            if (cookie == &_unixTag || cookie == &_tcpTag) {
-                if (!stopping)
-                    acceptReady(cookie == &_unixTag ? _unixListenFd
-                                                    : _tcpListenFd,
-                                cookie == &_tcpTag);
+            if (cookie == &_unixTag || cookie == &_tcpTag ||
+                cookie == &_metricsTag) {
+                if (!stopping) {
+                    if (cookie == &_metricsTag)
+                        acceptReady(_metricsListenFd, true, true);
+                    else
+                        acceptReady(cookie == &_unixTag ? _unixListenFd
+                                                        : _tcpListenFd,
+                                    cookie == &_tcpTag);
+                }
                 continue;
             }
             // Conns are destroyed only in reapConnections(), after
@@ -221,7 +289,7 @@ SocketServer::loopMain(size_t index)
 }
 
 void
-SocketServer::acceptReady(int listenFd, bool tcp)
+SocketServer::acceptReady(int listenFd, bool tcp, bool http)
 {
     for (;;) {
         int fd = ::accept4(listenFd, nullptr, nullptr,
@@ -239,6 +307,7 @@ SocketServer::acceptReady(int listenFd, bool tcp)
         _active.fetch_add(1);
         auto conn = std::make_unique<Conn>();
         conn->fd = fd;
+        conn->http = http;
         Loop &target = *_loops[seq % _loops.size()];
         {
             std::lock_guard<std::mutex> lock(target.mutex);
@@ -290,17 +359,26 @@ SocketServer::pumpReplies(Loop &loop)
             conn->pumpTouched = true;
             touched.push_back(conn);
         }
-        if (conn->discardOutput)
+        if (conn->discardOutput) {
+            if (reply.hasRec && _obs)
+                _obs->recordDropped(loop.index, 1);
             continue;
+        }
         if (conn->outBuf.size() - conn->outPos + reply.frame.size() >
             _options.maxOutputBytes) {
-            warn("dracod: connection output backlog over %zu bytes, "
-                 "dropping connection", _options.maxOutputBytes);
+            logWarnEvery("serve.backlog", 1000,
+                         "dracod: connection output backlog over %zu "
+                         "bytes, dropping connection",
+                         _options.maxOutputBytes);
+            if (reply.hasRec && _obs)
+                _obs->recordDropped(loop.index, 1);
             beginDrain(loop, conn, true);
             continue;
         }
-        conn->outBuf.insert(conn->outBuf.end(), reply.frame.begin(),
-                            reply.frame.end());
+        appendOutput(conn, reply.frame.data(), reply.frame.size());
+        if (reply.hasRec && _obs)
+            conn->marks.push_back(
+                Conn::FlushMark{conn->outQueuedBytes, reply.rec});
     }
     for (Conn *conn : touched) {
         conn->pumpTouched = false;
@@ -309,9 +387,24 @@ SocketServer::pumpReplies(Loop &loop)
 }
 
 void
+SocketServer::appendOutput(Conn *conn, const uint8_t *data, size_t size)
+{
+    conn->outBuf.insert(conn->outBuf.end(), data, data + size);
+    conn->outQueuedBytes += size;
+}
+
+void
 SocketServer::readInput(Loop &loop, Conn *conn,
                         std::vector<uint8_t> &chunk)
 {
+    if (conn->http) {
+        readHttp(loop, conn, chunk);
+        return;
+    }
+    // One admission stamp per readiness callback: every frame parsed
+    // out of this read shares it, reusing the single clock read.
+    if (_obs)
+        conn->lastReadNs = obs::nowNs();
     while (conn->state == ConnState::Open) {
         ssize_t r = ::read(conn->fd, chunk.data(), chunk.size());
         if (r > 0) {
@@ -339,6 +432,140 @@ SocketServer::readInput(Loop &loop, Conn *conn,
     }
     if (!conn->discardOutput && conn->outPos < conn->outBuf.size())
         flushOutput(loop, conn);
+}
+
+void
+SocketServer::readHttp(Loop &loop, Conn *conn,
+                       std::vector<uint8_t> &chunk)
+{
+    // HTTP/1.0, one request per connection: buffer until the header
+    // terminator, answer, then drain (flush + reap). Scrapers open a
+    // fresh connection per scrape, which keeps this path trivial.
+    constexpr size_t kMaxHttpHead = 16u << 10;
+    while (conn->state == ConnState::Open) {
+        ssize_t r = ::read(conn->fd, chunk.data(), chunk.size());
+        if (r > 0) {
+            conn->httpBuf.append(reinterpret_cast<char *>(chunk.data()),
+                                 static_cast<size_t>(r));
+            if (conn->httpBuf.size() > kMaxHttpHead) {
+                beginDrain(loop, conn, true);
+                break;
+            }
+            if (conn->httpBuf.find("\r\n\r\n") != std::string::npos ||
+                conn->httpBuf.find("\n\n") != std::string::npos) {
+                handleHttp(loop, conn);
+                break;
+            }
+            if (static_cast<size_t>(r) < chunk.size())
+                break;
+            continue;
+        }
+        if (r == 0) {
+            beginDrain(loop, conn, false);
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        beginDrain(loop, conn, true);
+        break;
+    }
+    if (!conn->discardOutput && conn->outPos < conn->outBuf.size())
+        flushOutput(loop, conn);
+}
+
+void
+SocketServer::handleHttp(Loop &loop, Conn *conn)
+{
+    // Parse "<METHOD> <target> ..." off the request line.
+    std::string method;
+    std::string target;
+    {
+        const std::string &head = conn->httpBuf;
+        size_t eol = head.find_first_of("\r\n");
+        std::string line = head.substr(0, eol);
+        size_t sp1 = line.find(' ');
+        if (sp1 != std::string::npos) {
+            method = line.substr(0, sp1);
+            size_t sp2 = line.find(' ', sp1 + 1);
+            target = line.substr(sp1 + 1, sp2 == std::string::npos
+                                              ? std::string::npos
+                                              : sp2 - sp1 - 1);
+        }
+        size_t query = target.find('?');
+        if (query != std::string::npos)
+            target.resize(query);
+    }
+
+    std::string response;
+    if (method != "GET") {
+        response = obs::httpResponse(405, "text/plain",
+                                     "method not allowed\n");
+    } else if (target == "/healthz") {
+        response = obs::httpResponse(200, "text/plain", "ok\n");
+    } else if (target == "/metrics") {
+        response = obs::httpResponse(
+            200, "text/plain; version=0.0.4", metricsBody());
+    } else if (target == "/statz") {
+        response = obs::httpResponse(200, "application/json",
+                                     statzBody());
+    } else if (target == "/slowz") {
+        response = obs::httpResponse(200, "application/json",
+                                     _obs->slowzJson());
+    } else {
+        response = obs::httpResponse(404, "text/plain",
+                                     "not found\n");
+    }
+
+    appendOutput(conn,
+                 reinterpret_cast<const uint8_t *>(response.data()),
+                 response.size());
+    conn->httpBuf.clear();
+    // Answer sent: close the read side and let the normal drain state
+    // machine flush the response and reap the connection.
+    beginDrain(loop, conn, false);
+}
+
+std::string
+SocketServer::metricsBody() const
+{
+    MetricRegistry registry;
+    _service.exportLiveMetrics(registry);
+    registry.setCounter("serve.live.connections.accepted",
+                        _accepted.load());
+    registry.setCounter("serve.live.connections.reaped",
+                        _reaped.load());
+    registry.setGauge("serve.live.connections.active",
+                      _active.load());
+    return _obs->renderPrometheus(registry);
+}
+
+std::string
+SocketServer::statzBody() const
+{
+    ServiceStatsSnapshot s;
+    _service.serviceStats(s);
+    MetricRegistry registry;
+    registry.setCounter("tenants", s.tenants);
+    registry.setCounter("resident", s.resident);
+    registry.setCounter("snapshotted", s.snapshotted);
+    registry.setCounter("evictions", s.evictions);
+    registry.setCounter("restores", s.restores);
+    registry.setCounter("restore_failures", s.restoreFailures);
+    registry.setCounter("snapshot_put_failures", s.snapshotPutFailures);
+    registry.setCounter("dedup_policies", s.dedupPolicies);
+    registry.setCounter("dedup_hits", s.dedupHits);
+    registry.setCounter("snapshot_bytes_written",
+                        s.snapshotBytesWritten);
+    registry.setCounter("snapshot_bytes_read", s.snapshotBytesRead);
+    registry.setCounter("store_bytes", s.storeBytes);
+    registry.setCounter("checks", s.checks);
+    registry.setCounter("rejects", s.rejects);
+    registry.setCounter("connections.accepted", _accepted.load());
+    registry.setCounter("connections.reaped", _reaped.load());
+    registry.setCounter("connections.active", _active.load());
+    return registry.toJson(true);
 }
 
 bool
@@ -370,13 +597,17 @@ SocketServer::sendControl(Loop &loop, Conn *conn,
         return;
     if (conn->outBuf.size() - conn->outPos + payload.size() + 4 >
         _options.maxOutputBytes) {
-        warn("dracod: connection output backlog over %zu bytes, "
-             "dropping connection", _options.maxOutputBytes);
+        logWarnEvery("serve.backlog", 1000,
+                     "dracod: connection output backlog over %zu "
+                     "bytes, dropping connection",
+                     _options.maxOutputBytes);
         beginDrain(loop, conn, true);
         return;
     }
+    const size_t before = conn->outBuf.size();
     if (!wire::appendFrame(conn->outBuf, payload))
         warn("dracod: oversized control reply dropped");
+    conn->outQueuedBytes += conn->outBuf.size() - before;
 }
 
 bool
@@ -428,6 +659,8 @@ SocketServer::handleFrame(Loop &loop, Conn *conn,
             wire::CheckBatchReply reply;
             Batch batch;
             std::vector<os::SyscallRequest> reqs;
+            obs::StageRecord rec;
+            bool hasRec = false;
         };
         auto ctx = std::make_shared<Pending>();
         wire::CheckBatch msg;
@@ -443,6 +676,13 @@ SocketServer::handleFrame(Loop &loop, Conn *conn,
         ctx->reqs = std::move(msg.reqs);
         conn->inflight++;
         TenantId tenantId = msg.tenantId;
+        if (_obs) {
+            ctx->hasRec = true;
+            ctx->rec.admitNs = conn->lastReadNs;
+            ctx->rec.parseNs = obs::nowNs();
+            ctx->rec.batchId = msg.batchId;
+            ctx->rec.tenant = tenantId;
+        }
         Loop *owner = &loop;
         ctx->batch.onComplete([owner, conn, ctx] {
             // Runs on whichever thread completes the batch (a shard
@@ -458,14 +698,22 @@ SocketServer::handleFrame(Loop &loop, Conn *conn,
             wire::encode(buf, ctx->reply);
             std::vector<uint8_t> frame;
             wire::appendFrame(frame, buf);
+            Loop::Reply entry{conn, std::move(frame)};
+            if (ctx->hasRec) {
+                // Copy the record out: ctx dies once this callback
+                // returns and the loop pumps the reply, but the flush
+                // stamp lands later, when the bytes hit the socket.
+                entry.hasRec = true;
+                entry.rec = ctx->rec;
+            }
             std::lock_guard<std::mutex> lock(owner->mutex);
-            owner->inbox.push_back(
-                Loop::Reply{conn, std::move(frame)});
+            owner->inbox.push_back(std::move(entry));
             owner->wake.signal();
         });
         _service.submitBatch(tenantId, ctx->reqs.data(),
                              static_cast<uint32_t>(ctx->reqs.size()),
-                             ctx->reply.resps.data(), ctx->batch);
+                             ctx->reply.resps.data(), ctx->batch,
+                             ctx->hasRec ? &ctx->rec : nullptr);
         return true;
       }
       case wire::MsgType::TenantStatsReq: {
@@ -521,6 +769,7 @@ SocketServer::flushOutput(Loop &loop, Conn *conn)
                            MSG_NOSIGNAL);
         if (w > 0) {
             conn->outPos += static_cast<size_t>(w);
+            conn->outSentBytes += static_cast<uint64_t>(w);
             continue;
         }
         if (w < 0 && errno == EINTR)
@@ -533,6 +782,7 @@ SocketServer::flushOutput(Loop &loop, Conn *conn)
         beginDrain(loop, conn, true);
         return;
     }
+    commitFlushed(loop, conn);
     if (conn->outPos == conn->outBuf.size()) {
         conn->outBuf.clear();
         conn->outPos = 0;
@@ -545,6 +795,38 @@ SocketServer::flushOutput(Loop &loop, Conn *conn)
     updateInterest(loop, conn);
 }
 
+/**
+ * Stamp and commit every flush mark whose reply bytes have fully hit
+ * the socket. Cumulative byte counters make this immune to outBuf
+ * compaction, and the clock is read at most once per call.
+ */
+void
+SocketServer::commitFlushed(Loop &loop, Conn *conn)
+{
+    if (!_obs || conn->marks.empty())
+        return;
+    uint64_t now = 0;
+    while (!conn->marks.empty() &&
+           conn->marks.front().target <= conn->outSentBytes) {
+        if (now == 0)
+            now = obs::nowNs();
+        obs::StageRecord rec = conn->marks.front().rec;
+        conn->marks.pop_front();
+        rec.flushedNs = now;
+        _obs->commit(loop.index, rec);
+    }
+}
+
+/** Discard marks whose replies will never flush (connection died). */
+void
+SocketServer::dropMarks(Loop &loop, Conn *conn)
+{
+    if (!_obs || conn->marks.empty())
+        return;
+    _obs->recordDropped(loop.index, conn->marks.size());
+    conn->marks.clear();
+}
+
 void
 SocketServer::beginDrain(Loop &loop, Conn *conn, bool discardOutput)
 {
@@ -552,6 +834,7 @@ SocketServer::beginDrain(Loop &loop, Conn *conn, bool discardOutput)
         conn->discardOutput = true;
         conn->outBuf.clear();
         conn->outPos = 0;
+        dropMarks(loop, conn);
         ::shutdown(conn->fd, SHUT_RDWR);
     }
     if (conn->state == ConnState::Open) {
@@ -593,6 +876,7 @@ SocketServer::reapConnections(Loop &loop)
                        conn->outPos == conn->outBuf.size();
         if (conn->state == ConnState::Draining &&
             conn->inflight == 0 && flushed) {
+            dropMarks(loop, conn); // Leftovers can never flush now.
             loop.epoll.del(conn->fd);
             ::close(conn->fd);
             _reaped.fetch_add(1);
@@ -659,6 +943,10 @@ SocketServer::stop()
     if (_tcpListenFd >= 0) {
         ::close(_tcpListenFd);
         _tcpListenFd = -1;
+    }
+    if (_metricsListenFd >= 0) {
+        ::close(_metricsListenFd);
+        _metricsListenFd = -1;
     }
     if (!_options.socketPath.empty())
         ::unlink(_options.socketPath.c_str());

@@ -49,6 +49,10 @@
 #include "serve/wire.hh"
 #include "support/epoll.hh"
 
+namespace draco::obs {
+class ServeObs;
+} // namespace draco::obs
+
 namespace draco::serve {
 
 /** Frontend configuration for one SocketServer. */
@@ -79,6 +83,26 @@ struct ServerOptions {
      * keeps shutdown bounded when a client never reads.
      */
     unsigned drainGraceMs = 5000;
+
+    /**
+     * TCP "host:port" for the observability endpoint ("" disables).
+     * When set, the server owns an obs::ServeObs: every CheckBatch is
+     * latency-stamped through the pipeline, and HTTP/1.0 GETs on this
+     * listener serve /metrics (Prometheus text), /healthz, /statz
+     * (ServiceStats JSON), and /slowz (the slow-request ring).
+     */
+    std::string metricsAddress;
+
+    /**
+     * Slow-request capture threshold in microseconds; batches whose
+     * admit→flush latency meets it land in the /slowz ring. 0 disables
+     * capture (the ring stays empty). Only meaningful with
+     * metricsAddress set.
+     */
+    uint32_t slowUs = 0;
+
+    /** Slow-request ring capacity (newest records kept). */
+    size_t slowCapacity = 256;
 };
 
 /**
@@ -137,6 +161,18 @@ class SocketServer
      */
     uint16_t tcpPort() const { return _tcpPort; }
 
+    /**
+     * @return The bound observability port (useful with ":0"), or 0
+     *         when no metricsAddress is configured.
+     */
+    uint16_t metricsPort() const { return _metricsPort; }
+
+    /**
+     * @return The observability hub, or nullptr when metricsAddress
+     *         is not configured. Valid until stop().
+     */
+    obs::ServeObs *serveObs() const { return _obs.get(); }
+
     const std::string &socketPath() const
     {
         return _options.socketPath;
@@ -166,14 +202,21 @@ class SocketServer
     struct Loop;
 
     void loopMain(size_t index);
-    void acceptReady(int listenFd, bool tcp);
+    void acceptReady(int listenFd, bool tcp, bool http = false);
     void adoptPending(Loop &loop, bool stopping);
     void pumpReplies(Loop &loop);
     void readInput(Loop &loop, Conn *conn, std::vector<uint8_t> &chunk);
+    void readHttp(Loop &loop, Conn *conn, std::vector<uint8_t> &chunk);
+    void handleHttp(Loop &loop, Conn *conn);
+    std::string metricsBody() const;
+    std::string statzBody() const;
     bool parseFrames(Loop &loop, Conn *conn);
     bool handleFrame(Loop &loop, Conn *conn,
                      const std::vector<uint8_t> &payload);
+    void appendOutput(Conn *conn, const uint8_t *data, size_t size);
     void flushOutput(Loop &loop, Conn *conn);
+    void commitFlushed(Loop &loop, Conn *conn);
+    void dropMarks(Loop &loop, Conn *conn);
     void beginDrain(Loop &loop, Conn *conn, bool discardOutput);
     void updateInterest(Loop &loop, Conn *conn);
     void beginStopDrain(Loop &loop);
@@ -186,9 +229,15 @@ class SocketServer
 
     int _unixListenFd = -1;
     int _tcpListenFd = -1;
+    int _metricsListenFd = -1;
     uint16_t _tcpPort = 0;
+    uint16_t _metricsPort = 0;
     int _unixTag = 0; ///< epoll cookie identity for the Unix listener.
     int _tcpTag = 0;  ///< epoll cookie identity for the TCP listener.
+    int _metricsTag = 0; ///< epoll cookie for the metrics listener.
+
+    /** Observability hub; non-null iff metricsAddress is configured. */
+    std::unique_ptr<obs::ServeObs> _obs;
 
     std::vector<std::unique_ptr<Loop>> _loops;
 

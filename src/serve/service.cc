@@ -4,6 +4,7 @@
 
 #include "lifecycle/snapshot.hh"
 #include "lifecycle/store.hh"
+#include "obs/serveobs.hh"
 #include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "support/logging.hh"
@@ -270,18 +271,33 @@ CheckService::enqueue(Shard &shard, Item item)
 void
 CheckService::submitBatch(TenantId id, const os::SyscallRequest *reqs,
                           uint32_t count, CheckResponse *resps,
-                          Batch &batch)
+                          Batch &batch, obs::StageRecord *obsRec)
 {
     if (count == 0)
         return;
     batch.arm(count);
 
     TenantState *t = tenant(id);
+    if (obsRec) {
+        // Stamp before any shed path: a fully-shed batch completes
+        // inline below (running the batch callback on this thread), so
+        // the record must already be coherent. Later stamps default to
+        // enqueue time so shed records show zero queue/check stages.
+        obsRec->enqueueNs = obs::nowNs();
+        obsRec->drainStartNs = obsRec->enqueueNs;
+        obsRec->checkDoneNs = obsRec->enqueueNs;
+        obsRec->batchSize = count;
+        obsRec->shard = t ? t->shard : 0;
+    }
     if (!t || t->evicted.load()) {
+        if (obsRec)
+            obsRec->shed = count;
         shed(nullptr, resps, count, batch, CheckStatus::UnknownTenant, 0);
         return;
     }
     if (_stopping.load()) {
+        if (obsRec)
+            obsRec->shed = count;
         shed(nullptr, resps, count, batch, CheckStatus::ShuttingDown, 0);
         return;
     }
@@ -295,6 +311,13 @@ CheckService::submitBatch(TenantId id, const os::SyscallRequest *reqs,
     if (before + count > t->opts.maxInFlight) {
         t->inFlight.fetch_sub(count, std::memory_order_acq_rel);
         shard.rejects.fetch_add(count, std::memory_order_relaxed);
+        if (obsRec)
+            obsRec->shed = count;
+        logWarnEvery("serve.tenant_cap.s" + std::to_string(t->shard),
+                     1000,
+                     "CheckService: tenant '%s' over its in-flight cap "
+                     "(%u), shedding %u requests", t->name.c_str(),
+                     t->opts.maxInFlight, count);
         shed(t, resps, count, batch, CheckStatus::Overloaded,
              retryAfterUs(shard));
         return;
@@ -307,12 +330,21 @@ CheckService::submitBatch(TenantId id, const os::SyscallRequest *reqs,
     item.resps = resps;
     item.count = count;
     item.batch = &batch;
+    item.rec = obsRec;
     if (!enqueue(shard, item)) {
         t->inFlight.fetch_sub(count, std::memory_order_acq_rel);
         CheckStatus status = _stopping.load()
             ? CheckStatus::ShuttingDown : CheckStatus::Overloaded;
         uint32_t retryUs = status == CheckStatus::Overloaded
             ? retryAfterUs(shard) : 0;
+        if (obsRec)
+            obsRec->shed = count;
+        if (status == CheckStatus::Overloaded)
+            logWarnEvery("serve.queue_full.s" + std::to_string(t->shard),
+                         1000,
+                         "CheckService: shard %u queue full (capacity "
+                         "%u), shedding %u requests", t->shard,
+                         _options.queueCapacity, count);
         shed(t, resps, count, batch, status, retryUs);
     }
 }
@@ -451,6 +483,11 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
     uint32_t requestsChecked = 0;
     double drainNs = 0.0;
 
+    // One wall-clock read per drain, taken lazily at the first
+    // instrumented item: every record in this drain shares it, so
+    // observability costs O(records), not O(requests), clock reads.
+    uint64_t drainStartNs = 0;
+
     // Batch completions are deferred past the shard-counter updates
     // below: a waiter woken by its batch must observe totalChecks()/
     // busy-time figures that already include its own requests.
@@ -461,6 +498,11 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
         TenantState *t = item.tenant;
         switch (item.op) {
           case Op::Check: {
+            if (item.rec) {
+                if (drainStartNs == 0)
+                    drainStartNs = obs::nowNs();
+                item.rec->drainStartNs = drainStartNs;
+            }
             if (!t->checker && !t->evicted.load() && t->policy)
                 materializeChecker(shard, *t);
             if (!t->checker) {
@@ -471,7 +513,10 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                     item.resps[i].path = 0;
                     item.resps[i].retryAfterUs = 0;
                 }
+                if (item.rec)
+                    item.rec->shed = item.count;
             } else {
+                uint32_t allowed = 0;
                 for (uint32_t i = 0; i < item.count; ++i) {
                     core::SwCheckOutcome out =
                         t->checker->check(item.reqs[i]);
@@ -484,13 +529,21 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                                               : CheckStatus::Denied;
                     resp.path = static_cast<uint8_t>(out.path);
                     resp.retryAfterUs = 0;
-                    if (out.allowed)
+                    if (out.allowed) {
                         ++t->allowed;
-                    else
+                        ++allowed;
+                    } else {
                         ++t->denied;
+                    }
                 }
                 requestsChecked += item.count;
+                if (item.rec) {
+                    item.rec->allowed = allowed;
+                    item.rec->denied = item.count - allowed;
+                }
             }
+            if (item.rec)
+                item.rec->checkDoneNs = obs::nowNs();
             if (_shardResidentCap && t->checker)
                 shard.lru.touch(t->id);
             t->inFlight.fetch_sub(item.count, std::memory_order_acq_rel);
@@ -522,6 +575,7 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
     shard.processed += requestsChecked;
     shard.processedMirror.store(shard.processed,
                                 std::memory_order_relaxed);
+    shard.busyNsMirror.store(shard.busyNs, std::memory_order_relaxed);
     shard.batchStat.add(requestsChecked);
     shard.lastBatch.store(requestsChecked, std::memory_order_relaxed);
     if (_shardResidentCap) {
@@ -840,6 +894,75 @@ CheckService::exportMetrics(MetricRegistry &registry,
                           ? static_cast<double>(count) /
                                 static_cast<double>(_policies.size())
                           : 0.0);
+}
+
+void
+CheckService::exportLiveMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    auto name = [&](const std::string &metric) {
+        return MetricRegistry::join(prefix, metric);
+    };
+
+    uint64_t checks = 0;
+    uint64_t rejects = 0;
+    double busyMax = 0.0;
+    for (size_t i = 0; i < _shards.size(); ++i) {
+        const Shard &shard = *_shards[i];
+        const uint64_t shardChecks =
+            shard.processedMirror.load(std::memory_order_relaxed);
+        const uint64_t shardRejects =
+            shard.rejects.load(std::memory_order_relaxed);
+        const double shardBusy =
+            shard.busyNsMirror.load(std::memory_order_relaxed);
+        checks += shardChecks;
+        rejects += shardRejects;
+        busyMax = std::max(busyMax, shardBusy);
+
+        std::string sp = name("shards.s" + std::to_string(i));
+        registry.setCounter(sp + ".checks", shardChecks);
+        registry.setCounter(sp + ".rejects", shardRejects);
+        registry.setGauge(sp + ".queue_depth",
+                          shard.depth.load(std::memory_order_relaxed));
+        registry.setGauge(
+            sp + ".last_batch",
+            shard.lastBatch.load(std::memory_order_relaxed));
+        registry.setGauge(
+            sp + ".resident",
+            shard.resident.load(std::memory_order_relaxed));
+        registry.setGauge(sp + ".busy_ns", shardBusy);
+        registry.setGauge(
+            sp + ".ewma_check_ns",
+            shard.ewmaCheckNs.load(std::memory_order_relaxed));
+    }
+
+    registry.setCounter(name("shard_count"), _shards.size());
+    registry.setCounter(name("checks"), checks);
+    registry.setCounter(name("rejects"), rejects);
+    registry.setGauge(name("busy_ns.max"), busyMax);
+    registry.setGauge(name("modeled_qps"),
+                      busyMax > 0.0
+                          ? static_cast<double>(checks) / busyMax * 1e9
+                          : 0.0);
+
+    ServiceStatsSnapshot svc;
+    serviceStats(svc);
+    std::string vp = name("service");
+    registry.setCounter(vp + ".tenants", svc.tenants);
+    registry.setCounter(vp + ".resident", svc.resident);
+    registry.setCounter(vp + ".snapshotted", svc.snapshotted);
+    registry.setCounter(vp + ".evictions", svc.evictions);
+    registry.setCounter(vp + ".restores", svc.restores);
+    registry.setCounter(vp + ".restore_failures", svc.restoreFailures);
+    registry.setCounter(vp + ".snapshot_put_failures",
+                        svc.snapshotPutFailures);
+    registry.setCounter(vp + ".dedup_policies", svc.dedupPolicies);
+    registry.setCounter(vp + ".dedup_hits", svc.dedupHits);
+    registry.setCounter(vp + ".snapshot_bytes_written",
+                        svc.snapshotBytesWritten);
+    registry.setCounter(vp + ".snapshot_bytes_read",
+                        svc.snapshotBytesRead);
+    registry.setCounter(vp + ".store_bytes", svc.storeBytes);
 }
 
 } // namespace draco::serve

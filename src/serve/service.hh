@@ -51,6 +51,7 @@
 
 namespace draco::obs {
 class Tracer;
+struct StageRecord;
 } // namespace draco::obs
 
 namespace draco::serve {
@@ -160,9 +161,17 @@ class CheckService
      * Responses land in @p resps (same index as the request) and
      * @p batch is completed as they resolve. @p reqs and @p resps must
      * stay valid until the batch completes.
+     *
+     * @param obsRec Optional latency-pipeline record. When set, the
+     *        submit stamps enqueueNs (and the resolved shard), the
+     *        owning worker stamps drainStartNs / checkDoneNs and the
+     *        verdict counts, and the record stays writable until
+     *        @p batch completes. Null costs the hot path nothing —
+     *        no clock reads. Observability never alters verdicts.
      */
     void submitBatch(TenantId id, const os::SyscallRequest *reqs,
-                     uint32_t count, CheckResponse *resps, Batch &batch);
+                     uint32_t count, CheckResponse *resps, Batch &batch,
+                     obs::StageRecord *obsRec = nullptr);
 
     /** Convenience: submit one request and wait for its verdict. */
     CheckResponse check(TenantId id, const os::SyscallRequest &req);
@@ -217,6 +226,16 @@ class CheckService
     void exportMetrics(MetricRegistry &registry,
                        const std::string &prefix = "serve") const;
 
+    /**
+     * Export a scrape-safe metric subset under @p prefix while traffic
+     * is in flight: unlike exportMetrics(), this reads only atomics
+     * and cross-thread mirrors, so the `/metrics` endpoint can call it
+     * on a live service without racing the shard workers.
+     */
+    void exportLiveMetrics(MetricRegistry &registry,
+                           const std::string &prefix = "serve.live")
+        const;
+
   private:
     /** What one queued item asks of the worker. */
     enum class Op : uint8_t {
@@ -262,6 +281,7 @@ class CheckService
         uint32_t count = 0;
         Batch *batch = nullptr;
         TenantStats *statsOut = nullptr;
+        obs::StageRecord *rec = nullptr; ///< Latency record, optional.
     };
 
     struct Shard {
@@ -290,6 +310,7 @@ class CheckService
         /** Cross-thread mirrors of worker-owned lifecycle state. */
         std::atomic<uint32_t> resident{0};
         std::atomic<uint64_t> processedMirror{0};
+        std::atomic<double> busyNsMirror{0.0}; ///< For live scrapes.
 
         obs::Tracer *tracer = nullptr;
     };

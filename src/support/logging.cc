@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 namespace draco {
 
@@ -124,6 +127,54 @@ debugLog(const char *fmt, ...)
     va_start(ap, fmt);
     emit("debug", true, fmt, ap);
     va_end(ap);
+}
+
+namespace {
+
+struct WarnEveryEntry {
+    uint64_t lastNs = 0;
+    uint64_t suppressed = 0;
+};
+
+std::mutex g_warnEveryMutex;
+std::unordered_map<std::string, WarnEveryEntry> g_warnEvery;
+
+} // namespace
+
+bool
+logWarnEvery(const std::string &key, uint64_t intervalMs,
+             const char *fmt, ...)
+{
+    if (logLevel() > LogLevel::Warn)
+        return false;
+    const uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    uint64_t suppressed = 0;
+    {
+        std::lock_guard<std::mutex> lock(g_warnEveryMutex);
+        WarnEveryEntry &entry = g_warnEvery[key];
+        if (entry.lastNs != 0 &&
+            now - entry.lastNs < intervalMs * 1000000ull) {
+            ++entry.suppressed;
+            return false;
+        }
+        suppressed = entry.suppressed;
+        entry.suppressed = 0;
+        entry.lastNs = now;
+    }
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (suppressed > 0)
+        warn("%s (%llu similar suppressed)", buf,
+             static_cast<unsigned long long>(suppressed));
+    else
+        warn("%s", buf);
+    return true;
 }
 
 void

@@ -12,6 +12,7 @@
 #define DRACO_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -90,6 +91,25 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Emit a debug message (printf-style), suppressed unless Debug level. */
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Emit a warning at most once per @p intervalMs for a given @p key.
+ *
+ * Hot paths that can warn per-request (queue overflow, output
+ * backpressure) use this so an overloaded server logs a heartbeat
+ * instead of flooding stderr. Calls inside the suppression window are
+ * counted; the next emitted message appends "(N similar suppressed)".
+ * An interval of 0 never suppresses.
+ *
+ * @param key Suppression bucket; unrelated warn sites must use
+ *        distinct keys.
+ * @param intervalMs Minimum milliseconds between emissions per key.
+ * @return true when the message was emitted, false when suppressed
+ *         (including when the Warn level itself is disabled).
+ */
+bool logWarnEvery(const std::string &key, uint64_t intervalMs,
+                  const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
 
 /**
  * Report an unrecoverable user-caused error and exit(1).

@@ -208,6 +208,44 @@ MetricRegistry::setQuantiles(const std::string &name,
     get(name, Metric::Kind::Sketch).sketch = sketch;
 }
 
+void
+MetricRegistry::setHistogram(const std::string &name,
+                             const Histogram &hist)
+{
+    Metric &m = get(name, Metric::Kind::Hist);
+    if (m.hist && (m.hist->lo() != hist.lo() ||
+                   m.hist->hi() != hist.hi() ||
+                   m.hist->buckets() != hist.buckets())) {
+        panic("metric '%s': histogram geometry mismatch: created as "
+              "[%g, %g) x %zu, assigned [%g, %g) x %zu",
+              name.c_str(), m.hist->lo(), m.hist->hi(),
+              m.hist->buckets(), hist.lo(), hist.hi(), hist.buckets());
+    }
+    m.hist = std::make_unique<Histogram>(hist);
+}
+
+void
+MetricRegistry::visit(
+    const std::function<void(const MetricView &)> &fn) const
+{
+    for (const auto &entry : _metrics) {
+        const Metric &m = entry.second;
+        MetricKind kind = MetricKind::Counter;
+        switch (m.kind) {
+          case Metric::Kind::Counter: kind = MetricKind::Counter; break;
+          case Metric::Kind::Gauge: kind = MetricKind::Gauge; break;
+          case Metric::Kind::Text: kind = MetricKind::Text; break;
+          case Metric::Kind::Stat: kind = MetricKind::Stat; break;
+          case Metric::Kind::Hist: kind = MetricKind::Hist; break;
+          case Metric::Kind::Sketch: kind = MetricKind::Sketch; break;
+        }
+        MetricView view{entry.first, kind,     m.counter,
+                        m.gauge,     &m.text,  &m.stat,
+                        m.hist.get(), &m.sketch};
+        fn(view);
+    }
+}
+
 bool
 MetricRegistry::has(const std::string &name) const
 {

@@ -28,6 +28,7 @@
 #define DRACO_SUPPORT_METRICS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -37,6 +38,32 @@
 #include "support/stats.hh"
 
 namespace draco {
+
+/** Kind of a registry leaf, for introspection via visit(). */
+enum class MetricKind {
+    Counter,
+    Gauge,
+    Text,
+    Stat,
+    Hist,
+    Sketch,
+};
+
+/**
+ * Read-only view of one registry leaf passed to visit(). Only the
+ * member matching @p kind is meaningful; instrument pointers stay
+ * valid for the duration of the callback only.
+ */
+struct MetricView {
+    const std::string &name;
+    MetricKind kind;
+    uint64_t counter;
+    double gauge;
+    const std::string *text;
+    const RunningStat *stat;
+    const Histogram *hist;
+    const QuantileSketch *sketch;
+};
 
 /**
  * Named, hierarchical collection of metrics with JSON export.
@@ -84,6 +111,13 @@ class MetricRegistry
     void setQuantiles(const std::string &name,
                       const QuantileSketch &sketch);
 
+    /**
+     * Copy a finished Histogram snapshot into the registry. Panics on
+     * a geometry mismatch with an existing histogram of the same name,
+     * mirroring histogram().
+     */
+    void setHistogram(const std::string &name, const Histogram &hist);
+
     /** @return true when a leaf named @p name exists (any kind). */
     bool has(const std::string &name) const;
 
@@ -101,6 +135,14 @@ class MetricRegistry
 
     /** @return All leaf names in sorted order. */
     std::vector<std::string> names() const;
+
+    /**
+     * Invoke @p fn once per leaf in sorted name order. This is the
+     * escape hatch for alternate serializers (Prometheus exposition)
+     * that need the kind and value of every leaf without knowing names
+     * up front.
+     */
+    void visit(const std::function<void(const MetricView &)> &fn) const;
 
     /** Remove every metric. */
     void clear();

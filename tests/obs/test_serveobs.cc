@@ -1,0 +1,274 @@
+/**
+ * @file
+ * ServeObs unit tests: stage arithmetic, bounded-sketch decimation,
+ * multi-slot merge on scrape, the slow-request ring's threshold and
+ * capacity contracts, and the Prometheus exposition renderers
+ * (label escaping included — a tenant name with a quote in it must
+ * not corrupt the scrape body).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/serveobs.hh"
+#include "support/metrics.hh"
+
+namespace draco::obs {
+namespace {
+
+/** A record with a clean stage ladder: 10us per stage, 50us total. */
+StageRecord
+ladder(uint64_t baseNs = 1000, uint32_t shard = 0)
+{
+    StageRecord rec;
+    rec.admitNs = baseNs;
+    rec.parseNs = baseNs + 10000;
+    rec.enqueueNs = baseNs + 20000;
+    rec.drainStartNs = baseNs + 30000;
+    rec.checkDoneNs = baseNs + 40000;
+    rec.flushedNs = baseNs + 50000;
+    rec.batchId = 7;
+    rec.tenant = 3;
+    rec.shard = shard;
+    rec.batchSize = 32;
+    rec.allowed = 30;
+    rec.denied = 2;
+    return rec;
+}
+
+TEST(StageRecord, StageLatenciesFromStamps)
+{
+    StageRecord rec = ladder();
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Parse), 10.0);
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Submit), 10.0);
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Queue), 10.0);
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Check), 10.0);
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Reply), 10.0);
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Total), 50.0);
+}
+
+TEST(StageRecord, MissingLaterStampsYieldZeroNotNegative)
+{
+    // A shed batch never reaches the flush stamp: later stamps stay 0
+    // (or equal to earlier ones), and no stage may go negative.
+    StageRecord rec;
+    rec.admitNs = 5000;
+    rec.parseNs = 6000;
+    for (size_t st = 0; st < kStageCount; ++st)
+        EXPECT_GE(rec.stageUs(static_cast<Stage>(st)), 0.0)
+            << stageName(static_cast<Stage>(st));
+    EXPECT_DOUBLE_EQ(rec.stageUs(Stage::Parse), 1.0);
+}
+
+TEST(BoundedSketch, ExactBelowCap)
+{
+    BoundedSketch sketch(64);
+    for (int i = 0; i < 64; ++i)
+        sketch.add(i);
+    EXPECT_EQ(sketch.seen(), 64u);
+    EXPECT_EQ(sketch.retained(), 64u);
+    EXPECT_EQ(sketch.stride(), 1u);
+
+    QuantileSketch out;
+    sketch.mergeInto(out);
+    EXPECT_EQ(out.count(), 64u);
+}
+
+TEST(BoundedSketch, DecimatesAtCapAndStaysBounded)
+{
+    BoundedSketch sketch(64);
+    for (int i = 0; i < 100000; ++i)
+        sketch.add(i);
+    EXPECT_EQ(sketch.seen(), 100000u);
+    EXPECT_LE(sketch.retained(), 64u);
+    EXPECT_GT(sketch.stride(), 1u);
+
+    // The retained subsample still spans the stream: its quantiles
+    // approximate the uniform input.
+    QuantileSketch out;
+    sketch.mergeInto(out);
+    EXPECT_GT(out.count(), 0u);
+    EXPECT_NEAR(out.quantile(0.5), 50000.0, 15000.0);
+}
+
+TEST(ServeObs, MergesAcrossLoopSlotsOnScrape)
+{
+    ServeObsOptions options;
+    options.loops = 3;
+    options.shards = 2;
+    ServeObs obs(options);
+
+    // 4 records per loop slot, alternating shards.
+    for (size_t loop = 0; loop < 3; ++loop)
+        for (int i = 0; i < 4; ++i)
+            obs.commit(loop, ladder(1000 + 100 * i, i % 2));
+    obs.recordDropped(1, 5);
+
+    EXPECT_EQ(obs.committed(), 12u);
+    EXPECT_EQ(obs.dropped(), 5u);
+
+    MetricRegistry registry;
+    obs.exportMetrics(registry);
+    EXPECT_EQ(registry.counterValue("serve.obs.records"), 12u);
+    EXPECT_EQ(registry.counterValue("serve.obs.dropped"), 5u);
+    // All 12 totals (50us each) land in the merged all-shard sketch,
+    // 6 in each per-shard one.
+    EXPECT_EQ(
+        registry.quantileSketch("serve.obs.stages.all.total_us").count(),
+        12u);
+    EXPECT_EQ(
+        registry.quantileSketch("serve.obs.stages.s0.total_us").count(),
+        6u);
+    EXPECT_EQ(
+        registry.quantileSketch("serve.obs.stages.s1.total_us").count(),
+        6u);
+    EXPECT_DOUBLE_EQ(
+        registry.quantileSketch("serve.obs.stages.all.total_us")
+            .quantile(0.5),
+        50.0);
+}
+
+TEST(ServeObs, OutOfRangeLoopAndShardClampSafely)
+{
+    ServeObsOptions options;
+    options.loops = 1;
+    options.shards = 1;
+    ServeObs obs(options);
+    StageRecord rec = ladder(1000, /*shard=*/9);
+    obs.commit(7, rec); // both indices out of range
+    EXPECT_EQ(obs.committed(), 1u);
+}
+
+TEST(ServeObs, SlowRingThresholdAndCapacity)
+{
+    ServeObsOptions options;
+    options.slowUs = 40; // the 50us ladder qualifies
+    options.slowCapacity = 4;
+    ServeObs obs(options);
+
+    // Fast record: below threshold, not captured.
+    StageRecord fast = ladder();
+    fast.flushedNs = fast.admitNs + 20000;
+    obs.commit(0, fast);
+    EXPECT_EQ(obs.slowTotal(), 0u);
+
+    for (int i = 0; i < 10; ++i) {
+        StageRecord rec = ladder();
+        rec.batchId = 100 + i;
+        obs.commit(0, rec);
+    }
+    EXPECT_EQ(obs.slowTotal(), 10u);
+
+    // Ring keeps the newest 4, oldest first, with monotonic seqs.
+    std::vector<SlowRecord> ring = obs.slowRecords();
+    ASSERT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.front().rec.batchId, 106u);
+    EXPECT_EQ(ring.back().rec.batchId, 109u);
+    EXPECT_LT(ring.front().seq, ring.back().seq);
+
+    std::string json = obs.slowzJson();
+    EXPECT_NE(json.find("\"total_slow\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"batch_id\": 109"), std::string::npos);
+    EXPECT_NE(json.find("\"total_us\": 50"), std::string::npos);
+}
+
+TEST(ServeObs, ZeroThresholdNeverCaptures)
+{
+    ServeObs obs(ServeObsOptions{});
+    obs.commit(0, ladder());
+    EXPECT_EQ(obs.slowTotal(), 0u);
+    EXPECT_TRUE(obs.slowRecords().empty());
+}
+
+TEST(ServeObs, RenderPrometheusCarriesStageAndShardLabels)
+{
+    ServeObsOptions options;
+    options.shards = 2;
+    ServeObs obs(options);
+    obs.commit(0, ladder(1000, 0));
+    obs.commit(0, ladder(2000, 1));
+
+    MetricRegistry extra;
+    extra.setCounter("serve.live.checks", 64);
+    std::string body = obs.renderPrometheus(extra);
+
+    EXPECT_NE(body.find("# TYPE draco_serve_stage_latency_us summary"),
+              std::string::npos);
+    EXPECT_NE(body.find("draco_serve_stage_latency_us{shard=\"0\","
+                        "stage=\"check\",quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("draco_serve_stage_latency_us{shard=\"1\","
+                        "stage=\"total\",quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("draco_serve_stage_latency_us_hist"),
+              std::string::npos);
+    EXPECT_NE(body.find("draco_serve_obs_records_total 2"),
+              std::string::npos);
+    // The extra registry rides along, renamed.
+    EXPECT_NE(body.find("draco_serve_live_checks 64"),
+              std::string::npos);
+}
+
+TEST(Prometheus, LabelEscaping)
+{
+    EXPECT_EQ(promEscapeLabel("plain"), "plain");
+    EXPECT_EQ(promEscapeLabel("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(promEscapeLabel("quo\"te"), "quo\\\"te");
+    EXPECT_EQ(promEscapeLabel("new\nline"), "new\\nline");
+    EXPECT_EQ(promEscapeLabel("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Prometheus, MetricNameMapping)
+{
+    EXPECT_EQ(promMetricName("serve.live.checks"),
+              "draco_serve_live_checks");
+    EXPECT_EQ(promMetricName("weird-name+x"), "draco_weird_name_x");
+}
+
+TEST(Prometheus, RenderRegistryCoversEveryMetricKind)
+{
+    MetricRegistry registry;
+    registry.setCounter("a.count", 3);
+    registry.setGauge("a.gauge", 1.5);
+    registry.setText("a.label", "va\"lue");
+    RunningStat stat;
+    stat.add(1.0);
+    stat.add(3.0);
+    registry.setStat("a.stat", stat);
+    QuantileSketch sketch;
+    for (int i = 1; i <= 100; ++i)
+        sketch.add(i);
+    registry.setQuantiles("a.sketch", sketch);
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(1.0);
+    hist.add(9.5);
+    registry.setHistogram("a.hist", hist);
+
+    std::string out;
+    ServeObs::renderRegistry(registry, out);
+    EXPECT_NE(out.find("draco_a_count 3"), std::string::npos);
+    EXPECT_NE(out.find("draco_a_gauge 1.5"), std::string::npos);
+    EXPECT_NE(out.find("draco_a_label_info{value=\"va\\\"lue\"} 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("draco_a_stat_count 2"), std::string::npos);
+    EXPECT_NE(out.find("draco_a_stat_mean 2"), std::string::npos);
+    EXPECT_NE(out.find("draco_a_sketch{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("draco_a_hist_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(out.find("draco_a_hist_count 2"), std::string::npos);
+}
+
+TEST(Prometheus, HttpResponseShape)
+{
+    std::string reply = httpResponse(200, "text/plain", "hello\n");
+    EXPECT_EQ(reply.find("HTTP/1.0 200"), 0u);
+    EXPECT_NE(reply.find("Content-Length: 6\r\n"), std::string::npos);
+    EXPECT_NE(reply.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(reply.find("\r\n\r\nhello\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace draco::obs

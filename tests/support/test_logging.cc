@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "support/logging.hh"
@@ -52,6 +53,46 @@ TEST(Logging, ScopedContextSetsAndRestores)
         EXPECT_EQ(logContext(), "core00");
     }
     EXPECT_EQ(logContext(), "");
+}
+
+TEST(LogWarnEvery, SuppressesWithinWindow)
+{
+    // A long window: the first call emits, the rest of the burst is
+    // swallowed (the overload-warning pattern in serve).
+    EXPECT_TRUE(logWarnEvery("test.burst", 60000, "burst warning"));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(logWarnEvery("test.burst", 60000,
+                                  "burst warning %d", i));
+}
+
+TEST(LogWarnEvery, KeysAreIndependent)
+{
+    EXPECT_TRUE(logWarnEvery("test.key_a", 60000, "a"));
+    EXPECT_FALSE(logWarnEvery("test.key_a", 60000, "a"));
+    EXPECT_TRUE(logWarnEvery("test.key_b", 60000, "b"));
+}
+
+TEST(LogWarnEvery, ZeroIntervalNeverSuppresses)
+{
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(logWarnEvery("test.always", 0, "every time"));
+}
+
+TEST(LogWarnEvery, ReemitsAfterTheWindowPasses)
+{
+    EXPECT_TRUE(logWarnEvery("test.window", 1, "first"));
+    EXPECT_FALSE(logWarnEvery("test.window", 1, "suppressed"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Re-emission also reports how many were swallowed meanwhile.
+    EXPECT_TRUE(logWarnEvery("test.window", 1, "second"));
+}
+
+TEST(LogWarnEvery, SilentWhenWarnLevelDisabled)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_FALSE(logWarnEvery("test.quiet", 0, "never printed"));
+    setLogLevel(saved);
 }
 
 TEST(Logging, ContextIsPerThread)

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "support/metrics.hh"
 
 namespace draco {
@@ -209,6 +212,70 @@ TEST(MetricRegistryDeathTest, HistogramGeometryMismatchPanics)
     EXPECT_DEATH(reg.histogram("h", 0.0, 20.0, 5), "geometry mismatch");
     EXPECT_DEATH(reg.histogram("h", 1.0, 10.0, 5), "geometry mismatch");
     EXPECT_DEATH(reg.histogram("h", 0.0, 10.0, 10), "geometry mismatch");
+}
+
+TEST(MetricRegistryDeathTest, SetHistogramGeometryMismatchPanics)
+{
+    MetricRegistry reg;
+    reg.histogram("h", 0.0, 10.0, 5).add(1.0);
+    Histogram other(0.0, 20.0, 5);
+    // Snapshot installs must obey the same geometry contract as the
+    // accumulating accessor above.
+    EXPECT_DEATH(reg.setHistogram("h", other), "geometry mismatch");
+}
+
+TEST(MetricRegistry, SetHistogramInstallsSnapshot)
+{
+    MetricRegistry reg;
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(1.0);
+    hist.add(2.5);
+    reg.setHistogram("h", hist);
+    EXPECT_EQ(reg.histogram("h", 0.0, 10.0, 5).total(), 2u);
+    // Re-install with matching geometry replaces, not merges.
+    reg.setHistogram("h", hist);
+    EXPECT_EQ(reg.histogram("h", 0.0, 10.0, 5).total(), 2u);
+}
+
+TEST(MetricRegistry, VisitWalksEveryKindInNameOrder)
+{
+    MetricRegistry reg;
+    reg.setCounter("m.counter", 9);
+    reg.setGauge("m.gauge", 2.5);
+    reg.setText("m.text", "hello");
+    reg.runningStat("m.stat").add(4.0);
+    reg.quantileSketch("m.sketch").add(1.0);
+    reg.histogram("m.hist", 0.0, 10.0, 5).add(3.0);
+
+    std::vector<std::string> names;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    std::string text;
+    uint64_t statCount = 0, sketchCount = 0, histTotal = 0;
+    reg.visit([&](const MetricView &view) {
+        names.push_back(view.name);
+        switch (view.kind) {
+          case MetricKind::Counter: counter = view.counter; break;
+          case MetricKind::Gauge: gauge = view.gauge; break;
+          case MetricKind::Text: text = *view.text; break;
+          case MetricKind::Stat: statCount = view.stat->count(); break;
+          case MetricKind::Sketch:
+            sketchCount = view.sketch->count();
+            break;
+          case MetricKind::Hist: histTotal = view.hist->total(); break;
+        }
+    });
+
+    const std::vector<std::string> expected = {
+        "m.counter", "m.gauge", "m.hist", "m.sketch", "m.stat",
+        "m.text"};
+    EXPECT_EQ(names, expected);
+    EXPECT_EQ(counter, 9u);
+    EXPECT_DOUBLE_EQ(gauge, 2.5);
+    EXPECT_EQ(text, "hello");
+    EXPECT_EQ(statCount, 1u);
+    EXPECT_EQ(sketchCount, 1u);
+    EXPECT_EQ(histTotal, 1u);
 }
 
 TEST(MetricRegistryMerge, ShardOrderDoesNotChangeJson)

@@ -270,5 +270,71 @@ TEST(QuantileSketchMerge, CombinesSamples)
     EXPECT_NEAR(a.quantile(0.99), 99.0, 2.0);
 }
 
+TEST(QuantileSketchMerge, EmptyAndSingleSampleEdges)
+{
+    QuantileSketch target, empty, one;
+    one.add(42.0);
+
+    target.merge(empty); // empty ⊕ empty stays empty
+    EXPECT_EQ(target.count(), 0u);
+    EXPECT_DOUBLE_EQ(target.quantile(0.5), 0.0);
+
+    target.merge(one); // empty ⊕ single: every quantile is the sample
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_DOUBLE_EQ(target.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(target.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(target.quantile(1.0), 42.0);
+
+    one.merge(empty); // nonempty ⊕ empty is a no-op
+    EXPECT_EQ(one.count(), 1u);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+}
+
+TEST(QuantileSketchMerge, MergeAfterQuantileResorts)
+{
+    // quantile() sorts lazily; a merge after a read must invalidate
+    // the sorted view, not interleave unsorted samples into it.
+    QuantileSketch a, b;
+    for (int i = 50; i >= 1; --i)
+        a.add(i);
+    EXPECT_NEAR(a.quantile(0.5), 25.5, 1.0);
+    for (int i = 100; i >= 51; --i)
+        b.add(i);
+    a.merge(b);
+    EXPECT_NEAR(a.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(a.quantile(1.0), 100.0, 0.01);
+}
+
+TEST(HistogramMerge, EmptyAndNonEmpty)
+{
+    Histogram empty(0.0, 10.0, 5), full(0.0, 10.0, 5);
+    full.add(1.0);
+    full.add(11.0); // over
+    full.merge(empty); // nonempty ⊕ empty is a no-op
+    EXPECT_EQ(full.total(), 2u);
+    EXPECT_EQ(full.overflow(), 1u);
+
+    Histogram target(0.0, 10.0, 5);
+    target.merge(full); // empty ⊕ nonempty copies all counts
+    EXPECT_EQ(target.total(), 2u);
+    EXPECT_EQ(target.bucketCount(0), 1u);
+    EXPECT_EQ(target.overflow(), 1u);
+}
+
+TEST(HistogramMergeDeathTest, GeometryMismatchIsFatal)
+{
+    // Parity with MetricRegistry's histogram geometry panic: merging
+    // differently-shaped histograms would silently mis-bucket, so it
+    // must die instead.
+    Histogram a(0.0, 10.0, 5);
+    Histogram range(0.0, 20.0, 5);
+    Histogram buckets(0.0, 10.0, 10);
+    a.add(1.0);
+    EXPECT_EXIT(a.merge(range), ::testing::ExitedWithCode(1),
+                "incompatible geometry");
+    EXPECT_EXIT(a.merge(buckets), ::testing::ExitedWithCode(1),
+                "incompatible geometry");
+}
+
 } // namespace
 } // namespace draco

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "lifecycle/store.hh"
+#include "obs/serveobs.hh"
 #include "obs/tracer.hh"
 #include "os/kernelcosts.hh"
 #include "serve/server.hh"
@@ -70,6 +71,14 @@ main(int argc, char **argv)
     flags.addString("snapshot-dir", "path",
                     "directory for evicted-tenant .dtss snapshots "
                     "(default: in-memory store)");
+    flags.addString("metrics-listen", "host:port",
+                    "HTTP observability endpoint: /metrics (Prometheus "
+                    "text), /healthz, /statz, /slowz (port 0 picks a "
+                    "free port)");
+    flags.addUint("slow-us", "n",
+                  "capture requests slower than n microseconds "
+                  "(admit to reply-flushed) into the /slowz ring "
+                  "(0 = off; needs --metrics-listen)", 0);
     flags.addFlag("old-kernel",
                   "price checks with the old-kernel cost preset");
     flags.addCommon();
@@ -137,6 +146,13 @@ main(int argc, char **argv)
     serverOptions.tcpAddress = flags.str("listen");
     serverOptions.eventThreads = static_cast<unsigned>(
         std::max<uint64_t>(1, flags.uintValue("event-threads")));
+    serverOptions.metricsAddress = flags.str("metrics-listen");
+    serverOptions.slowUs =
+        static_cast<uint32_t>(flags.uintValue("slow-us"));
+    if (serverOptions.slowUs != 0 &&
+        serverOptions.metricsAddress.empty())
+        warn("dracod: --slow-us has no effect without "
+             "--metrics-listen");
     serve::SocketServer server(service, serverOptions);
     if (!server.start())
         fatal("dracod: could not listen (socket '%s', tcp '%s')",
@@ -158,6 +174,10 @@ main(int argc, char **argv)
            "%u event threads)",
            where.c_str(), service.shards(), options.queueCapacity,
            options.maxBatch, serverOptions.eventThreads);
+    if (server.metricsPort() != 0)
+        inform("dracod: metrics port %u (/metrics /healthz /statz "
+               "/slowz, slow threshold %u us)",
+               server.metricsPort(), serverOptions.slowUs);
     server.wait();
     gServer = nullptr;
     service.stop();
@@ -183,6 +203,8 @@ main(int argc, char **argv)
     if (!flags.str("json").empty() || session.enabled()) {
         MetricRegistry registry;
         service.exportMetrics(registry);
+        if (server.serveObs())
+            server.serveObs()->exportMetrics(registry);
         if (session.enabled()) {
             session.exportMetrics(registry, "obs");
             session.writeOutput();

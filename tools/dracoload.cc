@@ -390,6 +390,9 @@ main(int argc, char **argv)
                   "cap on one retryAfterUs backoff wait", 50000);
     flags.addFlag("open-loop",
                   "fire batches without waiting (pushes backpressure)");
+    flags.addString("latency-json", "path",
+                    "write the full client-side latency breakdown "
+                    "(per-tenant and merged quantile sketches) as JSON");
     flags.addFlag("shutdown", "send Shutdown to the daemon when done");
     flags.addCommon();
 
@@ -685,6 +688,27 @@ main(int argc, char **argv)
     }
     if (!flags.str("json").empty())
         registry.writeJsonFile(flags.str("json"));
+
+    // Full client-side latency breakdown: one sketch per tenant plus
+    // the merged view, with counts, so a harness can compare tails
+    // across tenants rather than settling for the three headline
+    // gauges above.
+    if (!flags.str("latency-json").empty()) {
+        MetricRegistry lat;
+        lat.setText("latency_us.source", "dracoload client round-trip");
+        lat.setCounter("latency_us.all.count", latency.count());
+        if (latency.count() > 0)
+            lat.setQuantiles("latency_us.all.rtt", latency);
+        for (TenantLoad &tenant : tenants) {
+            std::string prefix = "latency_us.tenants." +
+                                 MetricRegistry::sanitize(tenant.name);
+            lat.setCounter(prefix + ".count",
+                           tenant.latencyUs.count());
+            if (tenant.latencyUs.count() > 0)
+                lat.setQuantiles(prefix + ".rtt", tenant.latencyUs);
+        }
+        lat.writeJsonFile(flags.str("latency-json"));
+    }
 
     if (socketMode && flags.flag("shutdown") &&
         !socketClient->shutdownServer()) {

@@ -14,10 +14,16 @@
  *   obstool stats <in.devt> [--json <file>]
  *   obstool top <in.devt> [--by flow|sid|kind] [--limit N]
  *   obstool diff <a.devt> <b.devt>
+ *   obstool slowz <slowz.json|-> [--limit N]
+ *
+ * `slowz` pretty-prints a /slowz dump from dracod's observability
+ * endpoint (curl .../slowz > slowz.json; obstool slowz slowz.json)
+ * as a per-request stage-latency table, slowest first.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -40,7 +46,8 @@ usage()
                  "       obstool stats <in.devt> [--json <file>]\n"
                  "       obstool top <in.devt> [--by flow|sid|kind] "
                  "[--limit N]\n"
-                 "       obstool diff <a.devt> <b.devt>\n");
+                 "       obstool diff <a.devt> <b.devt>\n"
+                 "       obstool slowz <slowz.json|-> [--limit N]\n");
     return 2;
 }
 
@@ -332,6 +339,113 @@ cmdDiff(const std::vector<std::string> &args)
     return 1;
 }
 
+/**
+ * Extract the number following `"key": ` inside @p object, or @p fallback
+ * when the key is absent. Keyed to the flat one-level records the
+ * /slowz endpoint emits; not a general JSON parser.
+ */
+double
+jsonNumber(const std::string &object, const std::string &key,
+           double fallback = 0.0)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = object.find(needle);
+    if (at == std::string::npos)
+        return fallback;
+    return std::strtod(object.c_str() + at + needle.size(), nullptr);
+}
+
+int
+cmdSlowz(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    size_t limit = 20;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--limit" && i + 1 < args.size())
+            limit = std::strtoull(args[++i].c_str(), nullptr, 10);
+        else
+            return usage();
+    }
+
+    std::string text;
+    if (args[0] == "-") {
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, stdin)) > 0)
+            text.append(buf, n);
+    } else {
+        FILE *f = std::fopen(args[0].c_str(), "rb");
+        if (!f) {
+            std::fprintf(stderr, "obstool: cannot open '%s'\n",
+                         args[0].c_str());
+            return 1;
+        }
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+
+    // Slice the records array into one string per record. Records are
+    // flat objects, so matching braces without nesting is safe.
+    std::vector<std::string> records;
+    size_t cursor = text.find("\"records\"");
+    if (cursor == std::string::npos) {
+        std::fprintf(stderr,
+                     "obstool: no \"records\" array in input "
+                     "(expected a /slowz dump)\n");
+        return 1;
+    }
+    while ((cursor = text.find('{', cursor + 1)) != std::string::npos) {
+        size_t end = text.find('}', cursor);
+        if (end == std::string::npos)
+            break;
+        records.push_back(text.substr(cursor, end - cursor + 1));
+        cursor = end;
+    }
+
+    std::printf("slow requests: %.0f captured (ring %.0f, threshold "
+                "%.0f us), %zu shown\n",
+                jsonNumber(text, "total_slow"),
+                jsonNumber(text, "capacity"),
+                jsonNumber(text, "threshold_us"),
+                std::min(limit, records.size()));
+    if (records.empty())
+        return 0;
+
+    std::sort(records.begin(), records.end(),
+              [](const std::string &a, const std::string &b) {
+                  return jsonNumber(a, "total_us") >
+                      jsonNumber(b, "total_us");
+              });
+
+    std::printf("%8s %6s %5s %9s %5s %5s %5s %4s  "
+                "%9s %9s %9s %9s %9s %10s\n",
+                "seq", "tenant", "shard", "batch_id", "batch", "allow",
+                "deny", "shed", "parse_us", "submit_us", "queue_us",
+                "check_us", "reply_us", "total_us");
+    for (size_t i = 0; i < records.size() && i < limit; ++i) {
+        const std::string &r = records[i];
+        std::printf("%8.0f %6.0f %5.0f %9.0f %5.0f %5.0f %5.0f %4.0f  "
+                    "%9.1f %9.1f %9.1f %9.1f %9.1f %10.1f\n",
+                    jsonNumber(r, "seq"), jsonNumber(r, "tenant"),
+                    jsonNumber(r, "shard"), jsonNumber(r, "batch_id"),
+                    jsonNumber(r, "batch"), jsonNumber(r, "allowed"),
+                    jsonNumber(r, "denied"), jsonNumber(r, "shed"),
+                    jsonNumber(r, "parse_us"),
+                    jsonNumber(r, "submit_us"),
+                    jsonNumber(r, "queue_us"),
+                    jsonNumber(r, "check_us"),
+                    jsonNumber(r, "reply_us"),
+                    jsonNumber(r, "total_us"));
+    }
+    if (records.size() > limit)
+        std::printf("  ... %zu more\n", records.size() - limit);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -350,5 +464,7 @@ main(int argc, char **argv)
         return cmdTop(args);
     if (command == "diff")
         return cmdDiff(args);
+    if (command == "slowz")
+        return cmdSlowz(args);
     return usage();
 }
