@@ -304,6 +304,54 @@ inspectSnapshot(const std::vector<uint8_t> &bytes, SnapshotInfo &info,
 }
 
 bool
+peekSnapshotPolicyKey(const std::vector<uint8_t> &bytes,
+                      uint64_t &policyKey, std::string *error)
+{
+    // A deliberate partial parse: header plus the first block only.
+    // The probe answers "which policy does this snapshot belong to?"
+    // without paying for every table's CRC — the full restore (or its
+    // fail-closed rejection) still re-verifies everything it uses.
+    if (bytes.size() < sizeof(kSnapshotMagic) + 2)
+        return failDecode(error, "file shorter than the header");
+    if (std::memcmp(bytes.data(), kSnapshotMagic,
+                    sizeof(kSnapshotMagic)) != 0)
+        return failDecode(error, "bad magic (not a .dtss snapshot)");
+    size_t pos = sizeof(kSnapshotMagic);
+    uint16_t version = 0;
+    binio::takeU16(bytes, pos, version);
+    if (version != kSnapshotVersion)
+        return failDecode(error,
+                          "unsupported version " + std::to_string(version));
+
+    size_t blockStart = pos;
+    uint8_t type = 0;
+    uint32_t len = 0;
+    if (!binio::takeU8(bytes, pos, type) ||
+        !binio::takeU32(bytes, pos, len))
+        return failDecode(error, "truncated block header");
+    if (type != static_cast<uint8_t>(BlockType::Meta))
+        return failDecode(error, "first block is not Meta");
+    if (pos + len + 8 > bytes.size())
+        return failDecode(error, "truncated block payload");
+    uint64_t expect = crc64Ecma().compute(bytes.data() + blockStart,
+                                          1 + 4 + len);
+    size_t crcPos = pos + len;
+    uint64_t stored = 0;
+    binio::takeU64(bytes, crcPos, stored);
+    if (stored != expect)
+        return failDecode(error, "block CRC mismatch");
+
+    RawBlock block;
+    block.type = type;
+    block.payload.assign(bytes.begin() + pos, bytes.begin() + pos + len);
+    MetaFields meta;
+    if (!decodeMeta(block, meta, error))
+        return false;
+    policyKey = meta.policyKey;
+    return true;
+}
+
+bool
 restoreSnapshot(const std::vector<uint8_t> &bytes,
                 const std::string &expectTenant, uint64_t expectPolicyKey,
                 unsigned expectFilterCopies,

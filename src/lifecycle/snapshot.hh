@@ -126,6 +126,20 @@ bool inspectSnapshot(const std::vector<uint8_t> &bytes,
                      SnapshotInfo &info, std::string *error);
 
 /**
+ * Read just the policy programKey @p bytes references, verifying the
+ * header and the Meta block's CRC on the way — the cheap staleness
+ * probe a restorer runs before committing to a full restore. A
+ * snapshot whose key no longer matches the tenant's current policy
+ * epoch must be discarded, never restored: its VAT encodes verdicts of
+ * a retired policy.
+ *
+ * @return false (with @p error set when non-null) when @p bytes is not
+ *         a structurally valid snapshot up to and including Meta.
+ */
+bool peekSnapshotPolicyKey(const std::vector<uint8_t> &bytes,
+                           uint64_t &policyKey, std::string *error);
+
+/**
  * Restore @p checker — freshly constructed from the shared policy —
  * from @p bytes.
  *

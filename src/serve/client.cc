@@ -64,6 +64,19 @@ LocalClient::evictTenant(TenantId id)
 }
 
 bool
+LocalClient::updateProfile(TenantId id, const std::string &profileName,
+                           uint64_t *epochOut)
+{
+    std::optional<seccomp::Profile> profile =
+        builtinProfileByName(profileName);
+    if (!profile) {
+        warn("LocalClient: unknown profile '%s'", profileName.c_str());
+        return false;
+    }
+    return _service.swapProfile(id, *profile, epochOut);
+}
+
+bool
 LocalClient::serviceStats(ServiceStatsSnapshot &out)
 {
     _service.serviceStats(out);

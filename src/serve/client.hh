@@ -69,6 +69,26 @@ class Client
     virtual bool evictTenant(TenantId id) = 0;
 
     /**
+     * Hot-swap tenant @p id's profile to the built-in catalog entry
+     * @p profileName under live traffic: checks submitted before this
+     * call resolve under the old policy, checks after it under the new
+     * one. Default-false so pre-existing Client implementations keep
+     * compiling.
+     *
+     * @param epochOut Receives the epoch now serving when non-null.
+     * @return false on unknown profile/tenant or transport failure.
+     */
+    virtual bool updateProfile(TenantId id,
+                               const std::string &profileName,
+                               uint64_t *epochOut = nullptr)
+    {
+        (void)id;
+        (void)profileName;
+        (void)epochOut;
+        return false;
+    }
+
+    /**
      * Snapshot the service-wide control-plane counters (tenant counts,
      * lifecycle evictions/restores, dedup figures). Default-false so
      * pre-existing Client implementations keep compiling.
@@ -102,6 +122,9 @@ class LocalClient final : public Client
     bool tenantStats(TenantId id, TenantStats &out) override;
 
     bool evictTenant(TenantId id) override;
+
+    bool updateProfile(TenantId id, const std::string &profileName,
+                       uint64_t *epochOut = nullptr) override;
 
     bool serviceStats(ServiceStatsSnapshot &out) override;
 

@@ -562,6 +562,11 @@ SocketServer::statzBody() const
     registry.setCounter("store_bytes", s.storeBytes);
     registry.setCounter("checks", s.checks);
     registry.setCounter("rejects", s.rejects);
+    registry.setCounter("policy.swaps", s.policySwaps);
+    registry.setCounter("policy.swap_failures", s.policySwapFailures);
+    registry.setCounter("policy.stale_snapshot_discards",
+                        s.staleSnapshotDiscards);
+    registry.setCounter("policy.max_epoch", s.maxEpoch);
     registry.setCounter("connections.accepted", _accepted.load());
     registry.setCounter("connections.reaped", _reaped.load());
     registry.setCounter("connections.active", _active.load());
@@ -732,6 +737,31 @@ SocketServer::handleFrame(Loop &loop, Conn *conn,
             return false;
         wire::EvictTenantReply r;
         r.ok = _service.evictTenant(msg.tenantId);
+        wire::encode(reply, r);
+        sendControl(loop, conn, reply);
+        return true;
+      }
+      case wire::MsgType::UpdateProfile: {
+        wire::UpdateProfile msg;
+        if (!wire::decode(payload, msg))
+            return false;
+        wire::UpdateProfileReply r;
+        std::optional<seccomp::Profile> profile =
+            builtinProfileByName(msg.profile);
+        if (!profile) {
+            r.error = "unknown profile: " + msg.profile;
+        } else {
+            // Blocks this loop thread until the owning shard worker
+            // publishes the epoch — control ops ride the same FIFO as
+            // checks (cf. TenantStatsReq), and that shared queue
+            // position is exactly what makes the swap boundary
+            // deterministic for everything this client pipelined
+            // before the UpdateProfile frame.
+            r.ok = _service.swapProfile(msg.tenantId, *profile,
+                                        &r.epoch);
+            if (!r.ok)
+                r.error = "unknown, evicted, or stopping tenant";
+        }
         wire::encode(reply, r);
         sendControl(loop, conn, reply);
         return true;
@@ -1075,6 +1105,27 @@ SocketClient::evictTenant(TenantId id)
     wire::encode(request, msg);
     wire::EvictTenantReply r;
     return roundTrip(request, reply) && wire::decode(reply, r) && r.ok;
+}
+
+bool
+SocketClient::updateProfile(TenantId id, const std::string &profileName,
+                            uint64_t *epochOut)
+{
+    wire::UpdateProfile msg;
+    msg.tenantId = id;
+    msg.profile = profileName;
+    std::vector<uint8_t> request;
+    std::vector<uint8_t> reply;
+    wire::encode(request, msg);
+    wire::UpdateProfileReply r;
+    if (!roundTrip(request, reply) || !wire::decode(reply, r))
+        return false;
+    if (!r.ok && !r.error.empty())
+        warn("dracoload: UpdateProfile tenant %u -> '%s': %s", id,
+             profileName.c_str(), r.error.c_str());
+    if (r.ok && epochOut)
+        *epochOut = r.epoch;
+    return r.ok;
 }
 
 bool

@@ -293,6 +293,9 @@ class SocketClient final : public Client
 
     bool evictTenant(TenantId id) override;
 
+    bool updateProfile(TenantId id, const std::string &profileName,
+                       uint64_t *epochOut = nullptr) override;
+
     bool serviceStats(ServiceStatsSnapshot &out) override;
 
     /** Ask the daemon to shut down. @return false on transport error. */

@@ -193,14 +193,15 @@ CheckService::createTenant(const std::string &name,
     if (state->opts.maxInFlight == 0)
         state->opts.maxInFlight = 1;
     // The compile is interned by content: a million tenants on the
-    // same profile share one filter chain and spec map.
-    state->policy = _policies.intern(profile);
+    // same profile share one filter chain and spec map. It seeds the
+    // tenant's epoch slot as epoch 1; live swaps publish from there.
+    auto epoch = state->epochs.install(_epochs.intern(profile));
     if (!lifecycleEnabled()) {
         // No resident cap: build the mutable half eagerly, as before.
         // Under a cap the owning shard worker materializes it on the
         // tenant's first request (and may drop it again later).
         state->checker = std::make_unique<core::DracoSoftwareChecker>(
-            state->policy, state->opts.filterCopies);
+            epoch->policy, state->opts.filterCopies);
     }
 
     _tenants[count] = std::move(state);
@@ -234,6 +235,7 @@ CheckService::shed(TenantState *t, CheckResponse *resps, uint32_t count,
         resps[i].status = status;
         resps[i].path = 0;
         resps[i].retryAfterUs = retryUs;
+        resps[i].epoch = 0;
     }
     if (t && status == CheckStatus::Overloaded)
         t->rejects.fetch_add(count, std::memory_order_relaxed);
@@ -371,6 +373,8 @@ CheckService::snapshotTenant(const TenantState &t, TenantStats &out) const
     out.denied = t.denied;
     out.rejects = t.rejects.load();
     out.busyNs = t.busyNs;
+    out.epoch = t.epochs.epoch();
+    out.swaps = t.swaps;
 }
 
 bool
@@ -431,6 +435,46 @@ CheckService::evictTenant(TenantId id)
         // may still be draining this tenant's queued requests.
         batch.complete(1);
         return true;
+    }
+    batch.wait();
+    return true;
+}
+
+bool
+CheckService::swapProfile(TenantId id, const seccomp::Profile &profile,
+                          uint64_t *epochOut)
+{
+    TenantState *t = tenant(id);
+    if (!t || t->evicted.load() || _stopping.load()) {
+        _epochs.countSwapFailure();
+        return false;
+    }
+
+    // RCU-style: prepare the next epoch entirely off to the side — the
+    // compile (or content-addressed share) runs on this thread, so the
+    // owning worker only ever pays for the publication itself.
+    std::shared_ptr<const core::CompiledPolicy> compiled =
+        _epochs.intern(profile);
+
+    // The swap rides the tenant's shard FIFO like every control op:
+    // requests enqueued before this point check under the old epoch,
+    // requests after it under the new one, and publication can never
+    // land mid-item — that FIFO position IS the swap boundary, and it
+    // is the same at any shard count because a tenant has one queue.
+    Batch batch;
+    batch.arm(1);
+    Item item;
+    item.op = Op::Swap;
+    item.tenant = t;
+    item.batch = &batch;
+    item.swapPolicy = std::move(compiled);
+    item.epochOut = epochOut;
+    if (!enqueue(*_shards[t->shard], item)) {
+        // Stopping: no worker will publish; fail rather than mutate
+        // tenant state off its owning thread.
+        batch.complete(1);
+        _epochs.countSwapFailure();
+        return false;
     }
     batch.wait();
     return true;
@@ -503,7 +547,8 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                     drainStartNs = obs::nowNs();
                 item.rec->drainStartNs = drainStartNs;
             }
-            if (!t->checker && !t->evicted.load() && t->policy)
+            if (!t->checker && !t->evicted.load() &&
+                t->epochs.epoch() != 0)
                 materializeChecker(shard, *t);
             if (!t->checker) {
                 // A submit that raced the eviction flag can land behind
@@ -512,10 +557,15 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                     item.resps[i].status = CheckStatus::UnknownTenant;
                     item.resps[i].path = 0;
                     item.resps[i].retryAfterUs = 0;
+                    item.resps[i].epoch = 0;
                 }
                 if (item.rec)
                     item.rec->shed = item.count;
             } else {
+                // One relaxed load per item: the checker was rebuilt at
+                // the same FIFO step the epoch was published, so it is
+                // the epoch's state — this id just labels the verdicts.
+                const uint64_t epochId = t->epochs.epoch();
                 uint32_t allowed = 0;
                 for (uint32_t i = 0; i < item.count; ++i) {
                     core::SwCheckOutcome out =
@@ -529,6 +579,7 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
                                               : CheckStatus::Denied;
                     resp.path = static_cast<uint8_t>(out.path);
                     resp.retryAfterUs = 0;
+                    resp.epoch = epochId;
                     if (out.allowed) {
                         ++t->allowed;
                         ++allowed;
@@ -567,6 +618,33 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
             t->checker.reset();
             completions.emplace_back(item.batch, 1);
             break;
+          case Op::Swap: {
+            // The deterministic swap boundary: every request queued
+            // ahead of this item has already checked under the old
+            // epoch. Publish the new one and rebuild the VAT+SPT
+            // namespace cold in the same step, so no verdict cached
+            // under the retired policy can ever be served again.
+            // Cumulative counters survive the rebuild — a swap is a
+            // policy change, not a tenant reset.
+            auto epoch = t->epochs.publish(item.swapPolicy);
+            ++t->swaps;
+            if (item.epochOut)
+                *item.epochOut = epoch->epoch;
+            if (t->checker) {
+                core::SwCheckStats kept = t->checker->stats();
+                t->checker =
+                    std::make_unique<core::DracoSoftwareChecker>(
+                        epoch->policy, t->opts.filterCopies);
+                t->checker->restoreStats(kept);
+            }
+            // A snapshotted tenant keeps its `.dtss` for now: the
+            // restore path compares the snapshot's programKey against
+            // the then-current epoch and discards it as stale — the
+            // evicted-then-swapped tenant fails closed to this epoch.
+            _epochs.countSwap(epoch->epoch);
+            completions.emplace_back(item.batch, 1);
+            break;
+          }
         }
     }
 
@@ -603,8 +681,9 @@ CheckService::process(Shard &shard, std::vector<Item> &items)
 void
 CheckService::materializeChecker(Shard &shard, TenantState &t)
 {
+    std::shared_ptr<const policy::PolicyEpoch> epoch = t.epochs.pin();
     t.checker = std::make_unique<core::DracoSoftwareChecker>(
-        t.policy, t.opts.filterCopies);
+        epoch->policy, t.opts.filterCopies);
 
     if (t.hasSnapshot && _store) {
         std::vector<uint8_t> bytes;
@@ -612,12 +691,40 @@ CheckService::materializeChecker(Shard &shard, TenantState &t)
         bool ok = _store->get(t.name, bytes);
         if (!ok)
             error = "snapshot missing from store";
-        else if (!lifecycle::restoreSnapshot(bytes, t.name,
-                                             t.policy->programKey,
-                                             t.opts.filterCopies,
-                                             *t.checker, &error))
-            ok = false;
-        if (ok) {
+
+        // Staleness probe before the restore: a profile swap while the
+        // tenant sat evicted leaves a `.dtss` whose VAT belongs to a
+        // retired epoch. A structurally valid snapshot keyed to a
+        // different policy is discarded outright — distinct from a
+        // corrupt one, which still counts as a restore failure below.
+        uint64_t snapshotKey = 0;
+        bool stale =
+            ok &&
+            lifecycle::peekSnapshotPolicyKey(bytes, snapshotKey,
+                                             nullptr) &&
+            snapshotKey != epoch->policy->programKey;
+        if (stale) {
+            inform("CheckService: tenant '%s' snapshot is stale "
+                   "(policy %016llx, epoch %llu runs %016llx); "
+                   "discarding and starting the new epoch cold",
+                   t.name.c_str(),
+                   static_cast<unsigned long long>(snapshotKey),
+                   static_cast<unsigned long long>(epoch->epoch),
+                   static_cast<unsigned long long>(
+                       epoch->policy->programKey));
+            // Fail closed to the *new* epoch: the fresh checker built
+            // above is already the one to serve from. The frozen
+            // counters described the retired chain; drop them too.
+            t.frozenStats = {};
+            _epochs.countStaleSnapshotDiscard();
+            if (shard.tracer)
+                shard.tracer->record(obs::EventKind::TenantRestore, 0,
+                                     0, 0, 0);
+        } else if (ok &&
+                   lifecycle::restoreSnapshot(bytes, t.name,
+                                              epoch->policy->programKey,
+                                              t.opts.filterCopies,
+                                              *t.checker, &error)) {
             _restores.fetch_add(1, std::memory_order_relaxed);
             _snapshotBytesRead.fetch_add(bytes.size(),
                                          std::memory_order_relaxed);
@@ -632,7 +739,7 @@ CheckService::materializeChecker(Shard &shard, TenantState &t)
                  "(%s); rebuilding from profile", t.name.c_str(),
                  error.c_str());
             t.checker = std::make_unique<core::DracoSoftwareChecker>(
-                t.policy, t.opts.filterCopies);
+                epoch->policy, t.opts.filterCopies);
             _restoreFailures.fetch_add(1, std::memory_order_relaxed);
             if (shard.tracer)
                 shard.tracer->record(obs::EventKind::TenantRestore, 0, 0,
@@ -768,8 +875,8 @@ CheckService::serviceStats(ServiceStatsSnapshot &out) const
         _restoreFailures.load(std::memory_order_relaxed);
     out.snapshotPutFailures =
         _snapshotPutFailures.load(std::memory_order_relaxed);
-    out.dedupPolicies = _policies.size();
-    out.dedupHits = _policies.hits();
+    out.dedupPolicies = _epochs.store().size();
+    out.dedupHits = _epochs.store().hits();
     out.snapshotBytesWritten =
         _snapshotBytesWritten.load(std::memory_order_relaxed);
     out.snapshotBytesRead =
@@ -780,6 +887,10 @@ CheckService::serviceStats(ServiceStatsSnapshot &out) const
         out.checks += shard->processedMirror.load(
             std::memory_order_relaxed);
     out.rejects = totalRejects();
+    out.policySwaps = _epochs.swaps();
+    out.policySwapFailures = _epochs.swapFailures();
+    out.staleSnapshotDiscards = _epochs.staleSnapshotDiscards();
+    out.maxEpoch = _epochs.maxEpoch();
 }
 
 void
@@ -853,6 +964,8 @@ CheckService::exportMetrics(MetricRegistry &registry,
         registry.setCounter(tp + ".denied", t->denied);
         registry.setCounter(tp + ".rejects", t->rejects.load());
         registry.setCounter(tp + ".evicted", t->evicted.load() ? 1 : 0);
+        registry.setCounter(tp + ".epoch", t->epochs.epoch());
+        registry.setCounter(tp + ".swaps", t->swaps);
         registry.setGauge(tp + ".busy_ns", t->busyNs);
         if (t->checker)
             core::exportStats(t->checker->stats(), registry,
@@ -888,12 +1001,15 @@ CheckService::exportMetrics(MetricRegistry &registry,
         registry.setCounter(lp + ".store_bytes", _store->totalBytes());
         registry.setText(lp + ".store_kind", _store->kind());
     }
-    _policies.exportMetrics(registry, lp + ".dedup");
+    _epochs.store().exportMetrics(registry, lp + ".dedup");
     registry.setGauge(lp + ".dedup.ratio",
-                      _policies.size() > 0
+                      _epochs.store().size() > 0
                           ? static_cast<double>(count) /
-                                static_cast<double>(_policies.size())
+                                static_cast<double>(
+                                    _epochs.store().size())
                           : 0.0);
+
+    _epochs.exportMetrics(registry, name("policy"));
 }
 
 void
@@ -963,6 +1079,9 @@ CheckService::exportLiveMetrics(MetricRegistry &registry,
     registry.setCounter(vp + ".snapshot_bytes_read",
                         svc.snapshotBytesRead);
     registry.setCounter(vp + ".store_bytes", svc.storeBytes);
+
+    // All-atomic, so the live scrape may export the swap plane too.
+    _epochs.exportMetrics(registry, name("policy"));
 }
 
 } // namespace draco::serve

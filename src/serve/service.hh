@@ -42,8 +42,8 @@
 #include <vector>
 
 #include "core/software.hh"
-#include "lifecycle/policy_store.hh"
 #include "lifecycle/resident_lru.hh"
+#include "policy/epoch.hh"
 #include "seccomp/profile.hh"
 #include "serve/types.hh"
 #include "support/metrics.hh"
@@ -130,6 +130,26 @@ class CheckService
 
     /** @return The live tenant named @p name, or kInvalidTenant. */
     TenantId findTenant(const std::string &name) const;
+
+    /**
+     * Replace tenant @p id's profile under live traffic.
+     *
+     * The new policy is compiled (or shared via the content-addressed
+     * intern) on the calling thread, then published by the tenant's
+     * owning shard worker at an item boundary in its FIFO — RCU-style:
+     * requests submitted before this call complete under the old
+     * epoch, requests after it under the new one, and the swap never
+     * lands mid-batch. Publication rebuilds the tenant's VAT+SPT
+     * namespace cold (cumulative counters survive), so no verdict
+     * cached under the old policy outlives it. Blocks until the
+     * worker has published.
+     *
+     * @param epochOut Receives the newly serving epoch id when set.
+     * @return false when @p id is unknown/evicted or the service is
+     *         stopping (nothing was published).
+     */
+    bool swapProfile(TenantId id, const seccomp::Profile &profile,
+                     uint64_t *epochOut = nullptr);
 
     /**
      * Evict tenant @p id: new submits reject with UnknownTenant
@@ -242,6 +262,7 @@ class CheckService
         Check, ///< Run `count` requests through the tenant's checker.
         Stats, ///< Snapshot the tenant into `statsOut`.
         Evict, ///< Destroy the tenant's checker state.
+        Swap,  ///< Publish `swapPolicy` as the tenant's next epoch.
     };
 
     struct TenantState {
@@ -250,8 +271,14 @@ class CheckService
         uint32_t shard = 0;
         TenantOptions opts;
 
-        /** Shared immutable compile (profile + filter + specs). */
-        std::shared_ptr<const core::CompiledPolicy> policy;
+        /**
+         * The tenant's policy epochs: epoch 1 is installed at create,
+         * each live swap publishes the next. Publication happens only
+         * on the owning shard worker (or at create, before the worker
+         * can see the tenant), so the checker below — rebuilt in the
+         * same FIFO step — always matches the current epoch.
+         */
+        policy::EpochSlot epochs;
 
         /**
          * Mutable per-tenant state (VAT + counters). Built eagerly at
@@ -268,6 +295,7 @@ class CheckService
         // Owned by the shard worker (single writer).
         uint64_t allowed = 0;
         uint64_t denied = 0;
+        uint64_t swaps = 0; ///< Epochs published beyond the first.
         double busyNs = 0.0;
         bool hasSnapshot = false; ///< A `.dtss` awaits in the store.
         core::SwCheckStats frozenStats; ///< Stats while snapshotted.
@@ -282,6 +310,10 @@ class CheckService
         Batch *batch = nullptr;
         TenantStats *statsOut = nullptr;
         obs::StageRecord *rec = nullptr; ///< Latency record, optional.
+
+        /** Swap payload: the pre-compiled next-epoch policy. */
+        std::shared_ptr<const core::CompiledPolicy> swapPolicy;
+        uint64_t *epochOut = nullptr; ///< Receives the published epoch.
     };
 
     struct Shard {
@@ -355,8 +387,10 @@ class CheckService
      * keeps createTenant O(1) at million-tenant scale. */
     std::unordered_map<std::string, TenantId> _nameIndex;
 
+    // ---- policy epochs (see src/policy/) ----
+    policy::EpochManager _epochs;
+
     // ---- lifecycle (see src/lifecycle/) ----
-    lifecycle::PolicyStore _policies;
     std::unique_ptr<lifecycle::SnapshotStore> _ownedStore;
     lifecycle::SnapshotStore *_store = nullptr;
     uint32_t _shardResidentCap = 0; ///< Per-shard budget; 0 = unbounded.

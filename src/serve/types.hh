@@ -56,6 +56,14 @@ struct CheckResponse {
     uint8_t path = 0;
 
     /**
+     * Policy epoch the verdict was produced under (1 = the creation
+     * profile, +1 per live swap; 0 for shed requests, which never
+     * reached a checker). Lets a client driving UpdateProfile confirm
+     * exactly where in its request stream the swap boundary landed.
+     */
+    uint64_t epoch = 0;
+
+    /**
      * Backpressure hint for Overloaded responses: microseconds the
      * client should wait before retrying, estimated from the rejecting
      * shard's queue depth and recent per-check service time.
@@ -92,6 +100,9 @@ struct TenantStats {
     uint64_t denied = 0;   ///< Verdicts that denied the call.
     uint64_t rejects = 0;  ///< Requests shed by admission control.
     double busyNs = 0.0;   ///< Modeled service time consumed (§V-C).
+
+    uint64_t epoch = 0;    ///< Current policy epoch (1 = creation).
+    uint64_t swaps = 0;    ///< Profile swaps published for this tenant.
 };
 
 /** Service-wide configuration. */
@@ -168,6 +179,11 @@ struct ServiceStatsSnapshot {
     uint64_t storeBytes = 0;     ///< Bytes currently in the store.
     uint64_t checks = 0;         ///< Requests checked (not shed).
     uint64_t rejects = 0;        ///< Requests shed by admission control.
+
+    uint64_t policySwaps = 0;        ///< Live profile swaps published.
+    uint64_t policySwapFailures = 0; ///< Swaps rejected pre-publication.
+    uint64_t staleSnapshotDiscards = 0; ///< `.dtss` dropped, stale epoch.
+    uint64_t maxEpoch = 0;           ///< Highest epoch any tenant reached.
 };
 
 } // namespace draco::serve

@@ -28,10 +28,11 @@ namespace {
  * Smallest possible encodings of one batch element, used to reject a
  * forged count before the element array is allocated: a request is a
  * u16 sid, a >=1-byte pc varint, and six >=1-byte arg varints; a
- * response is status, path, and a >=1-byte retry varint.
+ * response is status, path, a >=1-byte retry varint, and a >=1-byte
+ * epoch varint.
  */
 constexpr size_t kMinRequestBytes = 2 + 1 + 6;
-constexpr size_t kMinResponseBytes = 1 + 1 + 1;
+constexpr size_t kMinResponseBytes = 1 + 1 + 1 + 1;
 
 /** @return true when @p count elements of @p minBytes can still fit. */
 bool
@@ -193,6 +194,7 @@ encode(std::vector<uint8_t> &out, const CheckBatchReply &msg)
         putU8(out, static_cast<uint8_t>(resp.status));
         putU8(out, resp.path);
         putVarint(out, resp.retryAfterUs);
+        putVarint(out, resp.epoch);
     }
 }
 
@@ -214,6 +216,7 @@ decode(const std::vector<uint8_t> &payload, CheckBatchReply &out)
         if (!takeU8(payload, pos, status) ||
             !takeU8(payload, pos, resp.path) ||
             !takeVarint(payload, pos, retry) ||
+            !takeVarint(payload, pos, resp.epoch) ||
             status > static_cast<uint8_t>(CheckStatus::ShuttingDown) ||
             retry > UINT32_MAX) {
             return false;
@@ -264,6 +267,8 @@ encode(std::vector<uint8_t> &out, const TenantStatsReply &msg)
     putU64(out, s.denied);
     putU64(out, s.rejects);
     putU64(out, static_cast<uint64_t>(s.busyNs + 0.5));
+    putU64(out, s.epoch);
+    putU64(out, s.swaps);
 }
 
 bool
@@ -295,7 +300,9 @@ decode(const std::vector<uint8_t> &payload, TenantStatsReply &out)
         !takeU64(payload, pos, s.allowed) ||
         !takeU64(payload, pos, s.denied) ||
         !takeU64(payload, pos, s.rejects) ||
-        !takeU64(payload, pos, busyNs)) {
+        !takeU64(payload, pos, busyNs) ||
+        !takeU64(payload, pos, s.epoch) ||
+        !takeU64(payload, pos, s.swaps)) {
         return false;
     }
     s.evicted = evicted != 0;
@@ -383,6 +390,10 @@ encode(std::vector<uint8_t> &out, const ServiceStatsReply &msg)
     putVarint(out, s.storeBytes);
     putVarint(out, s.checks);
     putVarint(out, s.rejects);
+    putVarint(out, s.policySwaps);
+    putVarint(out, s.policySwapFailures);
+    putVarint(out, s.staleSnapshotDiscards);
+    putVarint(out, s.maxEpoch);
 }
 
 bool
@@ -405,7 +416,55 @@ decode(const std::vector<uint8_t> &payload, ServiceStatsReply &out)
            takeVarint(payload, pos, s.storeBytes) &&
            takeVarint(payload, pos, s.checks) &&
            takeVarint(payload, pos, s.rejects) &&
+           takeVarint(payload, pos, s.policySwaps) &&
+           takeVarint(payload, pos, s.policySwapFailures) &&
+           takeVarint(payload, pos, s.staleSnapshotDiscards) &&
+           takeVarint(payload, pos, s.maxEpoch) &&
            pos == payload.size();
+}
+
+// ---- UpdateProfile ----
+
+void
+encode(std::vector<uint8_t> &out, const UpdateProfile &msg)
+{
+    putType(out, MsgType::UpdateProfile);
+    putU32(out, msg.tenantId);
+    putString(out, msg.profile);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, UpdateProfile &out)
+{
+    size_t pos = 0;
+    return takeType(payload, pos, MsgType::UpdateProfile) &&
+           takeU32(payload, pos, out.tenantId) &&
+           takeString(payload, pos, out.profile) &&
+           pos == payload.size();
+}
+
+void
+encode(std::vector<uint8_t> &out, const UpdateProfileReply &msg)
+{
+    putType(out, MsgType::UpdateProfileReply);
+    putU8(out, msg.ok ? 1 : 0);
+    putVarint(out, msg.epoch);
+    putString(out, msg.error);
+}
+
+bool
+decode(const std::vector<uint8_t> &payload, UpdateProfileReply &out)
+{
+    size_t pos = 0;
+    uint8_t ok;
+    if (!takeType(payload, pos, MsgType::UpdateProfileReply) ||
+        !takeU8(payload, pos, ok) ||
+        !takeVarint(payload, pos, out.epoch) ||
+        !takeString(payload, pos, out.error) || pos != payload.size()) {
+        return false;
+    }
+    out.ok = ok != 0;
+    return true;
 }
 
 // ---- frame I/O ----

@@ -29,8 +29,12 @@
 
 namespace draco::serve::wire {
 
-/** Protocol version expected in Hello. */
-inline constexpr uint32_t kProtocolVersion = 1;
+/**
+ * Protocol version expected in Hello. Version 2 added the per-verdict
+ * policy epoch to CheckBatchReply, the epoch/swap counters to
+ * TenantStatsReply and ServiceStatsReply, and the UpdateProfile op.
+ */
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /** Upper bound on one frame's payload (decoder rejects beyond it). */
 inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
@@ -54,6 +58,8 @@ enum class MsgType : uint8_t {
     ShutdownReply = 12,
     ServiceStatsReq = 13,
     ServiceStatsReply = 14,
+    UpdateProfile = 15,
+    UpdateProfileReply = 16,
 };
 
 struct Hello {
@@ -112,6 +118,23 @@ struct ServiceStatsReply {
     ServiceStatsSnapshot stats;
 };
 
+/**
+ * Hot-swap tenantId's profile to the named built-in catalog entry.
+ * Profiles cross the wire by name, like CreateTenant: the server
+ * compiles (or content-shares) the new policy and its shard worker
+ * publishes it at the tenant's next FIFO boundary.
+ */
+struct UpdateProfile {
+    TenantId tenantId = kInvalidTenant;
+    std::string profile; ///< Built-in catalog name of the new policy.
+};
+
+struct UpdateProfileReply {
+    bool ok = false;
+    uint64_t epoch = 0; ///< Epoch now serving (valid when ok).
+    std::string error;  ///< "" on success.
+};
+
 /** @return The type byte of @p payload, or 0 when empty. */
 MsgType peekType(const std::vector<uint8_t> &payload);
 
@@ -131,6 +154,8 @@ void encodeShutdown(std::vector<uint8_t> &out);
 void encodeShutdownReply(std::vector<uint8_t> &out);
 void encodeServiceStatsReq(std::vector<uint8_t> &out);
 void encode(std::vector<uint8_t> &out, const ServiceStatsReply &msg);
+void encode(std::vector<uint8_t> &out, const UpdateProfile &msg);
+void encode(std::vector<uint8_t> &out, const UpdateProfileReply &msg);
 
 // ---- payload decoding (false on any malformation) ----
 
@@ -145,6 +170,8 @@ bool decode(const std::vector<uint8_t> &payload, TenantStatsReply &out);
 bool decode(const std::vector<uint8_t> &payload, EvictTenant &out);
 bool decode(const std::vector<uint8_t> &payload, EvictTenantReply &out);
 bool decode(const std::vector<uint8_t> &payload, ServiceStatsReply &out);
+bool decode(const std::vector<uint8_t> &payload, UpdateProfile &out);
+bool decode(const std::vector<uint8_t> &payload, UpdateProfileReply &out);
 
 // ---- frame I/O on a connected stream socket ----
 

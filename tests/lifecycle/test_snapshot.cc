@@ -229,6 +229,48 @@ TEST(Snapshot, InspectReportsTheTenant)
                         s.checker->vat().evictions());
 }
 
+TEST(Snapshot, PeekPolicyKeyReadsTheMetaBlock)
+{
+    Snapshotted s = makeSnapshot();
+    uint64_t key = 0;
+    std::string error;
+    ASSERT_TRUE(peekSnapshotPolicyKey(s.bytes, key, &error)) << error;
+    EXPECT_EQ(key, s.policy->programKey);
+}
+
+TEST(Snapshot, PeekPolicyKeyRejectsCorruptHeaders)
+{
+    Snapshotted s = makeSnapshot();
+    uint64_t key = 0;
+    std::string error;
+    {
+        std::vector<uint8_t> bad = s.bytes;
+        bad[0] = 'x'; // magic
+        EXPECT_FALSE(peekSnapshotPolicyKey(bad, key, &error));
+    }
+    {
+        std::vector<uint8_t> bad = s.bytes;
+        bad[8] = static_cast<uint8_t>(kSnapshotVersion + 1);
+        EXPECT_FALSE(peekSnapshotPolicyKey(bad, key, &error));
+    }
+    {
+        // A CRC flip inside the Meta block must be caught even though
+        // the peek never parses the later (larger) table blocks.
+        std::vector<uint8_t> bad = s.bytes;
+        bad[16] ^= 0x01;
+        EXPECT_FALSE(peekSnapshotPolicyKey(bad, key, &error));
+    }
+    // Truncations anywhere inside the Meta block fail; the peek never
+    // needs bytes past it, so only prefixes up to the block matter.
+    for (size_t len = 0; len < 32; ++len) {
+        std::vector<uint8_t> cut(s.bytes.begin(),
+                                 s.bytes.begin() +
+                                     static_cast<ptrdiff_t>(len));
+        EXPECT_FALSE(peekSnapshotPolicyKey(cut, key, &error))
+            << "prefix of " << len << " bytes peeked";
+    }
+}
+
 TEST(Snapshot, CompactRoundTripIsIdentity)
 {
     Snapshotted s = makeSnapshot();

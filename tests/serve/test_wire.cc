@@ -111,6 +111,7 @@ TEST(Wire, CheckBatchReplyCarriesEveryStatus)
         resp.path = static_cast<uint8_t>(msg.resps.size());
         resp.retryAfterUs =
             status == CheckStatus::Overloaded ? 12345 : 0;
+        resp.epoch = msg.resps.size() * 7 + 1;
         msg.resps.push_back(resp);
     }
     CheckBatchReply out = roundTrip(msg, MsgType::CheckBatchReply);
@@ -119,6 +120,7 @@ TEST(Wire, CheckBatchReplyCarriesEveryStatus)
         EXPECT_EQ(out.resps[i].status, msg.resps[i].status);
         EXPECT_EQ(out.resps[i].path, msg.resps[i].path);
         EXPECT_EQ(out.resps[i].retryAfterUs, msg.resps[i].retryAfterUs);
+        EXPECT_EQ(out.resps[i].epoch, msg.resps[i].epoch);
     }
 }
 
@@ -141,6 +143,8 @@ TEST(Wire, TenantStatsRoundTrip)
     reply.stats.denied = 10;
     reply.stats.rejects = 77;
     reply.stats.busyNs = 123456.0;
+    reply.stats.epoch = 4;
+    reply.stats.swaps = 3;
     TenantStatsReply out = roundTrip(reply, MsgType::TenantStatsReply);
     EXPECT_TRUE(out.ok);
     EXPECT_EQ(out.stats.name, "t0");
@@ -152,6 +156,47 @@ TEST(Wire, TenantStatsRoundTrip)
     EXPECT_EQ(out.stats.denied, 10u);
     EXPECT_EQ(out.stats.rejects, 77u);
     EXPECT_DOUBLE_EQ(out.stats.busyNs, 123456.0);
+    EXPECT_EQ(out.stats.epoch, 4u);
+    EXPECT_EQ(out.stats.swaps, 3u);
+}
+
+TEST(Wire, UpdateProfileRoundTrip)
+{
+    UpdateProfile msg;
+    msg.tenantId = 11;
+    msg.profile = "gvisor";
+    UpdateProfile out = roundTrip(msg, MsgType::UpdateProfile);
+    EXPECT_EQ(out.tenantId, 11u);
+    EXPECT_EQ(out.profile, "gvisor");
+
+    UpdateProfileReply reply;
+    reply.ok = true;
+    reply.epoch = 9;
+    UpdateProfileReply rout =
+        roundTrip(reply, MsgType::UpdateProfileReply);
+    EXPECT_TRUE(rout.ok);
+    EXPECT_EQ(rout.epoch, 9u);
+    EXPECT_TRUE(rout.error.empty());
+
+    reply.ok = false;
+    reply.epoch = 0;
+    reply.error = "unknown profile: bogus";
+    rout = roundTrip(reply, MsgType::UpdateProfileReply);
+    EXPECT_FALSE(rout.ok);
+    EXPECT_EQ(rout.error, reply.error);
+
+    // Total decoders: every truncation and any trailing byte fail.
+    std::vector<uint8_t> payload;
+    encode(payload, msg);
+    for (size_t len = 0; len < payload.size(); ++len) {
+        std::vector<uint8_t> cut(payload.begin(),
+                                 payload.begin() + len);
+        UpdateProfile bad;
+        EXPECT_FALSE(decode(cut, bad)) << "length " << len;
+    }
+    payload.push_back(0);
+    UpdateProfile bad;
+    EXPECT_FALSE(decode(payload, bad));
 }
 
 TEST(Wire, EvictAndShutdownRoundTrip)
@@ -193,6 +238,10 @@ TEST(Wire, ServiceStatsRoundTrip)
     reply.stats.storeBytes = 123456789;
     reply.stats.checks = 2000000;
     reply.stats.rejects = 42;
+    reply.stats.policySwaps = 1234;
+    reply.stats.policySwapFailures = 5;
+    reply.stats.staleSnapshotDiscards = 17;
+    reply.stats.maxEpoch = 88;
     ServiceStatsReply out =
         roundTrip(reply, MsgType::ServiceStatsReply);
     EXPECT_EQ(out.stats.tenants, 1000000u);
@@ -209,6 +258,10 @@ TEST(Wire, ServiceStatsRoundTrip)
     EXPECT_EQ(out.stats.storeBytes, 123456789u);
     EXPECT_EQ(out.stats.checks, 2000000u);
     EXPECT_EQ(out.stats.rejects, 42u);
+    EXPECT_EQ(out.stats.policySwaps, 1234u);
+    EXPECT_EQ(out.stats.policySwapFailures, 5u);
+    EXPECT_EQ(out.stats.staleSnapshotDiscards, 17u);
+    EXPECT_EQ(out.stats.maxEpoch, 88u);
 
     // Truncations and trailing garbage are malformed.
     payload.clear();

@@ -91,6 +91,15 @@ allEncodings()
     evictReply.ok = true;
     add(evictReply);
 
+    UpdateProfile update;
+    update.tenantId = 3;
+    update.profile = "gvisor";
+    add(update);
+    UpdateProfileReply updateReply;
+    updateReply.ok = true;
+    updateReply.epoch = 2;
+    add(updateReply);
+
     std::vector<uint8_t> shutdown;
     encodeShutdown(shutdown);
     out.push_back(shutdown);
@@ -114,6 +123,8 @@ decodeAsEverything(const std::vector<uint8_t> &payload)
     { TenantStatsReply out; decode(payload, out); }
     { EvictTenant out; decode(payload, out); }
     { EvictTenantReply out; decode(payload, out); }
+    { UpdateProfile out; decode(payload, out); }
+    { UpdateProfileReply out; decode(payload, out); }
 }
 
 TEST(WireFuzz, EveryTruncationOfEveryTypeIsRejected)
@@ -270,6 +281,12 @@ TEST(WireFuzz, TypeConfusionMatrixFailsCleanly)
         { EvictTenantReply out;
           EXPECT_EQ(decode(payload, out),
                     type == MsgType::EvictTenantReply); }
+        { UpdateProfile out;
+          EXPECT_EQ(decode(payload, out),
+                    type == MsgType::UpdateProfile); }
+        { UpdateProfileReply out;
+          EXPECT_EQ(decode(payload, out),
+                    type == MsgType::UpdateProfileReply); }
     }
 }
 

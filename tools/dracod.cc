@@ -199,6 +199,17 @@ main(int argc, char **argv)
                static_cast<unsigned long long>(ls.dedupPolicies),
                static_cast<unsigned long long>(ls.tenants));
     }
+    serve::ServiceStatsSnapshot ps;
+    service.serviceStats(ps);
+    if (ps.policySwaps > 0 || ps.policySwapFailures > 0 ||
+        ps.staleSnapshotDiscards > 0) {
+        inform("dracod: policy: %llu hot-swaps (%llu failed), "
+               "%llu stale snapshots discarded, max epoch %llu",
+               static_cast<unsigned long long>(ps.policySwaps),
+               static_cast<unsigned long long>(ps.policySwapFailures),
+               static_cast<unsigned long long>(ps.staleSnapshotDiscards),
+               static_cast<unsigned long long>(ps.maxEpoch));
+    }
 
     if (!flags.str("json").empty() || session.enabled()) {
         MetricRegistry registry;

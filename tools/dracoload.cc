@@ -18,10 +18,19 @@
  * that eventually got a verdict) from `shed` (requests still
  * Overloaded after the retry budget was spent).
  *
+ * Closed-loop extras: --mux-tenants groups several logical tenants
+ * onto one driver (and in socket mode one connection), interleaving
+ * their batches round-robin; --swap-profile-every hot-swaps each
+ * tenant's profile through the --swap-profiles rotation at fixed
+ * batch boundaries, exercising the epoch-versioned policy subsystem
+ * under live traffic.
+ *
  * The per-tenant verdict lines printed at the end come from
  * *server-side* tenant stats, so two closed-loop runs against different
  * shard counts must print byte-identical verdict counts — the CI smoke
- * job asserts exactly that.
+ * job asserts exactly that. Swaps don't break this: a swap fires
+ * between two blocking batches of the same tenant, so its position in
+ * the tenant's request stream is identical at any shard count.
  */
 
 #include <atomic>
@@ -60,7 +69,25 @@ struct TenantLoad {
     uint64_t transportErrors = 0;
     uint64_t retried = 0; ///< Requests re-submitted after Overloaded.
     uint64_t shed = 0;    ///< Still Overloaded with no retries left.
+    uint64_t batchesDone = 0;  ///< Completed batches (swap cadence).
+    uint64_t swapsIssued = 0;  ///< UpdateProfile calls that succeeded.
+    uint64_t swapFailures = 0; ///< UpdateProfile calls that failed.
+    size_t swapCursor = 0;     ///< Next entry in the swap rotation.
     QuantileSketch latencyUs;
+};
+
+/**
+ * Live hot-swap schedule: every `every` completed batches a tenant's
+ * profile is replaced with the next entry of `profiles`, rotating.
+ * Swaps fire between two of the tenant's blocking batches, so the swap
+ * boundary in the tenant's request stream is deterministic no matter
+ * how many shards or driver threads are in play — that's what lets the
+ * CI smoke job compare verdict fingerprints across shard counts even
+ * with swaps in flight.
+ */
+struct SwapPlan {
+    uint64_t every = 0; ///< Batches between swaps; 0 disables.
+    std::vector<std::string> profiles;
 };
 
 /** How Overloaded verdicts are retried. */
@@ -86,55 +113,98 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
         .count();
 }
 
-/** Closed loop: blocking batches, per-batch wall latency. */
+/** One closed-loop batch for @p tenant at @p pos; returns requests consumed. */
+uint32_t
+runClosedBatch(serve::Client &client, TenantLoad &tenant, size_t pos,
+               uint32_t batch, const RetryPolicy &policy,
+               std::vector<os::SyscallRequest> &work,
+               std::vector<os::SyscallRequest> &again,
+               std::vector<serve::CheckResponse> &resps)
+{
+    uint32_t n = static_cast<uint32_t>(
+        std::min<size_t>(batch, tenant.reqs.size() - pos));
+    work.assign(tenant.reqs.begin() + pos,
+                tenant.reqs.begin() + pos + n);
+    unsigned attempt = 0;
+    while (!work.empty()) {
+        resps.resize(work.size());
+        auto t0 = std::chrono::steady_clock::now();
+        if (!client.checkBatch(tenant.id, work.data(),
+                               static_cast<uint32_t>(work.size()),
+                               resps.data())) {
+            tenant.transportErrors += work.size();
+            break;
+        }
+        tenant.latencyUs.add(elapsedSeconds(t0) * 1e6);
+        // Overloaded is a backpressure signal: retry those
+        // requests after the server's hinted wait, tally
+        // everything else as a final verdict.
+        again.clear();
+        uint32_t waitUs = 0;
+        for (size_t i = 0; i < work.size(); ++i) {
+            bool overloaded = resps[i].status ==
+                              serve::CheckStatus::Overloaded;
+            if (overloaded && attempt < policy.retries) {
+                again.push_back(work[i]);
+                waitUs = std::max(waitUs, resps[i].retryAfterUs);
+                continue;
+            }
+            ++tenant.statuses[static_cast<size_t>(resps[i].status)];
+            if (overloaded)
+                ++tenant.shed;
+        }
+        if (again.empty())
+            break;
+        ++attempt;
+        tenant.retried += again.size();
+        backoffSleep(waitUs, policy);
+        work.swap(again);
+    }
+    return n;
+}
+
+/**
+ * Closed loop over a tenant group sharing one client: blocking
+ * batches, dealt round-robin across the group's tenants so several
+ * logical tenants multiplex one connection (--mux-tenants). Per-tenant
+ * request order is preserved — a tenant's next batch is never issued
+ * before its previous one resolved — which keeps both verdicts and
+ * swap boundaries deterministic.
+ */
 void
-runClosedLoop(serve::Client &client, TenantLoad &tenant, uint32_t batch,
-              const RetryPolicy &policy)
+runClosedLoopGroup(serve::Client &client,
+                   std::vector<TenantLoad *> &group, uint32_t batch,
+                   const RetryPolicy &policy, const SwapPlan &swap)
 {
     std::vector<serve::CheckResponse> resps(batch);
     std::vector<os::SyscallRequest> work;
     std::vector<os::SyscallRequest> again;
-    size_t pos = 0;
-    while (pos < tenant.reqs.size()) {
-        uint32_t n = static_cast<uint32_t>(
-            std::min<size_t>(batch, tenant.reqs.size() - pos));
-        work.assign(tenant.reqs.begin() + pos,
-                    tenant.reqs.begin() + pos + n);
-        pos += n;
-        unsigned attempt = 0;
-        while (!work.empty()) {
-            resps.resize(work.size());
-            auto t0 = std::chrono::steady_clock::now();
-            if (!client.checkBatch(tenant.id, work.data(),
-                                   static_cast<uint32_t>(work.size()),
-                                   resps.data())) {
-                tenant.transportErrors += work.size();
-                break;
+    std::vector<size_t> pos(group.size(), 0);
+    bool more = true;
+    while (more) {
+        more = false;
+        for (size_t g = 0; g < group.size(); ++g) {
+            TenantLoad &tenant = *group[g];
+            if (pos[g] >= tenant.reqs.size())
+                continue;
+            pos[g] += runClosedBatch(client, tenant, pos[g], batch,
+                                     policy, work, again, resps);
+            if (pos[g] < tenant.reqs.size())
+                more = true;
+            // Swap boundary: between two blocking batches of this
+            // tenant, so every request before it ran under the old
+            // profile and every request after it under the new one.
+            ++tenant.batchesDone;
+            if (swap.every > 0 && tenant.batchesDone % swap.every == 0 &&
+                pos[g] < tenant.reqs.size()) {
+                const std::string &next =
+                    swap.profiles[tenant.swapCursor++ %
+                                  swap.profiles.size()];
+                if (client.updateProfile(tenant.id, next))
+                    ++tenant.swapsIssued;
+                else
+                    ++tenant.swapFailures;
             }
-            tenant.latencyUs.add(elapsedSeconds(t0) * 1e6);
-            // Overloaded is a backpressure signal: retry those
-            // requests after the server's hinted wait, tally
-            // everything else as a final verdict.
-            again.clear();
-            uint32_t waitUs = 0;
-            for (size_t i = 0; i < work.size(); ++i) {
-                bool overloaded = resps[i].status ==
-                                  serve::CheckStatus::Overloaded;
-                if (overloaded && attempt < policy.retries) {
-                    again.push_back(work[i]);
-                    waitUs = std::max(waitUs, resps[i].retryAfterUs);
-                    continue;
-                }
-                ++tenant.statuses[static_cast<size_t>(resps[i].status)];
-                if (overloaded)
-                    ++tenant.shed;
-            }
-            if (again.empty())
-                break;
-            ++attempt;
-            tenant.retried += again.size();
-            backoffSleep(waitUs, policy);
-            work.swap(again);
         }
     }
 }
@@ -384,6 +454,15 @@ main(int argc, char **argv)
     flags.addUint("queue-capacity", "n",
                   "in-process per-shard queue capacity", 4096);
     flags.addUint("max-batch", "n", "in-process drain batch", 64);
+    flags.addUint("swap-profile-every", "n",
+                  "hot-swap each tenant's profile every n completed "
+                  "batches (closed loop only; 0 disables)", 0);
+    flags.addString("swap-profiles", "a,b,...",
+                    "built-in profiles the swap schedule rotates "
+                    "through", "docker-default,gvisor");
+    flags.addUint("mux-tenants", "n",
+                  "closed loop: logical tenants multiplexed per "
+                  "driver connection", 1);
     flags.addUint("retries", "n",
                   "re-submissions per Overloaded request", 3);
     flags.addUint("retry-cap-us", "us",
@@ -528,6 +607,38 @@ main(int argc, char **argv)
         static_cast<unsigned>(flags.uintValue("retries"));
     retryPolicy.capUs = static_cast<uint32_t>(
         std::max<uint64_t>(1, flags.uintValue("retry-cap-us")));
+
+    SwapPlan swapPlan;
+    swapPlan.every = flags.uintValue("swap-profile-every");
+    if (swapPlan.every > 0) {
+        // Swaps need a blocking request stream to define the
+        // boundary; the open-loop pipelines can't provide one.
+        if (flags.flag("open-loop"))
+            fatal("dracoload: --swap-profile-every needs the closed "
+                  "loop (drop --open-loop)");
+        std::string list = flags.str("swap-profiles");
+        size_t from = 0;
+        while (from <= list.size()) {
+            size_t comma = list.find(',', from);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string name = list.substr(from, comma - from);
+            if (!name.empty()) {
+                if (!serve::builtinProfileByName(name))
+                    fatal("dracoload: --swap-profiles: unknown "
+                          "profile '%s'", name.c_str());
+                swapPlan.profiles.push_back(std::move(name));
+            }
+            from = comma + 1;
+        }
+        if (swapPlan.profiles.empty())
+            fatal("dracoload: --swap-profiles names no profiles");
+    }
+    uint64_t mux = std::max<uint64_t>(1, flags.uintValue("mux-tenants"));
+    if (mux > 1 && flags.flag("open-loop"))
+        inform("dracoload: open loop already multiplexes every tenant "
+               "on one connection; --mux-tenants ignored");
+
     auto start = std::chrono::steady_clock::now();
 
     if (flags.flag("open-loop")) {
@@ -538,13 +649,24 @@ main(int argc, char **argv)
             runOpenLoopLocal(*localService, tenants, batch,
                              retryPolicy);
     } else {
-        // One driver per tenant, capped by --threads: closed-loop
-        // tenants progress independently, like separate containers.
+        // Tenants are dealt into groups of --mux-tenants; one driver
+        // (and in socket mode one connection) serves a whole group,
+        // interleaving its tenants' batches round-robin. The default
+        // group size of 1 keeps the original one-tenant-per-driver
+        // closed loop.
+        std::vector<std::vector<TenantLoad *>> groups;
+        for (size_t i = 0; i < tenants.size(); i += mux) {
+            std::vector<TenantLoad *> group;
+            for (size_t j = i;
+                 j < std::min<size_t>(i + mux, tenants.size()); ++j)
+                group.push_back(&tenants[j]);
+            groups.push_back(std::move(group));
+        }
         uint64_t drivers = flags.given("threads")
             ? std::max<uint64_t>(1, flags.uintValue("threads"))
-            : tenantCount;
-        drivers = std::min<uint64_t>(drivers, tenantCount);
-        std::atomic<size_t> nextTenant{0};
+            : groups.size();
+        drivers = std::min<uint64_t>(drivers, groups.size());
+        std::atomic<size_t> nextGroup{0};
         std::vector<std::thread> threads;
         for (uint64_t d = 0; d < drivers; ++d) {
             threads.emplace_back([&] {
@@ -559,10 +681,11 @@ main(int argc, char **argv)
                     c = own.get();
                 }
                 for (;;) {
-                    size_t i = nextTenant.fetch_add(1);
-                    if (i >= tenants.size())
+                    size_t i = nextGroup.fetch_add(1);
+                    if (i >= groups.size())
                         break;
-                    runClosedLoop(*c, tenants[i], batch, retryPolicy);
+                    runClosedLoopGroup(*c, groups[i], batch,
+                                       retryPolicy, swapPlan);
                 }
             });
         }
@@ -577,12 +700,16 @@ main(int argc, char **argv)
     uint64_t totals[kStatusCount] = {};
     uint64_t retried = 0;
     uint64_t shed = 0;
+    uint64_t swapsIssued = 0;
+    uint64_t swapFailures = 0;
     QuantileSketch latency;
     for (TenantLoad &tenant : tenants) {
         for (size_t s = 0; s < kStatusCount; ++s)
             totals[s] += tenant.statuses[s];
         retried += tenant.retried;
         shed += tenant.shed;
+        swapsIssued += tenant.swapsIssued;
+        swapFailures += tenant.swapFailures;
         latency.merge(tenant.latencyUs);
     }
     uint64_t answered = 0;
@@ -611,6 +738,11 @@ main(int argc, char **argv)
                         retryPolicy.retries);
     registry.setCounter("load.backpressure.retry_cap_us",
                         retryPolicy.capUs);
+    if (swapPlan.every > 0) {
+        registry.setCounter("load.swap.every", swapPlan.every);
+        registry.setCounter("load.swap.issued", swapsIssued);
+        registry.setCounter("load.swap.failed", swapFailures);
+    }
     if (latency.count() > 0) {
         registry.setGauge("load.latency_us.p50", latency.quantile(0.50));
         registry.setGauge("load.latency_us.p90", latency.quantile(0.90));
@@ -627,19 +759,23 @@ main(int argc, char **argv)
             continue;
         }
         printf("tenant %s checks=%llu allowed=%llu denied=%llu "
-               "vat_hits=%llu rejects=%llu\n",
+               "vat_hits=%llu rejects=%llu epoch=%llu swaps=%llu\n",
                tenant.name.c_str(),
                static_cast<unsigned long long>(stats.check.checks),
                static_cast<unsigned long long>(stats.allowed),
                static_cast<unsigned long long>(stats.denied),
                static_cast<unsigned long long>(stats.check.vatHits),
-               static_cast<unsigned long long>(stats.rejects));
+               static_cast<unsigned long long>(stats.rejects),
+               static_cast<unsigned long long>(stats.epoch),
+               static_cast<unsigned long long>(stats.swaps));
         std::string prefix =
             "load.tenants." + MetricRegistry::sanitize(tenant.name);
         registry.setCounter(prefix + ".allowed", stats.allowed);
         registry.setCounter(prefix + ".denied", stats.denied);
         registry.setCounter(prefix + ".rejects", stats.rejects);
         registry.setCounter(prefix + ".checks", stats.check.checks);
+        registry.setCounter(prefix + ".epoch", stats.epoch);
+        registry.setCounter(prefix + ".swaps", stats.swaps);
     }
     // Service-wide lifecycle line (the dracod stats op): meaningful
     // when the server runs with a resident cap, harmless otherwise.
@@ -647,7 +783,9 @@ main(int argc, char **argv)
     if (client->serviceStats(svc)) {
         printf("service tenants=%llu resident=%llu snapshotted=%llu "
                "evictions=%llu restores=%llu restore_failures=%llu "
-               "policies=%llu dedup_hits=%llu store_bytes=%llu\n",
+               "policies=%llu dedup_hits=%llu store_bytes=%llu "
+               "swaps=%llu swap_failures=%llu stale_discards=%llu "
+               "max_epoch=%llu\n",
                static_cast<unsigned long long>(svc.tenants),
                static_cast<unsigned long long>(svc.resident),
                static_cast<unsigned long long>(svc.snapshotted),
@@ -656,7 +794,11 @@ main(int argc, char **argv)
                static_cast<unsigned long long>(svc.restoreFailures),
                static_cast<unsigned long long>(svc.dedupPolicies),
                static_cast<unsigned long long>(svc.dedupHits),
-               static_cast<unsigned long long>(svc.storeBytes));
+               static_cast<unsigned long long>(svc.storeBytes),
+               static_cast<unsigned long long>(svc.policySwaps),
+               static_cast<unsigned long long>(svc.policySwapFailures),
+               static_cast<unsigned long long>(svc.staleSnapshotDiscards),
+               static_cast<unsigned long long>(svc.maxEpoch));
         registry.setCounter("load.service.tenants", svc.tenants);
         registry.setCounter("load.service.resident", svc.resident);
         registry.setCounter("load.service.evictions", svc.evictions);
@@ -665,9 +807,16 @@ main(int argc, char **argv)
                             svc.restoreFailures);
         registry.setCounter("load.service.dedup_policies",
                             svc.dedupPolicies);
+        registry.setCounter("load.service.swaps", svc.policySwaps);
+        registry.setCounter("load.service.swap_failures",
+                            svc.policySwapFailures);
+        registry.setCounter("load.service.stale_snapshot_discards",
+                            svc.staleSnapshotDiscards);
+        registry.setCounter("load.service.max_epoch", svc.maxEpoch);
     }
     printf("summary requests=%llu answered=%llu overloaded=%llu "
-           "retried=%llu shed=%llu wall_s=%.3f wall_qps=%.0f\n",
+           "retried=%llu shed=%llu swaps=%llu wall_s=%.3f "
+           "wall_qps=%.0f\n",
            static_cast<unsigned long long>(totalRequests),
            static_cast<unsigned long long>(answered),
            static_cast<unsigned long long>(
@@ -675,6 +824,7 @@ main(int argc, char **argv)
                    serve::CheckStatus::Overloaded)]),
            static_cast<unsigned long long>(retried),
            static_cast<unsigned long long>(shed),
+           static_cast<unsigned long long>(swapsIssued),
            wallSeconds,
            wallSeconds > 0.0 ? answered / wallSeconds : 0.0);
 
